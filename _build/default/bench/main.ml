@@ -1,0 +1,210 @@
+(* The benchmark harness regenerates every quantitative artefact of
+   the paper (the per-experiment index lives in DESIGN.md):
+
+     fig3:messages        Figure 3   messages/CS vs lambda, Tcoll 0.1/0.2
+     fig4:delay           Figure 4   delay/CS vs lambda
+     fig5:forwarded       Figure 5   forwarded fraction vs lambda
+     fig6:comparison      Figure 6   vs Ricart-Agrawala and Singhal
+     table:light-load     Eq. 1-2    (N^2-1)/N across N
+     table:heavy-load     Eq. 4-5    3 - 2/N across N
+     table:service-time   Eq. 3, 6   delay bounds across N
+     table:monitor        Section 4  starvation-free overhead
+     table:recovery       Section 6  fault drills
+     table:all-algorithms Section 2.4/3.3 context
+     table:ablations      DESIGN.md  tuning + broadcast suppression
+
+   plus one Bechamel micro-benchmark per experiment kernel, so a
+   performance regression in the simulator or the protocol shows up
+   next to the numbers it would distort.
+
+   DMUTEX_BENCH_REQUESTS scales the per-point simulation length
+   (default 50_000; the paper used 1_000_000 — set it that high for a
+   full-fidelity run). DMUTEX_BENCH_QUICK=1 shrinks everything for a
+   smoke run. *)
+
+let fmt = Format.std_formatter
+
+let quick = Sys.getenv_opt "DMUTEX_BENCH_QUICK" = Some "1"
+
+let requests =
+  match Sys.getenv_opt "DMUTEX_BENCH_REQUESTS" with
+  | Some s -> ( try int_of_string s with _ -> 50_000)
+  | None -> if quick then 2_000 else 50_000
+
+let runs = if quick then 2 else 3
+let rates = if quick then [ 0.01; 0.2; 2.0 ] else Experiments.default_rates
+let line () = Format.fprintf fmt "@."
+
+let figures () =
+  let f3, f4, f5 = Experiments.fig345 ~requests ~runs ~rates () in
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:"fig3:messages — average messages per CS (paper Fig. 3)" f3;
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:"fig4:delay — average delay per CS, seconds (paper Fig. 4)" f4;
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:"fig5:forwarded — forwarded fraction of messages (paper Fig. 5)"
+    f5;
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:
+      "fig6:comparison — messages per CS vs Ricart-Agrawala and Singhal \
+       (paper Fig. 6)"
+    (Experiments.fig6_comparison ~requests ~runs ~rates ());
+  line ()
+
+let tables () =
+  Experiments.print_bounds fmt
+    ~title:"table:light-load — Eq. 1: M = (N^2-1)/N at light load"
+    (Experiments.table_light_load ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_bounds fmt
+    ~title:"table:heavy-load — Eq. 4: M = 3 - 2/N at saturation"
+    (Experiments.table_heavy_load ~requests ~runs ());
+  line ();
+  let light, heavy =
+    Experiments.table_service_time ~requests:(requests / 2) ~runs ()
+  in
+  Experiments.print_bounds fmt
+    ~title:"table:service-time — Eq. 3 (light load delay)" light;
+  line ();
+  Experiments.print_bounds fmt
+    ~title:
+      "table:service-time — Eq. 6 (heavy load; models a mid-cycle arrival, \
+       measured value is a full rotation — see EXPERIMENTS.md)"
+    heavy;
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:"table:monitor — Section 4.1 starvation-free overhead"
+    (Experiments.table_monitor_overhead ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_recovery fmt (Experiments.table_recovery ());
+  line ();
+  Experiments.print_algorithms fmt
+    (Experiments.table_all_algorithms ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_sweep ~xlabel:"Tcoll" fmt
+    ~title:"table:ablations — collection-phase tuning at lambda=0.2"
+    (Experiments.table_collection_tuning ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:"table:ablations — Section 3.1 NEW-ARBITER suppression"
+    (Experiments.table_skip_broadcast ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_sweep ~xlabel:"Tfwd" fmt
+    ~title:"table:ablations — forwarding-phase tuning at lambda=0.2"
+    (Experiments.table_forwarding_tuning ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_balance fmt
+    (Experiments.table_load_balance ~requests:(requests / 2) ());
+  line ();
+  Experiments.print_fairness fmt
+    (Experiments.table_fairness ~requests:(requests / 2) ());
+  line ();
+  Experiments.print_topology fmt
+    (Experiments.table_topology ~requests:(requests / 2) ());
+  line ();
+  Experiments.print_sweep ~xlabel:"lambda" fmt
+    ~title:
+      "table:delay-model — gated-M/D/1 interpolation vs simulation        (beyond-paper extension)"
+    (Experiments.table_delay_model ~requests:(requests / 2) ~runs ());
+  line ();
+  Experiments.print_message_mix fmt
+    (Experiments.table_message_mix ~requests:(requests / 2) ());
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the kernels behind each experiment.      *)
+
+open Bechamel
+open Toolkit
+module RB = Dmutex.Sim_runner.Make (Dmutex.Basic)
+module RM = Dmutex.Sim_runner.Make (Dmutex.Monitored)
+module RRA = Dmutex.Sim_runner.Make (Baselines.Ricart_agrawala)
+
+let micro_tests =
+  let cfg10 = Dmutex.Basic.config ~n:10 () in
+  [
+    (* fig3/4/5 kernel: one saturated epoch (10 CSs) of the basic
+       algorithm in the simulator. *)
+    Test.make ~name:"fig3-5:sim-epoch-basic"
+      (Staged.stage (fun () ->
+           ignore (RB.run_saturated ~seed:1 ~requests:10 cfg10)));
+    (* fig6 kernel: the comparison's heaviest comparator. *)
+    Test.make ~name:"fig6:sim-epoch-ricart"
+      (Staged.stage (fun () ->
+           ignore
+             (RRA.run_saturated ~seed:1 ~requests:10
+                (Dmutex.Types.Config.default ~n:10))));
+    (* table:monitor kernel: one monitored epoch. *)
+    Test.make ~name:"table-monitor:sim-epoch-monitored"
+      (Staged.stage (fun () ->
+           ignore
+             (RM.run_saturated ~seed:1 ~requests:10
+                (Dmutex.Monitored.config ~n:10 ()))));
+    (* Protocol step: a request landing at a collecting arbiter. *)
+    (let st = Dmutex.Protocol.init cfg10 0 in
+     let req =
+       Dmutex.Protocol.Request (Dmutex.Qlist.entry ~node:3 ~seq:0 ())
+     in
+     Test.make ~name:"kernel:protocol-handle"
+       (Staged.stage (fun () ->
+            ignore
+              (Dmutex.Protocol.handle cfg10 ~now:0.0 st
+                 (Dmutex.Types.Receive (3, req))))));
+    (* Wire codec: the token message that dominates traffic. *)
+    (let tok =
+       Dmutex.Protocol.Privilege
+         {
+           Dmutex.Protocol.tq =
+             List.init 10 (fun i -> Dmutex.Qlist.entry ~node:i ~seq:4 ());
+           granted = Array.make 10 3;
+           epoch = 1;
+           election = 99;
+         }
+     in
+     let enc = Wire.Protocol_codec.encode tok in
+     Test.make ~name:"kernel:codec-roundtrip"
+       (Staged.stage (fun () -> ignore (Wire.Protocol_codec.decode enc))));
+    (* Engine: schedule + fire one event. *)
+    (let e = Simkit.Engine.create () in
+     Test.make ~name:"kernel:engine-event"
+       (Staged.stage (fun () ->
+            ignore (Simkit.Engine.schedule e ~delay:0.0 (fun _ -> ()));
+            ignore (Simkit.Engine.step e))));
+  ]
+
+let run_micro () =
+  Format.fprintf fmt "== micro-benchmarks (Bechamel, monotonic clock) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.fprintf fmt "%-36s %12.1f ns/run@." name est
+          | _ -> Format.fprintf fmt "%-36s (no estimate)@." name)
+        results)
+    micro_tests;
+  line ()
+
+let () =
+  Format.fprintf fmt
+    "dmutex bench — requests/point=%d runs=%d rates=%d%s@.@." requests runs
+    (List.length rates)
+    (if quick then " (QUICK mode)" else "");
+  figures ();
+  tables ();
+  run_micro ();
+  Format.fprintf fmt "done.@."

@@ -1,0 +1,1 @@
+bin/dmutex_sim.ml: Arg Baselines Cmd Cmdliner Dmutex Experiments Filename Format Mcheck Printf Simkit String Term

@@ -1,0 +1,1 @@
+bin/dmutex_sim.mli:

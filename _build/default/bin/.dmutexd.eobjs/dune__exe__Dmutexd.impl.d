@@ -1,0 +1,1 @@
+bin/dmutexd.ml: Arg Array Cmd Cmdliner Dmutex Logs Netkit Printf Random String Term Thread Wire

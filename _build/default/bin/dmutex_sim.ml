@@ -1,0 +1,440 @@
+(* Command-line driver for every experiment in the reproduction: the
+   paper's figures (3-6), the analytic tables (Eqs. 1-6), the variant
+   studies, the model checker, and free-form simulation runs. *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+(* Common options *)
+
+let n_arg =
+  Arg.(value & opt int 10 & info [ "n"; "nodes" ] ~doc:"Number of nodes.")
+
+let requests_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "r"; "requests" ]
+        ~doc:"Critical-section executions per simulation point.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "runs" ] ~doc:"Independent replications per point (for CIs).")
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) Experiments.default_rates
+    & info [ "rates" ] ~doc:"Per-node Poisson arrival rates to sweep.")
+
+(* Figures *)
+
+let csv_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv-dir" ]
+        ~doc:"Also write each table as a CSV file into this directory.")
+
+let maybe_csv csv_dir name csv =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Experiments.Csv.write ~dir ~name csv in
+      Format.fprintf fmt "(csv written to %s)@." path
+
+let fig345_cmd =
+  let run n requests runs rates csv_dir =
+    let f3, f4, f5 = Experiments.fig345 ~n ~requests ~runs ~rates () in
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:"Figure 3: average messages per CS" f3;
+    maybe_csv csv_dir "fig3_messages" (Experiments.Csv.of_sweep f3);
+    Format.fprintf fmt "@.";
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:"Figure 4: average delay per CS (s)" f4;
+    maybe_csv csv_dir "fig4_delay" (Experiments.Csv.of_sweep f4);
+    Format.fprintf fmt "@.";
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:"Figure 5: fraction of forwarded messages" f5;
+    maybe_csv csv_dir "fig5_forwarded" (Experiments.Csv.of_sweep f5);
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Regenerate Figures 3, 4 and 5 (basic algorithm, collection \
+          phase 0.1 vs 0.2) from one sweep.")
+    Term.(
+      const run $ n_arg $ requests_arg 50_000 $ runs_arg $ rates_arg
+      $ csv_dir_arg)
+
+let fig6_cmd =
+  let run n requests runs rates csv_dir =
+    let rows = Experiments.fig6_comparison ~n ~requests ~runs ~rates () in
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:
+        "Figure 6: messages per CS, this paper vs Ricart-Agrawala vs \
+         Singhal"
+      rows;
+    maybe_csv csv_dir "fig6_comparison" (Experiments.Csv.of_sweep rows);
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (comparison).")
+    Term.(
+      const run $ n_arg $ requests_arg 50_000 $ runs_arg $ rates_arg
+      $ csv_dir_arg)
+
+(* Analytic tables *)
+
+let tables_cmd =
+  let run requests runs =
+    Experiments.print_bounds fmt
+      ~title:"Eq. 1: light-load messages per CS = (N^2-1)/N"
+      (Experiments.table_light_load ~requests ~runs ());
+    Format.fprintf fmt "@.";
+    Experiments.print_bounds fmt
+      ~title:"Eq. 4: heavy-load messages per CS = 3 - 2/N"
+      (Experiments.table_heavy_load ~requests ~runs ());
+    Format.fprintf fmt "@.";
+    let light, heavy = Experiments.table_service_time ~requests ~runs () in
+    Experiments.print_bounds fmt
+      ~title:"Eq. 3: light-load service time" light;
+    Format.fprintf fmt "@.";
+    Experiments.print_bounds fmt
+      ~title:"Eq. 6: heavy-load service time (shape only; see EXPERIMENTS.md)"
+      heavy;
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Analytic bounds (Eqs. 1-6) vs measured values, across N.")
+    Term.(const run $ requests_arg 30_000 $ runs_arg)
+
+let monitor_cmd =
+  let run n requests runs =
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:
+        "Section 4: starvation-free variant message overhead (paper: ~+1 \
+         at low load, ~+0 at high load)"
+      (Experiments.table_monitor_overhead ~n ~requests ~runs ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Monitored (starvation-free) variant overhead.")
+    Term.(const run $ n_arg $ requests_arg 30_000 $ runs_arg)
+
+let recovery_cmd =
+  let run n =
+    Experiments.print_recovery fmt (Experiments.table_recovery ~n ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc:"Section 6 fault-injection drills.")
+    Term.(const run $ n_arg)
+
+let algorithms_cmd =
+  let run n requests runs =
+    Experiments.print_algorithms fmt
+      (Experiments.table_all_algorithms ~n ~requests ~runs ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "algorithms"
+       ~doc:"Messages per CS for all seven implemented algorithms.")
+    Term.(const run $ n_arg $ requests_arg 30_000 $ runs_arg)
+
+let balance_cmd =
+  let run n requests =
+    Experiments.print_balance fmt
+      (Experiments.table_load_balance ~n ~requests ());
+    Format.fprintf fmt "@.";
+    Experiments.print_fairness fmt
+      (Experiments.table_fairness ~requests:(requests / 2) ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:"Section 5.1: load-balance and strict-fairness studies.")
+    Term.(const run $ n_arg $ requests_arg 30_000)
+
+let topology_cmd =
+  let run n requests =
+    Experiments.print_topology fmt
+      (Experiments.table_topology ~n ~requests ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:
+         "Topology sensitivity: message counts are invariant, delay           scales with hop distance (Section 2.1's 'no assumptions').")
+    Term.(const run $ n_arg $ requests_arg 20_000)
+
+let ablation_cmd =
+  let run n requests runs =
+    Experiments.print_sweep ~xlabel:"Tcoll" fmt
+      ~title:"Ablation: collection-phase length at lambda=0.2"
+      (Experiments.table_collection_tuning ~n ~requests ~runs ());
+    Format.fprintf fmt "@.";
+    Experiments.print_sweep ~xlabel:"lambda" fmt
+      ~title:"Ablation: Section 3.1 NEW-ARBITER suppression"
+      (Experiments.table_skip_broadcast ~n ~requests ~runs ());
+    Format.fprintf fmt "@.";
+    Experiments.print_sweep ~xlabel:"Tfwd" fmt
+      ~title:"Ablation: forwarding-phase length at lambda=0.2"
+      (Experiments.table_forwarding_tuning ~n ~requests ~runs ());
+    Format.fprintf fmt "@."
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablations from DESIGN.md.")
+    Term.(const run $ n_arg $ requests_arg 30_000 $ runs_arg)
+
+let all_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "results"
+      & info [ "out" ] ~doc:"Directory for CSV files and gnuplot scripts.")
+  in
+  let run n requests runs rates dir =
+    let save name csv = ignore (Experiments.Csv.write ~dir ~name csv) in
+    Format.fprintf fmt "running all experiments into %s/ ...@." dir;
+    let f3, f4, f5 = Experiments.fig345 ~n ~requests ~runs ~rates () in
+    save "fig3_messages" (Experiments.Csv.of_sweep f3);
+    save "fig4_delay" (Experiments.Csv.of_sweep f4);
+    save "fig5_forwarded" (Experiments.Csv.of_sweep f5);
+    save "fig6_comparison"
+      (Experiments.Csv.of_sweep
+         (Experiments.fig6_comparison ~n ~requests ~runs ~rates ()));
+    save "table_light_load"
+      (Experiments.Csv.of_bounds
+         (Experiments.table_light_load ~requests:(requests / 2) ~runs ()));
+    save "table_heavy_load"
+      (Experiments.Csv.of_bounds
+         (Experiments.table_heavy_load ~requests ~runs ()));
+    let light, heavy =
+      Experiments.table_service_time ~requests:(requests / 2) ~runs ()
+    in
+    save "table_service_time_light" (Experiments.Csv.of_bounds light);
+    save "table_service_time_heavy" (Experiments.Csv.of_bounds heavy);
+    save "table_monitor"
+      (Experiments.Csv.of_sweep
+         (Experiments.table_monitor_overhead ~n ~requests:(requests / 2)
+            ~runs ()));
+    save "table_recovery"
+      (Experiments.Csv.of_recovery (Experiments.table_recovery ~n ()));
+    save "table_all_algorithms"
+      (Experiments.Csv.of_algorithms
+         (Experiments.table_all_algorithms ~n ~requests:(requests / 2) ~runs ()));
+    save "table_load_balance"
+      (Experiments.Csv.of_balance
+         (Experiments.table_load_balance ~n ~requests:(requests / 2) ()));
+    save "table_topology"
+      (Experiments.Csv.of_topology
+         (Experiments.table_topology ~n ~requests:(requests / 2) ()));
+    save "table_delay_model"
+      (Experiments.Csv.of_sweep
+         (Experiments.table_delay_model ~n ~requests:(requests / 2) ~runs ()));
+    (* A minimal gnuplot script for the figures. *)
+    let gp =
+      String.concat "\n"
+        [
+          "set datafile separator ','";
+          "set key autotitle columnhead; set key left top";
+          "set logscale x; set xlabel 'per-node arrival rate'";
+          "set terminal pngcairo size 900,600";
+          "set output 'fig3_messages.png'";
+          "set ylabel 'messages per CS'";
+          "plot 'fig3_messages.csv' using 1:2 with linespoints, \\";
+          "     '' using 1:4 with linespoints";
+          "set output 'fig6_comparison.png'";
+          "plot 'fig6_comparison.csv' using 1:2 with linespoints, \\";
+          "     '' using 1:4 with linespoints, '' using 1:6 with linespoints";
+          "set output 'fig5_forwarded.png'";
+          "set ylabel 'forwarded fraction'";
+          "plot 'fig5_forwarded.csv' using 1:2 with linespoints, \\";
+          "     '' using 1:4 with linespoints";
+          "";
+        ]
+    in
+    let oc = open_out (Filename.concat dir "plots.gp") in
+    output_string oc gp;
+    close_out oc;
+    Format.fprintf fmt "done: CSVs + plots.gp written to %s/@." dir
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:
+         "Run every experiment and write machine-readable CSVs plus a \
+          gnuplot script.")
+    Term.(const run $ n_arg $ requests_arg 50_000 $ runs_arg $ rates_arg
+          $ dir_arg)
+
+(* Model checking *)
+
+let check_cmd =
+  let variant_arg =
+    Arg.(
+      value & opt string "basic"
+      & info [ "variant" ]
+          ~doc:"Algorithm to check: basic | monitored | suzuki-kasami | \
+                raymond | ricart-agrawala | lamport | singhal | maekawa | \
+                tree-quorum | central.")
+  in
+  let r_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "requests-per-node" ] ~doc:"CS requests injectable per node.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ] ~doc:"State exploration budget.")
+  in
+  let fifo_arg =
+    Arg.(
+      value & flag
+      & info [ "fifo" ]
+          ~doc:"Restrict channels to in-order delivery (e.g. Lamport's \
+                assumption).")
+  in
+  let random_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "random" ]
+          ~doc:"Monte-Carlo mode: this many random walks instead of \
+                exhaustive BFS.")
+  in
+  let run variant n r max_states fifo random =
+    let check (type s m tm)
+        (module A : Dmutex.Types.ALGO
+          with type state = s and type message = m and type timer = tm) cfg =
+      let module M = Mcheck.Make (A) in
+      match random with
+      | Some walks ->
+          Format.asprintf "%a" M.pp_result
+            (M.run_random ~walks ~fifo ~requests_per_node:r cfg)
+      | None ->
+          Format.asprintf "%a" M.pp_result
+            (M.run ~max_states ~fifo ~requests_per_node:r cfg)
+    in
+    let basic_cfg () =
+      let base = Dmutex.Basic.config ~n () in
+      { base with Dmutex.Types.Config.max_retries = 0 }
+    in
+    let default = Dmutex.Types.Config.default ~n in
+    let result =
+      match variant with
+      | "basic" -> check (module Dmutex.Basic) (basic_cfg ())
+      | "monitored" ->
+          check
+            (module Dmutex.Monitored)
+            { (Dmutex.Monitored.config ~n ()) with
+              Dmutex.Types.Config.max_retries = 2 }
+      | "suzuki-kasami" -> check (module Baselines.Suzuki_kasami) default
+      | "raymond" -> check (module Baselines.Raymond) default
+      | "ricart-agrawala" -> check (module Baselines.Ricart_agrawala) default
+      | "lamport" -> check (module Baselines.Lamport) default
+      | "singhal" -> check (module Baselines.Singhal) default
+      | "maekawa" -> check (module Baselines.Maekawa) default
+      | "tree-quorum" -> check (module Baselines.Tree_quorum) default
+      | "central" -> check (module Baselines.Central_server) default
+      | other -> Printf.sprintf "unknown variant %S" other
+    in
+    Format.fprintf fmt "%s@." result
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check mutual exclusion and deadlock freedom on a small \
+          configuration (exhaustive BFS, FIFO-restricted, or Monte-Carlo).")
+    Term.(
+      const run $ variant_arg
+      $ Arg.(value & opt int 2 & info [ "n"; "nodes" ] ~doc:"Nodes.")
+      $ r_arg $ max_states_arg $ fifo_arg $ random_arg)
+
+(* Free-form run *)
+
+let run_cmd =
+  let rate_arg =
+    Arg.(value & opt float 0.2 & info [ "rate" ] ~doc:"Per-node rate.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the event trace.")
+  in
+  let run n requests rate seed trace_on =
+    let module R = Dmutex.Sim_runner.Make (Dmutex.Basic) in
+    let cfg = Dmutex.Basic.config ~n () in
+    let trace = Simkit.Trace.create ~capacity:100_000 () in
+    Simkit.Trace.set_enabled trace trace_on;
+    let o = R.run_poisson ~seed ~requests ~rate ~trace cfg in
+    if trace_on then begin
+      Format.fprintf fmt "%a@." Simkit.Trace.pp trace;
+      Format.fprintf fmt "@.%a@." Simkit.Timeline.pp
+        (Simkit.Timeline.create ~n trace)
+    end;
+    Format.fprintf fmt "%a@." Dmutex.Sim_runner.pp_outcome o
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"One simulation of the basic algorithm.")
+    Term.(
+      const run $ n_arg $ requests_arg 10_000 $ rate_arg $ seed_arg
+      $ trace_arg)
+
+let example_cmd =
+  (* The paper's Figure 2 walk-through: 5 nodes, requests from 2, 4, 5
+     (our 1, 3, 4), printed as an event trace. *)
+  let run () =
+    let module R = Dmutex.Sim_runner.Make (Dmutex.Basic) in
+    let cfg =
+      { (Dmutex.Basic.config ~t_collect:1.0 ~n:5 ()) with
+        Dmutex.Types.Config.t_msg = 1.0;
+        t_exec = 1.0;
+        t_forward = 1.0 }
+    in
+    let trace = Simkit.Trace.create () in
+    Simkit.Trace.set_enabled trace true;
+    let t = R.create ~seed:1 ~trace cfg in
+    R.request t 1;
+    R.request t 4;
+    ignore
+      (Simkit.Engine.schedule (R.engine t) ~delay:1.5 (fun _ -> R.request t 3));
+    ignore
+      (Simkit.Engine.schedule (R.engine t) ~delay:4.0 (fun _ -> R.request t 2));
+    R.step_until t 20.0;
+    Format.fprintf fmt
+      "Figure 2 walk-through (nodes renumbered 0-4; unit delays):@.%a@."
+      Simkit.Trace.pp trace;
+    Format.fprintf fmt "@.%a@."
+      Simkit.Timeline.pp
+      (Simkit.Timeline.create ~n:5 trace)
+  in
+  Cmd.v
+    (Cmd.info "example"
+       ~doc:"Replay the paper's Section 2.2 illustrative example.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "dmutex_sim" ~version:"1.0.0"
+       ~doc:
+         "Reproduction driver for 'A New Token Passing Distributed Mutual \
+          Exclusion Algorithm' (ICDCS 1996).")
+    [
+      fig345_cmd;
+      fig6_cmd;
+      tables_cmd;
+      monitor_cmd;
+      recovery_cmd;
+      algorithms_cmd;
+      all_cmd;
+      balance_cmd;
+      topology_cmd;
+      ablation_cmd;
+      check_cmd;
+      run_cmd;
+      example_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,94 @@
+(* One real protocol node over TCP. Start N of these (one per peer in
+   the shared peer list) and they form a distributed-mutex cluster
+   running the paper's algorithm; --demo makes the node repeatedly
+   acquire the lock and print while holding it.
+
+   Example (three shells):
+     dmutexd --id 0 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
+     dmutexd --id 1 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
+     dmutexd --id 2 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo *)
+
+open Cmdliner
+module Node = Netkit.Node_runner.Make (Dmutex.Resilient) (Wire.Protocol_codec)
+
+let parse_endpoint s =
+  match String.split_on_char ':' s with
+  | [ host; port ] -> (
+      match int_of_string_opt port with
+      | Some port -> Ok { Netkit.Transport.host; port }
+      | None -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+  | _ -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s))
+
+let endpoint_conv =
+  Arg.conv
+    ( parse_endpoint,
+      fun ppf e -> Netkit.Transport.pp_endpoint ppf e )
+
+let id_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "id" ] ~doc:"This node's index into the peer list.")
+
+let peers_arg =
+  Arg.(
+    required
+    & opt (some (list endpoint_conv)) None
+    & info [ "peers" ] ~doc:"Comma-separated HOST:PORT list, one per node.")
+
+let demo_arg =
+  Arg.(
+    value & flag
+    & info [ "demo" ]
+        ~doc:"Repeatedly acquire the lock, print, hold 200 ms, release.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+
+let run id peers demo verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+  let peers = Array.of_list peers in
+  let n = Array.length peers in
+  if id < 0 || id >= n then (
+    prerr_endline "--id out of range of --peers";
+    exit 1);
+  let cfg =
+    { (Dmutex.Resilient.config ~n ()) with
+      Dmutex.Types.Config.t_collect = 0.05;
+      t_forward = 0.05 }
+  in
+  let node = Node.create cfg ~me:id ~peers () in
+  Printf.printf "node %d/%d listening on %s:%d\n%!" id n peers.(id).host
+    peers.(id).port;
+  if demo then
+    let rec loop k =
+      (match
+         Node.with_lock ~timeout:30.0 node (fun () ->
+             Printf.printf "node %d holds the lock (round %d)\n%!" id k;
+             Thread.delay 0.2)
+       with
+      | Some () -> ()
+      | None -> Printf.printf "node %d: lock timed out\n%!" id);
+      Thread.delay (0.1 +. Random.float 0.5);
+      loop (k + 1)
+    in
+    loop 1
+  else
+    (* Serve forever; the node participates in the protocol (forwards
+       requests, relays the token) without requesting the CS. *)
+    let rec idle () =
+      Thread.delay 3600.0;
+      idle ()
+    in
+    idle ()
+
+let main =
+  Cmd.v
+    (Cmd.info "dmutexd" ~version:"1.0.0"
+       ~doc:
+         "A node of the ICDCS'96 token-passing distributed mutual \
+          exclusion protocol over TCP.")
+    Term.(const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg)
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,68 @@
+(* Section 5.2: prioritized access. Two "lanes" of nodes share the
+   lock: interactive (high priority) and batch (low priority). The
+   arbiter orders each dispatched Q-list by static priority, so
+   interactive requests overtake batch ones that arrived earlier in
+   the same collection window — but only incrementally (never inside
+   an already-dispatched Q-list), exactly as the paper describes.
+
+     dune exec examples/priority_lanes.exe *)
+
+module Runner = Dmutex.Sim_runner.Make (Dmutex.Prioritized)
+
+let () =
+  let n = 8 in
+  (* Nodes 0-3: batch (priority 0). Nodes 4-7: interactive
+     (priority 10). *)
+  let priorities = Array.init n (fun i -> if i >= 4 then 10 else 0) in
+  let cfg = Dmutex.Prioritized.config ~priorities ~n () in
+  let t = Runner.create ~seed:5 cfg in
+  let engine = Runner.engine t in
+  let rng = Simkit.Rng.create 11 in
+  let delays = Array.init n (fun _ -> Simkit.Stats.Tally.create ()) in
+  let outstanding : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let node_rng = Simkit.Rng.split rng in
+    ignore
+      (Simkit.Workload.poisson engine ~rng:node_rng ~rate:0.8
+         ~on_arrival:(fun _ ->
+           if not (Hashtbl.mem outstanding i) then begin
+             Hashtbl.replace outstanding i (Simkit.Engine.now engine);
+             Runner.request t i
+           end))
+  done;
+  (* Sample completion latencies by watching CS entry. *)
+  let rec sample () =
+    ignore
+      (Simkit.Engine.schedule engine ~delay:0.01 (fun _ ->
+           for i = 0 to n - 1 do
+             if (Runner.state t i).Dmutex.Protocol.in_cs then
+               match Hashtbl.find_opt outstanding i with
+               | Some t0 ->
+                   Simkit.Stats.Tally.add delays.(i)
+                     (Simkit.Engine.now engine -. t0);
+                   Hashtbl.remove outstanding i
+               | None -> ()
+           done;
+           sample ()))
+  in
+  sample ();
+  Runner.step_until t 300.0;
+
+  let lane name lo hi =
+    let merged =
+      let rec go acc i =
+        if i > hi then acc
+        else go (Simkit.Stats.Tally.merge acc delays.(i)) (i + 1)
+      in
+      go (Simkit.Stats.Tally.create ()) lo
+    in
+    Format.printf "%-12s mean wait %.3f s over %d grants@." name
+      (Simkit.Stats.Tally.mean merged)
+      (Simkit.Stats.Tally.count merged)
+  in
+  lane "interactive" 4 7;
+  lane "batch" 0 3;
+  Format.printf
+    "@.Interactive requests wait less despite identical arrival rates:@.";
+  Format.printf
+    "the arbiter sorts each collection window by priority (Section 5.2).@."

@@ -1,0 +1,1 @@
+lib/baselines/central_server.ml: Config Dmutex Format

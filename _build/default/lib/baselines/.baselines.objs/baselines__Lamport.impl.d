@@ -1,0 +1,1 @@
+lib/baselines/lamport.ml: Array Config Dmutex Format Fun List Printf String

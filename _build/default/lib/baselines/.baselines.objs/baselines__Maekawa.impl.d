@@ -1,0 +1,1 @@
+lib/baselines/maekawa.ml: Array Config Dmutex Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/raymond.ml: Config Dmutex Format List

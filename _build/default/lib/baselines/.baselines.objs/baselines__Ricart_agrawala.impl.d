@@ -1,0 +1,1 @@
+lib/baselines/ricart_agrawala.ml: Config Dmutex Format List

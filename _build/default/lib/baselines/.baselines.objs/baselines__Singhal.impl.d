@@ -1,0 +1,1 @@
+lib/baselines/singhal.ml: Array Config Dmutex Format List

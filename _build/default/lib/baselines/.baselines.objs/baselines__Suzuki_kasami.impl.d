@@ -1,0 +1,1 @@
+lib/baselines/suzuki_kasami.ml: Array Config Dmutex Format List

@@ -1,0 +1,1 @@
+lib/baselines/tree_quorum.ml: Array Config Dmutex List Maekawa Option

@@ -1,0 +1,98 @@
+(** Centralized coordinator baseline: a fixed server node grants the
+    critical section FCFS. Three messages per CS (REQUEST, GRANT,
+    RELEASE) for every requester other than the server itself — the
+    floor the paper's Section 3.2 result (3 - 2/N) approaches from
+    above, at the cost of a fixed central point of failure and load. *)
+
+open Dmutex.Types
+
+type message = Request | Grant | Release
+type timer = |
+
+type state = {
+  me : node_id;
+  server : node_id;
+  (* server-side *)
+  queue : node_id list;  (* waiting requesters, FCFS *)
+  busy : bool;  (* someone holds the grant *)
+  (* client-side *)
+  waiting : bool;
+  in_cs : bool;
+  pending : int;
+}
+
+let name = "central-server"
+
+let init cfg me =
+  {
+    me;
+    server = cfg.Config.initial_arbiter;
+    queue = [];
+    busy = false;
+    waiting = false;
+    in_cs = false;
+    pending = 0;
+  }
+
+(* A restarted client rejoins cleanly; a restarted *server* loses its
+   queue — waiting clients must re-request (the algorithm has no
+   recovery protocol; this baseline mirrors its real limitation). *)
+let rejoin = init
+
+let in_cs st = st.in_cs
+let wants_cs st = st.waiting || st.pending > 0
+
+(* Server-side admission of requester [j]. *)
+let admit st j =
+  if st.busy then ({ st with queue = st.queue @ [ j ] }, [])
+  else if j = st.me then
+    ({ st with busy = true; in_cs = true; waiting = false }, [ Enter_cs ])
+  else ({ st with busy = true }, [ Send (j, Grant) ])
+
+let release st =
+  match st.queue with
+  | [] -> ({ st with busy = false }, [])
+  | j :: rest when j = st.me ->
+      ({ st with queue = rest; in_cs = true; waiting = false }, [ Enter_cs ])
+  | j :: rest -> ({ st with queue = rest }, [ Send (j, Grant) ])
+
+let rec handle cfg ~now st input =
+  match input with
+  | Request_cs ->
+      if st.waiting || st.in_cs then ({ st with pending = st.pending + 1 }, [])
+      else
+        let st = { st with waiting = true } in
+        if st.me = st.server then admit st st.me
+        else (st, [ Send (st.server, Request) ])
+  | Cs_done ->
+      let st = { st with in_cs = false } in
+      let st, effs =
+        if st.me = st.server then release st
+        else (st, [ Send (st.server, Release) ])
+      in
+      if st.pending > 0 then
+        let st, effs' =
+          handle cfg ~now { st with pending = st.pending - 1 } Request_cs
+        in
+        (st, effs @ effs')
+      else (st, effs)
+  | Receive (j, Request) -> admit st j
+  | Receive (_, Grant) ->
+      ({ st with in_cs = true; waiting = false }, [ Enter_cs ])
+  | Receive (_, Release) -> release st
+  | Timer_fired _ -> (st, [])
+
+let message_kind = function
+  | Request -> "REQUEST"
+  | Grant -> "GRANT"
+  | Release -> "RELEASE"
+
+let pp_message ppf m = Format.pp_print_string ppf (message_kind m)
+
+let pp_state ppf st =
+  Format.fprintf ppf "node %d: busy=%b queue=[%a]%s" st.me st.busy
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    st.queue
+    (if st.in_cs then " IN-CS" else "")

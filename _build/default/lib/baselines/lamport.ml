@@ -1,0 +1,145 @@
+(** Lamport's classic timestamp mutual exclusion algorithm (from the
+    papers cited as [4, 5] in the ICDCS'96 reference list, in its
+    standard message-passing formulation). Every node maintains a
+    local request queue ordered by (timestamp, id); a requester
+    broadcasts REQUEST, enters the CS once (a) its own request heads
+    its queue and (b) it has heard a later-timestamped message from
+    every other node (an ACK suffices), and broadcasts RELEASE on
+    exit: 3(N-1) messages per CS.
+
+    Correctness relies on FIFO channels between each pair of nodes —
+    true of both our simulated network (deterministic per-pair latency)
+    and TCP. *)
+
+open Dmutex.Types
+
+type message =
+  | Request of { ts : int; j : node_id }
+  | Ack of { ts : int }
+  | Release of { ts : int; j : node_id }
+
+type timer = |
+
+type state = {
+  me : node_id;
+  n : int;
+  clock : int;
+  queue : (int * node_id) list;  (* pending requests, sorted *)
+  last_heard : int array;  (* highest timestamp heard per node *)
+  requesting : bool;
+  in_cs : bool;
+  pending : int;
+}
+
+let name = "lamport"
+
+let init cfg me =
+  let n = cfg.Config.n in
+  {
+    me;
+    n;
+    clock = 0;
+    queue = [];
+    last_heard = Array.make n 0;
+    requesting = false;
+    in_cs = false;
+    pending = 0;
+  }
+
+let rejoin = init
+let in_cs st = st.in_cs
+let wants_cs st = st.requesting || st.pending > 0
+
+let beats (ts, j) (ts', j') = ts < ts' || (ts = ts' && j < j')
+let insert entry queue = List.sort compare (entry :: queue)
+let remove j queue = List.filter (fun (_, j') -> j' <> j) queue
+
+let set arr i v =
+  let a = Array.copy arr in
+  a.(i) <- v;
+  a
+
+(* CS entry condition: our request heads the queue and every other
+   node has spoken since our request's timestamp. *)
+let try_enter st =
+  if
+    st.requesting && (not st.in_cs)
+    &&
+    match st.queue with
+    | (ts, j) :: _ ->
+        j = st.me
+        && List.for_all
+             (fun k -> k = st.me || st.last_heard.(k) > ts)
+             (List.init st.n Fun.id)
+    | [] -> false
+  then ({ st with in_cs = true }, [ Enter_cs ])
+  else (st, [])
+
+let rec handle cfg ~now st input =
+  match input with
+  | Request_cs ->
+      if st.requesting || st.in_cs then
+        ({ st with pending = st.pending + 1 }, [])
+      else begin
+        let ts = st.clock + 1 in
+        let st =
+          { st with clock = ts; requesting = true;
+            queue = insert (ts, st.me) st.queue }
+        in
+        if st.n = 1 then ({ st with in_cs = true }, [ Enter_cs ])
+        else (st, [ Broadcast (Request { ts; j = st.me }) ])
+      end
+  | Receive (src, Request { ts; j }) ->
+      let clock = max st.clock ts + 1 in
+      let st =
+        { st with clock; queue = insert (ts, j) st.queue;
+          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
+      in
+      (* The ACK's timestamp must exceed the request's. *)
+      let st, effs = try_enter st in
+      (st, Send (src, Ack { ts = clock }) :: effs)
+  | Receive (src, Ack { ts }) ->
+      let st =
+        { st with clock = max st.clock ts;
+          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
+      in
+      try_enter st
+  | Receive (src, Release { ts; j }) ->
+      let st =
+        { st with clock = max st.clock ts; queue = remove j st.queue;
+          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
+      in
+      try_enter st
+  | Cs_done ->
+      let ts = st.clock + 1 in
+      let st =
+        { st with clock = ts; in_cs = false; requesting = false;
+          queue = remove st.me st.queue }
+      in
+      let effs =
+        if st.n = 1 then [] else [ Broadcast (Release { ts; j = st.me }) ]
+      in
+      if st.pending > 0 then
+        let st, effs' =
+          handle cfg ~now { st with pending = st.pending - 1 } Request_cs
+        in
+        (st, effs @ effs')
+      else (st, effs)
+  | Timer_fired _ -> (st, [])
+
+let message_kind = function
+  | Request _ -> "REQUEST"
+  | Ack _ -> "ACK"
+  | Release _ -> "RELEASE"
+
+let pp_message ppf = function
+  | Request { ts; j } -> Format.fprintf ppf "REQUEST(%d,%d)" ts j
+  | Ack { ts } -> Format.fprintf ppf "ACK(%d)" ts
+  | Release { ts; j } -> Format.fprintf ppf "RELEASE(%d,%d)" ts j
+
+let pp_state ppf st =
+  Format.fprintf ppf "node %d: clock=%d queue=[%s]%s%s" st.me st.clock
+    (String.concat ";"
+       (List.map (fun (ts, j) -> Printf.sprintf "(%d,%d)" ts j) st.queue))
+    (if st.requesting then " requesting" else "")
+    (if st.in_cs then " IN-CS" else "")

@@ -1,0 +1,240 @@
+(** Maekawa's √N quorum algorithm (TOCS 1985), reference [6] of the
+    paper. Nodes are arranged in a ⌈√N⌉ grid; a node's quorum is its
+    row plus its column, so any two quorums intersect and the common
+    voter serializes the two candidates. Includes the full
+    INQUIRE / RELINQUISH / FAILED deadlock-avoidance machinery. The
+    paper cites Maekawa for its load-balance comparison: the quorum
+    work is spread evenly only when request rates are uniform. *)
+
+open Dmutex.Types
+
+(* Every vote-protocol message carries the timestamp of the candidacy
+   it concerns: a candidate may release and request again while LOCKED,
+   FAILED, INQUIRE or RELINQUISH messages for its previous candidacy
+   are still in flight, and an untagged stale message would be counted
+   against the wrong candidacy (a phantom vote breaks mutual
+   exclusion). *)
+type message =
+  | Request of { ts : int; j : node_id }
+  | Locked of { ts : int }
+  | Failed of { ts : int }
+  | Inquire of { ts : int }
+  | Relinquish of { ts : int }
+  | Release of { ts : int }
+
+type timer = |
+
+type state = {
+  me : node_id;
+  quorum : node_id list;  (* includes [me] *)
+  clock : int;
+  (* candidate side *)
+  my_ts : int option;
+  grants : node_id list;
+  got_failed : bool;
+  pending_inquires : node_id list;
+  in_cs : bool;
+  pending : int;
+  (* voter side *)
+  vote : (int * node_id) option;  (* (ts, candidate) currently granted *)
+  vq : (int * node_id) list;  (* waiting requests, kept sorted *)
+  inquired : bool;  (* an INQUIRE for the current vote is outstanding *)
+}
+
+let name = "maekawa"
+
+(* Grid quorums: row ∪ column in a ⌈√N⌉ × ⌈√N⌉ layout. With a ragged
+   last row some pairs can fail to intersect; in that case node 0 is
+   added to every quorum, which restores the intersection property at
+   a small cost in load balance. *)
+let quorums n =
+  let k = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let quorum i =
+    let r = i / k and c = i mod k in
+    let row = List.init k (fun x -> (r * k) + x) in
+    let col = List.init k (fun y -> (y * k) + c) in
+    List.sort_uniq compare (List.filter (fun j -> j < n) (row @ col))
+  in
+  let qs = Array.init n quorum in
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  let all_ok = ref true in
+  Array.iter
+    (fun qi ->
+      Array.iter (fun qj -> if not (intersects qi qj) then all_ok := false) qs)
+    qs;
+  if !all_ok then qs
+  else Array.map (fun q -> List.sort_uniq compare (0 :: q)) qs
+
+let init cfg me =
+  {
+    me;
+    quorum = (quorums cfg.Config.n).(me);
+    clock = 0;
+    my_ts = None;
+    grants = [];
+    got_failed = false;
+    pending_inquires = [];
+    in_cs = false;
+    pending = 0;
+    vote = None;
+    vq = [];
+    inquired = false;
+  }
+
+let rejoin = init
+
+let in_cs st = st.in_cs
+let wants_cs st = st.my_ts <> None || st.pending > 0
+
+let beats (ts, j) (ts', j') = ts < ts' || (ts = ts' && j < j')
+let insert_sorted x l = List.sort compare (x :: l)
+
+(* Candidate: record one more vote; enter the CS on a full quorum. *)
+let add_grant st v =
+  let grants =
+    if List.mem v st.grants then st.grants else v :: st.grants
+  in
+  let st = { st with grants } in
+  if
+    st.my_ts <> None && (not st.in_cs)
+    && List.length grants = List.length st.quorum
+  then ({ st with in_cs = true; pending_inquires = [] }, [ Enter_cs ])
+  else (st, [])
+
+(* Voter: grant the vote to the best waiting request, if any. *)
+let grant_next st =
+  match st.vq with
+  | [] -> ({ st with vote = None; inquired = false }, [])
+  | ((ts, cand) as best) :: rest ->
+      ( { st with vote = Some best; vq = rest; inquired = false },
+        [ Send (cand, Locked { ts }) ] )
+
+let rec handle cfg ~now st input =
+  match input with
+  | Request_cs ->
+      if st.my_ts <> None || st.in_cs then
+        ({ st with pending = st.pending + 1 }, [])
+      else begin
+        let ts = st.clock + 1 in
+        let st =
+          { st with clock = ts; my_ts = Some ts; grants = [];
+            got_failed = false; pending_inquires = [] }
+        in
+        (st, List.map (fun v -> Send (v, Request { ts; j = st.me })) st.quorum)
+      end
+  | Receive (_, Request { ts; j }) -> begin
+      let st = { st with clock = max st.clock ts } in
+      match st.vote with
+      | None -> ({ st with vote = Some (ts, j) }, [ Send (j, Locked { ts }) ])
+      | Some ((_, cj) as cur) ->
+          (* A requester must learn it FAILED whenever its request is
+             not the best this voter knows of — comparing against the
+             current vote alone is not enough: a queued request that
+             once beat the vote (and thus got no FAILED) must be failed
+             retroactively when a still better one displaces it,
+             otherwise two candidates can wait on each other forever. *)
+          let prev_best = match st.vq with [] -> None | b :: _ -> Some b in
+          let st = { st with vq = insert_sorted (ts, j) st.vq } in
+          let beats_queued =
+            match prev_best with Some b -> beats (ts, j) b | None -> true
+          in
+          if beats (ts, j) cur && beats_queued then begin
+            let fail_displaced =
+              match prev_best with
+              | Some ((pts, pj) as p) when beats p cur ->
+                  [ Send (pj, Failed { ts = pts }) ]
+              | _ -> []
+            in
+            if not st.inquired then
+              ( { st with inquired = true },
+                (Send (cj, Inquire { ts = fst cur }) :: fail_displaced) )
+            else (st, fail_displaced)
+          end
+          else (st, [ Send (j, Failed { ts }) ])
+    end
+  | Receive (v, Locked { ts }) ->
+      if st.my_ts = Some ts then add_grant st v else (st, [])
+  | Receive (_, Failed { ts }) ->
+      if st.my_ts <> Some ts then (st, [])
+      else begin
+        (* Relinquish every vote a voter asked us about. *)
+        let st = { st with got_failed = true } in
+        let effs =
+          List.map (fun v -> Send (v, Relinquish { ts })) st.pending_inquires
+        in
+        let grants =
+          List.filter (fun v -> not (List.mem v st.pending_inquires)) st.grants
+        in
+        ({ st with pending_inquires = []; grants }, effs)
+      end
+  | Receive (v, Inquire { ts }) ->
+      if st.my_ts <> Some ts || st.in_cs then (st, [])
+        (* stale, or resolved by our RELEASE *)
+      else if st.got_failed then
+        ( { st with grants = List.filter (fun g -> g <> v) st.grants },
+          [ Send (v, Relinquish { ts }) ] )
+      else
+        (* We may still win: hold the answer until a FAILED arrives. *)
+        ({ st with pending_inquires = v :: st.pending_inquires }, [])
+  | Receive (j, Relinquish { ts }) -> begin
+      (* Our candidate returned the vote: re-queue it and vote for the
+         best waiting request. *)
+      match st.vote with
+      | Some cur when cur = (ts, j) ->
+          let st = { st with vq = insert_sorted cur st.vq } in
+          grant_next st
+      | _ -> (st, [])
+    end
+  | Receive (j, Release { ts }) -> begin
+      match st.vote with
+      | Some cur when cur = (ts, j) -> grant_next st
+      | _ ->
+          (* Not the candidacy we voted for: a stale duplicate. *)
+          (st, [])
+    end
+  | Cs_done ->
+      let released = match st.my_ts with Some ts -> ts | None -> -1 in
+      let effs =
+        List.map (fun v -> Send (v, Release { ts = released })) st.quorum
+      in
+      let st =
+        { st with in_cs = false; my_ts = None; grants = [];
+          got_failed = false; pending_inquires = [] }
+      in
+      if st.pending > 0 then
+        let st, effs' =
+          handle cfg ~now { st with pending = st.pending - 1 } Request_cs
+        in
+        (st, effs @ effs')
+      else (st, effs)
+  | Timer_fired _ -> (st, [])
+
+let message_kind = function
+  | Request _ -> "REQUEST"
+  | Locked _ -> "LOCKED"
+  | Failed _ -> "FAILED"
+  | Inquire _ -> "INQUIRE"
+  | Relinquish _ -> "RELINQUISH"
+  | Release _ -> "RELEASE"
+
+let pp_message ppf = function
+  | Request { ts; j } -> Format.fprintf ppf "REQUEST(%d,%d)" ts j
+  | Locked { ts } -> Format.fprintf ppf "LOCKED(%d)" ts
+  | Failed { ts } -> Format.fprintf ppf "FAILED(%d)" ts
+  | Inquire { ts } -> Format.fprintf ppf "INQUIRE(%d)" ts
+  | Relinquish { ts } -> Format.fprintf ppf "RELINQUISH(%d)" ts
+  | Release { ts } -> Format.fprintf ppf "RELEASE(%d)" ts
+
+let pp_state ppf st =
+  let pair (ts, c) = Printf.sprintf "(%d,%d)" ts c in
+  Format.fprintf ppf
+    "node %d: ts=%s grants=[%s]/%d failed=%b pinq=[%s] vote=%s vq=[%s] inq=%b%s"
+    st.me
+    (match st.my_ts with Some t -> string_of_int t | None -> "-")
+    (String.concat ";" (List.map string_of_int st.grants))
+    (List.length st.quorum) st.got_failed
+    (String.concat ";" (List.map string_of_int st.pending_inquires))
+    (match st.vote with Some v -> pair v | None -> "-")
+    (String.concat ";" (List.map pair st.vq))
+    st.inquired
+    (if st.in_cs then " IN-CS" else "")

@@ -1,0 +1,105 @@
+(** Raymond's tree-based token algorithm (TOCS 1989), reference [9] of
+    the paper and its headline comparator: "approximately 4 messages
+    at high loads". Nodes form a static spanning tree (here the
+    complete binary tree rooted at node 0); each node keeps a HOLDER
+    pointer toward the token and a FIFO of unserved neighbour
+    requests. Messages travel only along tree edges, giving O(log N)
+    per CS at low load and ~4 at saturation. *)
+
+open Dmutex.Types
+
+type message = Request | Privilege
+type timer = |
+
+type state = {
+  me : node_id;
+  holder : node_id;  (* = me when we hold the token *)
+  rq : node_id list;  (* FIFO of requesting neighbours; may contain me *)
+  asked : bool;  (* a REQUEST toward the holder is outstanding *)
+  in_cs : bool;
+  pending : int;
+}
+
+let name = "raymond"
+
+(* The tree is the binary heap layout: parent of i is (i-1)/2. The
+   initial holder pointers all aim at node 0, the initial token
+   holder. *)
+let parent i = (i - 1) / 2
+
+let init cfg me =
+  ignore cfg;
+  {
+    me;
+    holder = (if me = 0 then me else parent me);
+    rq = [];
+    asked = false;
+    in_cs = false;
+    pending = 0;
+  }
+
+(* A restarted non-root node re-enters pointing at its parent, the
+   direction the token must lie in a fresh tree. A restarted root
+   cannot know which subtree holds the token; it guesses its first
+   child (best effort — Raymond's algorithm has no recovery story). *)
+let rejoin cfg me =
+  let st = init cfg me in
+  if me = 0 && cfg.Config.n > 1 then { st with holder = 1 } else st
+
+let in_cs st = st.in_cs
+let wants_cs st = List.mem st.me st.rq || st.pending > 0 || st.in_cs
+
+(* Raymond's two standard auxiliary procedures, run after every
+   event. *)
+let assign_privilege st =
+  if st.holder = st.me && (not st.in_cs) && st.rq <> [] then
+    match st.rq with
+    | head :: rest ->
+        if head = st.me then
+          ({ st with rq = rest; in_cs = true }, [ Enter_cs ])
+        else
+          ( { st with rq = rest; holder = head; asked = false },
+            [ Send (head, Privilege) ] )
+    | [] -> (st, [])
+  else (st, [])
+
+let make_request st =
+  if st.holder <> st.me && st.rq <> [] && not st.asked then
+    ({ st with asked = true }, [ Send (st.holder, Request) ])
+  else (st, [])
+
+let after_event st =
+  let st, e1 = assign_privilege st in
+  let st, e2 = make_request st in
+  (st, e1 @ e2)
+
+let rec handle cfg ~now st input =
+  match input with
+  | Request_cs ->
+      if st.in_cs || List.mem st.me st.rq then
+        ({ st with pending = st.pending + 1 }, [])
+      else after_event { st with rq = st.rq @ [ st.me ] }
+  | Receive (j, Request) -> after_event { st with rq = st.rq @ [ j ] }
+  | Receive (_, Privilege) -> after_event { st with holder = st.me }
+  | Cs_done ->
+      let st = { st with in_cs = false } in
+      let st, effs = after_event st in
+      if st.pending > 0 then
+        let st, effs' =
+          handle cfg ~now { st with pending = st.pending - 1 } Request_cs
+        in
+        (st, effs @ effs')
+      else (st, effs)
+  | Timer_fired _ -> (st, [])
+
+let message_kind = function Request -> "REQUEST" | Privilege -> "PRIVILEGE"
+let pp_message ppf m = Format.pp_print_string ppf (message_kind m)
+
+let pp_state ppf st =
+  Format.fprintf ppf "node %d: holder=%d rq=[%a]%s%s" st.me st.holder
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    st.rq
+    (if st.asked then " asked" else "")
+    (if st.in_cs then " IN-CS" else "")

@@ -1,0 +1,129 @@
+(** Suzuki-Kasami broadcast token algorithm (TOCS 1985), reference
+    [16] of the paper. A requester broadcasts REQUEST(j, n) to every
+    node; the token carries the LN vector of last-granted sequence
+    numbers and a queue of waiting nodes. N messages per CS when the
+    requester does not hold the token, 0 when it does. The paper's
+    algorithm is a "reverse" of this scheme: requests go to one
+    arbiter instead of everyone. *)
+
+open Dmutex.Types
+
+type token = { ln : int array; tq : node_id list }
+type message = Request of { j : node_id; sn : int } | Token of token
+type timer = |
+
+type state = {
+  me : node_id;
+  n : int;
+  rn : int array;  (* highest request number seen per node *)
+  token : token option;
+  requesting : bool;
+  in_cs : bool;
+  pending : int;
+}
+
+let name = "suzuki-kasami"
+
+let init cfg me =
+  let n = cfg.Config.n in
+  {
+    me;
+    n;
+    rn = Array.make n 0;
+    token =
+      (if me = cfg.Config.initial_arbiter then
+         Some { ln = Array.make n 0; tq = [] }
+       else None);
+    requesting = false;
+    in_cs = false;
+    pending = 0;
+  }
+
+(* A restarted node must not re-create the token it held at start. *)
+let rejoin cfg me =
+  if cfg.Config.n = 1 then init cfg me
+  else if cfg.Config.initial_arbiter = me then
+    init { cfg with Config.initial_arbiter = (me + 1) mod cfg.Config.n } me
+  else init cfg me
+
+let in_cs st = st.in_cs
+let wants_cs st = st.requesting || st.pending > 0
+
+let set arr i v =
+  let a = Array.copy arr in
+  a.(i) <- v;
+  a
+
+let rec handle cfg ~now st input =
+  match input with
+  | Request_cs ->
+      if st.requesting || st.in_cs then
+        ({ st with pending = st.pending + 1 }, [])
+      else begin
+        let sn = st.rn.(st.me) + 1 in
+        let st =
+          { st with requesting = true; rn = set st.rn st.me sn }
+        in
+        match st.token with
+        | Some _ -> ({ st with in_cs = true }, [ Enter_cs ])
+        | None -> (st, [ Broadcast (Request { j = st.me; sn }) ])
+      end
+  | Receive (_, Request { j; sn }) -> begin
+      let st = { st with rn = set st.rn j (max st.rn.(j) sn) } in
+      (* An idle token holder hands the token to an outstanding
+         requester immediately. *)
+      match st.token with
+      | Some tok
+        when (not st.in_cs) && (not st.requesting)
+             && st.rn.(j) = tok.ln.(j) + 1 ->
+          ({ st with token = None }, [ Send (j, Token tok) ])
+      | _ -> (st, [])
+    end
+  | Receive (_, Token tok) ->
+      ({ st with token = Some tok; in_cs = true }, [ Enter_cs ])
+  | Cs_done -> begin
+      match st.token with
+      | None -> (st, []) (* spurious *)
+      | Some tok ->
+          let ln = set tok.ln st.me st.rn.(st.me) in
+          (* Append every node with an unserved request, scanning in
+             me+1 .. me+n order for fairness (as in the original). *)
+          let tq = ref tok.tq in
+          for k = 1 to st.n - 1 do
+            let j = (st.me + k) mod st.n in
+            if st.rn.(j) = ln.(j) + 1 && not (List.mem j !tq) then
+              tq := !tq @ [ j ]
+          done;
+          let st = { st with requesting = false; in_cs = false } in
+          let st, effs =
+            match !tq with
+            | j :: rest ->
+                ( { st with token = None },
+                  [ Send (j, Token { ln; tq = rest }) ] )
+            | [] -> ({ st with token = Some { ln; tq = [] } }, [])
+          in
+          if st.pending > 0 then
+            let st, effs' =
+              handle cfg ~now { st with pending = st.pending - 1 } Request_cs
+            in
+            (st, effs @ effs')
+          else (st, effs)
+    end
+  | Timer_fired _ -> (st, [])
+
+let message_kind = function Request _ -> "REQUEST" | Token _ -> "PRIVILEGE"
+
+let pp_message ppf = function
+  | Request { j; sn } -> Format.fprintf ppf "REQUEST(%d,%d)" j sn
+  | Token t ->
+      Format.fprintf ppf "TOKEN[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           Format.pp_print_int)
+        t.tq
+
+let pp_state ppf st =
+  Format.fprintf ppf "node %d:%s%s%s" st.me
+    (if st.token <> None then " TOKEN" else "")
+    (if st.requesting then " requesting" else "")
+    (if st.in_cs then " IN-CS" else "")

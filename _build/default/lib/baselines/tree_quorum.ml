@@ -1,0 +1,85 @@
+(** Agrawal & El Abbadi's tree-quorum algorithm (TOCS 1991), reference
+    [1] of the paper ("an efficient and fault-tolerant solution for
+    distributed mutual exclusion").
+
+    Nodes are arranged in a logical complete binary tree (heap layout,
+    root 0). A quorum is obtained by {!quorum}: take the root and
+    recurse into one child ({e a root-to-leaf path}, size O(log N)) —
+    and when a node has failed, substitute it by taking quorums of
+    {e both} of its subtrees. Any two quorums intersect, with up to
+    ⌈(N-1)/2⌉ tolerated failures in the best case.
+
+    The voting protocol itself (LOCKED / FAILED / INQUIRE /
+    RELINQUISH, candidacy-timestamped) is shared with {!Maekawa}; only
+    the quorum shape differs. Without failures every quorum contains
+    the root, so tree quorums trade Maekawa's 2√N-1 spread for log N
+    messages and a root hotspot — visible in the benchmarks. *)
+
+open Dmutex.Types
+
+(* The failure-aware quorum rule of the paper. Returns [None] when no
+   quorum can be formed (too many failures). For the incomplete last
+   level of a heap-shaped tree, a missing subtree cannot host a path
+   (extension through it fails) but an interior substitution simply
+   has nothing to collect from it. *)
+let rec quorum_avoiding ~failed ~n root =
+  if root >= n then None
+  else
+    let left = (2 * root) + 1 and right = (2 * root) + 2 in
+    let leaf = left >= n in
+    if not (failed root) then
+      if leaf then Some [ root ]
+      else
+        (* Root alive: root + a path-quorum of one child's subtree
+           (prefer the left, fall back to the right). *)
+        let continue_via child =
+          if child >= n then None
+          else
+            Option.map (fun q -> root :: q) (quorum_avoiding ~failed ~n child)
+        in
+        (match continue_via left with
+        | Some q -> Some q
+        | None -> continue_via right)
+    else if leaf then None
+    else
+      (* Failed interior node: replace it by quorums of BOTH existing
+         subtrees. *)
+      let sub child =
+        if child >= n then Some [] else quorum_avoiding ~failed ~n child
+      in
+      match (sub left, sub right) with
+      | Some l, Some r -> Some (l @ r)
+      | _ -> None
+
+let quorum ?(failed = fun _ -> false) n =
+  if n <= 0 then None else quorum_avoiding ~failed ~n 0
+
+(* Static (failure-free) per-node quorums for the voting protocol:
+   node i uses the root-to-i path extended to a leaf, so its own vote
+   is included and all quorums share the root. *)
+let path_to_root i =
+  let rec up i acc = if i = 0 then 0 :: acc else up ((i - 1) / 2) (i :: acc) in
+  up i []
+
+let extend_to_leaf ~n i =
+  let rec down i acc =
+    let left = (2 * i) + 1 in
+    if left >= n then List.rev acc else down left (left :: acc)
+  in
+  down i []
+
+let tree_quorums n =
+  Array.init n (fun i ->
+      List.sort_uniq compare (path_to_root i @ extend_to_leaf ~n i))
+
+include Maekawa
+(* [include] brings Maekawa's grid [quorums] into scope too; [init]
+   below deliberately uses [tree_quorums] instead. *)
+
+let name = "tree-quorum"
+
+let init cfg me =
+  let base = Maekawa.init cfg me in
+  { base with quorum = (tree_quorums cfg.Config.n).(me) }
+
+let rejoin = init

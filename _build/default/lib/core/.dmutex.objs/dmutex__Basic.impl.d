@@ -1,0 +1,1 @@
+lib/core/basic.ml: Protocol Types

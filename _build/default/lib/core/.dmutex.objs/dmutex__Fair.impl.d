@@ -1,0 +1,1 @@
+lib/core/fair.ml: Protocol Types

@@ -1,0 +1,1 @@
+lib/core/monitored.ml: Protocol Types

@@ -1,0 +1,1 @@
+lib/core/prioritized.ml: Array Protocol Types

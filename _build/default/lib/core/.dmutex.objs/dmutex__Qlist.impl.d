@@ -1,0 +1,1 @@
+lib/core/qlist.ml: Array Format List Types

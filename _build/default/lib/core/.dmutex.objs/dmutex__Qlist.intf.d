@@ -1,0 +1,1 @@
+lib/core/qlist.mli: Format Types

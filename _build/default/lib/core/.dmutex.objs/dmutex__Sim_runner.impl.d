@@ -1,0 +1,1 @@
+lib/core/sim_runner.ml: Array Engine Float Format Hashtbl List Network Queue Rng Simkit Stats Trace Types Workload

@@ -1,0 +1,1 @@
+lib/core/sim_runner.mli: Format Simkit Types

@@ -1,0 +1,13 @@
+(** The basic algorithm of Section 2: arbiter rotation, Q-list token,
+    request collection and forwarding phases. This is {!Protocol} with
+    every optional feature off. *)
+
+include Protocol
+
+let name = "bc-basic"
+
+(** Paper-faithful configuration: [T_msg = T_exec = T_fwd = 0.1],
+    [T_req = t_collect] (default [0.1]), node 0 initially the
+    arbiter. *)
+let config ?(t_collect = 0.1) ~n () =
+  { (Types.Config.default ~n) with Types.Config.t_collect }

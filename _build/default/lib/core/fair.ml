@@ -1,0 +1,18 @@
+(** Section 5.1's stricter fairness notion: "access to the critical
+    section is granted based on the number of times a node has entered
+    its critical section previously. The node that has accessed the
+    critical section the least number of times is given priority" —
+    realized here, as the paper suggests, through the sequence-number
+    machinery of Section 2.4: the arbiter stably sorts each dispatched
+    Q-list by the token's L vector, least-served node first. *)
+
+include Protocol
+
+let name = "bc-fair"
+
+let config ?(t_collect = 0.1) ~n () =
+  {
+    (Types.Config.default ~n) with
+    Types.Config.least_served_first = true;
+    t_collect;
+  }

@@ -1,0 +1,27 @@
+(** The starvation-free variant of Section 4.1: a monitor node parks
+    requests that exceeded the forwarding budget τ, and the token is
+    routed through the monitor with a period that adapts to the
+    moving-window average Q-list size. *)
+
+include Protocol
+
+let name = "bc-monitored"
+
+(* Liveness note: this variant *drops* requests that exhaust the τ
+   forwarding budget (Section 4.1); the paper's escape hatch —
+   resubmitting to the monitor after τ consecutive NEW-ARBITER misses
+   — only engages while broadcasts keep flowing. In a quiescent system
+   the blind retransmission timeout is therefore load-bearing: running
+   this variant with [max_retries = 0] admits a starvation our model
+   checker exhibits (see DESIGN.md §5.3). *)
+
+let config ?(monitor = 0) ?(threshold = 3) ?(window = 16) ?(rotate = false)
+    ?(t_collect = 0.1) ~n () =
+  {
+    (Types.Config.default ~n) with
+    Types.Config.monitor = Some monitor;
+    forward_threshold = threshold;
+    window;
+    rotate_monitor = rotate;
+    t_collect;
+  }

@@ -1,0 +1,13 @@
+(** Prioritized access of Section 5.2: the arbiter stably sorts each
+    dispatched Q-list by static node priority (larger = more urgent).
+    The priority system is {e incremental}: ordering is applied per
+    arbiter hand-off, never inside an already-dispatched Q-list. *)
+
+include Protocol
+
+let name = "bc-prioritized"
+
+let config ~priorities ~n () =
+  if Array.length priorities <> n then
+    invalid_arg "Prioritized.config: priorities must have length n";
+  { (Types.Config.default ~n) with Types.Config.priorities = Some priorities }

@@ -1,0 +1,1122 @@
+(* The Banerjee-Chrysanthis arbiter/Q-list token protocol (ICDCS'96),
+   as one pure state machine. Config flags select the paper's variants:
+   [monitor] enables the Section 4.1 starvation-free extension,
+   [priorities] the Section 5.2 prioritized access, [recovery] the
+   Section 6 failure handling. The exported modules [Basic],
+   [Monitored], [Resilient] and [Prioritized] in this library are thin
+   specializations of this module. *)
+
+open Types
+
+type token = {
+  tq : Qlist.t;
+  granted : Qlist.Granted.g;
+  epoch : int;
+  election : int;
+}
+(* [epoch] is incremented each time a lost token is regenerated
+   (Section 6); it lets nodes discard a stale token that resurfaces
+   after regeneration, which the paper's prose assumes away.
+   [election] counts arbiter hand-offs: every dispatch increments it,
+   and it rides in both the token and the NEW-ARBITER broadcast so
+   that a reordered stale announcement can never re-elect a node that
+   has already passed the role on. *)
+
+type enq_status = Have_token | Executed | Waiting_token
+
+type new_arbiter = {
+  na_arbiter : node_id;
+  na_q : Qlist.t;
+  na_granted : Qlist.Granted.g;
+  na_counter : int;  (* adaptive monitor period counter (Section 4.1) *)
+  na_monitor : node_id;  (* current monitor; -1 when the variant is off *)
+  na_epoch : int;
+  na_election : int;
+}
+
+type message =
+  | Request of Qlist.entry
+  | Monitor_request of Qlist.entry
+      (* resubmission of a starving request directly to the monitor *)
+  | Privilege of token
+  | Monitor_privilege of token
+      (* token routed through the monitor without a NEW-ARBITER
+         broadcast; the monitor broadcasts instead *)
+  | New_arbiter of new_arbiter
+  | Warning
+  | Enquiry of { round : int }
+  | Enquiry_reply of { round : int; status : enq_status }
+  | Resume of { round : int }
+  | Invalidate of { round : int }
+  | Probe
+  | Probe_ack
+
+type timer =
+  | T_dispatch  (* end of the current request-collection window *)
+  | T_forward_end  (* end of the request-forwarding phase *)
+  | T_retry  (* blind retransmission of an unacknowledged request *)
+  | T_stash  (* drain parked third-party requests toward the arbiter *)
+  | T_token  (* requester's patience for the token (recovery) *)
+  | T_enquiry  (* arbiter's patience for ENQUIRY replies *)
+  | T_watch  (* previous arbiter watching the new arbiter *)
+  | T_probe  (* patience for a PROBE answer *)
+
+type role =
+  | Normal
+  | Await_token of Qlist.t
+      (* elected arbiter, collecting while the token travels to us *)
+  | Collecting of { cq : Qlist.t; anchor : float; armed : bool }
+      (* arbiter holding the token; [anchor] is the start of the
+         current collection window, [armed] whether T_dispatch is set *)
+  | Forwarding of { next_arbiter : node_id }
+
+type recovery = {
+  rround : int;
+  expected : node_id list;  (* peers we sent ENQUIRY to *)
+  replied : node_id list;
+  waiting : Qlist.t;  (* entries of peers that answered "waiting" *)
+}
+
+type state = {
+  me : node_id;
+  arbiter : node_id;
+  prev_arbiter : node_id;
+  monitor : node_id;  (* -1 = starvation-free variant off *)
+  role : role;
+  next_seq : int;
+  outstanding : int option;  (* seq of our in-flight request *)
+  pending : int;  (* application requests queued behind [outstanding] *)
+  in_cs : bool;
+  token : token option;
+  suspended : bool;  (* token passing frozen by an ENQUIRY (Section 6) *)
+  misses : int;  (* consecutive NEW-ARBITER broadcasts omitting us *)
+  monitor_misses : int;  (* misses since last resubmission, for τ *)
+  retries_left : int;  (* timeout retransmissions remaining; -1 = ∞ *)
+  observed_q_len : int;  (* |Q| in the last announcement we saw *)
+  last_q : Qlist.t;  (* Q-list of the latest NEW-ARBITER we saw *)
+  granted_known : Qlist.Granted.g;  (* best-known L vector *)
+  na_counter : int;
+  qsizes : int list;  (* moving window of observed |Q|, newest first *)
+  executed_this_round : bool;
+  monitor_buffer : Qlist.t;  (* requests parked at the monitor *)
+  stash : Qlist.t;
+  (* requests that reached us while we were not the arbiter; handed to
+     the next arbiter we learn of (see receive_request) *)
+  token_epoch : int;  (* highest token epoch witnessed *)
+  election : int;  (* highest election number witnessed *)
+  enq_round : int;  (* highest ENQUIRY round seen or started *)
+  recovery : recovery option;
+  watching : bool;
+  (* recovery only: we are the (unique) watcher of the current arbiter
+     — the last dispatcher that handed the role to someone else. The
+     uniqueness is what makes PROBE-timeout takeover safe: two
+     simultaneous self-proclaimed arbiters would regenerate two
+     tokens. *)
+}
+
+let name = "banerjee-chrysanthis"
+
+let no_monitor = -1
+
+let init cfg me =
+  let cfg = Config.validate cfg in
+  let monitor = match cfg.Config.monitor with Some m -> m | None -> no_monitor in
+  let is_first = me = cfg.Config.initial_arbiter in
+  {
+    me;
+    arbiter = cfg.Config.initial_arbiter;
+    prev_arbiter = cfg.Config.initial_arbiter;
+    monitor;
+    role =
+      (if is_first then Collecting { cq = []; anchor = 0.0; armed = false }
+       else Normal);
+    next_seq = 0;
+    outstanding = None;
+    pending = 0;
+    in_cs = false;
+    token =
+      (if is_first then
+         Some
+           { tq = []; granted = Qlist.Granted.create cfg.Config.n; epoch = 0;
+             election = 0 }
+       else None);
+    suspended = false;
+    misses = 0;
+    monitor_misses = 0;
+    retries_left = 0;
+    observed_q_len = 0;
+    last_q = [];
+    granted_known = Qlist.Granted.create cfg.Config.n;
+    na_counter = 0;
+    qsizes = [];
+    executed_this_round = false;
+    monitor_buffer = [];
+    stash = [];
+    token_epoch = 0;
+    election = 0;
+    enq_round = 0;
+    recovery = None;
+    watching = false;
+  }
+
+(* A restarted node comes back as a plain participant: shift the
+   would-be initial arbiter away from [me] so [init] gives us neither
+   the token nor the arbiter role. It resynchronizes through the next
+   NEW-ARBITER broadcast (and the relaying of its stale-addressed
+   requests). *)
+let rejoin cfg me =
+  let cfg = Config.validate cfg in
+  if cfg.Config.n = 1 then init cfg me
+  else if cfg.Config.initial_arbiter = me then
+    init
+      { cfg with Config.initial_arbiter = (me + 1) mod cfg.Config.n }
+      me
+  else init cfg me
+
+let in_cs st = st.in_cs
+let wants_cs st = st.outstanding <> None || st.pending > 0
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let monitored st = st.monitor >= 0
+
+let truncate_window cfg xs =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take cfg.Config.window xs
+
+let avg_qsize_ceiling st =
+  match st.qsizes with
+  | [] -> 1 (* no observations yet: shortest period, per the paper's
+               low-load reasoning *)
+  | xs ->
+      let sum = List.fold_left ( + ) 0 xs in
+      let mean = float_of_int sum /. float_of_int (List.length xs) in
+      max 1 (int_of_float (Float.ceil mean))
+
+(* A requester's patience before blindly retransmitting: at least the
+   configured floor, and at least a few full queue rotations as
+   estimated from the last announced Q-list length — at saturation a
+   rotation (and hence the next implicit ack) takes |Q|·(T_msg+T_exec),
+   which can dwarf any fixed timeout. *)
+let retry_delay cfg st =
+  let rotation =
+    float_of_int (max 1 st.observed_q_len)
+    *. (cfg.Config.t_msg +. cfg.Config.t_exec)
+  in
+  Float.max cfg.Config.retry_timeout
+    ((3.0 *. rotation) +. cfg.Config.t_collect +. cfg.Config.t_forward)
+
+(* Residual time until the next conceptual collection-window boundary.
+   Faithful to the paper's fixed windows without busy-looping when the
+   system is idle: the window grid is anchored at [anchor]. *)
+let window_residual cfg ~now ~anchor =
+  let w = cfg.Config.t_collect in
+  if w <= 0.0 then 0.0
+  else
+    let elapsed = now -. anchor in
+    let r = w -. Float.rem elapsed w in
+    if r <= 0.0 then w else r
+
+(* State components that only optional variants read are kept at
+   their initial value when the variant is off: the protocol behaves
+   identically, and the model checker's state space stays small. *)
+let observe_qsize cfg st q =
+  if monitored st then truncate_window cfg (List.length q :: st.qsizes)
+  else []
+
+let keep_last_q cfg q = if cfg.Config.recovery then q else []
+let keep_prev cfg st v = if cfg.Config.recovery then v else st.prev_arbiter
+let keep_counter st v = if monitored st then v else 0
+
+(* ------------------------------------------------------------------ *)
+(* Requester side                                                      *)
+
+(* Issue the next application request: either register directly in our
+   own collection (when we are the arbiter) or send REQUEST(me, seq) to
+   the believed arbiter. *)
+let issue_request cfg ~now st =
+  ignore now;
+  let seq = st.next_seq in
+  let e = Qlist.entry ~node:st.me ~seq () in
+  let st =
+    { st with next_seq = seq + 1; outstanding = Some seq; misses = 0;
+      monitor_misses = 0; retries_left = cfg.Config.max_retries }
+  in
+  match st.role with
+  | Await_token q -> ({ st with role = Await_token (Qlist.enqueue e q) }, [])
+  | Collecting { cq; anchor; armed } ->
+      let effs =
+        if armed then []
+        else [ Set_timer (T_dispatch, window_residual cfg ~now ~anchor) ]
+      in
+      ( { st with
+          role =
+            Collecting { cq = Qlist.enqueue e cq; anchor; armed = true } },
+        effs )
+  | Normal | Forwarding _ ->
+      let arm =
+        if cfg.Config.max_retries = 0 then []
+        else [ Set_timer (T_retry, retry_delay cfg st) ]
+      in
+      (st, Send (st.arbiter, Request e) :: arm)
+
+let request_cs cfg ~now st =
+  if st.outstanding <> None || st.in_cs then
+    ({ st with pending = st.pending + 1 }, [])
+  else issue_request cfg ~now st
+
+(* ------------------------------------------------------------------ *)
+(* Arbiter side: accepting, forwarding and dispatching requests        *)
+
+let accept_request cfg ~now st e =
+  (* We are collecting (either awaiting the token or holding it). *)
+  match st.role with
+  | Await_token q -> ({ st with role = Await_token (Qlist.enqueue e q) }, [])
+  | Collecting { cq; anchor; armed } ->
+      let effs =
+        if armed then []
+        else [ Set_timer (T_dispatch, window_residual cfg ~now ~anchor) ]
+      in
+      ( { st with
+          role =
+            Collecting { cq = Qlist.enqueue e cq; anchor; armed = true } },
+        effs )
+  | Normal | Forwarding _ -> assert false
+
+let receive_request cfg ~now st e =
+  if Qlist.Granted.already_served st.granted_known e then
+    (* A duplicate of a request we know has been satisfied. *)
+    (st, [ Note Dropped_request ])
+  else
+    match st.role with
+    | Await_token _ | Collecting _ -> accept_request cfg ~now st e
+    | Forwarding { next_arbiter } ->
+        if monitored st && e.Qlist.hops >= cfg.Config.forward_threshold then
+          (* Over the τ budget: drop; the requester will escape to the
+             monitor after τ NEW-ARBITER misses (Section 4.1). *)
+          (st, [ Note Dropped_request ])
+        else
+          ( st,
+            [ Send (next_arbiter, Request { e with Qlist.hops = e.Qlist.hops + 1 });
+              Note Forwarded ] )
+    | Normal ->
+        (* The paper drops requests that arrive after the forwarding
+           phase and relies on retransmission. We are more careful:
+           a mislaid request is relayed toward our believed arbiter —
+           believed-arbiter pointers only move forward in election
+           order, so such chains terminate at the live arbiter — and
+           once it exhausts its hop budget it is parked here and
+           re-launched by a timer. The monitored variant instead drops
+           over-budget requests, as Section 4.1 specifies: the
+           requester escapes to the monitor. *)
+        if e.Qlist.hops < cfg.Config.forward_threshold then
+          if st.arbiter <> st.me then
+            ( st,
+              [ Send
+                  (st.arbiter, Request { e with Qlist.hops = e.Qlist.hops + 1 });
+                Note Stash_forwarded ] )
+          else ({ st with stash = Qlist.enqueue e st.stash }, [ Note Stashed ])
+        else if monitored st then (st, [ Note Dropped_request ])
+        else
+          ( { st with stash = Qlist.enqueue e st.stash },
+            [ Note Stashed;
+              Set_timer (T_stash, cfg.Config.retry_timeout) ] )
+
+let receive_monitor_request cfg ~now st e =
+  if st.me <> st.monitor then (* stale monitor identity; park it anyway *)
+    (st, [ Send (st.monitor, Monitor_request e) ])
+  else if Qlist.Granted.already_served st.granted_known e then
+    (st, [ Note Dropped_request ])
+  else
+    match st.role with
+    | Await_token _ | Collecting _ ->
+        (* The monitor happens to be the current arbiter: serve the
+           request through the normal collection directly. *)
+        accept_request cfg ~now st e
+    | Normal | Forwarding _ ->
+        ({ st with monitor_buffer = Qlist.enqueue e st.monitor_buffer }, [])
+
+(* Broadcast NEW-ARBITER for queue [q], honouring the Section 3.1
+   suppression option. A self-singleton is not announced when the
+   arbiter identity is unchanged ([prev_announced] is already us):
+   nobody's knowledge goes stale and Eq. 1 counts zero messages for
+   the requester-is-arbiter case. *)
+let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
+  let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+  let msg =
+    New_arbiter
+      {
+        na_arbiter = tail;
+        na_q = q;
+        na_granted = st.granted_known;
+        na_counter = counter;
+        na_monitor = next_monitor;
+        na_epoch = st.token_epoch;
+        na_election = st.election;
+      }
+  in
+  match q with
+  | [ e ] when e.Qlist.node = st.me && prev_announced = st.me -> []
+  | [ e ] when cfg.Config.skip_new_arbiter_to_tail ->
+      (* Send point-to-point to everyone except ourselves and the new
+         arbiter, which learns its election from the token itself. *)
+      List.filter_map
+        (fun dst ->
+          if dst = st.me || dst = e.Qlist.node then None
+          else Some (Send (dst, msg)))
+        (List.init cfg.Config.n (fun i -> i))
+  | _ -> [ Broadcast msg ]
+
+(* Give the token (with Q-list [q]) its first hop, or enter the CS
+   directly when we head the list ourselves. *)
+let launch_token cfg ~now st token =
+  ignore now;
+  match token.tq with
+  | [] -> assert false
+  | head :: _ when head.Qlist.node = st.me ->
+      let outstanding =
+        match st.outstanding with
+        | Some s when s <= head.Qlist.seq -> None
+        | o -> o
+      in
+      ( { st with in_cs = true; token = Some token; outstanding;
+          executed_this_round = cfg.Config.recovery },
+        [ Enter_cs; Cancel_timer T_token; Cancel_timer T_retry ] )
+  | head :: _ ->
+      ({ st with token = None }, [ Send (head.Qlist.node, Privilege token) ])
+
+(* End of a collection window with the token in hand: Figure 1's
+   dispatch step. *)
+let dispatch cfg ~now st =
+  match (st.role, st.token) with
+  | Collecting { cq; anchor; _ }, Some token ->
+      let q = Qlist.prune token.granted cq in
+      if q = [] then
+        (* Nothing (new) to schedule: keep collecting, unarmed; the
+           next request re-arms at the window boundary. *)
+        ( { st with role = Collecting { cq = []; anchor; armed = false } },
+          [] )
+      else begin
+        let q =
+          match cfg.Config.priorities with
+          | Some p -> Qlist.sort_by_priority p q
+          | None ->
+              if cfg.Config.least_served_first then
+                Qlist.sort_least_served token.granted q
+              else q
+        in
+        let prev_announced = st.arbiter in
+        let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+        let counter = st.na_counter + 1 in
+        let monitor_route =
+          monitored st && st.me <> st.monitor
+          && counter >= avg_qsize_ceiling st
+        in
+        let base =
+          { st with
+            last_q = keep_last_q cfg q;
+            prev_arbiter = keep_prev cfg st st.me;
+            arbiter = tail;
+            election = st.election + 1;
+            executed_this_round = false;
+            observed_q_len = List.length q;
+            qsizes = observe_qsize cfg st q }
+        in
+        let base =
+          { base with
+            watching = cfg.Config.recovery && tail <> st.me }
+        in
+        let watch =
+          if base.watching then
+            [ Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
+          else []
+        in
+        let note = [ Note (Queue_length (List.length q)) ] in
+        if monitor_route then begin
+          (* Section 4.1: hand the token to the monitor without
+             broadcasting; the monitor augments Q, broadcasts with the
+             counter reset, and forwards the token. *)
+          let token = { token with tq = q; election = base.election } in
+          let st' =
+            { base with
+              token = None;
+              na_counter = counter;
+              role =
+                (if tail = st.me then Await_token []
+                 else Forwarding { next_arbiter = tail }) }
+          in
+          let forward_end =
+            if tail = st.me then []
+            else [ Set_timer (T_forward_end, cfg.Config.t_forward) ]
+          in
+          ( st',
+            [ Send (st.monitor, Monitor_privilege token); Note Monitor_pass ]
+            @ forward_end @ watch @ note )
+        end
+        else begin
+          let counter = if st.me = st.monitor then 0 else counter in
+          let base = { base with na_counter = keep_counter st counter } in
+          (* When the arbiter is itself the monitor, flush its parked
+             requests into this dispatch. *)
+          let q, base =
+            if st.me = st.monitor && base.monitor_buffer <> [] then
+              let merged =
+                List.fold_left
+                  (fun acc e -> Qlist.enqueue e acc)
+                  q
+                  (Qlist.prune token.granted base.monitor_buffer)
+              in
+              (merged, { base with monitor_buffer = []; last_q = merged })
+            else (q, base)
+          in
+          let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+          let base = { base with arbiter = tail } in
+          (* Monitor rotation happens only when the monitor itself
+             broadcasts (Section 5.1); a regular dispatch re-announces
+             the current monitor unchanged. *)
+          let announce_effs =
+            announce cfg base ~prev_announced ~q ~counter
+              ~next_monitor:st.monitor
+          in
+          let token = { token with tq = q; election = base.election } in
+          let st', launch_effs =
+            if tail = st.me then
+              (* We stay arbiter: after our own CS completes the token
+                 stays here and collection restarts. *)
+              let st' = { base with role = Await_token [] } in
+              launch_token cfg ~now st' token
+            else begin
+              let st' =
+                { base with role = Forwarding { next_arbiter = tail } }
+              in
+              let st', effs = launch_token cfg ~now st' token in
+              (st', effs @ [ Set_timer (T_forward_end, cfg.Config.t_forward) ])
+            end
+          in
+          (st', announce_effs @ launch_effs @ watch @ note)
+        end
+      end
+  | _ -> (st, []) (* stale dispatch timer *)
+
+(* The token has come into our hands as (future) arbiter: start a
+   fresh full collection window (Figure 1: request-collection runs
+   after the privilege arrives). If we have an unserved request of our
+   own that is not yet queued anywhere (it may have been dropped while
+   travelling), schedule it here: the arbiter must never starve
+   itself. *)
+let become_collecting cfg ~now st pre_q token =
+  (* Absorb any requests parked while we were not yet the arbiter. *)
+  let pre_q =
+    List.fold_left (fun acc e -> Qlist.enqueue e acc) pre_q st.stash
+  in
+  let st = { st with stash = [] } in
+  let pre_q =
+    match st.outstanding with
+    | Some seq
+      when (not (Qlist.mem st.me pre_q))
+           && not
+                (Qlist.Granted.already_served token.granted
+                   (Qlist.entry ~node:st.me ~seq ())) ->
+        Qlist.enqueue (Qlist.entry ~node:st.me ~seq ()) pre_q
+    | _ -> pre_q
+  in
+  let armed = Qlist.prune token.granted pre_q <> [] in
+  let st' =
+    { st with
+      role = Collecting { cq = pre_q; anchor = now; armed };
+      token = Some token;
+      arbiter = st.me }
+  in
+  let cancel =
+    if cfg.Config.recovery then [ Cancel_timer T_token ] else []
+  in
+  let effs =
+    cancel
+    @
+    if armed then [ Set_timer (T_dispatch, cfg.Config.t_collect) ] else []
+  in
+  if cfg.Config.t_collect <= 0.0 then
+    (* Degenerate zero-length window: dispatch immediately (the armed
+       timer, if any, becomes a harmless stale no-op). *)
+    let st'', effs' = dispatch cfg ~now st' in
+    (st'', effs @ effs')
+  else (st', effs)
+
+(* ------------------------------------------------------------------ *)
+(* Token passing                                                       *)
+
+let pass_token_on cfg ~now st token =
+  match token.tq with
+  | [] ->
+      (* We are the tail: the new arbiter. We may or may not have seen
+         our NEW-ARBITER announcement (it can be suppressed by the
+         Section 3.1 option); the token itself is the proof. *)
+      let pre_q = match st.role with Await_token q -> q | _ -> [] in
+      let st = { st with prev_arbiter = keep_prev cfg st st.arbiter } in
+      let st', effs = become_collecting cfg ~now st pre_q token in
+      (st', (Note Became_arbiter :: effs))
+  | head :: _ when head.Qlist.node = st.me ->
+      (* Possible only with a duplicate entry for us; serve it. *)
+      launch_token cfg ~now st token
+  | head :: _ ->
+      ({ st with token = None }, [ Send (head.Qlist.node, Privilege token) ])
+
+let cs_done cfg ~now st =
+  match st.token with
+  | None -> (st, []) (* spurious *)
+  | Some token ->
+      let served, rest =
+        match token.tq with
+        | e :: rest when e.Qlist.node = st.me -> (Some e, rest)
+        | q -> (None, q)
+      in
+      let granted =
+        match served with
+        | Some e -> Qlist.Granted.mark token.granted e
+        | None -> token.granted
+      in
+      let token = { token with tq = rest; granted } in
+      let st =
+        { st with in_cs = false; granted_known =
+            Qlist.Granted.merge st.granted_known granted }
+      in
+      let st, effs =
+        if st.suspended then
+          (* An ENQUIRY froze us: hold the token until RESUME. *)
+          ({ st with token = Some token }, [])
+        else pass_token_on cfg ~now st token
+      in
+      (* Surface the next queued application request, if any. *)
+      if st.pending > 0 then begin
+        let st = { st with pending = st.pending - 1 } in
+        let st, effs' = issue_request cfg ~now st in
+        (st, effs @ effs')
+      end
+      else (st, effs)
+
+(* ------------------------------------------------------------------ *)
+(* NEW-ARBITER bookkeeping (requester side + election)                 *)
+
+(* Requester-side reaction to an announced Q-list: the Q-list is the
+   implicit acknowledgement (Section 6, Lost Request). Runs both on a
+   received NEW-ARBITER and on the Q-list a node announces itself (a
+   broadcaster is not delivered its own broadcast, but it has observed
+   the same information). *)
+let observe_qlist cfg st q =
+  match st.outstanding with
+  | None -> (st, [])
+  | Some seq ->
+      if
+        Qlist.Granted.already_served st.granted_known
+          (Qlist.entry ~node:st.me ~seq ())
+      then
+        ({ st with outstanding = None },
+         [ Cancel_timer T_retry; Cancel_timer T_token ])
+      else if Qlist.mem st.me q then
+        (* Confirmed scheduled: the blind retry timer is no longer
+           needed (and at large N a queue rotation can outlast it,
+           which would flood the arbiter with duplicates). *)
+        let effs =
+          Cancel_timer T_retry
+          ::
+          (if cfg.Config.recovery then
+             [ Set_timer (T_token, cfg.Config.token_timeout) ]
+           else [])
+        in
+        ({ st with misses = 0 }, effs)
+      else if st.arbiter = st.me then
+        (* We are (about to be) the arbiter ourselves; our request is
+           re-queued by [become_collecting], never retransmitted. *)
+        (st, [])
+      else begin
+        let misses = st.misses + 1 in
+        let monitor_misses =
+          if monitored st then st.monitor_misses + 1 else 0
+        in
+        if
+          monitored st && st.me <> st.monitor
+          && monitor_misses >= cfg.Config.forward_threshold
+        then
+          ( { st with misses; monitor_misses = 0 },
+            [ Send
+                (st.monitor, Monitor_request (Qlist.entry ~node:st.me ~seq ()));
+              Note Resubmitted_to_monitor ] )
+        else if misses >= cfg.Config.retransmit_misses then
+          let arm =
+            if cfg.Config.max_retries = 0 then []
+            else [ Set_timer (T_retry, retry_delay cfg st) ]
+          in
+          ( { st with misses = 0; monitor_misses },
+            Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()))
+            :: Note Retransmitted :: arm )
+        else ({ st with misses; monitor_misses }, [])
+      end
+
+let receive_new_arbiter cfg ~now st ~src na =
+  ignore now;
+  if na.na_election < st.election then
+    (* A reordered announcement from a past election: obeying it could
+       re-elect a node that has already handed the role on. Only the
+       monotone knowledge (the L vector) is absorbed. *)
+    ( { st with
+        granted_known = Qlist.Granted.merge st.granted_known na.na_granted },
+      [] )
+  else begin
+  let st =
+    { st with
+      arbiter = na.na_arbiter;
+      prev_arbiter = keep_prev cfg st src;
+      monitor = na.na_monitor;
+      na_counter = keep_counter st na.na_counter;
+      last_q = keep_last_q cfg na.na_q;
+      granted_known = Qlist.Granted.merge st.granted_known na.na_granted;
+      token_epoch = max st.token_epoch na.na_epoch;
+      election = na.na_election;
+      executed_this_round = false;
+      observed_q_len = List.length na.na_q;
+      qsizes = observe_qsize cfg st na.na_q }
+  in
+  (* Watch transfer: a normal hand-off (announced by the outgoing
+     dispatcher) makes that dispatcher the new watcher, so everyone
+     else stands down. A self-announcement (src = arbiter: a
+     self-re-election or a takeover) changes nothing about who watches
+     — the current watcher re-arms and keeps watching. *)
+  let self_announced = src = na.na_arbiter in
+  let st =
+    if cfg.Config.recovery then
+      { st with watching = self_announced && st.watching }
+    else st
+  in
+  let effs =
+    if not cfg.Config.recovery then []
+    else if st.watching then [ Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
+    else [ Cancel_timer T_watch ]
+  in
+  (* Election. *)
+  let st, effs =
+    if na.na_arbiter = st.me then
+      match st.role with
+      | Normal | Forwarding _ ->
+          (* Elected: besides collecting, watch for the token itself —
+             it can be lost before it ever reaches us (Section 6). *)
+          let effs =
+            if cfg.Config.recovery then
+              Set_timer (T_token, cfg.Config.token_timeout) :: effs
+            else effs
+          in
+          ({ st with role = Await_token [] }, effs)
+      | Await_token _ | Collecting _ ->
+          (* Already the arbiter (e.g. the announcement confirmed an
+             election we learned from the token). Keep our queue. *)
+          (st, effs)
+    else
+      match st.role with
+      | Await_token q when q <> [] ->
+          (* We were superseded (recovery path): salvage what we
+             collected by forwarding it to the real arbiter. *)
+          let fwd =
+            List.map (fun e -> Send (na.na_arbiter, Request e)) q
+          in
+          ({ st with role = Normal }, effs @ fwd)
+      | Await_token _ -> ({ st with role = Normal }, effs)
+      | Normal | Forwarding _ | Collecting _ -> (st, effs)
+  in
+  (* Hand over any parked requests to the announced arbiter. *)
+  let st, effs =
+    if st.stash = [] then (st, effs)
+    else begin
+      let live = Qlist.prune st.granted_known st.stash in
+      if na.na_arbiter = st.me then
+        (* We are the arbiter: keep them; they merge into our queue in
+           [become_collecting] (or are already there). *)
+        match st.role with
+        | Await_token q ->
+            let q =
+              List.fold_left (fun acc e -> Qlist.enqueue e acc) q live
+            in
+            ({ st with stash = []; role = Await_token q }, effs)
+        | Collecting _ | Normal | Forwarding _ -> (st, effs)
+      else
+        let sends =
+          List.concat_map
+            (fun e ->
+              [ Send
+                  (na.na_arbiter,
+                   Request { e with Qlist.hops = e.Qlist.hops + 1 });
+                Note Stash_forwarded ])
+            live
+        in
+        ({ st with stash = [] }, effs @ sends)
+    end
+  in
+  (* Requester bookkeeping: the Q-list doubles as an implicit ack. *)
+  let st, effs' = observe_qlist cfg st na.na_q in
+  (st, effs @ effs')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Monitor pass (Section 4.1)                                          *)
+
+let receive_monitor_privilege cfg ~now st token =
+  if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
+  else begin
+    let st =
+      { st with token_epoch = token.epoch;
+        election = max st.election token.election }
+    in
+    let q =
+      List.fold_left
+        (fun acc e -> Qlist.enqueue e acc)
+        token.tq
+        (Qlist.prune token.granted st.monitor_buffer)
+    in
+    let st = { st with monitor_buffer = [] } in
+    match q with
+    | [] ->
+        (* Every scheduled request turned out served: the monitor
+           becomes the arbiter itself and restarts collection. *)
+        let st', effs = become_collecting cfg ~now st [] { token with tq = [] } in
+        (st', Note Became_arbiter :: effs)
+    | _ ->
+        let prev_announced = st.arbiter in
+        let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+        let next_monitor =
+          if cfg.Config.rotate_monitor then (st.me + 1) mod cfg.Config.n
+          else st.me
+        in
+        let st =
+          { st with
+            arbiter = tail;
+            prev_arbiter = keep_prev cfg st st.me;
+            na_counter = 0;
+            last_q = keep_last_q cfg q;
+            monitor = next_monitor;
+            observed_q_len = List.length q;
+            qsizes = observe_qsize cfg st q }
+        in
+        let announce_effs =
+          announce cfg st ~prev_announced ~q ~counter:0 ~next_monitor
+        in
+        let token = { token with tq = q } in
+        let st, effs =
+          if tail = st.me then
+            let st = { st with role = Await_token [] } in
+            launch_token cfg ~now st token
+          else launch_token cfg ~now st token
+        in
+        (* The monitor observes the Q-list it just announced: its own
+           broadcast is not delivered back to it. *)
+        let st, effs' = observe_qlist cfg st q in
+        (st, announce_effs @ effs @ effs')
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Section 6: recovery                                                 *)
+
+let start_recovery cfg st =
+  match st.recovery with
+  | Some _ -> (st, [])
+  | None ->
+      if st.token <> None then (st, []) (* we hold the token: no loss *)
+      else begin
+        let round = st.enq_round + 1 in
+        let targets =
+          (st.prev_arbiter :: List.map (fun e -> e.Qlist.node) st.last_q)
+          |> List.filter (fun j -> j <> st.me)
+          |> List.sort_uniq compare
+        in
+        let sends = List.map (fun j -> Send (j, Enquiry { round })) targets in
+        ( { st with
+            recovery =
+              Some { rround = round; expected = targets; replied = []; waiting = [] };
+            enq_round = round },
+          sends
+          @ [ Set_timer (T_enquiry, cfg.Config.enquiry_timeout);
+              Note Recovery_started ] )
+      end
+
+(* Phase 2: every reply is in (or the arbiter timed out): if nobody has
+   the token, regenerate it with the still-waiting requesters at the
+   front of our queue (Section 6, Lost Token). *)
+let finish_recovery cfg ~now st =
+  match st.recovery with
+  | None -> (st, [])
+  | Some r ->
+      let st = { st with recovery = None } in
+      let invalidates =
+        List.map (fun e -> Send (e.Qlist.node, Invalidate { round = r.rround }))
+          (List.filter (fun e -> e.Qlist.node <> st.me) r.waiting)
+      in
+      let epoch = st.token_epoch + 1 in
+      let token =
+        { tq = []; granted = st.granted_known; epoch;
+          election = st.election }
+      in
+      let st = { st with token_epoch = epoch } in
+      let pre_q, st =
+        match st.role with
+        | Await_token q -> (q, st)
+        | Collecting { cq; _ } -> (cq, st)
+        | Normal | Forwarding _ -> ([], { st with role = Await_token [] })
+      in
+      let merged =
+        List.fold_left (fun acc e -> Qlist.enqueue e acc) r.waiting pre_q
+      in
+      let st, effs = become_collecting cfg ~now st merged token in
+      (st, invalidates @ (Note Token_regenerated :: effs)
+           @ [ Cancel_timer T_enquiry ])
+
+let receive_enquiry st ~src ~round =
+  let status =
+    if st.token <> None then Have_token
+    else if st.executed_this_round then Executed
+    else Waiting_token
+  in
+  let st =
+    if status = Have_token then
+      { st with suspended = true; enq_round = max st.enq_round round }
+    else { st with enq_round = max st.enq_round round }
+  in
+  (st, [ Send (src, Enquiry_reply { round; status }) ])
+
+let receive_enquiry_reply cfg ~now st ~src ~round ~status =
+  match st.recovery with
+  | Some r when r.rround = round ->
+      let r = { r with replied = src :: r.replied } in
+      (match status with
+      | Have_token ->
+          (* Token located: resume normal operation. *)
+          ( { st with recovery = None },
+            [ Send (src, Resume { round }); Cancel_timer T_enquiry ] )
+      | Executed | Waiting_token ->
+          let r =
+            if status = Waiting_token then
+              match
+                List.find_opt (fun e -> e.Qlist.node = src) st.last_q
+              with
+              | Some e -> { r with waiting = r.waiting @ [ e ] }
+              | None -> r
+            else r
+          in
+          let st = { st with recovery = Some r } in
+          let all_in =
+            List.for_all (fun j -> List.mem j r.replied) r.expected
+          in
+          if all_in then finish_recovery cfg ~now st else (st, []))
+  | _ -> (st, []) (* stale round *)
+
+let receive_resume cfg ~now st ~round =
+  if round < st.enq_round then (st, [])
+  else begin
+    let st = { st with suspended = false } in
+    match (st.in_cs, st.token) with
+    | false, Some token ->
+        (* We were frozen after finishing our CS: pass the token now. *)
+        pass_token_on cfg ~now st token
+    | _ -> (st, [])
+  end
+
+let receive_invalidate cfg st ~round =
+  if round < st.enq_round then (st, [])
+  else
+    ( { st with enq_round = round },
+      if cfg.Config.recovery && st.outstanding <> None then
+        [ Set_timer (T_token, cfg.Config.token_timeout) ]
+      else [] )
+
+let token_timeout cfg st =
+  if st.arbiter = st.me then
+    (* We are the arbiter and the token has not reached us. *)
+    match st.role with
+    | Await_token _ -> start_recovery cfg st
+    | Normal | Forwarding _ | Collecting _ -> (st, [])
+  else
+    match st.outstanding with
+    | None -> (st, [])
+    | Some _ ->
+        ( st,
+          [ Send (st.arbiter, Warning);
+            Set_timer (T_token, cfg.Config.token_timeout) ] )
+
+let watch_timeout cfg st =
+  (* We dispatched a while ago and saw no NEW-ARBITER since: probe the
+     arbiter we are watching. *)
+  if (not st.watching) || st.arbiter = st.me then (st, [])
+  else
+    ( st,
+      [ Send (st.arbiter, Probe);
+        Set_timer (T_probe, cfg.Config.enquiry_timeout) ] )
+
+let probe_timeout cfg ~now st =
+  ignore now;
+  (* The arbiter is dead: proclaim ourselves (Section 6, Failed
+     Arbiter), then locate or regenerate the token. *)
+  let st =
+    { st with
+      arbiter = st.me;
+      watching = false;
+      election = st.election + 1;
+      role =
+        (match st.role with
+        | Await_token _ | Collecting _ -> st.role
+        | Normal | Forwarding _ -> Await_token []) }
+  in
+  let effs =
+    [ Broadcast
+        (New_arbiter
+           {
+             na_arbiter = st.me;
+             na_q = [];
+             na_granted = st.granted_known;
+             na_counter = st.na_counter;
+             na_monitor = st.monitor;
+             na_epoch = st.token_epoch;
+             na_election = st.election;
+           });
+      Note Arbiter_takeover ]
+  in
+  let st, effs' = start_recovery cfg st in
+  (st, effs @ effs')
+
+(* ------------------------------------------------------------------ *)
+(* Main entry point                                                    *)
+
+let handle cfg ~now st (input : (message, timer) input) :
+    state * (message, timer) effect_ list =
+  match input with
+  | Request_cs -> request_cs cfg ~now st
+  | Cs_done -> cs_done cfg ~now st
+  | Timer_fired T_dispatch -> dispatch cfg ~now st
+  | Timer_fired T_forward_end -> (
+      match st.role with
+      | Forwarding _ -> ({ st with role = Normal }, [])
+      | _ -> (st, []))
+  | Timer_fired T_stash -> (
+      match st.role with
+      | Normal | Forwarding _ when st.stash <> [] && st.arbiter <> st.me ->
+          let live = Qlist.prune st.granted_known st.stash in
+          let sends =
+            List.concat_map
+              (fun e ->
+                [ Send (st.arbiter, Request { e with Qlist.hops = 0 });
+                  Note Stash_forwarded ])
+              live
+          in
+          ({ st with stash = [] }, sends)
+      | _ -> (st, []))
+  | Timer_fired T_retry -> (
+      match st.outstanding with
+      | Some seq
+        when st.arbiter <> st.me && (not st.in_cs) && st.retries_left <> 0 ->
+          let retries_left =
+            if st.retries_left > 0 then st.retries_left - 1
+            else st.retries_left
+          in
+          ( { st with retries_left },
+            [ Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()));
+              Set_timer (T_retry, retry_delay cfg st);
+              Note Retransmitted ] )
+      | _ -> (st, []))
+  | Timer_fired T_token ->
+      if cfg.Config.recovery then token_timeout cfg st else (st, [])
+  | Timer_fired T_enquiry -> finish_recovery cfg ~now st
+  | Timer_fired T_watch ->
+      if cfg.Config.recovery then watch_timeout cfg st else (st, [])
+  | Timer_fired T_probe ->
+      if cfg.Config.recovery then probe_timeout cfg ~now st else (st, [])
+  | Receive (_, Request e) -> receive_request cfg ~now st e
+  | Receive (_, Monitor_request e) -> receive_monitor_request cfg ~now st e
+  | Receive (_, Privilege token) ->
+      if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
+      else begin
+        let st =
+          { st with token_epoch = token.epoch;
+            election = max st.election token.election }
+        in
+        match token.tq with
+        | head :: _ when head.Qlist.node = st.me ->
+            launch_token cfg ~now st token
+        | _ -> pass_token_on cfg ~now st token
+      end
+  | Receive (_, Monitor_privilege token) ->
+      receive_monitor_privilege cfg ~now st token
+  | Receive (src, New_arbiter na) -> receive_new_arbiter cfg ~now st ~src na
+  | Receive (_, Warning) ->
+      if cfg.Config.recovery then start_recovery cfg st else (st, [])
+  | Receive (src, Enquiry { round }) -> receive_enquiry st ~src ~round
+  | Receive (src, Enquiry_reply { round; status }) ->
+      receive_enquiry_reply cfg ~now st ~src ~round ~status
+  | Receive (_, Resume { round }) -> receive_resume cfg ~now st ~round
+  | Receive (_, Invalidate { round }) -> receive_invalidate cfg st ~round
+  | Receive (src, Probe) -> (st, [ Send (src, Probe_ack) ])
+  | Receive (_, Probe_ack) ->
+      ( st,
+        if cfg.Config.recovery && st.watching then
+          [ Cancel_timer T_probe;
+            Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
+        else if cfg.Config.recovery then [ Cancel_timer T_probe ]
+        else [] )
+
+(* ------------------------------------------------------------------ *)
+(* Introspection and printing                                          *)
+
+let message_kind = function
+  | Request _ -> "REQUEST"
+  | Monitor_request _ -> "MONITOR-REQUEST"
+  | Privilege _ -> "PRIVILEGE"
+  | Monitor_privilege _ -> "MONITOR-PRIVILEGE"
+  | New_arbiter _ -> "NEW-ARBITER"
+  | Warning -> "WARNING"
+  | Enquiry _ -> "ENQUIRY"
+  | Enquiry_reply _ -> "ENQUIRY-REPLY"
+  | Resume _ -> "RESUME"
+  | Invalidate _ -> "INVALIDATE"
+  | Probe -> "PROBE"
+  | Probe_ack -> "PROBE-ACK"
+
+let pp_status ppf = function
+  | Have_token -> Format.pp_print_string ppf "have-token"
+  | Executed -> Format.pp_print_string ppf "executed"
+  | Waiting_token -> Format.pp_print_string ppf "waiting"
+
+let pp_message ppf = function
+  | Request e -> Format.fprintf ppf "REQUEST(%a)" Qlist.pp_entry e
+  | Monitor_request e ->
+      Format.fprintf ppf "MONITOR-REQUEST(%a)" Qlist.pp_entry e
+  | Privilege t -> Format.fprintf ppf "PRIVILEGE(%a)" Qlist.pp t.tq
+  | Monitor_privilege t ->
+      Format.fprintf ppf "MONITOR-PRIVILEGE(%a)" Qlist.pp t.tq
+  | New_arbiter na ->
+      Format.fprintf ppf "NEW-ARBITER(%d, %a, c=%d)" na.na_arbiter Qlist.pp
+        na.na_q na.na_counter
+  | Warning -> Format.pp_print_string ppf "WARNING"
+  | Enquiry { round } -> Format.fprintf ppf "ENQUIRY(r=%d)" round
+  | Enquiry_reply { round; status } ->
+      Format.fprintf ppf "ENQUIRY-REPLY(r=%d, %a)" round pp_status status
+  | Resume { round } -> Format.fprintf ppf "RESUME(r=%d)" round
+  | Invalidate { round } -> Format.fprintf ppf "INVALIDATE(r=%d)" round
+  | Probe -> Format.pp_print_string ppf "PROBE"
+  | Probe_ack -> Format.pp_print_string ppf "PROBE-ACK"
+
+let pp_role ppf = function
+  | Normal -> Format.pp_print_string ppf "normal"
+  | Await_token q -> Format.fprintf ppf "await-token%a" Qlist.pp q
+  | Collecting { cq; armed; _ } ->
+      Format.fprintf ppf "collecting%a%s" Qlist.pp cq
+        (if armed then "+" else "-")
+  | Forwarding { next_arbiter } ->
+      Format.fprintf ppf "forwarding->%d" next_arbiter
+
+let pp_state ppf st =
+  Format.fprintf ppf
+    "@[<h>node %d: arbiter=%d role=%a%s%s out=%s pend=%d misses=%d@]" st.me
+    st.arbiter pp_role st.role
+    (if st.in_cs then " IN-CS" else "")
+    (if st.token <> None then " TOKEN" else "")
+    (match st.outstanding with Some s -> string_of_int s | None -> "-")
+    st.pending st.misses

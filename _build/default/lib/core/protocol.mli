@@ -1,0 +1,182 @@
+(** The Banerjee–Chrysanthis arbiter/Q-list token protocol (ICDCS
+    1996) as a single pure state machine.
+
+    {!Types.Config} flags select the paper's variants: [monitor]
+    enables the Section 4.1 starvation-free extension, [priorities]
+    the Section 5.2 prioritized access, [least_served_first] the
+    Section 5.1 strict fairness ordering, and [recovery] the Section 6
+    failure handling. The exported modules {!Basic}, {!Monitored},
+    {!Resilient}, {!Prioritized} and {!Fair} are thin specializations.
+
+    All types are exposed concretely: tests, the model checker, and
+    fault-injection harnesses inspect protocol states freely. Regular
+    users should treat everything except {!init}, {!handle} and the
+    two predicates as read-only. *)
+
+open Types
+
+(** The PRIVILEGE message's payload (the {e token}). Exactly one
+    non-stale token exists at any time. *)
+type token = {
+  tq : Qlist.t;  (** The Q-list: nodes scheduled to enter the CS, in order. *)
+  granted : Qlist.Granted.g;
+      (** The Section 2.4 [L] vector: last served sequence number per
+          node; makes retransmitted requests idempotent. *)
+  epoch : int;
+      (** Regeneration counter (Section 6): a token resurfacing from
+          before a regeneration is discarded by its stale epoch. *)
+  election : int;
+      (** Arbiter hand-off counter; see {!new_arbiter.na_election}. *)
+}
+
+(** A node's answer to the two-phase token invalidation ENQUIRY
+    (Section 6): "I had the token and executed", "I have the token",
+    "I am waiting for the token". *)
+type enq_status = Have_token | Executed | Waiting_token
+
+(** Payload of the NEW-ARBITER broadcast. *)
+type new_arbiter = {
+  na_arbiter : node_id;  (** The newly declared arbiter: [Tail(Q)]. *)
+  na_q : Qlist.t;
+      (** The dispatched Q-list — doubling as the implicit
+          acknowledgement of every scheduled request (Section 6). *)
+  na_granted : Qlist.Granted.g;  (** Best-known [L] vector. *)
+  na_counter : int;
+      (** Monitor-period counter (Section 4.1), reset by the
+          monitor. *)
+  na_monitor : node_id;  (** Current monitor node; [-1] = variant off. *)
+  na_epoch : int;  (** Highest token epoch known to the sender. *)
+  na_election : int;
+      (** Monotone election number: receivers ignore announcements
+          older than the latest they have seen, so a reordered stale
+          broadcast can never re-elect a node that already handed the
+          role on. *)
+}
+
+(** Protocol messages. The first five are the paper's; WARNING through
+    PROBE-ACK implement Section 6. *)
+type message =
+  | Request of Qlist.entry  (** REQUEST(j, n): node j's (n+1)-th request. *)
+  | Monitor_request of Qlist.entry
+      (** Resubmission of a starving request to the monitor (§4.1). *)
+  | Privilege of token  (** The token, sent to [Head(Q)]. *)
+  | Monitor_privilege of token
+      (** Token routed through the monitor without a NEW-ARBITER
+          broadcast; the monitor augments Q and broadcasts instead. *)
+  | New_arbiter of new_arbiter
+  | Warning  (** Requester's token timeout fired (§6). *)
+  | Enquiry of { round : int }  (** Phase 1 of token invalidation. *)
+  | Enquiry_reply of { round : int; status : enq_status }
+  | Resume of { round : int }  (** Token located: continue normally. *)
+  | Invalidate of { round : int }
+      (** Token declared lost; the receiver is rescheduled at the
+          front of the regenerating arbiter's queue. *)
+  | Probe  (** Previous-arbiter liveness check of the current one. *)
+  | Probe_ack
+
+(** Timer keys (managed by the hosting runtime via [Set_timer] /
+    [Cancel_timer]; at most one instance of each key is armed). *)
+type timer =
+  | T_dispatch  (** End of the current request-collection window. *)
+  | T_forward_end  (** End of the request-forwarding phase. *)
+  | T_retry
+      (** Blind retransmission of an unacknowledged request; patience
+          scales with the observed Q-list length. *)
+  | T_stash  (** Drain parked third-party requests toward the arbiter. *)
+  | T_token  (** Requester's patience for the token (recovery). *)
+  | T_enquiry  (** Arbiter's patience for ENQUIRY replies. *)
+  | T_watch  (** The watcher's patience for arbiter liveness evidence. *)
+  | T_probe  (** Patience for a PROBE answer. *)
+
+(** The arbiter life-cycle of Figure 1, event-driven. *)
+type role =
+  | Normal  (** Not the arbiter. *)
+  | Await_token of Qlist.t
+      (** Elected arbiter, already collecting (the carried queue)
+          while the token is still travelling to us. *)
+  | Collecting of { cq : Qlist.t; anchor : float; armed : bool }
+      (** Arbiter holding the token. [anchor] is the start of the
+          window grid; [armed] whether [T_dispatch] is pending (an
+          idle arbiter keeps no timer running). *)
+  | Forwarding of { next_arbiter : node_id }
+      (** Post-dispatch: relaying late requests to the new arbiter. *)
+
+(** In-progress two-phase token invalidation (Section 6), at the
+    arbiter running it. *)
+type recovery = {
+  rround : int;  (** This invalidation's round number. *)
+  expected : node_id list;  (** Peers sent an ENQUIRY. *)
+  replied : node_id list;
+  waiting : Qlist.t;
+      (** Entries of peers that answered [Waiting_token]; they go to
+          the front of the regenerated token's queue. *)
+}
+
+(** Complete per-node protocol state. Pure: {!handle} returns a fresh
+    value. *)
+type state = {
+  me : node_id;
+  arbiter : node_id;  (** Believed current arbiter (the ARBITER variable). *)
+  prev_arbiter : node_id;  (** Tracked only when [recovery] is on. *)
+  monitor : node_id;  (** Current monitor; [-1] = variant off. *)
+  role : role;
+  next_seq : int;  (** Our request counter (Section 2.4 sequence numbers). *)
+  outstanding : int option;  (** Sequence number of our in-flight request. *)
+  pending : int;  (** Application requests queued behind [outstanding]. *)
+  in_cs : bool;
+  token : token option;
+  suspended : bool;  (** Token passing frozen by an ENQUIRY (Section 6). *)
+  misses : int;  (** Consecutive NEW-ARBITER broadcasts omitting us. *)
+  monitor_misses : int;  (** Misses since the last monitor resubmission (τ). *)
+  retries_left : int;  (** Timeout retransmissions remaining; [-1] = ∞. *)
+  observed_q_len : int;  (** |Q| in the last announcement seen. *)
+  last_q : Qlist.t;  (** Latest announced Q-list (recovery only). *)
+  granted_known : Qlist.Granted.g;  (** Best-known [L] vector. *)
+  na_counter : int;  (** §4.1 period counter (monitored variant only). *)
+  qsizes : int list;  (** Moving window of |Q| (monitored variant only). *)
+  executed_this_round : bool;  (** For ENQUIRY replies (recovery only). *)
+  monitor_buffer : Qlist.t;  (** Requests parked at the monitor. *)
+  stash : Qlist.t;
+      (** Third-party requests that reached us while we were not the
+          arbiter; relayed to the next arbiter we learn of. *)
+  token_epoch : int;  (** Highest token epoch witnessed. *)
+  election : int;  (** Highest election number witnessed. *)
+  enq_round : int;  (** Highest ENQUIRY round seen or started. *)
+  recovery : recovery option;
+  watching : bool;
+      (** Recovery only: we are the {e unique} watcher of the current
+          arbiter (the last dispatcher that handed the role to someone
+          else). Uniqueness is what makes PROBE-timeout takeover safe:
+          two simultaneous self-proclaimed arbiters would regenerate
+          two tokens. *)
+}
+
+val name : string
+
+val init : Config.t -> node_id -> state
+(** Initial state: [Config.initial_arbiter] starts as the collecting
+    arbiter holding the token; everyone else is [Normal]. *)
+
+val rejoin : Config.t -> node_id -> state
+(** Post-crash restart state: always a plain participant — never
+    resurrects the token or the arbiter role (see
+    {!Types.ALGO.rejoin}). *)
+
+val handle :
+  Config.t ->
+  now:float ->
+  state ->
+  (message, timer) input ->
+  state * (message, timer) effect_ list
+(** One atomic protocol step. See {!Types.ALGO.handle}. *)
+
+val in_cs : state -> bool
+val wants_cs : state -> bool
+
+val message_kind : message -> string
+(** ["REQUEST"], ["PRIVILEGE"], ["NEW-ARBITER"], ... — the labels used
+    in per-kind message accounting. *)
+
+val pp_message : Format.formatter -> message -> unit
+val pp_role : Format.formatter -> role -> unit
+val pp_state : Format.formatter -> state -> unit

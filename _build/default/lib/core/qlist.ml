@@ -1,0 +1,63 @@
+type entry = { node : Types.node_id; seq : int; hops : int }
+
+let entry ?(hops = 0) ~node ~seq () = { node; seq; hops }
+
+type t = entry list
+
+let pp_entry ppf e = Format.fprintf ppf "%d#%d" e.node e.seq
+
+let pp ppf q =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_entry)
+    q
+
+let mem node q = List.exists (fun e -> e.node = node) q
+let head = function [] -> None | e :: _ -> Some e
+
+let tail_node q =
+  match List.rev q with [] -> None | e :: _ -> Some e.node
+
+let enqueue e q =
+  let rec place = function
+    | [] -> [ e ]
+    | e' :: rest when e'.node = e.node ->
+        (* Keep the newer request in the earlier slot; drop the other. *)
+        (if e.seq > e'.seq then e else e') :: rest
+    | e' :: rest -> e' :: place rest
+  in
+  place q
+
+let sort_by_priority priorities q =
+  List.stable_sort
+    (fun a b -> compare priorities.(b.node) priorities.(a.node))
+    q
+
+let sort_least_served granted q =
+  List.stable_sort
+    (fun a b -> compare granted.(a.node) granted.(b.node))
+    q
+
+module Granted = struct
+  type g = int array
+
+  let create n = Array.make n (-1)
+  let already_served g e = g.(e.node) >= e.seq
+
+  let mark g e =
+    let g' = Array.copy g in
+    g'.(e.node) <- max g'.(e.node) e.seq;
+    g'
+
+  let merge a b = Array.mapi (fun i x -> max x b.(i)) a
+
+  let pp ppf g =
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         Format.pp_print_int)
+      (Array.to_list g)
+end
+
+let prune g q = List.filter (fun e -> not (Granted.already_served g e)) q

@@ -1,0 +1,67 @@
+(** The ordered list of scheduled critical-section requests carried
+    inside the token (the paper's {e Q-list}), plus the per-node
+    granted-sequence vector [L] of the Section 2.4 sequence-number
+    extension.
+
+    Entries are kept in service order: head is served next, tail is the
+    next arbiter. Sequence numbers make retransmitted requests
+    idempotent: an entry is dropped whenever [L] already records an
+    equal or newer grant for its node. *)
+
+type entry = {
+  node : Types.node_id;
+  seq : int;  (** The requester's request counter when it sent this. *)
+  hops : int;  (** Times this request has been forwarded (τ budget). *)
+}
+
+val entry : ?hops:int -> node:Types.node_id -> seq:int -> unit -> entry
+
+type t = entry list
+(** Service order, head first. The empty list is a valid (empty)
+    Q-list. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+val mem : Types.node_id -> t -> bool
+(** Is some request from this node scheduled? *)
+
+val head : t -> entry option
+val tail_node : t -> Types.node_id option
+(** The last entry's node — the next arbiter. *)
+
+val enqueue : entry -> t -> t
+(** FCFS insert at the back, deduplicating by node: if the node already
+    has an entry, keep the one with the larger sequence number in its
+    original position. *)
+
+val sort_by_priority : int array -> t -> t
+(** Stable sort, higher priority first (Section 5.2); FCFS order is
+    preserved within a priority level. *)
+
+val sort_least_served : int array -> t -> t
+(** Stable sort by past grants ascending: [granted.(node)] is the last
+    served sequence number, a proxy for how often the node has been
+    served (Section 5.1's stricter fairness). *)
+
+(** The granted vector [L]: [granted.(j)] is the sequence number of the
+    last request by node [j] that was (or is being) served. *)
+module Granted : sig
+  type g = int array
+
+  val create : int -> g
+  (** All entries [-1]: nothing granted yet. *)
+
+  val already_served : g -> entry -> bool
+  val mark : g -> entry -> g
+  (** Functional update recording that [entry] was served. *)
+
+  val merge : g -> g -> g
+  (** Pointwise max — used when a regenerated token meets a stale
+      one's knowledge. *)
+
+  val pp : Format.formatter -> g -> unit
+end
+
+val prune : Granted.g -> t -> t
+(** Remove entries already served according to [L]. *)

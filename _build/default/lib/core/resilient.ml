@@ -1,0 +1,19 @@
+(** The failure-handling variant of Section 6: token timeouts and
+    WARNING messages, the two-phase token invalidation protocol
+    (ENQUIRY / RESUME / INVALIDATE), and failed-arbiter takeover by the
+    previous arbiter (PROBE). *)
+
+include Protocol
+
+let name = "bc-resilient"
+
+let config ?(token_timeout = 5.0) ?(enquiry_timeout = 1.0)
+    ?(arbiter_timeout = 5.0) ?(t_collect = 0.1) ~n () =
+  {
+    (Types.Config.default ~n) with
+    Types.Config.recovery = true;
+    token_timeout;
+    enquiry_timeout;
+    arbiter_timeout;
+    t_collect;
+  }

@@ -1,0 +1,318 @@
+open Simkit
+
+type node_stats = { grants : int; dispatches : int; sent : int }
+
+type outcome = {
+  algorithm : string;
+  n : int;
+  rate : float;
+  completed : int;
+  sim_time : float;
+  messages : int;
+  messages_per_cs : float;
+  by_kind : (string * int) list;
+  mean_delay : float;
+  delay_ci95 : float;
+  max_delay : float;
+  forwarded : int;
+  forwarded_fraction : float;
+  retransmits : int;
+  dropped_requests : int;
+  monitor_passes : int;
+  notes : (string * int) list;
+  safety_violations : int;
+  unserved : int;
+  per_node : node_stats array;
+}
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s n=%d rate=%g: %d CS in %.1f sim-s@,\
+     messages/CS=%.4f (total %d)@,\
+     delay: mean=%.4f +/-%.4f max=%.4f@,\
+     forwarded=%d (%.4f%% of messages) retransmits=%d drops=%d@,\
+     monitor-passes=%d safety-violations=%d unserved=%d@]"
+    o.algorithm o.n o.rate o.completed o.sim_time o.messages_per_cs o.messages
+    o.mean_delay o.delay_ci95 o.max_delay o.forwarded
+    (100.0 *. o.forwarded_fraction)
+    o.retransmits o.dropped_requests o.monitor_passes o.safety_violations
+    o.unserved
+
+module Make (A : Types.ALGO) = struct
+  type node = {
+    mutable state : A.state;
+    timers : (A.timer, Engine.handle) Hashtbl.t;
+    arrivals : float Queue.t;  (* unserved request arrival times *)
+    mutable current : float option;  (* arrival time of the in-CS request *)
+    mutable crashed : bool;
+    mutable grants : int;
+    mutable dispatches : int;
+    mutable sent : int;
+  }
+
+  type t = {
+    cfg : Types.Config.t;
+    engine : Engine.t;
+    net : A.message Network.t;
+    nodes : node array;
+    trace : Trace.t;
+    notes : Stats.Counter.t;
+    kinds : Stats.Counter.t;
+    delays : Stats.Tally.t;
+    mutable completed : int;
+    mutable arrived : int;
+    mutable cs_holder : int option;
+    mutable safety_violations : int;
+    mutable target : int option;
+    mutable closed_loop : bool;
+  }
+
+  let engine t = t.engine
+  let network t = t.net
+  let state t i = t.nodes.(i).state
+
+  let rec create ?(seed = 42) ?(trace = Trace.create ()) ?latency cfg =
+    let cfg = Types.Config.validate cfg in
+    let engine = Engine.create () in
+    let rng = Rng.create seed in
+    let latency =
+      match latency with
+      | Some l -> l
+      | None -> Network.Constant cfg.Types.Config.t_msg
+    in
+    let net =
+      Network.create engine ~n:cfg.Types.Config.n ~rng:(Rng.split rng)
+        ~latency
+    in
+    let nodes =
+      Array.init cfg.Types.Config.n (fun i ->
+          {
+            state = A.init cfg i;
+            timers = Hashtbl.create 8;
+            arrivals = Queue.create ();
+            current = None;
+            crashed = false;
+            grants = 0;
+            dispatches = 0;
+            sent = 0;
+          })
+    in
+    let t =
+      {
+        cfg;
+        engine;
+        net;
+        nodes;
+        trace;
+        notes = Stats.Counter.create ();
+        kinds = Stats.Counter.create ();
+        delays = Stats.Tally.create ();
+        completed = 0;
+        arrived = 0;
+        cs_holder = None;
+        safety_violations = 0;
+        target = None;
+        closed_loop = false;
+      }
+    in
+    Network.set_handler net (fun ~src ~dst msg ->
+        dispatch t dst (Types.Receive (src, msg)));
+    t
+
+  and dispatch t i input =
+    let node = t.nodes.(i) in
+    if not node.crashed then begin
+      let now = Engine.now t.engine in
+      let state', effects = A.handle t.cfg ~now node.state input in
+      node.state <- state';
+      List.iter (apply t i) effects
+    end
+
+  and apply t i effect =
+    let node = t.nodes.(i) in
+    let now = Engine.now t.engine in
+    match effect with
+    | Types.Send (dst, m) ->
+        if dst <> i then begin
+          Stats.Counter.incr t.kinds (A.message_kind m);
+          node.sent <- node.sent + 1
+        end;
+        Trace.addf t.trace ~time:now ~node:i ~tag:"send" "-> %d: %a" dst
+          A.pp_message m;
+        Network.send t.net ~src:i ~dst m
+    | Types.Broadcast m ->
+        Stats.Counter.incr ~by:(t.cfg.Types.Config.n - 1) t.kinds
+          (A.message_kind m);
+        node.sent <- node.sent + t.cfg.Types.Config.n - 1;
+        Trace.addf t.trace ~time:now ~node:i ~tag:"broadcast" "%a"
+          A.pp_message m;
+        Network.broadcast t.net ~src:i m
+    | Types.Enter_cs ->
+        (match t.cs_holder with
+        | Some j when j <> i ->
+            t.safety_violations <- t.safety_violations + 1;
+            Trace.addf t.trace ~time:now ~node:i ~tag:"VIOLATION"
+              "entered CS while node %d inside" j
+        | _ -> ());
+        t.cs_holder <- Some i;
+        node.current <- Queue.take_opt node.arrivals;
+        Trace.add t.trace ~time:now ~node:i ~tag:"enter-cs" "";
+        ignore
+          (Engine.schedule t.engine ~delay:t.cfg.Types.Config.t_exec
+             (fun _ -> cs_exit t i))
+    | Types.Set_timer (k, d) ->
+        (match Hashtbl.find_opt node.timers k with
+        | Some h -> Engine.cancel t.engine h
+        | None -> ());
+        let h =
+          Engine.schedule t.engine ~delay:(Float.max d 0.0) (fun _ ->
+              Hashtbl.remove node.timers k;
+              dispatch t i (Types.Timer_fired k))
+        in
+        Hashtbl.replace node.timers k h
+    | Types.Cancel_timer k -> (
+        match Hashtbl.find_opt node.timers k with
+        | Some h ->
+            Engine.cancel t.engine h;
+            Hashtbl.remove node.timers k
+        | None -> ())
+    | Types.Note n ->
+        Stats.Counter.incr t.notes (Types.string_of_note n);
+        (match n with
+        | Types.Queue_length k ->
+            node.dispatches <- node.dispatches + 1;
+            Stats.Counter.incr ~by:k t.notes "queue-length-sum"
+        | _ -> ())
+
+  and cs_exit t i =
+    let node = t.nodes.(i) in
+    if not node.crashed then begin
+      let now = Engine.now t.engine in
+      (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
+      (match node.current with
+      | Some arrival -> Stats.Tally.add t.delays (now -. arrival)
+      | None -> ());
+      node.current <- None;
+      node.grants <- node.grants + 1;
+      t.completed <- t.completed + 1;
+      Trace.add t.trace ~time:now ~node:i ~tag:"exit-cs" "";
+      dispatch t i Types.Cs_done;
+      if t.closed_loop then request t i;
+      match t.target with
+      | Some k when t.completed >= k -> Engine.stop t.engine
+      | _ -> ()
+    end
+
+  and request t i =
+    let node = t.nodes.(i) in
+    if not node.crashed then begin
+      t.arrived <- t.arrived + 1;
+      Queue.add (Engine.now t.engine) node.arrivals;
+      Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"request" "";
+      dispatch t i Types.Request_cs
+    end
+
+  let crash t i =
+    let node = t.nodes.(i) in
+    node.crashed <- true;
+    Network.crash t.net i;
+    Hashtbl.iter (fun _ h -> Engine.cancel t.engine h) node.timers;
+    Hashtbl.reset node.timers;
+    (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
+    node.current <- None;
+    Queue.clear node.arrivals;
+    Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"crash" ""
+
+  let recover t i =
+    let node = t.nodes.(i) in
+    node.crashed <- false;
+    Network.recover t.net i;
+    node.state <- A.rejoin t.cfg i;
+    Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"recover" ""
+
+  let step_until t time = Engine.run ~until:time t.engine
+
+  let unserved t =
+    Array.fold_left
+      (fun acc node ->
+        acc + Queue.length node.arrivals
+        + (match node.current with Some _ -> 1 | None -> 0))
+      0 t.nodes
+
+  let outcome t =
+    let messages = Network.sent t.net in
+    let completed = t.completed in
+    let div a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+    let forwarded = Stats.Counter.get t.notes "forwarded" in
+    {
+      algorithm = A.name;
+      n = t.cfg.Types.Config.n;
+      rate = 0.0;
+      completed;
+      sim_time = Engine.now t.engine;
+      messages;
+      messages_per_cs = div messages completed;
+      by_kind = Stats.Counter.to_list t.kinds;
+      mean_delay =
+        (if Stats.Tally.count t.delays = 0 then 0.0
+         else Stats.Tally.mean t.delays);
+      delay_ci95 = Stats.Tally.ci95_halfwidth t.delays;
+      max_delay =
+        (if Stats.Tally.count t.delays = 0 then 0.0
+         else Stats.Tally.max t.delays);
+      forwarded;
+      forwarded_fraction = div forwarded messages;
+      retransmits = Stats.Counter.get t.notes "retransmitted";
+      dropped_requests = Stats.Counter.get t.notes "dropped-request";
+      monitor_passes = Stats.Counter.get t.notes "monitor-pass";
+      notes = Stats.Counter.to_list t.notes;
+      safety_violations = t.safety_violations;
+      unserved = unserved t;
+      per_node =
+        Array.map
+          (fun node ->
+            { grants = node.grants; dispatches = node.dispatches;
+              sent = node.sent })
+          t.nodes;
+    }
+
+  let run_poisson ?(seed = 42) ?(requests = 10_000) ?(rate = 1.0) ?trace
+      ?latency cfg =
+    let t =
+      match trace with
+      | Some tr -> create ~seed ~trace:tr ?latency cfg
+      | None -> create ~seed ?latency cfg
+    in
+    t.target <- Some requests;
+    let rng = Rng.create (seed lxor 0x5f5f5f) in
+    let sources =
+      Array.init cfg.Types.Config.n (fun i ->
+          let node_rng = Rng.split rng in
+          Workload.poisson t.engine ~rng:node_rng ~rate ~on_arrival:(fun _ ->
+              request t i))
+    in
+    Engine.run t.engine;
+    Array.iter Workload.stop sources;
+    { (outcome t) with rate }
+
+  let run_saturated ?(seed = 42) ?(requests = 10_000) ?trace ?latency cfg =
+    let t =
+      match trace with
+      | Some tr -> create ~seed ~trace:tr ?latency cfg
+      | None -> create ~seed ?latency cfg
+    in
+    t.target <- Some requests;
+    t.closed_loop <- true;
+    for i = 0 to cfg.Types.Config.n - 1 do
+      request t i
+    done;
+    Engine.run t.engine;
+    outcome t
+end
+
+let replicate ~runs f =
+  if runs <= 0 then invalid_arg "Sim_runner.replicate: runs must be positive";
+  let outcomes = List.init runs (fun k -> f ~seed:(1000 + (7919 * k))) in
+  let tally = Stats.Tally.create () in
+  List.iter (fun o -> Stats.Tally.add tally o.messages_per_cs) outcomes;
+  (outcomes, (Stats.Tally.mean tally, Stats.Tally.ci95_halfwidth tally))

@@ -1,0 +1,107 @@
+(** Drive any {!Types.ALGO} state machine inside the simkit
+    discrete-event engine and collect the paper's metrics: messages per
+    CS invocation (Figure 3), delay per CS (Figure 4), forwarded
+    fraction (Figure 5), plus per-message-kind counts and every
+    {!Types.note}. *)
+
+(** Per-node activity counters, for the paper's Section 5.1
+    load-balance claims: the arbiter role should gravitate to the
+    nodes that generate the load. *)
+type node_stats = {
+  grants : int;  (** CS executions by this node. *)
+  dispatches : int;  (** Collection windows this node dispatched as arbiter. *)
+  sent : int;  (** Messages this node sent (broadcast = n-1). *)
+}
+
+(** Summary of one simulation run. *)
+type outcome = {
+  algorithm : string;
+  n : int;
+  rate : float;  (** Per-node Poisson arrival rate; [0.] if closed-loop. *)
+  completed : int;  (** CS executions observed. *)
+  sim_time : float;  (** Simulated seconds elapsed. *)
+  messages : int;  (** Total network messages. *)
+  messages_per_cs : float;
+  by_kind : (string * int) list;  (** Message counts per protocol kind. *)
+  mean_delay : float;  (** Mean request-arrival → CS-exit time. *)
+  delay_ci95 : float;
+  max_delay : float;
+  forwarded : int;
+  forwarded_fraction : float;  (** forwarded / total messages (Fig. 5). *)
+  retransmits : int;
+  dropped_requests : int;
+  monitor_passes : int;
+  notes : (string * int) list;  (** Every note counter, sorted. *)
+  safety_violations : int;  (** Simultaneous-CS detections; must be 0. *)
+  unserved : int;  (** Requests arrived but never served (liveness). *)
+  per_node : node_stats array;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+module Make (A : Types.ALGO) : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?trace:Simkit.Trace.t ->
+    ?latency:Simkit.Network.latency ->
+    Types.Config.t ->
+    t
+  (** Build a simulation: [Config.n] nodes in their initial states.
+      [latency] defaults to a constant [t_msg] network; pass e.g.
+      [Simkit.Topology.latency] for topology studies. *)
+
+  val engine : t -> Simkit.Engine.t
+  val network : t -> A.message Simkit.Network.t
+  val state : t -> int -> A.state
+  (** Current protocol state of a node (for tests). *)
+
+  val request : t -> int -> unit
+  (** Inject an application CS request at a node, at the current
+      simulated time. *)
+
+  val crash : t -> int -> unit
+  (** Fail-stop a node: its messages are dropped, its timers cancelled,
+      its inputs ignored. If it held the token, the token dies with it. *)
+
+  val recover : t -> int -> unit
+  (** Restart a crashed node with a fresh [rejoin] state (it never
+      resurrects a token or role it held before the crash). *)
+
+  val step_until : t -> float -> unit
+  (** Run the engine up to an absolute simulated time. *)
+
+  val run_poisson :
+    ?seed:int ->
+    ?requests:int ->
+    ?rate:float ->
+    ?trace:Simkit.Trace.t ->
+    ?latency:Simkit.Network.latency ->
+    Types.Config.t ->
+    outcome
+  (** Open-loop experiment (the paper's Section 3.3 setup): every node
+      draws CS requests from an independent Poisson process of rate
+      [rate] (default [1.0]) and the run stops after [requests]
+      (default [10_000]) CS executions. *)
+
+  val run_saturated :
+    ?seed:int ->
+    ?requests:int ->
+    ?trace:Simkit.Trace.t ->
+    ?latency:Simkit.Network.latency ->
+    Types.Config.t ->
+    outcome
+  (** Closed-loop heavy-load experiment: every node re-requests the CS
+      immediately after leaving it, so the Q-list stays full — the
+      regime of Eqs. 4-6. *)
+
+  val outcome : t -> outcome
+  (** Snapshot metrics of a manually driven simulation. *)
+end
+
+val replicate :
+  runs:int -> (seed:int -> outcome) -> outcome list * (float * float)
+(** Run an experiment under [runs] different seeds; return the
+    individual outcomes and the (mean, 95% CI half-width) of
+    [messages_per_cs] across runs. *)

@@ -1,0 +1,224 @@
+(** Shared vocabulary for every mutual-exclusion algorithm in this
+    repository.
+
+    All algorithms — the paper's arbiter protocol and the six baselines
+    — are expressed as {e pure} state machines over the {!input} /
+    {!effect_} types below, which is what lets a single implementation
+    be driven by the discrete-event simulator ({!Sim_runner}), by the
+    real TCP runtime ([Netkit.Node_runner]), and by the exhaustive
+    model checker ([Mcheck]). *)
+
+type node_id = int
+(** Nodes are numbered [0 .. n-1]. The paper's "node 1" is our node
+    [0]. *)
+
+(** Protocol configuration. Field names follow the paper's notation
+    where one exists. *)
+module Config = struct
+  type t = {
+    n : int;  (** Number of nodes, [N]. *)
+    t_msg : float;  (** Message transmission time [T_msg] (analysis & timeouts). *)
+    t_exec : float;  (** CS execution time [T_exec] (driven by the runner). *)
+    t_collect : float;  (** Request collection phase duration [T_req]. *)
+    t_forward : float;  (** Request forwarding phase duration [T_fwd]. *)
+    initial_arbiter : node_id;  (** The node assigned arbiter at start-up. *)
+    skip_new_arbiter_to_tail : bool;
+        (** Section 3.1 optimization: suppress the NEW-ARBITER broadcast
+            when the Q-list is a singleton (the token alone proves
+            arbitership to its receiver). Default [false], matching the
+            accounting of Eq. 1. *)
+    monitor : node_id option;
+        (** Enable the Section 4.1 starvation-free variant with this
+            monitor node. *)
+    rotate_monitor : bool;
+        (** Section 5.1: rotate the monitor role round-robin via the
+            NEW-ARBITER broadcast. Only meaningful with [monitor]. *)
+    forward_threshold : int;
+        (** τ: forwarding hop budget for a request, and the number of
+            consecutive NEW-ARBITER misses after which a requester
+            resubmits to the monitor. *)
+    window : int;
+        (** Moving-window length (in NEW-ARBITER observations) for the
+            average Q-list size that adapts the monitor period. *)
+    retransmit_misses : int;
+        (** Consecutive NEW-ARBITER broadcasts that may omit an
+            outstanding request before the requester retransmits
+            (Section 6, Lost Request). [2] tolerates the benign case of
+            a request still in flight or being forwarded when a
+            broadcast goes out. *)
+    retry_timeout : float;
+        (** Requester's blind retransmission timeout (Section 6:
+            "appropriate timeouts may also be used to retransmit a
+            request"). Without it a dropped request whose owner never
+            observes another NEW-ARBITER broadcast would wait forever —
+            the model checker exhibits exactly that deadlock. *)
+    max_retries : int;
+        (** Bound on timeout-driven retransmissions per request;
+            [-1] = unbounded (production default). The model checker
+            sets a small bound to keep its state space finite. *)
+    priorities : int array option;
+        (** Section 5.2 static priorities (larger = more urgent). The
+            arbiter stably sorts the Q-list by priority at dispatch. *)
+    least_served_first : bool;
+        (** Section 5.1's stricter fairness ("a scheme similar to
+            Suzuki-Kasami's"): the arbiter stably sorts each dispatched
+            Q-list so nodes with fewer past grants (smaller entries in
+            the token's L vector) go first. Mutually composable with
+            FCFS (it is the tie-break) but ignored when [priorities]
+            is set. *)
+    recovery : bool;
+        (** Enable the Section 6 failure-recovery machinery (token
+            timeouts, WARNING / two-phase invalidation, arbiter
+            takeover). *)
+    token_timeout : float;
+        (** Requester's patience for the token after its request was
+            confirmed scheduled. *)
+    enquiry_timeout : float;  (** Arbiter's patience for ENQUIRY replies. *)
+    arbiter_timeout : float;
+        (** Previous arbiter's patience for evidence that the new
+            arbiter is alive. *)
+  }
+
+  (** Defaults mirror the paper's simulation: [t_msg = t_forward =
+      t_exec = 0.1], [t_collect = 0.1], node 0 as initial arbiter, no
+      monitor, no priorities, recovery off. *)
+  let default ~n =
+    if n <= 0 then invalid_arg "Config.default: n must be positive";
+    {
+      n;
+      t_msg = 0.1;
+      t_exec = 0.1;
+      t_collect = 0.1;
+      t_forward = 0.1;
+      initial_arbiter = 0;
+      skip_new_arbiter_to_tail = false;
+      monitor = None;
+      rotate_monitor = false;
+      forward_threshold = 3;
+      window = 16;
+      retransmit_misses = 2;
+      retry_timeout = 4.0;
+      max_retries = -1;
+      priorities = None;
+      least_served_first = false;
+      recovery = false;
+      token_timeout = 5.0;
+      enquiry_timeout = 1.0;
+      arbiter_timeout = 5.0;
+    }
+
+  let validate t =
+    if t.n <= 0 then invalid_arg "Config: n must be positive";
+    if t.initial_arbiter < 0 || t.initial_arbiter >= t.n then
+      invalid_arg "Config: initial_arbiter out of range";
+    (match t.monitor with
+    | Some m when m < 0 || m >= t.n ->
+        invalid_arg "Config: monitor out of range"
+    | _ -> ());
+    (match t.priorities with
+    | Some p when Array.length p <> t.n ->
+        invalid_arg "Config: priorities array must have length n"
+    | _ -> ());
+    if t.t_collect < 0.0 || t.t_forward < 0.0 || t.t_exec < 0.0 then
+      invalid_arg "Config: negative duration";
+    t
+end
+
+(** Events fed into a node's state machine by whichever runtime hosts
+    it. *)
+type ('msg, 'timer) input =
+  | Request_cs  (** The local application wants the critical section. *)
+  | Cs_done  (** The local application left the critical section. *)
+  | Receive of node_id * 'msg  (** A message arrived from a peer. *)
+  | Timer_fired of 'timer  (** A timer armed via [Set_timer] expired. *)
+
+(** Observable metric events emitted by algorithms via [Note]; the
+    runtimes count them. *)
+type note =
+  | Forwarded  (** A REQUEST was relayed during the forwarding phase. *)
+  | Dropped_request  (** A REQUEST was discarded (late or over τ hops). *)
+  | Stashed
+      (** A REQUEST reached a node that is not (or not yet) the
+          arbiter; it is parked and handed to the next known arbiter
+          instead of being dropped. *)
+  | Stash_forwarded  (** A parked REQUEST was passed along. *)
+  | Retransmitted  (** A requester resent after a NEW-ARBITER miss. *)
+  | Resubmitted_to_monitor  (** Starvation escape hatch used (§4.1). *)
+  | Became_arbiter
+  | Monitor_pass  (** The token was routed through the monitor. *)
+  | Queue_length of int  (** Q-list length at dispatch. *)
+  | Recovery_started  (** Two-phase token invalidation began (§6). *)
+  | Token_regenerated  (** A lost token was replaced (§6). *)
+  | Arbiter_takeover  (** Previous arbiter proclaimed itself (§6). *)
+  | Custom of string
+
+let string_of_note = function
+  | Forwarded -> "forwarded"
+  | Dropped_request -> "dropped-request"
+  | Stashed -> "stashed"
+  | Stash_forwarded -> "stash-forwarded"
+  | Retransmitted -> "retransmitted"
+  | Resubmitted_to_monitor -> "resubmitted-to-monitor"
+  | Became_arbiter -> "became-arbiter"
+  | Monitor_pass -> "monitor-pass"
+  | Queue_length _ -> "queue-length"
+  | Recovery_started -> "recovery-started"
+  | Token_regenerated -> "token-regenerated"
+  | Arbiter_takeover -> "arbiter-takeover"
+  | Custom s -> s
+
+(** Actions requested of the hosting runtime by a state-machine step. *)
+type ('msg, 'timer) effect_ =
+  | Send of node_id * 'msg
+  | Broadcast of 'msg  (** Deliver to every node except the sender. *)
+  | Enter_cs
+      (** Start executing the critical section; the runtime answers
+          with [Cs_done] when the application (or the simulated
+          [t_exec]) finishes. *)
+  | Set_timer of 'timer * float
+      (** Arm (or re-arm) the timer identified by the key. *)
+  | Cancel_timer of 'timer
+  | Note of note
+
+(** The interface every algorithm implements. Implementations must be
+    pure: [handle] returns a fresh state and never mutates. *)
+module type ALGO = sig
+  type state
+  type message
+  type timer
+
+  val name : string
+
+  val init : Config.t -> node_id -> state
+  (** Initial state of one node. *)
+
+  val rejoin : Config.t -> node_id -> state
+  (** State for a node restarting after a fail-stop crash: like
+      [init], but a rejoining node must never resurrect authority it
+      lost — in particular it must not re-manufacture the token or a
+      coordinator role it held at start-up. *)
+
+  val handle :
+    Config.t ->
+    now:float ->
+    state ->
+    (message, timer) input ->
+    state * (message, timer) effect_ list
+  (** One atomic step: consume an input, produce the successor state
+      and the effects to apply. [now] is the host's current time; pure
+      algorithms may only use it to compute relative deadlines. *)
+
+  val in_cs : state -> bool
+  (** Whether this node believes it is inside the critical section
+      (used by safety checks). *)
+
+  val wants_cs : state -> bool
+  (** Whether this node has an unserved request (used by liveness
+      checks). *)
+
+  val message_kind : message -> string
+  (** Short label for per-kind message accounting, e.g. ["REQUEST"]. *)
+
+  val pp_message : Format.formatter -> message -> unit
+  val pp_state : Format.formatter -> state -> unit
+end

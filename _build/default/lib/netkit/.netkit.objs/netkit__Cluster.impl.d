@@ -1,0 +1,1 @@
+lib/netkit/cluster.ml: Array Dmutex List Node_runner Transport Unix Wire

@@ -1,0 +1,1 @@
+lib/netkit/cluster.mli: Dmutex Node_runner Wire

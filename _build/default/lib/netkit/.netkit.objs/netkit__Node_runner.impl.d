@@ -1,0 +1,1 @@
+lib/netkit/node_runner.ml: Condition Config Dmutex Float Fun Hashtbl List Logs Mutex Thread Transport Unix Wire

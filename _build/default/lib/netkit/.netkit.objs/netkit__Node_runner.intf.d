@@ -1,0 +1,1 @@
+lib/netkit/node_runner.mli: Dmutex Transport Wire

@@ -1,0 +1,1 @@
+lib/netkit/transport.ml: Array Bytes Format Int32 Logs Mutex Printf Random String Thread Unix

@@ -1,0 +1,1 @@
+lib/netkit/transport.mli: Format

@@ -1,0 +1,52 @@
+module Make
+    (A : Dmutex.Types.ALGO)
+    (C : Wire.CODEC with type message = A.message) =
+struct
+  module Node = Node_runner.Make (A) (C)
+
+  type t = { nodes : Node.t array; mutable live : bool array }
+
+  let endpoints ~base_port n =
+    Array.init n (fun i ->
+        { Transport.host = "127.0.0.1"; port = base_port + i })
+
+  let try_launch cfg ~base_port =
+    let n = cfg.Dmutex.Types.Config.n in
+    let peers = endpoints ~base_port n in
+    let started = ref [] in
+    try
+      let nodes =
+        Array.init n (fun i ->
+            let node = Node.create cfg ~me:i ~peers () in
+            started := node :: !started;
+            node)
+      in
+      Some { nodes; live = Array.make n true }
+    with Unix.Unix_error ((EADDRINUSE | EACCES), _, _) ->
+      List.iter Node.shutdown !started;
+      None
+
+  let launch ?(base_port = 7801) cfg =
+    (* Ports may be taken by a previous run still in TIME_WAIT; probe a
+       few bases before giving up. *)
+    let rec attempt k =
+      if k >= 20 then failwith "Cluster.launch: no free port range"
+      else
+        match try_launch cfg ~base_port:(base_port + (k * 100)) with
+        | Some t -> t
+        | None -> attempt (k + 1)
+    in
+    attempt 0
+
+  let node t i = t.nodes.(i)
+  let n t = Array.length t.nodes
+
+  let crash t i =
+    if t.live.(i) then begin
+      t.live.(i) <- false;
+      Node.shutdown t.nodes.(i)
+    end
+
+  let shutdown t =
+    Array.iteri (fun i _ -> crash t i) t.nodes
+end

@@ -1,0 +1,27 @@
+(** In-process test cluster: [n] protocol nodes on loopback TCP.
+
+    Each node is a full {!Node_runner} with its own sockets and
+    threads; only the process boundary is missing compared to a real
+    deployment. Used by the examples and the end-to-end tests. *)
+
+module Make
+    (A : Dmutex.Types.ALGO)
+    (C : Wire.CODEC with type message = A.message) : sig
+  module Node : module type of Node_runner.Make (A) (C)
+
+  type t
+
+  val launch : ?base_port:int -> Dmutex.Types.Config.t -> t
+  (** Start [cfg.n] nodes on 127.0.0.1 ports [base_port ..
+      base_port+n-1] (default base port 7801; picks free ports by
+      retrying a few bases on bind failure). *)
+
+  val node : t -> int -> Node.t
+  val n : t -> int
+
+  val crash : t -> int -> unit
+  (** Fail-stop one node (sockets closed, threads stopped). *)
+
+  val shutdown : t -> unit
+  (** Stop every node. *)
+end

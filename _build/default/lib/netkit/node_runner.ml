@@ -1,0 +1,156 @@
+let src_log = Logs.Src.create "netkit.node" ~doc:"protocol node runner"
+
+module Log = (val Logs.src_log src_log)
+
+module Make
+    (A : Dmutex.Types.ALGO)
+    (C : Wire.CODEC with type message = A.message) =
+struct
+  open Dmutex.Types
+
+  type t = {
+    cfg : Config.t;
+    me : int;
+    mutable state : A.state;
+    lock : Mutex.t;
+    granted : Condition.t;
+    mutable transport : Transport.t option;
+    (* timers: key -> absolute wall-clock deadline *)
+    timers : (A.timer, float) Hashtbl.t;
+    mutable stopping : bool;
+    on_grant : unit -> unit;
+    start : float;
+  }
+
+  let now t = Unix.gettimeofday () -. t.start
+
+  (* Apply effects under [t.lock]. *)
+  let rec apply t = function
+    | Send (dst, m) -> (
+        match t.transport with
+        | Some tr -> ignore (Transport.send tr ~dst (C.encode m))
+        | None -> ())
+    | Broadcast m -> (
+        match t.transport with
+        | Some tr -> ignore (Transport.broadcast tr (C.encode m))
+        | None -> ())
+    | Enter_cs ->
+        Condition.broadcast t.granted;
+        t.on_grant ()
+    | Set_timer (k, d) ->
+        Hashtbl.replace t.timers k (Unix.gettimeofday () +. Float.max d 0.0)
+    | Cancel_timer k -> Hashtbl.remove t.timers k
+    | Note n ->
+        Log.debug (fun m -> m "node %d: %s" t.me (string_of_note n))
+
+  and step_locked t input =
+    let state', effects = A.handle t.cfg ~now:(now t) t.state input in
+    t.state <- state';
+    List.iter (apply t) effects
+
+  let step t input =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> step_locked t input)
+
+  (* Wall-clock timers with a polling granularity of 1 ms: plenty for
+     protocol phases in the 10-100 ms range. *)
+  let timer_loop t =
+    while not t.stopping do
+      Thread.delay 0.001;
+      let now_abs = Unix.gettimeofday () in
+      Mutex.lock t.lock;
+      let due =
+        Hashtbl.fold
+          (fun k deadline acc -> if deadline <= now_abs then k :: acc else acc)
+          t.timers []
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove t.timers k;
+          step_locked t (Timer_fired k))
+        due;
+      Mutex.unlock t.lock
+    done
+
+  let create ?(on_grant = fun () -> ()) cfg ~me ~peers () =
+    let t =
+      {
+        cfg;
+        me;
+        state = A.init cfg me;
+        lock = Mutex.create ();
+        granted = Condition.create ();
+        transport = None;
+        timers = Hashtbl.create 8;
+        stopping = false;
+        on_grant;
+        start = Unix.gettimeofday ();
+      }
+    in
+    let on_frame ~src payload =
+      match C.decode payload with
+      | m -> step t (Receive (src, m))
+      | exception Wire.Malformed msg ->
+          Log.warn (fun f -> f "node %d: dropping bad frame from %d: %s" me src msg)
+    in
+    t.transport <- Some (Transport.create ~me ~peers ~on_frame ());
+    ignore (Thread.create timer_loop t);
+    t
+
+  let acquire t = step t Request_cs
+  let release t = step t Cs_done
+
+  let holding t =
+    Mutex.lock t.lock;
+    let h = A.in_cs t.state in
+    Mutex.unlock t.lock;
+    h
+
+  let with_lock ?(timeout = 30.0) t f =
+    let deadline = Unix.gettimeofday () +. timeout in
+    acquire t;
+    Mutex.lock t.lock;
+    let rec wait () =
+      if A.in_cs t.state then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        (* OCaml's Condition has no timed wait; poll with a short
+           unlock window instead. *)
+        Mutex.unlock t.lock;
+        Thread.delay 0.001;
+        Mutex.lock t.lock;
+        wait ()
+      end
+    in
+    let ok = wait () in
+    Mutex.unlock t.lock;
+    if ok then
+      Fun.protect ~finally:(fun () -> release t) (fun () -> Some (f ()))
+    else None
+
+  let state t =
+    Mutex.lock t.lock;
+    let s = t.state in
+    Mutex.unlock t.lock;
+    s
+
+  let messages_sent t =
+    match t.transport with Some tr -> Transport.sent tr | None -> 0
+
+  let set_loss t p =
+    match t.transport with
+    | Some tr -> Transport.set_loss tr p
+    | None -> ()
+
+  let inject t input = step t input
+
+  let shutdown t =
+    t.stopping <- true;
+    match t.transport with
+    | Some tr ->
+        t.transport <- None;
+        Transport.close tr
+    | None -> ()
+end

@@ -1,0 +1,58 @@
+(** Host one protocol state machine on a real network.
+
+    The same pure {!Dmutex.Types.ALGO} implementations that the
+    simulator and the model checker drive are run here over framed TCP
+    ({!Transport}) with wall-clock timers, turning the paper's
+    algorithm into a usable distributed lock. *)
+
+module Make
+    (A : Dmutex.Types.ALGO)
+    (C : Wire.CODEC with type message = A.message) : sig
+  type t
+
+  val create :
+    ?on_grant:(unit -> unit) ->
+    Dmutex.Types.Config.t ->
+    me:int ->
+    peers:Transport.endpoint array ->
+    unit ->
+    t
+  (** Start a node: bind its endpoint, start its timer thread, and put
+      the state machine in its initial state. [on_grant] fires (on an
+      internal thread) whenever the node enters the critical section;
+      alternatively use {!with_lock}. *)
+
+  val acquire : t -> unit
+  (** Ask for the critical section (non-blocking). *)
+
+  val release : t -> unit
+  (** Leave the critical section. Must only be called while holding
+      it. *)
+
+  val holding : t -> bool
+  (** Whether this node is currently inside the critical section. *)
+
+  val with_lock : ?timeout:float -> t -> (unit -> 'a) -> 'a option
+  (** [with_lock t f] acquires the distributed lock, runs [f], and
+      releases. Returns [None] if [timeout] (default 30 s) expires
+      before the lock is granted — the request is then abandoned
+      (a later grant is released immediately). *)
+
+  val state : t -> A.state
+  (** Snapshot of the protocol state (for inspection and tests). *)
+
+  val messages_sent : t -> int
+
+  val set_loss : t -> float -> unit
+  (** Drop outgoing frames with this probability (chaos testing; see
+      {!Transport.set_loss}). *)
+
+  val inject : t -> (A.message, A.timer) Dmutex.Types.input -> unit
+  (** Feed an arbitrary input to the state machine — test hook for
+      fault drills (e.g. simulating a WARNING or a timer). *)
+
+  val shutdown : t -> unit
+  (** Close sockets and stop the timer thread. The node stops
+      responding — to the rest of the cluster this is a crash, which
+      is exactly how fail-stop drills are staged. *)
+end

@@ -1,0 +1,172 @@
+type endpoint = { host : string; port : int }
+
+let pp_endpoint ppf e = Format.fprintf ppf "%s:%d" e.host e.port
+
+let src_log = Logs.Src.create "netkit.transport" ~doc:"framed TCP transport"
+
+module Log = (val Logs.src_log src_log)
+
+type t = {
+  me : int;
+  peers : endpoint array;
+  on_frame : src:int -> string -> unit;
+  listener : Unix.file_descr;
+  mutable outbound : Unix.file_descr option array;
+  out_mutex : Mutex.t;
+  mutable sent : int;
+  mutable closed : bool;
+  mutable loss : float;
+  loss_rng : Random.State.t;
+}
+
+let rec really_read fd buf off len =
+  if len > 0 then begin
+    let n = Unix.read fd buf off len in
+    if n = 0 then raise End_of_file;
+    really_read fd buf (off + n) (len - n)
+  end
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  really_read fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > 64 * 1024 * 1024 then
+    failwith (Printf.sprintf "Transport: bad frame length %d" len);
+  let payload = Bytes.create len in
+  really_read fd payload 0 len;
+  Bytes.unsafe_to_string payload
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let rec push off remaining =
+    if remaining > 0 then begin
+      let n = Unix.write fd buf off remaining in
+      push (off + n) (remaining - n)
+    end
+  in
+  push 0 (4 + len)
+
+(* Every frame starts with the sender id so the receiver can
+   demultiplex without per-peer inbound sockets. *)
+let reader_loop t fd =
+  try
+    while not t.closed do
+      let frame = read_frame fd in
+      if String.length frame < 4 then failwith "Transport: short frame";
+      let src = Int32.to_int (String.get_int32_be frame 0) in
+      let payload = String.sub frame 4 (String.length frame - 4) in
+      t.on_frame ~src payload
+    done
+  with
+  | End_of_file | Unix.Unix_error _ -> (try Unix.close fd with _ -> ())
+  | Failure msg ->
+      Log.warn (fun m -> m "reader stopped: %s" msg);
+      (try Unix.close fd with _ -> ())
+
+let accept_loop t =
+  try
+    while not t.closed do
+      let fd, _addr = Unix.accept t.listener in
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      ignore (Thread.create (reader_loop t) fd)
+    done
+  with Unix.Unix_error _ -> ()
+
+let create ~me ~peers ~on_frame () =
+  let ep = peers.(me) in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener
+    (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
+  Unix.listen listener 64;
+  let t =
+    {
+      me;
+      peers;
+      on_frame;
+      listener;
+      outbound = Array.make (Array.length peers) None;
+      out_mutex = Mutex.create ();
+      sent = 0;
+      closed = false;
+      loss = 0.0;
+      loss_rng = Random.State.make [| 0x10ad; me |];
+    }
+  in
+  ignore (Thread.create accept_loop t);
+  t
+
+let connect t dst =
+  let ep = t.peers.(dst) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Some fd
+  with Unix.Unix_error _ ->
+    (try Unix.close fd with _ -> ());
+    None
+
+let set_loss t p = t.loss <- p
+
+let send t ~dst payload =
+  if t.closed || dst = t.me then false
+  else if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then
+    (* Chaos mode: pretend the network ate it. *)
+    true
+  else begin
+    Mutex.lock t.out_mutex;
+    let result =
+      let fd =
+        match t.outbound.(dst) with
+        | Some fd -> Some fd
+        | None ->
+            let fd = connect t dst in
+            t.outbound.(dst) <- fd;
+            fd
+      in
+      match fd with
+      | None -> false
+      | Some fd -> (
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_be hdr 0 (Int32.of_int t.me);
+          try
+            write_frame fd (Bytes.to_string hdr ^ payload);
+            t.sent <- t.sent + 1;
+            true
+          with Unix.Unix_error _ | Sys_error _ ->
+            (try Unix.close fd with _ -> ());
+            t.outbound.(dst) <- None;
+            false)
+    in
+    Mutex.unlock t.out_mutex;
+    result
+  end
+
+let broadcast t payload =
+  let ok = ref 0 in
+  for dst = 0 to Array.length t.peers - 1 do
+    if dst <> t.me && send t ~dst payload then incr ok
+  done;
+  !ok
+
+let sent t = t.sent
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.listener with _ -> ());
+    Mutex.lock t.out_mutex;
+    Array.iteri
+      (fun i fd ->
+        match fd with
+        | Some fd ->
+            (try Unix.close fd with _ -> ());
+            t.outbound.(i) <- None
+        | None -> ())
+      t.outbound;
+    Mutex.unlock t.out_mutex
+  end

@@ -1,0 +1,47 @@
+(** Length-prefixed framed messaging over TCP.
+
+    Each frame is a 4-byte big-endian length followed by the payload.
+    A {!t} owns one listening socket plus one outbound connection per
+    peer, established lazily and re-established on failure. Incoming
+    frames from any peer are handed to the receive callback on a
+    dedicated reader thread per connection. *)
+
+type endpoint = { host : string; port : int }
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type t
+
+val create :
+  me:int ->
+  peers:endpoint array ->
+  on_frame:(src:int -> string -> unit) ->
+  unit ->
+  t
+(** [create ~me ~peers ~on_frame ()] binds and listens on
+    [peers.(me)].port and starts the accept loop. [on_frame] runs on
+    reader threads; it must be thread-safe. Outbound connections to
+    other peers are opened on first {!send}. Each frame is prefixed
+    with the sender's id, so [src] is trustworthy only on a trusted
+    network — this is a research runtime, not an authenticated one. *)
+
+val send : t -> dst:int -> string -> bool
+(** Frame and send a payload. Returns [false] (and drops the frame) if
+    the peer is unreachable — distributed mutual exclusion must
+    tolerate message loss anyway, and the paper's Section 6 machinery
+    is exercised by exactly this. *)
+
+val broadcast : t -> string -> int
+(** Send to every other peer; returns how many sends succeeded. *)
+
+val set_loss : t -> float -> unit
+(** Drop each outgoing frame with this probability {e before} it
+    reaches the socket — chaos testing for the Section 6 machinery on
+    a real network (TCP itself never loses accepted data). Drops still
+    count as successful sends from the caller's perspective. *)
+
+val sent : t -> int
+(** Frames successfully handed to the kernel so far. *)
+
+val close : t -> unit
+(** Stop the accept loop and close every socket. Idempotent. *)

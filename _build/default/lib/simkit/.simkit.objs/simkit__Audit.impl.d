@@ -1,0 +1,1 @@
+lib/simkit/audit.ml: Format Hashtbl List Option Queue Stats Trace

@@ -1,0 +1,1 @@
+lib/simkit/audit.mli: Format Stats Trace

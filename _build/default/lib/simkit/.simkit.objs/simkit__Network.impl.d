@@ -1,0 +1,1 @@
+lib/simkit/network.ml: Array Engine List Rng

@@ -1,0 +1,1 @@
+lib/simkit/network.mli: Engine Rng

@@ -1,0 +1,1 @@
+lib/simkit/timeline.ml: Array Bytes Float Format Hashtbl List Printf String Trace

@@ -1,0 +1,1 @@
+lib/simkit/topology.ml: Float Format Network Printf

@@ -1,0 +1,1 @@
+lib/simkit/topology.mli: Format Network

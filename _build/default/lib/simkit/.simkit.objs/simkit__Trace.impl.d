@@ -1,0 +1,1 @@
+lib/simkit/trace.ml: Format List

@@ -1,0 +1,1 @@
+lib/simkit/workload.ml: Engine Rng

@@ -1,0 +1,1 @@
+lib/simkit/workload.mli: Engine Rng

@@ -1,0 +1,125 @@
+type violation =
+  | Overlap of { time : float; holder : int; intruder : int }
+  | Exit_without_entry of { time : float; node : int }
+  | Entry_while_inside of { time : float; node : int }
+
+type report = {
+  entries : int;
+  exits : int;
+  violations : violation list;
+  max_concurrency : int;
+  waits : Stats.Tally.t;
+  holds : Stats.Tally.t;
+  per_node_entries : (int * int) list;
+  unmatched_requests : int;
+}
+
+let run trace =
+  let records =
+    (* Trace.records is oldest-first already; sort defensively by time
+       (stable, preserving same-instant order). *)
+    List.stable_sort
+      (fun (a : Trace.record) (b : Trace.record) -> compare a.time b.time)
+      (Trace.records trace)
+  in
+  let inside : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let pending_requests : (int, float Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let entries = ref 0 in
+  let exits = ref 0 in
+  let violations = ref [] in
+  let max_concurrency = ref 0 in
+  let waits = Stats.Tally.create () in
+  let holds = Stats.Tally.create () in
+  let per_node : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let queue_for node =
+    match Hashtbl.find_opt pending_requests node with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace pending_requests node q;
+        q
+  in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.tag with
+      | "request" -> Queue.add r.time (queue_for r.node)
+      | "enter-cs" ->
+          incr entries;
+          Hashtbl.replace per_node r.node
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_node r.node));
+          if Hashtbl.mem inside r.node then
+            violations :=
+              Entry_while_inside { time = r.time; node = r.node }
+              :: !violations
+          else begin
+            Hashtbl.iter
+              (fun holder _ ->
+                violations :=
+                  Overlap { time = r.time; holder; intruder = r.node }
+                  :: !violations)
+              inside;
+            Hashtbl.replace inside r.node r.time
+          end;
+          max_concurrency := max !max_concurrency (Hashtbl.length inside);
+          (match Queue.take_opt (queue_for r.node) with
+          | Some t0 -> Stats.Tally.add waits (r.time -. t0)
+          | None -> ())
+      | "exit-cs" -> (
+          incr exits;
+          match Hashtbl.find_opt inside r.node with
+          | Some t0 ->
+              Hashtbl.remove inside r.node;
+              Stats.Tally.add holds (r.time -. t0)
+          | None ->
+              violations :=
+                Exit_without_entry { time = r.time; node = r.node }
+                :: !violations)
+      | "crash" ->
+          (* A crashed holder leaves the CS by force; its pending
+             requests die with it. *)
+          Hashtbl.remove inside r.node;
+          Hashtbl.remove pending_requests r.node
+      | _ -> ())
+    records;
+  let unmatched =
+    Hashtbl.fold (fun _ q acc -> acc + Queue.length q) pending_requests 0
+  in
+  {
+    entries = !entries;
+    exits = !exits;
+    violations = List.rev !violations;
+    max_concurrency = !max_concurrency;
+    waits;
+    holds;
+    per_node_entries =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_node []
+      |> List.sort compare;
+    unmatched_requests = unmatched;
+  }
+
+let ok r = r.violations = [] && r.max_concurrency <= 1
+
+let pp_violation ppf = function
+  | Overlap { time; holder; intruder } ->
+      Format.fprintf ppf "t=%.4f: node %d entered while node %d inside" time
+        intruder holder
+  | Exit_without_entry { time; node } ->
+      Format.fprintf ppf "t=%.4f: node %d exited without entering" time node
+  | Entry_while_inside { time; node } ->
+      Format.fprintf ppf "t=%.4f: node %d re-entered its own CS" time node
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>audit: %d entries, %d exits, peak concurrency %d, %d unmatched \
+     requests@,"
+    r.entries r.exits r.max_concurrency r.unmatched_requests;
+  if Stats.Tally.count r.waits > 0 then
+    Format.fprintf ppf "waits: %a@," Stats.Tally.pp r.waits;
+  if Stats.Tally.count r.holds > 0 then
+    Format.fprintf ppf "holds: %a@," Stats.Tally.pp r.holds;
+  (match r.violations with
+  | [] -> Format.fprintf ppf "no violations@,"
+  | vs ->
+      Format.fprintf ppf "%d VIOLATIONS:@," (List.length vs);
+      List.iter (fun v -> Format.fprintf ppf "  %a@," pp_violation v) vs);
+  Format.fprintf ppf "@]"

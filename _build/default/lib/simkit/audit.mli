@@ -1,0 +1,37 @@
+(** Offline trace auditing: independent validation of a finished run.
+
+    The simulation runner checks mutual exclusion online; this module
+    re-derives the same verdicts (plus fairness statistics) from the
+    {!Trace} alone, so a bug in the runner's accounting cannot hide a
+    bug in a protocol — two bookkeepers have to agree. Works on any
+    trace that uses the runner's standard tags ([request], [enter-cs],
+    [exit-cs], [crash], [recover]). *)
+
+type violation =
+  | Overlap of { time : float; holder : int; intruder : int }
+      (** Two nodes inside the CS at once. *)
+  | Exit_without_entry of { time : float; node : int }
+  | Entry_while_inside of { time : float; node : int }
+      (** A node re-entered without leaving first. *)
+
+type report = {
+  entries : int;  (** CS entries observed. *)
+  exits : int;
+  violations : violation list;
+  max_concurrency : int;  (** Peak simultaneous CS holders; must be 1. *)
+  waits : Stats.Tally.t;
+      (** Request→entry waiting times, matched FIFO per node. *)
+  holds : Stats.Tally.t;  (** Entry→exit hold times. *)
+  per_node_entries : (int * int) list;  (** Entries per node, sorted. *)
+  unmatched_requests : int;
+      (** Requests never followed by an entry at the same node —
+          in-flight at the end of the trace, or starved. *)
+}
+
+val run : Trace.t -> report
+(** Scan the trace in timestamp order and produce the report. *)
+
+val ok : report -> bool
+(** No violations and concurrency never exceeded one. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,78 @@
+type event = { mutable cancelled : bool; action : t -> unit }
+
+and t = {
+  agenda : event Heap.t;
+  mutable clock : float;
+  mutable live : int; (* scheduled, not fired, not cancelled *)
+  mutable stopping : bool;
+}
+
+type handle = event
+
+let create () =
+  { agenda = Heap.create (); clock = 0.0; live = 0; stopping = false }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.clock);
+  let ev = { cancelled = false; action } in
+  Heap.push t.agenda ~priority:time ev;
+  t.live <- t.live + 1;
+  ev
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+let stop t = t.stopping <- true
+
+let rec step t =
+  match Heap.pop t.agenda with
+  | None -> false
+  | Some (time, ev) ->
+      if ev.cancelled then step t
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        ev.action t;
+        true
+      end
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let fired = ref 0 in
+  let continue () =
+    (not t.stopping)
+    && (match max_events with Some m -> !fired < m | None -> true)
+  in
+  let rec loop () =
+    if continue () then
+      match Heap.peek t.agenda with
+      | None -> ()
+      | Some (time, ev) ->
+          if ev.cancelled then begin
+            ignore (Heap.pop t.agenda);
+            loop ()
+          end
+          else begin
+            match until with
+            | Some u when time > u -> t.clock <- u
+            | _ ->
+                if step t then begin
+                  incr fired;
+                  loop ()
+                end
+          end
+  in
+  loop ()

@@ -1,0 +1,45 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over simulated (real-valued) time.
+    Events scheduled for the same instant fire in scheduling order, so a
+    run is a deterministic function of the seed and the program. *)
+
+type t
+(** A simulation instance. *)
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : unit -> t
+(** A fresh engine with clock at [0.0] and an empty agenda. *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f t] at time [now t +. delay].
+    [delay] must be non-negative. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** [schedule_at t ~time f] runs [f t] at absolute time [time], which
+    must not be in the simulated past. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a scheduled event. Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+val stop : t -> unit
+(** Make the innermost [run] return after the current event handler
+    finishes. *)
+
+val step : t -> bool
+(** Fire the next event. Returns [false] when the agenda is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fire events in timestamp order until the agenda empties, the clock
+    would pass [until], [max_events] events have fired, or [stop] is
+    called. The clock is left at the last fired event's time (or at
+    [until] if that bound was hit). *)

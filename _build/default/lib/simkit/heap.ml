@@ -1,0 +1,87 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+(* A dummy entry used to fill unused slots; never observed because
+   [size] guards every access. *)
+let dummy v = { prio = nan; seq = -1; value = v }
+
+let create ?(capacity = 64) () =
+  ignore capacity;
+  { data = [||]; size = 0; next_seq = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ndata = Array.make ncap (dummy entry.value) in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~priority v =
+  let entry = { prio = priority; seq = t.next_seq; value = v } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.prio, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- top (* keep slot initialized; value is dead *);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let rec drain acc =
+    match pop t with None -> List.rev acc | Some pv -> drain (pv :: acc)
+  in
+  drain []

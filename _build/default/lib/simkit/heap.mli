@@ -1,0 +1,36 @@
+(** Array-based binary min-heap keyed by [(priority, sequence)].
+
+    The sequence number is assigned at insertion time, so elements with
+    equal priority are extracted in insertion order. This determinism is
+    load-bearing for the discrete-event engine: two events scheduled at
+    the same simulated instant always fire in the order they were
+    scheduled, which keeps simulations reproducible across runs. *)
+
+type 'a t
+(** A mutable min-heap holding values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap. [capacity] pre-sizes the backing
+    array (default 64). *)
+
+val size : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** [push t ~priority v] inserts [v]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element with its priority, or [None]
+    if empty. Ties broken by insertion order. O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum without removing it. O(1). *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Destructively drain the heap into an ascending list. Mostly useful
+    for tests. *)

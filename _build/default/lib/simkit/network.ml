@@ -1,0 +1,107 @@
+type latency =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Per_pair of (int -> int -> float)
+
+type verdict = Deliver | Drop | Delay of float
+
+type 'm t = {
+  engine : Engine.t;
+  n : int;
+  rng : Rng.t;
+  latency : latency;
+  mutable handler : (src:int -> dst:int -> 'm -> unit) option;
+  mutable loss : float;
+  mutable interceptor : (src:int -> dst:int -> 'm -> verdict) option;
+  crashed : bool array;
+  mutable group_of : int array option; (* partition group per node *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create engine ~n ~rng ~latency =
+  if n <= 0 then invalid_arg "Network.create: n must be positive";
+  { engine; n; rng; latency; handler = None; loss = 0.0; interceptor = None;
+    crashed = Array.make n false; group_of = None;
+    sent = 0; delivered = 0; dropped = 0 }
+
+let n t = t.n
+let engine t = t.engine
+let set_handler t f = t.handler <- Some f
+let set_loss t p = t.loss <- p
+let set_interceptor t f = t.interceptor <- Some f
+let clear_interceptor t = t.interceptor <- None
+let crash t i = t.crashed.(i) <- true
+let recover t i = t.crashed.(i) <- false
+let is_crashed t i = t.crashed.(i)
+
+let partition t groups =
+  let group_of = Array.make t.n (-1) in
+  List.iteri
+    (fun g members -> List.iter (fun i -> group_of.(i) <- g) members)
+    groups;
+  t.group_of <- Some group_of
+
+let heal t = t.group_of <- None
+
+let base_delay t ~src ~dst =
+  match t.latency with
+  | Constant d -> d
+  | Uniform (lo, hi) -> Rng.range t.rng lo hi
+  | Exponential mean -> Rng.exponential t.rng ~rate:(1.0 /. mean)
+  | Per_pair f -> f src dst
+
+let severed t ~src ~dst =
+  t.crashed.(src) || t.crashed.(dst)
+  ||
+  match t.group_of with
+  | None -> false
+  | Some g -> g.(src) <> g.(dst)
+
+let send t ~src ~dst msg =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Network.send: node id out of range";
+  let counted = src <> dst in
+  if counted then t.sent <- t.sent + 1;
+  let verdict =
+    if severed t ~src ~dst then Drop
+    else if t.loss > 0.0 && Rng.uniform t.rng < t.loss then Drop
+    else
+      match t.interceptor with
+      | None -> Deliver
+      | Some f -> f ~src ~dst msg
+  in
+  match verdict with
+  | Drop -> if counted then t.dropped <- t.dropped + 1
+  | Deliver | Delay _ ->
+      let extra = match verdict with Delay d -> d | Deliver | Drop -> 0.0 in
+      let delay = base_delay t ~src ~dst +. extra in
+      let deliver _engine =
+        (* Re-check the destination: it may have crashed in flight. *)
+        if t.crashed.(dst) then begin
+          if counted then t.dropped <- t.dropped + 1
+        end
+        else begin
+          if counted then t.delivered <- t.delivered + 1;
+          match t.handler with
+          | Some h -> h ~src ~dst msg
+          | None -> failwith "Network: no handler installed"
+        end
+      in
+      ignore (Engine.schedule t.engine ~delay deliver)
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0

@@ -1,0 +1,80 @@
+(** Simulated message-passing network.
+
+    Delivers messages between [n] numbered nodes through the
+    discrete-event {!Engine}, applying a configurable latency model,
+    random loss, partitions, node crashes, and an arbitrary
+    interceptor for targeted fault injection. Message counting follows
+    the paper's accounting: a broadcast to [n - 1] peers costs [n - 1]
+    messages. *)
+
+type 'm t
+(** A network carrying messages of type ['m]. *)
+
+(** Latency model applied to each message independently. *)
+type latency =
+  | Constant of float  (** Fixed delay, the paper's [T_msg]. *)
+  | Uniform of float * float  (** Uniform on [\[lo, hi)]. *)
+  | Exponential of float
+      (** Exponential with the given mean — heavy-ish tail, reorders
+          concurrent messages aggressively. *)
+  | Per_pair of (int -> int -> float)  (** Function of (src, dst). *)
+
+(** Decision of the fault-injection interceptor for one message. *)
+type verdict =
+  | Deliver  (** Deliver normally. *)
+  | Drop  (** Silently lose the message. *)
+  | Delay of float  (** Deliver with this extra delay. *)
+
+val create : Engine.t -> n:int -> rng:Rng.t -> latency:latency -> 'm t
+(** A network of nodes numbered [0 .. n-1]. The handler must be
+    installed with {!set_handler} before the first send. *)
+
+val n : 'm t -> int
+val engine : 'm t -> Engine.t
+
+val set_handler : 'm t -> (src:int -> dst:int -> 'm -> unit) -> unit
+(** Install the delivery callback, invoked at the message's arrival
+    time. *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Enqueue a message. Self-sends are delivered (with latency) but are
+    not counted as network messages. *)
+
+val broadcast : 'm t -> src:int -> 'm -> unit
+(** Send to every node except [src]; counts [n - 1] messages. *)
+
+val set_loss : 'm t -> float -> unit
+(** Uniform i.i.d. drop probability for every message (default 0). *)
+
+val set_interceptor : 'm t -> (src:int -> dst:int -> 'm -> verdict) -> unit
+(** Install a fault-injection hook consulted for every message after
+    the loss draw. Replaces any previous interceptor. *)
+
+val clear_interceptor : 'm t -> unit
+
+val crash : 'm t -> int -> unit
+(** Crash a node: all messages from or to it are dropped until
+    {!recover}. Crashing is idempotent. *)
+
+val recover : 'm t -> int -> unit
+val is_crashed : 'm t -> int -> bool
+
+val partition : 'm t -> int list list -> unit
+(** Install a partition: messages between nodes in different groups are
+    dropped. Nodes absent from every group form an implicit extra
+    group. *)
+
+val heal : 'm t -> unit
+(** Remove any partition. *)
+
+val sent : 'm t -> int
+(** Network messages sent so far (self-sends excluded, drops
+    included — a dropped message was still transmitted). *)
+
+val delivered : 'm t -> int
+
+val dropped : 'm t -> int
+(** Messages lost to the loss model, interceptor, crashes or
+    partitions. *)
+
+val reset_counters : 'm t -> unit

@@ -1,0 +1,125 @@
+type t = {
+  columns : int;
+  t_min : float;
+  t_max : float;
+  n : int;
+  lanes : Bytes.t array;
+}
+
+(* Priority of marks when several events land in the same cell: CS
+   occupancy always wins, then crash/recover, then a generic
+   multi-event star. *)
+let priority = function
+  | 'C' -> 6
+  | 'X' -> 5
+  | 'o' -> 4
+  | '*' -> 3
+  | 'R' -> 2
+  | 'B' -> 2
+  | 's' -> 1
+  | _ -> 0
+
+let put lane col ch =
+  let cur = Bytes.get lane col in
+  if cur = '.' then Bytes.set lane col ch
+  else if cur <> ch && priority ch >= priority cur then
+    Bytes.set lane col (if priority ch = priority cur then '*' else ch)
+
+let create ?(columns = 72) ?t_min ?t_max ~n trace =
+  let records = Trace.records trace in
+  let observed_min, observed_max =
+    List.fold_left
+      (fun (lo, hi) (r : Trace.record) -> (Float.min lo r.time, Float.max hi r.time))
+      (infinity, neg_infinity) records
+  in
+  let t_min = match t_min with Some v -> v | None ->
+    if Float.is_finite observed_min then observed_min else 0.0
+  in
+  let t_max = match t_max with Some v -> v | None ->
+    if Float.is_finite observed_max then observed_max else 1.0
+  in
+  let t_max = if t_max <= t_min then t_min +. 1.0 else t_max in
+  let lanes = Array.init n (fun _ -> Bytes.make columns '.') in
+  let col time =
+    let f = (time -. t_min) /. (t_max -. t_min) in
+    let c = int_of_float (f *. float_of_int (columns - 1)) in
+    max 0 (min (columns - 1) c)
+  in
+  (* First pass: CS intervals (enter .. exit). *)
+  let open_cs = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.node >= 0 && r.node < n then
+        match r.tag with
+        | "enter-cs" -> Hashtbl.replace open_cs r.node r.time
+        | "exit-cs" -> (
+            match Hashtbl.find_opt open_cs r.node with
+            | Some t0 ->
+                Hashtbl.remove open_cs r.node;
+                for c = col t0 to col r.time do
+                  put lanes.(r.node) c 'C'
+                done
+            | None -> ())
+        | _ -> ())
+    records;
+  (* Unclosed CS intervals run to the right edge. *)
+  Hashtbl.iter
+    (fun node t0 ->
+      for c = col t0 to columns - 1 do
+        put lanes.(node) c 'C'
+      done)
+    open_cs;
+  (* Second pass: point events. *)
+  List.iter
+    (fun (r : Trace.record) ->
+      if r.node >= 0 && r.node < n then
+        let mark =
+          match r.tag with
+          | "request" -> Some 'R'
+          | "send" -> Some 's'
+          | "broadcast" -> Some 'B'
+          | "crash" -> Some 'X'
+          | "recover" -> Some 'o'
+          | _ -> None
+        in
+        match mark with
+        | Some ch -> put lanes.(r.node) (col r.time) ch
+        | None -> ())
+    records;
+  { columns; t_min; t_max; n; lanes }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  (* Time axis: five tick labels. *)
+  let ticks = 5 in
+  let axis = Bytes.make t.columns ' ' in
+  Format.fprintf ppf "%8s " "t:";
+  let labels =
+    List.init ticks (fun k ->
+        let f = float_of_int k /. float_of_int (ticks - 1) in
+        let time = t.t_min +. (f *. (t.t_max -. t.t_min)) in
+        let c = int_of_float (f *. float_of_int (t.columns - 1)) in
+        (c, Printf.sprintf "%.1f" time))
+  in
+  let line = Bytes.make t.columns ' ' in
+  List.iter
+    (fun (c, label) ->
+      (* Shift a label left when it would run off the right edge. *)
+      let c = min c (t.columns - String.length label) in
+      String.iteri
+        (fun i ch ->
+          let pos = c + i in
+          if pos >= 0 && pos < t.columns then Bytes.set line pos ch)
+        label)
+    labels;
+  Format.fprintf ppf "%s@," (Bytes.to_string line);
+  ignore axis;
+  Array.iteri
+    (fun i lane ->
+      Format.fprintf ppf "node %2d |%s@," i (Bytes.to_string lane))
+    t.lanes;
+  Format.fprintf ppf
+    "legend: C=in CS  R=request  s=send  B=broadcast  X=crash  o=recover  \
+     *=multiple@,@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,28 @@
+(** Render a {!Trace} as a per-node ASCII timeline, in the spirit of
+    the paper's Figure 2: one lane per node, time flowing left to
+    right, with critical-section intervals drawn as solid bars and
+    message events as single-character marks.
+
+    {v
+    t:    0.0       2.0       4.0
+    node 0 |----CCCC..............
+    node 1 |R...........CCCC......
+    v} *)
+
+type t
+
+val create :
+  ?columns:int -> ?t_min:float -> ?t_max:float -> n:int -> Trace.t -> t
+(** Build a timeline over [columns] character cells (default 72)
+    covering [[t_min, t_max]] (defaults: the trace's observed range)
+    for nodes [0 .. n-1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the lanes plus a time axis and a legend.
+
+    Cell legend: [C] inside the critical section, [R] a request was
+    issued, [s] a message sent, [B] a broadcast, [X] crash, [o]
+    recovery, [*] several events in one cell, [.] idle. Marks are
+    overlaid on CS bars when they coincide ([C] wins). *)
+
+val to_string : t -> string

@@ -1,0 +1,67 @@
+type t = Complete | Ring | Star of int | Grid | Tree | Line
+
+let rec tree_depth i = if i = 0 then 0 else 1 + tree_depth ((i - 1) / 2)
+
+(* Depth of the lowest common ancestor in the binary-heap tree. *)
+let tree_lca_depth i j =
+  let rec lift x d = if d = 0 then x else lift ((x - 1) / 2) (d - 1) in
+  let di = tree_depth i and dj = tree_depth j in
+  let i = lift i (max 0 (di - dj)) and j = lift j (max 0 (dj - di)) in
+  let rec up i j = if i = j then tree_depth i else up ((i - 1) / 2) ((j - 1) / 2) in
+  up i j
+
+let hops topo ~n i j =
+  if i = j then 0
+  else
+    match topo with
+    | Complete -> 1
+    | Ring ->
+        let d = abs (i - j) in
+        min d (n - d)
+    | Star hub -> if i = hub || j = hub then 1 else 2
+    | Grid ->
+        let k = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+        abs ((i / k) - (j / k)) + abs ((i mod k) - (j mod k))
+    | Tree ->
+        let di = tree_depth i and dj = tree_depth j in
+        di + dj - (2 * tree_lca_depth i j)
+    | Line -> abs (i - j)
+
+let fold_pairs topo ~n f init =
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := f !acc (hops topo ~n i j)
+    done
+  done;
+  !acc
+
+let diameter topo ~n = fold_pairs topo ~n max 0
+
+let mean_distance topo ~n =
+  if n < 2 then 0.0
+  else
+    let total = fold_pairs topo ~n ( + ) 0 in
+    float_of_int total /. float_of_int (n * (n - 1))
+
+let latency topo ~n ~per_hop =
+  Network.Per_pair (fun i j -> per_hop *. float_of_int (hops topo ~n i j))
+
+let pp ppf = function
+  | Complete -> Format.pp_print_string ppf "complete"
+  | Ring -> Format.pp_print_string ppf "ring"
+  | Star hub -> Format.fprintf ppf "star(%d)" hub
+  | Grid -> Format.pp_print_string ppf "grid"
+  | Tree -> Format.pp_print_string ppf "tree"
+  | Line -> Format.pp_print_string ppf "line"
+
+let of_string = function
+  | "complete" -> Ok Complete
+  | "ring" -> Ok Ring
+  | "star" -> Ok (Star 0)
+  | "grid" -> Ok Grid
+  | "tree" -> Ok Tree
+  | "line" -> Ok Line
+  | s -> Error (Printf.sprintf "unknown topology %S" s)
+
+let all = [ Complete; Ring; Star 0; Grid; Tree; Line ]

@@ -1,0 +1,35 @@
+(** Network topologies for latency modelling.
+
+    The paper makes "no assumptions with respect to the network
+    topology" (Section 2.1); this module lets experiments check that
+    claim by deriving per-pair message delays from hop counts on
+    standard topologies. Use with {!Network.Per_pair}. *)
+
+type t =
+  | Complete  (** Every pair one hop (the paper's implicit model). *)
+  | Ring  (** Bidirectional ring; distance = min walk. *)
+  | Star of int  (** All traffic through a hub node. *)
+  | Grid  (** ⌈√N⌉ × ⌈√N⌉ mesh, Manhattan distance. *)
+  | Tree  (** Complete binary tree rooted at 0 (Raymond's shape). *)
+  | Line  (** A path 0 - 1 - ... - (n-1). *)
+
+val hops : t -> n:int -> int -> int -> int
+(** [hops topo ~n i j] is the hop distance between nodes [i] and [j]
+    (0 when [i = j]). *)
+
+val diameter : t -> n:int -> int
+(** Largest pairwise hop distance. *)
+
+val mean_distance : t -> n:int -> float
+(** Average hop distance over ordered distinct pairs. *)
+
+val latency : t -> n:int -> per_hop:float -> Network.latency
+(** A {!Network.Per_pair} latency of [per_hop * hops]. *)
+
+val pp : Format.formatter -> t -> unit
+val of_string : string -> (t, string) result
+(** Parse ["complete" | "ring" | "star" | "grid" | "tree" | "line"]
+    (star uses hub 0). *)
+
+val all : t list
+(** One representative of each shape (star hub 0). *)

@@ -1,0 +1,51 @@
+type record = { time : float; node : int; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable records : record list; (* newest first *)
+  mutable length : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; enabled = false; records = []; length = 0 }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let truncate t =
+  (* Amortized: let the list grow to 2x capacity, then cut back. *)
+  if t.length > 2 * t.capacity then begin
+    t.records <- List.filteri (fun i _ -> i < t.capacity) t.records;
+    t.length <- t.capacity
+  end
+
+let add t ~time ~node ~tag detail =
+  if t.enabled then begin
+    t.records <- { time; node; tag; detail } :: t.records;
+    t.length <- t.length + 1;
+    truncate t
+  end
+
+let addf t ~time ~node ~tag fmt =
+  if t.enabled then
+    Format.kasprintf (fun detail -> add t ~time ~node ~tag detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let records t =
+  let r = List.filteri (fun i _ -> i < t.capacity) t.records in
+  List.rev r
+
+let length t = min t.length t.capacity
+let clear t = t.records <- [];
+              t.length <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10.4f  node %2d  %-12s %s@," r.time r.node r.tag
+        r.detail)
+    (records t);
+  Format.fprintf ppf "@]"

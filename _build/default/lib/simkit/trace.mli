@@ -1,0 +1,43 @@
+(** Bounded in-memory event tracing.
+
+    A cheap ring buffer of timestamped records. Tracing is off by
+    default; simulations pass a trace to protocol runners to debug a
+    schedule or to render an execution like the paper's Figure 2. *)
+
+type t
+
+type record = {
+  time : float;
+  node : int;  (** Node the event concerns, [-1] for global events. *)
+  tag : string;  (** Short category, e.g. ["send"], ["enter-cs"]. *)
+  detail : string;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained records (default 4096); older records
+    are discarded first. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val add : t -> time:float -> node:int -> tag:string -> string -> unit
+(** Record an event (no-op when disabled). *)
+
+val addf :
+  t ->
+  time:float ->
+  node:int ->
+  tag:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted variant of {!add}; the format arguments are not evaluated
+    when tracing is disabled. *)
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render one record per line: [time node tag detail]. *)

@@ -1,0 +1,48 @@
+type t = { mutable stopped : bool; mutable arrivals : int }
+
+let make_process engine ~next_gap ~per_arrival ~on_arrival =
+  let t = { stopped = false; arrivals = 0 } in
+  let rec arm () =
+    match next_gap () with
+    | None -> ()
+    | Some gap ->
+        ignore
+          (Engine.schedule engine ~delay:gap (fun engine ->
+               if not t.stopped then begin
+                 let k = per_arrival () in
+                 for _ = 1 to k do
+                   t.arrivals <- t.arrivals + 1;
+                   on_arrival engine
+                 done;
+                 arm ()
+               end))
+  in
+  arm ();
+  t
+
+let poisson engine ~rng ~rate ~on_arrival =
+  if rate < 0.0 then invalid_arg "Workload.poisson: negative rate";
+  if rate = 0.0 then { stopped = true; arrivals = 0 }
+  else
+    make_process engine
+      ~next_gap:(fun () -> Some (Rng.exponential rng ~rate))
+      ~per_arrival:(fun () -> 1)
+      ~on_arrival
+
+let deterministic engine ~period ~on_arrival =
+  if period <= 0.0 then invalid_arg "Workload.deterministic: period must be positive";
+  make_process engine
+    ~next_gap:(fun () -> Some period)
+    ~per_arrival:(fun () -> 1)
+    ~on_arrival
+
+let burst engine ~rng ~rate ~burst_size ~on_arrival =
+  if rate <= 0.0 then invalid_arg "Workload.burst: rate must be positive";
+  if burst_size <= 0 then invalid_arg "Workload.burst: burst_size must be positive";
+  make_process engine
+    ~next_gap:(fun () -> Some (Rng.exponential rng ~rate))
+    ~per_arrival:(fun () -> burst_size)
+    ~on_arrival
+
+let stop t = t.stopped <- true
+let arrivals t = t.arrivals

@@ -1,0 +1,35 @@
+(** Open-loop workload generation.
+
+    The paper's evaluation drives each node with an independent Poisson
+    process of critical-section requests at rate λ per node. *)
+
+type t
+(** A running arrival process. *)
+
+val poisson :
+  Engine.t -> rng:Rng.t -> rate:float -> on_arrival:(Engine.t -> unit) -> t
+(** [poisson engine ~rng ~rate ~on_arrival] starts a Poisson process
+    with exponential inter-arrival times of rate [rate] (mean
+    [1. /. rate]); the first arrival is one inter-arrival time after
+    the current instant. [on_arrival] fires at each arrival. The
+    process runs until {!stop}. A [rate] of [0.] produces no
+    arrivals. *)
+
+val deterministic :
+  Engine.t -> period:float -> on_arrival:(Engine.t -> unit) -> t
+(** Fixed-period arrivals, useful for worst-case and tuning studies. *)
+
+val burst :
+  Engine.t ->
+  rng:Rng.t ->
+  rate:float ->
+  burst_size:int ->
+  on_arrival:(Engine.t -> unit) ->
+  t
+(** Poisson-timed bursts of [burst_size] back-to-back arrivals. *)
+
+val stop : t -> unit
+(** Stop generating further arrivals. Idempotent. *)
+
+val arrivals : t -> int
+(** Arrivals generated so far. *)

@@ -1,0 +1,255 @@
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(size = 128) () = Buffer.create size
+  let contents = Buffer.contents
+  let u8 e v =
+    if v < 0 || v > 0xFF then invalid_arg "Enc.u8: out of range";
+    Buffer.add_uint8 e v
+
+  let u16 e v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Enc.u16: out of range";
+    Buffer.add_uint16_be e v
+
+  let i32 e v =
+    if v < Int32.(to_int min_int) || v > Int32.(to_int max_int) then
+      invalid_arg "Enc.i32: out of range";
+    Buffer.add_int32_be e (Int32.of_int v)
+
+  let i64 e v = Buffer.add_int64_be e v
+  let int_ e v = i64 e (Int64.of_int v)
+  let bool e b = u8 e (if b then 1 else 0)
+  let float e f = i64 e (Int64.bits_of_float f)
+
+  let string e s =
+    i32 e (String.length s);
+    Buffer.add_string e s
+
+  let option e enc = function
+    | None -> u8 e 0
+    | Some v ->
+        u8 e 1;
+        enc e v
+
+  let list e enc l =
+    i32 e (List.length l);
+    List.iter (enc e) l
+
+  let array e enc a =
+    i32 e (Array.length a);
+    Array.iter (enc e) a
+
+  let pair e enc_a enc_b (a, b) =
+    enc_a e a;
+    enc_b e b
+end
+
+module Dec = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let remaining d = String.length d.data - d.pos
+  let eof d = remaining d = 0
+
+  let check_eof d =
+    if not (eof d) then fail "trailing garbage: %d bytes" (remaining d)
+
+  let need d n =
+    if remaining d < n then
+      fail "truncated input: need %d bytes, have %d" n (remaining d)
+
+  let u8 d =
+    need d 1;
+    let v = Char.code d.data.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u16 d =
+    need d 2;
+    let v = String.get_uint16_be d.data d.pos in
+    d.pos <- d.pos + 2;
+    v
+
+  let i32 d =
+    need d 4;
+    let v = String.get_int32_be d.data d.pos in
+    d.pos <- d.pos + 4;
+    Int32.to_int v
+
+  let i64 d =
+    need d 8;
+    let v = String.get_int64_be d.data d.pos in
+    d.pos <- d.pos + 8;
+    v
+
+  let int_ d =
+    let v = i64 d in
+    let r = Int64.to_int v in
+    if Int64.of_int r <> v then fail "integer overflow on this platform";
+    r
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | v -> fail "invalid boolean byte %d" v
+
+  let float d = Int64.float_of_bits (i64 d)
+
+  let string d =
+    let n = i32 d in
+    if n < 0 then fail "negative string length %d" n;
+    need d n;
+    let s = String.sub d.data d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let option d dec = match u8 d with
+    | 0 -> None
+    | 1 -> Some (dec d)
+    | v -> fail "invalid option tag %d" v
+
+  let list d dec =
+    let n = i32 d in
+    if n < 0 then fail "negative list length %d" n;
+    List.init n (fun _ -> dec d)
+
+  let array d dec =
+    let n = i32 d in
+    if n < 0 then fail "negative array length %d" n;
+    Array.init n (fun _ -> dec d)
+
+  let pair d dec_a dec_b =
+    let a = dec_a d in
+    let b = dec_b d in
+    (a, b)
+end
+
+module type CODEC = sig
+  type message
+
+  val encode : message -> string
+  val decode : string -> message
+end
+
+module Protocol_codec = struct
+  open Dmutex
+
+  type message = Protocol.message
+
+  let enc_entry e (x : Qlist.entry) =
+    Enc.int_ e x.Qlist.node;
+    Enc.int_ e x.Qlist.seq;
+    Enc.int_ e x.Qlist.hops
+
+  let dec_entry d =
+    let node = Dec.int_ d in
+    let seq = Dec.int_ d in
+    let hops = Dec.int_ d in
+    { Qlist.node; seq; hops }
+
+  let enc_token e (t : Protocol.token) =
+    Enc.list e enc_entry t.Protocol.tq;
+    Enc.array e Enc.int_ t.Protocol.granted;
+    Enc.int_ e t.Protocol.epoch;
+    Enc.int_ e t.Protocol.election
+
+  let dec_token d =
+    let tq = Dec.list d dec_entry in
+    let granted = Dec.array d Dec.int_ in
+    let epoch = Dec.int_ d in
+    let election = Dec.int_ d in
+    { Protocol.tq; granted; epoch; election }
+
+  let enc_status e = function
+    | Protocol.Have_token -> Enc.u8 e 0
+    | Protocol.Executed -> Enc.u8 e 1
+    | Protocol.Waiting_token -> Enc.u8 e 2
+
+  let dec_status d =
+    match Dec.u8 d with
+    | 0 -> Protocol.Have_token
+    | 1 -> Protocol.Executed
+    | 2 -> Protocol.Waiting_token
+    | v -> fail "invalid enquiry status %d" v
+
+  let encode (m : message) =
+    let e = Enc.create () in
+    (match m with
+    | Protocol.Request x ->
+        Enc.u8 e 0;
+        enc_entry e x
+    | Protocol.Monitor_request x ->
+        Enc.u8 e 1;
+        enc_entry e x
+    | Protocol.Privilege t ->
+        Enc.u8 e 2;
+        enc_token e t
+    | Protocol.Monitor_privilege t ->
+        Enc.u8 e 3;
+        enc_token e t
+    | Protocol.New_arbiter na ->
+        Enc.u8 e 4;
+        Enc.int_ e na.Protocol.na_arbiter;
+        Enc.list e enc_entry na.Protocol.na_q;
+        Enc.array e Enc.int_ na.Protocol.na_granted;
+        Enc.int_ e na.Protocol.na_counter;
+        Enc.int_ e na.Protocol.na_monitor;
+        Enc.int_ e na.Protocol.na_epoch;
+        Enc.int_ e na.Protocol.na_election
+    | Protocol.Warning -> Enc.u8 e 5
+    | Protocol.Enquiry { round } ->
+        Enc.u8 e 6;
+        Enc.int_ e round
+    | Protocol.Enquiry_reply { round; status } ->
+        Enc.u8 e 7;
+        Enc.int_ e round;
+        enc_status e status
+    | Protocol.Resume { round } ->
+        Enc.u8 e 8;
+        Enc.int_ e round
+    | Protocol.Invalidate { round } ->
+        Enc.u8 e 9;
+        Enc.int_ e round
+    | Protocol.Probe -> Enc.u8 e 10
+    | Protocol.Probe_ack -> Enc.u8 e 11);
+    Enc.contents e
+
+  let decode s =
+    let d = Dec.of_string s in
+    let m =
+      match Dec.u8 d with
+      | 0 -> Protocol.Request (dec_entry d)
+      | 1 -> Protocol.Monitor_request (dec_entry d)
+      | 2 -> Protocol.Privilege (dec_token d)
+      | 3 -> Protocol.Monitor_privilege (dec_token d)
+      | 4 ->
+          let na_arbiter = Dec.int_ d in
+          let na_q = Dec.list d dec_entry in
+          let na_granted = Dec.array d Dec.int_ in
+          let na_counter = Dec.int_ d in
+          let na_monitor = Dec.int_ d in
+          let na_epoch = Dec.int_ d in
+          let na_election = Dec.int_ d in
+          Protocol.New_arbiter
+            { na_arbiter; na_q; na_granted; na_counter; na_monitor; na_epoch;
+              na_election }
+      | 5 -> Protocol.Warning
+      | 6 -> Protocol.Enquiry { round = Dec.int_ d }
+      | 7 ->
+          let round = Dec.int_ d in
+          let status = dec_status d in
+          Protocol.Enquiry_reply { round; status }
+      | 8 -> Protocol.Resume { round = Dec.int_ d }
+      | 9 -> Protocol.Invalidate { round = Dec.int_ d }
+      | 10 -> Protocol.Probe
+      | 11 -> Protocol.Probe_ack
+      | t -> fail "unknown message tag %d" t
+    in
+    Dec.check_eof d;
+    m
+end

@@ -1,0 +1,81 @@
+(** Binary serialization combinators for the TCP runtime.
+
+    Big-endian, length-prefixed, no external dependencies. Encoders
+    append to a growable buffer; decoders consume a string and raise
+    {!Malformed} on any ill-formed input, so a corrupt or truncated
+    frame can never produce a silently wrong message. *)
+
+exception Malformed of string
+(** Raised by decoders on truncated or invalid input. *)
+
+(** Append-only encoder. *)
+module Enc : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val contents : t -> string
+  val u8 : t -> int -> unit
+  (** [u8 e v] with [0 <= v < 256]. *)
+
+  val u16 : t -> int -> unit
+  val i32 : t -> int -> unit
+  (** 32-bit two's-complement; must fit. *)
+
+  val i64 : t -> int64 -> unit
+  val int_ : t -> int -> unit
+  (** OCaml [int] via its 64-bit image. *)
+
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  (** IEEE-754 double bits. *)
+
+  val string : t -> string -> unit
+  (** 32-bit length prefix + bytes. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** 32-bit count prefix, then each element. *)
+
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+  val pair : t -> (t -> 'a -> unit) -> (t -> 'b -> unit) -> 'a * 'b -> unit
+end
+
+(** Sequential decoder over a string. *)
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val eof : t -> bool
+
+  val check_eof : t -> unit
+  (** Raise {!Malformed} unless all input was consumed — catches
+      messages with trailing garbage. *)
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val i32 : t -> int
+  val i64 : t -> int64
+  val int_ : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
+end
+
+(** Encode / decode one protocol message. [decode] must consume the
+    whole payload. *)
+module type CODEC = sig
+  type message
+
+  val encode : message -> string
+  val decode : string -> message
+end
+
+module Protocol_codec : CODEC with type message = Dmutex.Protocol.message
+(** Wire format for the paper's protocol messages, shared by
+    {!Dmutex.Basic}, {!Dmutex.Monitored}, {!Dmutex.Resilient} and
+    {!Dmutex.Prioritized}. *)

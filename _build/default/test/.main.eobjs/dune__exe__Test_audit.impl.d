@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit Baselines Dmutex Format List Simkit Stats Str_present Trace

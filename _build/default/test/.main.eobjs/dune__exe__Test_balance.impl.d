@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Analysis Array Basic Dmutex Experiments Fair List Printf Qlist Sim_runner Simkit

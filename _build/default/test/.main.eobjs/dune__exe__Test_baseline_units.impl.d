@@ -1,0 +1,1 @@
+test/test_baseline_units.ml: Alcotest Baselines Config Dmutex List

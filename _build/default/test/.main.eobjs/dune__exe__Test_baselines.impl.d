@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Basic Dmutex List Printf QCheck QCheck_alcotest Sim_runner Types

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Experiments Float Format List Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Basic Dmutex Experiments Filename List Printf Sim_runner Simkit Str_present String Sys Types

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Baselines Basic Dmutex Format Mcheck Monitored String Types

@@ -1,0 +1,1 @@
+test/test_netkit.ml: Alcotest Dmutex List Mutex Netkit Printf String Thread Unix Wire

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Engine List Network Rng Simkit

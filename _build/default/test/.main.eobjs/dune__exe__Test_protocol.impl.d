@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Basic Dmutex List Protocol Qlist

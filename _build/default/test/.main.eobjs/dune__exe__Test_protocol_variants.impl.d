@@ -1,0 +1,1 @@
+test/test_protocol_variants.ml: Alcotest Dmutex List Monitored Protocol Qlist Resilient

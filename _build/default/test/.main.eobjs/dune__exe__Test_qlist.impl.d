@@ -1,0 +1,1 @@
+test/test_qlist.ml: Alcotest Array Dmutex List QCheck QCheck_alcotest Qlist

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Dmutex Experiments Fun List Protocol Resilient Sim_runner Simkit

@@ -1,0 +1,1 @@
+test/test_safety_prop.ml: Baselines Basic Dmutex List Monitored QCheck QCheck_alcotest Resilient Sim_runner Simkit Types

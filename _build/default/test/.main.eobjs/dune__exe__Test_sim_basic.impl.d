@@ -1,0 +1,1 @@
+test/test_sim_basic.ml: Alcotest Analysis Basic Dmutex List Printf Sim_runner Types

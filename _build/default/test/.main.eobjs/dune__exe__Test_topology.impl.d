@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Experiments List QCheck QCheck_alcotest Simkit Stats Topology

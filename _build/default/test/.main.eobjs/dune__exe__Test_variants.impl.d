@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Array Basic Dmutex Hashtbl Monitored Printf Prioritized Protocol Sim_runner Simkit Types

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Dmutex List Protocol QCheck QCheck_alcotest Qlist String Wire

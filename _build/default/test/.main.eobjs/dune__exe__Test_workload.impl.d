@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Engine List Rng Simkit Workload

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "dmutex"
+    [
+      Test_heap.suite;
+      Test_rng.suite;
+      Test_stats.suite;
+      Test_engine.suite;
+      Test_network.suite;
+      Test_workload.suite;
+      Test_qlist.suite;
+      Test_topology.suite;
+      Test_analysis.suite;
+      Test_protocol.suite;
+      Test_protocol_variants.suite;
+      Test_sim_basic.suite;
+      Test_variants.suite;
+      Test_balance.suite;
+      Test_recovery.suite;
+      Test_baselines.suite;
+      Test_baseline_units.suite;
+      Test_safety_prop.suite;
+      Test_mcheck.suite;
+      Test_wire.suite;
+      Test_netkit.suite;
+      Test_experiments.suite;
+      Test_extensions.suite;
+      Test_audit.suite;
+    ]

@@ -1,0 +1,63 @@
+open Dmutex
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_light () =
+  Alcotest.(check bool) "N=10" true
+    (feq (Analysis.light_load_messages ~n:10) 9.9);
+  Alcotest.(check bool) "N=5" true
+    (feq (Analysis.light_load_messages ~n:5) 4.8);
+  (* Eq. 2: tends to N *)
+  Alcotest.(check bool) "large N limit" true
+    (abs_float (Analysis.light_load_messages ~n:1000 -. 1000.0) < 1.0)
+
+let test_heavy () =
+  Alcotest.(check bool) "N=10" true
+    (feq (Analysis.heavy_load_messages ~n:10) 2.8);
+  (* Eq. 5: tends to 3 *)
+  Alcotest.(check bool) "large N limit" true
+    (abs_float (Analysis.heavy_load_messages ~n:1000 -. 3.0) < 0.01)
+
+let test_service_times () =
+  let cfg = Types.Config.default ~n:10 in
+  (* Eq. 3: 0.9 * 2 * 0.1 + 0.1 + 0.1 = 0.38 *)
+  Alcotest.(check bool) "light" true
+    (feq (Analysis.light_load_service_time cfg) 0.38);
+  (* Eq. 6: 0.9*0.1 + 0.1 + 6*0.2 = 1.39 *)
+  Alcotest.(check bool) "heavy" true
+    (feq (Analysis.heavy_load_service_time cfg) 1.39)
+
+let test_references () =
+  Alcotest.(check bool) "ricart-agrawala 2(N-1)" true
+    (feq (Analysis.Reference.ricart_agrawala ~n:10) 18.0);
+  Alcotest.(check bool) "suzuki-kasami N" true
+    (feq (Analysis.Reference.suzuki_kasami ~n:10) 10.0);
+  Alcotest.(check bool) "central server 3" true
+    (feq Analysis.Reference.central_server 3.0);
+  Alcotest.(check bool) "maekawa 3 sqrt N" true
+    (feq (Analysis.Reference.maekawa ~n:16) 12.0)
+
+let test_config_validation () =
+  Alcotest.check_raises "n must be positive"
+    (Invalid_argument "Config.default: n must be positive") (fun () ->
+      ignore (Types.Config.default ~n:0));
+  let cfg = Types.Config.default ~n:4 in
+  Alcotest.check_raises "arbiter in range"
+    (Invalid_argument "Config: initial_arbiter out of range") (fun () ->
+      ignore (Types.Config.validate { cfg with Types.Config.initial_arbiter = 9 }));
+  Alcotest.check_raises "priorities length"
+    (Invalid_argument "Config: priorities array must have length n")
+    (fun () ->
+      ignore
+        (Types.Config.validate
+           { cfg with Types.Config.priorities = Some [| 1; 2 |] }))
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "Eq. 1-2 light load" `Quick test_light;
+      Alcotest.test_case "Eq. 4-5 heavy load" `Quick test_heavy;
+      Alcotest.test_case "Eq. 3 and 6 service time" `Quick test_service_times;
+      Alcotest.test_case "reference counts" `Quick test_references;
+      Alcotest.test_case "config validation" `Quick test_config_validation;
+    ] )

@@ -1,0 +1,123 @@
+(* The offline trace auditor: unit behaviour on hand-made traces, and
+   agreement with the online runner on real simulations (two
+   bookkeepers must concur). *)
+
+open Simkit
+
+let mk events =
+  let trace = Trace.create () in
+  Trace.set_enabled trace true;
+  List.iter
+    (fun (time, node, tag) -> Trace.add trace ~time ~node ~tag "")
+    events;
+  trace
+
+let test_clean_run () =
+  let r =
+    Audit.run
+      (mk
+         [
+           (0.0, 0, "request"); (1.0, 0, "enter-cs"); (2.0, 0, "exit-cs");
+           (2.5, 1, "request"); (3.0, 1, "enter-cs"); (4.0, 1, "exit-cs");
+         ])
+  in
+  Alcotest.(check bool) "ok" true (Audit.ok r);
+  Alcotest.(check int) "entries" 2 r.entries;
+  Alcotest.(check int) "max concurrency" 1 r.max_concurrency;
+  Alcotest.(check (float 1e-9)) "mean wait" 0.75 (Stats.Tally.mean r.waits);
+  Alcotest.(check (float 1e-9)) "mean hold" 1.0 (Stats.Tally.mean r.holds);
+  Alcotest.(check int) "nothing unmatched" 0 r.unmatched_requests
+
+let test_detects_overlap () =
+  let r =
+    Audit.run
+      (mk
+         [
+           (1.0, 0, "enter-cs"); (1.5, 1, "enter-cs"); (2.0, 0, "exit-cs");
+           (2.5, 1, "exit-cs");
+         ])
+  in
+  Alcotest.(check bool) "not ok" false (Audit.ok r);
+  (match r.violations with
+  | [ Audit.Overlap { holder = 0; intruder = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one overlap 0/1");
+  Alcotest.(check int) "peak concurrency 2" 2 r.max_concurrency
+
+let test_detects_double_entry () =
+  let r = Audit.run (mk [ (1.0, 0, "enter-cs"); (2.0, 0, "enter-cs") ]) in
+  match r.violations with
+  | [ Audit.Entry_while_inside { node = 0; _ } ] -> ()
+  | _ -> Alcotest.fail "expected re-entry violation"
+
+let test_detects_orphan_exit () =
+  let r = Audit.run (mk [ (1.0, 2, "exit-cs") ]) in
+  match r.violations with
+  | [ Audit.Exit_without_entry { node = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected orphan exit"
+
+let test_crash_clears_holder () =
+  let r =
+    Audit.run
+      (mk
+         [
+           (1.0, 0, "enter-cs"); (1.5, 0, "crash"); (2.0, 1, "enter-cs");
+           (3.0, 1, "exit-cs");
+         ])
+  in
+  Alcotest.(check bool) "crash forgives the open CS" true (Audit.ok r)
+
+let test_unmatched_requests () =
+  let r = Audit.run (mk [ (0.0, 0, "request"); (0.5, 1, "request") ]) in
+  Alcotest.(check int) "both unmatched" 2 r.unmatched_requests
+
+let agree_with_runner (type s m tm)
+    (module A : Dmutex.Types.ALGO
+      with type state = s and type message = m and type timer = tm) cfg =
+  let module R = Dmutex.Sim_runner.Make (A) in
+  let trace = Trace.create ~capacity:1_000_000 () in
+  Trace.set_enabled trace true;
+  let o = R.run_poisson ~seed:5 ~requests:2_000 ~rate:0.3 ~trace cfg in
+  let audit = Audit.run trace in
+  Alcotest.(check bool) (A.name ^ ": audit clean") true (Audit.ok audit);
+  Alcotest.(check int) (A.name ^ ": runner agrees") o.safety_violations 0;
+  Alcotest.(check int)
+    (A.name ^ ": same completion count")
+    o.completed audit.exits
+
+let test_agreement_basic () =
+  agree_with_runner (module Dmutex.Basic) (Dmutex.Basic.config ~n:8 ())
+
+let test_agreement_maekawa () =
+  agree_with_runner
+    (module Baselines.Maekawa)
+    (Dmutex.Types.Config.default ~n:8)
+
+let test_agreement_lamport () =
+  agree_with_runner
+    (module Baselines.Lamport)
+    (Dmutex.Types.Config.default ~n:8)
+
+let test_audit_pp () =
+  let r = Audit.run (mk [ (1.0, 0, "enter-cs"); (1.5, 1, "enter-cs") ]) in
+  let s = Format.asprintf "%a" Audit.pp r in
+  Alcotest.(check bool) "mentions violation" true
+    (Str_present.contains_substring s "VIOLATIONS")
+
+let suite =
+  ( "audit",
+    [
+      Alcotest.test_case "clean run" `Quick test_clean_run;
+      Alcotest.test_case "detects overlap" `Quick test_detects_overlap;
+      Alcotest.test_case "detects double entry" `Quick
+        test_detects_double_entry;
+      Alcotest.test_case "detects orphan exit" `Quick test_detects_orphan_exit;
+      Alcotest.test_case "crash clears holder" `Quick test_crash_clears_holder;
+      Alcotest.test_case "unmatched requests" `Quick test_unmatched_requests;
+      Alcotest.test_case "agrees with runner: basic" `Quick
+        test_agreement_basic;
+      Alcotest.test_case "agrees with runner: maekawa" `Quick
+        test_agreement_maekawa;
+      Alcotest.test_case "agrees with runner: lamport" `Quick
+        test_agreement_lamport;
+      Alcotest.test_case "report rendering" `Quick test_audit_pp;
+    ] )

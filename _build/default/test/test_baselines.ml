@@ -1,0 +1,243 @@
+(* Each baseline: safety, liveness, and the message counts the
+   literature attributes to it. *)
+
+open Dmutex
+
+let check_correct name (o : Sim_runner.outcome) =
+  Alcotest.(check int) (name ^ ": no violations") 0 o.safety_violations;
+  Alcotest.(check bool) (name ^ ": liveness") true (o.unserved <= o.n)
+
+let n = 10
+let cfg = Types.Config.default ~n
+
+let test_central () =
+  let module R = Sim_runner.Make (Baselines.Central_server) in
+  let low = R.run_poisson ~seed:1 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "central" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* 3 messages unless the requester is the server: 3 * (N-1)/N. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~2.7 messages (%.2f)" low.messages_per_cs)
+    true
+    (abs_float (low.messages_per_cs -. 2.7) < 0.1);
+  let sat = R.run_saturated ~seed:1 ~requests:10_000 cfg in
+  check_correct "central sat" sat
+
+let test_suzuki_kasami () =
+  let module R = Sim_runner.Make (Baselines.Suzuki_kasami) in
+  let low = R.run_poisson ~seed:2 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "suzuki" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* N messages (N-1 broadcast + token) unless holder: ~ (N)(1-1/N). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~9 messages low (%.2f)" low.messages_per_cs)
+    true
+    (abs_float (low.messages_per_cs -. 9.0) < 0.5);
+  let sat = R.run_saturated ~seed:2 ~requests:10_000 cfg in
+  check_correct "suzuki sat" sat;
+  Alcotest.(check bool)
+    (Printf.sprintf "~N messages at saturation (%.2f)" sat.messages_per_cs)
+    true
+    (sat.messages_per_cs > 9.0 && sat.messages_per_cs < 10.5)
+
+let test_ricart_agrawala () =
+  let module R = Sim_runner.Make (Baselines.Ricart_agrawala) in
+  let low = R.run_poisson ~seed:3 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "ricart" low;
+  Alcotest.(check (float 0.01)) "exactly 2(N-1) low" 18.0 low.messages_per_cs;
+  let sat = R.run_saturated ~seed:3 ~requests:10_000 cfg in
+  check_correct "ricart sat" sat;
+  Alcotest.(check bool) "2(N-1) at saturation" true
+    (abs_float (sat.messages_per_cs -. 18.0) < 0.1)
+
+let test_raymond () =
+  let module R = Sim_runner.Make (Baselines.Raymond) in
+  let low = R.run_poisson ~seed:4 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "raymond" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* O(log N) at low load for the binary tree. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "low load O(log N) (%.2f)" low.messages_per_cs)
+    true
+    (low.messages_per_cs < 8.0);
+  let sat = R.run_saturated ~seed:4 ~requests:10_000 cfg in
+  check_correct "raymond sat" sat;
+  (* The paper quotes "approximately 4 at high loads". *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~4 at saturation (%.2f)" sat.messages_per_cs)
+    true
+    (sat.messages_per_cs < 4.5)
+
+let test_singhal () =
+  let module R = Sim_runner.Make (Baselines.Singhal) in
+  let low = R.run_poisson ~seed:5 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "singhal" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* Dynamic: cheaper than Ricart-Agrawala at low load... *)
+  Alcotest.(check bool)
+    (Printf.sprintf "below RA at low load (%.2f)" low.messages_per_cs)
+    true
+    (low.messages_per_cs < 14.0);
+  let sat = R.run_saturated ~seed:5 ~requests:10_000 cfg in
+  check_correct "singhal sat" sat;
+  (* ...and converges to ~2(N-1) at saturation. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "~2(N-1) at saturation (%.2f)" sat.messages_per_cs)
+    true
+    (abs_float (sat.messages_per_cs -. 18.0) < 1.0)
+
+let test_maekawa () =
+  let module R = Sim_runner.Make (Baselines.Maekawa) in
+  let low = R.run_poisson ~seed:6 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "maekawa" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* 3-5 sqrt(N) band: sqrt(10) ~ 3.16 so [9.5, 17]. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "within the 3-5 sqrtN band (%.2f)" low.messages_per_cs)
+    true
+    (low.messages_per_cs > 9.0 && low.messages_per_cs < 17.5);
+  let sat = R.run_saturated ~seed:6 ~requests:10_000 cfg in
+  check_correct "maekawa sat" sat;
+  Alcotest.(check bool)
+    (Printf.sprintf "saturation in band (%.2f)" sat.messages_per_cs)
+    true
+    (sat.messages_per_cs > 9.0 && sat.messages_per_cs < 17.5)
+
+let test_lamport () =
+  let module R = Sim_runner.Make (Baselines.Lamport) in
+  let low = R.run_poisson ~seed:7 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "lamport" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* Exactly 3(N-1): request broadcast + N-1 acks + release broadcast. *)
+  Alcotest.(check (float 0.05)) "3(N-1) at low load" 27.0 low.messages_per_cs;
+  let sat = R.run_saturated ~seed:7 ~requests:10_000 cfg in
+  check_correct "lamport sat" sat;
+  Alcotest.(check bool)
+    (Printf.sprintf "~3(N-1) at saturation (%.2f)" sat.messages_per_cs)
+    true
+    (abs_float (sat.messages_per_cs -. 27.0) < 0.5)
+
+let test_maekawa_quorums () =
+  (* Pairwise intersection for assorted n, including non-squares. *)
+  List.iter
+    (fun n ->
+      let qs = Baselines.Maekawa.quorums n in
+      Array.iteri
+        (fun i qi ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d: %d in own quorum" n i)
+            true (List.mem i qi);
+          Array.iteri
+            (fun j qj ->
+              let inter = List.exists (fun x -> List.mem x qj) qi in
+              if not inter then
+                Alcotest.fail
+                  (Printf.sprintf "n=%d: quorums %d and %d disjoint" n i j))
+            qs)
+        qs)
+    [ 2; 3; 4; 5; 7; 9; 10; 13; 16; 17; 25 ]
+
+let test_tree_quorum () =
+  let module R = Sim_runner.Make (Baselines.Tree_quorum) in
+  let low = R.run_poisson ~seed:8 ~requests:5_000 ~rate:0.05 cfg in
+  check_correct "tree-quorum" low;
+  Alcotest.(check int) "all served" 0 low.unserved;
+  (* Path quorums are O(log N): cheaper than Maekawa's 2*sqrt(N)-1
+     grid at the same N. *)
+  let module RM = Sim_runner.Make (Baselines.Maekawa) in
+  let mk = RM.run_poisson ~seed:8 ~requests:5_000 ~rate:0.05 cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "cheaper than maekawa at low load (%.2f vs %.2f)"
+       low.messages_per_cs mk.messages_per_cs)
+    true
+    (low.messages_per_cs < mk.messages_per_cs);
+  let sat = R.run_saturated ~seed:8 ~requests:10_000 cfg in
+  check_correct "tree-quorum sat" sat
+
+let test_tree_quorum_rule () =
+  (* The TOCS'91 substitution rule, spot checks on n=7. *)
+  let q ?failed n = Baselines.Tree_quorum.quorum ?failed n in
+  Alcotest.(check (option (list int))) "no failures: a root path"
+    (Some [ 0; 1; 3 ]) (q 7);
+  Alcotest.(check (option (list int))) "root failed: both subtree paths"
+    (Some [ 1; 3; 2; 5 ])
+    (q ~failed:(fun i -> i = 0) 7);
+  Alcotest.(check (option (list int))) "interior failure substituted"
+    (Some [ 0; 3; 4 ])
+    (q ~failed:(fun i -> i = 1) 7);
+  (* All interior nodes dead: the rule still assembles the leaf
+     front. *)
+  Alcotest.(check (option (list int))) "survives losing every interior node"
+    (Some [ 3; 4; 5; 6 ])
+    (q ~failed:(fun i -> i <= 2) 7);
+  (* Root plus one whole subtree dead: no quorum can be formed. *)
+  Alcotest.(check bool) "fails when a full subtree is gone" true
+    (q ~failed:(fun i -> i = 0 || i = 3 || i = 4) 7 = None)
+
+let prop_tree_quorum_intersection =
+  (* The paper's theorem: any two constructible quorums intersect,
+     even under different failure views. *)
+  QCheck.Test.make ~name:"tree quorums intersect under failures" ~count:500
+    QCheck.(triple (int_range 1 31) (small_list (int_range 0 30))
+              (small_list (int_range 0 30)))
+    (fun (n, dead_a, dead_b) ->
+      let failed dead i = List.mem i dead in
+      match
+        ( Baselines.Tree_quorum.quorum ~failed:(failed dead_a) n,
+          Baselines.Tree_quorum.quorum ~failed:(failed dead_b) n )
+      with
+      | Some qa, Some qb -> List.exists (fun x -> List.mem x qb) qa
+      | _ -> true (* no quorum constructible: vacuous *))
+
+let test_paper_ordering_at_saturation () =
+  (* The paper's headline comparison: new algorithm < Raymond <
+     Suzuki-Kasami < Ricart-Agrawala at high load. *)
+  let module RB = Sim_runner.Make (Basic) in
+  let module RRay = Sim_runner.Make (Baselines.Raymond) in
+  let module RSK = Sim_runner.Make (Baselines.Suzuki_kasami) in
+  let module RRA = Sim_runner.Make (Baselines.Ricart_agrawala) in
+  let b = (RB.run_saturated ~seed:7 ~requests:10_000 (Basic.config ~n ())).messages_per_cs in
+  let ray = (RRay.run_saturated ~seed:7 ~requests:10_000 cfg).messages_per_cs in
+  let sk = (RSK.run_saturated ~seed:7 ~requests:10_000 cfg).messages_per_cs in
+  let ra = (RRA.run_saturated ~seed:7 ~requests:10_000 cfg).messages_per_cs in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f < %.2f < %.2f < %.2f" b ray sk ra)
+    true
+    (b < ray && ray < sk && sk < ra)
+
+let test_fig6_crossover () =
+  (* Figure 6: Singhal's dynamic algorithm wins only at very low
+     loads; the paper's algorithm wins everywhere else. *)
+  let module RB = Sim_runner.Make (Basic) in
+  let module RS = Sim_runner.Make (Baselines.Singhal) in
+  let basic_cfg = Basic.config ~n () in
+  let at rate =
+    ( (RB.run_poisson ~seed:8 ~requests:5_000 ~rate basic_cfg).messages_per_cs,
+      (RS.run_poisson ~seed:8 ~requests:5_000 ~rate cfg).messages_per_cs )
+  in
+  let b_hi, s_hi = at 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "new wins at high load (%.2f vs %.2f)" b_hi s_hi)
+    true (b_hi < s_hi)
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "central server" `Quick test_central;
+      Alcotest.test_case "suzuki-kasami" `Quick test_suzuki_kasami;
+      Alcotest.test_case "ricart-agrawala" `Quick test_ricart_agrawala;
+      Alcotest.test_case "raymond" `Quick test_raymond;
+      Alcotest.test_case "singhal dynamic" `Quick test_singhal;
+      Alcotest.test_case "maekawa" `Quick test_maekawa;
+      Alcotest.test_case "lamport" `Quick test_lamport;
+      Alcotest.test_case "tree-quorum" `Quick test_tree_quorum;
+      Alcotest.test_case "tree-quorum substitution rule" `Quick
+        test_tree_quorum_rule;
+      QCheck_alcotest.to_alcotest prop_tree_quorum_intersection;
+      Alcotest.test_case "maekawa quorum intersection" `Quick
+        test_maekawa_quorums;
+      Alcotest.test_case "paper's saturation ordering" `Slow
+        test_paper_ordering_at_saturation;
+      Alcotest.test_case "figure 6 winner at high load" `Slow
+        test_fig6_crossover;
+    ] )

@@ -1,0 +1,106 @@
+open Simkit
+
+let test_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let fire tag _ = log := tag :: !log in
+  ignore (Engine.schedule e ~delay:3.0 (fire "c"));
+  ignore (Engine.schedule e ~delay:1.0 (fire "a"));
+  ignore (Engine.schedule e ~delay:2.0 (fire "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "scheduling order on ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Engine.cancel e h;
+  Alcotest.(check int) "pending after cancel" 0 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check bool) "cancelled never fires" false !fired;
+  (* double cancel is a no-op *)
+  Engine.cancel e h
+
+let test_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec arm d =
+    ignore
+      (Engine.schedule e ~delay:d (fun _ ->
+           incr count;
+           arm 1.0))
+  in
+  arm 1.0;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "events within bound" 5 !count;
+  Alcotest.(check (float 1e-9)) "clock at bound" 5.5 (Engine.now e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Engine.schedule e ~delay:1.0 (fun e ->
+           incr count;
+           if !count = 3 then Engine.stop e))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped early" 3 !count;
+  Engine.run e;
+  Alcotest.(check int) "run resumes" 10 !count
+
+let test_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun _ -> incr count))
+  done;
+  Engine.run ~max_events:4 e;
+  Alcotest.(check int) "bounded" 4 !count
+
+let test_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun _ -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past schedule rejected"
+    (Invalid_argument
+       "Engine.schedule_at: time 1 is in the past (now 5)")
+    (fun () -> ignore (Engine.schedule_at e ~time:1.0 (fun _ -> ())))
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun e ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~delay:0.0 (fun _ -> log := "inner" :: !log))));
+  ignore (Engine.schedule e ~delay:2.0 (fun _ -> log := "later" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested zero-delay fires before later"
+    [ "outer"; "inner"; "later" ] (List.rev !log)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "timestamp ordering" `Quick test_ordering;
+      Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+      Alcotest.test_case "cancellation" `Quick test_cancel;
+      Alcotest.test_case "run until bound" `Quick test_until;
+      Alcotest.test_case "stop" `Quick test_stop;
+      Alcotest.test_case "max events" `Quick test_max_events;
+      Alcotest.test_case "past scheduling rejected" `Quick test_past_rejected;
+      Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    ] )

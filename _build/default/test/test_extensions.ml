@@ -1,0 +1,187 @@
+(* Extensions beyond the paper's text: the intermediate-load queueing
+   model, the ASCII timeline renderer, CSV export, and the golden
+   replay of the paper's Section 2.2 example. *)
+
+open Dmutex
+
+(* ------------------------- queueing model ------------------------ *)
+
+let test_utilization () =
+  let cfg = Basic.config ~n:10 () in
+  Alcotest.(check (float 1e-9)) "rho at 0.2/node" 0.4
+    (Analysis.utilization cfg ~rate:0.2);
+  Alcotest.(check bool) "beyond capacity gives None" true
+    (Analysis.predicted_delay cfg ~rate:1.0 = None)
+
+let test_prediction_accuracy () =
+  let cfg = Basic.config ~n:10 () in
+  let module R = Sim_runner.Make (Basic) in
+  List.iter
+    (fun rate ->
+      let o = R.run_poisson ~seed:3 ~requests:15_000 ~rate cfg in
+      match Analysis.predicted_delay cfg ~rate with
+      | Some p ->
+          let err = abs_float (p -. o.mean_delay) /. o.mean_delay in
+          Alcotest.(check bool)
+            (Printf.sprintf "rate %.2f: predicted %.3f vs %.3f (err %.0f%%)"
+               rate p o.mean_delay (100.0 *. err))
+            true (err < 0.20)
+      | None -> Alcotest.fail "unexpected capacity cutoff")
+    [ 0.05; 0.2; 0.4 ]
+
+let test_prediction_converges_to_eq3 () =
+  let cfg = Basic.config ~n:10 () in
+  match Analysis.predicted_delay cfg ~rate:1e-9 with
+  | Some p ->
+      (* At λ→0 the model is Eq. 3 with the residual-window refinement
+         (T_req/2 instead of T_req). *)
+      let expected =
+        Analysis.light_load_service_time cfg -. (cfg.Types.Config.t_collect /. 2.0)
+      in
+      Alcotest.(check (float 1e-3)) "zero-load limit" expected p
+  | None -> Alcotest.fail "zero load must have a steady state"
+
+(* --------------------------- timeline ---------------------------- *)
+
+let test_timeline_marks () =
+  let trace = Simkit.Trace.create () in
+  Simkit.Trace.set_enabled trace true;
+  Simkit.Trace.add trace ~time:0.0 ~node:0 ~tag:"request" "";
+  Simkit.Trace.add trace ~time:2.0 ~node:0 ~tag:"enter-cs" "";
+  Simkit.Trace.add trace ~time:4.0 ~node:0 ~tag:"exit-cs" "";
+  Simkit.Trace.add trace ~time:5.0 ~node:1 ~tag:"crash" "";
+  let tl = Simkit.Timeline.create ~columns:40 ~n:2 trace in
+  let s = Simkit.Timeline.to_string tl in
+  Alcotest.(check bool) "has CS bar" true (String.contains s 'C');
+  Alcotest.(check bool) "has request mark" true (String.contains s 'R');
+  Alcotest.(check bool) "has crash mark" true (String.contains s 'X');
+  (* Two lanes labelled. *)
+  Alcotest.(check bool) "lane 0" true
+    (String.length s > 0
+    && Str_present.contains_substring s "node  0 |");
+  Alcotest.(check bool) "lane 1" true
+    (Str_present.contains_substring s "node  1 |")
+
+let test_timeline_cs_span () =
+  (* A CS from 25% to 50% of the range must fill roughly a quarter of
+     the lane. *)
+  let trace = Simkit.Trace.create () in
+  Simkit.Trace.set_enabled trace true;
+  Simkit.Trace.add trace ~time:0.0 ~node:0 ~tag:"request" "";
+  Simkit.Trace.add trace ~time:2.5 ~node:0 ~tag:"enter-cs" "";
+  Simkit.Trace.add trace ~time:5.0 ~node:0 ~tag:"exit-cs" "";
+  Simkit.Trace.add trace ~time:10.0 ~node:0 ~tag:"request" "";
+  let tl = Simkit.Timeline.create ~columns:80 ~n:1 trace in
+  let s = Simkit.Timeline.to_string tl in
+  let c_count =
+    String.fold_left (fun acc ch -> if ch = 'C' then acc + 1 else acc) 0 s
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "~20 C cells (%d)" c_count)
+    true
+    (c_count >= 17 && c_count <= 25)
+
+let test_timeline_empty_trace () =
+  let trace = Simkit.Trace.create () in
+  let tl = Simkit.Timeline.create ~n:3 trace in
+  let s = Simkit.Timeline.to_string tl in
+  Alcotest.(check bool) "renders without events" true (String.length s > 0)
+
+(* ------------------------------ CSV ------------------------------ *)
+
+let test_csv_sweep () =
+  let rows =
+    [
+      { Experiments.rate = 0.1;
+        series = [ ("a", { Experiments.mean = 1.5; ci95 = 0.25 }) ] };
+      { Experiments.rate = 0.2;
+        series = [ ("a", { Experiments.mean = 2.5; ci95 = 0.5 }) ] };
+    ]
+  in
+  let csv = Experiments.Csv.of_sweep rows in
+  Alcotest.(check string) "csv"
+    "x,a mean,a ci95\n0.1,1.5,0.25\n0.2,2.5,0.5\n" csv
+
+let test_csv_quoting () =
+  let rows =
+    [ ("weird, \"name\"", { Experiments.mean = 1.0; ci95 = 0.0 },
+       { Experiments.mean = 2.0; ci95 = 0.0 }) ]
+  in
+  let csv = Experiments.Csv.of_algorithms rows in
+  Alcotest.(check bool) "quoted field" true
+    (Str_present.contains_substring csv "\"weird, \"\"name\"\"\"")
+
+let test_csv_write () =
+  let dir = Filename.temp_file "dmutex" "" in
+  Sys.remove dir;
+  let path = Experiments.Csv.write ~dir ~name:"test" "a,b\n1,2\n" in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "roundtrip through disk" "a,b" line;
+  Sys.remove path;
+  Sys.rmdir dir
+
+(* ------------------- golden Figure 2 replay ---------------------- *)
+
+let test_figure2_golden () =
+  (* The paper's Section 2.2 example with unit delays, nodes
+     renumbered 0-4 (paper 1-5). The exact event schedule is pinned:
+     a change to protocol timing semantics must show up here. *)
+  let module R = Sim_runner.Make (Basic) in
+  let cfg =
+    { (Basic.config ~t_collect:1.0 ~n:5 ()) with
+      Types.Config.t_msg = 1.0;
+      t_exec = 1.0;
+      t_forward = 1.0 }
+  in
+  let trace = Simkit.Trace.create () in
+  Simkit.Trace.set_enabled trace true;
+  let t = R.create ~seed:1 ~trace cfg in
+  R.request t 1;
+  (* paper node 2 *)
+  R.request t 4;
+  (* paper node 5 *)
+  ignore
+    (Simkit.Engine.schedule (R.engine t) ~delay:1.5 (fun _ -> R.request t 3));
+  (* paper node 4, arrives during node 0's forwarding phase *)
+  ignore
+    (Simkit.Engine.schedule (R.engine t) ~delay:4.0 (fun _ -> R.request t 2));
+  (* paper node 3, reaches the new arbiter's collection phase *)
+  R.step_until t 20.0;
+  let events =
+    List.filter_map
+      (fun (r : Simkit.Trace.record) ->
+        match r.tag with
+        | "enter-cs" -> Some (r.time, r.node)
+        | _ -> None)
+      (Simkit.Trace.records trace)
+  in
+  (* Paper's narrative: node 2 (our 1) first, then node 5 (our 4),
+     then node 4 (our 3), then node 3 (our 2). *)
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "CS entries match the paper's Figure 2 schedule"
+    [ (3.0, 1); (5.0, 4); (8.0, 3); (10.0, 2) ]
+    events;
+  let o = R.outcome t in
+  Alcotest.(check int) "forwarded REQUEST(4) once" 1
+    (match List.assoc_opt "forwarded" o.notes with Some v -> v | None -> 0)
+
+let suite =
+  ( "extensions",
+    [
+      Alcotest.test_case "utilization + capacity cutoff" `Quick
+        test_utilization;
+      Alcotest.test_case "delay prediction within 20%" `Slow
+        test_prediction_accuracy;
+      Alcotest.test_case "prediction converges to Eq. 3" `Quick
+        test_prediction_converges_to_eq3;
+      Alcotest.test_case "timeline marks" `Quick test_timeline_marks;
+      Alcotest.test_case "timeline CS span" `Quick test_timeline_cs_span;
+      Alcotest.test_case "timeline empty trace" `Quick
+        test_timeline_empty_trace;
+      Alcotest.test_case "csv sweep format" `Quick test_csv_sweep;
+      Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+      Alcotest.test_case "csv write to disk" `Quick test_csv_write;
+      Alcotest.test_case "golden Figure 2 replay" `Quick test_figure2_golden;
+    ] )

@@ -1,0 +1,81 @@
+let test_order () =
+  let h = Simkit.Heap.create () in
+  List.iter (fun p -> Simkit.Heap.push h ~priority:p p)
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.map fst (Simkit.Heap.to_sorted_list h) in
+  Alcotest.(check (list (float 0.0))) "ascending" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    order
+
+let test_fifo_ties () =
+  let h = Simkit.Heap.create () in
+  List.iter (fun v -> Simkit.Heap.push h ~priority:1.0 v) [ "a"; "b"; "c" ];
+  Simkit.Heap.push h ~priority:0.5 "first";
+  let vs = List.map snd (Simkit.Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "a"; "b"; "c" ] vs
+
+let test_peek_pop () =
+  let h = Simkit.Heap.create () in
+  Alcotest.(check bool) "empty" true (Simkit.Heap.is_empty h);
+  Alcotest.(check (option (pair (float 0.0) int))) "peek empty" None
+    (Simkit.Heap.peek h);
+  Simkit.Heap.push h ~priority:2.0 2;
+  Simkit.Heap.push h ~priority:1.0 1;
+  Alcotest.(check (option (pair (float 0.0) int))) "peek min" (Some (1.0, 1))
+    (Simkit.Heap.peek h);
+  Alcotest.(check int) "size" 2 (Simkit.Heap.size h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop min" (Some (1.0, 1))
+    (Simkit.Heap.pop h);
+  Alcotest.(check int) "size after pop" 1 (Simkit.Heap.size h)
+
+let test_clear () =
+  let h = Simkit.Heap.create () in
+  for i = 1 to 100 do
+    Simkit.Heap.push h ~priority:(float_of_int i) i
+  done;
+  Simkit.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Simkit.Heap.is_empty h);
+  Simkit.Heap.push h ~priority:1.0 1;
+  Alcotest.(check int) "usable after clear" 1 (Simkit.Heap.size h)
+
+let test_grow () =
+  let h = Simkit.Heap.create ~capacity:2 () in
+  for i = 1000 downto 1 do
+    Simkit.Heap.push h ~priority:(float_of_int i) i
+  done;
+  Alcotest.(check int) "all inserted" 1000 (Simkit.Heap.size h);
+  Alcotest.(check (option (pair (float 0.0) int))) "min" (Some (1.0, 1))
+    (Simkit.Heap.pop h)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun ps ->
+      let h = Simkit.Heap.create () in
+      List.iter (fun p -> Simkit.Heap.push h ~priority:p p) ps;
+      let drained = List.map fst (Simkit.Heap.to_sorted_list h) in
+      drained = List.sort compare ps)
+
+let prop_size =
+  QCheck.Test.make ~name:"heap size tracks pushes and pops" ~count:200
+    QCheck.(pair (small_list (float_bound_exclusive 10.0)) small_nat)
+    (fun (ps, pops) ->
+      let h = Simkit.Heap.create () in
+      List.iter (fun p -> Simkit.Heap.push h ~priority:p p) ps;
+      let pops = min pops (List.length ps) in
+      for _ = 1 to pops do
+        ignore (Simkit.Heap.pop h)
+      done;
+      Simkit.Heap.size h = List.length ps - pops)
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "ascending order" `Quick test_order;
+      Alcotest.test_case "FIFO on equal priorities" `Quick test_fifo_ties;
+      Alcotest.test_case "peek and pop" `Quick test_peek_pop;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "growth from small capacity" `Quick test_grow;
+      QCheck_alcotest.to_alcotest prop_sorted;
+      QCheck_alcotest.to_alcotest prop_size;
+    ] )

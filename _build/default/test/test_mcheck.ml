@@ -1,0 +1,276 @@
+(* The model checker itself, and the exhaustive checks it provides for
+   small configurations (the paper's Section 2.3 argument,
+   mechanized). *)
+
+open Dmutex
+
+let newline = String.make 1 '\n'
+
+let basic_cfg n =
+  let base = Basic.config ~n () in
+  { base with Types.Config.max_retries = 0 }
+
+let check_ok name (r : Mcheck.Make(Basic).result) =
+  match r.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "%s: %s\n%s" name
+        (match v.kind with `Safety -> "safety" | `Deadlock -> "deadlock")
+        (String.concat "\n" v.trace)
+
+let test_basic_n2_exhaustive () =
+  let module M = Mcheck.Make (Basic) in
+  let r = M.run ~requests_per_node:1 (basic_cfg 2) in
+  check_ok "n=2 r=1" r;
+  Alcotest.(check bool) "exhausted (not truncated)" false r.truncated;
+  Alcotest.(check bool) "non-trivial space" true (r.states > 100)
+
+let test_basic_n2_r2_bounded () =
+  let module M = Mcheck.Make (Basic) in
+  let r = M.run ~max_states:150_000 ~requests_per_node:2 (basic_cfg 2) in
+  (match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace));
+  Alcotest.(check bool) "explored the budget" true (r.states > 100_000)
+
+let test_basic_n3_bounded () =
+  let module M = Mcheck.Make (Basic) in
+  let r = M.run ~max_states:150_000 ~requests_per_node:1 (basic_cfg 3) in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace)
+
+let test_basic_n2_no_timers () =
+  (* With deterministic timers off the space is tiny and exhaustible
+     even for two requests per node. *)
+  let module M = Mcheck.Make (Basic) in
+  let r =
+    M.run ~fire_timers:true ~requests_per_node:1 (basic_cfg 2)
+  in
+  check_ok "n=2" r
+
+let test_central_exhaustive () =
+  let module M = Mcheck.Make (Baselines.Central_server) in
+  let r = M.run ~requests_per_node:2 (Types.Config.default ~n:3) in
+  (match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace));
+  Alcotest.(check bool) "exhausted" false r.truncated
+
+let test_ricart_exhaustive () =
+  let module M = Mcheck.Make (Baselines.Ricart_agrawala) in
+  let r = M.run ~requests_per_node:1 (Types.Config.default ~n:3) in
+  (match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace));
+  Alcotest.(check bool) "exhausted" false r.truncated
+
+let test_suzuki_exhaustive () =
+  let module M = Mcheck.Make (Baselines.Suzuki_kasami) in
+  let r = M.run ~requests_per_node:1 (Types.Config.default ~n:3) in
+  match r.violation with
+  | None -> Alcotest.(check bool) "exhausted" false r.truncated
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace)
+
+let test_raymond_exhaustive () =
+  let module M = Mcheck.Make (Baselines.Raymond) in
+  let r = M.run ~requests_per_node:2 (Types.Config.default ~n:3) in
+  match r.violation with
+  | None -> Alcotest.(check bool) "exhausted" false r.truncated
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace)
+
+let test_lamport_fifo_exhaustive () =
+  (* Lamport's algorithm assumes FIFO channels; under them it is
+     exhaustively safe at n=3. *)
+  let module M = Mcheck.Make (Baselines.Lamport) in
+  let r = M.run ~fifo:true ~requests_per_node:1 (Types.Config.default ~n:3) in
+  match r.violation with
+  | None -> Alcotest.(check bool) "exhausted" false r.truncated
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_lamport_needs_fifo () =
+  (* ...and without FIFO the checker finds the classic reordering
+     violation (an ACK overtaking the REQUEST it acknowledges). *)
+  let module M = Mcheck.Make (Baselines.Lamport) in
+  let r = M.run ~fifo:false ~requests_per_node:1 (Types.Config.default ~n:3) in
+  match r.violation with
+  | Some { kind = `Safety; _ } -> ()
+  | Some { kind = `Deadlock; _ } -> Alcotest.fail "wrong verdict"
+  | None -> Alcotest.fail "expected the FIFO-dependence to be exposed"
+
+let test_basic_fifo_also_ok () =
+  (* The paper's algorithm needs no FIFO assumption; checking under
+     FIFO (a smaller space) must of course also pass. *)
+  let module M = Mcheck.Make (Basic) in
+  let r = M.run ~fifo:true ~requests_per_node:1 (basic_cfg 2) in
+  check_ok "n=2 fifo" r
+
+let test_maekawa_bounded () =
+  let module M = Mcheck.Make (Baselines.Maekawa) in
+  let r =
+    M.run ~max_states:150_000 ~requests_per_node:1
+      (Types.Config.default ~n:3)
+  in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "\n" v.trace)
+
+(* Validate the checker itself: a deliberately broken algorithm in
+   which the initial holder grants everyone immediately must be caught
+   as a safety violation, and a sulking algorithm that never grants
+   must be caught as a deadlock. *)
+module Broken_grant_all = struct
+  type state = { me : int; in_cs : bool; wanting : bool }
+  type message = Go
+  type timer = unit
+
+  let name = "broken-grant-all"
+  let init _ me = { me; in_cs = false; wanting = false }
+  let rejoin = init
+
+  let handle _ ~now:_ st input =
+    match input with
+    | Types.Request_cs ->
+        (* Everybody may simply enter: blatantly unsafe. *)
+        ({ st with in_cs = true; wanting = false }, [ Types.Enter_cs ])
+    | Types.Cs_done -> ({ st with in_cs = false }, [])
+    | Types.Receive _ | Types.Timer_fired _ -> (st, [])
+
+  let in_cs st = st.in_cs
+  let wants_cs st = st.wanting
+  let message_kind Go = "GO"
+  let pp_message ppf Go = Format.pp_print_string ppf "GO"
+  let pp_state ppf st = Format.fprintf ppf "%d" st.me
+end
+
+module Broken_never_grant = struct
+  type state = { me : int; wanting : bool }
+  type message = Go
+  type timer = unit
+
+  let name = "broken-never-grant"
+  let init _ me = { me; wanting = false }
+  let rejoin = init
+
+  let handle _ ~now:_ st input =
+    match input with
+    | Types.Request_cs -> ({ st with wanting = true }, [])
+    | Types.Cs_done | Types.Receive _ | Types.Timer_fired _ -> (st, [])
+
+  let in_cs _ = false
+  let wants_cs st = st.wanting
+  let message_kind Go = "GO"
+  let pp_message ppf Go = Format.pp_print_string ppf "GO"
+  let pp_state ppf st = Format.fprintf ppf "%d" st.me
+end
+
+let test_random_walks_basic () =
+  (* Monte-Carlo exploration of a configuration too big to exhaust. *)
+  let module M = Mcheck.Make (Basic) in
+  let r =
+    M.run_random ~walks:300 ~depth:300 ~requests_per_node:2 (basic_cfg 4)
+  in
+  (match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat "
+" v.trace));
+  Alcotest.(check bool) "explored states" true (r.states > 1_000)
+
+let test_random_walks_monitored () =
+  (* The monitored variant needs the retransmission timer for liveness
+     (it drops over-τ requests and the monitor escape hatch relies on
+     broadcasts that a quiescent system stops producing); a bounded
+     retry budget keeps the walker's reachable space finite. *)
+  let module M = Mcheck.Make (Monitored) in
+  let cfg =
+    { (Monitored.config ~n:3 ()) with Types.Config.max_retries = 2 }
+  in
+  let r = M.run_random ~walks:300 ~depth:300 ~requests_per_node:2 cfg in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_monitored_without_retries_starves () =
+  (* Pin the hole: with retries disabled, the walker finds the
+     quiescent-starvation deadlock (a dropped over-τ request whose
+     owner never sees another broadcast). This is the behaviour the
+     paper's Section 4.1 leaves to 'appropriate timeouts'. *)
+  let module M = Mcheck.Make (Monitored) in
+  let cfg =
+    { (Monitored.config ~n:3 ()) with Types.Config.max_retries = 0 }
+  in
+  let r = M.run_random ~walks:2000 ~depth:300 ~requests_per_node:2 cfg in
+  match r.violation with
+  | Some { kind = `Deadlock; _ } -> ()
+  | Some { kind = `Safety; trace } ->
+      Alcotest.failf "unexpected safety violation: %s"
+        (String.concat newline trace)
+  | None ->
+      Alcotest.fail
+        "expected the known starvation deadlock to be reachable"
+
+let test_detects_safety_violation () =
+  let module M = Mcheck.Make (Broken_grant_all) in
+  let r = M.run ~requests_per_node:1 (Types.Config.default ~n:2) in
+  match r.violation with
+  | Some { kind = `Safety; _ } -> ()
+  | Some { kind = `Deadlock; _ } -> Alcotest.fail "wrong verdict"
+  | None -> Alcotest.fail "missed an obvious violation"
+
+let test_random_walks_find_planted_bug () =
+  (* The random walker must also catch the planted violation. *)
+  let module M = Mcheck.Make (Broken_grant_all) in
+  let r =
+    M.run_random ~walks:200 ~depth:50 ~requests_per_node:1
+      (Types.Config.default ~n:2)
+  in
+  (match r.violation with
+  | Some { kind = `Safety; _ } -> ()
+  | _ -> Alcotest.fail "random walker missed the planted violation");
+  ()
+
+let test_detects_deadlock () =
+  let module M = Mcheck.Make (Broken_never_grant) in
+  let r = M.run ~requests_per_node:1 (Types.Config.default ~n:2) in
+  match r.violation with
+  | Some { kind = `Deadlock; trace } ->
+      Alcotest.(check bool) "trace nonempty" true (trace <> [])
+  | Some { kind = `Safety; _ } -> Alcotest.fail "wrong verdict"
+  | None -> Alcotest.fail "missed an obvious deadlock"
+
+let suite =
+  ( "mcheck",
+    [
+      Alcotest.test_case "basic n=2 exhaustive" `Quick test_basic_n2_exhaustive;
+      Alcotest.test_case "basic n=2 two requests (bounded)" `Slow
+        test_basic_n2_r2_bounded;
+      Alcotest.test_case "basic n=3 (bounded)" `Slow test_basic_n3_bounded;
+      Alcotest.test_case "basic n=2 (timers)" `Quick test_basic_n2_no_timers;
+      Alcotest.test_case "central n=3 exhaustive" `Quick
+        test_central_exhaustive;
+      Alcotest.test_case "ricart-agrawala n=3 exhaustive" `Quick
+        test_ricart_exhaustive;
+      Alcotest.test_case "suzuki-kasami n=3 exhaustive" `Quick
+        test_suzuki_exhaustive;
+      Alcotest.test_case "raymond n=3 exhaustive" `Slow
+        test_raymond_exhaustive;
+      Alcotest.test_case "maekawa n=3 (bounded)" `Slow test_maekawa_bounded;
+      Alcotest.test_case "lamport n=3 exhaustive (FIFO)" `Quick
+        test_lamport_fifo_exhaustive;
+      Alcotest.test_case "lamport unsafe without FIFO" `Quick
+        test_lamport_needs_fifo;
+      Alcotest.test_case "basic n=2 under FIFO" `Quick
+        test_basic_fifo_also_ok;
+      Alcotest.test_case "random walks: basic n=4" `Slow
+        test_random_walks_basic;
+      Alcotest.test_case "random walks: monitored n=3" `Slow
+        test_random_walks_monitored;
+      Alcotest.test_case "monitored needs retries (pinned hole)" `Slow
+        test_monitored_without_retries_starves;
+      Alcotest.test_case "random walks find planted bug" `Quick
+        test_random_walks_find_planted_bug;
+      Alcotest.test_case "checker finds planted violation" `Quick
+        test_detects_safety_violation;
+      Alcotest.test_case "checker finds planted deadlock" `Quick
+        test_detects_deadlock;
+    ] )

@@ -1,0 +1,133 @@
+open Simkit
+
+let make ?(n = 4) ?(latency = Network.Constant 0.1) () =
+  let e = Engine.create () in
+  let rng = Rng.create 1 in
+  let net = Network.create e ~n ~rng ~latency in
+  let log = ref [] in
+  Network.set_handler net (fun ~src ~dst msg ->
+      log := (Engine.now e, src, dst, msg) :: !log);
+  (e, net, log)
+
+let test_delivery_delay () =
+  let e, net, log = make () in
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  match !log with
+  | [ (t, 0, 1, "hello") ] ->
+      Alcotest.(check (float 1e-9)) "constant latency" 0.1 t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_broadcast_count () =
+  let e, net, log = make ~n:5 () in
+  Network.broadcast net ~src:2 "x";
+  Engine.run e;
+  Alcotest.(check int) "n-1 deliveries" 4 (List.length !log);
+  Alcotest.(check int) "n-1 sends counted" 4 (Network.sent net);
+  Alcotest.(check bool) "sender not included" true
+    (List.for_all (fun (_, _, dst, _) -> dst <> 2) !log)
+
+let test_self_send_uncounted () =
+  let e, net, log = make () in
+  Network.send net ~src:3 ~dst:3 "self";
+  Engine.run e;
+  Alcotest.(check int) "delivered" 1 (List.length !log);
+  Alcotest.(check int) "not counted" 0 (Network.sent net)
+
+let test_loss () =
+  let e, net, log = make () in
+  Network.set_loss net 1.0;
+  for _ = 1 to 10 do
+    Network.send net ~src:0 ~dst:1 "m"
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all dropped" 0 (List.length !log);
+  Alcotest.(check int) "drop counter" 10 (Network.dropped net);
+  Alcotest.(check int) "sent counter includes drops" 10 (Network.sent net)
+
+let test_interceptor () =
+  let e, net, log = make () in
+  Network.set_interceptor net (fun ~src:_ ~dst:_ msg ->
+      match msg with
+      | "drop-me" -> Network.Drop
+      | "slow" -> Network.Delay 1.0
+      | _ -> Network.Deliver);
+  Network.send net ~src:0 ~dst:1 "drop-me";
+  Network.send net ~src:0 ~dst:1 "slow";
+  Network.send net ~src:0 ~dst:1 "normal";
+  Engine.run e;
+  let times = List.map (fun (t, _, _, m) -> (m, t)) !log in
+  Alcotest.(check bool) "dropped" true (not (List.mem_assoc "drop-me" times));
+  Alcotest.(check (float 1e-9)) "delayed" 1.1 (List.assoc "slow" times);
+  Alcotest.(check (float 1e-9)) "normal" 0.1 (List.assoc "normal" times);
+  Network.clear_interceptor net;
+  Network.send net ~src:0 ~dst:1 "drop-me";
+  Engine.run e;
+  Alcotest.(check int) "interceptor cleared" 3 (List.length !log)
+
+let test_crash_recover () =
+  let e, net, log = make () in
+  Network.crash net 1;
+  Alcotest.(check bool) "is crashed" true (Network.is_crashed net 1);
+  Network.send net ~src:0 ~dst:1 "lost";
+  Network.send net ~src:1 ~dst:0 "also lost";
+  Engine.run e;
+  Alcotest.(check int) "no deliveries" 0 (List.length !log);
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 "ok";
+  Engine.run e;
+  Alcotest.(check int) "delivered after recover" 1 (List.length !log)
+
+let test_crash_in_flight () =
+  let e, net, log = make () in
+  Network.send net ~src:0 ~dst:1 "in-flight";
+  ignore (Engine.schedule e ~delay:0.05 (fun _ -> Network.crash net 1));
+  Engine.run e;
+  Alcotest.(check int) "dropped on arrival at dead node" 0 (List.length !log)
+
+let test_partition_heal () =
+  let e, net, log = make ~n:4 () in
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Network.send net ~src:0 ~dst:1 "same-side";
+  Network.send net ~src:0 ~dst:2 "cross";
+  Engine.run e;
+  Alcotest.(check int) "only same side delivered" 1 (List.length !log);
+  Network.heal net;
+  Network.send net ~src:0 ~dst:2 "healed";
+  Engine.run e;
+  Alcotest.(check int) "healed" 2 (List.length !log)
+
+let test_uniform_latency () =
+  let e, net, log = make ~latency:(Network.Uniform (0.1, 0.2)) () in
+  for _ = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 "m"
+  done;
+  Engine.run e;
+  List.iter
+    (fun (t, _, _, _) ->
+      if t < 0.1 || t >= 0.2 then Alcotest.fail "latency outside bounds")
+    !log
+
+let test_per_pair_latency () =
+  let latency = Network.Per_pair (fun src dst -> float_of_int (src + dst)) in
+  let e, net, log = make ~latency () in
+  Network.send net ~src:1 ~dst:2 "m";
+  Engine.run e;
+  match !log with
+  | [ (t, _, _, _) ] -> Alcotest.(check (float 1e-9)) "pair latency" 3.0 t
+  | _ -> Alcotest.fail "one delivery expected"
+
+let suite =
+  ( "network",
+    [
+      Alcotest.test_case "delivery delay" `Quick test_delivery_delay;
+      Alcotest.test_case "broadcast costs n-1" `Quick test_broadcast_count;
+      Alcotest.test_case "self-send uncounted" `Quick test_self_send_uncounted;
+      Alcotest.test_case "loss model" `Quick test_loss;
+      Alcotest.test_case "interceptor verdicts" `Quick test_interceptor;
+      Alcotest.test_case "crash and recover" `Quick test_crash_recover;
+      Alcotest.test_case "crash catches in-flight" `Quick test_crash_in_flight;
+      Alcotest.test_case "partition and heal" `Quick test_partition_heal;
+      Alcotest.test_case "uniform latency bounds" `Quick test_uniform_latency;
+      Alcotest.test_case "per-pair latency" `Quick test_per_pair_latency;
+    ] )

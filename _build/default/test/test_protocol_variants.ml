@@ -1,0 +1,349 @@
+(* Unit tests of the Section 4.1 (monitor) and Section 6 (recovery)
+   message handlers, driving Protocol.handle directly — the
+   integration suites exercise these paths end-to-end; these pin the
+   individual transitions. *)
+
+open Dmutex
+open Dmutex.Types
+
+let mon_cfg = Monitored.config ~monitor:0 ~threshold:2 ~window:4 ~n:4 ()
+
+let res_cfg =
+  Resilient.config ~token_timeout:1.0 ~enquiry_timeout:0.5
+    ~arbiter_timeout:2.0 ~n:4 ()
+
+let step ?(now = 0.0) cfg st input = Protocol.handle cfg ~now st input
+
+let sends effs =
+  List.filter_map
+    (function Send (dst, m) -> Some (dst, m) | _ -> None)
+    effs
+
+let broadcasts effs =
+  List.filter_map (function Broadcast m -> Some m | _ -> None) effs
+
+let timers effs =
+  List.filter_map (function Set_timer (k, d) -> Some (k, d) | _ -> None) effs
+
+let entry ?(hops = 0) node seq = Qlist.entry ~hops ~node ~seq ()
+
+let token ?(epoch = 0) ?(election = 1) q =
+  { Protocol.tq = q; granted = Qlist.Granted.create 4; epoch; election }
+
+(* ------------------------- monitor (§4.1) ------------------------ *)
+
+let test_monitor_request_parked () =
+  (* The monitor, as a bystander, parks resubmitted requests. *)
+  let st = Protocol.init mon_cfg 0 in
+  let st = { st with Protocol.role = Protocol.Normal } in
+  let st, effs =
+    step mon_cfg st (Receive (2, Protocol.Monitor_request (entry 2 0)))
+  in
+  Alcotest.(check int) "no sends" 0 (List.length (sends effs));
+  Alcotest.(check bool) "parked" true
+    (Qlist.mem 2 st.Protocol.monitor_buffer)
+
+let test_monitor_request_served_if_arbiter () =
+  (* If the monitor happens to be the collecting arbiter, a
+     resubmission joins the normal queue directly. *)
+  let st = Protocol.init mon_cfg 0 in
+  let st, _ =
+    step mon_cfg st (Receive (2, Protocol.Monitor_request (entry 2 0)))
+  in
+  match st.Protocol.role with
+  | Protocol.Collecting { cq; _ } ->
+      Alcotest.(check bool) "joined the collection" true (Qlist.mem 2 cq);
+      Alcotest.(check int) "buffer untouched" 0
+        (List.length st.Protocol.monitor_buffer)
+  | _ -> Alcotest.fail "monitor should be collecting initially"
+
+let test_monitor_privilege_flushes_buffer () =
+  (* MONITOR-PRIVILEGE: append parked requests, broadcast NEW-ARBITER
+     with counter 0, forward the token to the head. *)
+  let st = Protocol.init mon_cfg 0 in
+  let st = { st with Protocol.role = Protocol.Normal; token = None } in
+  let st, _ =
+    step mon_cfg st (Receive (3, Protocol.Monitor_request (entry 3 0)))
+  in
+  let st, effs =
+    step mon_cfg st
+      (Receive (1, Protocol.Monitor_privilege (token [ entry 1 1 ])))
+  in
+  (match broadcasts effs with
+  | [ Protocol.New_arbiter na ] ->
+      Alcotest.(check int) "counter reset" 0 na.Protocol.na_counter;
+      Alcotest.(check (list int)) "buffered request appended" [ 1; 3 ]
+        (List.map (fun e -> e.Qlist.node) na.Protocol.na_q);
+      Alcotest.(check int) "tail (parked requester) is new arbiter" 3
+        na.Protocol.na_arbiter
+  | _ -> Alcotest.fail "expected a NEW-ARBITER broadcast from the monitor");
+  (match sends effs with
+  | [ (1, Protocol.Privilege t) ] ->
+      Alcotest.(check int) "token forwarded to head" 2
+        (List.length t.Protocol.tq)
+  | _ -> Alcotest.fail "expected the token to move to node 1");
+  Alcotest.(check int) "buffer discarded" 0
+    (List.length st.Protocol.monitor_buffer)
+
+let test_over_budget_drop_when_monitored () =
+  (* A request over the τ hop budget is dropped by a forwarding
+     arbiter in the monitored variant (the requester will escape to
+     the monitor). *)
+  let st = Protocol.init mon_cfg 1 in
+  let st =
+    { st with Protocol.role = Protocol.Forwarding { next_arbiter = 2 } }
+  in
+  let _, effs =
+    step mon_cfg st (Receive (3, Protocol.Request (entry ~hops:2 3 0)))
+  in
+  Alcotest.(check int) "not forwarded" 0 (List.length (sends effs));
+  Alcotest.(check bool) "dropped note" true
+    (List.exists (function Note Dropped_request -> true | _ -> false) effs)
+
+let test_miss_escape_to_monitor () =
+  (* τ consecutive NEW-ARBITER misses: the requester resubmits to the
+     monitor rather than the arbiter. *)
+  let st = Protocol.init mon_cfg 2 in
+  let st, _ = step mon_cfg st Request_cs in
+  let na ~election =
+    Protocol.New_arbiter
+      {
+        na_arbiter = 3;
+        na_q = [ entry 1 0 ];
+        na_granted = Qlist.Granted.create 4;
+        na_counter = 1;
+        na_monitor = 0;
+        na_epoch = 0;
+        na_election = election;
+      }
+  in
+  let st, _ = step mon_cfg st (Receive (1, na ~election:1)) in
+  let _, effs = step mon_cfg st (Receive (1, na ~election:2)) in
+  Alcotest.(check bool) "escaped to the monitor" true
+    (List.exists
+       (function
+         | Send (0, Protocol.Monitor_request e) -> e.Qlist.node = 2
+         | _ -> false)
+       effs);
+  Alcotest.(check bool) "noted" true
+    (List.exists
+       (function Note Resubmitted_to_monitor -> true | _ -> false)
+       effs)
+
+(* ------------------------- recovery (§6) ------------------------- *)
+
+let elected_arbiter () =
+  (* Node 2 elected via NEW-ARBITER, awaiting the token, with a known
+     last Q-list. *)
+  let st = Protocol.init res_cfg 2 in
+  let na =
+    Protocol.New_arbiter
+      {
+        na_arbiter = 2;
+        na_q = [ entry 1 0; entry 2 0 ];
+        na_granted = Qlist.Granted.create 4;
+        na_counter = 1;
+        na_monitor = -1;
+        na_epoch = 0;
+        na_election = 3;
+      }
+  in
+  let st, effs = step res_cfg st (Receive (0, na)) in
+  (st, effs)
+
+let test_elected_arbiter_arms_token_timeout () =
+  let _, effs = elected_arbiter () in
+  Alcotest.(check bool) "T_token armed" true
+    (List.exists (fun (k, _) -> k = Protocol.T_token) (timers effs))
+
+let test_warning_starts_enquiry () =
+  let st, _ = elected_arbiter () in
+  let st, effs = step res_cfg st (Receive (1, Protocol.Warning)) in
+  let enquiries =
+    List.filter
+      (function _, Protocol.Enquiry _ -> true | _ -> false)
+      (sends effs)
+  in
+  (* Last Q was {1,2}; previous arbiter 0. Enquiries go to 0 and 1
+     (not ourselves). *)
+  Alcotest.(check (list int)) "enquired peers" [ 0; 1 ]
+    (List.sort compare (List.map fst enquiries));
+  Alcotest.(check bool) "recovery running" true (st.Protocol.recovery <> None);
+  Alcotest.(check bool) "noted" true
+    (List.exists (function Note Recovery_started -> true | _ -> false) effs)
+
+let test_warning_ignored_when_token_held () =
+  let st = Protocol.init res_cfg 0 in
+  (* initial arbiter holds the token *)
+  let st', effs = step res_cfg st (Receive (3, Protocol.Warning)) in
+  Alcotest.(check bool) "no recovery with token in hand" true
+    (st'.Protocol.recovery = None && effs = [])
+
+let test_enquiry_reply_have_token_resumes () =
+  let st, _ = elected_arbiter () in
+  let st, _ = step res_cfg st (Receive (1, Protocol.Warning)) in
+  let st, effs =
+    step res_cfg st
+      (Receive
+         (1, Protocol.Enquiry_reply { round = 1; status = Protocol.Have_token }))
+  in
+  Alcotest.(check bool) "resume sent to holder" true
+    (List.mem (1, Protocol.Resume { round = 1 }) (sends effs));
+  Alcotest.(check bool) "recovery closed" true (st.Protocol.recovery = None)
+
+let test_all_waiting_regenerates () =
+  let st, _ = elected_arbiter () in
+  let st, _ = step res_cfg st (Receive (1, Protocol.Warning)) in
+  let reply src status =
+    Receive (src, Protocol.Enquiry_reply { round = 1; status })
+  in
+  let st, _ = step res_cfg st (reply 0 Protocol.Executed) in
+  let st, effs = step res_cfg st (reply 1 Protocol.Waiting_token) in
+  Alcotest.(check bool) "token regenerated" true
+    (List.exists (function Note Token_regenerated -> true | _ -> false) effs);
+  Alcotest.(check bool) "waiting node invalidated" true
+    (List.mem (1, Protocol.Invalidate { round = 1 }) (sends effs));
+  Alcotest.(check bool) "epoch bumped" true (st.Protocol.token_epoch = 1);
+  (match st.Protocol.token with
+  | Some t -> Alcotest.(check int) "fresh token epoch" 1 t.Protocol.epoch
+  | None -> Alcotest.fail "arbiter should now hold a token");
+  (* The waiting responder is rescheduled at the front. *)
+  match st.Protocol.role with
+  | Protocol.Collecting { cq; _ } ->
+      Alcotest.(check bool) "waiting node at front of queue" true
+        (match cq with e :: _ -> e.Qlist.node = 1 | [] -> false)
+  | _ -> Alcotest.fail "arbiter should be collecting with the new token"
+
+let test_enquiry_suspends_holder () =
+  (* A token holder answering an ENQUIRY suspends passing until
+     RESUME. *)
+  let st = Protocol.init res_cfg 1 in
+  let st, _ = step res_cfg st Request_cs in
+  let st, _ =
+    step res_cfg st (Receive (0, Protocol.Privilege (token [ entry 1 0 ])))
+  in
+  let st, effs = step res_cfg st (Receive (3, Protocol.Enquiry { round = 7 })) in
+  (match sends effs with
+  | [ (3, Protocol.Enquiry_reply { round = 7; status = Protocol.Have_token }) ]
+    -> ()
+  | _ -> Alcotest.fail "expected have-token reply");
+  Alcotest.(check bool) "suspended" true st.Protocol.suspended;
+  (* CS completes while suspended: the token is held, not passed. *)
+  let st, effs = step res_cfg st Cs_done in
+  Alcotest.(check int) "no token hop while suspended" 0
+    (List.length (sends effs));
+  Alcotest.(check bool) "token retained" true (st.Protocol.token <> None);
+  (* RESUME releases it (empty queue -> become arbiter here). *)
+  let st, _ = step res_cfg st (Receive (3, Protocol.Resume { round = 7 })) in
+  Alcotest.(check bool) "unsuspended" false st.Protocol.suspended;
+  Alcotest.(check bool) "acts on the held token" true
+    (match st.Protocol.role with
+    | Protocol.Collecting _ -> true
+    | _ -> false)
+
+let test_probe_ack () =
+  let st = Protocol.init res_cfg 3 in
+  let _, effs = step res_cfg st (Receive (0, Protocol.Probe)) in
+  Alcotest.(check bool) "ack" true
+    (sends effs = [ (0, Protocol.Probe_ack) ])
+
+let test_takeover_on_probe_timeout () =
+  (* The watcher probes; no answer; it proclaims itself and starts
+     recovery. *)
+  let st = Protocol.init res_cfg 0 in
+  (* Make node 0 the watcher of arbiter 2. *)
+  let st =
+    { st with Protocol.role = Protocol.Normal; arbiter = 2; watching = true;
+      token = None;
+      last_q = [ entry 1 0 ] }
+  in
+  let st, effs = step res_cfg st (Timer_fired Protocol.T_watch) in
+  Alcotest.(check bool) "probe sent" true
+    (List.mem (2, Protocol.Probe) (sends effs));
+  let st, effs = step res_cfg st (Timer_fired Protocol.T_probe) in
+  (match broadcasts effs with
+  | [ Protocol.New_arbiter na ] ->
+      Alcotest.(check int) "proclaims itself" 0 na.Protocol.na_arbiter;
+      Alcotest.(check bool) "election bumped" true (na.Protocol.na_election >= 1)
+  | _ -> Alcotest.fail "expected takeover broadcast");
+  Alcotest.(check bool) "takeover noted" true
+    (List.exists (function Note Arbiter_takeover -> true | _ -> false) effs);
+  Alcotest.(check bool) "recovery started to find the token" true
+    (st.Protocol.recovery <> None)
+
+let test_watch_survives_self_announcement () =
+  (* A self-announcement (src = arbiter) must keep the watcher
+     watching. *)
+  let st = Protocol.init res_cfg 0 in
+  let st =
+    { st with Protocol.role = Protocol.Normal; arbiter = 2; watching = true }
+  in
+  let na ~src ~election =
+    Receive
+      ( src,
+        Protocol.New_arbiter
+          {
+            na_arbiter = 2;
+            na_q = [ entry 2 5 ];
+            na_granted = Qlist.Granted.create 4;
+            na_counter = 1;
+            na_monitor = -1;
+            na_epoch = 0;
+            na_election = election;
+          } )
+  in
+  let st, effs = step res_cfg st (na ~src:2 ~election:1) in
+  Alcotest.(check bool) "still watching" true st.Protocol.watching;
+  Alcotest.(check bool) "watch timer re-armed" true
+    (List.exists (fun (k, _) -> k = Protocol.T_watch) (timers effs));
+  (* A normal hand-off announced by a different dispatcher stands the
+     watcher down. *)
+  let st, effs = step res_cfg st (na ~src:1 ~election:2) in
+  Alcotest.(check bool) "stood down" false st.Protocol.watching;
+  Alcotest.(check bool) "watch cancelled" true
+    (List.exists
+       (function Cancel_timer Protocol.T_watch -> true | _ -> false)
+       effs)
+
+let test_stale_round_ignored () =
+  let st = Protocol.init res_cfg 1 in
+  let st = { st with Protocol.enq_round = 5 } in
+  let st', effs = step res_cfg st (Receive (0, Protocol.Resume { round = 3 })) in
+  Alcotest.(check bool) "stale resume ignored" true (st' = st && effs = []);
+  let st', _ = step res_cfg st (Receive (0, Protocol.Invalidate { round = 3 })) in
+  Alcotest.(check bool) "stale invalidate ignored" true
+    (st'.Protocol.enq_round = 5)
+
+let suite =
+  ( "protocol-variants",
+    [
+      Alcotest.test_case "monitor parks resubmissions" `Quick
+        test_monitor_request_parked;
+      Alcotest.test_case "monitor-as-arbiter serves directly" `Quick
+        test_monitor_request_served_if_arbiter;
+      Alcotest.test_case "monitor pass flushes buffer" `Quick
+        test_monitor_privilege_flushes_buffer;
+      Alcotest.test_case "over-budget drop (monitored)" `Quick
+        test_over_budget_drop_when_monitored;
+      Alcotest.test_case "τ misses escape to monitor" `Quick
+        test_miss_escape_to_monitor;
+      Alcotest.test_case "elected arbiter arms token timeout" `Quick
+        test_elected_arbiter_arms_token_timeout;
+      Alcotest.test_case "WARNING starts two-phase enquiry" `Quick
+        test_warning_starts_enquiry;
+      Alcotest.test_case "WARNING ignored with token in hand" `Quick
+        test_warning_ignored_when_token_held;
+      Alcotest.test_case "have-token reply resumes" `Quick
+        test_enquiry_reply_have_token_resumes;
+      Alcotest.test_case "all-waiting regenerates the token" `Quick
+        test_all_waiting_regenerates;
+      Alcotest.test_case "ENQUIRY suspends a holder" `Quick
+        test_enquiry_suspends_holder;
+      Alcotest.test_case "PROBE is acknowledged" `Quick test_probe_ack;
+      Alcotest.test_case "takeover on probe timeout" `Quick
+        test_takeover_on_probe_timeout;
+      Alcotest.test_case "watch survives self-announcement" `Quick
+        test_watch_survives_self_announcement;
+      Alcotest.test_case "stale rounds ignored" `Quick
+        test_stale_round_ignored;
+    ] )

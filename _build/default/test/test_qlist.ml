@@ -1,0 +1,119 @@
+open Dmutex
+
+let e ?(hops = 0) node seq = Qlist.entry ~hops ~node ~seq ()
+
+let test_enqueue_order () =
+  let q = [] |> Qlist.enqueue (e 3 0) |> Qlist.enqueue (e 1 0)
+          |> Qlist.enqueue (e 2 0) in
+  Alcotest.(check (list int)) "FCFS order" [ 3; 1; 2 ]
+    (List.map (fun x -> x.Qlist.node) q)
+
+let test_enqueue_dedup () =
+  let q = [] |> Qlist.enqueue (e 3 0) |> Qlist.enqueue (e 1 0) in
+  (* A retransmission of node 3 with the same seq keeps position. *)
+  let q1 = Qlist.enqueue (e 3 0) q in
+  Alcotest.(check int) "no duplicate" 2 (List.length q1);
+  (* A newer request from node 3 replaces in place. *)
+  let q2 = Qlist.enqueue (e 3 5) q in
+  Alcotest.(check int) "still two" 2 (List.length q2);
+  Alcotest.(check int) "newer seq kept" 5 (List.hd q2).Qlist.seq;
+  (* An older duplicate never downgrades. *)
+  let q3 = Qlist.enqueue (e 3 2) q2 in
+  Alcotest.(check int) "no downgrade" 5 (List.hd q3).Qlist.seq
+
+let test_head_tail () =
+  Alcotest.(check bool) "empty head" true (Qlist.head [] = None);
+  Alcotest.(check bool) "empty tail" true (Qlist.tail_node [] = None);
+  let q = [ e 4 0; e 2 1; e 9 0 ] in
+  Alcotest.(check int) "head" 4
+    (match Qlist.head q with Some x -> x.Qlist.node | None -> -1);
+  Alcotest.(check (option int)) "tail" (Some 9) (Qlist.tail_node q)
+
+let test_mem () =
+  let q = [ e 4 0; e 2 1 ] in
+  Alcotest.(check bool) "present" true (Qlist.mem 2 q);
+  Alcotest.(check bool) "absent" false (Qlist.mem 7 q)
+
+let test_priority_sort_stable () =
+  let priorities = [| 0; 5; 0; 5 |] in
+  let q = [ e 0 0; e 1 0; e 2 0; e 3 0 ] in
+  let sorted = Qlist.sort_by_priority priorities q in
+  Alcotest.(check (list int)) "high first, FCFS within level" [ 1; 3; 0; 2 ]
+    (List.map (fun x -> x.Qlist.node) sorted)
+
+let test_granted () =
+  let g = Qlist.Granted.create 4 in
+  Alcotest.(check bool) "nothing served" false
+    (Qlist.Granted.already_served g (e 2 0));
+  let g = Qlist.Granted.mark g (e 2 3) in
+  Alcotest.(check bool) "served up to seq" true
+    (Qlist.Granted.already_served g (e 2 3));
+  Alcotest.(check bool) "older also served" true
+    (Qlist.Granted.already_served g (e 2 1));
+  Alcotest.(check bool) "newer not served" false
+    (Qlist.Granted.already_served g (e 2 4));
+  let g2 = Qlist.Granted.mark (Qlist.Granted.create 4) (e 2 1) in
+  let merged = Qlist.Granted.merge g g2 in
+  Alcotest.(check bool) "merge keeps max" true
+    (Qlist.Granted.already_served merged (e 2 3))
+
+let test_prune () =
+  let g = Qlist.Granted.mark (Qlist.Granted.create 4) (e 1 2) in
+  let q = [ e 0 0; e 1 2; e 1 3 ] in
+  (* note: enqueue would never produce two entries for node 1; prune
+     must still behave on arbitrary lists *)
+  let pruned = Qlist.prune g q in
+  Alcotest.(check int) "served removed" 2 (List.length pruned);
+  Alcotest.(check bool) "newer kept" true
+    (List.exists (fun x -> x.Qlist.node = 1 && x.Qlist.seq = 3) pruned)
+
+let entry_gen =
+  QCheck.Gen.(
+    map2 (fun node seq -> e node seq) (int_range 0 5) (int_range 0 10))
+
+let prop_enqueue_unique =
+  QCheck.Test.make ~name:"enqueue keeps at most one entry per node"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 30) entry_gen))
+    (fun entries ->
+      let q = List.fold_left (fun acc x -> Qlist.enqueue x acc) [] entries in
+      let nodes = List.map (fun x -> x.Qlist.node) q in
+      List.length nodes = List.length (List.sort_uniq compare nodes))
+
+let prop_enqueue_max_seq =
+  QCheck.Test.make ~name:"enqueue keeps the maximal seq per node" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 30) entry_gen))
+    (fun entries ->
+      let q = List.fold_left (fun acc x -> Qlist.enqueue x acc) [] entries in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              y.Qlist.node <> x.Qlist.node || y.Qlist.seq <= x.Qlist.seq)
+            entries)
+        q)
+
+let prop_sort_permutation =
+  QCheck.Test.make ~name:"priority sort is a permutation" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 20) entry_gen))
+    (fun entries ->
+      let priorities = Array.init 6 (fun i -> (i * 7) mod 3) in
+      let q = List.fold_left (fun acc x -> Qlist.enqueue x acc) [] entries in
+      let sorted = Qlist.sort_by_priority priorities q in
+      List.sort compare sorted = List.sort compare q)
+
+let suite =
+  ( "qlist",
+    [
+      Alcotest.test_case "FCFS order" `Quick test_enqueue_order;
+      Alcotest.test_case "dedup by node" `Quick test_enqueue_dedup;
+      Alcotest.test_case "head and tail" `Quick test_head_tail;
+      Alcotest.test_case "mem" `Quick test_mem;
+      Alcotest.test_case "stable priority sort" `Quick
+        test_priority_sort_stable;
+      Alcotest.test_case "granted vector" `Quick test_granted;
+      Alcotest.test_case "prune" `Quick test_prune;
+      QCheck_alcotest.to_alcotest prop_enqueue_unique;
+      QCheck_alcotest.to_alcotest prop_enqueue_max_seq;
+      QCheck_alcotest.to_alcotest prop_sort_permutation;
+    ] )

@@ -1,0 +1,234 @@
+(* Section 6: failure recovery. Fault injection on the resilient
+   variant through the simulated network. *)
+
+open Dmutex
+module R = Sim_runner.Make (Resilient)
+
+let cfg ?(n = 8) () =
+  Resilient.config ~token_timeout:1.5 ~enquiry_timeout:0.8
+    ~arbiter_timeout:2.5 ~n ()
+
+let load t n rate =
+  let rng = Simkit.Rng.create 37 in
+  for i = 0 to n - 1 do
+    let node_rng = Simkit.Rng.split rng in
+    ignore
+      (Simkit.Workload.poisson (R.engine t) ~rng:node_rng ~rate
+         ~on_arrival:(fun _ -> R.request t i))
+  done
+
+let note o name = try List.assoc name (o : Sim_runner.outcome).notes with Not_found -> 0
+
+(* Probe from [start] until the predicate-chosen victim exists, then
+   apply the fault. *)
+let inject_when t ~start f =
+  let rec probe delay =
+    ignore
+      (Simkit.Engine.schedule (R.engine t) ~delay (fun _ ->
+           if not (f t) then probe 0.05))
+  in
+  probe start
+
+let test_no_fault_baseline () =
+  (* The recovery machinery must not perturb a healthy run. *)
+  let o = R.run_poisson ~seed:1 ~requests:10_000 ~rate:0.2 (cfg ()) in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check int) "all served" 0 o.unserved;
+  Alcotest.(check int) "no recoveries triggered" 0 (note o "recovery-started")
+
+let test_token_holder_crash () =
+  let n = 8 in
+  let t = R.create ~seed:2 (cfg ~n ()) in
+  load t n 0.3;
+  inject_when t ~start:5.0 (fun t ->
+      match
+        List.find_opt
+          (fun i ->
+            let st = R.state t i in
+            st.Protocol.in_cs || st.Protocol.token <> None)
+          (List.init n Fun.id)
+      with
+      | Some i ->
+          R.crash t i;
+          true
+      | None -> false);
+  R.step_until t 100.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "token regenerated" true (note o "token-regenerated" >= 1);
+  Alcotest.(check bool) "service continued" true (o.completed > 100)
+
+let test_privilege_drop () =
+  let n = 8 in
+  let t = R.create ~seed:3 (cfg ~n ()) in
+  load t n 0.3;
+  let dropped = ref false in
+  ignore
+    (Simkit.Engine.schedule (R.engine t) ~delay:5.0 (fun _ ->
+         Simkit.Network.set_interceptor (R.network t) (fun ~src:_ ~dst:_ m ->
+             match m with
+             | Protocol.Privilege _ when not !dropped ->
+                 dropped := true;
+                 Simkit.Network.Drop
+             | _ -> Simkit.Network.Deliver)));
+  R.step_until t 100.0;
+  let o = R.outcome t in
+  Alcotest.(check bool) "the drop happened" true !dropped;
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "recovery ran" true (note o "recovery-started" >= 1);
+  Alcotest.(check bool) "service continued" true (o.completed > 100)
+
+let test_arbiter_crash_takeover () =
+  let n = 8 in
+  let t = R.create ~seed:4 (cfg ~n ()) in
+  load t n 0.3;
+  inject_when t ~start:5.0 (fun t ->
+      match
+        List.find_opt
+          (fun i ->
+            let st = R.state t i in
+            st.Protocol.token = None
+            &&
+            match st.Protocol.role with
+            | Protocol.Await_token _ -> true
+            | _ -> false)
+          (List.init n Fun.id)
+      with
+      | Some i ->
+          R.crash t i;
+          true
+      | None -> false);
+  R.step_until t 100.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "service continued" true (o.completed > 100)
+
+let test_lossy_network () =
+  (* 2% uniform loss: retransmission + recovery keep the system live.
+     (The paper: "with the increasing quality of emerging networks,
+     loss will be minimized" — we are harsher.) *)
+  let n = 6 in
+  let t = R.create ~seed:5 (cfg ~n ()) in
+  Simkit.Network.set_loss (R.network t) 0.02;
+  load t n 0.2;
+  R.step_until t 400.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "no violations under loss" 0 o.safety_violations;
+  Alcotest.(check bool) "most requests served" true
+    (o.completed > 300 && o.unserved < 8)
+
+let test_request_loss_detected () =
+  (* Drop the first REQUEST: the NEW-ARBITER implicit-ack mechanism
+     must retransmit it. *)
+  let n = 5 in
+  let t = R.create ~seed:6 (cfg ~n ()) in
+  let dropped = ref false in
+  Simkit.Network.set_interceptor (R.network t) (fun ~src:_ ~dst:_ m ->
+      match m with
+      | Protocol.Request _ when not !dropped ->
+          dropped := true;
+          Simkit.Network.Drop
+      | _ -> Simkit.Network.Deliver);
+  load t n 0.2;
+  R.step_until t 120.0;
+  let o = R.outcome t in
+  Alcotest.(check bool) "drop happened" true !dropped;
+  (* At most the steady-state in-flight request can be pending at the
+     cutoff; the dropped request itself was recovered long before. *)
+  Alcotest.(check bool) "no backlog beyond in-flight" true (o.unserved <= 2);
+  Alcotest.(check bool) "plenty served" true (o.completed > 80);
+  Alcotest.(check int) "no violations" 0 o.safety_violations
+
+let test_repeated_faults () =
+  (* Crash three different token holders in sequence; the protocol
+     must survive each. *)
+  let n = 10 in
+  let t = R.create ~seed:7 (cfg ~n ()) in
+  load t n 0.3;
+  let crashes = ref 0 in
+  let rec probe delay =
+    ignore
+      (Simkit.Engine.schedule (R.engine t) ~delay (fun _ ->
+           if !crashes < 3 then begin
+             (match
+                List.find_opt
+                  (fun i ->
+                    (not (Simkit.Network.is_crashed (R.network t) i))
+                    &&
+                    let st = R.state t i in
+                    st.Protocol.in_cs || st.Protocol.token <> None)
+                  (List.init n Fun.id)
+              with
+             | Some i ->
+                 R.crash t i;
+                 incr crashes
+             | None -> ());
+             probe 15.0
+           end))
+  in
+  probe 5.0;
+  R.step_until t 200.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "three crashes injected" 3 !crashes;
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "multiple regenerations" true
+    (note o "token-regenerated" >= 2);
+  Alcotest.(check bool) "service continued" true (o.completed > 200)
+
+let test_crash_recover_rejoin () =
+  (* A crashed node that recovers with a fresh state rejoins the
+     protocol and gets served again. *)
+  let n = 6 in
+  let t = R.create ~seed:8 (cfg ~n ()) in
+  load t n 0.2;
+  ignore
+    (Simkit.Engine.schedule (R.engine t) ~delay:5.0 (fun _ ->
+         (* Crash a bystander. *)
+         let victim =
+           List.find
+             (fun i ->
+               let st = R.state t i in
+               (not st.Protocol.in_cs)
+               && st.Protocol.token = None
+               &&
+               match st.Protocol.role with
+               | Protocol.Normal -> true
+               | _ -> false)
+             (List.init n Fun.id)
+         in
+         R.crash t victim;
+         ignore
+           (Simkit.Engine.schedule (R.engine t) ~delay:20.0 (fun _ ->
+                R.recover t victim))));
+  R.step_until t 150.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "system live" true (o.completed > 100)
+
+let test_drill_harness () =
+  (* The packaged Section 6 drills must all report resumed service. *)
+  let rows = Experiments.table_recovery ~n:10 () in
+  Alcotest.(check int) "four scenarios" 4 (List.length rows);
+  List.iter
+    (fun (r : Experiments.recovery_row) ->
+      Alcotest.(check bool) (r.scenario ^ " resumed") true
+        r.served_after_fault)
+    rows
+
+let suite =
+  ( "recovery",
+    [
+      Alcotest.test_case "healthy run untouched" `Quick test_no_fault_baseline;
+      Alcotest.test_case "token holder crash" `Quick test_token_holder_crash;
+      Alcotest.test_case "privilege message drop" `Quick test_privilege_drop;
+      Alcotest.test_case "arbiter crash and takeover" `Quick
+        test_arbiter_crash_takeover;
+      Alcotest.test_case "2% message loss" `Slow test_lossy_network;
+      Alcotest.test_case "request loss implicit-ack" `Quick
+        test_request_loss_detected;
+      Alcotest.test_case "three successive holder crashes" `Slow
+        test_repeated_faults;
+      Alcotest.test_case "crash, recover, rejoin" `Quick
+        test_crash_recover_rejoin;
+      Alcotest.test_case "packaged drills resume" `Slow test_drill_harness;
+    ] )

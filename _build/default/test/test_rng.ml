@@ -1,0 +1,104 @@
+open Simkit
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* Crude independence check: no long common run. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 4)
+
+let test_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.(check_raises) "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_uniform_range () =
+  let r = Rng.create 4 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform r in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform out of [0,1)"
+  done
+
+let mean_of n f =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_exponential_mean () =
+  let r = Rng.create 5 in
+  let m = mean_of 100_000 (fun () -> Rng.exponential r ~rate:2.0) in
+  Alcotest.(check bool) "mean ~ 1/rate" true (abs_float (m -. 0.5) < 0.01)
+
+let test_poisson_mean () =
+  let r = Rng.create 6 in
+  let m =
+    mean_of 50_000 (fun () -> float_of_int (Rng.poisson r ~mean:3.5))
+  in
+  Alcotest.(check bool) "poisson mean" true (abs_float (m -. 3.5) < 0.1);
+  let m =
+    mean_of 20_000 (fun () -> float_of_int (Rng.poisson r ~mean:80.0))
+  in
+  Alcotest.(check bool) "poisson mean (normal approx)" true
+    (abs_float (m -. 80.0) < 1.0)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let prop_range =
+  QCheck.Test.make ~name:"range stays inside bounds" ~count:500
+    QCheck.(triple small_int (float_bound_exclusive 100.0) pos_float)
+    (fun (seed, lo, width) ->
+      QCheck.assume (width > 0.0 && Float.is_finite (lo +. width));
+      let r = Rng.create seed in
+      let v = Rng.range r lo (lo +. width) in
+      v >= lo && v < lo +. width)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+      Alcotest.test_case "copy replays" `Quick test_copy;
+      Alcotest.test_case "split independence" `Quick test_split_independent;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "uniform range" `Quick test_uniform_range;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+      Alcotest.test_case "shuffle is a permutation" `Quick
+        test_shuffle_permutation;
+      QCheck_alcotest.to_alcotest prop_range;
+    ] )

@@ -1,0 +1,142 @@
+(* Property-based safety and liveness: random workloads, random seeds,
+   random latency jitter, every algorithm. The simulator's runner
+   asserts mutual exclusion on every CS entry; liveness is checked by
+   draining a finite workload. *)
+
+open Dmutex
+
+let drain_run (type s m tm)
+    (module A : Types.ALGO
+      with type state = s and type message = m and type timer = tm) cfg ~seed
+    ~arrivals ~horizon =
+  let module R = Sim_runner.Make (A) in
+  let t = R.create ~seed cfg in
+  let rng = Simkit.Rng.create (seed * 31) in
+  (* A finite batch of randomly timed requests on random nodes. *)
+  for _ = 1 to arrivals do
+    let node = Simkit.Rng.int rng cfg.Types.Config.n in
+    let at = Simkit.Rng.float rng (horizon /. 2.0) in
+    ignore
+      (Simkit.Engine.schedule (R.engine t) ~delay:at (fun _ ->
+           R.request t node))
+  done;
+  R.step_until t horizon;
+  R.outcome t
+
+let prop_for (type s m tm) name
+    (module A : Types.ALGO
+      with type state = s and type message = m and type timer = tm)
+    make_cfg =
+  QCheck.Test.make
+    ~name:(name ^ ": safety + liveness under random schedules")
+    ~count:25
+    QCheck.(pair (int_range 2 8) small_int)
+    (fun (n, seed) ->
+      let cfg = make_cfg n in
+      let o =
+        drain_run (module A) cfg ~seed:(seed + 1) ~arrivals:(5 * n)
+          ~horizon:400.0
+      in
+      o.safety_violations = 0 && o.unserved = 0 && o.completed = 5 * n)
+
+let props =
+  [
+    prop_for "basic" (module Basic) (fun n -> Basic.config ~n ());
+    prop_for "monitored" (module Monitored) (fun n -> Monitored.config ~n ());
+    prop_for "resilient" (module Resilient) (fun n -> Resilient.config ~n ());
+    prop_for "suzuki-kasami"
+      (module Baselines.Suzuki_kasami)
+      (fun n -> Types.Config.default ~n);
+    prop_for "raymond"
+      (module Baselines.Raymond)
+      (fun n -> Types.Config.default ~n);
+    prop_for "ricart-agrawala"
+      (module Baselines.Ricart_agrawala)
+      (fun n -> Types.Config.default ~n);
+    prop_for "singhal"
+      (module Baselines.Singhal)
+      (fun n -> Types.Config.default ~n);
+    prop_for "maekawa"
+      (module Baselines.Maekawa)
+      (fun n -> Types.Config.default ~n);
+    prop_for "central"
+      (module Baselines.Central_server)
+      (fun n -> Types.Config.default ~n);
+    prop_for "lamport"
+      (module Baselines.Lamport)
+      (fun n -> Types.Config.default ~n);
+    prop_for "tree-quorum"
+      (module Baselines.Tree_quorum)
+      (fun n -> Types.Config.default ~n);
+  ]
+
+(* The same, but with jittered (non-constant) message latency, which
+   reorders concurrent messages between different pairs. *)
+let prop_jitter =
+  QCheck.Test.make ~name:"basic: safety under latency jitter" ~count:20
+    QCheck.(pair (int_range 2 8) small_int)
+    (fun (n, seed) ->
+      let cfg = Basic.config ~n () in
+      let module R = Sim_runner.Make (Basic) in
+      let t = R.create ~seed:(seed + 1) cfg in
+      let net = R.network t in
+      (* Replace delivery latency with ±50% jitter via the
+         interceptor. *)
+      let jrng = Simkit.Rng.create (seed + 99) in
+      Simkit.Network.set_interceptor net (fun ~src:_ ~dst:_ _ ->
+          Simkit.Network.Delay (Simkit.Rng.float jrng 0.1));
+      let rng = Simkit.Rng.create (seed * 17) in
+      for _ = 1 to 5 * n do
+        let node = Simkit.Rng.int rng n in
+        let at = Simkit.Rng.float rng 100.0 in
+        ignore
+          (Simkit.Engine.schedule (R.engine t) ~delay:at (fun _ ->
+               R.request t node))
+      done;
+      R.step_until t 500.0;
+      let o = R.outcome t in
+      o.safety_violations = 0 && o.unserved = 0)
+
+let prop_burst_storm =
+  QCheck.Test.make ~name:"basic: all-at-once request storm" ~count:20
+    QCheck.(pair (int_range 2 10) small_int)
+    (fun (n, seed) ->
+      let cfg = Basic.config ~n () in
+      let module R = Sim_runner.Make (Basic) in
+      let t = R.create ~seed:(seed + 1) cfg in
+      (* Everyone requests several times at t=0: maximal contention. *)
+      for _ = 1 to 3 do
+        for i = 0 to n - 1 do
+          R.request t i
+        done
+      done;
+      R.step_until t 300.0;
+      let o = R.outcome t in
+      o.safety_violations = 0 && o.completed = 3 * n && o.unserved = 0)
+
+let prop_exponential_latency =
+  QCheck.Test.make ~name:"basic: safety under exponential latency" ~count:15
+    QCheck.(pair (int_range 2 6) small_int)
+    (fun (n, seed) ->
+      let cfg = Basic.config ~n () in
+      let module R = Sim_runner.Make (Basic) in
+      let t =
+        R.create ~seed:(seed + 1)
+          ~latency:(Simkit.Network.Exponential 0.1) cfg
+      in
+      let rng = Simkit.Rng.create (seed * 13) in
+      for _ = 1 to 4 * n do
+        let node = Simkit.Rng.int rng n in
+        let at = Simkit.Rng.float rng 100.0 in
+        ignore
+          (Simkit.Engine.schedule (R.engine t) ~delay:at (fun _ ->
+               R.request t node))
+      done;
+      R.step_until t 600.0;
+      let o = R.outcome t in
+      o.safety_violations = 0 && o.unserved = 0)
+
+let suite =
+  ( "safety-properties",
+    List.map QCheck_alcotest.to_alcotest
+      (props @ [ prop_jitter; prop_burst_storm; prop_exponential_latency ]) )

@@ -1,0 +1,173 @@
+(* Integration tests: the basic algorithm under the simulator, checked
+   against the paper's analytic envelope. *)
+
+open Dmutex
+module R = Sim_runner.Make (Basic)
+
+let cfg10 = Basic.config ~n:10 ()
+
+let test_light_load_matches_eq1 () =
+  let o = R.run_poisson ~seed:1 ~requests:5_000 ~rate:0.005 cfg10 in
+  let expected = Analysis.light_load_messages ~n:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f within 8%% of %.2f" o.messages_per_cs expected)
+    true
+    (abs_float (o.messages_per_cs -. expected) /. expected < 0.08);
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check int) "all served" 0 o.unserved
+
+let test_heavy_load_matches_eq4 () =
+  let o = R.run_saturated ~seed:1 ~requests:20_000 cfg10 in
+  let expected = Analysis.heavy_load_messages ~n:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f within 1%% of %.3f" o.messages_per_cs expected)
+    true
+    (abs_float (o.messages_per_cs -. expected) /. expected < 0.01);
+  Alcotest.(check int) "no violations" 0 o.safety_violations
+
+let test_heavy_load_other_ns () =
+  List.iter
+    (fun n ->
+      let cfg = Basic.config ~n () in
+      let o = R.run_saturated ~seed:2 ~requests:10_000 cfg in
+      let expected = Analysis.heavy_load_messages ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d: %.3f ~ %.3f" n o.messages_per_cs expected)
+        true
+        (abs_float (o.messages_per_cs -. expected) /. expected < 0.02))
+    [ 2; 3; 5; 20; 50 ]
+
+let test_determinism () =
+  let a = R.run_poisson ~seed:7 ~requests:3_000 ~rate:0.3 cfg10 in
+  let b = R.run_poisson ~seed:7 ~requests:3_000 ~rate:0.3 cfg10 in
+  Alcotest.(check int) "same messages" a.messages b.messages;
+  Alcotest.(check (float 1e-12)) "same delay" a.mean_delay b.mean_delay;
+  Alcotest.(check (float 1e-12)) "same sim time" a.sim_time b.sim_time
+
+let test_seed_sensitivity () =
+  let a = R.run_poisson ~seed:7 ~requests:3_000 ~rate:0.3 cfg10 in
+  let b = R.run_poisson ~seed:8 ~requests:3_000 ~rate:0.3 cfg10 in
+  Alcotest.(check bool) "different seeds differ" true
+    (a.messages <> b.messages || a.mean_delay <> b.mean_delay)
+
+let test_mid_load_sane () =
+  let o = R.run_poisson ~seed:3 ~requests:10_000 ~rate:0.3 cfg10 in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check bool) "messages between heavy and light bounds" true
+    (o.messages_per_cs > 2.0 && o.messages_per_cs < 10.5);
+  Alcotest.(check bool) "forwarded fraction below paper's 4%" true
+    (o.forwarded_fraction < 0.04)
+
+let test_longer_collection_fewer_messages () =
+  let o1 =
+    R.run_poisson ~seed:4 ~requests:10_000 ~rate:0.2
+      (Basic.config ~t_collect:0.1 ~n:10 ())
+  in
+  let o2 =
+    R.run_poisson ~seed:4 ~requests:10_000 ~rate:0.2
+      (Basic.config ~t_collect:0.2 ~n:10 ())
+  in
+  Alcotest.(check bool) "fewer messages with longer collection" true
+    (o2.messages_per_cs < o1.messages_per_cs);
+  Alcotest.(check bool) "but larger delay" true (o2.mean_delay > o1.mean_delay)
+
+let test_delay_light_load () =
+  let o = R.run_poisson ~seed:5 ~requests:5_000 ~rate:0.005 cfg10 in
+  let eq3 = Analysis.light_load_service_time cfg10 in
+  (* Eq. 3 charges a full T_req of collection; the event-driven system
+     pays only the residual of the current window (mean ~ T_req/2), so
+     the measurement sits slightly below the bound. *)
+  let t_req = cfg10.Types.Config.t_collect in
+  let lo = eq3 -. (t_req /. 2.0) -. 0.02 and hi = eq3 +. 0.25 in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay %.3f in [%.3f, %.3f]" o.mean_delay lo hi)
+    true
+    (o.mean_delay >= lo && o.mean_delay <= hi)
+
+let test_fcfs_single_queue () =
+  (* With a single requesting node, grants must be strictly FCFS and
+     every request served exactly once. *)
+  let t = R.create ~seed:6 cfg10 in
+  for _ = 1 to 20 do
+    R.request t 5
+  done;
+  R.step_until t 500.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "all 20 served" 20 o.completed;
+  Alcotest.(check int) "nothing pending" 0 o.unserved
+
+let test_all_nodes_progress () =
+  (* Closed loop: every node should complete a fair share. *)
+  let o = R.run_saturated ~seed:9 ~requests:10_000 cfg10 in
+  ignore o;
+  (* per-node fairness is asserted via the saturated delay spread: at
+     saturation the rotation is round-robin so max delay ~ mean. *)
+  Alcotest.(check bool) "max delay close to mean at saturation" true
+    (o.max_delay < o.mean_delay *. 1.5)
+
+let test_message_kind_accounting () =
+  let o = R.run_saturated ~seed:10 ~requests:5_000 cfg10 in
+  let get k = try List.assoc k o.by_kind with Not_found -> 0 in
+  (* Per epoch of N CSs: between N-1 and N PRIVILEGE hops (one fewer
+     when the dispatcher heads its own Q-list), one (N-1)-message
+     NEW-ARBITER broadcast, and ~N-1 REQUESTs (the arbiter's own
+     request travels no network). Eq. 4's 3 - 2/N is their sum. *)
+  let epochs = 5_000 / 10 in
+  let per_epoch k = float_of_int (get k) /. float_of_int epochs in
+  Alcotest.(check bool)
+    (Printf.sprintf "privilege/epoch %.2f in [8.5, 10.5]" (per_epoch "PRIVILEGE"))
+    true
+    (per_epoch "PRIVILEGE" >= 8.5 && per_epoch "PRIVILEGE" <= 10.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "new-arbiter/epoch %.2f ~ 9" (per_epoch "NEW-ARBITER"))
+    true
+    (abs_float (per_epoch "NEW-ARBITER" -. 9.0) < 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "request/epoch %.2f in [8.5, 10.5]" (per_epoch "REQUEST"))
+    true
+    (per_epoch "REQUEST" >= 8.5 && per_epoch "REQUEST" <= 10.5);
+  let sum = List.fold_left (fun a (_, v) -> a + v) 0 o.by_kind in
+  Alcotest.(check int) "kinds sum to total" o.messages sum
+
+let test_crash_bystander_harmless () =
+  (* Crashing a node that neither holds the token nor arbitrates must
+     not stop the others (basic algorithm, no recovery needed). *)
+  let t = R.create ~seed:11 cfg10 in
+  R.crash t 7;
+  for _ = 1 to 10 do
+    R.request t 2;
+    R.request t 4
+  done;
+  R.step_until t 200.0;
+  let o = R.outcome t in
+  Alcotest.(check int) "others served" 20 o.completed;
+  Alcotest.(check int) "no violations" 0 o.safety_violations
+
+let test_n1_degenerate () =
+  let cfg = Basic.config ~n:1 () in
+  let module R1 = Sim_runner.Make (Basic) in
+  let o = R1.run_poisson ~seed:12 ~requests:100 ~rate:1.0 cfg in
+  Alcotest.(check int) "single node serves itself" 100 o.completed;
+  Alcotest.(check int) "zero messages" 0 o.messages
+
+let suite =
+  ( "sim-basic",
+    [
+      Alcotest.test_case "light load ~ Eq. 1" `Quick test_light_load_matches_eq1;
+      Alcotest.test_case "heavy load ~ Eq. 4" `Quick test_heavy_load_matches_eq4;
+      Alcotest.test_case "heavy load across N" `Slow test_heavy_load_other_ns;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "mid load sanity" `Quick test_mid_load_sane;
+      Alcotest.test_case "collection-length tradeoff" `Quick
+        test_longer_collection_fewer_messages;
+      Alcotest.test_case "light-load delay ~ Eq. 3" `Quick
+        test_delay_light_load;
+      Alcotest.test_case "single requester FCFS" `Quick test_fcfs_single_queue;
+      Alcotest.test_case "saturation fairness" `Quick test_all_nodes_progress;
+      Alcotest.test_case "per-kind message accounting" `Quick
+        test_message_kind_accounting;
+      Alcotest.test_case "bystander crash harmless" `Quick
+        test_crash_bystander_harmless;
+      Alcotest.test_case "n=1 degenerate" `Quick test_n1_degenerate;
+    ] )

@@ -1,0 +1,124 @@
+open Simkit
+
+let test_complete () =
+  Alcotest.(check int) "one hop" 1 (Topology.hops Topology.Complete ~n:10 3 7);
+  Alcotest.(check int) "self" 0 (Topology.hops Topology.Complete ~n:10 3 3);
+  Alcotest.(check int) "diameter" 1 (Topology.diameter Topology.Complete ~n:10)
+
+let test_ring () =
+  Alcotest.(check int) "adjacent" 1 (Topology.hops Topology.Ring ~n:10 0 1);
+  Alcotest.(check int) "wraps" 1 (Topology.hops Topology.Ring ~n:10 0 9);
+  Alcotest.(check int) "across" 5 (Topology.hops Topology.Ring ~n:10 0 5);
+  Alcotest.(check int) "diameter" 5 (Topology.diameter Topology.Ring ~n:10)
+
+let test_star () =
+  Alcotest.(check int) "to hub" 1 (Topology.hops (Topology.Star 0) ~n:10 4 0);
+  Alcotest.(check int) "via hub" 2 (Topology.hops (Topology.Star 0) ~n:10 4 7);
+  Alcotest.(check int) "diameter" 2 (Topology.diameter (Topology.Star 0) ~n:10)
+
+let test_grid () =
+  (* n=9, 3x3: node 0 at (0,0), node 8 at (2,2). *)
+  Alcotest.(check int) "corner to corner" 4 (Topology.hops Topology.Grid ~n:9 0 8);
+  Alcotest.(check int) "same row" 2 (Topology.hops Topology.Grid ~n:9 0 2);
+  Alcotest.(check int) "diameter" 4 (Topology.diameter Topology.Grid ~n:9)
+
+let test_tree () =
+  (* heap tree: 0 root; 1,2 children; 3,4 under 1; 5,6 under 2. *)
+  Alcotest.(check int) "parent-child" 1 (Topology.hops Topology.Tree ~n:7 0 1);
+  Alcotest.(check int) "siblings" 2 (Topology.hops Topology.Tree ~n:7 1 2);
+  Alcotest.(check int) "leaf to leaf across" 4
+    (Topology.hops Topology.Tree ~n:7 3 5);
+  Alcotest.(check int) "cousin leaves" 2 (Topology.hops Topology.Tree ~n:7 3 4)
+
+let test_line () =
+  Alcotest.(check int) "ends" 9 (Topology.hops Topology.Line ~n:10 0 9);
+  Alcotest.(check int) "diameter" 9 (Topology.diameter Topology.Line ~n:10)
+
+let test_mean_distance_ordering () =
+  let mean topo = Topology.mean_distance topo ~n:16 in
+  Alcotest.(check bool) "complete < star" true
+    (mean Topology.Complete < mean (Topology.Star 0));
+  Alcotest.(check bool) "star < line" true
+    (mean (Topology.Star 0) < mean Topology.Line);
+  Alcotest.(check bool) "ring < line" true
+    (mean Topology.Ring < mean Topology.Line)
+
+let test_of_string () =
+  Alcotest.(check bool) "parse ring" true
+    (Topology.of_string "ring" = Ok Topology.Ring);
+  Alcotest.(check bool) "reject junk" true
+    (match Topology.of_string "torus" with Error _ -> true | Ok _ -> false)
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"hop distance is symmetric" ~count:300
+    QCheck.(triple (int_range 2 30) (int_range 0 29) (int_range 0 29))
+    (fun (n, i, j) ->
+      let i = i mod n and j = j mod n in
+      List.for_all
+        (fun topo ->
+          Simkit.Topology.hops topo ~n i j = Simkit.Topology.hops topo ~n j i)
+        Simkit.Topology.all)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"hop distance satisfies the triangle inequality"
+    ~count:300
+    QCheck.(
+      quad (int_range 2 20) (int_range 0 19) (int_range 0 19) (int_range 0 19))
+    (fun (n, i, j, k) ->
+      let i = i mod n and j = j mod n and k = k mod n in
+      List.for_all
+        (fun topo ->
+          Simkit.Topology.hops topo ~n i j
+          <= Simkit.Topology.hops topo ~n i k + Simkit.Topology.hops topo ~n k j)
+        Simkit.Topology.all)
+
+let test_jain () =
+  Alcotest.(check (float 1e-9)) "even" 1.0
+    (Stats.jain_fairness [| 2.0; 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "one hog" (1.0 /. 4.0)
+    (Stats.jain_fairness [| 0.0; 0.0; 0.0; 8.0 |]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Stats.jain_fairness [||]);
+  Alcotest.(check (float 1e-9)) "all zero" 1.0
+    (Stats.jain_fairness [| 0.0; 0.0 |])
+
+let test_sim_topology_invariance () =
+  (* Message counts must not depend on the topology; only delay does. *)
+  let rows = Experiments.table_topology ~n:6 ~requests:3_000 () in
+  let msgs = List.map (fun (_, _, m, _) -> m) rows in
+  let mn = List.fold_left min infinity msgs
+  and mx = List.fold_left max 0.0 msgs in
+  Alcotest.(check bool) "message count topology-invariant" true
+    (mx -. mn < 0.05);
+  let complete_delay =
+    List.find_map
+      (fun (name, _, _, d) -> if name = "complete" then Some d else None)
+      rows
+  in
+  let line_delay =
+    List.find_map
+      (fun (name, _, _, d) -> if name = "line" then Some d else None)
+      rows
+  in
+  match (complete_delay, line_delay) with
+  | Some c, Some l ->
+      Alcotest.(check bool) "delay grows with distance" true (l > c)
+  | _ -> Alcotest.fail "rows missing"
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "complete" `Quick test_complete;
+      Alcotest.test_case "ring" `Quick test_ring;
+      Alcotest.test_case "star" `Quick test_star;
+      Alcotest.test_case "grid" `Quick test_grid;
+      Alcotest.test_case "tree" `Quick test_tree;
+      Alcotest.test_case "line" `Quick test_line;
+      Alcotest.test_case "mean distance ordering" `Quick
+        test_mean_distance_ordering;
+      Alcotest.test_case "of_string" `Quick test_of_string;
+      QCheck_alcotest.to_alcotest prop_symmetry;
+      QCheck_alcotest.to_alcotest prop_triangle;
+      Alcotest.test_case "jain fairness index" `Quick test_jain;
+      Alcotest.test_case "simulated topology invariance" `Slow
+        test_sim_topology_invariance;
+    ] )

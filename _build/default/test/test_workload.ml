@@ -1,0 +1,64 @@
+open Simkit
+
+let test_poisson_rate () =
+  let e = Engine.create () in
+  let rng = Rng.create 9 in
+  let count = ref 0 in
+  let w = Workload.poisson e ~rng ~rate:5.0 ~on_arrival:(fun _ -> incr count) in
+  Engine.run ~until:1000.0 e;
+  Workload.stop w;
+  let observed = float_of_int !count /. 1000.0 in
+  Alcotest.(check bool) "rate within 5%" true (abs_float (observed -. 5.0) < 0.25);
+  Alcotest.(check int) "arrivals counter" !count (Workload.arrivals w)
+
+let test_zero_rate () =
+  let e = Engine.create () in
+  let rng = Rng.create 9 in
+  let count = ref 0 in
+  ignore (Workload.poisson e ~rng ~rate:0.0 ~on_arrival:(fun _ -> incr count));
+  Engine.run ~until:100.0 e;
+  Alcotest.(check int) "no arrivals" 0 !count
+
+let test_stop () =
+  let e = Engine.create () in
+  let rng = Rng.create 9 in
+  let count = ref 0 in
+  let w = Workload.poisson e ~rng ~rate:10.0 ~on_arrival:(fun _ -> incr count) in
+  Engine.run ~until:10.0 e;
+  let at_stop = !count in
+  Workload.stop w;
+  Engine.run ~until:100.0 e;
+  Alcotest.(check int) "no arrivals after stop" at_stop !count
+
+let test_deterministic () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Workload.deterministic e ~period:2.5 ~on_arrival:(fun e ->
+         times := Engine.now e :: !times));
+  Engine.run ~until:10.0 e;
+  Alcotest.(check (list (float 1e-9))) "periodic" [ 2.5; 5.0; 7.5; 10.0 ]
+    (List.rev !times)
+
+let test_burst () =
+  let e = Engine.create () in
+  let rng = Rng.create 12 in
+  let count = ref 0 in
+  let w =
+    Workload.burst e ~rng ~rate:1.0 ~burst_size:7 ~on_arrival:(fun _ ->
+        incr count)
+  in
+  Engine.run ~until:200.0 e;
+  Workload.stop w;
+  Alcotest.(check int) "multiple of burst size" 0 (!count mod 7);
+  Alcotest.(check bool) "some bursts" true (!count > 0)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "poisson empirical rate" `Quick test_poisson_rate;
+      Alcotest.test_case "zero rate" `Quick test_zero_rate;
+      Alcotest.test_case "stop" `Quick test_stop;
+      Alcotest.test_case "deterministic period" `Quick test_deterministic;
+      Alcotest.test_case "bursts" `Quick test_burst;
+    ] )
