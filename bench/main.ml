@@ -17,6 +17,13 @@
    performance regression in the simulator or the protocol shows up
    next to the numbers it would distort.
 
+   Sweeps fan out over a domain pool (Simkit.Pool): DMUTEX_JOBS caps
+   the parallelism (1 forces sequential; output is bit-for-bit
+   identical either way). Each experiment reports its wall-clock, and
+   DMUTEX_BENCH_JSON=path additionally writes a machine-readable
+   summary (per-experiment seconds, per-kernel ns/run, jobs count) so
+   later runs can be diffed against a recorded baseline.
+
    DMUTEX_BENCH_REQUESTS scales the per-point simulation length
    (default 50_000; the paper used 1_000_000 — set it that high for a
    full-fidelity run). DMUTEX_BENCH_QUICK=1 shrinks everything for a
@@ -35,8 +42,22 @@ let runs = if quick then 2 else 3
 let rates = if quick then [ 0.01; 0.2; 2.0 ] else Experiments.default_rates
 let line () = Format.fprintf fmt "@."
 
+(* Wall-clock per experiment, printed inline and recorded for the
+   JSON summary. *)
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
+  Format.fprintf fmt "   [%s: %.2f s wall]@.@." name dt;
+  r
+
 let figures () =
-  let f3, f4, f5 = Experiments.fig345 ~requests ~runs ~rates () in
+  let f3, f4, f5 =
+    timed "fig3-5" (fun () -> Experiments.fig345 ~requests ~runs ~rates ())
+  in
   Experiments.print_sweep ~xlabel:"lambda" fmt
     ~title:"fig3:messages — average messages per CS (paper Fig. 3)" f3;
   line ();
@@ -47,24 +68,35 @@ let figures () =
     ~title:"fig5:forwarded — forwarded fraction of messages (paper Fig. 5)"
     f5;
   line ();
+  let f6 =
+    timed "fig6" (fun () ->
+        Experiments.fig6_comparison ~requests ~runs ~rates ())
+  in
   Experiments.print_sweep ~xlabel:"lambda" fmt
     ~title:
       "fig6:comparison — messages per CS vs Ricart-Agrawala and Singhal \
        (paper Fig. 6)"
-    (Experiments.fig6_comparison ~requests ~runs ~rates ());
+    f6;
   line ()
 
 let tables () =
+  let light_load =
+    timed "table:light-load" (fun () ->
+        Experiments.table_light_load ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_bounds fmt
-    ~title:"table:light-load — Eq. 1: M = (N^2-1)/N at light load"
-    (Experiments.table_light_load ~requests:(requests / 2) ~runs ());
+    ~title:"table:light-load — Eq. 1: M = (N^2-1)/N at light load" light_load;
   line ();
+  let heavy_load =
+    timed "table:heavy-load" (fun () ->
+        Experiments.table_heavy_load ~requests ~runs ())
+  in
   Experiments.print_bounds fmt
-    ~title:"table:heavy-load — Eq. 4: M = 3 - 2/N at saturation"
-    (Experiments.table_heavy_load ~requests ~runs ());
+    ~title:"table:heavy-load — Eq. 4: M = 3 - 2/N at saturation" heavy_load;
   line ();
   let light, heavy =
-    Experiments.table_service_time ~requests:(requests / 2) ~runs ()
+    timed "table:service-time" (fun () ->
+        Experiments.table_service_time ~requests:(requests / 2) ~runs ())
   in
   Experiments.print_bounds fmt
     ~title:"table:service-time — Eq. 3 (light load delay)" light;
@@ -75,43 +107,78 @@ let tables () =
        measured value is a full rotation — see EXPERIMENTS.md)"
     heavy;
   line ();
+  let monitor =
+    timed "table:monitor" (fun () ->
+        Experiments.table_monitor_overhead ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_sweep ~xlabel:"lambda" fmt
-    ~title:"table:monitor — Section 4.1 starvation-free overhead"
-    (Experiments.table_monitor_overhead ~requests:(requests / 2) ~runs ());
+    ~title:"table:monitor — Section 4.1 starvation-free overhead" monitor;
   line ();
-  Experiments.print_recovery fmt (Experiments.table_recovery ());
+  let recovery = timed "table:recovery" Experiments.table_recovery in
+  Experiments.print_recovery fmt recovery;
   line ();
-  Experiments.print_algorithms fmt
-    (Experiments.table_all_algorithms ~requests:(requests / 2) ~runs ());
+  let all_algorithms =
+    timed "table:all-algorithms" (fun () ->
+        Experiments.table_all_algorithms ~requests:(requests / 2) ~runs ())
+  in
+  Experiments.print_algorithms fmt all_algorithms;
   line ();
+  let collection =
+    timed "table:ablations:collection" (fun () ->
+        Experiments.table_collection_tuning ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_sweep ~xlabel:"Tcoll" fmt
     ~title:"table:ablations — collection-phase tuning at lambda=0.2"
-    (Experiments.table_collection_tuning ~requests:(requests / 2) ~runs ());
+    collection;
   line ();
+  let skip_broadcast =
+    timed "table:ablations:skip-broadcast" (fun () ->
+        Experiments.table_skip_broadcast ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_sweep ~xlabel:"lambda" fmt
     ~title:"table:ablations — Section 3.1 NEW-ARBITER suppression"
-    (Experiments.table_skip_broadcast ~requests:(requests / 2) ~runs ());
+    skip_broadcast;
   line ();
+  let forwarding =
+    timed "table:ablations:forwarding" (fun () ->
+        Experiments.table_forwarding_tuning ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_sweep ~xlabel:"Tfwd" fmt
     ~title:"table:ablations — forwarding-phase tuning at lambda=0.2"
-    (Experiments.table_forwarding_tuning ~requests:(requests / 2) ~runs ());
+    forwarding;
   line ();
-  Experiments.print_balance fmt
-    (Experiments.table_load_balance ~requests:(requests / 2) ());
+  let balance =
+    timed "table:load-balance" (fun () ->
+        Experiments.table_load_balance ~requests:(requests / 2) ())
+  in
+  Experiments.print_balance fmt balance;
   line ();
-  Experiments.print_fairness fmt
-    (Experiments.table_fairness ~requests:(requests / 2) ());
+  let fairness =
+    timed "table:fairness" (fun () ->
+        Experiments.table_fairness ~requests:(requests / 2) ())
+  in
+  Experiments.print_fairness fmt fairness;
   line ();
-  Experiments.print_topology fmt
-    (Experiments.table_topology ~requests:(requests / 2) ());
+  let topology =
+    timed "table:topology" (fun () ->
+        Experiments.table_topology ~requests:(requests / 2) ())
+  in
+  Experiments.print_topology fmt topology;
   line ();
+  let delay_model =
+    timed "table:delay-model" (fun () ->
+        Experiments.table_delay_model ~requests:(requests / 2) ~runs ())
+  in
   Experiments.print_sweep ~xlabel:"lambda" fmt
     ~title:
       "table:delay-model — gated-M/D/1 interpolation vs simulation        (beyond-paper extension)"
-    (Experiments.table_delay_model ~requests:(requests / 2) ~runs ());
+    delay_model;
   line ();
-  Experiments.print_message_mix fmt
-    (Experiments.table_message_mix ~requests:(requests / 2) ());
+  let mix =
+    timed "table:message-mix" (fun () ->
+        Experiments.table_message_mix ~requests:(requests / 2) ())
+  in
+  Experiments.print_message_mix fmt mix;
   line ()
 
 (* ------------------------------------------------------------------ *)
@@ -175,6 +242,8 @@ let micro_tests =
             ignore (Simkit.Engine.step e))));
   ]
 
+let kernel_estimates : (string * float) list ref = ref []
+
 let run_micro () =
   Format.fprintf fmt "== micro-benchmarks (Bechamel, monotonic clock) ==@.";
   let ols =
@@ -193,18 +262,83 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Format.fprintf fmt "%-36s %12.1f ns/run@." name est
+          | Some [ est ] ->
+              kernel_estimates := (name, est) :: !kernel_estimates;
+              Format.fprintf fmt "%-36s %12.1f ns/run@." name est
           | _ -> Format.fprintf fmt "%-36s (no estimate)@." name)
         results)
     micro_tests;
   line ()
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary (DMUTEX_BENCH_JSON=path).                  *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~total =
+  let buf = Buffer.create 2048 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add (Printf.sprintf "  \"schema\": 1,\n");
+  add (Printf.sprintf "  \"quick\": %b,\n" quick);
+  add (Printf.sprintf "  \"requests_per_point\": %d,\n" requests);
+  add (Printf.sprintf "  \"runs\": %d,\n" runs);
+  add (Printf.sprintf "  \"rates\": %d,\n" (List.length rates));
+  add (Printf.sprintf "  \"jobs\": %d,\n" (Simkit.Pool.jobs ()));
+  add "  \"experiments\": [\n";
+  let exps = List.rev !timings in
+  List.iteri
+    (fun i (name, dt) ->
+      add
+        (Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n"
+           (json_escape name) dt
+           (if i = List.length exps - 1 then "" else ",")))
+    exps;
+  add "  ],\n";
+  add "  \"kernels\": [\n";
+  let kernels = List.rev !kernel_estimates in
+  List.iteri
+    (fun i (name, est) ->
+      add
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %.2f}%s\n"
+           (json_escape name) est
+           (if i = List.length kernels - 1 then "" else ",")))
+    kernels;
+  add "  ],\n";
+  add (Printf.sprintf "  \"total_seconds\": %.6f\n" total);
+  add "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))
+
 let () =
   Format.fprintf fmt
-    "dmutex bench — requests/point=%d runs=%d rates=%d%s@.@." requests runs
-    (List.length rates)
+    "dmutex bench — requests/point=%d runs=%d rates=%d jobs=%d%s@.@." requests
+    runs (List.length rates) (Simkit.Pool.jobs ())
     (if quick then " (QUICK mode)" else "");
+  let t0 = Unix.gettimeofday () in
   figures ();
   tables ();
   run_micro ();
+  let total = Unix.gettimeofday () -. t0 in
+  Format.fprintf fmt "total wall-clock: %.2f s (jobs=%d)@." total
+    (Simkit.Pool.jobs ());
+  (match Sys.getenv_opt "DMUTEX_BENCH_JSON" with
+  | Some path when path <> "" ->
+      write_json path ~total;
+      Format.fprintf fmt "wrote %s@." path
+  | Some _ | None -> ());
   Format.fprintf fmt "done.@."

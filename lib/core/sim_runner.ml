@@ -42,6 +42,11 @@ module Make (A : Types.ALGO) = struct
   type node = {
     mutable state : A.state;
     timers : (A.timer, Engine.handle) Hashtbl.t;
+    (* Per-(node, kind) timer actions and the per-node CS-exit action
+       are allocated once and reused, keeping the per-event path free
+       of closure allocation. *)
+    timer_actions : (A.timer, Engine.t -> unit) Hashtbl.t;
+    mutable on_cs_exit : Engine.t -> unit;
     arrivals : float Queue.t;  (* unserved request arrival times *)
     mutable current : float option;  (* arrival time of the in-CS request *)
     mutable crashed : bool;
@@ -89,6 +94,8 @@ module Make (A : Types.ALGO) = struct
           {
             state = A.init cfg i;
             timers = Hashtbl.create 8;
+            timer_actions = Hashtbl.create 8;
+            on_cs_exit = ignore;
             arrivals = Queue.create ();
             current = None;
             crashed = false;
@@ -115,6 +122,7 @@ module Make (A : Types.ALGO) = struct
         closed_loop = false;
       }
     in
+    Array.iteri (fun i node -> node.on_cs_exit <- (fun _ -> cs_exit t i)) nodes;
     Network.set_handler net (fun ~src ~dst msg ->
         dispatch t dst (Types.Receive (src, msg)));
     t
@@ -137,15 +145,17 @@ module Make (A : Types.ALGO) = struct
           Stats.Counter.incr t.kinds (A.message_kind m);
           node.sent <- node.sent + 1
         end;
-        Trace.addf t.trace ~time:now ~node:i ~tag:"send" "-> %d: %a" dst
-          A.pp_message m;
+        if Trace.enabled t.trace then
+          Trace.addf t.trace ~time:now ~node:i ~tag:"send" "-> %d: %a" dst
+            A.pp_message m;
         Network.send t.net ~src:i ~dst m
     | Types.Broadcast m ->
         Stats.Counter.incr ~by:(t.cfg.Types.Config.n - 1) t.kinds
           (A.message_kind m);
         node.sent <- node.sent + t.cfg.Types.Config.n - 1;
-        Trace.addf t.trace ~time:now ~node:i ~tag:"broadcast" "%a"
-          A.pp_message m;
+        if Trace.enabled t.trace then
+          Trace.addf t.trace ~time:now ~node:i ~tag:"broadcast" "%a"
+            A.pp_message m;
         Network.broadcast t.net ~src:i m
     | Types.Enter_cs ->
         (match t.cs_holder with
@@ -159,16 +169,23 @@ module Make (A : Types.ALGO) = struct
         Trace.add t.trace ~time:now ~node:i ~tag:"enter-cs" "";
         ignore
           (Engine.schedule t.engine ~delay:t.cfg.Types.Config.t_exec
-             (fun _ -> cs_exit t i))
+             node.on_cs_exit)
     | Types.Set_timer (k, d) ->
         (match Hashtbl.find_opt node.timers k with
         | Some h -> Engine.cancel t.engine h
         | None -> ());
-        let h =
-          Engine.schedule t.engine ~delay:(Float.max d 0.0) (fun _ ->
-              Hashtbl.remove node.timers k;
-              dispatch t i (Types.Timer_fired k))
+        let action =
+          match Hashtbl.find_opt node.timer_actions k with
+          | Some a -> a
+          | None ->
+              let a _ =
+                Hashtbl.remove node.timers k;
+                dispatch t i (Types.Timer_fired k)
+              in
+              Hashtbl.add node.timer_actions k a;
+              a
         in
+        let h = Engine.schedule t.engine ~delay:(Float.max d 0.0) action in
         Hashtbl.replace node.timers k h
     | Types.Cancel_timer k -> (
         match Hashtbl.find_opt node.timers k with

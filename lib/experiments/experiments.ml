@@ -18,14 +18,17 @@ module RCs = Sim_runner.Make (Baselines.Central_server)
 module RLam = Sim_runner.Make (Baselines.Lamport)
 module RTq = Sim_runner.Make (Baselines.Tree_quorum)
 
+(* Every simulation point below owns its own [Rng]/[Engine]/[Network]
+   and is seeded only by its position in the sweep, so sweeps dispatch
+   independent points through [Simkit.Pool] — parallel results are
+   bit-for-bit identical to a sequential run (DMUTEX_JOBS=1). *)
+
 (* Replicate an experiment over [runs] seeds and summarize one metric
    with its across-runs 95% CI — the paper's "multiple runs" CIs. *)
 let replicated ~runs f metric =
+  let outcomes = Simkit.Pool.init runs ~f:(fun k -> f ~seed:(1000 + (7919 * k))) in
   let tally = Simkit.Stats.Tally.create () in
-  for k = 0 to runs - 1 do
-    let o = f ~seed:(1000 + (7919 * k)) in
-    Simkit.Stats.Tally.add tally (metric o)
-  done;
+  List.iter (fun o -> Simkit.Stats.Tally.add tally (metric o)) outcomes;
   {
     mean = Simkit.Stats.Tally.mean tally;
     ci95 = Simkit.Stats.Tally.ci95_halfwidth tally;
@@ -41,15 +44,13 @@ let forwarded (o : Sim_runner.outcome) = o.forwarded_fraction
 let basic_outcomes ~n ~requests ~runs ~rates () =
   (* For each λ and each collection length, the list of replicated
      outcomes. *)
-  List.map
-    (fun rate ->
+  Simkit.Pool.map rates ~f:(fun rate ->
       let per_collect t_collect =
         let cfg = Basic.config ~t_collect ~n () in
-        List.init runs (fun k ->
+        Simkit.Pool.init runs ~f:(fun k ->
             RBasic.run_poisson ~seed:(1000 + (7919 * k)) ~requests ~rate cfg)
       in
       (rate, per_collect 0.1, per_collect 0.2))
-    rates
 
 let summarize outcomes metric =
   let tally = Simkit.Stats.Tally.create () in
@@ -95,8 +96,7 @@ let fig5_forwarded ?n ?requests ?runs ?rates () =
 let fig6_comparison ?(n = 10) ?(requests = 50_000) ?(runs = 3)
     ?(rates = default_rates) () =
   let cfg = Types.Config.default ~n in
-  List.map
-    (fun rate ->
+  Simkit.Pool.map rates ~f:(fun rate ->
       let new_alg =
         replicated ~runs
           (fun ~seed -> RBasic.run_poisson ~seed ~requests ~rate cfg)
@@ -121,7 +121,6 @@ let fig6_comparison ?(n = 10) ?(requests = 50_000) ?(runs = 3)
             ("singhal-dynamic", sing);
           ];
       })
-    rates
 
 (* ------------------------------------------------------------------ *)
 (* Analytic tables                                                     *)
@@ -134,8 +133,7 @@ let low_rate = 0.005
 
 let table_light_load ?(requests = 20_000) ?(runs = 3)
     ?(ns = [ 5; 10; 20; 50 ]) () =
-  List.map
-    (fun n ->
+  Simkit.Pool.map ns ~f:(fun n ->
       let cfg = Basic.config ~n () in
       let measured =
         replicated ~runs
@@ -144,12 +142,10 @@ let table_light_load ?(requests = 20_000) ?(runs = 3)
           messages
       in
       { n_nodes = n; analytic = Analysis.light_load_messages ~n; measured })
-    ns
 
 let table_heavy_load ?(requests = 50_000) ?(runs = 3)
     ?(ns = [ 5; 10; 20; 50 ]) () =
-  List.map
-    (fun n ->
+  Simkit.Pool.map ns ~f:(fun n ->
       let cfg = Basic.config ~n () in
       let measured =
         replicated ~runs
@@ -157,13 +153,11 @@ let table_heavy_load ?(requests = 50_000) ?(runs = 3)
           messages
       in
       { n_nodes = n; analytic = Analysis.heavy_load_messages ~n; measured })
-    ns
 
 let table_service_time ?(requests = 20_000) ?(runs = 3)
     ?(ns = [ 5; 10; 20; 50 ]) () =
   let light =
-    List.map
-      (fun n ->
+    Simkit.Pool.map ns ~f:(fun n ->
         let cfg = Basic.config ~n () in
         let measured =
           replicated ~runs
@@ -176,11 +170,9 @@ let table_service_time ?(requests = 20_000) ?(runs = 3)
           analytic = Analysis.light_load_service_time cfg;
           measured;
         })
-      ns
   in
   let heavy =
-    List.map
-      (fun n ->
+    Simkit.Pool.map ns ~f:(fun n ->
         let cfg = Basic.config ~n () in
         let measured =
           replicated ~runs
@@ -192,7 +184,6 @@ let table_service_time ?(requests = 20_000) ?(runs = 3)
           analytic = Analysis.heavy_load_service_time cfg;
           measured;
         })
-      ns
   in
   (light, heavy)
 
@@ -203,8 +194,7 @@ let table_monitor_overhead ?(n = 10) ?(requests = 30_000) ?(runs = 3)
     ?(rates = [ 0.01; 0.05; 0.2; 0.5; 2.0 ]) () =
   let basic_cfg = Basic.config ~n () in
   let mon_cfg = Monitored.config ~n () in
-  List.map
-    (fun rate ->
+  Simkit.Pool.map rates ~f:(fun rate ->
       let basic =
         replicated ~runs
           (fun ~seed -> RBasic.run_poisson ~seed ~requests ~rate basic_cfg)
@@ -226,7 +216,6 @@ let table_monitor_overhead ?(n = 10) ?(requests = 30_000) ?(runs = 3)
             );
           ];
       })
-    rates
 
 (* ------------------------------------------------------------------ *)
 (* Recovery drills (Section 6)                                         *)
@@ -289,7 +278,7 @@ let find_node ~n t pred =
   go (n - 1)
 
 let table_recovery ?(n = 10) () =
-  let holder_crash =
+  let holder_crash () =
     drill ~n ~scenario:"token holder crashes in CS" ~inject:(fun t ->
         match
           find_node ~n t (fun st ->
@@ -301,7 +290,7 @@ let table_recovery ?(n = 10) () =
         | None -> false)
       ()
   in
-  let privilege_drop =
+  let privilege_drop () =
     drill ~n ~scenario:"PRIVILEGE message lost in transit" ~inject:(fun t ->
         let dropped = ref false in
         Simkit.Network.set_interceptor (RRes.network t)
@@ -314,7 +303,7 @@ let table_recovery ?(n = 10) () =
         true)
       ()
   in
-  let arbiter_crash =
+  let arbiter_crash () =
     drill ~n ~scenario:"current arbiter crashes" ~inject:(fun t ->
         let is_arbiter st =
           match st.Protocol.role with
@@ -330,7 +319,7 @@ let table_recovery ?(n = 10) () =
         | None -> false)
       ()
   in
-  let minimal_three =
+  let minimal_three () =
     drill ~n ~scenario:"all but three nodes crash" ~inject:(fun t ->
         (* Keep the token holder, the believed arbiter and one more
            node alive: the paper's minimal operational set. *)
@@ -351,14 +340,15 @@ let table_recovery ?(n = 10) () =
             true)
       ()
   in
-  [ holder_crash; privilege_drop; arbiter_crash; minimal_three ]
+  Simkit.Pool.map
+    [ holder_crash; privilege_drop; arbiter_crash; minimal_three ]
+    ~f:(fun d -> d ())
 
 (* ------------------------------------------------------------------ *)
 (* All-algorithms context table                                        *)
 
 let table_all_algorithms ?(n = 10) ?(requests = 30_000) ?(runs = 3) () =
   let cfg = Types.Config.default ~n in
-  let entry name low sat = (name, low, sat) in
   let pair (type s)
       (run_poisson :
         seed:int -> requests:int -> rate:float -> Types.Config.t -> s)
@@ -371,71 +361,85 @@ let table_all_algorithms ?(n = 10) ?(requests = 30_000) ?(runs = 3) () =
         (fun ~seed -> run_saturated ~seed ~requests cfg)
         metric )
   in
-  let b_low, b_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RBasic.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RBasic.run_saturated ~seed ~requests cfg)
-      messages
+  (* One task per algorithm: each measures its own low-load and
+     saturated pair, so the nine algorithms run concurrently. *)
+  let algorithms =
+    [
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RBasic.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RBasic.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("this-paper (basic)", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RSK.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RSK.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("suzuki-kasami", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RRay.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RRay.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("raymond-tree", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RRA.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RRA.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("ricart-agrawala", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RLam.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RLam.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("lamport", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RSing.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RSing.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("singhal-dynamic", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RMk.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RMk.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("maekawa", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RTq.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RTq.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("tree-quorum", low, sat));
+      (fun () ->
+        let low, sat =
+          pair
+            (fun ~seed ~requests ~rate cfg -> RCs.run_poisson ~seed ~requests ~rate cfg)
+            (fun ~seed ~requests cfg -> RCs.run_saturated ~seed ~requests cfg)
+            messages
+        in
+        ("central-server", low, sat));
+    ]
   in
-  let sk_low, sk_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RSK.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RSK.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let ray_low, ray_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RRay.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RRay.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let ra_low, ra_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RRA.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RRA.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let sg_low, sg_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RSing.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RSing.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let mk_low, mk_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RMk.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RMk.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let cs_low, cs_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RCs.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RCs.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let lam_low, lam_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RLam.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RLam.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  let tq_low, tq_sat =
-    pair
-      (fun ~seed ~requests ~rate cfg -> RTq.run_poisson ~seed ~requests ~rate cfg)
-      (fun ~seed ~requests cfg -> RTq.run_saturated ~seed ~requests cfg)
-      messages
-  in
-  [
-    entry "this-paper (basic)" b_low b_sat;
-    entry "suzuki-kasami" sk_low sk_sat;
-    entry "raymond-tree" ray_low ray_sat;
-    entry "ricart-agrawala" ra_low ra_sat;
-    entry "lamport" lam_low lam_sat;
-    entry "singhal-dynamic" sg_low sg_sat;
-    entry "maekawa" mk_low mk_sat;
-    entry "tree-quorum" tq_low tq_sat;
-    entry "central-server" cs_low cs_sat;
-  ]
+  Simkit.Pool.map algorithms ~f:(fun a -> a ())
 
 (* Eq. 1 charges, per non-self CS at light load: 1 REQUEST, (N-1)
    NEW-ARBITER messages, 1 PRIVILEGE; the requester-is-arbiter case
@@ -445,8 +449,18 @@ let table_all_algorithms ?(n = 10) ?(requests = 30_000) ?(runs = 3) () =
 let table_message_mix ?(n = 10) ?(requests = 30_000) () =
   let nf = float_of_int n in
   let cfg = Basic.config ~n () in
-  let low = RBasic.run_poisson ~seed:44 ~requests ~rate:low_rate cfg in
-  let sat = RBasic.run_saturated ~seed:44 ~requests cfg in
+  let low, sat =
+    match
+      Simkit.Pool.map
+        [
+          (fun () -> RBasic.run_poisson ~seed:44 ~requests ~rate:low_rate cfg);
+          (fun () -> RBasic.run_saturated ~seed:44 ~requests cfg);
+        ]
+        ~f:(fun s -> s ())
+    with
+    | [ low; sat ] -> (low, sat)
+    | _ -> assert false
+  in
   let per_cs (o : Sim_runner.outcome) kind =
     float_of_int
       (match List.assoc_opt kind o.Sim_runner.by_kind with
@@ -577,15 +591,19 @@ let table_fairness ?(n = 8) ?(requests = 20_000) () =
     in
     (Simkit.Stats.jain_fairness per_demand, o.Sim_runner.messages_per_cs)
   in
-  let j_fcfs, m_fcfs = run (module Basic) (Basic.config ~n ()) in
-  let j_fair, m_fair = run (module Fair) (Fair.config ~n ()) in
-  [ ("fcfs (basic)", j_fcfs, m_fcfs); ("least-served-first", j_fair, m_fair) ]
+  Simkit.Pool.map
+    [
+      (fun () -> ("fcfs (basic)", run (module Basic) (Basic.config ~n ())));
+      (fun () -> ("least-served-first", run (module Fair) (Fair.config ~n ())));
+    ]
+    ~f:(fun v ->
+      let name, (jain, msgs) = v () in
+      (name, jain, msgs))
 
 let table_delay_model ?(n = 10) ?(requests = 20_000) ?(runs = 3)
     ?(rates = [ 0.02; 0.1; 0.2; 0.3; 0.4; 0.45 ]) () =
   let cfg = Basic.config ~n () in
-  List.map
-    (fun rate ->
+  Simkit.Pool.map rates ~f:(fun rate ->
       let measured =
         replicated ~runs
           (fun ~seed -> RBasic.run_poisson ~seed ~requests ~rate cfg)
@@ -597,14 +615,12 @@ let table_delay_model ?(n = 10) ?(requests = 20_000) ?(runs = 3)
         | None -> { mean = nan; ci95 = 0.0 }
       in
       { rate; series = [ ("predicted", predicted); ("measured", measured) ] })
-    rates
 
 (* ------------------------------------------------------------------ *)
 (* Topology sensitivity                                                *)
 
 let table_topology ?(n = 10) ?(requests = 20_000) () =
-  List.map
-    (fun topo ->
+  Simkit.Pool.map Simkit.Topology.all ~f:(fun topo ->
       let cfg = Basic.config ~n () in
       let latency = Simkit.Topology.latency topo ~n ~per_hop:0.1 in
       let o = RBasic.run_saturated ~seed:93 ~requests ~latency cfg in
@@ -612,15 +628,13 @@ let table_topology ?(n = 10) ?(requests = 20_000) () =
         Simkit.Topology.mean_distance topo ~n,
         o.Sim_runner.messages_per_cs,
         o.Sim_runner.mean_delay ))
-    Simkit.Topology.all
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let table_collection_tuning ?(n = 10) ?(requests = 30_000) ?(runs = 3)
     ?(t_collects = [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 ]) ?(rate = 0.2) () =
-  List.map
-    (fun t_collect ->
+  Simkit.Pool.map t_collects ~f:(fun t_collect ->
       let cfg = Basic.config ~t_collect ~n () in
       let msgs =
         replicated ~runs
@@ -633,12 +647,10 @@ let table_collection_tuning ?(n = 10) ?(requests = 30_000) ?(runs = 3)
           delay
       in
       { rate = t_collect; series = [ ("messages/CS", msgs); ("delay", dly) ] })
-    t_collects
 
 let table_skip_broadcast ?(n = 10) ?(requests = 30_000) ?(runs = 3) () =
   let rates = [ 0.005; 0.02; 0.1 ] in
-  List.map
-    (fun rate ->
+  Simkit.Pool.map rates ~f:(fun rate ->
       let base = Basic.config ~n () in
       let on = { base with Types.Config.skip_new_arbiter_to_tail = true } in
       let m_off =
@@ -652,12 +664,10 @@ let table_skip_broadcast ?(n = 10) ?(requests = 30_000) ?(runs = 3) () =
           messages
       in
       { rate; series = [ ("broadcast-always", m_off); ("skip-to-tail", m_on) ] })
-    rates
 
 let table_forwarding_tuning ?(n = 10) ?(requests = 30_000) ?(runs = 3)
     ?(t_forwards = [ 0.0; 0.05; 0.1; 0.2; 0.4 ]) ?(rate = 0.2) () =
-  List.map
-    (fun t_forward ->
+  Simkit.Pool.map t_forwards ~f:(fun t_forward ->
       let cfg =
         { (Basic.config ~n ()) with Types.Config.t_forward }
       in
@@ -675,7 +685,6 @@ let table_forwarding_tuning ?(n = 10) ?(requests = 30_000) ?(runs = 3)
             ("delay", run delay);
           ];
       })
-    t_forwards
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

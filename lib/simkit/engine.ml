@@ -9,8 +9,8 @@ and t = {
 
 type handle = event
 
-let create () =
-  { agenda = Heap.create (); clock = 0.0; live = 0; stopping = false }
+let create ?(capacity = 256) () =
+  { agenda = Heap.create ~capacity (); clock = 0.0; live = 0; stopping = false }
 
 let now t = t.clock
 

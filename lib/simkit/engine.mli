@@ -10,8 +10,9 @@ type t
 type handle
 (** A cancellable reference to a scheduled event. *)
 
-val create : unit -> t
-(** A fresh engine with clock at [0.0] and an empty agenda. *)
+val create : ?capacity:int -> unit -> t
+(** A fresh engine with clock at [0.0] and an empty agenda.
+    [capacity] pre-sizes the agenda heap (default 256). *)
 
 val now : t -> float
 (** Current simulated time. *)

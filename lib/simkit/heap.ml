@@ -6,24 +6,28 @@ type 'a t = {
   mutable next_seq : int;
 }
 
-(* A dummy entry used to fill unused slots; never observed because
-   [size] guards every access. *)
-let dummy v = { prio = nan; seq = -1; value = v }
+(* A single shared placeholder fills every unused slot, so a popped
+   value (and any closure it captures) is released to the GC at pop
+   time instead of lingering in the backing array. The [value] field
+   holds an immediate int and is never read: [size] guards every
+   access, making the cast safe. *)
+let dummy_entry : Obj.t entry = { prio = nan; seq = -1; value = Obj.repr 0 }
+let dummy () = (Obj.magic dummy_entry : _ entry)
 
 let create ?(capacity = 64) () =
-  ignore capacity;
-  { data = [||]; size = 0; next_seq = 0 }
+  let data = if capacity <= 0 then [||] else Array.make capacity (dummy ()) in
+  { data; size = 0; next_seq = 0 }
 
 let size t = t.size
 let is_empty t = t.size = 0
 
 let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.data in
   if t.size >= cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let ndata = Array.make ncap (dummy entry.value) in
+    let ndata = Array.make ncap (dummy ()) in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -54,7 +58,7 @@ let rec sift_down t i =
 let push t ~priority v =
   let entry = { prio = priority; seq = t.next_seq; value = v } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -72,13 +76,16 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
-      t.data.(t.size) <- top (* keep slot initialized; value is dead *);
+      t.data.(t.size) <- dummy ();
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some (top.prio, top.value)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.data 0 t.size (dummy ());
+  t.size <- 0
 
 let to_sorted_list t =
   let rec drain acc =

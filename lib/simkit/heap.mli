@@ -11,7 +11,8 @@ type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
 (** [create ()] is an empty heap. [capacity] pre-sizes the backing
-    array (default 64). *)
+    array (default 64), avoiding doubling-growth churn when the final
+    size is known up front. *)
 
 val size : 'a t -> int
 (** Number of elements currently in the heap. *)
@@ -23,7 +24,9 @@ val push : 'a t -> priority:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum element with its priority, or [None]
-    if empty. Ties broken by insertion order. O(log n). *)
+    if empty. Ties broken by insertion order. O(log n). The heap drops
+    its reference to the removed value, so popped values are
+    collectable immediately. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Return the minimum without removing it. O(1). *)

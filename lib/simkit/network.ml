@@ -60,7 +60,7 @@ let severed t ~src ~dst =
   | None -> false
   | Some g -> g.(src) <> g.(dst)
 
-let send t ~src ~dst msg =
+let rec send t ~src ~dst msg =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Network.send: node id out of range";
   let counted = src <> dst in
@@ -75,22 +75,23 @@ let send t ~src ~dst msg =
   in
   match verdict with
   | Drop -> if counted then t.dropped <- t.dropped + 1
-  | Deliver | Delay _ ->
-      let extra = match verdict with Delay d -> d | Deliver | Drop -> 0.0 in
-      let delay = base_delay t ~src ~dst +. extra in
-      let deliver _engine =
-        (* Re-check the destination: it may have crashed in flight. *)
-        if t.crashed.(dst) then begin
-          if counted then t.dropped <- t.dropped + 1
-        end
-        else begin
-          if counted then t.delivered <- t.delivered + 1;
-          match t.handler with
-          | Some h -> h ~src ~dst msg
-          | None -> failwith "Network: no handler installed"
-        end
-      in
-      ignore (Engine.schedule t.engine ~delay deliver)
+  | Deliver -> deliver t ~src ~dst ~counted ~delay:(base_delay t ~src ~dst) msg
+  | Delay d ->
+      deliver t ~src ~dst ~counted ~delay:(base_delay t ~src ~dst +. d) msg
+
+and deliver t ~src ~dst ~counted ~delay msg =
+  ignore
+    (Engine.schedule t.engine ~delay (fun _engine ->
+         (* Re-check the destination: it may have crashed in flight. *)
+         if t.crashed.(dst) then begin
+           if counted then t.dropped <- t.dropped + 1
+         end
+         else begin
+           if counted then t.delivered <- t.delivered + 1;
+           match t.handler with
+           | Some h -> h ~src ~dst msg
+           | None -> failwith "Network: no handler installed"
+         end))
 
 let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do

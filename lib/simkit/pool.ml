@@ -1,0 +1,134 @@
+type task = unit -> unit
+
+type pool = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set for the lifetime of a worker domain, and on the calling domain
+   while it executes tasks of an in-flight [map]: any [map] issued
+   from inside a task runs inline instead of re-entering the queue
+   (which could otherwise steal unrelated tasks mid-map). *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let jobs () =
+  let fallback () = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "DMUTEX_JOBS" with
+  | None -> fallback ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> fallback ())
+
+let worker p () =
+  Domain.DLS.set inside_pool true;
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while Queue.is_empty p.queue && not p.stop do
+      Condition.wait p.nonempty p.mutex
+    done;
+    match Queue.take_opt p.queue with
+    | Some job ->
+        Mutex.unlock p.mutex;
+        job ();
+        loop ()
+    | None -> Mutex.unlock p.mutex (* stopping and drained *)
+  in
+  loop ()
+
+let the_pool =
+  lazy
+    (let p =
+       {
+         mutex = Mutex.create ();
+         nonempty = Condition.create ();
+         queue = Queue.create ();
+         stop = false;
+         workers = [];
+       }
+     in
+     at_exit (fun () ->
+         Mutex.lock p.mutex;
+         p.stop <- true;
+         Condition.broadcast p.nonempty;
+         Mutex.unlock p.mutex;
+         List.iter Domain.join p.workers);
+     p)
+
+(* Only the main domain grows the pool (nested maps run inline), so no
+   lock is needed around [workers]. *)
+let ensure_workers p want =
+  let have = List.length p.workers in
+  for _ = have + 1 to want do
+    p.workers <- Domain.spawn (worker p) :: p.workers
+  done
+
+let map ?jobs:requested xs ~f =
+  let j = match requested with Some j -> j | None -> jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when j <= 1 || Domain.DLS.get inside_pool -> List.map f xs
+  | _ ->
+      let p = Lazy.force the_pool in
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      ensure_workers p (min (j - 1) (n - 1));
+      let results = Array.make n None in
+      let remaining = Atomic.make n in
+      let finished_mutex = Mutex.create () in
+      let finished = Condition.create () in
+      let task i () =
+        (match f input.(i) with
+        | v -> results.(i) <- Some (Ok v)
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            results.(i) <- Some (Error (e, bt)));
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock finished_mutex;
+          Condition.broadcast finished;
+          Mutex.unlock finished_mutex
+        end
+      in
+      Mutex.lock p.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (task i) p.queue
+      done;
+      Condition.broadcast p.nonempty;
+      Mutex.unlock p.mutex;
+      (* Work alongside the pool until the queue drains, then wait for
+         stragglers still running on workers. *)
+      Domain.DLS.set inside_pool true;
+      let rec help () =
+        Mutex.lock p.mutex;
+        let job = Queue.take_opt p.queue in
+        Mutex.unlock p.mutex;
+        match job with
+        | Some job ->
+            job ();
+            help ()
+        | None -> ()
+      in
+      help ();
+      Domain.DLS.set inside_pool false;
+      Mutex.lock finished_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait finished finished_mutex
+      done;
+      Mutex.unlock finished_mutex;
+      (* [remaining = 0] was observed through an atomic, which orders
+         the non-atomic [results] writes before these reads. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
+      List.init n (fun i ->
+          match results.(i) with
+          | Some (Ok v) -> v
+          | Some (Error _) | None -> assert false)
+
+let init ?jobs n ~f = map ?jobs (List.init n Fun.id) ~f

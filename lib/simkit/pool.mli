@@ -1,0 +1,36 @@
+(** Fixed-size domain pool for embarrassingly parallel sweeps.
+
+    Experiment sweeps run many independent, deterministically-seeded
+    simulations; this module fans them out over OCaml 5 domains while
+    keeping results in input order, so a parallel sweep is bit-for-bit
+    identical to its sequential counterpart.
+
+    Worker domains are spawned lazily on the first parallel [map] and
+    reused for the rest of the process (joined via [at_exit]). The
+    caller participates in executing tasks while it waits, so [jobs]
+    counts the total parallelism including the calling domain.
+
+    Concurrency contract: tasks must not share mutable state. Every
+    simulation point in this repository owns its own [Rng], [Engine]
+    and [Network], so the contract holds by construction. *)
+
+val jobs : unit -> int
+(** Resolved parallelism: the [DMUTEX_JOBS] environment variable if it
+    parses as a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1], and at least 1. Read
+    afresh on every call, so tests can flip it with [putenv]. *)
+
+val map : ?jobs:int -> 'a list -> f:('a -> 'b) -> 'b list
+(** [map xs ~f] is [List.map f xs] computed in parallel.
+
+    - Results are returned in input order regardless of completion
+      order.
+    - If any [f x] raises, the first exception in input order is
+      re-raised (with its backtrace) after all tasks have finished.
+    - Runs sequentially — spawning no domains — when the resolved
+      [jobs] is [<= 1], when [xs] has fewer than two elements, or when
+      called from inside a pool task (nested maps are safe and run
+      inline in their parent's task). *)
+
+val init : ?jobs:int -> int -> f:(int -> 'b) -> 'b list
+(** [init n ~f] is [List.init n f] through [map]. *)

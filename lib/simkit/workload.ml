@@ -2,20 +2,22 @@ type t = { mutable stopped : bool; mutable arrivals : int }
 
 let make_process engine ~next_gap ~per_arrival ~on_arrival =
   let t = { stopped = false; arrivals = 0 } in
-  let rec arm () =
+  (* One [fire] closure re-arms itself for every arrival of the
+     process, instead of allocating a fresh closure per event — the
+     arrival path runs once per request over million-request sweeps. *)
+  let rec fire engine =
+    if not t.stopped then begin
+      let k = per_arrival () in
+      for _ = 1 to k do
+        t.arrivals <- t.arrivals + 1;
+        on_arrival engine
+      done;
+      arm ()
+    end
+  and arm () =
     match next_gap () with
     | None -> ()
-    | Some gap ->
-        ignore
-          (Engine.schedule engine ~delay:gap (fun engine ->
-               if not t.stopped then begin
-                 let k = per_arrival () in
-                 for _ = 1 to k do
-                   t.arrivals <- t.arrivals + 1;
-                   on_arrival engine
-                 done;
-                 arm ()
-               end))
+    | Some gap -> ignore (Engine.schedule engine ~delay:gap fire)
   in
   arm ();
   t

@@ -47,6 +47,46 @@ let test_grow () =
   Alcotest.(check (option (pair (float 0.0) int))) "min" (Some (1.0, 1))
     (Simkit.Heap.pop h)
 
+let test_capacity_preallocates () =
+  (* [~capacity] must actually size the backing array: a 512-slot heap
+     is at least ~500 words bigger than a 1-slot heap before any push. *)
+  let words c = Obj.reachable_words (Obj.repr (Simkit.Heap.create ~capacity:c ())) in
+  Alcotest.(check bool) "capacity preallocates" true
+    (words 512 - words 1 >= 500)
+
+(* Build a heap holding one heap-allocated value tracked by a weak
+   pointer, without leaving a stack reference to the value behind. *)
+let heap_with_tracked_value () =
+  let h = Simkit.Heap.create () in
+  let w = Weak.create 1 in
+  let v = Bytes.make 32 'x' in
+  Weak.set w 0 (Some v);
+  Simkit.Heap.push h ~priority:1.0 v;
+  (h, w)
+
+let test_pop_releases_value () =
+  let h, w = heap_with_tracked_value () in
+  ignore (Simkit.Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value is collectable" false (Weak.check w 0);
+  Alcotest.(check int) "heap still usable" 0 (Simkit.Heap.size h)
+
+let test_clear_releases_values () =
+  let h, w = heap_with_tracked_value () in
+  Simkit.Heap.push h ~priority:2.0 (Bytes.make 8 'y');
+  Simkit.Heap.clear h;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared values are collectable" false (Weak.check w 0)
+
+let test_drain_releases_last_value () =
+  (* The final pop (size reaching 0) must also drop slot 0. *)
+  let h, w = heap_with_tracked_value () in
+  Simkit.Heap.push h ~priority:0.5 (Bytes.make 8 'z');
+  ignore (Simkit.Heap.pop h);
+  ignore (Simkit.Heap.pop h);
+  Gc.full_major ();
+  Alcotest.(check bool) "drained heap retains nothing" false (Weak.check w 0)
+
 let prop_sorted =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -76,6 +116,13 @@ let suite =
       Alcotest.test_case "peek and pop" `Quick test_peek_pop;
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "growth from small capacity" `Quick test_grow;
+      Alcotest.test_case "capacity preallocates" `Quick
+        test_capacity_preallocates;
+      Alcotest.test_case "pop releases value" `Quick test_pop_releases_value;
+      Alcotest.test_case "clear releases values" `Quick
+        test_clear_releases_values;
+      Alcotest.test_case "drain releases last value" `Quick
+        test_drain_releases_last_value;
       QCheck_alcotest.to_alcotest prop_sorted;
       QCheck_alcotest.to_alcotest prop_size;
     ] )

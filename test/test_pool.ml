@@ -1,0 +1,104 @@
+(* The domain pool behind every experiment sweep: ordering, exception
+   propagation, sequential fallback, nested maps, and the headline
+   guarantee — a parallel sweep is bit-for-bit equal to a sequential
+   one. *)
+
+let test_ordering () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Simkit.Pool.map ~jobs:4 xs ~f:(fun x -> x * x))
+
+let test_edge_shapes () =
+  Alcotest.(check (list int)) "empty" []
+    (Simkit.Pool.map ~jobs:4 [] ~f:(fun x -> x + 1));
+  Alcotest.(check (list int)) "singleton" [ 8 ]
+    (Simkit.Pool.map ~jobs:4 [ 7 ] ~f:(fun x -> x + 1));
+  Alcotest.(check (list int)) "more jobs than items" [ 2; 3 ]
+    (Simkit.Pool.map ~jobs:16 [ 1; 2 ] ~f:(fun x -> x + 1))
+
+let test_sequential_fallback () =
+  Alcotest.(check (list int)) "jobs=1 is List.map" [ 4; 2; 3 ]
+    (Simkit.Pool.map ~jobs:1 [ 3; 1; 2 ] ~f:(fun x -> x + 1));
+  Alcotest.(check (list int)) "init" [ 0; 2; 4 ]
+    (Simkit.Pool.init ~jobs:1 3 ~f:(fun i -> 2 * i))
+
+exception Boom of int
+
+let test_exception_propagation () =
+  match
+    Simkit.Pool.map ~jobs:3 (List.init 8 Fun.id) ~f:(fun i ->
+        if i >= 5 then raise (Boom i) else i)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      (* First failure in input order wins, not first to finish. *)
+      Alcotest.(check int) "first failing index" 5 i
+
+let test_pool_survives_exception () =
+  (match Simkit.Pool.map ~jobs:2 [ 0; 1 ] ~f:(fun _ -> raise Exit) with
+  | _ -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  Alcotest.(check (list int)) "pool usable afterwards" [ 1; 2; 3 ]
+    (Simkit.Pool.map ~jobs:2 [ 0; 1; 2 ] ~f:(fun x -> x + 1))
+
+let test_nested_map () =
+  let got =
+    Simkit.Pool.map ~jobs:2 [ 0; 10; 20 ] ~f:(fun base ->
+        Simkit.Pool.map ~jobs:2 [ 1; 2; 3 ] ~f:(fun k -> base + k))
+  in
+  Alcotest.(check (list (list int)))
+    "nested maps run inline, ordered"
+    [ [ 1; 2; 3 ]; [ 11; 12; 13 ]; [ 21; 22; 23 ] ]
+    got
+
+let test_jobs_env () =
+  let saved = Sys.getenv_opt "DMUTEX_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DMUTEX_JOBS" (Option.value ~default:"" saved))
+    (fun () ->
+      Unix.putenv "DMUTEX_JOBS" "5";
+      Alcotest.(check int) "env override" 5 (Simkit.Pool.jobs ());
+      Unix.putenv "DMUTEX_JOBS" "not-a-number";
+      Alcotest.(check bool) "garbage falls back to >= 1" true
+        (Simkit.Pool.jobs () >= 1);
+      Unix.putenv "DMUTEX_JOBS" "0";
+      Alcotest.(check bool) "zero falls back to >= 1" true
+        (Simkit.Pool.jobs () >= 1))
+
+(* The determinism guarantee the experiments layer relies on: a full
+   fig3/4/5 sweep computed under DMUTEX_JOBS=1 and under a parallel
+   jobs count is structurally identical, stat for stat. *)
+let test_parallel_equals_sequential () =
+  let saved = Sys.getenv_opt "DMUTEX_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DMUTEX_JOBS" (Option.value ~default:"" saved))
+    (fun () ->
+      let sweep () =
+        Experiments.fig345 ~n:5 ~requests:800 ~runs:2 ~rates:[ 0.05; 1.0 ] ()
+      in
+      Unix.putenv "DMUTEX_JOBS" "1";
+      let sequential = sweep () in
+      Unix.putenv "DMUTEX_JOBS" "3";
+      let parallel = sweep () in
+      Alcotest.(check bool) "bit-for-bit equal" true (sequential = parallel))
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "deterministic ordering" `Quick test_ordering;
+      Alcotest.test_case "edge shapes" `Quick test_edge_shapes;
+      Alcotest.test_case "jobs=1 sequential fallback" `Quick
+        test_sequential_fallback;
+      Alcotest.test_case "exception propagation" `Quick
+        test_exception_propagation;
+      Alcotest.test_case "pool survives task exception" `Quick
+        test_pool_survives_exception;
+      Alcotest.test_case "nested map safety" `Quick test_nested_map;
+      Alcotest.test_case "DMUTEX_JOBS resolution" `Quick test_jobs_env;
+      Alcotest.test_case "parallel sweep equals sequential" `Slow
+        test_parallel_equals_sequential;
+    ] )
