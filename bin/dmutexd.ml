@@ -45,7 +45,51 @@ let demo_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
 
-let run id peers demo verbose =
+let metrics_every_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "metrics-every" ]
+        ~doc:
+          "Print transport metrics (sent/delivered/dropped/retries/\
+           reconnects/queue depth) and protocol note counters every \
+           $(docv) seconds. 0 disables." ~docv:"SEC")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ]
+        ~doc:
+          "Chaos: drop each outgoing frame with this probability \
+           before it reaches the socket." ~docv:"P")
+
+let heartbeat_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "heartbeat" ]
+        ~doc:
+          "Transport heartbeat period in seconds; peers silent for \
+           longer than four periods are reported suspect. 0 disables \
+           the liveness monitor." ~docv:"SEC")
+
+let print_metrics node id =
+  let m = Node.metrics node in
+  let notes = Node.notes node in
+  let suspects = Node.suspected node in
+  Printf.printf "node %d: %s%s%s\n%!" id
+    (Format.asprintf "%a" Netkit.Transport.pp_metrics m)
+    (match suspects with
+    | [] -> ""
+    | l ->
+        " suspects=[" ^ String.concat "," (List.map string_of_int l) ^ "]")
+    (match notes with
+    | [] -> ""
+    | l ->
+        " notes={"
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) l)
+        ^ "}")
+
+let run id peers demo verbose metrics_every loss heartbeat =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -58,7 +102,26 @@ let run id peers demo verbose =
       Dmutex.Types.Config.t_collect = 0.05;
       t_forward = 0.05 }
   in
-  let node = Node.create cfg ~me:id ~peers () in
+  let heartbeat_period = if heartbeat > 0.0 then Some heartbeat else None in
+  let node =
+    Node.create ?heartbeat_period
+      ~suspect_timeout:(Float.max 0.5 (4.0 *. heartbeat))
+      ~on_suspect:(fun peer ->
+        Logs.warn (fun m -> m "node %d: peer %d suspected down" id peer))
+      ~on_alive:(fun peer ->
+        Logs.info (fun m -> m "node %d: peer %d alive again" id peer))
+      cfg ~me:id ~peers ()
+  in
+  if loss > 0.0 then Node.set_loss node loss;
+  if metrics_every > 0.0 then
+    ignore
+      (Thread.create
+         (fun () ->
+           while true do
+             Thread.delay metrics_every;
+             print_metrics node id
+           done)
+         ());
   Printf.printf "node %d/%d listening on %s:%d\n%!" id n peers.(id).host
     peers.(id).port;
   if demo then
@@ -89,6 +152,8 @@ let main =
        ~doc:
          "A node of the ICDCS'96 token-passing distributed mutual \
           exclusion protocol over TCP.")
-    Term.(const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg)
+    Term.(
+      const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg
+      $ metrics_every_arg $ loss_arg $ heartbeat_arg)
 
 let () = exit (Cmd.eval main)

@@ -290,8 +290,25 @@ let accept_request cfg ~now st e =
 
 let receive_request cfg ~now st e =
   if Qlist.Granted.already_served st.granted_known e then
-    (* A duplicate of a request we know has been satisfied. *)
-    (st, [ Note Dropped_request ])
+    (* A duplicate of a request we know has been satisfied. The
+       requester clearly never learned (its grant or our announcement
+       was lost): silence here would leave it retransmitting forever,
+       so answer with our current view — the L vector in it clears the
+       requester's [outstanding] (see [observe_qlist]). *)
+    ( st,
+      [ Note Dropped_request;
+        Send
+          ( e.Qlist.node,
+            New_arbiter
+              {
+                na_arbiter = st.arbiter;
+                na_q = st.last_q;
+                na_granted = st.granted_known;
+                na_counter = st.na_counter;
+                na_monitor = st.monitor;
+                na_epoch = st.token_epoch;
+                na_election = st.election;
+              } ) ] )
   else
     match st.role with
     | Await_token _ | Collecting _ -> accept_request cfg ~now st e
@@ -361,7 +378,15 @@ let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
       }
   in
   match q with
-  | [ e ] when e.Qlist.node = st.me && prev_announced = st.me -> []
+  | [ e ]
+    when e.Qlist.node = st.me && prev_announced = st.me
+         && not cfg.Config.recovery ->
+      (* Self-singleton, role unchanged: nothing anyone needs to hear.
+         With recovery on we announce anyway — the epoch riding on the
+         announcement is what lets a healed partition discover (and
+         invalidate) a superseded token universe; a silent self-serving
+         arbiter would keep a split brain alive indefinitely. *)
+      []
   | [ e ] when cfg.Config.skip_new_arbiter_to_tail ->
       (* Send point-to-point to everyone except ourselves and the new
          arbiter, which learns its election from the token itself. *)
@@ -451,7 +476,13 @@ let dispatch cfg ~now st =
                  else Forwarding { next_arbiter = tail }) }
           in
           let forward_end =
-            if tail = st.me then []
+            if tail = st.me then
+              (* The token is travelling back to us via the monitor;
+                 it can die en route, and as the Await_token arbiter
+                 nobody else will notice (Section 6, Lost Token). *)
+              if cfg.Config.recovery then
+                [ Set_timer (T_token, cfg.Config.token_timeout) ]
+              else []
             else [ Set_timer (T_forward_end, cfg.Config.t_forward) ]
           in
           ( st',
@@ -485,11 +516,18 @@ let dispatch cfg ~now st =
           in
           let token = { token with tq = q; election = base.election } in
           let st', launch_effs =
-            if tail = st.me then
+            if tail = st.me then begin
               (* We stay arbiter: after our own CS completes the token
                  stays here and collection restarts. *)
               let st' = { base with role = Await_token [] } in
-              launch_token cfg ~now st' token
+              let st', effs = launch_token cfg ~now st' token in
+              (* If the token left us (sent to the queue head), arm the
+                 lost-token watchdog: we are the only node positioned
+                 to notice it never comes back. *)
+              if cfg.Config.recovery && st'.token = None then
+                (st', effs @ [ Set_timer (T_token, cfg.Config.token_timeout) ])
+              else (st', effs)
+            end
             else begin
               let st' =
                 { base with role = Forwarding { next_arbiter = tail } }
@@ -659,13 +697,55 @@ let observe_qlist cfg st q =
 
 let receive_new_arbiter cfg ~now st ~src na =
   ignore now;
+  (* Split-brain repair: a healed partition can leave two arbiters,
+     each with a token, both racing their election counters so neither
+     ever adopts the other's announcement. Token epochs are the
+     tie-breaker — they only move on regeneration — so epoch knowledge
+     must travel unconditionally, and a token from a superseded epoch
+     must be discarded by whoever holds it (not mid-CS: the current
+     excursion finishes; the token dies right after). *)
+  let stale_token =
+    cfg.Config.recovery && (not st.in_cs)
+    && match st.token with
+       | Some tk -> tk.epoch < na.na_epoch
+       | None -> false
+  in
+  let st, pre_effs =
+    if not stale_token then (st, [])
+    else
+      let q =
+        match st.role with
+        | Collecting { cq; _ } -> cq
+        | Await_token q -> q
+        | Normal | Forwarding _ -> []
+      in
+      if na.na_arbiter = st.me then
+        (* We are the arbiter of the newer universe too: keep the
+           queue and wait for the valid token. *)
+        ( { st with
+            token = None;
+            role = Await_token q;
+            token_epoch = max st.token_epoch na.na_epoch },
+          [ Note (Custom "token-invalidated");
+            Set_timer (T_token, cfg.Config.token_timeout) ] )
+      else
+        let fwd = List.map (fun e -> Send (na.na_arbiter, Request e)) q in
+        ( { st with
+            token = None;
+            role = Normal;
+            arbiter = na.na_arbiter;
+            token_epoch = max st.token_epoch na.na_epoch },
+          Note (Custom "token-invalidated") :: fwd )
+  in
   if na.na_election < st.election then
     (* A reordered announcement from a past election: obeying it could
        re-elect a node that has already handed the role on. Only the
-       monotone knowledge (the L vector) is absorbed. *)
+       monotone knowledge (the L vector and the token epoch) is
+       absorbed. *)
     ( { st with
-        granted_known = Qlist.Granted.merge st.granted_known na.na_granted },
-      [] )
+        granted_known = Qlist.Granted.merge st.granted_known na.na_granted;
+        token_epoch = max st.token_epoch na.na_epoch },
+      pre_effs )
   else begin
   let st =
     { st with
@@ -676,7 +756,7 @@ let receive_new_arbiter cfg ~now st ~src na =
       last_q = keep_last_q cfg na.na_q;
       granted_known = Qlist.Granted.merge st.granted_known na.na_granted;
       token_epoch = max st.token_epoch na.na_epoch;
-      election = na.na_election;
+      election = max st.election na.na_election;
       executed_this_round = false;
       observed_q_len = List.length na.na_q;
       qsizes = observe_qsize cfg st na.na_q }
@@ -694,8 +774,24 @@ let receive_new_arbiter cfg ~now st ~src na =
   in
   let effs =
     if not cfg.Config.recovery then []
-    else if st.watching then [ Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
-    else [ Cancel_timer T_watch ]
+    else
+      (* Whoever this announcement names, the arbiter identity was
+         just refreshed: any probe in flight is answering a stale
+         question (the next T_token/T_watch cycle re-probes). *)
+      Cancel_timer T_probe
+      ::
+      (if st.watching then [ Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
+       else [ Cancel_timer T_watch ])
+  in
+  (* A live announcement naming someone else supersedes any
+     invalidation we were running ourselves: the named arbiter owns
+     recovery now. Without this a superseded recoverer keeps
+     re-ENQUIRYing and, once its quorum finally arrives, mints a
+     competing token. *)
+  let st, effs =
+    if cfg.Config.recovery && st.recovery <> None && na.na_arbiter <> st.me
+    then ({ st with recovery = None }, Cancel_timer T_enquiry :: effs)
+    else (st, effs)
   in
   (* Election. *)
   let st, effs =
@@ -710,9 +806,18 @@ let receive_new_arbiter cfg ~now st ~src na =
             else effs
           in
           ({ st with role = Await_token [] }, effs)
-      | Await_token _ | Collecting _ ->
-          (* Already the arbiter (e.g. the announcement confirmed an
-             election we learned from the token). Keep our queue. *)
+      | Await_token _ ->
+          (* Already elected and still waiting: keep our queue, but
+             refresh the lost-token watchdog — this announcement is
+             not the token. *)
+          let effs =
+            if cfg.Config.recovery then
+              Set_timer (T_token, cfg.Config.token_timeout) :: effs
+            else effs
+          in
+          (st, effs)
+      | Collecting _ ->
+          (* Already the arbiter with the token in hand. *)
           (st, effs)
     else
       match st.role with
@@ -756,7 +861,7 @@ let receive_new_arbiter cfg ~now st ~src na =
   in
   (* Requester bookkeeping: the Q-list doubles as an implicit ack. *)
   let st, effs' = observe_qlist cfg st na.na_q in
-  (st, effs @ effs')
+  (st, pre_effs @ effs @ effs')
   end
 
 (* ------------------------------------------------------------------ *)
@@ -825,10 +930,14 @@ let start_recovery cfg st =
       if st.token <> None then (st, []) (* we hold the token: no loss *)
       else begin
         let round = st.enq_round + 1 in
+        (* Everyone is enquired, not just the last Q-list: the replies
+           double as the quorum that gates regeneration (see
+           [finish_recovery]), so the wider the net, the sooner a
+           legitimate recovery completes — and a partitioned minority
+           can never mint a second token. *)
         let targets =
-          (st.prev_arbiter :: List.map (fun e -> e.Qlist.node) st.last_q)
+          List.init cfg.Config.n Fun.id
           |> List.filter (fun j -> j <> st.me)
-          |> List.sort_uniq compare
         in
         let sends = List.map (fun j -> Send (j, Enquiry { round })) targets in
         ( { st with
@@ -846,13 +955,31 @@ let start_recovery cfg st =
 let finish_recovery cfg ~now st =
   match st.recovery with
   | None -> (st, [])
+  | Some r
+    when 1 + List.length (List.sort_uniq compare r.replied)
+         < (cfg.Config.n / 2) + 1 ->
+      (* Not enough of the cluster heard from: regenerating now could
+         mint a token while the real one lives across a partition.
+         Keep asking the silent nodes; the quorum arrives when the
+         partition heals (or never, if too many really crashed — in
+         which case there is no safe recovery to be had). *)
+      let silent =
+        List.filter (fun j -> not (List.mem j r.replied)) r.expected
+      in
+      ( st,
+        List.map (fun j -> Send (j, Enquiry { round = r.rround })) silent
+        @ [ Set_timer (T_enquiry, cfg.Config.enquiry_timeout) ] )
   | Some r ->
       let st = { st with recovery = None } in
       let invalidates =
         List.map (fun e -> Send (e.Qlist.node, Invalidate { round = r.rround }))
           (List.filter (fun e -> e.Qlist.node <> st.me) r.waiting)
       in
-      let epoch = st.token_epoch + 1 in
+      (* The epoch skip is id-salted so two nodes regenerating
+         concurrently from the same base (both sides of a partition
+         lost the token) cannot mint equal epochs — an equal-epoch
+         pair would be two forever-valid tokens. *)
+      let epoch = st.token_epoch + 1 + st.me in
       let token =
         { tq = []; granted = st.granted_known; epoch;
           election = st.election }
@@ -890,9 +1017,16 @@ let receive_enquiry_reply cfg ~now st ~src ~round ~status =
       let r = { r with replied = src :: r.replied } in
       (match status with
       | Have_token ->
-          (* Token located: resume normal operation. *)
+          (* Token located: resume normal operation. If we are the
+             arbiter still waiting for it, keep the lost-token
+             watchdog armed — the resumed pass can die in transit
+             exactly like the one that triggered this round. *)
           ( { st with recovery = None },
-            [ Send (src, Resume { round }); Cancel_timer T_enquiry ] )
+            [ Send (src, Resume { round }); Cancel_timer T_enquiry ]
+            @
+            (if st.arbiter = st.me && st.token = None then
+               [ Set_timer (T_token, cfg.Config.token_timeout) ]
+             else []) )
       | Executed | Waiting_token ->
           let r =
             if status = Waiting_token then

@@ -1,38 +1,75 @@
+let src_log = Logs.Src.create "netkit.cluster" ~doc:"in-process TCP cluster"
+
+module Log = (val Logs.src_log src_log)
+
 module Make
     (A : Dmutex.Types.ALGO)
     (C : Wire.CODEC with type message = A.message) =
 struct
   module Node = Node_runner.Make (A) (C)
 
-  type t = { nodes : Node.t array; mutable live : bool array }
+  type chaos_event =
+    | Fault of Fault.event
+    | Crash_where of
+        string * (states:(int -> A.state) -> live:(int -> bool) -> int option)
+
+  type chaos_schedule = (float * chaos_event) list
+
+  type t = {
+    nodes : Node.t array;
+    mutable live : bool array;
+    fault : Fault.t;
+    mutable chaos_thread : Thread.t option;
+    chaos_log : (float * string) list ref;
+    chaos_mu : Mutex.t;
+    mutable stopping : bool;
+  }
 
   let endpoints ~base_port n =
     Array.init n (fun i ->
         { Transport.host = "127.0.0.1"; port = base_port + i })
 
-  let try_launch cfg ~base_port =
+  let try_launch cfg ~base_port ~seed ~heartbeat_period ~suspect_timeout =
     let n = cfg.Dmutex.Types.Config.n in
     let peers = endpoints ~base_port n in
+    let fault = Fault.create ~seed ~n () in
     let started = ref [] in
     try
       let nodes =
         Array.init n (fun i ->
-            let node = Node.create cfg ~me:i ~peers () in
+            let node =
+              Node.create ~fault ?heartbeat_period ~suspect_timeout
+                ~seed:(seed + i) cfg ~me:i ~peers ()
+            in
             started := node :: !started;
             node)
       in
-      Some { nodes; live = Array.make n true }
+      Some
+        {
+          nodes;
+          live = Array.make n true;
+          fault;
+          chaos_thread = None;
+          chaos_log = ref [];
+          chaos_mu = Mutex.create ();
+          stopping = false;
+        }
     with Unix.Unix_error ((EADDRINUSE | EACCES), _, _) ->
       List.iter Node.shutdown !started;
       None
 
-  let launch ?(base_port = 7801) cfg =
+  let launch ?(base_port = 7801) ?(seed = 0xc1a05) ?heartbeat_period
+      ?(suspect_timeout = 1.0) cfg =
     (* Ports may be taken by a previous run still in TIME_WAIT; probe a
        few bases before giving up. *)
     let rec attempt k =
       if k >= 20 then failwith "Cluster.launch: no free port range"
       else
-        match try_launch cfg ~base_port:(base_port + (k * 100)) with
+        match
+          try_launch cfg
+            ~base_port:(base_port + (k * 100))
+            ~seed ~heartbeat_period ~suspect_timeout
+        with
         | Some t -> t
         | None -> attempt (k + 1)
     in
@@ -40,6 +77,7 @@ struct
 
   let node t i = t.nodes.(i)
   let n t = Array.length t.nodes
+  let fault t = t.fault
 
   let crash t i =
     if t.live.(i) then begin
@@ -47,6 +85,123 @@ struct
       Node.shutdown t.nodes.(i)
     end
 
+  let log_chaos t at msg =
+    Mutex.lock t.chaos_mu;
+    t.chaos_log := (at, msg) :: !(t.chaos_log);
+    Mutex.unlock t.chaos_mu;
+    Log.info (fun m -> m "chaos @ %.2fs: %s" at msg)
+
+  let chaos_log t =
+    Mutex.lock t.chaos_mu;
+    let l = List.rev !(t.chaos_log) in
+    Mutex.unlock t.chaos_mu;
+    l
+
+  (* Interruptible wall-clock sleep used by the schedule runner. *)
+  let rec sleep_until t deadline =
+    let now = Unix.gettimeofday () in
+    if now < deadline && not t.stopping then begin
+      Thread.delay (Float.min 0.05 (deadline -. now));
+      sleep_until t deadline
+    end
+
+  let alive t i = t.live.(i) && not (Fault.is_crashed t.fault i)
+
+  (* Resolve a role-targeted crash: poll the live protocol states
+     until the selector names a victim (roles move with the token, so
+     the schedule cannot know ids in advance). *)
+  let run_crash_where t at label select =
+    let give_up = Unix.gettimeofday () +. 10.0 in
+    let rec poll () =
+      if t.stopping then ()
+      else
+        match
+          select
+            ~states:(fun i -> Node.state t.nodes.(i))
+            ~live:(alive t)
+        with
+        | Some i when alive t i ->
+            Fault.crash t.fault i;
+            log_chaos t at (Printf.sprintf "crash[%s] -> node %d" label i)
+        | Some _ | None ->
+            if Unix.gettimeofday () < give_up then begin
+              Thread.delay 0.02;
+              poll ()
+            end
+            else
+              log_chaos t at
+                (Printf.sprintf "crash[%s] -> no victim within 10s" label)
+    in
+    poll ()
+
+  let run_schedule t schedule =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (at, ev) ->
+        sleep_until t (t0 +. at);
+        if not t.stopping then
+          match ev with
+          | Fault fe ->
+              Fault.apply t.fault fe;
+              log_chaos t at (Format.asprintf "%a" Fault.pp_event fe)
+          | Crash_where (label, select) -> run_crash_where t at label select)
+      schedule
+
+  let chaos t schedule =
+    (match t.chaos_thread with
+    | Some _ -> invalid_arg "Cluster.chaos: a schedule is already running"
+    | None -> ());
+    let schedule =
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) schedule
+    in
+    t.chaos_thread <- Some (Thread.create (run_schedule t) schedule)
+
+  let wait_chaos t =
+    match t.chaos_thread with
+    | None -> ()
+    | Some th ->
+        Thread.join th;
+        t.chaos_thread <- None
+
+  let metrics t =
+    Array.fold_left
+      (fun acc node ->
+        let m = Node.metrics node in
+        {
+          Transport.sent = acc.Transport.sent + m.Transport.sent;
+          delivered = acc.Transport.delivered + m.Transport.delivered;
+          dropped = acc.Transport.dropped + m.Transport.dropped;
+          retries = acc.Transport.retries + m.Transport.retries;
+          reconnects = acc.Transport.reconnects + m.Transport.reconnects;
+          queue_depth = acc.Transport.queue_depth + m.Transport.queue_depth;
+        })
+      {
+        Transport.sent = 0;
+        delivered = 0;
+        dropped = 0;
+        retries = 0;
+        reconnects = 0;
+        queue_depth = 0;
+      }
+      t.nodes
+
+  let notes t =
+    let merged = Hashtbl.create 16 in
+    Array.iter
+      (fun node ->
+        List.iter
+          (fun (name, k) ->
+            Hashtbl.replace merged name
+              (k + Option.value ~default:0 (Hashtbl.find_opt merged name)))
+          (Node.notes node))
+      t.nodes;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged [])
+
+  let note_count t name =
+    Array.fold_left (fun acc node -> acc + Node.note_count node name) 0 t.nodes
+
   let shutdown t =
+    t.stopping <- true;
+    wait_chaos t;
     Array.iteri (fun i _ -> crash t i) t.nodes
 end

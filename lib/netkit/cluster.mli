@@ -2,26 +2,82 @@
 
     Each node is a full {!Node_runner} with its own sockets and
     threads; only the process boundary is missing compared to a real
-    deployment. Used by the examples and the end-to-end tests. *)
+    deployment. All nodes share one {!Fault} injector, so the
+    simulator's chaos machinery (loss, partitions, crash-stop) applies
+    to live frames, driven either directly through {!fault} or by a
+    deterministic wall-clock {!chaos} schedule. Used by the examples,
+    the end-to-end tests and the chaos soak. *)
 
 module Make
     (A : Dmutex.Types.ALGO)
     (C : Wire.CODEC with type message = A.message) : sig
   module Node : module type of Node_runner.Make (A) (C)
 
+  (** One step of a chaos schedule. *)
+  type chaos_event =
+    | Fault of Fault.event  (** Static fault: loss, crash by id, partition… *)
+    | Crash_where of
+        string * (states:(int -> A.state) -> live:(int -> bool) -> int option)
+        (** Role-targeted crash-stop: the selector inspects live
+            protocol states and names the victim (e.g. "whoever holds
+            the token right now"). Polled every 20 ms until it returns
+            a live node, giving up after 10 s; the label is for the
+            chaos log. *)
+
+  type chaos_schedule = (float * chaos_event) list
+  (** Events paired with wall-clock offsets in seconds from
+      {!chaos}-call time. *)
+
   type t
 
-  val launch : ?base_port:int -> Dmutex.Types.Config.t -> t
+  val launch :
+    ?base_port:int ->
+    ?seed:int ->
+    ?heartbeat_period:float ->
+    ?suspect_timeout:float ->
+    Dmutex.Types.Config.t ->
+    t
   (** Start [cfg.n] nodes on 127.0.0.1 ports [base_port ..
       base_port+n-1] (default base port 7801; picks free ports by
-      retrying a few bases on bind failure). *)
+      retrying a few bases on bind failure). [seed] drives the shared
+      fault injector and per-node transport randomness, making chaos
+      runs reproducible. [heartbeat_period] enables each node's peer
+      liveness monitor (off by default). *)
 
   val node : t -> int -> Node.t
   val n : t -> int
 
+  val fault : t -> Fault.t
+  (** The cluster-wide fault injector (shared by every node's
+      transport) for direct, un-scheduled chaos. *)
+
+  val chaos : t -> chaos_schedule -> unit
+  (** Run a chaos schedule on a background thread: each event fires at
+      its wall-clock offset from now. At most one schedule at a time.
+      {!shutdown} aborts a running schedule. *)
+
+  val wait_chaos : t -> unit
+  (** Block until the running schedule (if any) has fired its last
+      event. *)
+
+  val chaos_log : t -> (float * string) list
+  (** What the schedule actually did, with offsets — including which
+      node each [Crash_where] resolved to. *)
+
+  val metrics : t -> Transport.metrics
+  (** Transport counters summed over all nodes. *)
+
+  val notes : t -> (string * int) list
+  (** Protocol note counters summed over all nodes (the live
+      equivalent of the simulator's outcome notes). *)
+
+  val note_count : t -> string -> int
+
   val crash : t -> int -> unit
-  (** Fail-stop one node (sockets closed, threads stopped). *)
+  (** Fail-stop one node for real (sockets closed, threads stopped) —
+      unlike [Fault.crash], which only severs a node from the network
+      and is reversible. *)
 
   val shutdown : t -> unit
-  (** Stop every node. *)
+  (** Abort any chaos schedule and stop every node. *)
 end

@@ -1,0 +1,124 @@
+type verdict = Deliver | Drop | Delay of float
+
+type event =
+  | Set_loss of float
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+  | Heal
+
+type schedule = (float * event) list
+
+type t = {
+  n : int;
+  mutex : Mutex.t;
+  rng : Random.State.t;
+  mutable loss : float;
+  crashed : bool array;
+  mutable group_of : int array option;
+  mutable interceptor : (src:int -> dst:int -> string -> verdict) option;
+  mutable drops : int;
+}
+
+let create ?(seed = 0xfa017) ~n () =
+  if n <= 0 then invalid_arg "Fault.create: n must be positive";
+  {
+    n;
+    mutex = Mutex.create ();
+    rng = Random.State.make [| seed; n; 0xc4a05 |];
+    loss = 0.0;
+    crashed = Array.make n false;
+    group_of = None;
+    interceptor = None;
+    drops = 0;
+  }
+
+let n t = t.n
+
+let with_mutex t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let set_loss t p = with_mutex t (fun () -> t.loss <- p)
+
+let check_id t i name =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Fault.%s: node id out of range" name)
+
+let crash t i =
+  check_id t i "crash";
+  with_mutex t (fun () -> t.crashed.(i) <- true)
+
+let recover t i =
+  check_id t i "recover";
+  with_mutex t (fun () -> t.crashed.(i) <- false)
+
+let is_crashed t i =
+  check_id t i "is_crashed";
+  with_mutex t (fun () -> t.crashed.(i))
+
+let partition t groups =
+  let group_of = Array.make t.n (-1) in
+  List.iteri
+    (fun g members ->
+      List.iter
+        (fun i ->
+          check_id t i "partition";
+          group_of.(i) <- g)
+        members)
+    groups;
+  with_mutex t (fun () -> t.group_of <- Some group_of)
+
+let heal t = with_mutex t (fun () -> t.group_of <- None)
+let set_interceptor t f = with_mutex t (fun () -> t.interceptor <- Some f)
+let clear_interceptor t = with_mutex t (fun () -> t.interceptor <- None)
+let drops t = with_mutex t (fun () -> t.drops)
+
+let severed_locked t ~src ~dst =
+  t.crashed.(src) || t.crashed.(dst)
+  ||
+  match t.group_of with
+  | None -> false
+  | Some g -> g.(src) <> g.(dst)
+
+let reachable t ~src ~dst =
+  check_id t src "reachable";
+  check_id t dst "reachable";
+  with_mutex t (fun () -> not (severed_locked t ~src ~dst))
+
+(* Same decision order as [Simkit.Network.send]: connectivity first,
+   then the loss draw, then the targeted interceptor. *)
+let verdict t ~src ~dst payload =
+  check_id t src "verdict";
+  check_id t dst "verdict";
+  let v =
+    with_mutex t (fun () ->
+        if severed_locked t ~src ~dst then Drop
+        else if t.loss > 0.0 && Random.State.float t.rng 1.0 < t.loss then Drop
+        else
+          match t.interceptor with
+          | None -> Deliver
+          | Some f -> f ~src ~dst payload)
+  in
+  (match v with
+  | Drop -> with_mutex t (fun () -> t.drops <- t.drops + 1)
+  | Deliver | Delay _ -> ());
+  v
+
+let apply t = function
+  | Set_loss p -> set_loss t p
+  | Crash i -> crash t i
+  | Recover i -> recover t i
+  | Partition groups -> partition t groups
+  | Heal -> heal t
+
+let pp_event ppf = function
+  | Set_loss p -> Format.fprintf ppf "loss=%.3f" p
+  | Crash i -> Format.fprintf ppf "crash(%d)" i
+  | Recover i -> Format.fprintf ppf "recover(%d)" i
+  | Partition groups ->
+      Format.fprintf ppf "partition(%s)"
+        (String.concat "|"
+           (List.map
+              (fun g -> String.concat "," (List.map string_of_int g))
+              groups))
+  | Heal -> Format.fprintf ppf "heal"

@@ -17,12 +17,38 @@ struct
     mutable transport : Transport.t option;
     (* timers: key -> absolute wall-clock deadline *)
     timers : (A.timer, float) Hashtbl.t;
+    (* self-pipe waking the timer thread out of its deadline sleep
+       whenever the timer set changes *)
+    wake_rd : Unix.file_descr;
+    mutable wake_wr : Unix.file_descr option;
+    notes : (string, int) Hashtbl.t;
+    mutable waiters : int;  (** threads blocked in [with_lock]. *)
+    mutable async_pending : int;
+        (** [acquire] calls whose grant has not landed yet; such a
+            grant is kept held for the caller to [release]. *)
+    mutable abandoned : int;
+        (** [with_lock] timeouts whose stale grant is still owed a
+            drain. *)
     mutable stopping : bool;
     on_grant : unit -> unit;
+    on_suspect : int -> unit;
+    on_alive : int -> unit;
+    suspect_timeout : float;
+    last_heard : float array;  (** guarded by [live_mu]. *)
+    suspect : bool array;  (** guarded by [live_mu]. *)
+    live_mu : Mutex.t;
     start : float;
   }
 
   let now t = Unix.gettimeofday () -. t.start
+
+  (* Must be called with [t.lock] held. *)
+  let wake_timer_thread t =
+    match t.wake_wr with
+    | None -> ()
+    | Some fd -> (
+        try ignore (Unix.write fd (Bytes.make 1 '!') 0 1)
+        with Unix.Unix_error _ -> ())
 
   (* Apply effects under [t.lock]. *)
   let rec apply t = function
@@ -35,13 +61,37 @@ struct
         | Some tr -> ignore (Transport.broadcast tr (C.encode m))
         | None -> ())
     | Enter_cs ->
-        Condition.broadcast t.granted;
-        t.on_grant ()
+        if t.waiters = 0 && t.async_pending > 0 then begin
+          (* A fire-and-forget [acquire]: keep the CS held; the caller
+             polls [holding] and must [release]. *)
+          t.async_pending <- t.async_pending - 1;
+          Condition.broadcast t.granted;
+          t.on_grant ()
+        end
+        else if t.waiters = 0 then begin
+          (* No caller is waiting: either a [with_lock] gave up on this
+             request, or a recovery re-granted one already satisfied.
+             Either way, holding it would freeze the token here
+             forever — release immediately so it moves on. *)
+          if t.abandoned > 0 then t.abandoned <- t.abandoned - 1;
+          Log.debug (fun m -> m "node %d: draining stale grant" t.me);
+          step_locked t Cs_done
+        end
+        else begin
+          Condition.broadcast t.granted;
+          t.on_grant ()
+        end
     | Set_timer (k, d) ->
-        Hashtbl.replace t.timers k (Unix.gettimeofday () +. Float.max d 0.0)
-    | Cancel_timer k -> Hashtbl.remove t.timers k
+        Hashtbl.replace t.timers k (Unix.gettimeofday () +. Float.max d 0.0);
+        wake_timer_thread t
+    | Cancel_timer k ->
+        Hashtbl.remove t.timers k;
+        wake_timer_thread t
     | Note n ->
-        Log.debug (fun m -> m "node %d: %s" t.me (string_of_note n))
+        let name = string_of_note n in
+        Hashtbl.replace t.notes name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.notes name));
+        Log.debug (fun m -> m "node %d: %s" t.me name)
 
   and step_locked t input =
     let state', effects = A.handle t.cfg ~now:(now t) t.state input in
@@ -54,13 +104,15 @@ struct
       ~finally:(fun () -> Mutex.unlock t.lock)
       (fun () -> step_locked t input)
 
-  (* Wall-clock timers with a polling granularity of 1 ms: plenty for
-     protocol phases in the 10-100 ms range. *)
+  (* Earliest-deadline sleeping: block in [select] on the wake pipe
+     until the next timer is due (or a [Set_timer] / [Cancel_timer]
+     pokes the pipe), instead of polling every millisecond. The 250 ms
+     cap is a safety net only. *)
   let timer_loop t =
+    let buf = Bytes.create 64 in
     while not t.stopping do
-      Thread.delay 0.001;
-      let now_abs = Unix.gettimeofday () in
       Mutex.lock t.lock;
+      let now_abs = Unix.gettimeofday () in
       let due =
         Hashtbl.fold
           (fun k deadline acc -> if deadline <= now_abs then k :: acc else acc)
@@ -71,10 +123,83 @@ struct
           Hashtbl.remove t.timers k;
           step_locked t (Timer_fired k))
         due;
-      Mutex.unlock t.lock
+      let next =
+        Hashtbl.fold
+          (fun _ deadline acc ->
+            match acc with
+            | None -> Some deadline
+            | Some d -> Some (Float.min d deadline))
+          t.timers None
+      in
+      Mutex.unlock t.lock;
+      let timeout =
+        match next with
+        | None -> 0.25
+        | Some deadline ->
+            Float.max 0.0002 (Float.min 0.25 (deadline -. Unix.gettimeofday ()))
+      in
+      match Unix.select [ t.wake_rd ] [] [] timeout with
+      | [ fd ], _, _ -> ( try ignore (Unix.read fd buf 0 64) with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    done;
+    Mutex.lock t.lock;
+    (match t.wake_wr with
+    | Some fd ->
+        (try Unix.close fd with _ -> ());
+        t.wake_wr <- None
+    | None -> ());
+    (try Unix.close t.wake_rd with _ -> ());
+    Mutex.unlock t.lock
+
+  let heard t src =
+    if src >= 0 && src < Array.length t.last_heard then begin
+      Mutex.lock t.live_mu;
+      t.last_heard.(src) <- Unix.gettimeofday ();
+      let recovered = t.suspect.(src) in
+      t.suspect.(src) <- false;
+      Mutex.unlock t.live_mu;
+      if recovered then begin
+        Log.debug (fun m -> m "node %d: peer %d alive again" t.me src);
+        t.on_alive src
+      end
+    end
+
+  (* Declares a peer suspect after [suspect_timeout] of silence; any
+     frame (data or heartbeat) counts as life. *)
+  let liveness_loop t =
+    let period = Float.max 0.01 (t.suspect_timeout /. 4.0) in
+    while not t.stopping do
+      Thread.delay period;
+      if not t.stopping then begin
+        let now_abs = Unix.gettimeofday () in
+        let newly = ref [] in
+        Mutex.lock t.live_mu;
+        Array.iteri
+          (fun i last ->
+            if
+              i <> t.me
+              && (not t.suspect.(i))
+              && now_abs -. last > t.suspect_timeout
+            then begin
+              t.suspect.(i) <- true;
+              newly := i :: !newly
+            end)
+          t.last_heard;
+        Mutex.unlock t.live_mu;
+        List.iter
+          (fun i ->
+            Log.debug (fun m -> m "node %d: peer %d suspected down" t.me i);
+            t.on_suspect i)
+          !newly
+      end
     done
 
-  let create ?(on_grant = fun () -> ()) cfg ~me ~peers () =
+  let create ?(on_grant = fun () -> ()) ?fault ?heartbeat_period
+      ?(suspect_timeout = 1.0) ?(on_suspect = fun _ -> ())
+      ?(on_alive = fun _ -> ()) ?seed cfg ~me ~peers () =
+    let wake_rd, wake_wr = Unix.pipe () in
+    Unix.set_nonblock wake_wr;
     let t =
       {
         cfg;
@@ -84,22 +209,48 @@ struct
         granted = Condition.create ();
         transport = None;
         timers = Hashtbl.create 8;
+        wake_rd;
+        wake_wr = Some wake_wr;
+        notes = Hashtbl.create 16;
+        waiters = 0;
+        async_pending = 0;
+        abandoned = 0;
         stopping = false;
         on_grant;
+        on_suspect;
+        on_alive;
+        suspect_timeout;
+        last_heard = Array.make (Array.length peers) (Unix.gettimeofday ());
+        suspect = Array.make (Array.length peers) false;
+        live_mu = Mutex.create ();
         start = Unix.gettimeofday ();
       }
     in
     let on_frame ~src payload =
+      heard t src;
       match C.decode payload with
       | m -> step t (Receive (src, m))
       | exception Wire.Malformed msg ->
           Log.warn (fun f -> f "node %d: dropping bad frame from %d: %s" me src msg)
     in
-    t.transport <- Some (Transport.create ~me ~peers ~on_frame ());
+    let on_heartbeat ~src = heard t src in
+    t.transport <-
+      Some
+        (Transport.create ?fault ?heartbeat_period ?seed ~on_heartbeat ~me
+           ~peers ~on_frame ());
     ignore (Thread.create timer_loop t);
+    (match heartbeat_period with
+    | Some p when p > 0.0 -> ignore (Thread.create liveness_loop t)
+    | _ -> ());
     t
 
-  let acquire t = step t Request_cs
+  let acquire t =
+    Mutex.lock t.lock;
+    t.async_pending <- t.async_pending + 1;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> step_locked t Request_cs)
+
   let release t = step t Cs_done
 
   let holding t =
@@ -110,8 +261,13 @@ struct
 
   let with_lock ?(timeout = 30.0) t f =
     let deadline = Unix.gettimeofday () +. timeout in
-    acquire t;
     Mutex.lock t.lock;
+    t.waiters <- t.waiters + 1;
+    (try step_locked t Request_cs
+     with e ->
+       t.waiters <- t.waiters - 1;
+       Mutex.unlock t.lock;
+       raise e);
     let rec wait () =
       if A.in_cs t.state then true
       else if Unix.gettimeofday () >= deadline then false
@@ -125,6 +281,12 @@ struct
       end
     in
     let ok = wait () in
+    t.waiters <- t.waiters - 1;
+    (* On timeout the REQUEST is already queued cluster-wide; mark it
+       abandoned so the grant, when it lands, is drained instead of
+       leaving this node holding a lock nobody wants (see [Enter_cs]
+       in [apply]). *)
+    if not ok then t.abandoned <- t.abandoned + 1;
     Mutex.unlock t.lock;
     if ok then
       Fun.protect ~finally:(fun () -> release t) (fun () -> Some (f ()))
@@ -139,6 +301,38 @@ struct
   let messages_sent t =
     match t.transport with Some tr -> Transport.sent tr | None -> 0
 
+  let metrics t =
+    match t.transport with
+    | Some tr -> Transport.metrics tr
+    | None ->
+        {
+          Transport.sent = 0;
+          delivered = 0;
+          dropped = 0;
+          retries = 0;
+          reconnects = 0;
+          queue_depth = 0;
+        }
+
+  let notes t =
+    Mutex.lock t.lock;
+    let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.notes [] in
+    Mutex.unlock t.lock;
+    List.sort compare l
+
+  let note_count t name =
+    Mutex.lock t.lock;
+    let v = Option.value ~default:0 (Hashtbl.find_opt t.notes name) in
+    Mutex.unlock t.lock;
+    v
+
+  let suspected t =
+    Mutex.lock t.live_mu;
+    let l = ref [] in
+    Array.iteri (fun i s -> if s then l := i :: !l) t.suspect;
+    Mutex.unlock t.live_mu;
+    List.rev !l
+
   let set_loss t p =
     match t.transport with
     | Some tr -> Transport.set_loss tr p
@@ -147,10 +341,15 @@ struct
   let inject t input = step t input
 
   let shutdown t =
-    t.stopping <- true;
-    match t.transport with
-    | Some tr ->
-        t.transport <- None;
-        Transport.close tr
-    | None -> ()
-end
+    if not t.stopping then begin
+      t.stopping <- true;
+      Mutex.lock t.lock;
+      wake_timer_thread t;
+      Mutex.unlock t.lock;
+      match t.transport with
+      | Some tr ->
+          t.transport <- None;
+          Transport.close tr
+      | None -> ()
+    end
+  end

@@ -3,7 +3,9 @@
     The same pure {!Dmutex.Types.ALGO} implementations that the
     simulator and the model checker drive are run here over framed TCP
     ({!Transport}) with wall-clock timers, turning the paper's
-    algorithm into a usable distributed lock. *)
+    algorithm into a usable distributed lock. Timers use
+    earliest-deadline sleeping (a [select] on a self-pipe, woken
+    whenever the timer set changes) rather than polling. *)
 
 module Make
     (A : Dmutex.Types.ALGO)
@@ -12,6 +14,12 @@ module Make
 
   val create :
     ?on_grant:(unit -> unit) ->
+    ?fault:Fault.t ->
+    ?heartbeat_period:float ->
+    ?suspect_timeout:float ->
+    ?on_suspect:(int -> unit) ->
+    ?on_alive:(int -> unit) ->
+    ?seed:int ->
     Dmutex.Types.Config.t ->
     me:int ->
     peers:Transport.endpoint array ->
@@ -20,7 +28,16 @@ module Make
   (** Start a node: bind its endpoint, start its timer thread, and put
       the state machine in its initial state. [on_grant] fires (on an
       internal thread) whenever the node enters the critical section;
-      alternatively use {!with_lock}. *)
+      alternatively use {!with_lock}.
+
+      [fault] plugs a (normally cluster-shared) chaos injector into
+      the transport. [heartbeat_period] > 0 enables the peer liveness
+      monitor: the transport beacons every period, and a peer silent
+      (no data, no heartbeat) for longer than [suspect_timeout]
+      (default 1 s) triggers [on_suspect]; the first frame heard
+      afterwards triggers [on_alive]. Both callbacks run on internal
+      threads and may call {!inject} — e.g. to feed a suspicion into
+      the protocol as a timer or WARNING. *)
 
   val acquire : t -> unit
   (** Ask for the critical section (non-blocking). *)
@@ -35,13 +52,30 @@ module Make
   val with_lock : ?timeout:float -> t -> (unit -> 'a) -> 'a option
   (** [with_lock t f] acquires the distributed lock, runs [f], and
       releases. Returns [None] if [timeout] (default 30 s) expires
-      before the lock is granted — the request is then abandoned
-      (a later grant is released immediately). *)
+      before the lock is granted. The abandoned request remains queued
+      cluster-wide, so the node remembers it and {e drains} the stale
+      grant the moment it lands (immediate release, no [on_grant]) —
+      a later [with_lock] can never be granted on the back of an
+      abandoned request. *)
 
   val state : t -> A.state
   (** Snapshot of the protocol state (for inspection and tests). *)
 
   val messages_sent : t -> int
+
+  val metrics : t -> Transport.metrics
+  (** Live transport counters (all zero after {!shutdown}). *)
+
+  val notes : t -> (string * int) list
+  (** Protocol [Note] events counted since start, sorted by name —
+      e.g. [("recovery-started", 2)]. The live-cluster equivalent of
+      the simulator's outcome notes. *)
+
+  val note_count : t -> string -> int
+
+  val suspected : t -> int list
+  (** Peers currently suspected down by the liveness monitor (always
+      empty when the monitor is off). *)
 
   val set_loss : t -> float -> unit
   (** Drop outgoing frames with this probability (chaos testing; see
@@ -52,7 +86,8 @@ module Make
       fault drills (e.g. simulating a WARNING or a timer). *)
 
   val shutdown : t -> unit
-  (** Close sockets and stop the timer thread. The node stops
-      responding — to the rest of the cluster this is a crash, which
-      is exactly how fail-stop drills are staged. *)
+  (** Close sockets and stop the timer, liveness and writer threads.
+      The node stops responding — to the rest of the cluster this is a
+      crash, which is exactly how fail-stop drills are staged.
+      Idempotent. *)
 end

@@ -6,18 +6,85 @@ let src_log = Logs.Src.create "netkit.transport" ~doc:"framed TCP transport"
 
 module Log = (val Logs.src_log src_log)
 
+type metrics = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  retries : int;
+  reconnects : int;
+  queue_depth : int;
+}
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "sent=%d delivered=%d dropped=%d retries=%d reconnects=%d queued=%d"
+    m.sent m.delivered m.dropped m.retries m.reconnects m.queue_depth
+
+(* A frame waiting in a peer channel: full body (header + payload),
+   whether it participates in the data-frame counters (heartbeats do
+   not), and the earliest wall-clock instant it may hit the socket
+   (chaos [Delay] verdicts). *)
+type item = { body : string; counted : bool; not_before : float }
+
+(* One outbound channel per peer: its own mutex, so a dead or slow
+   peer can only ever stall its own queue, never sends to the rest of
+   the cluster. *)
+type chan = {
+  dst : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  q : item Queue.t;
+  mutable fd : Unix.file_descr option;
+  mutable writer_started : bool;
+  mutable connected_once : bool;
+}
+
 type t = {
   me : int;
   peers : endpoint array;
   on_frame : src:int -> string -> unit;
+  on_heartbeat : src:int -> unit;
+  fault : Fault.t option;
   listener : Unix.file_descr;
-  mutable outbound : Unix.file_descr option array;
-  out_mutex : Mutex.t;
+  chans : chan array;
+  max_queue : int;
+  heartbeat_period : float option;
+  stats : Mutex.t;
   mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable retries : int;
+  mutable reconnects : int;
   mutable closed : bool;
   mutable loss : float;
   loss_rng : Random.State.t;
+  backoff_rng : Random.State.t;
+  inbound : Unix.file_descr list ref;  (* guarded by [inbound_mu] *)
+  inbound_mu : Mutex.t;
 }
+
+let register_inbound t fd =
+  Mutex.lock t.inbound_mu;
+  t.inbound := fd :: !(t.inbound);
+  Mutex.unlock t.inbound_mu
+
+let detach_inbound t fd =
+  Mutex.lock t.inbound_mu;
+  t.inbound := List.filter (fun f -> f <> fd) !(t.inbound);
+  Mutex.unlock t.inbound_mu;
+  try Unix.close fd with _ -> ()
+
+let backoff_floor = 0.05
+let backoff_cap = 1.0
+let connect_attempts_per_frame = 6
+
+let bump t f =
+  Mutex.lock t.stats;
+  f t;
+  Mutex.unlock t.stats
+
+let count_dropped t counted =
+  if counted then bump t (fun t -> t.dropped <- t.dropped + 1)
 
 let rec really_read fd buf off len =
   if len > 0 then begin
@@ -36,11 +103,11 @@ let read_frame fd =
   really_read fd payload 0 len;
   Bytes.unsafe_to_string payload
 
-let write_frame fd payload =
-  let len = String.length payload in
+let write_frame fd body =
+  let len = String.length body in
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_be buf 0 (Int32.of_int len);
-  Bytes.blit_string payload 0 buf 4 len;
+  Bytes.blit_string body 0 buf 4 len;
   let rec push off remaining =
     if remaining > 0 then begin
       let n = Unix.write fd buf off remaining in
@@ -49,55 +116,49 @@ let write_frame fd payload =
   in
   push 0 (4 + len)
 
-(* Every frame starts with the sender id so the receiver can
-   demultiplex without per-peer inbound sockets. *)
+(* Every frame body starts with the sender id and a frame kind
+   ({!Wire.Frame}) so the receiver can demultiplex without per-peer
+   inbound sockets and tell heartbeats from protocol data. *)
 let reader_loop t fd =
   try
     while not t.closed do
       let frame = read_frame fd in
-      if String.length frame < 4 then failwith "Transport: short frame";
-      let src = Int32.to_int (String.get_int32_be frame 0) in
-      let payload = String.sub frame 4 (String.length frame - 4) in
-      t.on_frame ~src payload
-    done
+      let src, kind = Wire.Frame.decode_header frame in
+      if src < 0 || src >= Array.length t.peers || src = t.me then
+        raise (Wire.Malformed (Printf.sprintf "bad sender id %d" src));
+      let admit =
+        match t.fault with
+        | None -> true
+        | Some f -> Fault.reachable f ~src ~dst:t.me
+      in
+      if admit then
+        match kind with
+        | Wire.Frame.Heartbeat -> t.on_heartbeat ~src
+        | Wire.Frame.Data ->
+            let payload =
+              String.sub frame Wire.Frame.header_len
+                (String.length frame - Wire.Frame.header_len)
+            in
+            bump t (fun t -> t.delivered <- t.delivered + 1);
+            t.on_frame ~src payload
+      else count_dropped t (kind = Wire.Frame.Data)
+    done;
+    detach_inbound t fd
   with
-  | End_of_file | Unix.Unix_error _ -> (try Unix.close fd with _ -> ())
-  | Failure msg ->
+  | End_of_file | Unix.Unix_error _ -> detach_inbound t fd
+  | Failure msg | Wire.Malformed msg ->
       Log.warn (fun m -> m "reader stopped: %s" msg);
-      (try Unix.close fd with _ -> ())
+      detach_inbound t fd
 
 let accept_loop t =
   try
     while not t.closed do
       let fd, _addr = Unix.accept t.listener in
       Unix.setsockopt fd Unix.TCP_NODELAY true;
+      register_inbound t fd;
       ignore (Thread.create (reader_loop t) fd)
     done
   with Unix.Unix_error _ -> ()
-
-let create ~me ~peers ~on_frame () =
-  let ep = peers.(me) in
-  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listener Unix.SO_REUSEADDR true;
-  Unix.bind listener
-    (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
-  Unix.listen listener 64;
-  let t =
-    {
-      me;
-      peers;
-      on_frame;
-      listener;
-      outbound = Array.make (Array.length peers) None;
-      out_mutex = Mutex.create ();
-      sent = 0;
-      closed = false;
-      loss = 0.0;
-      loss_rng = Random.State.make [| 0x10ad; me |];
-    }
-  in
-  ignore (Thread.create accept_loop t);
-  t
 
 let connect t dst =
   let ep = t.peers.(dst) in
@@ -110,41 +171,159 @@ let connect t dst =
     (try Unix.close fd with _ -> ());
     None
 
-let set_loss t p = t.loss <- p
-
-let send t ~dst payload =
-  if t.closed || dst = t.me then false
-  else if t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss then
-    (* Chaos mode: pretend the network ate it. *)
-    true
-  else begin
-    Mutex.lock t.out_mutex;
-    let result =
-      let fd =
-        match t.outbound.(dst) with
-        | Some fd -> Some fd
-        | None ->
-            let fd = connect t dst in
-            t.outbound.(dst) <- fd;
-            fd
-      in
-      match fd with
-      | None -> false
-      | Some fd -> (
-          let hdr = Bytes.create 4 in
-          Bytes.set_int32_be hdr 0 (Int32.of_int t.me);
-          try
-            write_frame fd (Bytes.to_string hdr ^ payload);
-            t.sent <- t.sent + 1;
-            true
-          with Unix.Unix_error _ | Sys_error _ ->
-            (try Unix.close fd with _ -> ());
-            t.outbound.(dst) <- None;
-            false)
-    in
-    Mutex.unlock t.out_mutex;
-    result
+(* Interruptible sleep: close must not wait out a full backoff. *)
+let rec chill t duration =
+  if duration > 0.0 && not t.closed then begin
+    Thread.delay (Float.min duration 0.05);
+    chill t (duration -. 0.05)
   end
+
+let jittered t backoff =
+  let j =
+    Mutex.lock t.stats;
+    let j = Random.State.float t.backoff_rng 1.0 in
+    Mutex.unlock t.stats;
+    j
+  in
+  backoff *. (0.5 +. j)
+
+(* Drains one peer's queue forever. Connection management lives here:
+   reconnection with capped exponential backoff + jitter, bounded
+   retries per frame, and a write-time connectivity re-check so frames
+   queued just before a chaos crash/partition still honour it. *)
+let writer_loop t ch =
+  let backoff = ref backoff_floor in
+  let take () =
+    Mutex.lock ch.mu;
+    while Queue.is_empty ch.q && not t.closed do
+      Condition.wait ch.cond ch.mu
+    done;
+    let item = if t.closed then None else Some (Queue.pop ch.q) in
+    Mutex.unlock ch.mu;
+    item
+  in
+  let ensure_fd () =
+    match ch.fd with
+    | Some fd -> Some fd
+    | None -> (
+        match connect t ch.dst with
+        | Some fd ->
+            ch.fd <- Some fd;
+            if ch.connected_once then
+              bump t (fun t -> t.reconnects <- t.reconnects + 1);
+            ch.connected_once <- true;
+            backoff := backoff_floor;
+            Some fd
+        | None -> None)
+  in
+  let rec dispatch item attempts =
+    if t.closed then count_dropped t item.counted
+    else if attempts >= connect_attempts_per_frame then begin
+      (* The peer looks gone: shed this frame and move on so the
+         queue keeps draining — DME tolerates loss by design. *)
+      count_dropped t item.counted;
+      Log.debug (fun m -> m "node %d: shedding frame for dead peer %d" t.me ch.dst)
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      if item.not_before > now then chill t (item.not_before -. now);
+      let reachable =
+        match t.fault with
+        | None -> true
+        | Some f -> Fault.reachable f ~src:t.me ~dst:ch.dst
+      in
+      if not reachable then count_dropped t item.counted
+      else
+        match ensure_fd () with
+        | None ->
+            bump t (fun t -> t.retries <- t.retries + 1);
+            chill t (jittered t !backoff);
+            backoff := Float.min backoff_cap (!backoff *. 2.0);
+            dispatch item (attempts + 1)
+        | Some fd -> (
+            try
+              write_frame fd item.body;
+              if item.counted then bump t (fun t -> t.sent <- t.sent + 1)
+            with Unix.Unix_error _ | Sys_error _ ->
+              (try Unix.close fd with _ -> ());
+              ch.fd <- None;
+              bump t (fun t -> t.retries <- t.retries + 1);
+              chill t (jittered t !backoff);
+              backoff := Float.min backoff_cap (!backoff *. 2.0);
+              dispatch item (attempts + 1))
+    end
+  in
+  let rec loop () =
+    match take () with
+    | None -> ()
+    | Some item ->
+        dispatch item 0;
+        loop ()
+  in
+  loop ();
+  Mutex.lock ch.mu;
+  (match ch.fd with
+  | Some fd ->
+      (try Unix.close fd with _ -> ());
+      ch.fd <- None
+  | None -> ());
+  Mutex.unlock ch.mu
+
+let enqueue t ~dst ~counted ~not_before body =
+  let ch = t.chans.(dst) in
+  Mutex.lock ch.mu;
+  let ok =
+    if t.closed then false
+    else if Queue.length ch.q >= t.max_queue then begin
+      count_dropped t counted;
+      false
+    end
+    else begin
+      Queue.push { body; counted; not_before } ch.q;
+      if not ch.writer_started then begin
+        ch.writer_started <- true;
+        ignore (Thread.create (writer_loop t) ch)
+      end;
+      Condition.signal ch.cond;
+      true
+    end
+  in
+  Mutex.unlock ch.mu;
+  ok
+
+let send_kind t ~dst ~counted kind payload =
+  if t.closed || dst = t.me || dst < 0 || dst >= Array.length t.peers then false
+  else begin
+    let lost =
+      Mutex.lock t.stats;
+      let l = t.loss > 0.0 && Random.State.float t.loss_rng 1.0 < t.loss in
+      Mutex.unlock t.stats;
+      l
+    in
+    if lost then begin
+      (* Chaos mode: the network ate it. The caller sees success (that
+         is the point) but the counters record a drop, never a send —
+         matching [Simkit.Network] accounting. *)
+      count_dropped t counted;
+      true
+    end
+    else
+      let body = Wire.Frame.encode_header ~src:t.me kind ^ payload in
+      match t.fault with
+      | None -> enqueue t ~dst ~counted ~not_before:0.0 body
+      | Some f -> (
+          match Fault.verdict f ~src:t.me ~dst body with
+          | Fault.Drop ->
+              count_dropped t counted;
+              true
+          | Fault.Deliver -> enqueue t ~dst ~counted ~not_before:0.0 body
+          | Fault.Delay d ->
+              enqueue t ~dst ~counted
+                ~not_before:(Unix.gettimeofday () +. d)
+                body)
+  end
+
+let send t ~dst payload = send_kind t ~dst ~counted:true Wire.Frame.Data payload
 
 let broadcast t payload =
   let ok = ref 0 in
@@ -153,20 +332,136 @@ let broadcast t payload =
   done;
   !ok
 
+let heartbeat_loop t period =
+  while not t.closed do
+    chill t period;
+    if not t.closed then
+      for dst = 0 to Array.length t.peers - 1 do
+        if dst <> t.me then
+          ignore (send_kind t ~dst ~counted:false Wire.Frame.Heartbeat "")
+      done
+  done
+
+let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
+    ?(on_heartbeat = fun ~src:_ -> ()) ~me ~peers ~on_frame () =
+  (* A write to a peer that closed mid-stream must surface as [EPIPE]
+     for the writer thread to retry, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let ep = peers.(me) in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener
+    (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
+  Unix.listen listener 64;
+  let chans =
+    Array.init (Array.length peers) (fun dst ->
+        {
+          dst;
+          mu = Mutex.create ();
+          cond = Condition.create ();
+          q = Queue.create ();
+          fd = None;
+          writer_started = false;
+          connected_once = false;
+        })
+  in
+  let t =
+    {
+      me;
+      peers;
+      on_frame;
+      on_heartbeat;
+      fault;
+      listener;
+      chans;
+      max_queue;
+      heartbeat_period;
+      stats = Mutex.create ();
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      retries = 0;
+      reconnects = 0;
+      closed = false;
+      loss = 0.0;
+      loss_rng = Random.State.make [| seed; me |];
+      backoff_rng = Random.State.make [| seed; me; 0xb0ff |];
+      inbound = ref [];
+      inbound_mu = Mutex.create ();
+    }
+  in
+  ignore (Thread.create accept_loop t);
+  (match heartbeat_period with
+  | Some p when p > 0.0 -> ignore (Thread.create (heartbeat_loop t) p)
+  | _ -> ());
+  t
+
+let set_loss t p = bump t (fun t -> t.loss <- p)
 let sent t = t.sent
+
+let queue_depth t =
+  let total = ref 0 in
+  Array.iter
+    (fun ch ->
+      Mutex.lock ch.mu;
+      total := !total + Queue.length ch.q;
+      Mutex.unlock ch.mu)
+    t.chans;
+  !total
+
+let metrics t =
+  Mutex.lock t.stats;
+  let m =
+    {
+      sent = t.sent;
+      delivered = t.delivered;
+      dropped = t.dropped;
+      retries = t.retries;
+      reconnects = t.reconnects;
+      queue_depth = 0;
+    }
+  in
+  Mutex.unlock t.stats;
+  { m with queue_depth = queue_depth t }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (* A thread parked in [accept] pins the listening socket (the port
+       would stay bound); poke it with a throwaway self-connection so
+       the accept loop observes [closed] and exits. *)
+    (try
+       let ep = t.peers.(t.me) in
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port))
+        with _ -> ());
+       try Unix.close fd with _ -> ()
+     with _ -> ());
     (try Unix.close t.listener with _ -> ());
-    Mutex.lock t.out_mutex;
-    Array.iteri
-      (fun i fd ->
-        match fd with
-        | Some fd ->
-            (try Unix.close fd with _ -> ());
-            t.outbound.(i) <- None
-        | None -> ())
-      t.outbound;
-    Mutex.unlock t.out_mutex
+    (* Readers are parked in [read]: a plain close would not wake them
+       (and would leave the connection established, so peers would
+       keep "delivering" into a dead endpoint). [shutdown] forces EOF
+       on our side and a FIN to the sender; each reader then closes
+       and unregisters its own fd. *)
+    Mutex.lock t.inbound_mu;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+      !(t.inbound);
+    Mutex.unlock t.inbound_mu;
+    Array.iter
+      (fun ch ->
+        Mutex.lock ch.mu;
+        Condition.broadcast ch.cond;
+        (* Writer threads close their own fd on exit; cover channels
+           whose writer never started. *)
+        if not ch.writer_started then begin
+          (match ch.fd with
+          | Some fd -> ( try Unix.close fd with _ -> ())
+          | None -> ());
+          ch.fd <- None
+        end;
+        Mutex.unlock ch.mu)
+      t.chans
   end

@@ -1,18 +1,45 @@
-(** Length-prefixed framed messaging over TCP.
+(** Length-prefixed framed messaging over TCP, hardened for chaos.
 
-    Each frame is a 4-byte big-endian length followed by the payload.
-    A {!t} owns one listening socket plus one outbound connection per
-    peer, established lazily and re-established on failure. Incoming
-    frames from any peer are handed to the receive callback on a
-    dedicated reader thread per connection. *)
+    Each wire frame is a 4-byte big-endian length followed by a body
+    that starts with a {!Wire.Frame} header (sender id + kind). A
+    {!t} owns one listening socket plus one {e supervised outbound
+    channel} per peer: a bounded send queue with its own mutex,
+    drained by a dedicated writer thread that (re)connects lazily with
+    capped exponential backoff and jitter. A dead or slow peer can
+    therefore only stall its own channel — never sends to the rest of
+    the cluster — and transient socket errors are retried instead of
+    silently losing the frame. Incoming frames from any peer are
+    handed to the receive callback on a dedicated reader thread per
+    connection. *)
 
 type endpoint = { host : string; port : int }
 
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
+(** Counters mirroring [Simkit.Network]'s accounting on live sockets.
+    Only data frames count; transport heartbeats are invisible here. *)
+type metrics = {
+  sent : int;  (** Data frames successfully handed to the kernel. *)
+  delivered : int;  (** Inbound data frames handed to [on_frame]. *)
+  dropped : int;
+      (** Frames lost to chaos (loss draw, fault verdicts), to a full
+          send queue, or shed after the per-frame retry budget against
+          an unreachable peer. Never also counted in [sent]. *)
+  retries : int;  (** Failed connect/write attempts that were retried. *)
+  reconnects : int;  (** Connections re-established after the first. *)
+  queue_depth : int;  (** Frames currently waiting across all channels. *)
+}
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
 type t
 
 val create :
+  ?fault:Fault.t ->
+  ?heartbeat_period:float ->
+  ?max_queue:int ->
+  ?seed:int ->
+  ?on_heartbeat:(src:int -> unit) ->
   me:int ->
   peers:endpoint array ->
   on_frame:(src:int -> string -> unit) ->
@@ -20,28 +47,44 @@ val create :
   t
 (** [create ~me ~peers ~on_frame ()] binds and listens on
     [peers.(me)].port and starts the accept loop. [on_frame] runs on
-    reader threads; it must be thread-safe. Outbound connections to
-    other peers are opened on first {!send}. Each frame is prefixed
-    with the sender's id, so [src] is trustworthy only on a trusted
-    network — this is a research runtime, not an authenticated one. *)
+    reader threads; it must be thread-safe. Each frame carries the
+    sender's id, so [src] is trustworthy only on a trusted network —
+    this is a research runtime, not an authenticated one.
+
+    [fault] installs a chaos interceptor consulted for every outgoing
+    frame (and re-checked for connectivity at write and receive time);
+    normally one injector shared by a whole in-process cluster.
+    [heartbeat_period] > 0 starts a thread that sends a transport
+    heartbeat to every peer each period; arrivals are reported via
+    [on_heartbeat] and feed peer-liveness monitoring upstream.
+    [max_queue] bounds each per-peer send queue (default 1024 frames);
+    [seed] makes the loss and backoff-jitter draws reproducible. *)
 
 val send : t -> dst:int -> string -> bool
-(** Frame and send a payload. Returns [false] (and drops the frame) if
-    the peer is unreachable — distributed mutual exclusion must
-    tolerate message loss anyway, and the paper's Section 6 machinery
-    is exercised by exactly this. *)
+(** Frame a payload and hand it to [dst]'s outbound channel. Returns
+    [false] only if the transport is closed, [dst] is this node or out
+    of range, or the channel's queue is full — [true] means {e
+    accepted}, not yet written: the writer thread delivers (or retries
+    and eventually sheds) it asynchronously. A frame eaten by chaos
+    ({!set_loss} or a [fault] verdict) also returns [true]: to the
+    caller the network ate it, which is exactly what the Section 6
+    machinery must tolerate; the counters record it as [dropped] and
+    never as [sent]. *)
 
 val broadcast : t -> string -> int
-(** Send to every other peer; returns how many sends succeeded. *)
+(** Send to every other peer; returns how many frames were accepted. *)
 
 val set_loss : t -> float -> unit
 (** Drop each outgoing frame with this probability {e before} it
     reaches the socket — chaos testing for the Section 6 machinery on
-    a real network (TCP itself never loses accepted data). Drops still
-    count as successful sends from the caller's perspective. *)
+    a real network (TCP itself never loses accepted data). Applied
+    independently of (and before) any [fault] injector. *)
 
 val sent : t -> int
-(** Frames successfully handed to the kernel so far. *)
+(** Data frames successfully handed to the kernel so far. *)
+
+val metrics : t -> metrics
 
 val close : t -> unit
-(** Stop the accept loop and close every socket. Idempotent. *)
+(** Stop the accept, writer and heartbeat threads and close every
+    socket. Queued frames are discarded. Idempotent. *)

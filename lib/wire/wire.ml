@@ -129,6 +129,31 @@ module Dec = struct
     (a, b)
 end
 
+module Frame = struct
+  type kind = Data | Heartbeat
+
+  let header_len = 5
+
+  let encode_header ~src kind =
+    let b = Bytes.create header_len in
+    Bytes.set_int32_be b 0 (Int32.of_int src);
+    Bytes.set_uint8 b 4 (match kind with Data -> 0 | Heartbeat -> 1);
+    Bytes.unsafe_to_string b
+
+  let decode_header s =
+    if String.length s < header_len then
+      fail "frame shorter than its %d-byte header (%d bytes)" header_len
+        (String.length s);
+    let src = Int32.to_int (String.get_int32_be s 0) in
+    let kind =
+      match String.get_uint8 s 4 with
+      | 0 -> Data
+      | 1 -> Heartbeat
+      | k -> fail "unknown frame kind %d" k
+    in
+    (src, kind)
+end
+
 module type CODEC = sig
   type message
 

@@ -66,6 +66,28 @@ module Dec : sig
   val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
 end
 
+(** The TCP transport's intra-frame header: every framed payload
+    starts with the sender's id and a frame kind, so a receiver can
+    demultiplex peers on one listening socket and tell protocol data
+    apart from transport-level heartbeats. Shared between
+    [Netkit.Transport] and the transport robustness tests so both
+    agree on the byte layout. *)
+module Frame : sig
+  type kind =
+    | Data  (** An application payload for the receive callback. *)
+    | Heartbeat  (** Transport-level liveness beacon; no payload. *)
+
+  val header_len : int
+  (** Bytes of header at the front of every frame body (currently 5:
+      a 32-bit big-endian sender id plus one kind byte). *)
+
+  val encode_header : src:int -> kind -> string
+
+  val decode_header : string -> int * kind
+  (** Parse the header at the front of a frame body; raises
+      {!Malformed} on a short body or an unknown kind byte. *)
+end
+
 (** Encode / decode one protocol message. [decode] must consume the
     whole payload. *)
 module type CODEC = sig

@@ -1,0 +1,422 @@
+(* Live-cluster chaos: the Section 6 recovery machinery exercised over
+   real sockets under a deterministic fault schedule, with a lock-file
+   witness for mutual exclusion. Also hosts the node-runner robustness
+   regressions (timer precision, with_lock timeout drain) that need a
+   real runtime rather than the simulator. *)
+
+open Dmutex
+module RCluster = Netkit.Cluster.Make (Resilient) (Wire.Protocol_codec)
+module BCluster = Netkit.Cluster.Make (Basic) (Wire.Protocol_codec)
+
+let chaos_seed =
+  match Sys.getenv_opt "DMUTEX_CHAOS_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 20260807)
+  | None -> 20260807
+
+let log_dir = Sys.getenv_opt "DMUTEX_CHAOS_LOG_DIR"
+
+let soak_cfg n =
+  {
+    (Resilient.config ~token_timeout:0.6 ~enquiry_timeout:0.3
+       ~arbiter_timeout:0.9 ~n ())
+    with
+    Types.Config.t_collect = 0.02;
+    t_forward = 0.02;
+    retry_timeout = 0.3;
+  }
+
+(* Mutual-exclusion witness shared by every node of the in-process
+   cluster: entering the CS creates a lock file with O_EXCL, leaving
+   unlinks it. A second creation while the file exists is a safety
+   violation observed by the operating system, not by protocol
+   introspection. *)
+module Witness = struct
+  type t = { path : string; mu : Mutex.t; mutable violations : int }
+
+  let create name =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dmutex-%s-%d.lock" name (Unix.getpid ()))
+    in
+    (try Unix.unlink path with _ -> ());
+    { path; mu = Mutex.create (); violations = 0 }
+
+  (* Returns whether we own the file (and so must [leave]). *)
+  let enter t =
+    match Unix.openfile t.path [ O_CREAT; O_EXCL; O_WRONLY ] 0o600 with
+    | fd ->
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error (EEXIST, _, _) ->
+        Mutex.lock t.mu;
+        t.violations <- t.violations + 1;
+        Mutex.unlock t.mu;
+        false
+
+  let leave t = try Unix.unlink t.path with _ -> ()
+
+  let violations t =
+    Mutex.lock t.mu;
+    let v = t.violations in
+    Mutex.unlock t.mu;
+    v
+
+  let dispose t = try Unix.unlink t.path with _ -> ()
+end
+
+let write_soak_logs cluster ~witness_violations ~served =
+  match log_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+      let oc = open_out (Filename.concat dir "chaos-soak.log") in
+      Printf.fprintf oc "seed: %d\n" chaos_seed;
+      Printf.fprintf oc "witness violations: %d\n" witness_violations;
+      Array.iteri (fun i s -> Printf.fprintf oc "node %d served: %d\n" i s) served;
+      List.iter
+        (fun (at, msg) -> Printf.fprintf oc "chaos @ %6.2fs: %s\n" at msg)
+        (RCluster.chaos_log cluster);
+      List.iter
+        (fun (name, k) -> Printf.fprintf oc "note %s: %d\n" name k)
+        (RCluster.notes cluster);
+      Printf.fprintf oc "metrics: %s\n"
+        (Format.asprintf "%a" Netkit.Transport.pp_metrics
+           (RCluster.metrics cluster));
+      for i = 0 to RCluster.n cluster - 1 do
+        Printf.fprintf oc "node %d: %s | notes %s\n" i
+          (Format.asprintf "%a" Netkit.Transport.pp_metrics
+             (RCluster.Node.metrics (RCluster.node cluster i)))
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s:%d" k v)
+                (RCluster.Node.notes (RCluster.node cluster i))))
+      done;
+      for i = 0 to RCluster.n cluster - 1 do
+        let st = RCluster.Node.state (RCluster.node cluster i) in
+        Printf.fprintf oc "state %s watching=%b elec=%d epoch=%d susp=%b\n"
+          (Format.asprintf "%a" Protocol.pp_state st)
+          st.Protocol.watching st.Protocol.election st.Protocol.token_epoch
+          st.Protocol.suspended
+      done;
+      close_out oc
+
+(* The headline drill: 5 nodes over real sockets; the schedule applies
+   7% loss, crash-stops the token holder, then the arbiter watched by
+   its previous arbiter, partitions the cluster and heals it. The
+   survivors must keep taking the lock with zero witness violations,
+   and the Section 6 notes must show a two-phase invalidation and a
+   PROBE takeover actually fired. *)
+let test_chaos_soak () =
+  let n = 5 in
+  let cluster =
+    RCluster.launch ~base_port:8501 ~seed:chaos_seed ~heartbeat_period:0.2
+      ~suspect_timeout:0.8 (soak_cfg n)
+  in
+  let fault = RCluster.fault cluster in
+  let witness = Witness.create "chaos-soak" in
+  let served = Array.make n 0 in
+  let served_mu = Mutex.create () in
+  let stop = ref false in
+  let worker i () =
+    let rng = Random.State.make [| chaos_seed; i; 0x50a1 |] in
+    while (not !stop) && not (Netkit.Fault.is_crashed fault i) do
+      (match
+         RCluster.Node.with_lock ~timeout:3.0 (RCluster.node cluster i)
+           (fun () ->
+             let owned = Witness.enter witness in
+             Thread.delay 0.002;
+             if owned then Witness.leave witness)
+       with
+      | Some () ->
+          Mutex.lock served_mu;
+          served.(i) <- served.(i) + 1;
+          Mutex.unlock served_mu
+      | None -> ());
+      Thread.delay (0.005 +. Random.State.float rng 0.03)
+    done
+  in
+  let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+  let token_holder ~states ~live =
+    List.find_opt
+      (fun i ->
+        live i
+        &&
+        let st : Protocol.state = states i in
+        st.Protocol.token <> None
+        && match st.Protocol.role with Protocol.Normal -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let watched_arbiter ~states ~live =
+    let ids = List.init n Fun.id in
+    match
+      List.find_opt
+        (fun w ->
+          live w
+          &&
+          let st : Protocol.state = states w in
+          st.Protocol.watching && live st.Protocol.arbiter
+          && st.Protocol.arbiter <> w)
+        ids
+    with
+    | Some w -> Some (states w).Protocol.arbiter
+    | None ->
+        (* Fallback: the node currently acting as arbiter. *)
+        List.find_opt
+          (fun i ->
+            live i
+            &&
+            match (states i).Protocol.role with
+            | Protocol.Normal -> false
+            | _ -> true)
+          ids
+  in
+  RCluster.chaos cluster
+    [
+      (0.0, RCluster.Fault (Netkit.Fault.Set_loss 0.07));
+      (1.5, RCluster.Crash_where ("token-holder", token_holder));
+      (4.5, RCluster.Crash_where ("watched-arbiter", watched_arbiter));
+      (7.5, RCluster.Fault (Netkit.Fault.Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]));
+      (9.5, RCluster.Fault Netkit.Fault.Heal);
+      (11.0, RCluster.Fault (Netkit.Fault.Set_loss 0.0));
+    ];
+  RCluster.wait_chaos cluster;
+  (* Post-fault convergence: every surviving node must keep getting
+     served after the last fault cleared. *)
+  let survivors =
+    List.filter
+      (fun i -> not (Netkit.Fault.is_crashed fault i))
+      (List.init n Fun.id)
+  in
+  let snapshot =
+    Mutex.lock served_mu;
+    let s = Array.copy served in
+    Mutex.unlock served_mu;
+    s
+  in
+  let deadline = Unix.gettimeofday () +. 25.0 in
+  let rec settle () =
+    let progressed =
+      Mutex.lock served_mu;
+      let p =
+        List.for_all (fun i -> served.(i) >= snapshot.(i) + 2) survivors
+      in
+      Mutex.unlock served_mu;
+      p
+    in
+    if progressed then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.1;
+      settle ()
+    end
+  in
+  let all_served = settle () in
+  stop := true;
+  List.iter Thread.join threads;
+  let violations = Witness.violations witness in
+  write_soak_logs cluster ~witness_violations:violations ~served;
+  let chaos_entries = List.length (RCluster.chaos_log cluster) in
+  let recovery = RCluster.note_count cluster "recovery-started" in
+  let takeover = RCluster.note_count cluster "arbiter-takeover" in
+  let regenerated = RCluster.note_count cluster "token-regenerated" in
+  RCluster.shutdown cluster;
+  Witness.dispose witness;
+  Alcotest.(check bool) "schedule ran" true (chaos_entries >= 6);
+  Alcotest.(check int) "zero mutual-exclusion violations" 0 violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two survivors (%d)" (List.length survivors))
+    true
+    (List.length survivors >= 2);
+  Alcotest.(check bool) "every survivor served after the storm" true all_served;
+  Alcotest.(check bool)
+    (Printf.sprintf "two-phase invalidation fired (%d)" recovery)
+    true (recovery >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "PROBE takeover fired (%d)" takeover)
+    true (takeover >= 1);
+  Logs.app (fun m ->
+      m "soak: served=%s recovery=%d takeover=%d regenerated=%d"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int served)))
+        recovery takeover regenerated)
+
+(* With an empty schedule the chaos layer must be invisible: every
+   grant lands promptly, nothing is dropped, and the recovery
+   machinery never starts. *)
+let test_empty_schedule_baseline () =
+  let n = 3 in
+  let cluster =
+    RCluster.launch ~base_port:8551 ~seed:chaos_seed ~heartbeat_period:0.2
+      ~suspect_timeout:0.8 (soak_cfg n)
+  in
+  RCluster.chaos cluster [];
+  RCluster.wait_chaos cluster;
+  let rounds = 4 in
+  let latencies = ref [] in
+  for _round = 1 to rounds do
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      match
+        RCluster.Node.with_lock ~timeout:20.0 (RCluster.node cluster i)
+          (fun () -> ())
+      with
+      | Some () -> latencies := (Unix.gettimeofday () -. t0) :: !latencies
+      | None -> Alcotest.failf "baseline grant timed out on node %d" i
+    done
+  done;
+  let m = RCluster.metrics cluster in
+  let recovery = RCluster.note_count cluster "recovery-started" in
+  RCluster.shutdown cluster;
+  let mean =
+    List.fold_left ( +. ) 0.0 !latencies
+    /. float_of_int (List.length !latencies)
+  in
+  Alcotest.(check int) "all grants measured" (rounds * n)
+    (List.length !latencies);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean grant latency sane (%.3fs)" mean)
+    true (mean < 1.0);
+  Alcotest.(check int) "nothing dropped without chaos" 0
+    m.Netkit.Transport.dropped;
+  Alcotest.(check int) "recovery never started" 0 recovery
+
+(* Satellite regression: a with_lock that times out must not leave a
+   claimable ghost request — the stale grant is drained the moment it
+   lands. *)
+let test_with_lock_timeout_drains () =
+  let n = 3 in
+  let cfg =
+    {
+      (Basic.config ~n ()) with
+      Types.Config.t_collect = 0.02;
+      t_forward = 0.02;
+    }
+  in
+  let cluster = BCluster.launch ~base_port:8571 cfg in
+  let holder = BCluster.node cluster 0 in
+  let victim = BCluster.node cluster 1 in
+  let bystander = BCluster.node cluster 2 in
+  let release_holder = Mutex.create () in
+  Mutex.lock release_holder;
+  let holder_thread =
+    Thread.create
+      (fun () ->
+        ignore
+          (BCluster.Node.with_lock ~timeout:20.0 holder (fun () ->
+               (* Hold the token until the main thread says go. *)
+               Mutex.lock release_holder;
+               Mutex.unlock release_holder)))
+      ()
+  in
+  (* Wait until the holder actually has the CS. *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (BCluster.Node.holding holder)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "holder entered" true (BCluster.Node.holding holder);
+  (* The victim's request cannot be served while the holder sits on
+     the lock: it times out, leaving its REQUEST queued cluster-wide. *)
+  let r = BCluster.Node.with_lock ~timeout:0.2 victim (fun () -> ()) in
+  Alcotest.(check bool) "victim timed out" true (r = None);
+  (* Free the lock; the stale grant for the victim must be drained,
+     not held. *)
+  Mutex.unlock release_holder;
+  Thread.join holder_thread;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec victim_stays_clean () =
+    if BCluster.Node.holding victim then false
+    else if Unix.gettimeofday () >= deadline then true
+    else begin
+      Thread.delay 0.005;
+      victim_stays_clean ()
+    end
+  in
+  (* A bystander can take the lock — impossible if the victim's ghost
+     grant were stuck held. *)
+  let got =
+    BCluster.Node.with_lock ~timeout:10.0 bystander (fun () ->
+        BCluster.Node.holding victim)
+  in
+  Alcotest.(check (option bool)) "bystander served, victim not holding"
+    (Some false) got;
+  Alcotest.(check bool) "victim never stuck holding" true
+    (victim_stays_clean ());
+  (* And the victim itself can lock again normally. *)
+  let again = BCluster.Node.with_lock ~timeout:10.0 victim (fun () -> 7) in
+  Alcotest.(check (option int)) "victim reusable" (Some 7) again;
+  BCluster.shutdown cluster
+
+(* Satellite regression: the timer thread sleeps to the earliest
+   deadline and is woken by Set_timer/Cancel_timer, so a short timer
+   armed while a long one is pending still fires on time, and a
+   cancelled timer never fires. *)
+module Tick = struct
+  type state = { t0 : float; fires : (int * float) list }
+  type message = unit
+  type timer = int
+
+  let name = "tick"
+  let init _cfg _me = { t0 = 0.0; fires = [] }
+  let rejoin = init
+
+  let handle _cfg ~now st input =
+    match (input : (message, timer) Types.input) with
+    | Types.Request_cs -> ({ st with t0 = now }, [ Types.Set_timer (2, 0.4) ])
+    | Types.Cs_done -> (st, [ Types.Cancel_timer 2 ])
+    | Types.Receive (_, ()) -> (st, [ Types.Set_timer (1, 0.06) ])
+    | Types.Timer_fired k ->
+        ({ st with fires = (k, now -. st.t0) :: st.fires }, [])
+
+  let in_cs _ = false
+  let wants_cs _ = false
+  let message_kind () = "TICK"
+  let pp_message ppf () = Format.fprintf ppf "tick"
+  let pp_state ppf st = Format.fprintf ppf "%d fires" (List.length st.fires)
+end
+
+module TickCodec = struct
+  type message = unit
+
+  let encode () = "t"
+  let decode _ = ()
+end
+
+module TickNode = Netkit.Node_runner.Make (Tick) (TickCodec)
+
+let test_timer_deadline_precision () =
+  let peers = [| { Netkit.Transport.host = "127.0.0.1"; port = 8591 } |] in
+  let node = TickNode.create (Types.Config.default ~n:1) ~me:0 ~peers () in
+  (* Arm the long timer (0.4 s), then immediately a short one (60 ms):
+     the timer thread is asleep until the long deadline and must be
+     woken to honour the short one. *)
+  TickNode.inject node Types.Request_cs;
+  TickNode.inject node (Types.Receive (0, ()));
+  Thread.delay 0.2;
+  (* Cancel the long timer before it is due. *)
+  TickNode.inject node Types.Cs_done;
+  Thread.delay 0.4;
+  let st = TickNode.state node in
+  TickNode.shutdown node;
+  let short = List.assoc_opt 1 st.Tick.fires in
+  (match short with
+  | None -> Alcotest.fail "short timer never fired"
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "short timer fired on time (%.3fs)" d)
+        true
+        (d >= 0.05 && d <= 0.25));
+  Alcotest.(check bool) "cancelled timer never fired" true
+    (List.assoc_opt 2 st.Tick.fires = None)
+
+let suite =
+  ( "chaos",
+    [
+      Alcotest.test_case "timer deadline precision" `Quick
+        test_timer_deadline_precision;
+      Alcotest.test_case "with_lock timeout drains stale grant" `Quick
+        test_with_lock_timeout_drains;
+      Alcotest.test_case "empty schedule is invisible" `Slow
+        test_empty_schedule_baseline;
+      Alcotest.test_case "live chaos soak (Section 6 on real sockets)" `Slow
+        test_chaos_soak;
+    ] )

@@ -78,14 +78,18 @@ let test_transport_unreachable_peer () =
   let tr =
     Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
   in
-  (* Peer 1 never started: send reports failure instead of raising. *)
-  Alcotest.(check bool) "send to dead peer fails" false
+  (* Peer 1 never started: the frame is accepted (the writer thread
+     retries and eventually sheds it in the background) instead of
+     raising or blocking. *)
+  Alcotest.(check bool) "send to dead peer accepted" true
     (Netkit.Transport.send tr ~dst:1 "hello");
   Alcotest.(check bool) "self-send refused" false
     (Netkit.Transport.send tr ~dst:0 "self");
   Netkit.Transport.close tr;
-  (* Closing twice is fine. *)
-  Netkit.Transport.close tr
+  (* Closing twice is fine, and a closed transport refuses sends. *)
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "send after close refused" false
+    (Netkit.Transport.send tr ~dst:1 "late")
 
 let test_transport_roundtrip () =
   let received = ref [] in

@@ -164,9 +164,9 @@ let test_warning_starts_enquiry () =
       (function _, Protocol.Enquiry _ -> true | _ -> false)
       (sends effs)
   in
-  (* Last Q was {1,2}; previous arbiter 0. Enquiries go to 0 and 1
-     (not ourselves). *)
-  Alcotest.(check (list int)) "enquired peers" [ 0; 1 ]
+  (* Every peer is enquired (not just the last Q-list): the replies
+     double as the quorum gating regeneration. *)
+  Alcotest.(check (list int)) "enquired peers" [ 0; 1; 3 ]
     (List.sort compare (List.map fst enquiries));
   Alcotest.(check bool) "recovery running" true (st.Protocol.recovery <> None);
   Alcotest.(check bool) "noted" true
@@ -198,14 +198,19 @@ let test_all_waiting_regenerates () =
     Receive (src, Protocol.Enquiry_reply { round = 1; status })
   in
   let st, _ = step res_cfg st (reply 0 Protocol.Executed) in
-  let st, effs = step res_cfg st (reply 1 Protocol.Waiting_token) in
+  let st, _ = step res_cfg st (reply 1 Protocol.Waiting_token) in
+  (* Node 3 stays silent; with n = 4 the recoverer plus two repliers
+     is already a majority, so the enquiry timeout regenerates. *)
+  let st, effs = step res_cfg st (Timer_fired Protocol.T_enquiry) in
   Alcotest.(check bool) "token regenerated" true
     (List.exists (function Note Token_regenerated -> true | _ -> false) effs);
   Alcotest.(check bool) "waiting node invalidated" true
     (List.mem (1, Protocol.Invalidate { round = 1 }) (sends effs));
-  Alcotest.(check bool) "epoch bumped" true (st.Protocol.token_epoch = 1);
+  (* Regeneration epochs are id-salted (+1+me) so concurrent
+     recoveries can never mint equal epochs. *)
+  Alcotest.(check bool) "epoch bumped" true (st.Protocol.token_epoch = 3);
   (match st.Protocol.token with
-  | Some t -> Alcotest.(check int) "fresh token epoch" 1 t.Protocol.epoch
+  | Some t -> Alcotest.(check int) "fresh token epoch" 3 t.Protocol.epoch
   | None -> Alcotest.fail "arbiter should now hold a token");
   (* The waiting responder is rescheduled at the front. *)
   match st.Protocol.role with
@@ -213,6 +218,56 @@ let test_all_waiting_regenerates () =
       Alcotest.(check bool) "waiting node at front of queue" true
         (match cq with e :: _ -> e.Qlist.node = 1 | [] -> false)
   | _ -> Alcotest.fail "arbiter should be collecting with the new token"
+
+let test_quorum_blocks_regeneration () =
+  (* A recoverer that has heard from fewer than a majority must not
+     mint a token — across a partition the real one may still be
+     alive. It keeps re-enquirying the silent peers instead. *)
+  let st, _ = elected_arbiter () in
+  let st, _ = step res_cfg st (Receive (1, Protocol.Warning)) in
+  let st, _ =
+    step res_cfg st
+      (Receive (0, Protocol.Enquiry_reply { round = 1; status = Protocol.Executed }))
+  in
+  (* recoverer + 1 replier = 2 < 3 (majority of 4) *)
+  let st, effs = step res_cfg st (Timer_fired Protocol.T_enquiry) in
+  Alcotest.(check bool) "no regeneration below quorum" false
+    (List.exists (function Note Token_regenerated -> true | _ -> false) effs);
+  Alcotest.(check bool) "recovery still running" true
+    (st.Protocol.recovery <> None);
+  let re_enquired =
+    List.filter_map
+      (function dst, Protocol.Enquiry _ -> Some dst | _ -> None)
+      (sends effs)
+  in
+  Alcotest.(check (list int)) "silent peers re-enquired" [ 1; 3 ]
+    (List.sort compare re_enquired);
+  Alcotest.(check bool) "enquiry timer re-armed" true
+    (List.exists (fun (k, _) -> k = Protocol.T_enquiry) (timers effs))
+
+let test_announcement_cancels_recovery () =
+  (* A higher-election announcement naming another arbiter supersedes
+     our in-flight invalidation: it owns recovery now. *)
+  let st, _ = elected_arbiter () in
+  let st, _ = step res_cfg st (Receive (1, Protocol.Warning)) in
+  Alcotest.(check bool) "recovery running" true (st.Protocol.recovery <> None);
+  let na =
+    Protocol.New_arbiter
+      {
+        na_arbiter = 3;
+        na_q = [];
+        na_granted = Qlist.Granted.create 4;
+        na_counter = 2;
+        na_monitor = -1;
+        na_epoch = 0;
+        na_election = 9;
+      }
+  in
+  let st, effs = step res_cfg st (Receive (3, na)) in
+  Alcotest.(check bool) "recovery cancelled" true
+    (st.Protocol.recovery = None);
+  Alcotest.(check bool) "enquiry timer cancelled" true
+    (List.mem (Cancel_timer Protocol.T_enquiry) effs)
 
 let test_enquiry_suspends_holder () =
   (* A token holder answering an ENQUIRY suspends passing until
@@ -337,6 +392,10 @@ let suite =
         test_enquiry_reply_have_token_resumes;
       Alcotest.test_case "all-waiting regenerates the token" `Quick
         test_all_waiting_regenerates;
+      Alcotest.test_case "quorum gates regeneration" `Quick
+        test_quorum_blocks_regeneration;
+      Alcotest.test_case "announcement cancels rival recovery" `Quick
+        test_announcement_cancels_recovery;
       Alcotest.test_case "ENQUIRY suspends a holder" `Quick
         test_enquiry_suspends_holder;
       Alcotest.test_case "PROBE is acknowledged" `Quick test_probe_ack;
