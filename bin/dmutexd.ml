@@ -6,7 +6,14 @@
    Example (three shells):
      dmutexd --id 0 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
      dmutexd --id 1 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
-     dmutexd --id 2 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo *)
+     dmutexd --id 2 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
+
+   With --state-dir the node persists its protocol-critical state
+   (epoch, counters, token custody) and a later start from the same
+   directory is a durable restart: counters come back, custody is
+   honoured (a dead custodian triggers the Section 6 invalidation),
+   and the node never regenerates a token from amnesia. SIGTERM/SIGINT
+   flush the store before exiting. *)
 
 open Cmdliner
 module Node = Netkit.Node_runner.Make (Dmutex.Resilient) (Wire.Protocol_codec)
@@ -71,6 +78,19 @@ let heartbeat_arg =
            longer than four periods are reported suspect. 0 disables \
            the liveness monitor." ~docv:"SEC")
 
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ]
+        ~doc:
+          "Directory for the durable protocol store (created if \
+           missing). Every protocol step is made durable before its \
+           effects apply; starting again from the same directory is a \
+           crash-restart with memory. Without it a restart is \
+           amnesiac: the node rejoins but refuses to regenerate the \
+           token until resynchronized." ~docv:"DIR")
+
 let print_metrics node id =
   let m = Node.metrics node in
   let notes = Node.notes node in
@@ -89,7 +109,22 @@ let print_metrics node id =
             (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) l)
         ^ "}")
 
-let run id peers demo verbose metrics_every loss heartbeat =
+let print_store_stats node id =
+  match Node.store_stats node with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "node %d: store wal-records=%d wal-bytes=%d snapshots=%d replayed=%d \
+         last-flush=%s\n\
+         %!"
+        id s.Dmutex_store.Store.wal_records s.Dmutex_store.Store.wal_bytes
+        s.Dmutex_store.Store.snapshots s.Dmutex_store.Store.replayed
+        (if s.Dmutex_store.Store.last_flush = 0.0 then "never"
+         else
+           Printf.sprintf "%.1fs ago"
+             (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush))
+
+let run id peers demo verbose metrics_every loss heartbeat state_dir =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -103,6 +138,31 @@ let run id peers demo verbose metrics_every loss heartbeat =
       t_forward = 0.05 }
   in
   let heartbeat_period = if heartbeat > 0.0 then Some heartbeat else None in
+  (* Durable store: a non-empty directory means this start is a
+     restart — rebuild the protocol state from the recovered view and
+     let a durable token custody trigger recovery immediately. *)
+  let store, initial, restore_inputs =
+    match state_dir with
+    | None -> (None, None, [])
+    | Some dir ->
+        let store = Dmutex_store.Store.open_ ~dir ~n () in
+        (match Dmutex_store.Store.view store with
+        | None -> (Some store, None, [])
+        | Some view ->
+            let state, inputs =
+              Dmutex_store.Protocol_view.restore cfg ~me:id (Some view)
+            in
+            Logs.info (fun m ->
+                m "node %d: restarting from %s (epoch %d, custody %s)" id dir
+                  view.Dmutex_store.Store.epoch
+                  (match view.Dmutex_store.Store.custody with
+                  | Dmutex_store.Store.Holding _ -> "held"
+                  | Dmutex_store.Store.No_token -> "none"));
+            (Some store, Some state, inputs))
+  in
+  let persist =
+    Option.map (fun _ -> Dmutex_store.Protocol_view.capture) store
+  in
   let node =
     Node.create ?heartbeat_period
       ~suspect_timeout:(Float.max 0.5 (4.0 *. heartbeat))
@@ -110,8 +170,9 @@ let run id peers demo verbose metrics_every loss heartbeat =
         Logs.warn (fun m -> m "node %d: peer %d suspected down" id peer))
       ~on_alive:(fun peer ->
         Logs.info (fun m -> m "node %d: peer %d alive again" id peer))
-      cfg ~me:id ~peers ()
+      ?initial ?store ?persist cfg ~me:id ~peers ()
   in
+  List.iter (Node.inject node) restore_inputs;
   if loss > 0.0 then Node.set_loss node loss;
   if metrics_every > 0.0 then
     ignore
@@ -122,10 +183,29 @@ let run id peers demo verbose metrics_every loss heartbeat =
              print_metrics node id
            done)
          ());
-  Printf.printf "node %d/%d listening on %s:%d\n%!" id n peers.(id).host
-    peers.(id).port;
+  (* Graceful shutdown: flush the store and report before exiting.
+     Signals only set the flag — the main loop below does the work
+     outside the signal handler. *)
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  Printf.printf "node %d/%d listening on %s:%d%s\n%!" id n peers.(id).host
+    peers.(id).port
+    (match state_dir with
+    | Some dir -> Printf.sprintf " (durable: %s)" dir
+    | None -> "");
+  let finish () =
+    (* Metrics before shutdown (a closed transport reads all-zero),
+       store stats after (so the final flush is included). *)
+    print_metrics node id;
+    Node.shutdown node;
+    print_store_stats node id;
+    exit 0
+  in
   if demo then
     let rec loop k =
+      if Atomic.get stop then finish ();
       (match
          Node.with_lock ~timeout:30.0 node (fun () ->
              Printf.printf "node %d holds the lock (round %d)\n%!" id k;
@@ -141,7 +221,8 @@ let run id peers demo verbose metrics_every loss heartbeat =
     (* Serve forever; the node participates in the protocol (forwards
        requests, relays the token) without requesting the CS. *)
     let rec idle () =
-      Thread.delay 3600.0;
+      if Atomic.get stop then finish ();
+      Thread.delay 0.2;
       idle ()
     in
     idle ()
@@ -154,6 +235,6 @@ let main =
           exclusion protocol over TCP.")
     Term.(
       const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg
-      $ metrics_every_arg $ loss_arg $ heartbeat_arg)
+      $ metrics_every_arg $ loss_arg $ heartbeat_arg $ state_dir_arg)
 
 let () = exit (Cmd.eval main)

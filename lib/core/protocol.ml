@@ -112,6 +112,25 @@ type state = {
      uniqueness is what makes PROBE-timeout takeover safe: two
      simultaneous self-proclaimed arbiters would regenerate two
      tokens. *)
+  amnesiac : bool;
+  (* restarted with no durable state: our epoch/election counters may
+     be arbitrarily stale, so starting or finishing a token
+     regeneration could mint a second token (or reuse a burnt epoch).
+     Cleared by the first current-election NEW-ARBITER or PRIVILEGE
+     absorbed — fresh knowledge that re-anchors the counters. *)
+  sync_wait : bool;
+  (* restarted: park application requests until the first announcement
+     (or token) is absorbed, so any higher epoch heard resynchronizes
+     us before our own REQUEST goes out. T_retry is the escape valve
+     when the system is idle and no announcement ever comes. *)
+  last_token_seen : float;
+  (* recovery only: the last instant the live token was in our hands
+     (received, held through a CS, dispatched or regenerated). A
+     WARNING arriving within one token_timeout of this is staler than
+     our own knowledge and is ignored: starting an enquiry round while
+     the token demonstrably lives can race it (every reply can say
+     "waiting" while the token is airborne between two repliers) and
+     end in a second token. *)
 }
 
 let name = "banerjee-chrysanthis"
@@ -157,21 +176,63 @@ let init cfg me =
     enq_round = 0;
     recovery = None;
     watching = false;
+    amnesiac = false;
+    sync_wait = false;
+    (* Never: a node that has never touched the token must not treat
+       a WARNING as stale, whatever the clock says. *)
+    last_token_seen = Float.neg_infinity;
   }
 
 (* A restarted node comes back as a plain participant: shift the
    would-be initial arbiter away from [me] so [init] gives us neither
    the token nor the arbiter role. It resynchronizes through the next
    NEW-ARBITER broadcast (and the relaying of its stale-addressed
-   requests). *)
+   requests). With the recovery variant on, a restart with no durable
+   state is {e amnesia}: the node must neither claim anything about
+   the token nor regenerate one until fresh knowledge arrives (see the
+   [amnesiac] field). *)
 let rejoin cfg me =
   let cfg = Config.validate cfg in
-  if cfg.Config.n = 1 then init cfg me
-  else if cfg.Config.initial_arbiter = me then
-    init
-      { cfg with Config.initial_arbiter = (me + 1) mod cfg.Config.n }
-      me
-  else init cfg me
+  let base =
+    if cfg.Config.n = 1 then init cfg me
+    else if cfg.Config.initial_arbiter = me then
+      init
+        { cfg with Config.initial_arbiter = (me + 1) mod cfg.Config.n }
+        me
+    else init cfg me
+  in
+  if cfg.Config.recovery && cfg.Config.n > 1 then
+    { base with amnesiac = true; sync_wait = true }
+  else base
+
+type restored = {
+  r_epoch : int;
+  r_election : int;
+  r_enq_round : int;
+  r_next_seq : int;
+  r_granted : Qlist.Granted.g;
+  r_had_token : bool;
+}
+
+(* A restart backed by a durable store: the monotone counters and the
+   L vector come back, so the node is not amnesiac — its epoch
+   knowledge is exactly what it had proven durable before the crash.
+   It still resynchronizes ([sync_wait]) before issuing requests, and
+   it never resurrects the token object itself: if custody was durable
+   at the crash, the token provably died with us and the caller
+   injects a WARNING to start the Section 6 invalidation. *)
+let rejoin_restored cfg me r =
+  let base = rejoin cfg me in
+  {
+    base with
+    amnesiac = false;
+    sync_wait = cfg.Config.recovery && cfg.Config.n > 1;
+    next_seq = r.r_next_seq;
+    granted_known = Qlist.Granted.merge base.granted_known r.r_granted;
+    token_epoch = max base.token_epoch r.r_epoch;
+    election = max base.election r.r_election;
+    enq_round = max base.enq_round r.r_enq_round;
+  }
 
 let in_cs st = st.in_cs
 let wants_cs st = st.outstanding <> None || st.pending > 0
@@ -263,12 +324,47 @@ let issue_request cfg ~now st =
         if cfg.Config.max_retries = 0 then []
         else [ Set_timer (T_retry, retry_delay cfg st) ]
       in
-      (st, Send (st.arbiter, Request e) :: arm)
+      (* Lost-token watchdog from the moment the request leaves us, not
+         only once a Q-list acknowledges it: if the request wanders
+         between stale stash-relays because the elected arbiter died
+         with the token in transit (and restarted as a normal node), no
+         announcement ever comes — yet someone must eventually WARNING
+         the believed arbiter or the token stays lost forever. Spurious
+         firings are harmless: the warned node holds (or locates) the
+         token and recovery never starts. *)
+      let watchdog =
+        if cfg.Config.recovery then
+          [ Set_timer (T_token, cfg.Config.token_timeout) ]
+        else []
+      in
+      (st, (Send (st.arbiter, Request e) :: arm) @ watchdog)
 
 let request_cs cfg ~now st =
   if st.outstanding <> None || st.in_cs then
     ({ st with pending = st.pending + 1 }, [])
+  else if st.sync_wait then
+    (* Restarted and not yet resynchronized: park the request until
+       the first announcement (or token) is absorbed, so any higher
+       epoch out there reaches us before our own REQUEST goes out.
+       T_retry is the escape valve if the system stays silent. *)
+    ( { st with pending = st.pending + 1 },
+      [ Set_timer (T_retry, retry_delay cfg st) ] )
   else issue_request cfg ~now st
+
+(* Fresh current-election knowledge arrived (a live NEW-ARBITER or the
+   token itself): the restart resynchronization is over. Clears both
+   gates and surfaces a parked application request, now addressed to
+   the arbiter we just learned of. *)
+let end_resync cfg ~now st =
+  if not (st.amnesiac || st.sync_wait) then (st, [])
+  else
+    let was_waiting = st.sync_wait in
+    let st = { st with amnesiac = false; sync_wait = false } in
+    if was_waiting && st.pending > 0 && st.outstanding = None && not st.in_cs
+    then
+      let st = { st with pending = st.pending - 1 } in
+      issue_request cfg ~now st
+    else (st, [])
 
 (* ------------------------------------------------------------------ *)
 (* Arbiter side: accepting, forwarding and dispatching requests        *)
@@ -400,7 +496,7 @@ let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
 (* Give the token (with Q-list [q]) its first hop, or enter the CS
    directly when we head the list ourselves. *)
 let launch_token cfg ~now st token =
-  ignore now;
+  let st = { st with last_token_seen = now } in
   match token.tq with
   | [] -> assert false
   | head :: _ when head.Qlist.node = st.me ->
@@ -470,6 +566,7 @@ let dispatch cfg ~now st =
           let st' =
             { base with
               token = None;
+              last_token_seen = now;
               na_counter = counter;
               role =
                 (if tail = st.me then Await_token []
@@ -568,6 +665,7 @@ let become_collecting cfg ~now st pre_q token =
     { st with
       role = Collecting { cq = pre_q; anchor = now; armed };
       token = Some token;
+      last_token_seen = now;
       arbiter = st.me }
   in
   let cancel =
@@ -602,7 +700,8 @@ let pass_token_on cfg ~now st token =
       (* Possible only with a duplicate entry for us; serve it. *)
       launch_token cfg ~now st token
   | head :: _ ->
-      ({ st with token = None }, [ Send (head.Qlist.node, Privilege token) ])
+      ( { st with token = None; last_token_seen = now },
+        [ Send (head.Qlist.node, Privilege token) ] )
 
 let cs_done cfg ~now st =
   match st.token with
@@ -626,7 +725,7 @@ let cs_done cfg ~now st =
       let st, effs =
         if st.suspended then
           (* An ENQUIRY froze us: hold the token until RESUME. *)
-          ({ st with token = Some token }, [])
+          ({ st with token = Some token; last_token_seen = now }, [])
         else pass_token_on cfg ~now st token
       in
       (* Surface the next queued application request, if any. *)
@@ -696,7 +795,6 @@ let observe_qlist cfg st q =
       end
 
 let receive_new_arbiter cfg ~now st ~src na =
-  ignore now;
   (* Split-brain repair: a healed partition can leave two arbiters,
      each with a token, both racing their election counters so neither
      ever adopts the other's announcement. Token epochs are the
@@ -859,9 +957,13 @@ let receive_new_arbiter cfg ~now st ~src na =
         ({ st with stash = [] }, effs @ sends)
     end
   in
+  (* A live announcement is the fresh knowledge that ends a restart's
+     resynchronization: epoch and election were just absorbed above,
+     so a parked request can finally go out. *)
+  let st, resync_effs = end_resync cfg ~now st in
   (* Requester bookkeeping: the Q-list doubles as an implicit ack. *)
   let st, effs' = observe_qlist cfg st na.na_q in
-  (st, pre_effs @ effs @ effs')
+  (st, pre_effs @ effs @ resync_effs @ effs')
   end
 
 (* ------------------------------------------------------------------ *)
@@ -870,10 +972,15 @@ let receive_new_arbiter cfg ~now st ~src na =
 let receive_monitor_privilege cfg ~now st token =
   if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
   else begin
+    (* Same as the PRIVILEGE receipt: the token in hand supersedes any
+       enquiry round we were running (see [Receive Privilege]). *)
+    let aborted = st.recovery <> None in
     let st =
       { st with token_epoch = token.epoch;
-        election = max st.election token.election }
+        election = max st.election token.election;
+        amnesiac = false; sync_wait = false; recovery = None }
     in
+    let abort_effs = if aborted then [ Cancel_timer T_enquiry ] else [] in
     let q =
       List.fold_left
         (fun acc e -> Qlist.enqueue e acc)
@@ -886,7 +993,7 @@ let receive_monitor_privilege cfg ~now st token =
         (* Every scheduled request turned out served: the monitor
            becomes the arbiter itself and restarts collection. *)
         let st', effs = become_collecting cfg ~now st [] { token with tq = [] } in
-        (st', Note Became_arbiter :: effs)
+        (st', abort_effs @ (Note Became_arbiter :: effs))
     | _ ->
         let prev_announced = st.arbiter in
         let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
@@ -917,7 +1024,7 @@ let receive_monitor_privilege cfg ~now st token =
         (* The monitor observes the Q-list it just announced: its own
            broadcast is not delivered back to it. *)
         let st, effs' = observe_qlist cfg st q in
-        (st, announce_effs @ effs @ effs')
+        (st, abort_effs @ announce_effs @ effs @ effs')
   end
 
 (* ------------------------------------------------------------------ *)
@@ -928,6 +1035,13 @@ let start_recovery cfg st =
   | Some _ -> (st, [])
   | None ->
       if st.token <> None then (st, []) (* we hold the token: no loss *)
+      else if st.amnesiac then
+        (* Restarted with no durable state: our epoch knowledge may be
+           arbitrarily stale, so running an invalidation could end in
+           regenerating a token while the real one lives (or with a
+           burnt epoch). Refuse until fresh knowledge clears the
+           amnesia; the live nodes' own watchdogs cover the loss. *)
+        (st, [ Note (Custom "recovery-refused-amnesiac") ])
       else begin
         let round = st.enq_round + 1 in
         (* Everyone is enquired, not just the last Q-list: the replies
@@ -955,6 +1069,12 @@ let start_recovery cfg st =
 let finish_recovery cfg ~now st =
   match st.recovery with
   | None -> (st, [])
+  | Some _ when st.amnesiac ->
+      (* Belt and braces: amnesia can only postdate an in-flight
+         invalidation if state was lost mid-protocol — never mint a
+         token from counters we cannot trust. *)
+      ( { st with recovery = None },
+        [ Cancel_timer T_enquiry; Note (Custom "recovery-refused-amnesiac") ] )
   | Some r
     when 1 + List.length (List.sort_uniq compare r.replied)
          < (cfg.Config.n / 2) + 1 ->
@@ -1143,6 +1263,16 @@ let handle cfg ~now st (input : (message, timer) input) :
           in
           ({ st with stash = [] }, sends)
       | _ -> (st, []))
+  | Timer_fired T_retry
+    when st.sync_wait && st.outstanding = None && st.pending > 0
+         && not st.in_cs ->
+      (* Restart resynchronization escape valve: the system stayed
+         silent past a whole retry period, so stop waiting for an
+         announcement and issue the parked request with the knowledge
+         we have. Amnesia (if any) stays: this is a timeout, not fresh
+         knowledge. *)
+      let st = { st with sync_wait = false; pending = st.pending - 1 } in
+      issue_request cfg ~now st
   | Timer_fired T_retry -> (
       match st.outstanding with
       | Some seq
@@ -1168,20 +1298,44 @@ let handle cfg ~now st (input : (message, timer) input) :
   | Receive (_, Privilege token) ->
       if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
       else begin
+        (* Holding the live token is the freshest knowledge there is:
+           any restart resynchronization ends here — and so does any
+           enquiry round we were running: the token cannot be lost
+           while it is in our hands, yet letting the round run out
+           would conclude exactly that and mint a second one. *)
+        let aborted = st.recovery <> None in
         let st =
           { st with token_epoch = token.epoch;
-            election = max st.election token.election }
+            election = max st.election token.election;
+            amnesiac = false; sync_wait = false; recovery = None }
         in
-        match token.tq with
-        | head :: _ when head.Qlist.node = st.me ->
-            launch_token cfg ~now st token
-        | _ -> pass_token_on cfg ~now st token
+        let st, effs =
+          match token.tq with
+          | head :: _ when head.Qlist.node = st.me ->
+              launch_token cfg ~now st token
+          | _ -> pass_token_on cfg ~now st token
+        in
+        if aborted then (st, Cancel_timer T_enquiry :: effs) else (st, effs)
       end
   | Receive (_, Monitor_privilege token) ->
       receive_monitor_privilege cfg ~now st token
   | Receive (src, New_arbiter na) -> receive_new_arbiter cfg ~now st ~src na
-  | Receive (_, Warning) ->
-      if cfg.Config.recovery then start_recovery cfg st else (st, [])
+  | Receive (src, Warning) ->
+      if not cfg.Config.recovery then (st, [])
+      else if
+        src <> st.me
+        && now -. st.last_token_seen < cfg.Config.token_timeout
+      then
+        (* The token passed through our hands within one watchdog
+           period: the warner's knowledge is staler than ours, and our
+           own dispatch-time watchdog covers the interim. Starting an
+           enquiry round against a demonstrably live token can race it
+           — every reply can say "waiting" while the token is airborne
+           between two repliers — and end in a second token.
+           Self-warnings (injected at restart when durable custody
+           proves the token died with us) are always honoured. *)
+        (st, [ Note (Custom "warning-ignored-token-live") ])
+      else start_recovery cfg st
   | Receive (src, Enquiry { round }) -> receive_enquiry st ~src ~round
   | Receive (src, Enquiry_reply { round; status }) ->
       receive_enquiry_reply cfg ~now st ~src ~round ~status
@@ -1248,9 +1402,11 @@ let pp_role ppf = function
 
 let pp_state ppf st =
   Format.fprintf ppf
-    "@[<h>node %d: arbiter=%d role=%a%s%s out=%s pend=%d misses=%d@]" st.me
+    "@[<h>node %d: arbiter=%d role=%a%s%s%s out=%s pend=%d misses=%d@]" st.me
     st.arbiter pp_role st.role
     (if st.in_cs then " IN-CS" else "")
     (if st.token <> None then " TOKEN" else "")
+    (if st.amnesiac then " AMNESIAC" else if st.sync_wait then " SYNC-WAIT"
+     else "")
     (match st.outstanding with Some s -> string_of_int s | None -> "-")
     st.pending st.misses

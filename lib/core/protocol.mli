@@ -149,6 +149,24 @@ type state = {
           else). Uniqueness is what makes PROBE-timeout takeover safe:
           two simultaneous self-proclaimed arbiters would regenerate
           two tokens. *)
+  amnesiac : bool;
+      (** Restarted with no durable state: epoch/election knowledge
+          may be arbitrarily stale, so the node refuses to start or
+          finish a token regeneration until a live NEW-ARBITER or
+          PRIVILEGE re-anchors it. *)
+  sync_wait : bool;
+      (** Restarted: application requests are parked until the first
+          announcement (or token) is absorbed, so a higher epoch out
+          there reaches us before our own REQUEST goes out. [T_retry]
+          is the escape valve when the system stays silent. *)
+  last_token_seen : float;
+      (** Recovery only: the last instant the live token was in this
+          node's hands (received, held through a CS, dispatched or
+          regenerated). A WARNING arriving within one
+          [Config.token_timeout] of this is staler than the node's own
+          knowledge and is ignored — its own dispatch-time watchdog
+          covers the interim, and an enquiry round racing a live token
+          can regenerate a second one. *)
 }
 
 val name : string
@@ -160,7 +178,32 @@ val init : Config.t -> node_id -> state
 val rejoin : Config.t -> node_id -> state
 (** Post-crash restart state: always a plain participant — never
     resurrects the token or the arbiter role (see
-    {!Types.ALGO.rejoin}). *)
+    {!Types.ALGO.rejoin}). With the recovery variant on, the state is
+    additionally {!state.amnesiac} and {!state.sync_wait}: a node that
+    lost all durable state must not regenerate tokens or issue
+    requests until resynchronized. *)
+
+(** The protocol-critical slice of state recovered from a durable
+    store ([Dmutex_store]) at restart. *)
+type restored = {
+  r_epoch : int;  (** Highest token epoch proven durable. *)
+  r_election : int;  (** Highest election number proven durable. *)
+  r_enq_round : int;  (** Highest ENQUIRY round proven durable. *)
+  r_next_seq : int;  (** The node's own request counter. *)
+  r_granted : Qlist.Granted.g;  (** Last durable [L] vector. *)
+  r_had_token : bool;
+      (** Custody was durable at the crash: the token provably died
+          with this node. [rejoin_restored] never resurrects the token
+          object; the caller reacts by injecting
+          [Receive (me, Warning)] so the Section 6 invalidation runs
+          against knowledge that cannot over-claim. *)
+}
+
+val rejoin_restored : Config.t -> node_id -> restored -> state
+(** Like {!rejoin}, but seeded from a durable store: the monotone
+    counters and the [L] vector come back, so the node is {e not}
+    amnesiac — though it still resynchronizes ({!state.sync_wait})
+    before issuing its first request. *)
 
 val handle :
   Config.t ->

@@ -12,6 +12,12 @@ struct
     | Fault of Fault.event
     | Crash_where of
         string * (states:(int -> A.state) -> live:(int -> bool) -> int option)
+    | Restart of { node : int; after : float }
+    | Restart_where of {
+        label : string;
+        select : states:(int -> A.state) -> live:(int -> bool) -> int option;
+        after : float;
+      }
 
   type chaos_schedule = (float * chaos_event) list
 
@@ -19,9 +25,21 @@ struct
     nodes : Node.t array;
     mutable live : bool array;
     fault : Fault.t;
+    cfg : Dmutex.Types.Config.t;
+    peers : Transport.endpoint array;
+    seed : int;
+    heartbeat_period : float option;
+    suspect_timeout : float;
+    state_root : string option;
+    persist : (A.state -> Dmutex_store.Store.view) option;
+    restore :
+      me:int ->
+      Dmutex_store.Store.view option ->
+      A.state * (A.message, A.timer) Dmutex.Types.input list;
     mutable chaos_thread : Thread.t option;
     chaos_log : (float * string) list ref;
     chaos_mu : Mutex.t;
+    restart_mu : Mutex.t;
     mutable stopping : bool;
   }
 
@@ -29,17 +47,44 @@ struct
     Array.init n (fun i ->
         { Transport.host = "127.0.0.1"; port = base_port + i })
 
-  let try_launch cfg ~base_port ~seed ~heartbeat_period ~suspect_timeout =
+  let state_dir root i = Filename.concat root (Printf.sprintf "node-%d" i)
+
+  let open_store t i =
+    match t.state_root with
+    | None -> None
+    | Some root ->
+        Some
+          (Dmutex_store.Store.open_ ~dir:(state_dir root i)
+             ~n:(Array.length t.nodes) ())
+
+  let try_launch cfg ~base_port ~seed ~heartbeat_period ~suspect_timeout
+      ~state_root ~persist ~restore =
     let n = cfg.Dmutex.Types.Config.n in
     let peers = endpoints ~base_port n in
     let fault = Fault.create ~seed ~n () in
+    (match state_root with
+    | Some root -> (
+        try Unix.mkdir root 0o755
+        with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    | None -> ());
+    let restore =
+      match restore with
+      | Some f -> f
+      | None -> fun ~me v -> ignore v; (A.rejoin cfg me, [])
+    in
     let started = ref [] in
     try
       let nodes =
         Array.init n (fun i ->
+            let store =
+              match state_root with
+              | Some root ->
+                  Some (Dmutex_store.Store.open_ ~dir:(state_dir root i) ~n ())
+              | None -> None
+            in
             let node =
               Node.create ~fault ?heartbeat_period ~suspect_timeout
-                ~seed:(seed + i) cfg ~me:i ~peers ()
+                ~seed:(seed + i) ?store ?persist cfg ~me:i ~peers ()
             in
             started := node :: !started;
             node)
@@ -49,17 +94,26 @@ struct
           nodes;
           live = Array.make n true;
           fault;
+          cfg;
+          peers;
+          seed;
+          heartbeat_period;
+          suspect_timeout;
+          state_root;
+          persist;
+          restore;
           chaos_thread = None;
           chaos_log = ref [];
           chaos_mu = Mutex.create ();
+          restart_mu = Mutex.create ();
           stopping = false;
         }
     with Unix.Unix_error ((EADDRINUSE | EACCES), _, _) ->
-      List.iter Node.shutdown !started;
+      List.iter Node.crash !started;
       None
 
   let launch ?(base_port = 7801) ?(seed = 0xc1a05) ?heartbeat_period
-      ?(suspect_timeout = 1.0) cfg =
+      ?(suspect_timeout = 1.0) ?state_root ?persist ?restore cfg =
     (* Ports may be taken by a previous run still in TIME_WAIT; probe a
        few bases before giving up. *)
     let rec attempt k =
@@ -68,7 +122,8 @@ struct
         match
           try_launch cfg
             ~base_port:(base_port + (k * 100))
-            ~seed ~heartbeat_period ~suspect_timeout
+            ~seed ~heartbeat_period ~suspect_timeout ~state_root ~persist
+            ~restore
         with
         | Some t -> t
         | None -> attempt (k + 1)
@@ -82,8 +137,42 @@ struct
   let crash t i =
     if t.live.(i) then begin
       t.live.(i) <- false;
-      Node.shutdown t.nodes.(i)
+      (* Crash-style: the store is closed without a final snapshot
+         fold, leaving exactly what explicit fsyncs made durable. *)
+      Node.crash t.nodes.(i)
     end
+
+  (* Bring node [i] back: reopen its state directory, rebuild the
+     protocol state through the [restore] hook, bind the same endpoint
+     again (retrying while the old sockets drain), and feed the
+     restore inputs (e.g. a self-addressed WARNING for a dead token
+     custodian) through the fresh node. *)
+  let restart t i =
+    Mutex.lock t.restart_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.restart_mu)
+      (fun () ->
+        if t.live.(i) then crash t i;
+        Fault.recover t.fault i;
+        let store = open_store t i in
+        let view = Option.join (Option.map Dmutex_store.Store.view store) in
+        let initial, inputs = t.restore ~me:i view in
+        let rec bind attempts =
+          match
+            Node.create ~fault:t.fault ?heartbeat_period:t.heartbeat_period
+              ~suspect_timeout:t.suspect_timeout ~seed:(t.seed + i) ~initial
+              ?store ?persist:t.persist t.cfg ~me:i ~peers:t.peers ()
+          with
+          | node -> node
+          | exception Unix.Unix_error ((EADDRINUSE | EACCES), _, _)
+            when attempts < 40 ->
+              Thread.delay 0.05;
+              bind (attempts + 1)
+        in
+        let node = bind 0 in
+        t.nodes.(i) <- node;
+        t.live.(i) <- true;
+        List.iter (Node.inject node) inputs)
 
   let log_chaos t at msg =
     Mutex.lock t.chaos_mu;
@@ -134,6 +223,41 @@ struct
     in
     poll ()
 
+  (* Tear node [i] down for real, wait out the outage, bring it back
+     from its state directory. Blocks the schedule thread for [after]
+     seconds — chaos events are deliberately sequential. *)
+  let run_restart t at label i after =
+    crash t i;
+    log_chaos t at (Printf.sprintf "restart[%s]: node %d down" label i);
+    sleep_until t (Unix.gettimeofday () +. Float.max 0.0 after);
+    if not t.stopping then begin
+      restart t i;
+      log_chaos t at (Printf.sprintf "restart[%s]: node %d back up" label i)
+    end
+
+  (* Role-targeted restart: same victim polling as [run_crash_where]. *)
+  let run_restart_where t at label select after =
+    let give_up = Unix.gettimeofday () +. 10.0 in
+    let rec poll () =
+      if t.stopping then ()
+      else
+        match
+          select
+            ~states:(fun i -> Node.state t.nodes.(i))
+            ~live:(alive t)
+        with
+        | Some i when alive t i -> run_restart t at label i after
+        | Some _ | None ->
+            if Unix.gettimeofday () < give_up then begin
+              Thread.delay 0.02;
+              poll ()
+            end
+            else
+              log_chaos t at
+                (Printf.sprintf "restart[%s] -> no victim within 10s" label)
+    in
+    poll ()
+
   let run_schedule t schedule =
     let t0 = Unix.gettimeofday () in
     List.iter
@@ -144,7 +268,10 @@ struct
           | Fault fe ->
               Fault.apply t.fault fe;
               log_chaos t at (Format.asprintf "%a" Fault.pp_event fe)
-          | Crash_where (label, select) -> run_crash_where t at label select)
+          | Crash_where (label, select) -> run_crash_where t at label select
+          | Restart { node; after } -> run_restart t at "node" node after
+          | Restart_where { label; select; after } ->
+              run_restart_where t at label select after)
       schedule
 
   let chaos t schedule =
@@ -203,5 +330,13 @@ struct
   let shutdown t =
     t.stopping <- true;
     wait_chaos t;
-    Array.iteri (fun i _ -> crash t i) t.nodes
+    (* Graceful: flush every surviving store so the directories are
+       left with a folded snapshot. *)
+    Array.iteri
+      (fun i node ->
+        if t.live.(i) then begin
+          t.live.(i) <- false;
+          Node.shutdown node
+        end)
+      t.nodes
 end

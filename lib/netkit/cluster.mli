@@ -23,6 +23,20 @@ module Make
             the token right now"). Polled every 20 ms until it returns
             a live node, giving up after 10 s; the label is for the
             chaos log. *)
+    | Restart of { node : int; after : float }
+        (** Full restart drill: tear [node] down for real ({!crash} —
+            sockets closed, store aborted without flush), keep it down
+            for [after] seconds, then {!restart} it from its state
+            directory. The schedule thread blocks through the outage
+            (events are deliberately sequential). *)
+    | Restart_where of {
+        label : string;
+        select : states:(int -> A.state) -> live:(int -> bool) -> int option;
+        after : float;
+      }
+        (** Role-targeted {!Restart}: victim selection as in
+            [Crash_where] — e.g. "whoever holds the token right now",
+            killed mid-CS and brought back from disk. *)
 
   type chaos_schedule = (float * chaos_event) list
   (** Events paired with wall-clock offsets in seconds from
@@ -35,6 +49,12 @@ module Make
     ?seed:int ->
     ?heartbeat_period:float ->
     ?suspect_timeout:float ->
+    ?state_root:string ->
+    ?persist:(A.state -> Dmutex_store.Store.view) ->
+    ?restore:
+      (me:int ->
+      Dmutex_store.Store.view option ->
+      A.state * (A.message, A.timer) Dmutex.Types.input list) ->
     Dmutex.Types.Config.t ->
     t
   (** Start [cfg.n] nodes on 127.0.0.1 ports [base_port ..
@@ -42,7 +62,16 @@ module Make
       retrying a few bases on bind failure). [seed] drives the shared
       fault injector and per-node transport randomness, making chaos
       runs reproducible. [heartbeat_period] enables each node's peer
-      liveness monitor (off by default). *)
+      liveness monitor (off by default).
+
+      [state_root] enables durability: node [i] persists through a
+      [Dmutex_store.Store] in [state_root/node-i] (created as needed),
+      capturing states through [persist] after every step (see
+      {!Node_runner.Make.create}). [restore] rebuilds a node's state
+      from its recovered view at {!restart} time — [None] view means
+      an empty directory, i.e. amnesia; the returned inputs are
+      injected into the fresh node (e.g. a self-addressed WARNING when
+      custody was durable). Defaults to [A.rejoin] with no inputs. *)
 
   val node : t -> int -> Node.t
   val n : t -> int
@@ -74,10 +103,18 @@ module Make
   val note_count : t -> string -> int
 
   val crash : t -> int -> unit
-  (** Fail-stop one node for real (sockets closed, threads stopped) —
-      unlike [Fault.crash], which only severs a node from the network
-      and is reversible. *)
+  (** Fail-stop one node for real (sockets closed, threads stopped,
+      store aborted {e without} flushing) — unlike [Fault.crash],
+      which only severs a node from the network and is reversible. *)
+
+  val restart : t -> int -> unit
+  (** Bring a {!crash}ed node back: reopen its state directory (when
+      [state_root] was given), rebuild its protocol state through the
+      [restore] hook, rebind the same endpoint (retrying while the old
+      sockets drain), and inject the restore inputs. The node rejoins
+      the running cluster as a restarted process would. *)
 
   val shutdown : t -> unit
-  (** Abort any chaos schedule and stop every node. *)
+  (** Abort any chaos schedule and stop every node gracefully (stores
+      flushed and closed). *)
 end

@@ -4,6 +4,7 @@ type event =
   | Set_loss of float
   | Crash of int
   | Recover of int
+  | Restart of { node : int; after : float }
   | Partition of int list list
   | Heal
 
@@ -108,6 +109,19 @@ let apply t = function
   | Set_loss p -> set_loss t p
   | Crash i -> crash t i
   | Recover i -> recover t i
+  | Restart { node; after } ->
+      (* Network-level restart: sever the node now, bring it back
+         [after] seconds later on a helper thread so the caller's
+         schedule keeps running through the outage. The node's process
+         state survives — for a full teardown-and-rebuild from the
+         durable store, use [Cluster]'s restart events instead. *)
+      crash t node;
+      ignore
+        (Thread.create
+           (fun () ->
+             Thread.delay (Float.max 0.0 after);
+             recover t node)
+           ())
   | Partition groups -> partition t groups
   | Heal -> heal t
 
@@ -115,6 +129,8 @@ let pp_event ppf = function
   | Set_loss p -> Format.fprintf ppf "loss=%.3f" p
   | Crash i -> Format.fprintf ppf "crash(%d)" i
   | Recover i -> Format.fprintf ppf "recover(%d)" i
+  | Restart { node; after } ->
+      Format.fprintf ppf "restart(%d, +%.2fs)" node after
   | Partition groups ->
       Format.fprintf ppf "partition(%s)"
         (String.concat "|"

@@ -28,6 +28,13 @@ type event =
   | Set_loss of float  (** Uniform i.i.d. frame-drop probability. *)
   | Crash of int  (** Sever a node from the network (crash-stop). *)
   | Recover of int
+  | Restart of { node : int; after : float }
+      (** Sever [node] now and automatically recover it [after]
+          seconds later (on a helper thread — the caller's schedule is
+          not blocked). Network-level only: the node's in-memory state
+          survives the outage. A full process-style restart that
+          rebuilds the node from its durable state directory is
+          [Cluster]'s restart events. *)
   | Partition of int list list
       (** Frames between nodes in different groups are dropped; nodes
           absent from every group form an implicit extra group. *)

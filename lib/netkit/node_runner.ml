@@ -11,6 +11,8 @@ struct
   type t = {
     cfg : Config.t;
     me : int;
+    store : Dmutex_store.Store.t option;
+    persist : (A.state -> Dmutex_store.Store.view) option;
     mutable state : A.state;
     lock : Mutex.t;
     granted : Condition.t;
@@ -96,6 +98,13 @@ struct
   and step_locked t input =
     let state', effects = A.handle t.cfg ~now:(now t) t.state input in
     t.state <- state';
+    (* Persist the post-step view BEFORE applying any effect: the
+       fsync returns before a PRIVILEGE can reach the socket or the CS
+       is entered, so the durable custody record never over-claims —
+       see the durability discipline in [Dmutex_store.Store]. *)
+    (match (t.store, t.persist) with
+    | Some store, Some persist -> Dmutex_store.Store.record store (persist state')
+    | _ -> ());
     List.iter (apply t) effects
 
   let step t input =
@@ -197,14 +206,17 @@ struct
 
   let create ?(on_grant = fun () -> ()) ?fault ?heartbeat_period
       ?(suspect_timeout = 1.0) ?(on_suspect = fun _ -> ())
-      ?(on_alive = fun _ -> ()) ?seed cfg ~me ~peers () =
+      ?(on_alive = fun _ -> ()) ?seed ?initial ?store ?persist cfg ~me ~peers
+      () =
     let wake_rd, wake_wr = Unix.pipe () in
     Unix.set_nonblock wake_wr;
     let t =
       {
         cfg;
         me;
-        state = A.init cfg me;
+        store;
+        persist;
+        state = (match initial with Some s -> s | None -> A.init cfg me);
         lock = Mutex.create ();
         granted = Condition.create ();
         transport = None;
@@ -226,6 +238,12 @@ struct
         start = Unix.gettimeofday ();
       }
     in
+    (* Make the starting view durable immediately: a node that crashes
+       before its first step must restart from this state, not as an
+       amnesiac. *)
+    (match (store, persist) with
+    | Some s, Some p -> Dmutex_store.Store.record s (p t.state)
+    | _ -> ());
     let on_frame ~src payload =
       heard t src;
       match C.decode payload with
@@ -340,7 +358,9 @@ struct
 
   let inject t input = step t input
 
-  let shutdown t =
+  let store_stats t = Option.map Dmutex_store.Store.stats t.store
+
+  let stop_threads_and_transport t =
     if not t.stopping then begin
       t.stopping <- true;
       Mutex.lock t.lock;
@@ -352,4 +372,12 @@ struct
           Transport.close tr
       | None -> ()
     end
+
+  let shutdown t =
+    stop_threads_and_transport t;
+    Option.iter Dmutex_store.Store.close t.store
+
+  let crash t =
+    stop_threads_and_transport t;
+    Option.iter Dmutex_store.Store.abort t.store
   end

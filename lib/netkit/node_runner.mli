@@ -20,6 +20,9 @@ module Make
     ?on_suspect:(int -> unit) ->
     ?on_alive:(int -> unit) ->
     ?seed:int ->
+    ?initial:A.state ->
+    ?store:Dmutex_store.Store.t ->
+    ?persist:(A.state -> Dmutex_store.Store.view) ->
     Dmutex.Types.Config.t ->
     me:int ->
     peers:Transport.endpoint array ->
@@ -29,6 +32,16 @@ module Make
       the state machine in its initial state. [on_grant] fires (on an
       internal thread) whenever the node enters the critical section;
       alternatively use {!with_lock}.
+
+      [initial] overrides [A.init] — used to restart a node from a
+      durable store ([Dmutex_store.Protocol_view.restore]). [store] +
+      [persist] enable durability: after {e every} step the post-step
+      state's [persist] view is {!Dmutex_store.Store.record}ed — and
+      fsynced — {e before} any of the step's effects (sends, CS entry)
+      are applied, which is what makes the store's custody record
+      safety-critical-correct: it can never over-claim a token the
+      node no longer holds. The starting state is recorded at creation
+      time too.
 
       [fault] plugs a (normally cluster-shared) chaos injector into
       the transport. [heartbeat_period] > 0 enables the peer liveness
@@ -85,9 +98,19 @@ module Make
   (** Feed an arbitrary input to the state machine — test hook for
       fault drills (e.g. simulating a WARNING or a timer). *)
 
+  val store_stats : t -> Dmutex_store.Store.stats option
+  (** Durability counters of the attached store, if any. *)
+
   val shutdown : t -> unit
-  (** Close sockets and stop the timer, liveness and writer threads.
-      The node stops responding — to the rest of the cluster this is a
-      crash, which is exactly how fail-stop drills are staged.
+  (** Graceful stop: close sockets, stop the timer, liveness and
+      writer threads, then {e flush and close} the attached store (if
+      any). To the rest of the cluster this is still a crash — the
+      node stops responding — but its own durable state is complete.
       Idempotent. *)
+
+  val crash : t -> unit
+  (** Crash-style stop: like {!shutdown} but the store is closed
+      {e without} flushing ({!Dmutex_store.Store.abort}), leaving on
+      disk exactly what explicit fsyncs made durable — what a real
+      crash leaves. Restart drills use this. Idempotent. *)
 end

@@ -1,0 +1,53 @@
+open Dmutex
+
+let capture (st : Protocol.state) : Store.view =
+  let granted =
+    match st.Protocol.token with
+    | Some tk -> Qlist.Granted.merge st.Protocol.granted_known tk.Protocol.granted
+    | None -> Array.copy st.Protocol.granted_known
+  in
+  {
+    Store.epoch = st.Protocol.token_epoch;
+    election = st.Protocol.election;
+    enq_round = st.Protocol.enq_round;
+    next_seq = st.Protocol.next_seq;
+    granted;
+    custody =
+      (match st.Protocol.token with
+      | Some tk -> Store.Holding { epoch = tk.Protocol.epoch }
+      | None -> Store.No_token);
+  }
+
+let to_restored (v : Store.view) : Protocol.restored =
+  {
+    Protocol.r_epoch = v.Store.epoch;
+    r_election = v.Store.election;
+    r_enq_round = v.Store.enq_round;
+    r_next_seq = v.Store.next_seq;
+    r_granted = Array.copy v.Store.granted;
+    r_had_token = (match v.Store.custody with
+                   | Store.Holding _ -> true
+                   | Store.No_token -> false);
+  }
+
+let restore cfg ~me (v : Store.view option) :
+    Protocol.state * (Protocol.message, Protocol.timer) Types.input list =
+  match v with
+  | None ->
+      (* Empty state directory on a restart: amnesia. The node comes
+         back gated against token regeneration until resynchronized. *)
+      (Protocol.rejoin cfg me, [])
+  | Some v ->
+      let r = to_restored v in
+      let st = Protocol.rejoin_restored cfg me r in
+      (* Durable custody means the token provably died with us (the
+         store records No_token before a dispatched PRIVILEGE can hit
+         the socket, so custody never over-claims). A self-addressed
+         WARNING starts the Section 6 invalidation immediately instead
+         of waiting for some requester's token timeout. *)
+      let inputs =
+        if r.Protocol.r_had_token && cfg.Types.Config.recovery then
+          [ Types.Receive (me, Protocol.Warning) ]
+        else []
+      in
+      (st, inputs)

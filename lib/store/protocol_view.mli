@@ -1,0 +1,32 @@
+(** Bridge between the pure protocol state machine and the durable
+    {!Store}: what to persist after every step, and how to rebuild a
+    restart state from what was persisted.
+
+    Kept here (not in [Dmutex.Protocol]) so the core state machine
+    stays host-agnostic: the simulator and the model checker never
+    touch disk, while [Netkit] and [bin/dmutexd] thread these two
+    functions through the generic runner hooks. *)
+
+open Dmutex
+
+val capture : Protocol.state -> Store.view
+(** The protocol-critical slice of [st], suitable for {!Store.record}.
+    Custody is [Holding] exactly when the state owns the token object;
+    recording the {e post-step} state before applying the step's
+    effects therefore persists [Holding] before the CS is entered and
+    [No_token] before a dispatched PRIVILEGE can reach the socket. *)
+
+val to_restored : Store.view -> Protocol.restored
+
+val restore :
+  Types.Config.t ->
+  me:Types.node_id ->
+  Store.view option ->
+  Protocol.state * (Protocol.message, Protocol.timer) Types.input list
+(** Rebuild a restart state from the recovered view. [None] (an empty
+    state directory) yields an amnesiac {!Protocol.rejoin}; [Some v]
+    yields {!Protocol.rejoin_restored}, plus a self-addressed WARNING
+    input when custody was durable at the crash — the token provably
+    died with this node, so the Section 6 invalidation should start
+    right away. The caller must feed the returned inputs through its
+    normal step function {e after} installing the state. *)

@@ -1,0 +1,397 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type custody = No_token | Holding of { epoch : int }
+
+type view = {
+  epoch : int;
+  election : int;
+  enq_round : int;
+  next_seq : int;
+  granted : int array;
+  custody : custody;
+}
+
+type stats = {
+  wal_records : int;
+  wal_bytes : int;
+  snapshots : int;
+  replayed : int;
+  last_flush : float;
+}
+
+let empty_view ~n =
+  {
+    epoch = 0;
+    election = 0;
+    enq_round = 0;
+    next_seq = 0;
+    granted = Array.make n (-1);
+    custody = No_token;
+  }
+
+let copy_view v = { v with granted = Array.copy v.granted }
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s ~pos ~len =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Record framing                                                      *)
+(* [version:u8 | tag:u8 | len:u16 | payload | crc32:u32], the CRC
+   taken over everything before it. Tag 0 is the full-view snapshot;
+   tags 1..6 are the WAL's field deltas. *)
+
+let tag_snapshot = 0
+let tag_epoch = 1
+let tag_election = 2
+let tag_enq_round = 3
+let tag_next_seq = 4
+let tag_served = 5
+let tag_custody = 6
+
+let frame tag payload =
+  let len = String.length payload in
+  if len > 0xFFFF then invalid_arg "Store: record payload too large";
+  let b = Bytes.create (4 + len + 4) in
+  Bytes.set_uint8 b 0 Wire.format_version;
+  Bytes.set_uint8 b 1 tag;
+  Bytes.set_uint16_be b 2 len;
+  Bytes.blit_string payload 0 b 4 len;
+  let crc = crc32 (Bytes.unsafe_to_string b) ~pos:0 ~len:(4 + len) in
+  Bytes.set_int32_be b (4 + len) (Int32.of_int crc);
+  Bytes.to_string b
+
+(* Parse one frame at [off]. [None] means the tail is torn: too short
+   for a header, shorter than its declared length, or failing its CRC
+   — all the shapes a crash mid-append leaves behind. A frame whose
+   CRC is intact but whose version byte or structure is wrong is not
+   crash damage and raises {!Corrupt}. *)
+let parse_frame ~what s off =
+  let avail = String.length s - off in
+  if avail < 8 then None
+  else
+    let len = String.get_uint16_be s (off + 2) in
+    if avail < 4 + len + 4 then None
+    else
+      let stored =
+        Int32.to_int (String.get_int32_be s (off + 4 + len)) land 0xFFFFFFFF
+      in
+      if crc32 s ~pos:off ~len:(4 + len) <> stored then None
+      else begin
+        let v = String.get_uint8 s off in
+        if v <> Wire.format_version then
+          corrupt "%s: record format v%d, this binary speaks v%d" what v
+            Wire.format_version;
+        let tag = String.get_uint8 s (off + 1) in
+        Some (tag, String.sub s (off + 4) len, off + 8 + len)
+      end
+
+let enc_payload f =
+  let e = Wire.Enc.create () in
+  f e;
+  Wire.Enc.contents e
+
+let enc_custody e = function
+  | No_token -> Wire.Enc.u8 e 0
+  | Holding { epoch } ->
+      Wire.Enc.u8 e 1;
+      Wire.Enc.int_ e epoch
+
+let dec_custody d =
+  match Wire.Dec.u8 d with
+  | 0 -> No_token
+  | 1 -> Holding { epoch = Wire.Dec.int_ d }
+  | c -> raise (Wire.Malformed (Printf.sprintf "invalid custody tag %d" c))
+
+let snapshot_payload ~n v =
+  enc_payload (fun e ->
+      Wire.Enc.int_ e n;
+      Wire.Enc.int_ e v.epoch;
+      Wire.Enc.int_ e v.election;
+      Wire.Enc.int_ e v.enq_round;
+      Wire.Enc.int_ e v.next_seq;
+      Wire.Enc.array e Wire.Enc.int_ v.granted;
+      enc_custody e v.custody)
+
+let decode_snapshot ~n payload =
+  match
+    let d = Wire.Dec.of_string payload in
+    let stored_n = Wire.Dec.int_ d in
+    let epoch = Wire.Dec.int_ d in
+    let election = Wire.Dec.int_ d in
+    let enq_round = Wire.Dec.int_ d in
+    let next_seq = Wire.Dec.int_ d in
+    let granted = Wire.Dec.array d Wire.Dec.int_ in
+    let custody = dec_custody d in
+    Wire.Dec.check_eof d;
+    (stored_n, { epoch; election; enq_round; next_seq; granted; custody })
+  with
+  | stored_n, v ->
+      if stored_n <> n then
+        corrupt "snapshot written for a %d-node cluster, this one has %d"
+          stored_n n;
+      if Array.length v.granted <> n then
+        corrupt "snapshot granted vector has %d entries, expected %d"
+          (Array.length v.granted) n;
+      v
+  | exception Wire.Malformed m -> corrupt "snapshot payload: %s" m
+
+(* Fold one CRC-intact WAL record into [base]. Payload decode errors
+   on an intact record mean a foreign format, not crash damage. *)
+let apply_record ~n base (tag, payload) =
+  match
+    let d = Wire.Dec.of_string payload in
+    let r =
+      if tag = tag_epoch then { base with epoch = Wire.Dec.int_ d }
+      else if tag = tag_election then { base with election = Wire.Dec.int_ d }
+      else if tag = tag_enq_round then
+        { base with enq_round = Wire.Dec.int_ d }
+      else if tag = tag_next_seq then { base with next_seq = Wire.Dec.int_ d }
+      else if tag = tag_served then begin
+        let node = Wire.Dec.int_ d in
+        let seq = Wire.Dec.int_ d in
+        if node < 0 || node >= n then
+          corrupt "WAL served record for node %d of %d" node n;
+        let granted = Array.copy base.granted in
+        granted.(node) <- seq;
+        { base with granted }
+      end
+      else if tag = tag_custody then { base with custody = dec_custody d }
+      else corrupt "unknown WAL record tag %d" tag
+    in
+    Wire.Dec.check_eof d;
+    r
+  with
+  | r -> r
+  | exception Wire.Malformed m -> corrupt "WAL record payload: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+
+type t = {
+  dir : string;
+  n : int;
+  wal_limit : int;
+  mu : Mutex.t;
+  mutable wal_fd : Unix.file_descr option;
+  mutable cur : view option;  (** Last durable view. *)
+  mutable wal_records : int;
+  mutable wal_bytes : int;
+  mutable snapshots : int;
+  mutable replayed : int;
+  mutable last_flush : float;
+}
+
+let snapshot_path t = Filename.concat t.dir "snapshot.bin"
+let wal_path t = Filename.concat t.dir "wal.bin"
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let open_ ?(wal_limit = 4096) ~dir ~n () =
+  if n <= 0 then invalid_arg "Store.open_: n must be positive";
+  if wal_limit <= 0 then invalid_arg "Store.open_: wal_limit must be positive";
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (Unix.ENOENT, _, _) ->
+      invalid_arg (Printf.sprintf "Store.open_: parent of %s missing" dir));
+  let t =
+    {
+      dir;
+      n;
+      wal_limit;
+      mu = Mutex.create ();
+      wal_fd = None;
+      cur = None;
+      wal_records = 0;
+      wal_bytes = 0;
+      snapshots = 0;
+      replayed = 0;
+      last_flush = 0.0;
+    }
+  in
+  (* Recover: snapshot first, then replay the WAL over it, truncating
+     any torn tail to the last intact record. *)
+  let base =
+    match read_file (snapshot_path t) with
+    | None -> None
+    | Some raw -> (
+        match parse_frame ~what:"snapshot" raw 0 with
+        | None -> corrupt "snapshot truncated or CRC mismatch"
+        | Some (tag, payload, next) ->
+            if tag <> tag_snapshot then
+              corrupt "snapshot file holds record tag %d" tag;
+            if next <> String.length raw then
+              corrupt "snapshot file has %d trailing bytes"
+                (String.length raw - next);
+            Some (decode_snapshot ~n payload))
+  in
+  let wal_raw = Option.value ~default:"" (read_file (wal_path t)) in
+  let rec replay view off =
+    match parse_frame ~what:"WAL" wal_raw off with
+    | None -> (view, off)
+    | Some (tag, payload, next) ->
+        if tag = tag_snapshot then corrupt "snapshot record inside the WAL";
+        t.replayed <- t.replayed + 1;
+        let base = match view with Some v -> v | None -> empty_view ~n in
+        replay (Some (apply_record ~n base (tag, payload))) next
+  in
+  let view, valid_len = replay base 0 in
+  if valid_len < String.length wal_raw then begin
+    (* Torn tail: drop it so the next append starts on a frame
+       boundary. *)
+    let fd = Unix.openfile (wal_path t) [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd valid_len;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  end;
+  t.cur <- Option.map copy_view view;
+  t.wal_records <- t.replayed;
+  t.wal_bytes <- valid_len;
+  t.wal_fd <-
+    Some
+      (Unix.openfile (wal_path t)
+         [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+         0o644);
+  t
+
+let view t =
+  with_mu t (fun () -> Option.map copy_view t.cur)
+
+let stats t =
+  with_mu t (fun () ->
+      {
+        wal_records = t.wal_records;
+        wal_bytes = t.wal_bytes;
+        snapshots = t.snapshots;
+        replayed = t.replayed;
+        last_flush = t.last_flush;
+      })
+
+(* Delta frames turning [old] into [v]; [old = None] diffs against the
+   never-ran view so a first record persists every live field. *)
+let delta_frames ~n old v =
+  if Array.length v.granted <> n then
+    invalid_arg "Store.record: granted vector length mismatch";
+  let old = match old with Some o -> o | None -> empty_view ~n in
+  let fs = ref [] in
+  let add tag payload = fs := frame tag payload :: !fs in
+  if v.epoch <> old.epoch then
+    add tag_epoch (enc_payload (fun e -> Wire.Enc.int_ e v.epoch));
+  if v.election <> old.election then
+    add tag_election (enc_payload (fun e -> Wire.Enc.int_ e v.election));
+  if v.enq_round <> old.enq_round then
+    add tag_enq_round (enc_payload (fun e -> Wire.Enc.int_ e v.enq_round));
+  if v.next_seq <> old.next_seq then
+    add tag_next_seq (enc_payload (fun e -> Wire.Enc.int_ e v.next_seq));
+  Array.iteri
+    (fun j seq ->
+      if seq <> old.granted.(j) then
+        add tag_served
+          (enc_payload (fun e ->
+               Wire.Enc.int_ e j;
+               Wire.Enc.int_ e seq)))
+    v.granted;
+  if v.custody <> old.custody then
+    add tag_custody (enc_payload (fun e -> enc_custody e v.custody));
+  List.rev !fs
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec push off =
+    if off < Bytes.length b then
+      push (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  push 0
+
+(* Must hold [t.mu]. *)
+let flush_locked t =
+  match (t.cur, t.wal_fd) with
+  | None, _ | _, None -> ()
+  | Some v, Some wal_fd ->
+      let tmp = Filename.concat t.dir "snapshot.tmp" in
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      write_all fd (frame tag_snapshot (snapshot_payload ~n:t.n v));
+      Unix.fsync fd;
+      Unix.close fd;
+      Unix.rename tmp (snapshot_path t);
+      fsync_dir t.dir;
+      Unix.ftruncate wal_fd 0;
+      (try Unix.fsync wal_fd with Unix.Unix_error _ -> ());
+      t.wal_records <- 0;
+      t.wal_bytes <- 0;
+      t.snapshots <- t.snapshots + 1;
+      t.last_flush <- Unix.gettimeofday ()
+
+let record t v =
+  with_mu t (fun () ->
+      match t.wal_fd with
+      | None -> ()
+      | Some fd ->
+          let frames = delta_frames ~n:t.n t.cur v in
+          if frames <> [] then begin
+            let batch = String.concat "" frames in
+            write_all fd batch;
+            Unix.fsync fd;
+            t.wal_records <- t.wal_records + List.length frames;
+            t.wal_bytes <- t.wal_bytes + String.length batch;
+            t.last_flush <- Unix.gettimeofday ();
+            t.cur <- Some (copy_view v);
+            if t.wal_records > t.wal_limit then flush_locked t
+          end)
+
+let flush t = with_mu t (fun () -> flush_locked t)
+
+let close t =
+  with_mu t (fun () ->
+      match t.wal_fd with
+      | None -> ()
+      | Some fd ->
+          flush_locked t;
+          t.wal_fd <- None;
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let abort t =
+  with_mu t (fun () ->
+      match t.wal_fd with
+      | None -> ()
+      | Some fd ->
+          t.wal_fd <- None;
+          (try Unix.close fd with Unix.Unix_error _ -> ()))

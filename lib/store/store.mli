@@ -1,0 +1,102 @@
+(** Durable per-node protocol store: append-only CRC-framed
+    write-ahead log plus atomic snapshot.
+
+    A node persists the protocol-critical slice of its state — the
+    token-regeneration epoch, the election and ENQUIRY-round counters,
+    its own request counter, the last-served sequence per peer (the
+    paper's [L] vector), and {e token custody} — so that after a
+    crash-restart it provably knows whether it held the token and from
+    which epoch universe it came. Section 6's failure handling assumes
+    a failed node can come back; without this store a restarted node
+    has amnesia and could re-mint the token or reuse a regeneration
+    epoch, breaking safety.
+
+    Durability discipline (enforced by the caller, [Netkit.Node_runner]):
+    the post-step view is {!record}ed — and fsynced — {e before} any of
+    the step's effects are applied. In particular the custody record
+    hits disk before the node enters its critical section and before a
+    dispatched token's PRIVILEGE frame can reach the socket, so a
+    crash at any point leaves a view that never {e over}-claims
+    custody of a token some other node might hold.
+
+    On-disk layout in the state directory: [snapshot.bin] (one framed
+    record, replaced atomically by write-temp + fsync + rename) and
+    [wal.bin] (framed delta records appended and fsynced per
+    {!record}). Every frame leads with {!Wire.format_version} and ends
+    with a CRC-32, so a stale or foreign state directory fails loudly
+    ({!Corrupt}) while a torn tail — the normal shape of a crash
+    mid-append — silently truncates to the last intact record.
+
+    All operations are thread-safe. *)
+
+exception Corrupt of string
+(** The state directory cannot be trusted: format-version mismatch,
+    snapshot CRC failure, or a cluster-size mismatch. Never raised for
+    a torn or truncated WAL tail, which is expected crash damage and
+    is repaired by truncation. *)
+
+(** Who held the token, according to the last fsynced record. *)
+type custody =
+  | No_token
+  | Holding of { epoch : int }
+      (** The node held the token of this regeneration epoch. *)
+
+type view = {
+  epoch : int;  (** Highest token-regeneration epoch witnessed. *)
+  election : int;  (** Highest arbiter-election number witnessed. *)
+  enq_round : int;  (** Highest ENQUIRY round seen or started. *)
+  next_seq : int;  (** The node's own request counter. *)
+  granted : int array;
+      (** Last-served request sequence per peer (the [L] vector). *)
+  custody : custody;
+}
+(** The protocol-critical slice of one node's state. *)
+
+type stats = {
+  wal_records : int;  (** Delta records appended since open/snapshot. *)
+  wal_bytes : int;  (** Current WAL size in bytes. *)
+  snapshots : int;  (** Snapshots written since open. *)
+  replayed : int;  (** WAL records replayed at open. *)
+  last_flush : float;  (** Unix time of the last fsync; 0 if none. *)
+}
+
+type t
+
+val empty_view : n:int -> view
+(** All counters zero, nothing granted, no custody — the view of a
+    node that has never run. *)
+
+val open_ : ?wal_limit:int -> dir:string -> n:int -> unit -> t
+(** Open (creating if needed) the state directory and recover:
+    load the snapshot if present, replay the WAL over it, and truncate
+    any torn tail. [n] is the cluster size; a directory written for a
+    different [n] raises {!Corrupt}, as does any format-version
+    mismatch. [wal_limit] (default 4096) bounds the WAL record count
+    before an automatic snapshot folds it away. *)
+
+val view : t -> view option
+(** The recovered (and since-updated) view, or [None] if the
+    directory held no durable state — which on a {e restart} is
+    amnesia and must be treated as such by the caller. *)
+
+val record : t -> view -> unit
+(** Make [v] durable: append one delta record per changed field to the
+    WAL and fsync once. A no-change call writes nothing. Automatically
+    folds the WAL into a snapshot past [wal_limit]. No-op after
+    {!close}/{!abort}. *)
+
+val flush : t -> unit
+(** Fold the current view into the snapshot now (write-temp + fsync +
+    rename + directory fsync) and truncate the WAL. No-op if nothing
+    was ever recorded, or after {!close}/{!abort}. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Graceful shutdown: {!flush}, then close the file descriptors.
+    Idempotent. *)
+
+val abort : t -> unit
+(** Crash-style shutdown: close the descriptors {e without} flushing —
+    what a real crash leaves behind is exactly the already-fsynced
+    snapshot + WAL. Used by restart chaos drills. Idempotent. *)

@@ -2,6 +2,13 @@ exception Malformed of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
+(* Bumped whenever the frame or store-record layout changes
+   incompatibly. Every transport frame and every persistent store
+   record leads with this byte, so a mixed-version cluster (or a state
+   directory written by an older binary) fails loudly at decode time
+   instead of misparsing. *)
+let format_version = 1
+
 module Enc = struct
   type t = Buffer.t
 
@@ -132,21 +139,26 @@ end
 module Frame = struct
   type kind = Data | Heartbeat
 
-  let header_len = 5
+  let header_len = 6
 
   let encode_header ~src kind =
     let b = Bytes.create header_len in
-    Bytes.set_int32_be b 0 (Int32.of_int src);
-    Bytes.set_uint8 b 4 (match kind with Data -> 0 | Heartbeat -> 1);
+    Bytes.set_uint8 b 0 format_version;
+    Bytes.set_int32_be b 1 (Int32.of_int src);
+    Bytes.set_uint8 b 5 (match kind with Data -> 0 | Heartbeat -> 1);
     Bytes.unsafe_to_string b
 
   let decode_header s =
     if String.length s < header_len then
       fail "frame shorter than its %d-byte header (%d bytes)" header_len
         (String.length s);
-    let src = Int32.to_int (String.get_int32_be s 0) in
+    let v = String.get_uint8 s 0 in
+    if v <> format_version then
+      fail "frame format version mismatch: peer speaks v%d, this node v%d" v
+        format_version;
+    let src = Int32.to_int (String.get_int32_be s 1) in
     let kind =
-      match String.get_uint8 s 4 with
+      match String.get_uint8 s 5 with
       | 0 -> Data
       | 1 -> Heartbeat
       | k -> fail "unknown frame kind %d" k

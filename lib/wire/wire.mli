@@ -8,6 +8,13 @@
 exception Malformed of string
 (** Raised by decoders on truncated or invalid input. *)
 
+val format_version : int
+(** Wire-format version byte carried at the front of every transport
+    frame (see {!Frame}) and of every persistent store record
+    ([Dmutex_store]). Decoders reject any other value with a distinct
+    {!Malformed} error, so mixed-version clusters and stale state
+    directories fail loudly instead of misparsing. *)
+
 (** Append-only encoder. *)
 module Enc : sig
   type t
@@ -67,25 +74,27 @@ module Dec : sig
 end
 
 (** The TCP transport's intra-frame header: every framed payload
-    starts with the sender's id and a frame kind, so a receiver can
-    demultiplex peers on one listening socket and tell protocol data
-    apart from transport-level heartbeats. Shared between
-    [Netkit.Transport] and the transport robustness tests so both
-    agree on the byte layout. *)
+    starts with the format version, the sender's id and a frame kind,
+    so a receiver can demultiplex peers on one listening socket and
+    tell protocol data apart from transport-level heartbeats. Shared
+    between [Netkit.Transport] and the transport robustness tests so
+    both agree on the byte layout. *)
 module Frame : sig
   type kind =
     | Data  (** An application payload for the receive callback. *)
     | Heartbeat  (** Transport-level liveness beacon; no payload. *)
 
   val header_len : int
-  (** Bytes of header at the front of every frame body (currently 5:
-      a 32-bit big-endian sender id plus one kind byte). *)
+  (** Bytes of header at the front of every frame body (currently 6:
+      the {!format_version} byte, a 32-bit big-endian sender id, and
+      one kind byte). *)
 
   val encode_header : src:int -> kind -> string
 
   val decode_header : string -> int * kind
   (** Parse the header at the front of a frame body; raises
-      {!Malformed} on a short body or an unknown kind byte. *)
+      {!Malformed} on a short body, a {!format_version} mismatch, or
+      an unknown kind byte. *)
 end
 
 (** Encode / decode one protocol message. [decode] must consume the

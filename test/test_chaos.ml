@@ -7,6 +7,7 @@
 open Dmutex
 module RCluster = Netkit.Cluster.Make (Resilient) (Wire.Protocol_codec)
 module BCluster = Netkit.Cluster.Make (Basic) (Wire.Protocol_codec)
+module PV = Dmutex_store.Protocol_view
 
 let chaos_seed =
   match Sys.getenv_opt "DMUTEX_CHAOS_SEED" with
@@ -64,12 +65,13 @@ module Witness = struct
   let dispose t = try Unix.unlink t.path with _ -> ()
 end
 
-let write_soak_logs cluster ~witness_violations ~served =
+let write_soak_logs ?(name = "chaos-soak") cluster ~witness_violations ~served
+    =
   match log_dir with
   | None -> ()
   | Some dir ->
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
-      let oc = open_out (Filename.concat dir "chaos-soak.log") in
+      let oc = open_out (Filename.concat dir (name ^ ".log")) in
       Printf.fprintf oc "seed: %d\n" chaos_seed;
       Printf.fprintf oc "witness violations: %d\n" witness_violations;
       Array.iteri (fun i s -> Printf.fprintf oc "node %d served: %d\n" i s) served;
@@ -99,6 +101,79 @@ let write_soak_logs cluster ~witness_violations ~served =
           st.Protocol.suspended
       done;
       close_out oc
+
+(* Role selectors shared by the crash and restart drills: each takes
+   the cluster size and then matches the [Crash_where]/[Restart_where]
+   selector signature. *)
+
+let select_token_holder n ~states ~live =
+  List.find_opt
+    (fun i ->
+      live i
+      &&
+      let st : Protocol.state = states i in
+      st.Protocol.token <> None
+      && match st.Protocol.role with Protocol.Normal -> true | _ -> false)
+    (List.init n Fun.id)
+
+let select_watched_arbiter n ~states ~live =
+  let ids = List.init n Fun.id in
+  match
+    List.find_opt
+      (fun w ->
+        live w
+        &&
+        let st : Protocol.state = states w in
+        st.Protocol.watching && live st.Protocol.arbiter
+        && st.Protocol.arbiter <> w)
+      ids
+  with
+  | Some w -> Some (states w).Protocol.arbiter
+  | None ->
+      (* Fallback: the node currently acting as arbiter. *)
+      List.find_opt
+        (fun i ->
+          live i
+          &&
+          match (states i).Protocol.role with
+          | Protocol.Normal -> false
+          | _ -> true)
+        ids
+
+(* An arbiter caught mid-collection: an ENQUIRY round is in flight on
+   it right now. Falls back to whoever is arbitering when the window
+   is missed. *)
+let select_collecting_arbiter n ~states ~live =
+  match
+    List.find_opt
+      (fun i -> live i && (states i).Protocol.recovery <> None)
+      (List.init n Fun.id)
+  with
+  | Some i -> Some i
+  | None -> select_watched_arbiter n ~states ~live
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with _ -> ())
+  | _ -> ( try Unix.unlink path with _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Where restart drills keep their per-node state directories: under
+   DMUTEX_CHAOS_STATE_DIR when set (CI uploads it on failure), else a
+   throwaway under the system temp dir. *)
+let soak_state_root name =
+  match Sys.getenv_opt "DMUTEX_CHAOS_STATE_DIR" with
+  | Some d -> Filename.concat d name
+  | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dmutex-%s-%d" name (Unix.getpid ()))
+
+let has_sub s sub =
+  let n = String.length s and k = String.length sub in
+  let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
+  scan 0
 
 (* The headline drill: 5 nodes over real sockets; the schedule applies
    7% loss, crash-stops the token holder, then the arbiter watched by
@@ -136,45 +211,11 @@ let test_chaos_soak () =
     done
   in
   let threads = List.init n (fun i -> Thread.create (worker i) ()) in
-  let token_holder ~states ~live =
-    List.find_opt
-      (fun i ->
-        live i
-        &&
-        let st : Protocol.state = states i in
-        st.Protocol.token <> None
-        && match st.Protocol.role with Protocol.Normal -> true | _ -> false)
-      (List.init n Fun.id)
-  in
-  let watched_arbiter ~states ~live =
-    let ids = List.init n Fun.id in
-    match
-      List.find_opt
-        (fun w ->
-          live w
-          &&
-          let st : Protocol.state = states w in
-          st.Protocol.watching && live st.Protocol.arbiter
-          && st.Protocol.arbiter <> w)
-        ids
-    with
-    | Some w -> Some (states w).Protocol.arbiter
-    | None ->
-        (* Fallback: the node currently acting as arbiter. *)
-        List.find_opt
-          (fun i ->
-            live i
-            &&
-            match (states i).Protocol.role with
-            | Protocol.Normal -> false
-            | _ -> true)
-          ids
-  in
   RCluster.chaos cluster
     [
       (0.0, RCluster.Fault (Netkit.Fault.Set_loss 0.07));
-      (1.5, RCluster.Crash_where ("token-holder", token_holder));
-      (4.5, RCluster.Crash_where ("watched-arbiter", watched_arbiter));
+      (1.5, RCluster.Crash_where ("token-holder", select_token_holder n));
+      (4.5, RCluster.Crash_where ("watched-arbiter", select_watched_arbiter n));
       (7.5, RCluster.Fault (Netkit.Fault.Partition [ [ 0; 1; 2 ]; [ 3; 4 ] ]));
       (9.5, RCluster.Fault Netkit.Fault.Heal);
       (11.0, RCluster.Fault (Netkit.Fault.Set_loss 0.0));
@@ -419,4 +460,209 @@ let suite =
         test_empty_schedule_baseline;
       Alcotest.test_case "live chaos soak (Section 6 on real sockets)" `Slow
         test_chaos_soak;
+    ] )
+
+(* ------------------------------------------------------------------ *)
+(* Restart drills: nodes are torn down for real (sockets closed, store
+   aborted without flush) and brought back from their state
+   directories mid-protocol. Separate suite so CI can run it as its
+   own job: [test/main.exe test restart-soak]. *)
+
+(* Kill-and-restart soak: the token holder dies mid-CS with durable
+   custody, the arbiter dies mid-collection, and a fixed node restarts
+   for good measure. Every node must come back from disk, mutual
+   exclusion must hold throughout (O_EXCL witness), and the whole
+   cluster must keep being served afterwards. *)
+let test_restart_soak () =
+  let n = 4 in
+  let cfg = soak_cfg n in
+  let state_root = soak_state_root "restart-soak" in
+  (* Stale directories from a previous run would restore the wrong
+     incarnation instead of starting fresh. *)
+  rm_rf state_root;
+  let cluster =
+    RCluster.launch ~base_port:8601 ~seed:chaos_seed ~heartbeat_period:0.2
+      ~suspect_timeout:0.8 ~state_root ~persist:PV.capture
+      ~restore:(PV.restore cfg) cfg
+  in
+  let fault = RCluster.fault cluster in
+  let witness = Witness.create "restart-soak" in
+  let served = Array.make n 0 in
+  let served_mu = Mutex.create () in
+  let stop = ref false in
+  let worker i () =
+    let rng = Random.State.make [| chaos_seed; i; 0x7e57 |] in
+    while not !stop do
+      if Netkit.Fault.is_crashed fault i then Thread.delay 0.05
+      else begin
+        (match
+           RCluster.Node.with_lock ~timeout:3.0 (RCluster.node cluster i)
+             (fun () ->
+               let owned = Witness.enter witness in
+               Thread.delay 0.002;
+               if owned then Witness.leave witness)
+         with
+        | Some () ->
+            Mutex.lock served_mu;
+            served.(i) <- served.(i) + 1;
+            Mutex.unlock served_mu
+        | None -> ());
+        Thread.delay (0.005 +. Random.State.float rng 0.03)
+      end
+    done
+  in
+  let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+  RCluster.chaos cluster
+    [
+      ( 1.0,
+        RCluster.Restart_where
+          {
+            label = "token-holder";
+            select = select_token_holder n;
+            after = 0.6;
+          } );
+      ( 4.0,
+        RCluster.Restart_where
+          {
+            label = "collecting-arbiter";
+            select = select_collecting_arbiter n;
+            after = 0.6;
+          } );
+      (7.0, RCluster.Restart { node = 0; after = 0.4 });
+    ];
+  RCluster.wait_chaos cluster;
+  (* Post-restart convergence: every node — the restarted ones
+     included — must keep getting served. *)
+  let snapshot =
+    Mutex.lock served_mu;
+    let s = Array.copy served in
+    Mutex.unlock served_mu;
+    s
+  in
+  let deadline = Unix.gettimeofday () +. 25.0 in
+  let rec settle () =
+    let progressed =
+      Mutex.lock served_mu;
+      let p =
+        List.for_all
+          (fun i -> served.(i) >= snapshot.(i) + 2)
+          (List.init n Fun.id)
+      in
+      Mutex.unlock served_mu;
+      p
+    in
+    if progressed then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.1;
+      settle ()
+    end
+  in
+  let all_served = settle () in
+  stop := true;
+  List.iter Thread.join threads;
+  let violations = Witness.violations witness in
+  write_soak_logs ~name:"restart-soak" cluster ~witness_violations:violations
+    ~served;
+  let restarts_completed =
+    List.length
+      (List.filter (fun (_, m) -> has_sub m "back up")
+         (RCluster.chaos_log cluster))
+  in
+  let store_live =
+    RCluster.Node.store_stats (RCluster.node cluster 0) <> None
+  in
+  let recovery = RCluster.note_count cluster "recovery-started" in
+  let regenerated = RCluster.note_count cluster "token-regenerated" in
+  RCluster.shutdown cluster;
+  Witness.dispose witness;
+  Alcotest.(check bool) "nodes persist through a live store" true store_live;
+  Alcotest.(check int) "zero mutual-exclusion violations" 0 violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "restart drills completed (%d)" restarts_completed)
+    true
+    (restarts_completed >= 2);
+  Alcotest.(check bool) "every node served after the restarts" true all_served;
+  Logs.app (fun m ->
+      m "restart soak: served=%s restarts=%d recovery=%d regenerated=%d"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int served)))
+        restarts_completed recovery regenerated);
+  if Sys.getenv_opt "DMUTEX_CHAOS_STATE_DIR" = None then rm_rf state_root
+
+(* Amnesia end-to-end: a node loses its state directory across the
+   restart (disk wiped while it was down). The amnesiac rejoin must
+   never regenerate a token while a live one circulates — it resyncs
+   from the running cluster and is eventually served normally. *)
+let test_amnesiac_restart_stays_safe () =
+  let n = 3 in
+  let cfg = soak_cfg n in
+  let state_root = soak_state_root "amnesia-restart" in
+  rm_rf state_root;
+  let cluster =
+    RCluster.launch ~base_port:8641 ~seed:chaos_seed ~heartbeat_period:0.2
+      ~suspect_timeout:0.8 ~state_root ~persist:PV.capture
+      ~restore:(PV.restore cfg) cfg
+  in
+  let witness = Witness.create "amnesia-restart" in
+  let stop = ref false in
+  (* Keep the token circulating on the survivors so a live token
+     provably exists the whole time the amnesiac is resyncing. *)
+  let worker i () =
+    while not !stop do
+      (match
+         RCluster.Node.with_lock ~timeout:3.0 (RCluster.node cluster i)
+           (fun () ->
+             let owned = Witness.enter witness in
+             Thread.delay 0.002;
+             if owned then Witness.leave witness)
+       with
+      | Some () | None -> ());
+      Thread.delay 0.01
+    done
+  in
+  let threads = List.map (fun i -> Thread.create (worker i) ()) [ 0; 2 ] in
+  Thread.delay 1.0;
+  RCluster.crash cluster 1;
+  (* The disk dies with the process: wipe node 1's state directory so
+     the restart comes back with an empty store — amnesia. *)
+  rm_rf (Filename.concat state_root "node-1");
+  Thread.delay 0.5;
+  RCluster.restart cluster 1;
+  let restarted = RCluster.node cluster 1 in
+  Alcotest.(check bool) "empty state dir restarts amnesiac" true
+    (RCluster.Node.state restarted).Protocol.amnesiac;
+  (* Liveness: the amnesiac must still get the lock once resynced
+     (sync_wait parks the request, the retry valve or the next
+     NEW-ARBITER releases it). *)
+  let got =
+    RCluster.Node.with_lock ~timeout:20.0 restarted (fun () ->
+        let owned = Witness.enter witness in
+        Thread.delay 0.002;
+        if owned then Witness.leave witness)
+  in
+  stop := true;
+  List.iter Thread.join threads;
+  let regenerated_by_amnesiac =
+    RCluster.Node.note_count restarted "token-regenerated"
+  in
+  let resynced = not (RCluster.Node.state restarted).Protocol.amnesiac in
+  let violations = Witness.violations witness in
+  RCluster.shutdown cluster;
+  Witness.dispose witness;
+  Alcotest.(check bool) "amnesiac eventually served" true (got = Some ());
+  Alcotest.(check bool) "amnesia cleared by live knowledge" true resynced;
+  Alcotest.(check int) "amnesiac never regenerated the token" 0
+    regenerated_by_amnesiac;
+  Alcotest.(check int) "zero mutual-exclusion violations" 0 violations;
+  if Sys.getenv_opt "DMUTEX_CHAOS_STATE_DIR" = None then rm_rf state_root
+
+let restart_suite =
+  ( "restart-soak",
+    [
+      Alcotest.test_case "amnesiac restart stays safe" `Slow
+        test_amnesiac_restart_stays_safe;
+      Alcotest.test_case "kill-and-restart soak (holder mid-CS, arbiter \
+                          mid-collection)"
+        `Slow test_restart_soak;
     ] )

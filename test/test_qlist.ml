@@ -67,6 +67,62 @@ let test_prune () =
   Alcotest.(check bool) "newer kept" true
     (List.exists (fun x -> x.Qlist.node = 1 && x.Qlist.seq = 3) pruned)
 
+(* Recovery scenarios: what the Q-list machinery must guarantee when
+   a node crashes mid-queue and a new incarnation of it rejoins. *)
+
+let test_rejoin_duplicate_insertion () =
+  (* The crashed incarnation's request (node 1, seq 7) is still
+     queued when the restarted incarnation, whose counter reset to 0,
+     requests again. Enqueue must neither duplicate the node nor
+     downgrade to the stale-looking lower seq — the old entry wins
+     until the L vector clears it. *)
+  let q = [] |> Qlist.enqueue (e 0 3) |> Qlist.enqueue (e 1 7)
+          |> Qlist.enqueue (e 2 1) in
+  let q' = Qlist.enqueue (e 1 0) q in
+  Alcotest.(check int) "no duplicate node after rejoin" 3 (List.length q');
+  let kept = List.find (fun x -> x.Qlist.node = 1) q' in
+  Alcotest.(check int) "pre-crash seq never downgraded" 7 kept.Qlist.seq;
+  (* Position is preserved too: the rejoined node does not jump the
+     queue by re-requesting. *)
+  Alcotest.(check (list int)) "order unchanged" [ 0; 1; 2 ]
+    (List.map (fun x -> x.Qlist.node) q')
+
+let test_rejoin_after_service () =
+  (* Once the pre-crash request was served (L vector knows seq 7), the
+     new incarnation's fresh seq-0 request looks "already served" —
+     the trap a restored next_seq avoids. A node restarted WITH its
+     counter (seq 8) is served normally. *)
+  let g = Qlist.Granted.mark (Qlist.Granted.create 3) (e 1 7) in
+  Alcotest.(check bool) "amnesiac seq 0 looks served" true
+    (Qlist.Granted.already_served g (e 1 0));
+  Alcotest.(check bool) "restored seq continues past the grant" false
+    (Qlist.Granted.already_served g (e 1 8));
+  (* prune applies the same rule to queued entries. *)
+  let q = [ e 0 1; e 1 0 ] in
+  Alcotest.(check (list int)) "stale incarnation entry pruned" [ 0 ]
+    (List.map (fun x -> x.Qlist.node) (Qlist.prune g q))
+
+let test_rejoin_head_tail_invariants () =
+  (* Head/tail stay well-defined through a crash-rejoin churn: the
+     head is served, the old entry drops off, the new incarnation
+     lands at the tail. *)
+  let q = [] |> Qlist.enqueue (e 0 3) |> Qlist.enqueue (e 1 7)
+          |> Qlist.enqueue (e 2 1) in
+  (* Serve the head, as dispatch does. *)
+  let q = match q with _ :: rest -> rest | [] -> [] in
+  Alcotest.(check int) "new head" 1
+    (match Qlist.head q with Some x -> x.Qlist.node | None -> -1);
+  (* The restarted node 1's old entry is cleared by the L vector when
+     its grant lands, then its new incarnation re-enqueues. *)
+  let g = Qlist.Granted.mark (Qlist.Granted.create 3) (e 1 7) in
+  let q = Qlist.prune g q in
+  let q = Qlist.enqueue (e 1 8) q in
+  Alcotest.(check int) "head survives churn" 2
+    (match Qlist.head q with Some x -> x.Qlist.node | None -> -1);
+  Alcotest.(check (option int)) "new incarnation at the tail" (Some 1)
+    (Qlist.tail_node q);
+  Alcotest.(check int) "exactly one entry per node" 2 (List.length q)
+
 let entry_gen =
   QCheck.Gen.(
     map2 (fun node seq -> e node seq) (int_range 0 5) (int_range 0 10))
@@ -113,6 +169,12 @@ let suite =
         test_priority_sort_stable;
       Alcotest.test_case "granted vector" `Quick test_granted;
       Alcotest.test_case "prune" `Quick test_prune;
+      Alcotest.test_case "rejoin: duplicate insertion" `Quick
+        test_rejoin_duplicate_insertion;
+      Alcotest.test_case "rejoin: served-history trap" `Quick
+        test_rejoin_after_service;
+      Alcotest.test_case "rejoin: head/tail invariants" `Quick
+        test_rejoin_head_tail_invariants;
       QCheck_alcotest.to_alcotest prop_enqueue_unique;
       QCheck_alcotest.to_alcotest prop_enqueue_max_seq;
       QCheck_alcotest.to_alcotest prop_sort_permutation;

@@ -205,6 +205,181 @@ let test_crash_recover_rejoin () =
   Alcotest.(check int) "no violations" 0 o.safety_violations;
   Alcotest.(check bool) "system live" true (o.completed > 100)
 
+(* ------------------------------------------------------------------ *)
+(* Restart semantics, driven directly on the pure state machine: what
+   a node may and may not do after coming back from a crash, with and
+   without durable memory. *)
+
+let sends effs =
+  List.filter_map
+    (function Types.Send (dst, m) -> Some (dst, m) | _ -> None)
+    effs
+
+let has_note name effs =
+  List.exists
+    (function Types.Note n -> Types.string_of_note n = name | _ -> false)
+    effs
+
+let na ~arbiter ~epoch ~election ~n =
+  Protocol.New_arbiter
+    {
+      Protocol.na_arbiter = arbiter;
+      na_q = [];
+      na_granted = Qlist.Granted.create n;
+      na_counter = 0;
+      na_monitor = -1;
+      na_epoch = epoch;
+      na_election = election;
+    }
+
+let test_amnesiac_never_regenerates () =
+  (* Acceptance: a node restarted with an empty state directory never
+     regenerates the token while a live token exists elsewhere. *)
+  let n = 5 in
+  let cfg = cfg ~n () in
+  let st = Protocol.rejoin cfg 0 in
+  Alcotest.(check bool) "restart without store is amnesiac" true
+    st.Protocol.amnesiac;
+  (* Phase 1 refused: a WARNING (how invalidations start) must not
+     fan out ENQUIRYs from an amnesiac. *)
+  let st', effs =
+    Protocol.handle cfg ~now:1.0 st (Types.Receive (1, Protocol.Warning))
+  in
+  Alcotest.(check int) "no ENQUIRY sent" 0 (List.length (sends effs));
+  Alcotest.(check bool) "refusal is visible" true
+    (has_note "recovery-refused-amnesiac" effs);
+  Alcotest.(check bool) "no invalidation running" true
+    (st'.Protocol.recovery = None);
+  (* Phase 2 refused too (belt and braces): even with an in-flight
+     invalidation record, an amnesiac must not mint a token. *)
+  let rigged =
+    { st with
+      Protocol.recovery =
+        Some
+          { Protocol.rround = 1; expected = [ 1; 2 ]; replied = [ 1; 2 ];
+            waiting = [] } }
+  in
+  let st'', effs =
+    Protocol.handle cfg ~now:2.0 rigged (Types.Timer_fired Protocol.T_enquiry)
+  in
+  Alcotest.(check bool) "no token regenerated" false
+    (has_note "token-regenerated" effs);
+  Alcotest.(check bool) "no token appeared" true (st''.Protocol.token = None);
+  Alcotest.(check bool) "invalidation dropped" true
+    (st''.Protocol.recovery = None)
+
+let test_restored_custodian_recovers () =
+  (* Contrast: a restart backed by a durable store is NOT amnesiac,
+     and a dead custodian's WARNING starts the invalidation. *)
+  let n = 5 in
+  let cfg = cfg ~n () in
+  let r =
+    { Protocol.r_epoch = 4; r_election = 2; r_enq_round = 1; r_next_seq = 3;
+      r_granted = Qlist.Granted.create n; r_had_token = true }
+  in
+  let st = Protocol.rejoin_restored cfg 0 r in
+  Alcotest.(check bool) "not amnesiac with memory" false st.Protocol.amnesiac;
+  Alcotest.(check int) "epoch restored" 4 st.Protocol.token_epoch;
+  Alcotest.(check int) "request counter restored" 3 st.Protocol.next_seq;
+  Alcotest.(check bool) "token object never resurrected" true
+    (st.Protocol.token = None);
+  let st', effs =
+    Protocol.handle cfg ~now:1.0 st (Types.Receive (0, Protocol.Warning))
+  in
+  Alcotest.(check int) "ENQUIRY fans out to every peer" (n - 1)
+    (List.length (sends effs));
+  Alcotest.(check bool) "invalidation running" true
+    (st'.Protocol.recovery <> None)
+
+let test_restored_never_claims_token () =
+  (* A restarted ex-custodian answering an ENQUIRY must never claim
+     Have_token: its pre-crash token claim died with it. *)
+  let n = 5 in
+  let cfg = cfg ~n () in
+  let r =
+    { Protocol.r_epoch = 4; r_election = 2; r_enq_round = 0; r_next_seq = 3;
+      r_granted = Qlist.Granted.create n; r_had_token = true }
+  in
+  let st = Protocol.rejoin_restored cfg 0 r in
+  let _, effs =
+    Protocol.handle cfg ~now:1.0 st
+      (Types.Receive (2, Protocol.Enquiry { round = 7 }))
+  in
+  match sends effs with
+  | [ (2, Protocol.Enquiry_reply { status; _ }) ] ->
+      Alcotest.(check bool) "status is not Have_token" true
+        (status <> Protocol.Have_token)
+  | _ -> Alcotest.fail "expected exactly one ENQUIRY-REPLY to the asker"
+
+let test_sync_wait_absorbs_epoch_first () =
+  (* Satellite: a restarted node absorbs the higher epoch from the
+     first NEW-ARBITER heard BEFORE issuing its own REQUEST — the
+     request is parked until then and goes to the announced arbiter. *)
+  let n = 5 in
+  let cfg = cfg ~n () in
+  let st = Protocol.rejoin cfg 0 in
+  let st, effs = Protocol.handle cfg ~now:1.0 st Types.Request_cs in
+  Alcotest.(check int) "request parked, nothing sent" 0
+    (List.length (sends effs));
+  Alcotest.(check int) "parked as pending" 1 st.Protocol.pending;
+  let st, effs =
+    Protocol.handle cfg ~now:2.0 st
+      (Types.Receive (3, na ~arbiter:3 ~epoch:9 ~election:6 ~n))
+  in
+  Alcotest.(check int) "higher epoch absorbed first" 9
+    st.Protocol.token_epoch;
+  Alcotest.(check bool) "announcement clears amnesia" false
+    st.Protocol.amnesiac;
+  (match sends effs with
+  | [ (3, Protocol.Request e) ] ->
+      Alcotest.(check int) "request carries restarted seq" 0 e.Qlist.seq
+  | _ -> Alcotest.fail "expected the parked REQUEST to the new arbiter");
+  Alcotest.(check int) "pending drained" 0 st.Protocol.pending
+
+let test_sync_wait_escape_valve () =
+  (* If no announcement ever comes, T_retry releases the parked
+     request — liveness — but amnesia stays until fresh knowledge. *)
+  let n = 5 in
+  let cfg = cfg ~n () in
+  let st = Protocol.rejoin cfg 0 in
+  let st, _ = Protocol.handle cfg ~now:1.0 st Types.Request_cs in
+  let st, effs =
+    Protocol.handle cfg ~now:10.0 st (Types.Timer_fired Protocol.T_retry)
+  in
+  Alcotest.(check int) "parked request finally issued" 1
+    (List.length (sends effs));
+  Alcotest.(check bool) "sync-wait over" false st.Protocol.sync_wait;
+  Alcotest.(check bool) "amnesia is NOT cleared by a timeout" true
+    st.Protocol.amnesiac
+
+let test_request_arms_lost_token_watchdog () =
+  (* A request issued to a remote arbiter arms T_token immediately —
+     not only once a Q-list announcement acknowledges it. If the
+     elected arbiter died with the token in transit and restarted as a
+     normal node, no announcement ever comes: requests just bounce
+     between stash-relays, and the watchdog's WARNING is the only path
+     back to recovery (found by the restart soak). *)
+  let n = 4 in
+  let cfg = cfg ~n () in
+  let armed effs =
+    List.exists
+      (function Types.Set_timer (Protocol.T_token, _) -> true | _ -> false)
+      effs
+  in
+  let st = Protocol.init cfg 2 in
+  let st, effs = Protocol.handle cfg ~now:1.0 st Types.Request_cs in
+  Alcotest.(check bool) "watchdog armed at issue" true (armed effs);
+  (* Unserved past the timeout: WARNING the believed arbiter, re-arm. *)
+  let _, effs =
+    Protocol.handle cfg ~now:3.0 st (Types.Timer_fired Protocol.T_token)
+  in
+  (match sends effs with
+  | [ (dst, Protocol.Warning) ] ->
+      Alcotest.(check int) "warned the believed arbiter" st.Protocol.arbiter
+        dst
+  | _ -> Alcotest.fail "expected exactly one WARNING to the arbiter");
+  Alcotest.(check bool) "watchdog re-armed" true (armed effs)
+
 let test_drill_harness () =
   (* The packaged Section 6 drills must all report resumed service. *)
   let rows = Experiments.table_recovery ~n:10 () in
@@ -230,5 +405,17 @@ let suite =
         test_repeated_faults;
       Alcotest.test_case "crash, recover, rejoin" `Quick
         test_crash_recover_rejoin;
+      Alcotest.test_case "amnesiac never regenerates" `Quick
+        test_amnesiac_never_regenerates;
+      Alcotest.test_case "restored custodian starts recovery" `Quick
+        test_restored_custodian_recovers;
+      Alcotest.test_case "restored node never claims the token" `Quick
+        test_restored_never_claims_token;
+      Alcotest.test_case "sync-wait absorbs epoch before REQUEST" `Quick
+        test_sync_wait_absorbs_epoch_first;
+      Alcotest.test_case "sync-wait escape valve" `Quick
+        test_sync_wait_escape_valve;
+      Alcotest.test_case "request arms lost-token watchdog" `Quick
+        test_request_arms_lost_token_watchdog;
       Alcotest.test_case "packaged drills resume" `Slow test_drill_harness;
     ] )

@@ -98,12 +98,22 @@ let test_negative_length () =
   survives_garbage ~port:8703 ~peer_port:8704 (length_prefix (-1))
 
 let test_short_frame () =
-  (* Body shorter than the 5-byte frame header. *)
+  (* Body shorter than the 6-byte frame header. *)
   survives_garbage ~port:8705 ~peer_port:8706 (length_prefix 2 ^ "ab")
 
 let test_bad_frame_kind () =
-  let body = "\000\000\000\001\255payload" in
+  (* Valid version byte and sender id, kind byte 255. *)
+  let body = "\001\000\000\000\001\255payload" in
   survives_garbage ~port:8707 ~peer_port:8708
+    (length_prefix (String.length body) ^ body)
+
+let test_version_mismatch () =
+  (* A well-formed v2 frame from a peer speaking a future format: the
+     version byte must reject it before the kind byte is even read. *)
+  let body = "\002\000\000\000\001\000payload" in
+  Alcotest.(check bool) "crafted frame differs only in version" true
+    (String.get_uint8 body 0 <> Wire.format_version);
+  survives_garbage ~port:8721 ~peer_port:8722
     (length_prefix (String.length body) ^ body)
 
 let test_bad_sender_id () =
@@ -265,6 +275,8 @@ let suite =
       Alcotest.test_case "negative length header" `Quick test_negative_length;
       Alcotest.test_case "short (<header) frame" `Quick test_short_frame;
       Alcotest.test_case "unknown frame kind" `Quick test_bad_frame_kind;
+      Alcotest.test_case "frame format version mismatch" `Quick
+        test_version_mismatch;
       Alcotest.test_case "out-of-range sender id" `Quick test_bad_sender_id;
       Alcotest.test_case "partial header then disconnect" `Quick
         test_partial_header_disconnect;

@@ -185,11 +185,39 @@ let prop_random_bytes_never_crash =
       | _ -> true
       | exception Wire.Malformed _ -> true)
 
+let test_frame_header_version () =
+  (* The version byte leads every frame header and gates decoding. *)
+  let h = Wire.Frame.encode_header ~src:3 Wire.Frame.Data in
+  Alcotest.(check int) "header length" Wire.Frame.header_len (String.length h);
+  Alcotest.(check int) "leading version byte" Wire.format_version
+    (String.get_uint8 h 0);
+  let src, kind = Wire.Frame.decode_header h in
+  Alcotest.(check int) "src roundtrips" 3 src;
+  Alcotest.(check bool) "kind roundtrips" true (kind = Wire.Frame.Data);
+  let bumped =
+    String.init (String.length h) (fun i ->
+        if i = 0 then Char.chr (Wire.format_version + 1) else h.[i])
+  in
+  match Wire.Frame.decode_header bumped with
+  | _ -> Alcotest.fail "future-version header must not decode"
+  | exception Wire.Malformed msg ->
+      let mentions_version =
+        let n = String.length msg and p = "version" in
+        let k = String.length p in
+        let rec scan i = i + k <= n && (String.sub msg i k = p || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the version (%s)" msg)
+        true mentions_version
+
 let suite =
   ( "wire",
     [
       Alcotest.test_case "all message kinds roundtrip" `Quick
         test_roundtrip_all;
+      Alcotest.test_case "frame header version byte" `Quick
+        test_frame_header_version;
       Alcotest.test_case "encodings distinct" `Quick test_distinct_encodings;
       Alcotest.test_case "every truncation rejected" `Quick
         test_truncated_rejected;
