@@ -1,0 +1,66 @@
+(* CI bench regression gate.
+
+     gate [--tolerance T] [--wall-tolerance T] BASELINE.json CURRENT.json
+
+   Reads two BENCH_RESULTS.json files (schema 2, with the "derived"
+   section) and applies Dmutex_obs.Gate: messages-per-CS must not
+   regress relative to the baseline beyond the tolerance, must sit in
+   the absolute acceptance band of the paper's Eq. 4, and total
+   wall-clock must not regress beyond the (separately tuned, looser)
+   wall tolerance. Prints one line per check; exits 1 on any failure,
+   2 on unreadable input. *)
+
+let tolerance = ref 0.25
+let wall_tolerance = ref 0.25
+let files = ref []
+
+let spec =
+  [
+    ( "--tolerance",
+      Arg.Set_float tolerance,
+      "T  relative messages-per-CS tolerance (default 0.25)" );
+    ( "--wall-tolerance",
+      Arg.Set_float wall_tolerance,
+      "T  relative wall-clock tolerance (default 0.25; CI passes a loose \
+       one — shared runners are noisy)" );
+  ]
+
+let usage = "gate [options] BASELINE.json CURRENT.json"
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e ->
+      Printf.eprintf "gate: %s\n" e;
+      exit 2
+  | s -> (
+      match Dmutex_obs.Json.of_string s with
+      | Ok j -> j
+      | Error e ->
+          Printf.eprintf "gate: %s: %s\n" path e;
+          exit 2)
+
+let () =
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  match List.rev !files with
+  | [ baseline_path; current_path ] ->
+      let baseline = read baseline_path and current = read current_path in
+      let outcome =
+        Dmutex_obs.Gate.run ~tolerance:!tolerance
+          ~wall_tolerance:!wall_tolerance ~baseline ~current ()
+      in
+      List.iter print_endline outcome.Dmutex_obs.Gate.lines;
+      if outcome.Dmutex_obs.Gate.failures = [] then
+        print_endline "gate: all checks passed"
+      else begin
+        Printf.printf "gate: %d check(s) FAILED\n"
+          (List.length outcome.Dmutex_obs.Gate.failures);
+        exit 1
+      end
+  | _ ->
+      prerr_endline usage;
+      exit 2

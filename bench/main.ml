@@ -242,6 +242,58 @@ let micro_tests =
             ignore (Simkit.Engine.step e))));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Derived per-CS accounting through the observability registry: the
+   same canonical series a live cluster exposes, derived the same way
+   (Dmutex_obs.Report), embedded into the JSON summary and enforced by
+   the CI regression gate (bench/gate.ml). The sim's own outcome
+   counter rides along as a cross-check: the registry-derived value
+   and the simulator's native count must agree. *)
+
+let derived_reports : (string * Dmutex_obs.Json.t) list ref = ref []
+
+let derived () =
+  let open Dmutex_obs in
+  let n = 10 in
+  let cfg = Dmutex.Basic.config ~n () in
+  let one key ~predicted run =
+    let reg = Registry.create () in
+    let (outcome : Dmutex.Sim_runner.outcome) =
+      timed ("derived:" ^ key) (fun () -> run reg)
+    in
+    let report = Report.derive (Registry.snapshot reg) in
+    Format.fprintf fmt
+      "derived:%s — %a@.   (sim native %.3f msgs/CS, analysis predicts \
+       %.3f)@.@."
+      key Report.pp report outcome.Dmutex.Sim_runner.messages_per_cs predicted;
+    let json =
+      match Report.to_json report with
+      | Json.Obj fields ->
+          Json.Obj
+            (fields
+            @ [
+                ("predicted_messages_per_cs", Json.Num predicted);
+                ( "sim_messages_per_cs",
+                  Json.Num outcome.Dmutex.Sim_runner.messages_per_cs );
+                ("n", Json.Num (float_of_int n));
+              ])
+      | j -> j
+    in
+    derived_reports := (key, json) :: !derived_reports
+  in
+  (* Saturation: Eq. 4, M = 3 - 2/N. *)
+  one "high_load"
+    ~predicted:(3.0 -. (2.0 /. float_of_int n))
+    (fun reg ->
+      RB.run_saturated ~seed:11 ~requests:(min requests 5_000) ~obs:reg cfg);
+  (* Light load: Eq. 1, M = (N^2 - 1)/N. *)
+  one "light_load"
+    ~predicted:(float_of_int ((n * n) - 1) /. float_of_int n)
+    (fun reg ->
+      RB.run_poisson ~seed:11 ~rate:0.01
+        ~requests:(min (requests / 2) 2_000)
+        ~obs:reg cfg)
+
 let kernel_estimates : (string * float) list ref = ref []
 
 let run_micro () =
@@ -291,7 +343,7 @@ let write_json path ~total =
   let buf = Buffer.create 2048 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add (Printf.sprintf "  \"schema\": 1,\n");
+  add (Printf.sprintf "  \"schema\": 2,\n");
   add (Printf.sprintf "  \"quick\": %b,\n" quick);
   add (Printf.sprintf "  \"requests_per_point\": %d,\n" requests);
   add (Printf.sprintf "  \"runs\": %d,\n" runs);
@@ -317,6 +369,20 @@ let write_json path ~total =
            (if i = List.length kernels - 1 then "" else ",")))
     kernels;
   add "  ],\n";
+  add "  \"derived\": {\n";
+  let ds = List.rev !derived_reports in
+  List.iteri
+    (fun i (key, json) ->
+      (* Re-indent the pretty-printed report to sit two levels deep. *)
+      let pretty = Dmutex_obs.Json.to_string_pretty json in
+      let indented =
+        String.concat "\n    " (String.split_on_char '\n' pretty)
+      in
+      add
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape key) indented
+           (if i = List.length ds - 1 then "" else ",")))
+    ds;
+  add "  },\n";
   add (Printf.sprintf "  \"total_seconds\": %.6f\n" total);
   add "}\n";
   let oc = open_out path in
@@ -332,6 +398,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   figures ();
   tables ();
+  derived ();
   run_micro ();
   let total = Unix.gettimeofday () -. t0 in
   Format.fprintf fmt "total wall-clock: %.2f s (jobs=%d)@." total

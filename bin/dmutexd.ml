@@ -78,6 +78,27 @@ let heartbeat_arg =
            longer than four periods are reported suspect. 0 disables \
            the liveness monitor." ~docv:"SEC")
 
+let metrics_addr_arg =
+  Arg.(
+    value
+    & opt (some endpoint_conv) None
+    & info [ "metrics-addr" ]
+        ~doc:
+          "Serve this node's metrics registry as a Prometheus text \
+           endpoint (format 0.0.4) on $(docv). Any HTTP request path \
+           returns the full exposition." ~docv:"HOST:PORT")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-file" ]
+        ~doc:
+          "Record structured trace events (CS enter/exit, recovery \
+           milestones, liveness suspicions) into an in-memory ring and \
+           flush them to $(docv) as JSONL on exit — including signal- \
+           driven shutdown." ~docv:"PATH")
+
 let state_dir_arg =
   Arg.(
     value
@@ -124,7 +145,49 @@ let print_store_stats node id =
            Printf.sprintf "%.1fs ago"
              (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush))
 
-let run id peers demo verbose metrics_every loss heartbeat state_dir =
+(* Minimal single-threaded HTTP responder: every request, whatever the
+   path, gets the current Prometheus exposition. Enough for a scrape
+   target; not a web server. *)
+let serve_metrics (ep : Netkit.Transport.endpoint) reg =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock
+    (Unix.ADDR_INET (Unix.inet_addr_of_string ep.Netkit.Transport.host, ep.port));
+  Unix.listen sock 8;
+  ignore
+    (Thread.create
+       (fun () ->
+         while true do
+           match Unix.accept sock with
+           | exception Unix.Unix_error _ -> Thread.delay 0.1
+           | fd, _ ->
+               (try
+                  (* Drain whatever request line arrived; the reply is
+                     the same regardless. *)
+                  ignore (Unix.read fd (Bytes.create 4096) 0 4096);
+                  let body =
+                    Dmutex_obs.Registry.expose
+                      (Dmutex_obs.Registry.snapshot reg)
+                  in
+                  let resp =
+                    Printf.sprintf
+                      "HTTP/1.1 200 OK\r\n\
+                       Content-Type: text/plain; version=0.0.4\r\n\
+                       Content-Length: %d\r\n\
+                       Connection: close\r\n\
+                       \r\n\
+                       %s"
+                      (String.length body) body
+                  in
+                  ignore
+                    (Unix.write_substring fd resp 0 (String.length resp))
+                with _ -> ());
+               (try Unix.close fd with _ -> ())
+         done)
+       ())
+
+let run id peers demo verbose metrics_every loss heartbeat metrics_addr
+    trace_file state_dir =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -138,6 +201,22 @@ let run id peers demo verbose metrics_every loss heartbeat state_dir =
       t_forward = 0.05 }
   in
   let heartbeat_period = if heartbeat > 0.0 then Some heartbeat else None in
+  let obs = Dmutex_obs.Registry.create () in
+  let trace =
+    Option.map
+      (fun path ->
+        let sink = Dmutex_obs.Events.create () in
+        Dmutex_obs.Events.attach_at_exit sink path;
+        sink)
+      trace_file
+  in
+  (match metrics_addr with
+  | None -> ()
+  | Some ep ->
+      serve_metrics ep obs;
+      Logs.info (fun m ->
+          m "node %d: metrics on http://%s:%d/metrics" id
+            ep.Netkit.Transport.host ep.port));
   (* Durable store: a non-empty directory means this start is a
      restart — rebuild the protocol state from the recovered view and
      let a durable token custody trigger recovery immediately. *)
@@ -145,7 +224,7 @@ let run id peers demo verbose metrics_every loss heartbeat state_dir =
     match state_dir with
     | None -> (None, None, [])
     | Some dir ->
-        let store = Dmutex_store.Store.open_ ~dir ~n () in
+        let store = Dmutex_store.Store.open_ ~dir ~n ~obs () in
         (match Dmutex_store.Store.view store with
         | None -> (Some store, None, [])
         | Some view ->
@@ -170,7 +249,7 @@ let run id peers demo verbose metrics_every loss heartbeat state_dir =
         Logs.warn (fun m -> m "node %d: peer %d suspected down" id peer))
       ~on_alive:(fun peer ->
         Logs.info (fun m -> m "node %d: peer %d alive again" id peer))
-      ?initial ?store ?persist cfg ~me:id ~peers ()
+      ?initial ?store ?persist ~obs ?trace cfg ~me:id ~peers ()
   in
   List.iter (Node.inject node) restore_inputs;
   if loss > 0.0 then Node.set_loss node loss;
@@ -201,6 +280,9 @@ let run id peers demo verbose metrics_every loss heartbeat state_dir =
     print_metrics node id;
     Node.shutdown node;
     print_store_stats node id;
+    (match (trace, trace_file) with
+    | Some sink, Some path -> Dmutex_obs.Events.flush_file sink path
+    | _ -> ());
     exit 0
   in
   if demo then
@@ -235,6 +317,7 @@ let main =
           exclusion protocol over TCP.")
     Term.(
       const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg
-      $ metrics_every_arg $ loss_arg $ heartbeat_arg $ state_dir_arg)
+      $ metrics_every_arg $ loss_arg $ heartbeat_arg $ metrics_addr_arg
+      $ trace_file_arg $ state_dir_arg)
 
 let () = exit (Cmd.eval main)

@@ -557,7 +557,15 @@ let dispatch cfg ~now st =
             [ Set_timer (T_watch, cfg.Config.arbiter_timeout) ]
           else []
         in
-        let note = [ Note (Queue_length (List.length q)) ] in
+        let note =
+          [
+            Note (Queue_length (List.length q));
+            (* Collection window just closed: its duration is dispatch
+               time minus the window anchor (Figure 1's Tcoll, as
+               actually realised — idle windows stretch it). *)
+            Note (Phase ("collection", now -. anchor));
+          ]
+        in
         if monitor_route then begin
           (* Section 4.1: hand the token to the monitor without
              broadcasting; the monitor augments Q, broadcasts with the
@@ -1248,7 +1256,9 @@ let handle cfg ~now st (input : (message, timer) input) :
   | Timer_fired T_dispatch -> dispatch cfg ~now st
   | Timer_fired T_forward_end -> (
       match st.role with
-      | Forwarding _ -> ({ st with role = Normal }, [])
+      | Forwarding _ ->
+          ( { st with role = Normal },
+            [ Note (Phase ("forwarding", cfg.Config.t_forward)) ] )
       | _ -> (st, []))
   | Timer_fired T_stash -> (
       match st.role with

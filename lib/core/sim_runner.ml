@@ -48,6 +48,8 @@ module Make (A : Types.ALGO) = struct
     timer_actions : (A.timer, Engine.t -> unit) Hashtbl.t;
     mutable on_cs_exit : Engine.t -> unit;
     arrivals : float Queue.t;  (* unserved request arrival times *)
+    pm : Dmutex_obs.Protocol_metrics.t option;
+    (* per-node view into the run's obs registry, if one was given *)
     mutable current : float option;  (* arrival time of the in-CS request *)
     mutable crashed : bool;
     mutable grants : int;
@@ -76,7 +78,7 @@ module Make (A : Types.ALGO) = struct
   let network t = t.net
   let state t i = t.nodes.(i).state
 
-  let rec create ?(seed = 42) ?(trace = Trace.create ()) ?latency cfg =
+  let rec create ?(seed = 42) ?(trace = Trace.create ()) ?latency ?obs cfg =
     let cfg = Types.Config.validate cfg in
     let engine = Engine.create () in
     let rng = Rng.create seed in
@@ -97,6 +99,7 @@ module Make (A : Types.ALGO) = struct
             timer_actions = Hashtbl.create 8;
             on_cs_exit = ignore;
             arrivals = Queue.create ();
+            pm = Option.map Dmutex_obs.Protocol_metrics.create obs;
             current = None;
             crashed = false;
             grants = 0;
@@ -124,6 +127,10 @@ module Make (A : Types.ALGO) = struct
     in
     Array.iteri (fun i node -> node.on_cs_exit <- (fun _ -> cs_exit t i)) nodes;
     Network.set_handler net (fun ~src ~dst msg ->
+        (match t.nodes.(dst).pm with
+        | Some pm when src <> dst ->
+            Dmutex_obs.Protocol_metrics.received pm ~kind:(A.message_kind msg)
+        | Some _ | None -> ());
         dispatch t dst (Types.Receive (src, msg)));
     t
 
@@ -142,7 +149,11 @@ module Make (A : Types.ALGO) = struct
     match effect with
     | Types.Send (dst, m) ->
         if dst <> i then begin
-          Stats.Counter.incr t.kinds (A.message_kind m);
+          let kind = A.message_kind m in
+          Stats.Counter.incr t.kinds kind;
+          (match node.pm with
+          | Some pm -> Dmutex_obs.Protocol_metrics.sent pm ~kind
+          | None -> ());
           node.sent <- node.sent + 1
         end;
         if Trace.enabled t.trace then
@@ -150,8 +161,13 @@ module Make (A : Types.ALGO) = struct
             A.pp_message m;
         Network.send t.net ~src:i ~dst m
     | Types.Broadcast m ->
-        Stats.Counter.incr ~by:(t.cfg.Types.Config.n - 1) t.kinds
-          (A.message_kind m);
+        let kind = A.message_kind m in
+        Stats.Counter.incr ~by:(t.cfg.Types.Config.n - 1) t.kinds kind;
+        (match node.pm with
+        | Some pm ->
+            Dmutex_obs.Protocol_metrics.sent_many pm ~kind
+              (t.cfg.Types.Config.n - 1)
+        | None -> ());
         node.sent <- node.sent + t.cfg.Types.Config.n - 1;
         if Trace.enabled t.trace then
           Trace.addf t.trace ~time:now ~node:i ~tag:"broadcast" "%a"
@@ -166,6 +182,9 @@ module Make (A : Types.ALGO) = struct
         | _ -> ());
         t.cs_holder <- Some i;
         node.current <- Queue.take_opt node.arrivals;
+        (match node.pm with
+        | Some pm -> Dmutex_obs.Protocol_metrics.cs_entered pm ~now
+        | None -> ());
         Trace.add t.trace ~time:now ~node:i ~tag:"enter-cs" "";
         ignore
           (Engine.schedule t.engine ~delay:t.cfg.Types.Config.t_exec
@@ -195,6 +214,16 @@ module Make (A : Types.ALGO) = struct
         | None -> ())
     | Types.Note n ->
         Stats.Counter.incr t.notes (Types.string_of_note n);
+        (match node.pm with
+        | Some pm -> (
+            Dmutex_obs.Protocol_metrics.note pm (Types.string_of_note n);
+            match n with
+            | Types.Queue_length k ->
+                Dmutex_obs.Protocol_metrics.queue_length pm k
+            | Types.Phase (p, d) ->
+                Dmutex_obs.Protocol_metrics.phase pm ~name:p d
+            | _ -> ())
+        | None -> ());
         (match n with
         | Types.Queue_length k ->
             node.dispatches <- node.dispatches + 1;
@@ -208,6 +237,9 @@ module Make (A : Types.ALGO) = struct
       (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
       (match node.current with
       | Some arrival -> Stats.Tally.add t.delays (now -. arrival)
+      | None -> ());
+      (match node.pm with
+      | Some pm -> Dmutex_obs.Protocol_metrics.cs_exited pm ~now
       | None -> ());
       node.current <- None;
       node.grants <- node.grants + 1;
@@ -225,6 +257,10 @@ module Make (A : Types.ALGO) = struct
     if not node.crashed then begin
       t.arrived <- t.arrived + 1;
       Queue.add (Engine.now t.engine) node.arrivals;
+      (match node.pm with
+      | Some pm ->
+          Dmutex_obs.Protocol_metrics.mark_request pm ~now:(Engine.now t.engine)
+      | None -> ());
       Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"request" "";
       dispatch t i Types.Request_cs
     end
@@ -294,11 +330,11 @@ module Make (A : Types.ALGO) = struct
     }
 
   let run_poisson ?(seed = 42) ?(requests = 10_000) ?(rate = 1.0) ?trace
-      ?latency cfg =
+      ?latency ?obs cfg =
     let t =
       match trace with
-      | Some tr -> create ~seed ~trace:tr ?latency cfg
-      | None -> create ~seed ?latency cfg
+      | Some tr -> create ~seed ~trace:tr ?latency ?obs cfg
+      | None -> create ~seed ?latency ?obs cfg
     in
     t.target <- Some requests;
     let rng = Rng.create (seed lxor 0x5f5f5f) in
@@ -312,11 +348,12 @@ module Make (A : Types.ALGO) = struct
     Array.iter Workload.stop sources;
     { (outcome t) with rate }
 
-  let run_saturated ?(seed = 42) ?(requests = 10_000) ?trace ?latency cfg =
+  let run_saturated ?(seed = 42) ?(requests = 10_000) ?trace ?latency ?obs cfg
+      =
     let t =
       match trace with
-      | Some tr -> create ~seed ~trace:tr ?latency cfg
-      | None -> create ~seed ?latency cfg
+      | Some tr -> create ~seed ~trace:tr ?latency ?obs cfg
+      | None -> create ~seed ?latency ?obs cfg
     in
     t.target <- Some requests;
     t.closed_loop <- true;

@@ -46,11 +46,16 @@ module Make (A : Types.ALGO) : sig
     ?seed:int ->
     ?trace:Simkit.Trace.t ->
     ?latency:Simkit.Network.latency ->
+    ?obs:Dmutex_obs.Registry.t ->
     Types.Config.t ->
     t
   (** Build a simulation: [Config.n] nodes in their initial states.
       [latency] defaults to a constant [t_msg] network; pass e.g.
-      [Simkit.Topology.latency] for topology studies. *)
+      [Simkit.Topology.latency] for topology studies. [obs], when
+      given, receives the canonical {!Dmutex_obs.Names} series for
+      the whole run (all nodes aggregate into the one registry), so
+      simulator metrics are directly comparable with a live-cluster
+      {!Dmutex_obs.Report}. *)
 
   val engine : t -> Simkit.Engine.t
   val network : t -> A.message Simkit.Network.t
@@ -78,6 +83,7 @@ module Make (A : Types.ALGO) : sig
     ?rate:float ->
     ?trace:Simkit.Trace.t ->
     ?latency:Simkit.Network.latency ->
+    ?obs:Dmutex_obs.Registry.t ->
     Types.Config.t ->
     outcome
   (** Open-loop experiment (the paper's Section 3.3 setup): every node
@@ -90,6 +96,7 @@ module Make (A : Types.ALGO) : sig
     ?requests:int ->
     ?trace:Simkit.Trace.t ->
     ?latency:Simkit.Network.latency ->
+    ?obs:Dmutex_obs.Registry.t ->
     Types.Config.t ->
     outcome
   (** Closed-loop heavy-load experiment: every node re-requests the CS

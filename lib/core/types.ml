@@ -147,6 +147,9 @@ type note =
   | Became_arbiter
   | Monitor_pass  (** The token was routed through the monitor. *)
   | Queue_length of int  (** Q-list length at dispatch. *)
+  | Phase of string * float
+      (** A protocol phase (e.g. ["collection"], ["forwarding"]) ran
+          for the given duration in the emitting node's clock. *)
   | Recovery_started  (** Two-phase token invalidation began (§6). *)
   | Token_regenerated  (** A lost token was replaced (§6). *)
   | Arbiter_takeover  (** Previous arbiter proclaimed itself (§6). *)
@@ -162,6 +165,7 @@ let string_of_note = function
   | Became_arbiter -> "became-arbiter"
   | Monitor_pass -> "monitor-pass"
   | Queue_length _ -> "queue-length"
+  | Phase (p, _) -> "phase-" ^ p
   | Recovery_started -> "recovery-started"
   | Token_regenerated -> "token-regenerated"
   | Arbiter_takeover -> "arbiter-takeover"

@@ -31,6 +31,11 @@ struct
     heartbeat_period : float option;
     suspect_timeout : float;
     state_root : string option;
+    (* One registry per node slot, owned by the cluster and handed to
+       every incarnation of that node: counters survive kill-and-
+       restart drills, so a run report covers the whole run. *)
+    obs : Dmutex_obs.Registry.t array;
+    trace : Dmutex_obs.Events.sink option;
     persist : (A.state -> Dmutex_store.Store.view) option;
     restore :
       me:int ->
@@ -55,10 +60,10 @@ struct
     | Some root ->
         Some
           (Dmutex_store.Store.open_ ~dir:(state_dir root i)
-             ~n:(Array.length t.nodes) ())
+             ~n:(Array.length t.nodes) ~obs:t.obs.(i) ())
 
   let try_launch cfg ~base_port ~seed ~heartbeat_period ~suspect_timeout
-      ~state_root ~persist ~restore =
+      ~state_root ~obs ~trace ~persist ~restore =
     let n = cfg.Dmutex.Types.Config.n in
     let peers = endpoints ~base_port n in
     let fault = Fault.create ~seed ~n () in
@@ -79,12 +84,15 @@ struct
             let store =
               match state_root with
               | Some root ->
-                  Some (Dmutex_store.Store.open_ ~dir:(state_dir root i) ~n ())
+                  Some
+                    (Dmutex_store.Store.open_ ~dir:(state_dir root i) ~n
+                       ~obs:obs.(i) ())
               | None -> None
             in
             let node =
               Node.create ~fault ?heartbeat_period ~suspect_timeout
-                ~seed:(seed + i) ?store ?persist cfg ~me:i ~peers ()
+                ~seed:(seed + i) ?store ?persist ~obs:obs.(i) ?trace cfg
+                ~me:i ~peers ()
             in
             started := node :: !started;
             node)
@@ -100,6 +108,8 @@ struct
           heartbeat_period;
           suspect_timeout;
           state_root;
+          obs;
+          trace;
           persist;
           restore;
           chaos_thread = None;
@@ -113,7 +123,11 @@ struct
       None
 
   let launch ?(base_port = 7801) ?(seed = 0xc1a05) ?heartbeat_period
-      ?(suspect_timeout = 1.0) ?state_root ?persist ?restore cfg =
+      ?(suspect_timeout = 1.0) ?state_root ?trace ?persist ?restore cfg =
+    let obs =
+      Array.init cfg.Dmutex.Types.Config.n (fun _ ->
+          Dmutex_obs.Registry.create ())
+    in
     (* Ports may be taken by a previous run still in TIME_WAIT; probe a
        few bases before giving up. *)
     let rec attempt k =
@@ -122,8 +136,8 @@ struct
         match
           try_launch cfg
             ~base_port:(base_port + (k * 100))
-            ~seed ~heartbeat_period ~suspect_timeout ~state_root ~persist
-            ~restore
+            ~seed ~heartbeat_period ~suspect_timeout ~state_root ~obs ~trace
+            ~persist ~restore
         with
         | Some t -> t
         | None -> attempt (k + 1)
@@ -161,7 +175,8 @@ struct
           match
             Node.create ~fault:t.fault ?heartbeat_period:t.heartbeat_period
               ~suspect_timeout:t.suspect_timeout ~seed:(t.seed + i) ~initial
-              ?store ?persist:t.persist t.cfg ~me:i ~peers:t.peers ()
+              ?store ?persist:t.persist ~obs:t.obs.(i) ?trace:t.trace t.cfg
+              ~me:i ~peers:t.peers ()
           with
           | node -> node
           | exception Unix.Unix_error ((EADDRINUSE | EACCES), _, _)
@@ -326,6 +341,14 @@ struct
 
   let note_count t name =
     Array.fold_left (fun acc node -> acc + Node.note_count node name) 0 t.nodes
+
+  let registries t = t.obs
+
+  let obs_snapshot t =
+    Dmutex_obs.Registry.merge
+      (Array.to_list (Array.map Dmutex_obs.Registry.snapshot t.obs))
+
+  let obs_report t = Dmutex_obs.Report.derive (obs_snapshot t)
 
   let shutdown t =
     t.stopping <- true;

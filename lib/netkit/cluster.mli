@@ -50,6 +50,7 @@ module Make
     ?heartbeat_period:float ->
     ?suspect_timeout:float ->
     ?state_root:string ->
+    ?trace:Dmutex_obs.Events.sink ->
     ?persist:(A.state -> Dmutex_store.Store.view) ->
     ?restore:
       (me:int ->
@@ -71,7 +72,13 @@ module Make
       from its recovered view at {!restart} time — [None] view means
       an empty directory, i.e. amnesia; the returned inputs are
       injected into the fresh node (e.g. a self-addressed WARNING when
-      custody was durable). Defaults to [A.rejoin] with no inputs. *)
+      custody was durable). Defaults to [A.rejoin] with no inputs.
+
+      Every node gets its own {!Dmutex_obs.Registry} (see
+      {!registries}), owned by the cluster and re-attached across
+      {!restart}, so counters span a node's whole life including
+      crash-restart drills. [trace] plugs one shared structured event
+      sink into every node. *)
 
   val node : t -> int -> Node.t
   val n : t -> int
@@ -101,6 +108,21 @@ module Make
       equivalent of the simulator's outcome notes). *)
 
   val note_count : t -> string -> int
+
+  val registries : t -> Dmutex_obs.Registry.t array
+  (** Per-node metrics registries, indexed by node id. Stable across
+      {!restart}: a restarted node keeps accumulating into the same
+      registry. *)
+
+  val obs_snapshot : t -> Dmutex_obs.Registry.snapshot
+  (** Cluster-wide merged snapshot of every node's registry. *)
+
+  val obs_report : t -> Dmutex_obs.Report.t
+  (** Derived run report over the merged snapshot: total messages
+      sent/received, CS entries, {e messages per critical section},
+      per-kind breakdown, sync-delay and queue-length statistics. The
+      live counterpart of the simulator's per-CS accounting — same
+      series names, same derivation. *)
 
   val crash : t -> int -> unit
   (** Fail-stop one node for real (sockets closed, threads stopped,

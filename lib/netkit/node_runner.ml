@@ -17,6 +17,11 @@ struct
     lock : Mutex.t;
     granted : Condition.t;
     mutable transport : Transport.t option;
+    pm : Dmutex_obs.Protocol_metrics.t option;
+    (* per-node view into the obs registry passed at [create] *)
+    obs_reg : Dmutex_obs.Registry.t option;
+    trace : Dmutex_obs.Events.sink option;
+    suspicions : Dmutex_obs.Registry.Counter.handle option;
     (* timers: key -> absolute wall-clock deadline *)
     timers : (A.timer, float) Hashtbl.t;
     (* self-pipe waking the timer thread out of its deadline sleep
@@ -44,6 +49,14 @@ struct
 
   let now t = Unix.gettimeofday () -. t.start
 
+  let trace_emit t ?severity name fields =
+    match t.trace with
+    | None -> ()
+    | Some sink ->
+        Dmutex_obs.Events.emit sink ?severity
+          ~fields:(("node", string_of_int t.me) :: fields)
+          name
+
   (* Must be called with [t.lock] held. *)
   let wake_timer_thread t =
     match t.wake_wr with
@@ -54,15 +67,29 @@ struct
 
   (* Apply effects under [t.lock]. *)
   let rec apply t = function
-    | Send (dst, m) -> (
-        match t.transport with
+    | Send (dst, m) ->
+        (match t.pm with
+        | Some pm when dst <> t.me ->
+            Dmutex_obs.Protocol_metrics.sent pm ~kind:(A.message_kind m)
+        | Some _ | None -> ());
+        (match t.transport with
         | Some tr -> ignore (Transport.send tr ~dst (C.encode m))
         | None -> ())
-    | Broadcast m -> (
-        match t.transport with
+    | Broadcast m ->
+        (match t.pm with
+        | Some pm ->
+            Dmutex_obs.Protocol_metrics.sent_many pm
+              ~kind:(A.message_kind m)
+              (t.cfg.Config.n - 1)
+        | None -> ());
+        (match t.transport with
         | Some tr -> ignore (Transport.broadcast tr (C.encode m))
         | None -> ())
     | Enter_cs ->
+        (match t.pm with
+        | Some pm -> Dmutex_obs.Protocol_metrics.cs_entered pm ~now:(now t)
+        | None -> ());
+        trace_emit t "cs.enter" [];
         if t.waiters = 0 && t.async_pending > 0 then begin
           (* A fire-and-forget [acquire]: keep the CS held; the caller
              polls [holding] and must [release]. *)
@@ -93,9 +120,34 @@ struct
         let name = string_of_note n in
         Hashtbl.replace t.notes name
           (1 + Option.value ~default:0 (Hashtbl.find_opt t.notes name));
+        (match t.pm with
+        | Some pm -> (
+            Dmutex_obs.Protocol_metrics.note pm name;
+            match n with
+            | Queue_length k -> Dmutex_obs.Protocol_metrics.queue_length pm k
+            | Phase (p, d) -> Dmutex_obs.Protocol_metrics.phase pm ~name:p d
+            | _ -> ())
+        | None -> ());
+        (match n with
+        | Recovery_started | Token_regenerated | Arbiter_takeover ->
+            trace_emit t ~severity:Dmutex_obs.Events.Warn ("recovery." ^ name)
+              []
+        | Became_arbiter -> trace_emit t "protocol.became-arbiter" []
+        | _ -> ());
         Log.debug (fun m -> m "node %d: %s" t.me name)
 
   and step_locked t input =
+    (match input with
+    | Request_cs -> (
+        match t.pm with
+        | Some pm -> Dmutex_obs.Protocol_metrics.mark_request pm ~now:(now t)
+        | None -> ())
+    | Cs_done ->
+        (match t.pm with
+        | Some pm -> Dmutex_obs.Protocol_metrics.cs_exited pm ~now:(now t)
+        | None -> ());
+        trace_emit t "cs.exit" []
+    | Receive _ | Timer_fired _ -> ());
     let state', effects = A.handle t.cfg ~now:(now t) t.state input in
     t.state <- state';
     (* Persist the post-step view BEFORE applying any effect: the
@@ -199,6 +251,11 @@ struct
         List.iter
           (fun i ->
             Log.debug (fun m -> m "node %d: peer %d suspected down" t.me i);
+            (match t.suspicions with
+            | Some c -> Dmutex_obs.Registry.Counter.incr c
+            | None -> ());
+            trace_emit t ~severity:Dmutex_obs.Events.Warn "liveness.suspect"
+              [ ("peer", string_of_int i) ];
             t.on_suspect i)
           !newly
       end
@@ -206,8 +263,8 @@ struct
 
   let create ?(on_grant = fun () -> ()) ?fault ?heartbeat_period
       ?(suspect_timeout = 1.0) ?(on_suspect = fun _ -> ())
-      ?(on_alive = fun _ -> ()) ?seed ?initial ?store ?persist cfg ~me ~peers
-      () =
+      ?(on_alive = fun _ -> ()) ?seed ?initial ?store ?persist ?obs ?trace cfg
+      ~me ~peers () =
     let wake_rd, wake_wr = Unix.pipe () in
     Unix.set_nonblock wake_wr;
     let t =
@@ -220,6 +277,15 @@ struct
         lock = Mutex.create ();
         granted = Condition.create ();
         transport = None;
+        pm = Option.map Dmutex_obs.Protocol_metrics.create obs;
+        obs_reg = obs;
+        trace;
+        suspicions =
+          Option.map
+            (fun reg ->
+              Dmutex_obs.Registry.Counter.get reg
+                Dmutex_obs.Names.suspicions_total)
+            obs;
         timers = Hashtbl.create 8;
         wake_rd;
         wake_wr = Some wake_wr;
@@ -247,15 +313,20 @@ struct
     let on_frame ~src payload =
       heard t src;
       match C.decode payload with
-      | m -> step t (Receive (src, m))
+      | m ->
+          (match t.pm with
+          | Some pm ->
+              Dmutex_obs.Protocol_metrics.received pm ~kind:(A.message_kind m)
+          | None -> ());
+          step t (Receive (src, m))
       | exception Wire.Malformed msg ->
           Log.warn (fun f -> f "node %d: dropping bad frame from %d: %s" me src msg)
     in
     let on_heartbeat ~src = heard t src in
     t.transport <-
       Some
-        (Transport.create ?fault ?heartbeat_period ?seed ~on_heartbeat ~me
-           ~peers ~on_frame ());
+        (Transport.create ?fault ?heartbeat_period ?seed ?obs ~on_heartbeat
+           ~me ~peers ~on_frame ());
     ignore (Thread.create timer_loop t);
     (match heartbeat_period with
     | Some p when p > 0.0 -> ignore (Thread.create liveness_loop t)
@@ -359,6 +430,7 @@ struct
   let inject t input = step t input
 
   let store_stats t = Option.map Dmutex_store.Store.stats t.store
+  let obs t = t.obs_reg
 
   let stop_threads_and_transport t =
     if not t.stopping then begin

@@ -23,6 +23,8 @@ module Make
     ?initial:A.state ->
     ?store:Dmutex_store.Store.t ->
     ?persist:(A.state -> Dmutex_store.Store.view) ->
+    ?obs:Dmutex_obs.Registry.t ->
+    ?trace:Dmutex_obs.Events.sink ->
     Dmutex.Types.Config.t ->
     me:int ->
     peers:Transport.endpoint array ->
@@ -50,7 +52,17 @@ module Make
       (default 1 s) triggers [on_suspect]; the first frame heard
       afterwards triggers [on_alive]. Both callbacks run on internal
       threads and may call {!inject} — e.g. to feed a suspicion into
-      the protocol as a timer or WARNING. *)
+      the protocol as a timer or WARNING.
+
+      [obs] plugs this node into a metrics registry: per-kind
+      send/receive counters, CS entry/exit spans, sync delay, queue
+      lengths, phase durations, note counters, heartbeat suspicions —
+      the canonical {!Dmutex_obs.Names} series, same names the
+      simulator emits — plus the transport's [dmutex_transport_*]
+      counters. One registry per node; [Cluster] merges them.
+      [trace] plugs in a (normally cluster-shared) structured event
+      sink: CS enter/exit, recovery milestones and liveness suspicions
+      are recorded with the node id attached. *)
 
   val acquire : t -> unit
   (** Ask for the critical section (non-blocking). *)
@@ -100,6 +112,9 @@ module Make
 
   val store_stats : t -> Dmutex_store.Store.stats option
   (** Durability counters of the attached store, if any. *)
+
+  val obs : t -> Dmutex_obs.Registry.t option
+  (** The registry passed at [create], if any. *)
 
   val shutdown : t -> unit
   (** Graceful stop: close sockets, stop the timer, liveness and

@@ -39,6 +39,19 @@ type chan = {
   mutable connected_once : bool;
 }
 
+(* Handles into an externally owned metrics registry, resolved once at
+   [create]: the transport's ad-hoc ints stay authoritative for the
+   [metrics] record, and these mirror every bump into the canonical
+   [Dmutex_obs.Names] series when the node carries a registry. *)
+type obs_handles = {
+  o_sent : Dmutex_obs.Registry.Counter.handle;
+  o_delivered : Dmutex_obs.Registry.Counter.handle;
+  o_dropped : Dmutex_obs.Registry.Counter.handle;
+  o_retries : Dmutex_obs.Registry.Counter.handle;
+  o_reconnects : Dmutex_obs.Registry.Counter.handle;
+  o_queue_depth : Dmutex_obs.Registry.Gauge.handle;
+}
+
 type t = {
   me : int;
   peers : endpoint array;
@@ -49,6 +62,7 @@ type t = {
   chans : chan array;
   max_queue : int;
   heartbeat_period : float option;
+  obs : obs_handles option;
   stats : Mutex.t;
   mutable sent : int;
   mutable delivered : int;
@@ -83,8 +97,16 @@ let bump t f =
   f t;
   Mutex.unlock t.stats
 
+let obs_incr t pick =
+  match t.obs with
+  | Some h -> Dmutex_obs.Registry.Counter.incr (pick h)
+  | None -> ()
+
 let count_dropped t counted =
-  if counted then bump t (fun t -> t.dropped <- t.dropped + 1)
+  if counted then begin
+    bump t (fun t -> t.dropped <- t.dropped + 1);
+    obs_incr t (fun h -> h.o_dropped)
+  end
 
 let rec really_read fd buf off len =
   if len > 0 then begin
@@ -140,6 +162,7 @@ let reader_loop t fd =
                 (String.length frame - Wire.Frame.header_len)
             in
             bump t (fun t -> t.delivered <- t.delivered + 1);
+            obs_incr t (fun h -> h.o_delivered);
             t.on_frame ~src payload
       else count_dropped t (kind = Wire.Frame.Data)
     done;
@@ -209,8 +232,10 @@ let writer_loop t ch =
         match connect t ch.dst with
         | Some fd ->
             ch.fd <- Some fd;
-            if ch.connected_once then
+            if ch.connected_once then begin
               bump t (fun t -> t.reconnects <- t.reconnects + 1);
+              obs_incr t (fun h -> h.o_reconnects)
+            end;
             ch.connected_once <- true;
             backoff := backoff_floor;
             Some fd
@@ -237,17 +262,22 @@ let writer_loop t ch =
         match ensure_fd () with
         | None ->
             bump t (fun t -> t.retries <- t.retries + 1);
+            obs_incr t (fun h -> h.o_retries);
             chill t (jittered t !backoff);
             backoff := Float.min backoff_cap (!backoff *. 2.0);
             dispatch item (attempts + 1)
         | Some fd -> (
             try
               write_frame fd item.body;
-              if item.counted then bump t (fun t -> t.sent <- t.sent + 1)
+              if item.counted then begin
+                bump t (fun t -> t.sent <- t.sent + 1);
+                obs_incr t (fun h -> h.o_sent)
+              end
             with Unix.Unix_error _ | Sys_error _ ->
               (try Unix.close fd with _ -> ());
               ch.fd <- None;
               bump t (fun t -> t.retries <- t.retries + 1);
+              obs_incr t (fun h -> h.o_retries);
               chill t (jittered t !backoff);
               backoff := Float.min backoff_cap (!backoff *. 2.0);
               dispatch item (attempts + 1))
@@ -343,7 +373,7 @@ let heartbeat_loop t period =
   done
 
 let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
-    ?(on_heartbeat = fun ~src:_ -> ()) ~me ~peers ~on_frame () =
+    ?(on_heartbeat = fun ~src:_ -> ()) ?obs ~me ~peers ~on_frame () =
   (* A write to a peer that closed mid-stream must surface as [EPIPE]
      for the writer thread to retry, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -376,6 +406,24 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
       chans;
       max_queue;
       heartbeat_period;
+      obs =
+        Option.map
+          (fun reg ->
+            let open Dmutex_obs in
+            {
+              o_sent = Registry.Counter.get reg Names.transport_sent_total;
+              o_delivered =
+                Registry.Counter.get reg Names.transport_delivered_total;
+              o_dropped =
+                Registry.Counter.get reg Names.transport_dropped_total;
+              o_retries =
+                Registry.Counter.get reg Names.transport_retries_total;
+              o_reconnects =
+                Registry.Counter.get reg Names.transport_reconnects_total;
+              o_queue_depth =
+                Registry.Gauge.get reg Names.transport_queue_depth;
+            })
+          obs;
       stats = Mutex.create ();
       sent = 0;
       delivered = 0;
@@ -422,7 +470,14 @@ let metrics t =
     }
   in
   Mutex.unlock t.stats;
-  { m with queue_depth = queue_depth t }
+  let qd = queue_depth t in
+  (match t.obs with
+  | Some h ->
+      (* The queue depth is a level, not a stream of events: sample it
+         into the gauge whenever somebody reads the metrics. *)
+      Dmutex_obs.Registry.Gauge.set h.o_queue_depth (float_of_int qd)
+  | None -> ());
+  { m with queue_depth = qd }
 
 let close t =
   if not t.closed then begin

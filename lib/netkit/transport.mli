@@ -40,6 +40,7 @@ val create :
   ?max_queue:int ->
   ?seed:int ->
   ?on_heartbeat:(src:int -> unit) ->
+  ?obs:Dmutex_obs.Registry.t ->
   me:int ->
   peers:endpoint array ->
   on_frame:(src:int -> string -> unit) ->
@@ -58,7 +59,10 @@ val create :
     heartbeat to every peer each period; arrivals are reported via
     [on_heartbeat] and feed peer-liveness monitoring upstream.
     [max_queue] bounds each per-peer send queue (default 1024 frames);
-    [seed] makes the loss and backoff-jitter draws reproducible. *)
+    [seed] makes the loss and backoff-jitter draws reproducible.
+    [obs] mirrors every counter bump into that registry's
+    [dmutex_transport_*] series ({!Dmutex_obs.Names}); [metrics] reads
+    additionally sample the queue depth into its gauge. *)
 
 val send : t -> dst:int -> string -> bool
 (** Frame a payload and hand it to [dst]'s outbound channel. Returns

@@ -1,0 +1,110 @@
+type severity = Debug | Info | Warn | Error
+
+type event = {
+  seq : int;
+  ts : float;
+  severity : severity;
+  name : string;
+  fields : (string * string) list;
+}
+
+type sink = {
+  mu : Mutex.t;
+  ring : event option array;
+  mutable total : int;
+}
+
+(* Process-wide sequence: totally orders events across sinks even when
+   the wall clock steps backwards. *)
+let next_seq = Atomic.make 0
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Events.create: capacity must be >= 1";
+  { mu = Mutex.create (); ring = Array.make capacity None; total = 0 }
+
+let emit t ?(severity = Info) ?(fields = []) name =
+  let e =
+    {
+      seq = Atomic.fetch_and_add next_seq 1;
+      ts = Unix.gettimeofday ();
+      severity;
+      name;
+      fields;
+    }
+  in
+  Mutex.lock t.mu;
+  t.ring.(t.total mod Array.length t.ring) <- Some e;
+  t.total <- t.total + 1;
+  Mutex.unlock t.mu
+
+let capacity t = Array.length t.ring
+
+let total t =
+  Mutex.lock t.mu;
+  let n = t.total in
+  Mutex.unlock t.mu;
+  n
+
+let events t =
+  Mutex.lock t.mu;
+  let cap = Array.length t.ring in
+  let n = min t.total cap in
+  let first = t.total - n in
+  let out =
+    List.init n (fun i ->
+        match t.ring.((first + i) mod cap) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  Mutex.unlock t.mu;
+  out
+
+let string_of_severity = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let to_jsonl e =
+  (* Fields live in their own object so user keys can never collide
+     with the envelope (seq/ts/severity/name). *)
+  let fields = List.map (fun (k, v) -> (k, Json.Str v)) e.fields in
+  Json.to_string
+    (Json.Obj
+       [
+         ("seq", Json.Num (float_of_int e.seq));
+         ("ts", Json.Num e.ts);
+         ("severity", Json.Str (string_of_severity e.severity));
+         ("name", Json.Str e.name);
+         ("fields", Json.Obj fields);
+       ])
+
+let flush t oc =
+  let evs = events t in
+  let tot = total t in
+  let header =
+    Json.Obj
+      [
+        ("trace_header", Json.Bool true);
+        ("total", Json.Num (float_of_int tot));
+        ("retained", Json.Num (float_of_int (List.length evs)));
+        ("capacity", Json.Num (float_of_int (capacity t)));
+      ]
+  in
+  output_string oc (Json.to_string header);
+  output_char oc '\n';
+  List.iter
+    (fun e ->
+      output_string oc (to_jsonl e);
+      output_char oc '\n')
+    evs;
+  Stdlib.flush oc
+
+let flush_file t path =
+  match open_out path with
+  | exception _ -> ()
+  | oc ->
+      (try flush t oc with _ -> ());
+      close_out_noerr oc
+
+let attach_at_exit t path = at_exit (fun () -> flush_file t path)

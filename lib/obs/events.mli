@@ -1,0 +1,59 @@
+(** Structured trace-event sink: a bounded in-memory ring buffer of
+    timestamped events, flushable to JSONL on demand, at exit, or
+    from a crash handler.
+
+    The ring keeps the most recent [capacity] events; older events
+    are overwritten but still counted ([total]), so a flushed trace
+    records how much history was lost. Every event carries a
+    wall-clock timestamp and a process-wide strictly increasing
+    sequence number; the sequence gives a total order even when the
+    wall clock steps. Emission is mutex-protected and cheap (no
+    allocation beyond the event itself), safe from any thread or
+    domain. *)
+
+type severity = Debug | Info | Warn | Error
+
+type event = {
+  seq : int;  (** strictly increasing across all sinks in the process *)
+  ts : float;  (** [Unix.gettimeofday] at emission *)
+  severity : severity;
+  name : string;  (** e.g. ["cs.enter"], ["recovery.elected"] *)
+  fields : (string * string) list;
+}
+
+type sink
+
+val create : ?capacity:int -> unit -> sink
+(** Default capacity: 4096 events. *)
+
+val emit :
+  sink -> ?severity:severity -> ?fields:(string * string) list -> string -> unit
+(** [emit sink name] records an event now. Default severity [Info]. *)
+
+val capacity : sink -> int
+
+val total : sink -> int
+(** Number of events ever emitted (>= number retained). *)
+
+val events : sink -> event list
+(** Retained events, oldest first. Safe while writers are active. *)
+
+val string_of_severity : severity -> string
+
+val to_jsonl : event -> string
+(** One JSON object, no trailing newline. *)
+
+val flush : sink -> out_channel -> unit
+(** Write retained events as JSONL, oldest first, preceded by a
+    header object recording [total] and [capacity] (so dropped
+    history is visible), then flush the channel. The sink keeps its
+    contents — flushing is a read. *)
+
+val flush_file : sink -> string -> unit
+(** [flush] to [path] (truncate-create). Failures are swallowed:
+    this is called from exit paths where raising would mask the
+    original error. *)
+
+val attach_at_exit : sink -> string -> unit
+(** Register an [at_exit] hook that [flush_file]s the sink — the
+    crash-/exit-flush required of the trace subsystem. *)

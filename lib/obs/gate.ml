@@ -1,0 +1,82 @@
+type outcome = { lines : string list; failures : string list }
+
+type check = {
+  label : string;
+  path : string list;
+  tolerance : float;  (* relative: fail when cur > base * (1 + tolerance) *)
+  band : (float * float) option;  (* absolute bounds on the current value *)
+}
+
+let get path json = Option.bind (Json.path path json) Json.num
+
+let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
+    ~baseline ~current () =
+  let checks =
+    [
+      {
+        label = "high-load messages/CS";
+        path = [ "derived"; "high_load"; "messages_per_cs" ];
+        tolerance;
+        band = Some band;
+      };
+      {
+        label = "light-load messages/CS";
+        path = [ "derived"; "light_load"; "messages_per_cs" ];
+        tolerance;
+        band = None;
+      };
+      {
+        label = "total wall-clock";
+        path = [ "total_seconds" ];
+        tolerance = wall_tolerance;
+        band = None;
+      };
+    ]
+  in
+  let lines = ref [] and failures = ref [] in
+  let say l = lines := l :: !lines in
+  let fail l =
+    failures := l :: !failures;
+    say l
+  in
+  List.iter
+    (fun c ->
+      let dotted = String.concat "." c.path in
+      match (get c.path baseline, get c.path current) with
+      | _, None -> fail (Printf.sprintf "FAIL %s: missing %s in current run" c.label dotted)
+      | None, Some cur -> (
+          say
+            (Printf.sprintf "skip %s: baseline has no %s (current %.4f)"
+               c.label dotted cur);
+          (* The acceptance band is absolute — it applies even when the
+             baseline predates the metric. *)
+          match c.band with
+          | Some (lo, hi) when cur < lo || cur > hi ->
+              fail
+                (Printf.sprintf
+                   "FAIL %s — current %.4f outside acceptance band [%.2f, %.2f]"
+                   c.label cur lo hi)
+          | Some _ | None -> ())
+      | Some base, Some cur ->
+          let delta = if base = 0. then 0. else (cur -. base) /. base in
+          let rel_ok = cur <= base *. (1. +. c.tolerance) in
+          let band_bad =
+            match c.band with
+            | Some (lo, hi) when cur < lo || cur > hi -> Some (lo, hi)
+            | Some _ | None -> None
+          in
+          let detail =
+            Printf.sprintf "%s: baseline %.4f current %.4f (%+.1f%%, tol %.0f%%)"
+              c.label base cur (100. *. delta) (100. *. c.tolerance)
+          in
+          (match (rel_ok, band_bad) with
+          | true, None -> say ("ok   " ^ detail)
+          | false, _ ->
+              fail ("FAIL " ^ detail ^ " — regression over tolerance")
+          | true, Some (lo, hi) ->
+              fail
+                (Printf.sprintf
+                   "FAIL %s — current %.4f outside acceptance band [%.2f, %.2f]"
+                   c.label cur lo hi)))
+    checks;
+  { lines = List.rev !lines; failures = List.rev !failures }

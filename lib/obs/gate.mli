@@ -1,0 +1,36 @@
+(** Bench regression gate: compares the derived metrics of a fresh
+    [BENCH_RESULTS.json] against the committed baseline.
+
+    Two families of checks:
+
+    - {b relative}: messages-per-CS (high and light load) and total
+      wall-clock must not regress by more than a tolerance fraction
+      over the baseline. Messages-per-CS is deterministic (pure
+      simulation, fixed seeds) so its tolerance can be tight;
+      wall-clock depends on the host, so its tolerance is separate
+      and CI passes a loose one.
+    - {b absolute}: the high-load messages-per-CS must sit inside the
+      acceptance band derived from the paper's Eq. 4 (M = 3 - 2/N),
+      independent of what the baseline says — a drifting baseline
+      cannot ratchet the protocol away from the analysis.
+
+    Improvements (lower than baseline) never fail. Metrics missing
+    from the {e baseline} are skipped with a note (forward
+    compatibility); metrics missing from the {e current} run fail. *)
+
+type outcome = {
+  lines : string list;  (** human-readable report, one line per check *)
+  failures : string list;  (** subset describing failed checks; empty = pass *)
+}
+
+val run :
+  ?tolerance:float ->
+  (* messages-per-CS relative tolerance, default 0.25 *)
+  ?wall_tolerance:float ->
+  (* wall-clock relative tolerance, default 0.25 *)
+  ?band:float * float ->
+  (* absolute high-load messages-per-CS band, default (2.5, 4.5) *)
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  outcome

@@ -1,0 +1,42 @@
+(** Minimal JSON tree, printer and parser.
+
+    The container image carries no JSON library, and this repository
+    needs only enough JSON for three jobs: the JSONL trace sink, the
+    derived-metrics section of [BENCH_RESULTS.json], and the CI bench
+    gate that re-reads those files. This module covers exactly that:
+    the full JSON grammar minus [\uXXXX] escapes beyond ASCII
+    round-tripping (escapes decode to '?' placeholders — metric names
+    and event fields in this repository are ASCII). Numbers are
+    floats, as in JavaScript. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, deterministic (object fields in given order). Floats
+    that hold integral values in int range print without a decimal
+    point. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented, for committed artifacts that get diffed. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing whitespace allowed, trailing
+    garbage is an error. The error string includes an offset. *)
+
+(** Accessors, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] for other shapes or missing field. *)
+
+val path : string list -> t -> t option
+(** Nested [member]. *)
+
+val num : t -> float option
+
+val str : t -> string option

@@ -1,0 +1,35 @@
+(* Canonical metric names, shared by the simulator and the live
+   runtime so a Grafana query (or the Cluster run report) reads the
+   same series from either. Naming follows Prometheus conventions:
+   [_total] for counters, [_seconds] for duration histograms, bare
+   names for gauges and dimensionless histograms. *)
+
+(* Protocol *)
+let messages_sent_total = "dmutex_messages_sent_total" (* label: kind *)
+let messages_received_total = "dmutex_messages_received_total" (* label: kind *)
+let cs_entries_total = "dmutex_cs_entries_total"
+let cs_time_seconds = "dmutex_cs_time_seconds" (* histogram: CS occupancy *)
+let sync_delay_seconds = "dmutex_sync_delay_seconds" (* request -> CS entry *)
+let queue_length = "dmutex_queue_length" (* histogram: Q length at dispatch *)
+let phase_seconds = "dmutex_phase_seconds" (* label: phase=collection|forwarding *)
+let notes_total = "dmutex_notes_total" (* label: note — protocol Note effects *)
+
+let kind_label kind = [ ("kind", kind) ]
+let phase_label phase = [ ("phase", phase) ]
+let note_label note = [ ("note", note) ]
+
+(* Transport *)
+let transport_sent_total = "dmutex_transport_sent_total"
+let transport_delivered_total = "dmutex_transport_delivered_total"
+let transport_dropped_total = "dmutex_transport_dropped_total"
+let transport_retries_total = "dmutex_transport_retries_total"
+let transport_reconnects_total = "dmutex_transport_reconnects_total"
+let transport_queue_depth = "dmutex_transport_queue_depth" (* gauge *)
+
+(* Liveness / node runtime *)
+let suspicions_total = "dmutex_suspicions_total"
+
+(* Durable store *)
+let store_wal_appends_total = "dmutex_store_wal_appends_total"
+let store_fsync_seconds = "dmutex_store_fsync_seconds" (* histogram *)
+let store_snapshots_total = "dmutex_store_snapshots_total"

@@ -1,0 +1,89 @@
+type t = {
+  reg : Registry.t;
+  cs_entries : Registry.Counter.handle;
+  cs_time : Registry.Histogram.handle;
+  sync_delay : Registry.Histogram.handle;
+  qlen : Registry.Histogram.handle;
+  (* Label cardinality is tiny (message kinds, phases, note tags), but
+     these run on hot paths, so handles are memoized per instance to
+     keep the registry mutex out of the steady state. *)
+  sent_by_kind : (string, Registry.Counter.handle) Hashtbl.t;
+  recv_by_kind : (string, Registry.Counter.handle) Hashtbl.t;
+  notes_by_tag : (string, Registry.Counter.handle) Hashtbl.t;
+  phase_by_name : (string, Registry.Histogram.handle) Hashtbl.t;
+  mutable requested_at : float option;
+  mutable entered_at : float option;
+}
+
+let create reg =
+  {
+    reg;
+    cs_entries = Registry.Counter.get reg Names.cs_entries_total;
+    cs_time = Registry.Histogram.get reg Names.cs_time_seconds;
+    sync_delay = Registry.Histogram.get reg Names.sync_delay_seconds;
+    qlen = Registry.Histogram.get reg Names.queue_length;
+    sent_by_kind = Hashtbl.create 8;
+    recv_by_kind = Hashtbl.create 8;
+    notes_by_tag = Hashtbl.create 8;
+    phase_by_name = Hashtbl.create 4;
+    requested_at = None;
+    entered_at = None;
+  }
+
+let registry t = t.reg
+
+let memo tbl reg get name labels_of key =
+  match Hashtbl.find_opt tbl key with
+  | Some h -> h
+  | None ->
+      let h = get reg ?labels:(Some (labels_of key)) name in
+      Hashtbl.add tbl key h;
+      h
+
+let sent t ~kind =
+  Registry.Counter.incr
+    (memo t.sent_by_kind t.reg Registry.Counter.get Names.messages_sent_total
+       Names.kind_label kind)
+
+let sent_many t ~kind n =
+  Registry.Counter.add
+    (memo t.sent_by_kind t.reg Registry.Counter.get Names.messages_sent_total
+       Names.kind_label kind)
+    n
+
+let received t ~kind =
+  Registry.Counter.incr
+    (memo t.recv_by_kind t.reg Registry.Counter.get
+       Names.messages_received_total Names.kind_label kind)
+
+let mark_request t ~now =
+  match t.requested_at with Some _ -> () | None -> t.requested_at <- Some now
+
+let cs_entered t ~now =
+  Registry.Counter.incr t.cs_entries;
+  (match t.requested_at with
+  | Some at ->
+      t.requested_at <- None;
+      Registry.Histogram.observe t.sync_delay (Float.max 0. (now -. at))
+  | None -> ());
+  t.entered_at <- Some now
+
+let cs_exited t ~now =
+  match t.entered_at with
+  | Some at ->
+      t.entered_at <- None;
+      Registry.Histogram.observe t.cs_time (Float.max 0. (now -. at))
+  | None -> ()
+
+let queue_length t k = Registry.Histogram.observe t.qlen (float_of_int k)
+
+let phase t ~name dur =
+  Registry.Histogram.observe
+    (memo t.phase_by_name t.reg Registry.Histogram.get Names.phase_seconds
+       Names.phase_label name)
+    dur
+
+let note t tag =
+  Registry.Counter.incr
+    (memo t.notes_by_tag t.reg Registry.Counter.get Names.notes_total
+       Names.note_label tag)

@@ -1,0 +1,45 @@
+(** Shared protocol instrumentation.
+
+    Both runtimes — the discrete-event simulator and the live TCP
+    node — observe the same protocol activity: messages in and out,
+    CS entries and exits, queue-length samples, phase durations,
+    [Note] effects. This helper maps that activity onto the canonical
+    series of {!Names} so the two runtimes stay comparable
+    apples-to-apples (same names, same labels, same units).
+
+    One instance per node. Instances may share a registry (the
+    simulator aggregates a whole run into one) — series handles are
+    find-or-create, so counts accumulate; but per-node transient
+    state (outstanding request marks, CS entry time) lives in the
+    instance. Timestamps are caller-supplied so simulated time and
+    wall-clock time both work; only durations and deltas are ever
+    derived from them. *)
+
+type t
+
+val create : Registry.t -> t
+
+val registry : t -> Registry.t
+
+val sent : t -> kind:string -> unit
+
+val sent_many : t -> kind:string -> int -> unit
+(** Count [n] sends of one kind at once (broadcast = n-1 sends). *)
+
+val received : t -> kind:string -> unit
+
+val mark_request : t -> now:float -> unit
+(** The node (re-)issued a CS request. If a previous mark is still
+    outstanding the new one is ignored — sync delay measures first
+    request to entry, retries included. *)
+
+val cs_entered : t -> now:float -> unit
+(** Counts the entry; observes sync delay against the outstanding
+    {!mark_request} (if any) and starts the CS occupancy span. *)
+
+val cs_exited : t -> now:float -> unit
+(** Closes the occupancy span opened by [cs_entered], if open. *)
+
+val queue_length : t -> int -> unit
+val phase : t -> name:string -> float -> unit
+val note : t -> string -> unit

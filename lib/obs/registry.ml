@@ -1,0 +1,298 @@
+type series = { name : string; labels : (string * string) list }
+
+let min_exp = -30
+let max_exp = 30
+let n_buckets = max_exp - min_exp + 1
+
+(* Bucket index for [v]: smallest [e] with [v <= 2^e], clamped.
+   [frexp v = (m, e)] with [0.5 <= m < 1] gives [2^(e-1) <= v < 2^e],
+   so ceil(log2 v) is [e] except when [v] is an exact power of two
+   ([m = 0.5]), where it is [e - 1]. *)
+let bucket_of v =
+  if not (v > 0.) then 0
+  else
+    let m, e = Float.frexp v in
+    let e = if m = 0.5 then e - 1 else e in
+    let e = if e < min_exp then min_exp else if e > max_exp then max_exp else e in
+    e - min_exp
+
+let bound_of_bucket i = Float.ldexp 1.0 (i + min_exp)
+
+type histo_cell = {
+  hmu : Mutex.t;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type gauge_cell = { gmu : Mutex.t; mutable g : float }
+
+type metric =
+  | Mcounter of int Atomic.t
+  | Mgauge of gauge_cell
+  | Mhisto of histo_cell
+
+type t = { mu : Mutex.t; tbl : (series, metric) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let with_mu mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let find_or_add t series mk =
+  with_mu t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl series with
+      | Some m -> m
+      | None ->
+          let m = mk () in
+          Hashtbl.add t.tbl series m;
+          m)
+
+let series name labels = { name; labels }
+
+module Counter = struct
+  type handle = int Atomic.t
+
+  let get t ?(labels = []) name =
+    match find_or_add t (series name labels) (fun () -> Mcounter (Atomic.make 0)) with
+    | Mcounter c -> c
+    | Mgauge _ | Mhisto _ ->
+        invalid_arg (Printf.sprintf "Registry: %s is not a counter" name)
+
+  let incr c = ignore (Atomic.fetch_and_add c 1)
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value = Atomic.get
+end
+
+module Gauge = struct
+  type handle = gauge_cell
+
+  let get t ?(labels = []) name =
+    match
+      find_or_add t (series name labels) (fun () ->
+          Mgauge { gmu = Mutex.create (); g = 0. })
+    with
+    | Mgauge g -> g
+    | Mcounter _ | Mhisto _ ->
+        invalid_arg (Printf.sprintf "Registry: %s is not a gauge" name)
+
+  let set c v = with_mu c.gmu (fun () -> c.g <- v)
+  let add c v = with_mu c.gmu (fun () -> c.g <- c.g +. v)
+  let value c = with_mu c.gmu (fun () -> c.g)
+end
+
+module Histogram = struct
+  type handle = histo_cell
+
+  let get t ?(labels = []) name =
+    match
+      find_or_add t (series name labels) (fun () ->
+          Mhisto
+            {
+              hmu = Mutex.create ();
+              buckets = Array.make n_buckets 0;
+              count = 0;
+              sum = 0.;
+              min_v = nan;
+              max_v = nan;
+            })
+    with
+    | Mhisto h -> h
+    | Mcounter _ | Mgauge _ ->
+        invalid_arg (Printf.sprintf "Registry: %s is not a histogram" name)
+
+  let observe h v =
+    with_mu h.hmu (fun () ->
+        let i = bucket_of v in
+        h.buckets.(i) <- h.buckets.(i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if h.count = 1 then begin
+          h.min_v <- v;
+          h.max_v <- v
+        end
+        else begin
+          if v < h.min_v then h.min_v <- v;
+          if v > h.max_v then h.max_v <- v
+        end)
+
+  let count h = with_mu h.hmu (fun () -> h.count)
+  let sum h = with_mu h.hmu (fun () -> h.sum)
+end
+
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type snapshot = {
+  counters : (series * int) list;
+  gauges : (series * float) list;
+  histograms : (series * histo) list;
+}
+
+let compare_series a b =
+  match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c
+
+let freeze_histo (h : histo_cell) =
+  with_mu h.hmu (fun () ->
+      let bs = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        if h.buckets.(i) > 0 then bs := (bound_of_bucket i, h.buckets.(i)) :: !bs
+      done;
+      {
+        h_count = h.count;
+        h_sum = h.sum;
+        h_min = h.min_v;
+        h_max = h.max_v;
+        h_buckets = !bs;
+      })
+
+let snapshot t =
+  let entries =
+    with_mu t.mu (fun () -> Hashtbl.fold (fun s m acc -> (s, m) :: acc) t.tbl [])
+  in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (s, m) ->
+      match m with
+      | Mcounter c -> counters := (s, Atomic.get c) :: !counters
+      | Mgauge g -> gauges := (s, Gauge.value g) :: !gauges
+      | Mhisto h -> histograms := (s, freeze_histo h) :: !histograms)
+    entries;
+  let by_series l = List.sort (fun (a, _) (b, _) -> compare_series a b) l in
+  {
+    counters = by_series !counters;
+    gauges = by_series !gauges;
+    histograms = by_series !histograms;
+  }
+
+let merge snaps =
+  let combine_min a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.min a b
+  and combine_max a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.max a b
+  in
+  let merge_histo a b =
+    let tbl = Hashtbl.create 16 in
+    let feed (bound, n) =
+      let prev = try Hashtbl.find tbl bound with Not_found -> 0 in
+      Hashtbl.replace tbl bound (prev + n)
+    in
+    List.iter feed a.h_buckets;
+    List.iter feed b.h_buckets;
+    let buckets =
+      Hashtbl.fold (fun bound n acc -> (bound, n) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    {
+      h_count = a.h_count + b.h_count;
+      h_sum = a.h_sum +. b.h_sum;
+      h_min = combine_min a.h_min b.h_min;
+      h_max = combine_max a.h_max b.h_max;
+      h_buckets = buckets;
+    }
+  in
+  let fold_assoc combine lists =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (List.iter (fun (s, v) ->
+           match Hashtbl.find_opt tbl s with
+           | None -> Hashtbl.replace tbl s v
+           | Some prev -> Hashtbl.replace tbl s (combine prev v)))
+      lists;
+    Hashtbl.fold (fun s v acc -> (s, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare_series a b)
+  in
+  {
+    counters = fold_assoc ( + ) (List.map (fun s -> s.counters) snaps);
+    gauges = fold_assoc ( +. ) (List.map (fun s -> s.gauges) snaps);
+    histograms = fold_assoc merge_histo (List.map (fun s -> s.histograms) snaps);
+  }
+
+let histo_mean h = if h.h_count = 0 then nan else h.h_sum /. float_of_int h.h_count
+
+(* Prometheus text format, version 0.0.4. *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  render_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let expose snap =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s, v) ->
+      type_line s.name "counter";
+      add_sample buf s.name s.labels (string_of_int v))
+    snap.counters;
+  List.iter
+    (fun (s, v) ->
+      type_line s.name "gauge";
+      add_sample buf s.name s.labels (render_float v))
+    snap.gauges;
+  List.iter
+    (fun (s, h) ->
+      type_line s.name "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (bound, n) ->
+          cum := !cum + n;
+          add_sample buf (s.name ^ "_bucket")
+            (s.labels @ [ ("le", render_float bound) ])
+            (string_of_int !cum))
+        h.h_buckets;
+      add_sample buf (s.name ^ "_bucket")
+        (s.labels @ [ ("le", "+Inf") ])
+        (string_of_int h.h_count);
+      add_sample buf (s.name ^ "_sum") s.labels (render_float h.h_sum);
+      add_sample buf (s.name ^ "_count") s.labels (string_of_int h.h_count))
+    snap.histograms;
+  Buffer.contents buf

@@ -1,0 +1,96 @@
+(** Metrics registry: counters, gauges, and log2-bucketed histograms.
+
+    One registry per node (live cluster) or per run (simulator). The
+    write paths are designed for instrumentation inside hot loops:
+
+    - counters are a single {!Atomic.t} increment — safe from any
+      domain or thread, no lock;
+    - gauges and histograms take a per-metric mutex (sharded: writers
+      to different metrics never contend);
+    - metric lookup ([get]) takes the registry-wide mutex, so callers
+      should resolve handles once and reuse them.
+
+    [snapshot] is safe to call while writers are active: it observes
+    each metric atomically (counters) or under that metric's own
+    mutex (gauges, histograms), so every individual value read is
+    consistent even though the snapshot as a whole is not a global
+    atomic cut. *)
+
+type t
+
+val create : unit -> t
+
+(** A metric series is identified by a name plus ordered labels,
+    e.g. [("dmutex_messages_sent_total", [("kind", "REQUEST")])]. *)
+type series = { name : string; labels : (string * string) list }
+
+module Counter : sig
+  type handle
+
+  val get : t -> ?labels:(string * string) list -> string -> handle
+  (** Find-or-create. Returns the same underlying cell for the same
+      [(name, labels)] pair, so increments from different callers
+      accumulate into one series. *)
+
+  val incr : handle -> unit
+  val add : handle -> int -> unit
+  val value : handle -> int
+end
+
+module Gauge : sig
+  type handle
+
+  val get : t -> ?labels:(string * string) list -> string -> handle
+  val set : handle -> float -> unit
+  val add : handle -> float -> unit
+  val value : handle -> float
+end
+
+module Histogram : sig
+  type handle
+
+  val get : t -> ?labels:(string * string) list -> string -> handle
+
+  val observe : handle -> float -> unit
+  (** Record one observation. Buckets are powers of two: an
+      observation [v] lands in the first bucket whose upper bound
+      [2^e] satisfies [v <= 2^e], with exponents clamped to
+      [-30, 30]. Non-positive values land in the lowest bucket. *)
+
+  val count : handle -> int
+  val sum : handle -> float
+end
+
+(** Immutable view of a histogram at snapshot time. *)
+type histo = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty *)
+  h_max : float;  (** [nan] when empty *)
+  h_buckets : (float * int) list;
+      (** [(upper_bound, count)] for non-empty buckets, ascending;
+          counts are per-bucket, not cumulative. *)
+}
+
+type snapshot = {
+  counters : (series * int) list;
+  gauges : (series * float) list;
+  histograms : (series * histo) list;
+}
+(** Series lists are sorted by name, then labels — deterministic. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot list -> snapshot
+(** Point-wise union: counters and histogram buckets/counts/sums are
+    summed per series, gauges are summed (they are used as levels per
+    node, so the merged value is the cluster total), min/max combine.
+    Used by [Cluster] to aggregate per-node registries. *)
+
+val expose : snapshot -> string
+(** Prometheus text exposition format, version 0.0.4. Histograms are
+    rendered with cumulative [_bucket{le=...}] series plus [_sum] and
+    [_count]. *)
+
+val histo_mean : histo -> float
+(** [h_sum /. h_count], or [nan] when empty. *)

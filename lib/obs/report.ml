@@ -1,0 +1,82 @@
+type t = {
+  messages_sent : int;
+  messages_received : int;
+  cs_entries : int;
+  messages_per_cs : float;
+  by_kind : (string * int) list;
+  sync_delay_mean : float;
+  sync_delay_max : float;
+  queue_length_mean : float;
+}
+
+let counter_total snap name =
+  List.fold_left
+    (fun acc ((s : Registry.series), v) ->
+      if String.equal s.name name then acc + v else acc)
+    0 snap.Registry.counters
+
+let counter_by_label snap name label =
+  List.filter_map
+    (fun ((s : Registry.series), v) ->
+      if String.equal s.name name then
+        match List.assoc_opt label s.labels with
+        | Some l -> Some (l, v)
+        | None -> None
+      else None)
+    snap.Registry.counters
+  |> List.sort compare
+
+let histo snap name =
+  List.find_map
+    (fun ((s : Registry.series), h) ->
+      if String.equal s.name name && s.labels = [] then Some h else None)
+    snap.Registry.histograms
+
+let derive snap =
+  let messages_sent = counter_total snap Names.messages_sent_total in
+  let messages_received = counter_total snap Names.messages_received_total in
+  let cs_entries = counter_total snap Names.cs_entries_total in
+  let messages_per_cs =
+    if cs_entries = 0 then nan
+    else float_of_int messages_sent /. float_of_int cs_entries
+  in
+  let sync = histo snap Names.sync_delay_seconds in
+  let qlen = histo snap Names.queue_length in
+  {
+    messages_sent;
+    messages_received;
+    cs_entries;
+    messages_per_cs;
+    by_kind = counter_by_label snap Names.messages_sent_total "kind";
+    sync_delay_mean =
+      (match sync with Some h -> Registry.histo_mean h | None -> nan);
+    sync_delay_max = (match sync with Some h -> h.Registry.h_max | None -> nan);
+    queue_length_mean =
+      (match qlen with Some h -> Registry.histo_mean h | None -> nan);
+  }
+
+let jnum v = if Float.is_nan v then Json.Null else Json.Num v
+
+let to_json t =
+  Json.Obj
+    [
+      ("messages_sent", Json.Num (float_of_int t.messages_sent));
+      ("messages_received", Json.Num (float_of_int t.messages_received));
+      ("cs_entries", Json.Num (float_of_int t.cs_entries));
+      ("messages_per_cs", jnum t.messages_per_cs);
+      ( "by_kind",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) t.by_kind) );
+      ("sync_delay_mean_s", jnum t.sync_delay_mean);
+      ("sync_delay_max_s", jnum t.sync_delay_max);
+      ("queue_length_mean", jnum t.queue_length_mean);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>messages/CS %.3f (%d msgs / %d entries)@,sync delay mean %.4fs max %.4fs@,queue length mean %.2f@,by kind:%a@]"
+    t.messages_per_cs t.messages_sent t.cs_entries t.sync_delay_mean
+    t.sync_delay_max t.queue_length_mean
+    (fun ppf l ->
+      List.iter (fun (k, v) -> Format.fprintf ppf "@, %-12s %d" k v) l)
+    t.by_kind

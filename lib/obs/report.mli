@@ -1,0 +1,28 @@
+(** Derived run report: the paper's comparison axes computed from a
+    (merged) registry snapshot.
+
+    Messages-per-CS — the headline quantity of Eqs. 1–6 and Figures
+    3–6 — is total protocol messages sent divided by total CS
+    entries. Sync delay is reported from the
+    [dmutex_sync_delay_seconds] histogram. [Cluster.obs_report]
+    merges per-node snapshots and derives one of these for a live
+    run; the bench embeds the same fields into [BENCH_RESULTS.json]
+    from simulator runs, so the two are directly comparable. *)
+
+type t = {
+  messages_sent : int;
+  messages_received : int;
+  cs_entries : int;
+  messages_per_cs : float;  (** [nan] when no CS was entered *)
+  by_kind : (string * int) list;  (** sent, per message kind, sorted *)
+  sync_delay_mean : float;  (** seconds; [nan] when unobserved *)
+  sync_delay_max : float;
+  queue_length_mean : float;
+}
+
+val derive : Registry.snapshot -> t
+
+val to_json : t -> Json.t
+(** NaNs render as JSON [null]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Portability shim over OCaml 5 domains.
+
+    The build selects one of two implementations (see the rules in
+    this directory's [dune] file): on OCaml >= 5.0 the shim is a
+    zero-cost wrapper around {!Domain}, giving true parallelism; on
+    4.14 it falls back to system threads, preserving the API and the
+    deterministic semantics of {!Pool} (results, ordering, exception
+    propagation) at parallelism 1. Everything that needs a domain in
+    this repository goes through this module, which is what lets the
+    whole tree build on the 4.14 leg of the CI matrix. *)
+
+type 'a t
+(** A running domain (or fallback thread) computing an ['a]. *)
+
+val spawn : (unit -> 'a) -> 'a t
+
+val join : 'a t -> 'a
+(** Wait for completion and return the result; re-raises (with its
+    backtrace) if the computation raised. *)
+
+val recommended_domain_count : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5; [1] on the
+    threads fallback, so {!Pool} defaults to sequential there. *)
+
+(** Domain-local (thread-local on the fallback) storage. *)
+module DLS : sig
+  type 'a key
+
+  val new_key : (unit -> 'a) -> 'a key
+  val get : 'a key -> 'a
+  val set : 'a key -> 'a -> unit
+end

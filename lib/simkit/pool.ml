@@ -5,17 +5,17 @@ type pool = {
   nonempty : Condition.t;
   queue : task Queue.t;
   mutable stop : bool;
-  mutable workers : unit Domain.t list;
+  mutable workers : unit Domainx.t list;
 }
 
 (* Set for the lifetime of a worker domain, and on the calling domain
    while it executes tasks of an in-flight [map]: any [map] issued
    from inside a task runs inline instead of re-entering the queue
    (which could otherwise steal unrelated tasks mid-map). *)
-let inside_pool = Domain.DLS.new_key (fun () -> false)
+let inside_pool = Domainx.DLS.new_key (fun () -> false)
 
 let jobs () =
-  let fallback () = max 1 (Domain.recommended_domain_count () - 1) in
+  let fallback () = max 1 (Domainx.recommended_domain_count () - 1) in
   match Sys.getenv_opt "DMUTEX_JOBS" with
   | None -> fallback ()
   | Some s -> (
@@ -24,7 +24,7 @@ let jobs () =
       | Some _ | None -> fallback ())
 
 let worker p () =
-  Domain.DLS.set inside_pool true;
+  Domainx.DLS.set inside_pool true;
   let rec loop () =
     Mutex.lock p.mutex;
     while Queue.is_empty p.queue && not p.stop do
@@ -55,7 +55,7 @@ let the_pool =
          p.stop <- true;
          Condition.broadcast p.nonempty;
          Mutex.unlock p.mutex;
-         List.iter Domain.join p.workers);
+         List.iter Domainx.join p.workers);
      p)
 
 (* Only the main domain grows the pool (nested maps run inline), so no
@@ -63,7 +63,7 @@ let the_pool =
 let ensure_workers p want =
   let have = List.length p.workers in
   for _ = have + 1 to want do
-    p.workers <- Domain.spawn (worker p) :: p.workers
+    p.workers <- Domainx.spawn (worker p) :: p.workers
   done
 
 let map ?jobs:requested xs ~f =
@@ -71,7 +71,7 @@ let map ?jobs:requested xs ~f =
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
-  | _ when j <= 1 || Domain.DLS.get inside_pool -> List.map f xs
+  | _ when j <= 1 || Domainx.DLS.get inside_pool -> List.map f xs
   | _ ->
       let p = Lazy.force the_pool in
       let input = Array.of_list xs in
@@ -101,7 +101,7 @@ let map ?jobs:requested xs ~f =
       Mutex.unlock p.mutex;
       (* Work alongside the pool until the queue drains, then wait for
          stragglers still running on workers. *)
-      Domain.DLS.set inside_pool true;
+      Domainx.DLS.set inside_pool true;
       let rec help () =
         Mutex.lock p.mutex;
         let job = Queue.take_opt p.queue in
@@ -113,7 +113,7 @@ let map ?jobs:requested xs ~f =
         | None -> ()
       in
       help ();
-      Domain.DLS.set inside_pool false;
+      Domainx.DLS.set inside_pool false;
       Mutex.lock finished_mutex;
       while Atomic.get remaining > 0 do
         Condition.wait finished finished_mutex

@@ -17,7 +17,7 @@
 val jobs : unit -> int
 (** Resolved parallelism: the [DMUTEX_JOBS] environment variable if it
     parses as a positive integer, otherwise
-    [Domain.recommended_domain_count () - 1], and at least 1. Read
+    [Domainx.recommended_domain_count () - 1], and at least 1. Read
     afresh on every call, so tests can flip it with [putenv]. *)
 
 val map : ?jobs:int -> 'a list -> f:('a -> 'b) -> 'b list

@@ -186,10 +186,20 @@ let apply_record ~n base (tag, payload) =
 (* ------------------------------------------------------------------ *)
 (* The store                                                           *)
 
+(* Registry handles resolved once at [open_]: the store's own [stats]
+   record stays authoritative, these mirror the same activity into the
+   canonical [Dmutex_obs.Names] series. *)
+type obs_handles = {
+  o_appends : Dmutex_obs.Registry.Counter.handle;
+  o_fsync : Dmutex_obs.Registry.Histogram.handle;
+  o_snapshots : Dmutex_obs.Registry.Counter.handle;
+}
+
 type t = {
   dir : string;
   n : int;
   wal_limit : int;
+  obs : obs_handles option;
   mu : Mutex.t;
   mutable wal_fd : Unix.file_descr option;
   mutable cur : view option;  (** Last durable view. *)
@@ -223,7 +233,7 @@ let fsync_dir dir =
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | exception Unix.Unix_error _ -> ()
 
-let open_ ?(wal_limit = 4096) ~dir ~n () =
+let open_ ?(wal_limit = 4096) ?obs ~dir ~n () =
   if n <= 0 then invalid_arg "Store.open_: n must be positive";
   if wal_limit <= 0 then invalid_arg "Store.open_: wal_limit must be positive";
   (try Unix.mkdir dir 0o755 with
@@ -235,6 +245,18 @@ let open_ ?(wal_limit = 4096) ~dir ~n () =
       dir;
       n;
       wal_limit;
+      obs =
+        Option.map
+          (fun reg ->
+            let open Dmutex_obs in
+            {
+              o_appends =
+                Registry.Counter.get reg Names.store_wal_appends_total;
+              o_fsync = Registry.Histogram.get reg Names.store_fsync_seconds;
+              o_snapshots =
+                Registry.Counter.get reg Names.store_snapshots_total;
+            })
+          obs;
       mu = Mutex.create ();
       wal_fd = None;
       cur = None;
@@ -358,6 +380,9 @@ let flush_locked t =
       t.wal_records <- 0;
       t.wal_bytes <- 0;
       t.snapshots <- t.snapshots + 1;
+      (match t.obs with
+      | Some h -> Dmutex_obs.Registry.Counter.incr h.o_snapshots
+      | None -> ());
       t.last_flush <- Unix.gettimeofday ()
 
 let record t v =
@@ -369,7 +394,15 @@ let record t v =
           if frames <> [] then begin
             let batch = String.concat "" frames in
             write_all fd batch;
+            let t0 = Unix.gettimeofday () in
             Unix.fsync fd;
+            (match t.obs with
+            | Some h ->
+                Dmutex_obs.Registry.Counter.add h.o_appends
+                  (List.length frames);
+                Dmutex_obs.Registry.Histogram.observe h.o_fsync
+                  (Unix.gettimeofday () -. t0)
+            | None -> ());
             t.wal_records <- t.wal_records + List.length frames;
             t.wal_bytes <- t.wal_bytes + String.length batch;
             t.last_flush <- Unix.gettimeofday ();

@@ -66,13 +66,18 @@ val empty_view : n:int -> view
 (** All counters zero, nothing granted, no custody — the view of a
     node that has never run. *)
 
-val open_ : ?wal_limit:int -> dir:string -> n:int -> unit -> t
+val open_ :
+  ?wal_limit:int -> ?obs:Dmutex_obs.Registry.t -> dir:string -> n:int ->
+  unit -> t
 (** Open (creating if needed) the state directory and recover:
     load the snapshot if present, replay the WAL over it, and truncate
     any torn tail. [n] is the cluster size; a directory written for a
     different [n] raises {!Corrupt}, as does any format-version
     mismatch. [wal_limit] (default 4096) bounds the WAL record count
-    before an automatic snapshot folds it away. *)
+    before an automatic snapshot folds it away. [obs] mirrors store
+    activity into that registry: WAL appends and snapshot counts as
+    counters, per-{!record} fsync latency as a histogram (the
+    [dmutex_store_*] series of {!Dmutex_obs.Names}). *)
 
 val view : t -> view option
 (** The recovered (and since-updated) view, or [None] if the

@@ -65,12 +65,26 @@ module Witness = struct
   let dispose t = try Unix.unlink t.path with _ -> ()
 end
 
-let write_soak_logs ?(name = "chaos-soak") cluster ~witness_violations ~served
-    =
+(* One structured trace sink per soak when logs are collected: CS
+   entries/exits, recovery milestones and liveness suspicions from
+   every node land in one ring, flushed as JSONL next to the soak
+   log so CI uploads it with the rest of the artifacts. *)
+let make_trace () =
+  match log_dir with
+  | None -> None
+  | Some _ -> Some (Dmutex_obs.Events.create ~capacity:16384 ())
+
+let write_soak_logs ?(name = "chaos-soak") ?trace cluster ~witness_violations
+    ~served =
   match log_dir with
   | None -> ()
   | Some dir ->
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ());
+      (match trace with
+      | Some sink ->
+          Dmutex_obs.Events.flush_file sink
+            (Filename.concat dir (name ^ "-trace.jsonl"))
+      | None -> ());
       let oc = open_out (Filename.concat dir (name ^ ".log")) in
       Printf.fprintf oc "seed: %d\n" chaos_seed;
       Printf.fprintf oc "witness violations: %d\n" witness_violations;
@@ -84,6 +98,9 @@ let write_soak_logs ?(name = "chaos-soak") cluster ~witness_violations ~served
       Printf.fprintf oc "metrics: %s\n"
         (Format.asprintf "%a" Netkit.Transport.pp_metrics
            (RCluster.metrics cluster));
+      Printf.fprintf oc "report: %s\n"
+        (Format.asprintf "%a" Dmutex_obs.Report.pp
+           (RCluster.obs_report cluster));
       for i = 0 to RCluster.n cluster - 1 do
         Printf.fprintf oc "node %d: %s | notes %s\n" i
           (Format.asprintf "%a" Netkit.Transport.pp_metrics
@@ -183,9 +200,10 @@ let has_sub s sub =
    PROBE takeover actually fired. *)
 let test_chaos_soak () =
   let n = 5 in
+  let trace = make_trace () in
   let cluster =
     RCluster.launch ~base_port:8501 ~seed:chaos_seed ~heartbeat_period:0.2
-      ~suspect_timeout:0.8 (soak_cfg n)
+      ~suspect_timeout:0.8 ?trace (soak_cfg n)
   in
   let fault = RCluster.fault cluster in
   let witness = Witness.create "chaos-soak" in
@@ -255,7 +273,7 @@ let test_chaos_soak () =
   stop := true;
   List.iter Thread.join threads;
   let violations = Witness.violations witness in
-  write_soak_logs cluster ~witness_violations:violations ~served;
+  write_soak_logs ?trace cluster ~witness_violations:violations ~served;
   let chaos_entries = List.length (RCluster.chaos_log cluster) in
   let recovery = RCluster.note_count cluster "recovery-started" in
   let takeover = RCluster.note_count cluster "arbiter-takeover" in
@@ -480,9 +498,10 @@ let test_restart_soak () =
   (* Stale directories from a previous run would restore the wrong
      incarnation instead of starting fresh. *)
   rm_rf state_root;
+  let trace = make_trace () in
   let cluster =
     RCluster.launch ~base_port:8601 ~seed:chaos_seed ~heartbeat_period:0.2
-      ~suspect_timeout:0.8 ~state_root ~persist:PV.capture
+      ~suspect_timeout:0.8 ~state_root ?trace ~persist:PV.capture
       ~restore:(PV.restore cfg) cfg
   in
   let fault = RCluster.fault cluster in
@@ -562,7 +581,8 @@ let test_restart_soak () =
   stop := true;
   List.iter Thread.join threads;
   let violations = Witness.violations witness in
-  write_soak_logs ~name:"restart-soak" cluster ~witness_violations:violations
+  write_soak_logs ~name:"restart-soak" ?trace cluster
+    ~witness_violations:violations
     ~served;
   let restarts_completed =
     List.length
