@@ -1,19 +1,21 @@
-(* One real protocol node over TCP. Start N of these (one per peer in
-   the shared peer list) and they form a distributed-mutex cluster
-   running the paper's algorithm; --demo makes the node repeatedly
-   acquire the lock and print while holding it.
+(* One real lock-service node over TCP. Start N of these (one per peer
+   in the shared peer list) and they form a distributed-mutex cluster
+   running the paper's algorithm — one independent protocol instance
+   per --locks key, multiplexed over the node's single transport;
+   --demo makes the node repeatedly acquire every lock and print while
+   holding it.
 
    Example (three shells):
      dmutexd --id 0 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
      dmutexd --id 1 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
      dmutexd --id 2 --peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 --demo
 
-   With --state-dir the node persists its protocol-critical state
-   (epoch, counters, token custody) and a later start from the same
-   directory is a durable restart: counters come back, custody is
-   honoured (a dead custodian triggers the Section 6 invalidation),
-   and the node never regenerates a token from amnesia. SIGTERM/SIGINT
-   flush the store before exiting. *)
+   With --state-dir the node persists each lock's protocol-critical
+   state (epoch, counters, token custody) in its own subdirectory, and
+   a later start from the same directory is a durable restart:
+   counters come back, custody is honoured (a dead custodian triggers
+   the Section 6 invalidation), and the node never regenerates a token
+   from amnesia. SIGTERM/SIGINT flush the stores before exiting. *)
 
 open Cmdliner
 module Node = Netkit.Node_runner.Make (Dmutex.Resilient) (Wire.Protocol_codec)
@@ -43,11 +45,24 @@ let peers_arg =
     & opt (some (list endpoint_conv)) None
     & info [ "peers" ] ~doc:"Comma-separated HOST:PORT list, one per node.")
 
+let locks_arg =
+  Arg.(
+    value
+    & opt (list string) [ Node.default_lock ]
+    & info [ "locks" ]
+        ~doc:
+          "Comma-separated lock keys this cluster serves. Every node \
+           must be started with the same list; each key runs its own \
+           independent protocol instance over the shared connections."
+        ~docv:"KEY,...")
+
 let demo_arg =
   Arg.(
     value & flag
     & info [ "demo" ]
-        ~doc:"Repeatedly acquire the lock, print, hold 200 ms, release.")
+        ~doc:
+          "Repeatedly acquire each lock (one worker per key), print, \
+           hold 200 ms, release.")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
@@ -105,12 +120,13 @@ let state_dir_arg =
     & opt (some string) None
     & info [ "state-dir" ]
         ~doc:
-          "Directory for the durable protocol store (created if \
-           missing). Every protocol step is made durable before its \
-           effects apply; starting again from the same directory is a \
-           crash-restart with memory. Without it a restart is \
-           amnesiac: the node rejoins but refuses to regenerate the \
-           token until resynchronized." ~docv:"DIR")
+          "Directory for the durable protocol stores (created if \
+           missing; one lock-KEY subdirectory per lock). Every \
+           protocol step is made durable before its effects apply; \
+           starting again from the same directory is a crash-restart \
+           with memory. Without it a restart is amnesiac: the node \
+           rejoins but refuses to regenerate tokens until \
+           resynchronized." ~docv:"DIR")
 
 let print_metrics node id =
   let m = Node.metrics node in
@@ -131,19 +147,36 @@ let print_metrics node id =
         ^ "}")
 
 let print_store_stats node id =
-  match Node.store_stats node with
-  | None -> ()
-  | Some s ->
-      Printf.printf
-        "node %d: store wal-records=%d wal-bytes=%d snapshots=%d replayed=%d \
-         last-flush=%s\n\
-         %!"
-        id s.Dmutex_store.Store.wal_records s.Dmutex_store.Store.wal_bytes
-        s.Dmutex_store.Store.snapshots s.Dmutex_store.Store.replayed
-        (if s.Dmutex_store.Store.last_flush = 0.0 then "never"
-         else
-           Printf.sprintf "%.1fs ago"
-             (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush))
+  List.iter
+    (fun lock ->
+      match Node.store_stats ~lock node with
+      | None -> ()
+      | Some s ->
+          Printf.printf
+            "node %d: lock %s: store wal-records=%d wal-bytes=%d snapshots=%d \
+             replayed=%d last-flush=%s\n\
+             %!"
+            id lock s.Dmutex_store.Store.wal_records
+            s.Dmutex_store.Store.wal_bytes s.Dmutex_store.Store.snapshots
+            s.Dmutex_store.Store.replayed
+            (if s.Dmutex_store.Store.last_flush = 0.0 then "never"
+             else
+               Printf.sprintf "%.1fs ago"
+                 (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush)))
+    (Node.locks node)
+
+(* Same directory-name encoding the test cluster uses: anything
+   outside [A-Za-z0-9_-] becomes %XX, so arbitrary keys map to safe,
+   collision-free path segments. *)
+let sanitize_key key =
+  let buf = Buffer.create (String.length key) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    key;
+  Buffer.contents buf
 
 (* Minimal single-threaded HTTP responder: every request, whatever the
    path, gets the current Prometheus exposition. Enough for a scrape
@@ -186,7 +219,7 @@ let serve_metrics (ep : Netkit.Transport.endpoint) reg =
          done)
        ())
 
-let run id peers demo verbose metrics_every loss heartbeat metrics_addr
+let run id peers locks demo verbose metrics_every loss heartbeat metrics_addr
     trace_file state_dir =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
@@ -217,30 +250,52 @@ let run id peers demo verbose metrics_every loss heartbeat metrics_addr
       Logs.info (fun m ->
           m "node %d: metrics on http://%s:%d/metrics" id
             ep.Netkit.Transport.host ep.port));
-  (* Durable store: a non-empty directory means this start is a
-     restart — rebuild the protocol state from the recovered view and
-     let a durable token custody trigger recovery immediately. *)
-  let store, initial, restore_inputs =
+  (* Durable stores: a non-empty per-lock directory means this start
+     is a restart of that instance — rebuild its protocol state from
+     the recovered view and let a durable token custody trigger
+     recovery immediately. *)
+  let per_lock =
     match state_dir with
-    | None -> (None, None, [])
-    | Some dir ->
-        let store = Dmutex_store.Store.open_ ~dir ~n ~obs () in
-        (match Dmutex_store.Store.view store with
-        | None -> (Some store, None, [])
-        | Some view ->
-            let state, inputs =
-              Dmutex_store.Protocol_view.restore cfg ~me:id (Some view)
-            in
-            Logs.info (fun m ->
-                m "node %d: restarting from %s (epoch %d, custody %s)" id dir
-                  view.Dmutex_store.Store.epoch
-                  (match view.Dmutex_store.Store.custody with
-                  | Dmutex_store.Store.Holding _ -> "held"
-                  | Dmutex_store.Store.No_token -> "none"));
-            (Some store, Some state, inputs))
+    | None -> []
+    | Some root ->
+        let rec mkdir_p dir =
+          if not (Sys.file_exists dir) then (
+            mkdir_p (Filename.dirname dir);
+            try Unix.mkdir dir 0o755
+            with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+        in
+        mkdir_p root;
+        List.map
+          (fun lock ->
+            let dir = Filename.concat root ("lock-" ^ sanitize_key lock) in
+            let store = Dmutex_store.Store.open_ ~dir ~key:lock ~n ~obs () in
+            match Dmutex_store.Store.view store with
+            | None -> (lock, (store, None, []))
+            | Some view ->
+                let state, inputs =
+                  Dmutex_store.Protocol_view.restore cfg ~me:id (Some view)
+                in
+                Logs.info (fun m ->
+                    m "node %d: lock %s: restarting from %s (epoch %d, \
+                       custody %s)"
+                      id lock dir view.Dmutex_store.Store.epoch
+                      (match view.Dmutex_store.Store.custody with
+                      | Dmutex_store.Store.Holding _ -> "held"
+                      | Dmutex_store.Store.No_token -> "none"));
+                (lock, (store, Some state, inputs)))
+          locks
   in
-  let persist =
-    Option.map (fun _ -> Dmutex_store.Protocol_view.capture) store
+  let store, initial, persist =
+    match per_lock with
+    | [] -> (None, None, None)
+    | _ ->
+        ( Some
+            (fun ~lock ->
+              Option.map (fun (s, _, _) -> s) (List.assoc_opt lock per_lock)),
+          Some
+            (fun ~lock ->
+              Option.bind (List.assoc_opt lock per_lock) (fun (_, st, _) -> st)),
+          Some Dmutex_store.Protocol_view.capture )
   in
   let node =
     Node.create ?heartbeat_period
@@ -249,9 +304,12 @@ let run id peers demo verbose metrics_every loss heartbeat metrics_addr
         Logs.warn (fun m -> m "node %d: peer %d suspected down" id peer))
       ~on_alive:(fun peer ->
         Logs.info (fun m -> m "node %d: peer %d alive again" id peer))
-      ?initial ?store ?persist ~obs ?trace cfg ~me:id ~peers ()
+      ~locks ?initial ?store ?persist ~obs ?trace cfg ~me:id ~peers ()
   in
-  List.iter (Node.inject node) restore_inputs;
+  List.iter
+    (fun (lock, (_, _, inputs)) ->
+      List.iter (Node.inject ~lock node) inputs)
+    per_lock;
   if loss > 0.0 then Node.set_loss node loss;
   if metrics_every > 0.0 then
     ignore
@@ -285,20 +343,37 @@ let run id peers demo verbose metrics_every loss heartbeat metrics_addr
     | _ -> ());
     exit 0
   in
-  if demo then
-    let rec loop k =
+  if demo then (
+    (* One worker per lock key: independent instances should make
+       independent progress, so contend on all of them at once. *)
+    List.iter
+      (fun lock ->
+        ignore
+          (Thread.create
+             (fun () ->
+               let rec loop k =
+                 if not (Atomic.get stop) then (
+                   (match
+                      Node.with_lock ~timeout:30.0 ~lock node (fun () ->
+                          Printf.printf "node %d holds %s (round %d)\n%!" id
+                            lock k;
+                          Thread.delay 0.2)
+                    with
+                   | Some () -> ()
+                   | None ->
+                       Printf.printf "node %d: lock %s timed out\n%!" id lock);
+                   Thread.delay (0.1 +. Random.float 0.5);
+                   loop (k + 1))
+               in
+               loop 1)
+             ()))
+      locks;
+    let rec wait () =
       if Atomic.get stop then finish ();
-      (match
-         Node.with_lock ~timeout:30.0 node (fun () ->
-             Printf.printf "node %d holds the lock (round %d)\n%!" id k;
-             Thread.delay 0.2)
-       with
-      | Some () -> ()
-      | None -> Printf.printf "node %d: lock timed out\n%!" id);
-      Thread.delay (0.1 +. Random.float 0.5);
-      loop (k + 1)
+      Thread.delay 0.2;
+      wait ()
     in
-    loop 1
+    wait ())
   else
     (* Serve forever; the node participates in the protocol (forwards
        requests, relays the token) without requesting the CS. *)
@@ -316,7 +391,7 @@ let main =
          "A node of the ICDCS'96 token-passing distributed mutual \
           exclusion protocol over TCP.")
     Term.(
-      const run $ id_arg $ peers_arg $ demo_arg $ verbose_arg
+      const run $ id_arg $ peers_arg $ locks_arg $ demo_arg $ verbose_arg
       $ metrics_every_arg $ loss_arg $ heartbeat_arg $ metrics_addr_arg
       $ trace_file_arg $ state_dir_arg)
 

@@ -8,16 +8,17 @@ module Make
 struct
   module Node = Node_runner.Make (A) (C)
 
+  type selector =
+    states:(int -> lock:string -> A.state) ->
+    locks:string list ->
+    live:(int -> bool) ->
+    int option
+
   type chaos_event =
     | Fault of Fault.event
-    | Crash_where of
-        string * (states:(int -> A.state) -> live:(int -> bool) -> int option)
+    | Crash_where of string * selector
     | Restart of { node : int; after : float }
-    | Restart_where of {
-        label : string;
-        select : states:(int -> A.state) -> live:(int -> bool) -> int option;
-        after : float;
-      }
+    | Restart_where of { label : string; select : selector; after : float }
 
   type chaos_schedule = (float * chaos_event) list
 
@@ -28,6 +29,7 @@ struct
     cfg : Dmutex.Types.Config.t;
     peers : Transport.endpoint array;
     seed : int;
+    locks : string list;
     heartbeat_period : float option;
     suspect_timeout : float;
     state_root : string option;
@@ -54,16 +56,34 @@ struct
 
   let state_dir root i = Filename.concat root (Printf.sprintf "node-%d" i)
 
-  let open_store t i =
-    match t.state_root with
-    | None -> None
-    | Some root ->
-        Some
-          (Dmutex_store.Store.open_ ~dir:(state_dir root i)
-             ~n:(Array.length t.nodes) ~obs:t.obs.(i) ())
+  (* Lock keys are arbitrary strings; percent-encode anything outside
+     the filesystem-safe set so every key maps to a distinct, portable
+     subdirectory name. *)
+  let sanitize_key key =
+    let buf = Buffer.create (String.length key) in
+    String.iter
+      (fun c ->
+        match c with
+        | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' ->
+            Buffer.add_char buf c
+        | c -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+      key;
+    Buffer.contents buf
 
-  let try_launch cfg ~base_port ~seed ~heartbeat_period ~suspect_timeout
-      ~state_root ~obs ~trace ~persist ~restore =
+  let lock_dir root i key =
+    Filename.concat (state_dir root i) ("lock-" ^ sanitize_key key)
+
+  (* Per-lock store opener for node [i]: each instance recovers from
+     (and appends to) its own key-stamped subdirectory. *)
+  let open_stores ~root ~n ~obs i ~lock =
+    (try Unix.mkdir (state_dir root i) 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Some
+      (Dmutex_store.Store.open_ ~dir:(lock_dir root i lock) ~key:lock ~n ~obs
+         ())
+
+  let try_launch cfg ~base_port ~seed ~locks ~heartbeat_period
+      ~suspect_timeout ~state_root ~obs ~trace ~persist ~restore =
     let n = cfg.Dmutex.Types.Config.n in
     let peers = endpoints ~base_port n in
     let fault = Fault.create ~seed ~n () in
@@ -75,24 +95,24 @@ struct
     let restore =
       match restore with
       | Some f -> f
-      | None -> fun ~me v -> ignore v; (A.rejoin cfg me, [])
+      | None ->
+          fun ~me v ->
+            ignore v;
+            (A.rejoin cfg me, [])
     in
     let started = ref [] in
     try
       let nodes =
         Array.init n (fun i ->
             let store =
-              match state_root with
-              | Some root ->
-                  Some
-                    (Dmutex_store.Store.open_ ~dir:(state_dir root i) ~n
-                       ~obs:obs.(i) ())
-              | None -> None
+              Option.map
+                (fun root -> open_stores ~root ~n ~obs:obs.(i) i)
+                state_root
             in
             let node =
               Node.create ~fault ?heartbeat_period ~suspect_timeout
-                ~seed:(seed + i) ?store ?persist ~obs:obs.(i) ?trace cfg
-                ~me:i ~peers ()
+                ~seed:(seed + i) ~locks ?store ?persist ~obs:obs.(i) ?trace
+                cfg ~me:i ~peers ()
             in
             started := node :: !started;
             node)
@@ -105,6 +125,7 @@ struct
           cfg;
           peers;
           seed;
+          locks;
           heartbeat_period;
           suspect_timeout;
           state_root;
@@ -122,7 +143,8 @@ struct
       List.iter Node.crash !started;
       None
 
-  let launch ?(base_port = 7801) ?(seed = 0xc1a05) ?heartbeat_period
+  let launch ?(base_port = 7801) ?(seed = 0xc1a05)
+      ?(locks = [ Node.default_lock ]) ?heartbeat_period
       ?(suspect_timeout = 1.0) ?state_root ?trace ?persist ?restore cfg =
     let obs =
       Array.init cfg.Dmutex.Types.Config.n (fun _ ->
@@ -136,8 +158,8 @@ struct
         match
           try_launch cfg
             ~base_port:(base_port + (k * 100))
-            ~seed ~heartbeat_period ~suspect_timeout ~state_root ~obs ~trace
-            ~persist ~restore
+            ~seed ~locks ~heartbeat_period ~suspect_timeout ~state_root ~obs
+            ~trace ~persist ~restore
         with
         | Some t -> t
         | None -> attempt (k + 1)
@@ -146,6 +168,7 @@ struct
 
   let node t i = t.nodes.(i)
   let n t = Array.length t.nodes
+  let locks t = t.locks
   let fault t = t.fault
 
   let crash t i =
@@ -156,11 +179,12 @@ struct
       Node.crash t.nodes.(i)
     end
 
-  (* Bring node [i] back: reopen its state directory, rebuild the
-     protocol state through the [restore] hook, bind the same endpoint
-     again (retrying while the old sockets drain), and feed the
-     restore inputs (e.g. a self-addressed WARNING for a dead token
-     custodian) through the fresh node. *)
+  (* Bring node [i] back: reopen its per-lock state directories,
+     rebuild each instance's protocol state through the [restore]
+     hook, bind the same endpoint again (retrying while the old
+     sockets drain), and feed the restore inputs (e.g. a
+     self-addressed WARNING for a dead token custodian) through the
+     fresh node, per lock. *)
   let restart t i =
     Mutex.lock t.restart_mu;
     Fun.protect
@@ -168,15 +192,36 @@ struct
       (fun () ->
         if t.live.(i) then crash t i;
         Fault.recover t.fault i;
-        let store = open_store t i in
-        let view = Option.join (Option.map Dmutex_store.Store.view store) in
-        let initial, inputs = t.restore ~me:i view in
+        let n = Array.length t.nodes in
+        let per_lock =
+          List.map
+            (fun key ->
+              let store =
+                match t.state_root with
+                | None -> None
+                | Some root -> open_stores ~root ~n ~obs:t.obs.(i) i ~lock:key
+              in
+              let view =
+                Option.join (Option.map Dmutex_store.Store.view store)
+              in
+              let initial, inputs = t.restore ~me:i view in
+              (key, (store, initial, inputs)))
+            t.locks
+        in
+        let find key = List.assoc key per_lock in
         let rec bind attempts =
           match
             Node.create ~fault:t.fault ?heartbeat_period:t.heartbeat_period
-              ~suspect_timeout:t.suspect_timeout ~seed:(t.seed + i) ~initial
-              ?store ?persist:t.persist ~obs:t.obs.(i) ?trace:t.trace t.cfg
-              ~me:i ~peers:t.peers ()
+              ~suspect_timeout:t.suspect_timeout ~seed:(t.seed + i)
+              ~locks:t.locks
+              ~initial:(fun ~lock ->
+                let _, st, _ = find lock in
+                Some st)
+              ~store:(fun ~lock ->
+                let s, _, _ = find lock in
+                s)
+              ?persist:t.persist ~obs:t.obs.(i) ?trace:t.trace t.cfg ~me:i
+              ~peers:t.peers ()
           with
           | node -> node
           | exception Unix.Unix_error ((EADDRINUSE | EACCES), _, _)
@@ -187,7 +232,10 @@ struct
         let node = bind 0 in
         t.nodes.(i) <- node;
         t.live.(i) <- true;
-        List.iter (Node.inject node) inputs)
+        List.iter
+          (fun (key, (_, _, inputs)) ->
+            List.iter (Node.inject ~lock:key node) inputs)
+          per_lock)
 
   let log_chaos t at msg =
     Mutex.lock t.chaos_mu;
@@ -221,8 +269,8 @@ struct
       else
         match
           select
-            ~states:(fun i -> Node.state t.nodes.(i))
-            ~live:(alive t)
+            ~states:(fun i ~lock -> Node.state ~lock t.nodes.(i))
+            ~locks:t.locks ~live:(alive t)
         with
         | Some i when alive t i ->
             Fault.crash t.fault i;
@@ -258,8 +306,8 @@ struct
       else
         match
           select
-            ~states:(fun i -> Node.state t.nodes.(i))
-            ~live:(alive t)
+            ~states:(fun i ~lock -> Node.state ~lock t.nodes.(i))
+            ~locks:t.locks ~live:(alive t)
         with
         | Some i when alive t i -> run_restart t at label i after
         | Some _ | None ->
@@ -348,7 +396,8 @@ struct
     Dmutex_obs.Registry.merge
       (Array.to_list (Array.map Dmutex_obs.Registry.snapshot t.obs))
 
-  let obs_report t = Dmutex_obs.Report.derive (obs_snapshot t)
+  let obs_report ?lock t = Dmutex_obs.Report.derive ?lock (obs_snapshot t)
+  let obs_report_by_lock t = Dmutex_obs.Report.by_lock (obs_snapshot t)
 
   let shutdown t =
     t.stopping <- true;

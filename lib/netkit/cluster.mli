@@ -13,11 +13,21 @@ module Make
     (C : Wire.CODEC with type message = A.message) : sig
   module Node : module type of Node_runner.Make (A) (C)
 
+  type selector =
+    states:(int -> lock:string -> A.state) ->
+    locks:string list ->
+    live:(int -> bool) ->
+    int option
+  (** Role-targeted victim selection: inspect any node's protocol
+      state for any hosted lock ([states i ~lock]) and the list of
+      lock keys, and name a victim — e.g. "whoever holds the token of
+      lock [x] right now", or "any node holding tokens for at least
+      two locks". *)
+
   (** One step of a chaos schedule. *)
   type chaos_event =
     | Fault of Fault.event  (** Static fault: loss, crash by id, partition… *)
-    | Crash_where of
-        string * (states:(int -> A.state) -> live:(int -> bool) -> int option)
+    | Crash_where of string * selector
         (** Role-targeted crash-stop: the selector inspects live
             protocol states and names the victim (e.g. "whoever holds
             the token right now"). Polled every 20 ms until it returns
@@ -25,15 +35,11 @@ module Make
             chaos log. *)
     | Restart of { node : int; after : float }
         (** Full restart drill: tear [node] down for real ({!crash} —
-            sockets closed, store aborted without flush), keep it down
+            sockets closed, stores aborted without flush), keep it down
             for [after] seconds, then {!restart} it from its state
-            directory. The schedule thread blocks through the outage
+            directories. The schedule thread blocks through the outage
             (events are deliberately sequential). *)
-    | Restart_where of {
-        label : string;
-        select : states:(int -> A.state) -> live:(int -> bool) -> int option;
-        after : float;
-      }
+    | Restart_where of { label : string; select : selector; after : float }
         (** Role-targeted {!Restart}: victim selection as in
             [Crash_where] — e.g. "whoever holds the token right now",
             killed mid-CS and brought back from disk. *)
@@ -47,6 +53,7 @@ module Make
   val launch :
     ?base_port:int ->
     ?seed:int ->
+    ?locks:string list ->
     ?heartbeat_period:float ->
     ?suspect_timeout:float ->
     ?state_root:string ->
@@ -62,16 +69,22 @@ module Make
       base_port+n-1] (default base port 7801; picks free ports by
       retrying a few bases on bind failure). [seed] drives the shared
       fault injector and per-node transport randomness, making chaos
-      runs reproducible. [heartbeat_period] enables each node's peer
-      liveness monitor (off by default).
+      runs reproducible. Every node hosts one protocol instance per
+      [locks] entry (default [[Node.default_lock]]), all multiplexed
+      over its one transport. [heartbeat_period] enables each node's
+      peer liveness monitor (off by default), shared by all of its
+      instances.
 
-      [state_root] enables durability: node [i] persists through a
-      [Dmutex_store.Store] in [state_root/node-i] (created as needed),
-      capturing states through [persist] after every step (see
-      {!Node_runner.Make.create}). [restore] rebuilds a node's state
-      from its recovered view at {!restart} time — [None] view means
-      an empty directory, i.e. amnesia; the returned inputs are
-      injected into the fresh node (e.g. a self-addressed WARNING when
+      [state_root] enables durability: node [i] persists lock [k]
+      through a [Dmutex_store.Store] in
+      [state_root/node-i/lock-<sanitized k>] (created as needed; keys
+      are percent-encoded for the directory name and stamped into the
+      store so a mix-up fails loudly at open), capturing states through
+      [persist] after every step (see {!Node_runner.Make.create}).
+      [restore] rebuilds one instance's state from its recovered view
+      at {!restart} time — called once per lock; [None] view means an
+      empty directory, i.e. amnesia; the returned inputs are injected
+      into that fresh instance (e.g. a self-addressed WARNING when
       custody was durable). Defaults to [A.rejoin] with no inputs.
 
       Every node gets its own {!Dmutex_obs.Registry} (see
@@ -82,6 +95,9 @@ module Make
 
   val node : t -> int -> Node.t
   val n : t -> int
+
+  val locks : t -> string list
+  (** The lock keys every node hosts, in [launch] order. *)
 
   val fault : t -> Fault.t
   (** The cluster-wide fault injector (shared by every node's
@@ -117,12 +133,18 @@ module Make
   val obs_snapshot : t -> Dmutex_obs.Registry.snapshot
   (** Cluster-wide merged snapshot of every node's registry. *)
 
-  val obs_report : t -> Dmutex_obs.Report.t
+  val obs_report : ?lock:string -> t -> Dmutex_obs.Report.t
   (** Derived run report over the merged snapshot: total messages
       sent/received, CS entries, {e messages per critical section},
       per-kind breakdown, sync-delay and queue-length statistics. The
       live counterpart of the simulator's per-CS accounting — same
-      series names, same derivation. *)
+      series names, same derivation. With [lock], restricted to the
+      series carrying that [lock=<key>] label — the per-lock view of a
+      sharded run. *)
+
+  val obs_report_by_lock : t -> (string * Dmutex_obs.Report.t) list
+  (** One {!obs_report} per lock key found in the merged snapshot,
+      sorted by key. *)
 
   val crash : t -> int -> unit
   (** Fail-stop one node for real (sockets closed, threads stopped,

@@ -8,26 +8,20 @@ module Make
 struct
   open Dmutex.Types
 
-  type t = {
-    cfg : Config.t;
-    me : int;
-    store : Dmutex_store.Store.t option;
-    persist : (A.state -> Dmutex_store.Store.view) option;
+  let default_lock = "default"
+
+  (* One protocol instance: the pure state machine for one lock key
+     plus everything that must be private to it — its mutex, its
+     grant condition, its durable store, its lock-labelled metrics.
+     Instances share the node's transport, timer wheel and liveness
+     monitor. *)
+  type inst = {
+    key : string;
     mutable state : A.state;
     lock : Mutex.t;
     granted : Condition.t;
-    mutable transport : Transport.t option;
     pm : Dmutex_obs.Protocol_metrics.t option;
-    (* per-node view into the obs registry passed at [create] *)
-    obs_reg : Dmutex_obs.Registry.t option;
-    trace : Dmutex_obs.Events.sink option;
-    suspicions : Dmutex_obs.Registry.Counter.handle option;
-    (* timers: key -> absolute wall-clock deadline *)
-    timers : (A.timer, float) Hashtbl.t;
-    (* self-pipe waking the timer thread out of its deadline sleep
-       whenever the timer set changes *)
-    wake_rd : Unix.file_descr;
-    mutable wake_wr : Unix.file_descr option;
+    store : Dmutex_store.Store.t option;
     notes : (string, int) Hashtbl.t;
     mutable waiters : int;  (** threads blocked in [with_lock]. *)
     mutable async_pending : int;
@@ -36,8 +30,33 @@ struct
     mutable abandoned : int;
         (** [with_lock] timeouts whose stale grant is still owed a
             drain. *)
+  }
+
+  type t = {
+    cfg : Config.t;
+    me : int;
+    persist : (A.state -> Dmutex_store.Store.view) option;
+    (* The instance registry is fixed at [create], before the
+       transport starts delivering frames, so lookups are lock-free. *)
+    insts : (string, inst) Hashtbl.t;
+    lock_order : string list;  (** registry keys in creation order. *)
+    mutable transport : Transport.t option;
+    obs_reg : Dmutex_obs.Registry.t option;
+    trace : Dmutex_obs.Events.sink option;
+    suspicions : Dmutex_obs.Registry.Counter.handle option;
+    (* One shared timer wheel for the whole node: [(lock, timer)] ->
+       absolute wall-clock deadline, guarded by [wheel_mu], drained by
+       a single sleeping thread regardless of how many instances the
+       node hosts. Lock order is instance mutex -> wheel mutex, never
+       the reverse. *)
+    wheel : (string * A.timer, float) Hashtbl.t;
+    wheel_mu : Mutex.t;
+    (* self-pipe waking the timer thread out of its deadline sleep
+       whenever the timer set changes *)
+    wake_rd : Unix.file_descr;
+    mutable wake_wr : Unix.file_descr option;
     mutable stopping : bool;
-    on_grant : unit -> unit;
+    on_grant : lock:string -> unit;
     on_suspect : int -> unit;
     on_alive : int -> unit;
     suspect_timeout : float;
@@ -49,15 +68,20 @@ struct
 
   let now t = Unix.gettimeofday () -. t.start
 
-  let trace_emit t ?severity name fields =
+  let trace_emit t ?inst ?severity name fields =
     match t.trace with
     | None -> ()
     | Some sink ->
+        let fields =
+          match inst with
+          | Some i -> ("lock", i.key) :: fields
+          | None -> fields
+        in
         Dmutex_obs.Events.emit sink ?severity
           ~fields:(("node", string_of_int t.me) :: fields)
           name
 
-  (* Must be called with [t.lock] held. *)
+  (* Must be called with [t.wheel_mu] held. *)
   let wake_timer_thread t =
     match t.wake_wr with
     | None -> ()
@@ -65,62 +89,68 @@ struct
         try ignore (Unix.write fd (Bytes.make 1 '!') 0 1)
         with Unix.Unix_error _ -> ())
 
-  (* Apply effects under [t.lock]. *)
-  let rec apply t = function
+  (* Apply effects under [inst.lock]. *)
+  let rec apply t inst = function
     | Send (dst, m) ->
-        (match t.pm with
+        (match inst.pm with
         | Some pm when dst <> t.me ->
             Dmutex_obs.Protocol_metrics.sent pm ~kind:(A.message_kind m)
         | Some _ | None -> ());
         (match t.transport with
-        | Some tr -> ignore (Transport.send tr ~dst (C.encode m))
+        | Some tr -> ignore (Transport.send tr ~dst ~lock:inst.key (C.encode m))
         | None -> ())
     | Broadcast m ->
-        (match t.pm with
+        (match inst.pm with
         | Some pm ->
             Dmutex_obs.Protocol_metrics.sent_many pm
               ~kind:(A.message_kind m)
               (t.cfg.Config.n - 1)
         | None -> ());
         (match t.transport with
-        | Some tr -> ignore (Transport.broadcast tr (C.encode m))
+        | Some tr -> ignore (Transport.broadcast tr ~lock:inst.key (C.encode m))
         | None -> ())
     | Enter_cs ->
-        (match t.pm with
+        (match inst.pm with
         | Some pm -> Dmutex_obs.Protocol_metrics.cs_entered pm ~now:(now t)
         | None -> ());
-        trace_emit t "cs.enter" [];
-        if t.waiters = 0 && t.async_pending > 0 then begin
+        trace_emit t ~inst "cs.enter" [];
+        if inst.waiters = 0 && inst.async_pending > 0 then begin
           (* A fire-and-forget [acquire]: keep the CS held; the caller
              polls [holding] and must [release]. *)
-          t.async_pending <- t.async_pending - 1;
-          Condition.broadcast t.granted;
-          t.on_grant ()
+          inst.async_pending <- inst.async_pending - 1;
+          Condition.broadcast inst.granted;
+          t.on_grant ~lock:inst.key
         end
-        else if t.waiters = 0 then begin
+        else if inst.waiters = 0 then begin
           (* No caller is waiting: either a [with_lock] gave up on this
              request, or a recovery re-granted one already satisfied.
              Either way, holding it would freeze the token here
              forever — release immediately so it moves on. *)
-          if t.abandoned > 0 then t.abandoned <- t.abandoned - 1;
-          Log.debug (fun m -> m "node %d: draining stale grant" t.me);
-          step_locked t Cs_done
+          if inst.abandoned > 0 then inst.abandoned <- inst.abandoned - 1;
+          Log.debug (fun m ->
+              m "node %d: draining stale grant for %S" t.me inst.key);
+          step_locked t inst Cs_done
         end
         else begin
-          Condition.broadcast t.granted;
-          t.on_grant ()
+          Condition.broadcast inst.granted;
+          t.on_grant ~lock:inst.key
         end
     | Set_timer (k, d) ->
-        Hashtbl.replace t.timers k (Unix.gettimeofday () +. Float.max d 0.0);
-        wake_timer_thread t
+        Mutex.lock t.wheel_mu;
+        Hashtbl.replace t.wheel (inst.key, k)
+          (Unix.gettimeofday () +. Float.max d 0.0);
+        wake_timer_thread t;
+        Mutex.unlock t.wheel_mu
     | Cancel_timer k ->
-        Hashtbl.remove t.timers k;
-        wake_timer_thread t
+        Mutex.lock t.wheel_mu;
+        Hashtbl.remove t.wheel (inst.key, k);
+        wake_timer_thread t;
+        Mutex.unlock t.wheel_mu
     | Note n ->
         let name = string_of_note n in
-        Hashtbl.replace t.notes name
-          (1 + Option.value ~default:0 (Hashtbl.find_opt t.notes name));
-        (match t.pm with
+        Hashtbl.replace inst.notes name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt inst.notes name));
+        (match inst.pm with
         | Some pm -> (
             Dmutex_obs.Protocol_metrics.note pm name;
             match n with
@@ -130,69 +160,92 @@ struct
         | None -> ());
         (match n with
         | Recovery_started | Token_regenerated | Arbiter_takeover ->
-            trace_emit t ~severity:Dmutex_obs.Events.Warn ("recovery." ^ name)
-              []
-        | Became_arbiter -> trace_emit t "protocol.became-arbiter" []
+            trace_emit t ~inst ~severity:Dmutex_obs.Events.Warn
+              ("recovery." ^ name) []
+        | Became_arbiter -> trace_emit t ~inst "protocol.became-arbiter" []
         | _ -> ());
-        Log.debug (fun m -> m "node %d: %s" t.me name)
+        Log.debug (fun m -> m "node %d: [%s] %s" t.me inst.key name)
 
-  and step_locked t input =
+  and step_locked t inst input =
     (match input with
     | Request_cs -> (
-        match t.pm with
+        match inst.pm with
         | Some pm -> Dmutex_obs.Protocol_metrics.mark_request pm ~now:(now t)
         | None -> ())
     | Cs_done ->
-        (match t.pm with
+        (match inst.pm with
         | Some pm -> Dmutex_obs.Protocol_metrics.cs_exited pm ~now:(now t)
         | None -> ());
-        trace_emit t "cs.exit" []
+        trace_emit t ~inst "cs.exit" []
     | Receive _ | Timer_fired _ -> ());
-    let state', effects = A.handle t.cfg ~now:(now t) t.state input in
-    t.state <- state';
+    let state', effects = A.handle t.cfg ~now:(now t) inst.state input in
+    inst.state <- state';
     (* Persist the post-step view BEFORE applying any effect: the
        fsync returns before a PRIVILEGE can reach the socket or the CS
        is entered, so the durable custody record never over-claims —
        see the durability discipline in [Dmutex_store.Store]. *)
-    (match (t.store, t.persist) with
-    | Some store, Some persist -> Dmutex_store.Store.record store (persist state')
+    (match (inst.store, t.persist) with
+    | Some store, Some persist ->
+        Dmutex_store.Store.record store (persist state')
     | _ -> ());
-    List.iter (apply t) effects
+    List.iter (apply t inst) effects
 
-  let step t input =
-    Mutex.lock t.lock;
+  let step t inst input =
+    Mutex.lock inst.lock;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () -> step_locked t input)
+      ~finally:(fun () -> Mutex.unlock inst.lock)
+      (fun () -> step_locked t inst input)
 
   (* Earliest-deadline sleeping: block in [select] on the wake pipe
-     until the next timer is due (or a [Set_timer] / [Cancel_timer]
-     pokes the pipe), instead of polling every millisecond. The 250 ms
-     cap is a safety net only. *)
+     until the next timer across every instance is due (or a
+     [Set_timer] / [Cancel_timer] pokes the pipe), instead of polling
+     every millisecond. One thread serves the whole registry. The
+     250 ms cap is a safety net only. *)
   let timer_loop t =
     let buf = Bytes.create 64 in
     while not t.stopping do
-      Mutex.lock t.lock;
       let now_abs = Unix.gettimeofday () in
+      Mutex.lock t.wheel_mu;
       let due =
         Hashtbl.fold
           (fun k deadline acc -> if deadline <= now_abs then k :: acc else acc)
-          t.timers []
+          t.wheel []
       in
+      Mutex.unlock t.wheel_mu;
       List.iter
-        (fun k ->
-          Hashtbl.remove t.timers k;
-          step_locked t (Timer_fired k))
+        (fun ((lk, k) as wk) ->
+          match Hashtbl.find_opt t.insts lk with
+          | None ->
+              Mutex.lock t.wheel_mu;
+              Hashtbl.remove t.wheel wk;
+              Mutex.unlock t.wheel_mu
+          | Some inst ->
+              Mutex.lock inst.lock;
+              (* Re-check under the wheel mutex: a step for an earlier
+                 timer may have cancelled or re-armed this one while
+                 neither mutex was held. *)
+              Mutex.lock t.wheel_mu;
+              let still_due =
+                match Hashtbl.find_opt t.wheel wk with
+                | Some deadline when deadline <= Unix.gettimeofday () ->
+                    Hashtbl.remove t.wheel wk;
+                    true
+                | Some _ | None -> false
+              in
+              Mutex.unlock t.wheel_mu;
+              if still_due then step_locked t inst (Timer_fired k);
+              Mutex.unlock inst.lock)
         due;
+      Mutex.lock t.wheel_mu;
       let next =
         Hashtbl.fold
           (fun _ deadline acc ->
             match acc with
             | None -> Some deadline
             | Some d -> Some (Float.min d deadline))
-          t.timers None
+          t.wheel None
       in
-      Mutex.unlock t.lock;
+      Mutex.unlock t.wheel_mu;
       let timeout =
         match next with
         | None -> 0.25
@@ -204,14 +257,14 @@ struct
       | _ -> ()
       | exception Unix.Unix_error _ -> ()
     done;
-    Mutex.lock t.lock;
+    Mutex.lock t.wheel_mu;
     (match t.wake_wr with
     | Some fd ->
         (try Unix.close fd with _ -> ());
         t.wake_wr <- None
     | None -> ());
     (try Unix.close t.wake_rd with _ -> ());
-    Mutex.unlock t.lock
+    Mutex.unlock t.wheel_mu
 
   let heard t src =
     if src >= 0 && src < Array.length t.last_heard then begin
@@ -227,7 +280,8 @@ struct
     end
 
   (* Declares a peer suspect after [suspect_timeout] of silence; any
-     frame (data or heartbeat) counts as life. *)
+     frame (data or heartbeat, for any lock) counts as life — liveness
+     is a property of the connection, shared by every instance. *)
   let liveness_loop t =
     let period = Float.max 0.01 (t.suspect_timeout /. 4.0) in
     while not t.stopping do
@@ -261,23 +315,63 @@ struct
       end
     done
 
-  let create ?(on_grant = fun () -> ()) ?fault ?heartbeat_period
+  let find_inst t lock =
+    match Hashtbl.find_opt t.insts lock with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Node_runner: no instance for lock key %S" lock)
+
+  let create ?(on_grant = fun ~lock:_ -> ()) ?fault ?heartbeat_period
       ?(suspect_timeout = 1.0) ?(on_suspect = fun _ -> ())
-      ?(on_alive = fun _ -> ()) ?seed ?initial ?store ?persist ?obs ?trace cfg
-      ~me ~peers () =
+      ?(on_alive = fun _ -> ()) ?seed ?(locks = [ default_lock ]) ?initial
+      ?store ?persist ?obs ?trace cfg ~me ~peers () =
+    if locks = [] then
+      invalid_arg "Node_runner.create: at least one lock key required";
     let wake_rd, wake_wr = Unix.pipe () in
     Unix.set_nonblock wake_wr;
+    let insts = Hashtbl.create (List.length locks) in
+    List.iter
+      (fun key ->
+        if Hashtbl.mem insts key then
+          invalid_arg
+            (Printf.sprintf "Node_runner.create: duplicate lock key %S" key);
+        let pm =
+          Option.map
+            (fun reg ->
+              Dmutex_obs.Protocol_metrics.create
+                ~labels:(Dmutex_obs.Names.lock_label key)
+                reg)
+            obs
+        in
+        let state =
+          match Option.bind initial (fun f -> f ~lock:key) with
+          | Some s -> s
+          | None -> A.init cfg me
+        in
+        let store = Option.bind store (fun f -> f ~lock:key) in
+        Hashtbl.add insts key
+          {
+            key;
+            state;
+            lock = Mutex.create ();
+            granted = Condition.create ();
+            pm;
+            store;
+            notes = Hashtbl.create 16;
+            waiters = 0;
+            async_pending = 0;
+            abandoned = 0;
+          })
+      locks;
     let t =
       {
         cfg;
         me;
-        store;
         persist;
-        state = (match initial with Some s -> s | None -> A.init cfg me);
-        lock = Mutex.create ();
-        granted = Condition.create ();
+        insts;
+        lock_order = locks;
         transport = None;
-        pm = Option.map Dmutex_obs.Protocol_metrics.create obs;
         obs_reg = obs;
         trace;
         suspicions =
@@ -286,13 +380,10 @@ struct
               Dmutex_obs.Registry.Counter.get reg
                 Dmutex_obs.Names.suspicions_total)
             obs;
-        timers = Hashtbl.create 8;
+        wheel = Hashtbl.create 16;
+        wheel_mu = Mutex.create ();
         wake_rd;
         wake_wr = Some wake_wr;
-        notes = Hashtbl.create 16;
-        waiters = 0;
-        async_pending = 0;
-        abandoned = 0;
         stopping = false;
         on_grant;
         on_suspect;
@@ -304,23 +395,37 @@ struct
         start = Unix.gettimeofday ();
       }
     in
-    (* Make the starting view durable immediately: a node that crashes
-       before its first step must restart from this state, not as an
-       amnesiac. *)
-    (match (store, persist) with
-    | Some s, Some p -> Dmutex_store.Store.record s (p t.state)
-    | _ -> ());
-    let on_frame ~src payload =
+    (* Make every starting view durable immediately: a node that
+       crashes before its first step must restart from this state, not
+       as an amnesiac. *)
+    (match persist with
+    | Some p ->
+        Hashtbl.iter
+          (fun _ inst ->
+            match inst.store with
+            | Some s -> Dmutex_store.Store.record s (p inst.state)
+            | None -> ())
+          insts
+    | None -> ());
+    let on_frame ~src ~lock payload =
       heard t src;
-      match C.decode payload with
-      | m ->
-          (match t.pm with
-          | Some pm ->
-              Dmutex_obs.Protocol_metrics.received pm ~kind:(A.message_kind m)
-          | None -> ());
-          step t (Receive (src, m))
-      | exception Wire.Malformed msg ->
-          Log.warn (fun f -> f "node %d: dropping bad frame from %d: %s" me src msg)
+      match Hashtbl.find_opt t.insts lock with
+      | None ->
+          Log.warn (fun f ->
+              f "node %d: dropping frame for unknown lock %S from %d" me lock
+                src)
+      | Some inst -> (
+          match C.decode payload with
+          | m ->
+              (match inst.pm with
+              | Some pm ->
+                  Dmutex_obs.Protocol_metrics.received pm
+                    ~kind:(A.message_kind m)
+              | None -> ());
+              step t inst (Receive (src, m))
+          | exception Wire.Malformed msg ->
+              Log.warn (fun f ->
+                  f "node %d: dropping bad frame from %d: %s" me src msg))
     in
     let on_heartbeat ~src = heard t src in
     t.transport <-
@@ -333,58 +438,64 @@ struct
     | _ -> ());
     t
 
-  let acquire t =
-    Mutex.lock t.lock;
-    t.async_pending <- t.async_pending + 1;
+  let locks t = t.lock_order
+
+  let acquire ?(lock = default_lock) t =
+    let inst = find_inst t lock in
+    Mutex.lock inst.lock;
+    inst.async_pending <- inst.async_pending + 1;
     Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () -> step_locked t Request_cs)
+      ~finally:(fun () -> Mutex.unlock inst.lock)
+      (fun () -> step_locked t inst Request_cs)
 
-  let release t = step t Cs_done
+  let release ?(lock = default_lock) t = step t (find_inst t lock) Cs_done
 
-  let holding t =
-    Mutex.lock t.lock;
-    let h = A.in_cs t.state in
-    Mutex.unlock t.lock;
+  let holding ?(lock = default_lock) t =
+    let inst = find_inst t lock in
+    Mutex.lock inst.lock;
+    let h = A.in_cs inst.state in
+    Mutex.unlock inst.lock;
     h
 
-  let with_lock ?(timeout = 30.0) t f =
+  let with_lock ?(timeout = 30.0) ?(lock = default_lock) t f =
+    let inst = find_inst t lock in
     let deadline = Unix.gettimeofday () +. timeout in
-    Mutex.lock t.lock;
-    t.waiters <- t.waiters + 1;
-    (try step_locked t Request_cs
+    Mutex.lock inst.lock;
+    inst.waiters <- inst.waiters + 1;
+    (try step_locked t inst Request_cs
      with e ->
-       t.waiters <- t.waiters - 1;
-       Mutex.unlock t.lock;
+       inst.waiters <- inst.waiters - 1;
+       Mutex.unlock inst.lock;
        raise e);
     let rec wait () =
-      if A.in_cs t.state then true
+      if A.in_cs inst.state then true
       else if Unix.gettimeofday () >= deadline then false
       else begin
         (* OCaml's Condition has no timed wait; poll with a short
            unlock window instead. *)
-        Mutex.unlock t.lock;
+        Mutex.unlock inst.lock;
         Thread.delay 0.001;
-        Mutex.lock t.lock;
+        Mutex.lock inst.lock;
         wait ()
       end
     in
     let ok = wait () in
-    t.waiters <- t.waiters - 1;
+    inst.waiters <- inst.waiters - 1;
     (* On timeout the REQUEST is already queued cluster-wide; mark it
        abandoned so the grant, when it lands, is drained instead of
        leaving this node holding a lock nobody wants (see [Enter_cs]
        in [apply]). *)
-    if not ok then t.abandoned <- t.abandoned + 1;
-    Mutex.unlock t.lock;
+    if not ok then inst.abandoned <- inst.abandoned + 1;
+    Mutex.unlock inst.lock;
     if ok then
-      Fun.protect ~finally:(fun () -> release t) (fun () -> Some (f ()))
+      Fun.protect ~finally:(fun () -> release ~lock t) (fun () -> Some (f ()))
     else None
 
-  let state t =
-    Mutex.lock t.lock;
-    let s = t.state in
-    Mutex.unlock t.lock;
+  let state ?(lock = default_lock) t =
+    let inst = find_inst t lock in
+    Mutex.lock inst.lock;
+    let s = inst.state in
+    Mutex.unlock inst.lock;
     s
 
   let messages_sent t =
@@ -403,17 +514,36 @@ struct
           queue_depth = 0;
         }
 
-  let notes t =
-    Mutex.lock t.lock;
-    let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.notes [] in
-    Mutex.unlock t.lock;
-    List.sort compare l
+  let inst_notes inst acc =
+    Mutex.lock inst.lock;
+    let acc =
+      Hashtbl.fold
+        (fun k v acc ->
+          let prev = Option.value ~default:0 (List.assoc_opt k acc) in
+          (k, prev + v) :: List.remove_assoc k acc)
+        inst.notes acc
+    in
+    Mutex.unlock inst.lock;
+    acc
 
-  let note_count t name =
-    Mutex.lock t.lock;
-    let v = Option.value ~default:0 (Hashtbl.find_opt t.notes name) in
-    Mutex.unlock t.lock;
-    v
+  let notes ?lock t =
+    let merged =
+      match lock with
+      | Some l -> inst_notes (find_inst t l) []
+      | None -> Hashtbl.fold (fun _ inst acc -> inst_notes inst acc) t.insts []
+    in
+    List.sort compare merged
+
+  let note_count ?lock t name =
+    let count inst acc =
+      Mutex.lock inst.lock;
+      let v = Option.value ~default:0 (Hashtbl.find_opt inst.notes name) in
+      Mutex.unlock inst.lock;
+      acc + v
+    in
+    match lock with
+    | Some l -> count (find_inst t l) 0
+    | None -> Hashtbl.fold (fun _ inst acc -> count inst acc) t.insts 0
 
   let suspected t =
     Mutex.lock t.live_mu;
@@ -427,17 +557,19 @@ struct
     | Some tr -> Transport.set_loss tr p
     | None -> ()
 
-  let inject t input = step t input
+  let inject ?(lock = default_lock) t input = step t (find_inst t lock) input
 
-  let store_stats t = Option.map Dmutex_store.Store.stats t.store
+  let store_stats ?(lock = default_lock) t =
+    Option.map Dmutex_store.Store.stats (find_inst t lock).store
+
   let obs t = t.obs_reg
 
   let stop_threads_and_transport t =
     if not t.stopping then begin
       t.stopping <- true;
-      Mutex.lock t.lock;
+      Mutex.lock t.wheel_mu;
       wake_timer_thread t;
-      Mutex.unlock t.lock;
+      Mutex.unlock t.wheel_mu;
       match t.transport with
       | Some tr ->
           t.transport <- None;
@@ -445,11 +577,16 @@ struct
       | None -> ()
     end
 
+  let iter_stores t f =
+    Hashtbl.iter
+      (fun _ inst -> match inst.store with Some s -> f s | None -> ())
+      t.insts
+
   let shutdown t =
     stop_threads_and_transport t;
-    Option.iter Dmutex_store.Store.close t.store
+    iter_stores t Dmutex_store.Store.close
 
   let crash t =
     stop_threads_and_transport t;
-    Option.iter Dmutex_store.Store.abort t.store
-  end
+    iter_stores t Dmutex_store.Store.abort
+end

@@ -55,7 +55,7 @@ type obs_handles = {
 type t = {
   me : int;
   peers : endpoint array;
-  on_frame : src:int -> string -> unit;
+  on_frame : src:int -> lock:string -> string -> unit;
   on_heartbeat : src:int -> unit;
   fault : Fault.t option;
   listener : Unix.file_descr;
@@ -138,14 +138,17 @@ let write_frame fd body =
   in
   push 0 (4 + len)
 
-(* Every frame body starts with the sender id and a frame kind
-   ({!Wire.Frame}) so the receiver can demultiplex without per-peer
-   inbound sockets and tell heartbeats from protocol data. *)
+(* Every frame body starts with the sender id, a frame kind and the
+   lock key it is addressed to ({!Wire.Frame}) so the receiver can
+   demultiplex peers without per-peer inbound sockets, tell heartbeats
+   from protocol data, and route each payload to the right protocol
+   instance over the one shared connection. *)
 let reader_loop t fd =
   try
     while not t.closed do
       let frame = read_frame fd in
-      let src, kind = Wire.Frame.decode_header frame in
+      let h = Wire.Frame.decode_header frame in
+      let src = h.Wire.Frame.src in
       if src < 0 || src >= Array.length t.peers || src = t.me then
         raise (Wire.Malformed (Printf.sprintf "bad sender id %d" src));
       let admit =
@@ -154,17 +157,17 @@ let reader_loop t fd =
         | Some f -> Fault.reachable f ~src ~dst:t.me
       in
       if admit then
-        match kind with
+        match h.Wire.Frame.kind with
         | Wire.Frame.Heartbeat -> t.on_heartbeat ~src
         | Wire.Frame.Data ->
             let payload =
-              String.sub frame Wire.Frame.header_len
-                (String.length frame - Wire.Frame.header_len)
+              String.sub frame h.Wire.Frame.payload_start
+                (String.length frame - h.Wire.Frame.payload_start)
             in
             bump t (fun t -> t.delivered <- t.delivered + 1);
             obs_incr t (fun h -> h.o_delivered);
-            t.on_frame ~src payload
-      else count_dropped t (kind = Wire.Frame.Data)
+            t.on_frame ~src ~lock:h.Wire.Frame.lock payload
+      else count_dropped t (h.Wire.Frame.kind = Wire.Frame.Data)
     done;
     detach_inbound t fd
   with
@@ -321,7 +324,7 @@ let enqueue t ~dst ~counted ~not_before body =
   Mutex.unlock ch.mu;
   ok
 
-let send_kind t ~dst ~counted kind payload =
+let send_kind t ~dst ~lock ~counted kind payload =
   if t.closed || dst = t.me || dst < 0 || dst >= Array.length t.peers then false
   else begin
     let lost =
@@ -338,7 +341,7 @@ let send_kind t ~dst ~counted kind payload =
       true
     end
     else
-      let body = Wire.Frame.encode_header ~src:t.me kind ^ payload in
+      let body = Wire.Frame.encode_header ~src:t.me ~lock kind ^ payload in
       match t.fault with
       | None -> enqueue t ~dst ~counted ~not_before:0.0 body
       | Some f -> (
@@ -353,22 +356,27 @@ let send_kind t ~dst ~counted kind payload =
                 body)
   end
 
-let send t ~dst payload = send_kind t ~dst ~counted:true Wire.Frame.Data payload
+let send t ~dst ?(lock = "") payload =
+  send_kind t ~dst ~lock ~counted:true Wire.Frame.Data payload
 
-let broadcast t payload =
+let broadcast t ?(lock = "") payload =
   let ok = ref 0 in
   for dst = 0 to Array.length t.peers - 1 do
-    if dst <> t.me && send t ~dst payload then incr ok
+    if dst <> t.me && send t ~dst ~lock payload then incr ok
   done;
   !ok
 
+(* Heartbeats are per-connection liveness, not per-instance: one
+   beacon per peer per period regardless of how many locks the node
+   hosts, addressed to the empty key. *)
 let heartbeat_loop t period =
   while not t.closed do
     chill t period;
     if not t.closed then
       for dst = 0 to Array.length t.peers - 1 do
         if dst <> t.me then
-          ignore (send_kind t ~dst ~counted:false Wire.Frame.Heartbeat "")
+          ignore
+            (send_kind t ~dst ~lock:"" ~counted:false Wire.Frame.Heartbeat "")
       done
   done
 

@@ -1,9 +1,11 @@
 (** Length-prefixed framed messaging over TCP, hardened for chaos.
 
     Each wire frame is a 4-byte big-endian length followed by a body
-    that starts with a {!Wire.Frame} header (sender id + kind). A
-    {!t} owns one listening socket plus one {e supervised outbound
-    channel} per peer: a bounded send queue with its own mutex,
+    that starts with a {!Wire.Frame} header (sender id + kind + lock
+    key), so many protocol instances multiplex over the same
+    supervised connections and the receiver demultiplexes payloads by
+    lock key. A {!t} owns one listening socket plus one {e supervised
+    outbound channel} per peer: a bounded send queue with its own mutex,
     drained by a dedicated writer thread that (re)connects lazily with
     capped exponential backoff and jitter. A dead or slow peer can
     therefore only stall its own channel — never sends to the rest of
@@ -43,14 +45,16 @@ val create :
   ?obs:Dmutex_obs.Registry.t ->
   me:int ->
   peers:endpoint array ->
-  on_frame:(src:int -> string -> unit) ->
+  on_frame:(src:int -> lock:string -> string -> unit) ->
   unit ->
   t
 (** [create ~me ~peers ~on_frame ()] binds and listens on
     [peers.(me)].port and starts the accept loop. [on_frame] runs on
-    reader threads; it must be thread-safe. Each frame carries the
-    sender's id, so [src] is trustworthy only on a trusted network —
-    this is a research runtime, not an authenticated one.
+    reader threads; it must be thread-safe, and receives the lock key
+    the frame was addressed to so the caller can route it to the right
+    protocol instance. Each frame carries the sender's id, so [src] is
+    trustworthy only on a trusted network — this is a research
+    runtime, not an authenticated one.
 
     [fault] installs a chaos interceptor consulted for every outgoing
     frame (and re-checked for connectivity at write and receive time);
@@ -64,8 +68,9 @@ val create :
     [dmutex_transport_*] series ({!Dmutex_obs.Names}); [metrics] reads
     additionally sample the queue depth into its gauge. *)
 
-val send : t -> dst:int -> string -> bool
-(** Frame a payload and hand it to [dst]'s outbound channel. Returns
+val send : t -> dst:int -> ?lock:string -> string -> bool
+(** Frame a payload for lock instance [lock] (default [""]) and hand
+    it to [dst]'s outbound channel. Returns
     [false] only if the transport is closed, [dst] is this node or out
     of range, or the channel's queue is full — [true] means {e
     accepted}, not yet written: the writer thread delivers (or retries
@@ -75,7 +80,7 @@ val send : t -> dst:int -> string -> bool
     machinery must tolerate; the counters record it as [dropped] and
     never as [sent]. *)
 
-val broadcast : t -> string -> int
+val broadcast : t -> ?lock:string -> string -> int
 (** Send to every other peer; returns how many frames were accepted. *)
 
 val set_loss : t -> float -> unit

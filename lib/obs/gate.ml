@@ -1,10 +1,16 @@
 type outcome = { lines : string list; failures : string list }
 
+(* Which way is "worse": costs (messages/CS, wall-clock) regress
+   upward, rates (throughput) regress downward. *)
+type direction = Higher_bad | Lower_bad
+
 type check = {
   label : string;
   path : string list;
-  tolerance : float;  (* relative: fail when cur > base * (1 + tolerance) *)
+  tolerance : float;  (* relative: fail when cur is worse than base by more *)
   band : (float * float) option;  (* absolute bounds on the current value *)
+  direction : direction;
+  optional : bool;  (* absent from both runs: skip instead of failing *)
 }
 
 let get path json = Option.bind (Json.path path json) Json.num
@@ -18,18 +24,47 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
         path = [ "derived"; "high_load"; "messages_per_cs" ];
         tolerance;
         band = Some band;
+        direction = Higher_bad;
+        optional = false;
       };
       {
         label = "light-load messages/CS";
         path = [ "derived"; "light_load"; "messages_per_cs" ];
         tolerance;
         band = None;
+        direction = Higher_bad;
+        optional = false;
+      };
+      (* The sharded (multi-lock) live experiment: per-CS cost must
+         stay in the same Eq. 4 band as the single lock — the keyed
+         multiplexing is free in protocol messages — and aggregate
+         throughput must not collapse. Both are optional so baselines
+         recorded before the lock namespace existed still gate. *)
+      {
+        label = "sharded messages/CS";
+        path = [ "derived"; "sharded"; "messages_per_cs" ];
+        tolerance;
+        band = Some band;
+        direction = Higher_bad;
+        optional = true;
+      };
+      {
+        label = "sharded aggregate throughput";
+        path = [ "derived"; "sharded"; "cs_per_sec" ];
+        (* Live wall-clock rate on a shared runner: same looseness as
+           the wall-clock check. *)
+        tolerance = wall_tolerance;
+        band = None;
+        direction = Lower_bad;
+        optional = true;
       };
       {
         label = "total wall-clock";
         path = [ "total_seconds" ];
         tolerance = wall_tolerance;
         band = None;
+        direction = Higher_bad;
+        optional = false;
       };
     ]
   in
@@ -43,7 +78,10 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
     (fun c ->
       let dotted = String.concat "." c.path in
       match (get c.path baseline, get c.path current) with
-      | _, None -> fail (Printf.sprintf "FAIL %s: missing %s in current run" c.label dotted)
+      | None, None when c.optional ->
+          say (Printf.sprintf "skip %s: not measured in either run" c.label)
+      | _, None ->
+          fail (Printf.sprintf "FAIL %s: missing %s in current run" c.label dotted)
       | None, Some cur -> (
           say
             (Printf.sprintf "skip %s: baseline has no %s (current %.4f)"
@@ -59,7 +97,11 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
           | Some _ | None -> ())
       | Some base, Some cur ->
           let delta = if base = 0. then 0. else (cur -. base) /. base in
-          let rel_ok = cur <= base *. (1. +. c.tolerance) in
+          let rel_ok =
+            match c.direction with
+            | Higher_bad -> cur <= base *. (1. +. c.tolerance)
+            | Lower_bad -> cur >= base *. (1. -. c.tolerance)
+          in
           let band_bad =
             match c.band with
             | Some (lo, hi) when cur < lo || cur > hi -> Some (lo, hi)

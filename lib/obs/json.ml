@@ -16,7 +16,12 @@ let escape_string buf s =
       | '\n' -> Buffer.add_string buf {|\n|}
       | '\r' -> Buffer.add_string buf {|\r|}
       | '\t' -> Buffer.add_string buf {|\t|}
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+          (* Control bytes must be escaped per RFC 8259; bytes >= 0x7f
+             (DEL and raw non-ASCII, e.g. an arbitrary lock key) are
+             escaped too so the output is valid regardless of the
+             string's encoding. Each byte maps to \u00XX — Latin-1
+             semantics, mirrored by the parser. *)
           Buffer.add_string buf (Printf.sprintf {|\u%04x|} (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
@@ -136,7 +141,7 @@ let of_string s =
                      with _ -> fail "bad \\u escape"
                    in
                    pos := !pos + 4;
-                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   if code < 0x100 then Buffer.add_char buf (Char.chr code)
                    else Buffer.add_char buf '?'
                | c -> fail (Printf.sprintf "bad escape \\%c" c));
             advance ();

@@ -4,10 +4,12 @@
     needs only enough JSON for three jobs: the JSONL trace sink, the
     derived-metrics section of [BENCH_RESULTS.json], and the CI bench
     gate that re-reads those files. This module covers exactly that:
-    the full JSON grammar minus [\uXXXX] escapes beyond ASCII
-    round-tripping (escapes decode to '?' placeholders — metric names
-    and event fields in this repository are ASCII). Numbers are
-    floats, as in JavaScript. *)
+    the full JSON grammar with byte-level (Latin-1) string semantics —
+    the printer escapes control bytes and every byte [>= 0x7f] as
+    [\u00XX] (so arbitrary lock keys survive the JSONL trace), and the
+    parser decodes [\uXXXX] escapes up to [0xFF] back to single bytes;
+    larger code points decode to '?' placeholders. Numbers are floats,
+    as in JavaScript. *)
 
 type t =
   | Null

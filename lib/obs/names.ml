@@ -18,6 +18,11 @@ let kind_label kind = [ ("kind", kind) ]
 let phase_label phase = [ ("phase", phase) ]
 let note_label note = [ ("note", note) ]
 
+let lock_label lock = [ ("lock", lock) ]
+(* Lock-instance dimension: every protocol series carries [lock=<key>]
+   when the node hosts a keyed instance registry, so one scrape (or one
+   merged snapshot) separates per-lock traffic. *)
+
 (* Transport *)
 let transport_sent_total = "dmutex_transport_sent_total"
 let transport_delivered_total = "dmutex_transport_delivered_total"

@@ -1,5 +1,6 @@
 type t = {
   reg : Registry.t;
+  labels : (string * string) list;
   cs_entries : Registry.Counter.handle;
   cs_time : Registry.Histogram.handle;
   sync_delay : Registry.Histogram.handle;
@@ -15,13 +16,14 @@ type t = {
   mutable entered_at : float option;
 }
 
-let create reg =
+let create ?(labels = []) reg =
   {
     reg;
-    cs_entries = Registry.Counter.get reg Names.cs_entries_total;
-    cs_time = Registry.Histogram.get reg Names.cs_time_seconds;
-    sync_delay = Registry.Histogram.get reg Names.sync_delay_seconds;
-    qlen = Registry.Histogram.get reg Names.queue_length;
+    labels;
+    cs_entries = Registry.Counter.get reg ~labels Names.cs_entries_total;
+    cs_time = Registry.Histogram.get reg ~labels Names.cs_time_seconds;
+    sync_delay = Registry.Histogram.get reg ~labels Names.sync_delay_seconds;
+    qlen = Registry.Histogram.get reg ~labels Names.queue_length;
     sent_by_kind = Hashtbl.create 8;
     recv_by_kind = Hashtbl.create 8;
     notes_by_tag = Hashtbl.create 8;
@@ -32,29 +34,29 @@ let create reg =
 
 let registry t = t.reg
 
-let memo tbl reg get name labels_of key =
+let memo tbl t get name labels_of key =
   match Hashtbl.find_opt tbl key with
   | Some h -> h
   | None ->
-      let h = get reg ?labels:(Some (labels_of key)) name in
+      let h = get t.reg ?labels:(Some (labels_of key @ t.labels)) name in
       Hashtbl.add tbl key h;
       h
 
 let sent t ~kind =
   Registry.Counter.incr
-    (memo t.sent_by_kind t.reg Registry.Counter.get Names.messages_sent_total
+    (memo t.sent_by_kind t Registry.Counter.get Names.messages_sent_total
        Names.kind_label kind)
 
 let sent_many t ~kind n =
   Registry.Counter.add
-    (memo t.sent_by_kind t.reg Registry.Counter.get Names.messages_sent_total
+    (memo t.sent_by_kind t Registry.Counter.get Names.messages_sent_total
        Names.kind_label kind)
     n
 
 let received t ~kind =
   Registry.Counter.incr
-    (memo t.recv_by_kind t.reg Registry.Counter.get
-       Names.messages_received_total Names.kind_label kind)
+    (memo t.recv_by_kind t Registry.Counter.get Names.messages_received_total
+       Names.kind_label kind)
 
 let mark_request t ~now =
   match t.requested_at with Some _ -> () | None -> t.requested_at <- Some now
@@ -79,11 +81,11 @@ let queue_length t k = Registry.Histogram.observe t.qlen (float_of_int k)
 
 let phase t ~name dur =
   Registry.Histogram.observe
-    (memo t.phase_by_name t.reg Registry.Histogram.get Names.phase_seconds
+    (memo t.phase_by_name t Registry.Histogram.get Names.phase_seconds
        Names.phase_label name)
     dur
 
 let note t tag =
   Registry.Counter.incr
-    (memo t.notes_by_tag t.reg Registry.Counter.get Names.notes_total
+    (memo t.notes_by_tag t Registry.Counter.get Names.notes_total
        Names.note_label tag)

@@ -17,7 +17,11 @@
 
 type t
 
-val create : Registry.t -> t
+val create : ?labels:(string * string) list -> Registry.t -> t
+(** [labels] (default none) are appended to every series this instance
+    touches — the keyed runtime passes {!Names.lock_label} so each
+    protocol instance on a node writes its own [lock=<key>] series
+    while sharing the node's registry. *)
 
 val registry : t -> Registry.t
 

@@ -9,51 +9,93 @@ type t = {
   queue_length_mean : float;
 }
 
-let counter_total snap name =
+(* [lock = None] aggregates across every instance; [lock = Some l]
+   restricts to series carrying a [lock=l] label. *)
+let series_matches lock (s : Registry.series) =
+  match lock with
+  | None -> true
+  | Some l -> List.assoc_opt "lock" s.labels = Some l
+
+let counter_total ?lock snap name =
   List.fold_left
     (fun acc ((s : Registry.series), v) ->
-      if String.equal s.name name then acc + v else acc)
+      if String.equal s.name name && series_matches lock s then acc + v
+      else acc)
     0 snap.Registry.counters
 
-let counter_by_label snap name label =
-  List.filter_map
+let counter_by_label ?lock snap name label =
+  let tbl = Hashtbl.create 8 in
+  List.iter
     (fun ((s : Registry.series), v) ->
-      if String.equal s.name name then
+      if String.equal s.name name && series_matches lock s then
         match List.assoc_opt label s.labels with
-        | Some l -> Some (l, v)
-        | None -> None
-      else None)
-    snap.Registry.counters
+        | Some l ->
+            Hashtbl.replace tbl l
+              (v + Option.value ~default:0 (Hashtbl.find_opt tbl l))
+        | None -> ())
+    snap.Registry.counters;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* Merge every histogram series of [name] that passes the lock filter.
+   Only count / sum / max feed the report, so the merge leaves buckets
+   and min to the first series. *)
+let histo ?lock snap name =
+  let fmax a b =
+    if Float.is_nan a then b else if Float.is_nan b then a else Float.max a b
+  in
+  List.fold_left
+    (fun acc ((s : Registry.series), (h : Registry.histo)) ->
+      if String.equal s.name name && series_matches lock s then
+        match acc with
+        | None -> Some h
+        | Some (a : Registry.histo) ->
+            Some
+              {
+                a with
+                Registry.h_count = a.Registry.h_count + h.Registry.h_count;
+                h_sum = a.Registry.h_sum +. h.Registry.h_sum;
+                h_max = fmax a.Registry.h_max h.Registry.h_max;
+              }
+      else acc)
+    None snap.Registry.histograms
+
+let locks snap =
+  let add acc ((s : Registry.series), _) =
+    match List.assoc_opt "lock" s.labels with
+    | Some l when not (List.mem l acc) -> l :: acc
+    | _ -> acc
+  in
+  List.fold_left add
+    (List.fold_left add [] snap.Registry.counters)
+    snap.Registry.histograms
   |> List.sort compare
 
-let histo snap name =
-  List.find_map
-    (fun ((s : Registry.series), h) ->
-      if String.equal s.name name && s.labels = [] then Some h else None)
-    snap.Registry.histograms
-
-let derive snap =
-  let messages_sent = counter_total snap Names.messages_sent_total in
-  let messages_received = counter_total snap Names.messages_received_total in
-  let cs_entries = counter_total snap Names.cs_entries_total in
+let derive ?lock snap =
+  let messages_sent = counter_total ?lock snap Names.messages_sent_total in
+  let messages_received =
+    counter_total ?lock snap Names.messages_received_total
+  in
+  let cs_entries = counter_total ?lock snap Names.cs_entries_total in
   let messages_per_cs =
     if cs_entries = 0 then nan
     else float_of_int messages_sent /. float_of_int cs_entries
   in
-  let sync = histo snap Names.sync_delay_seconds in
-  let qlen = histo snap Names.queue_length in
+  let sync = histo ?lock snap Names.sync_delay_seconds in
+  let qlen = histo ?lock snap Names.queue_length in
   {
     messages_sent;
     messages_received;
     cs_entries;
     messages_per_cs;
-    by_kind = counter_by_label snap Names.messages_sent_total "kind";
+    by_kind = counter_by_label ?lock snap Names.messages_sent_total "kind";
     sync_delay_mean =
       (match sync with Some h -> Registry.histo_mean h | None -> nan);
     sync_delay_max = (match sync with Some h -> h.Registry.h_max | None -> nan);
     queue_length_mean =
       (match qlen with Some h -> Registry.histo_mean h | None -> nan);
   }
+
+let by_lock snap = List.map (fun l -> (l, derive ~lock:l snap)) (locks snap)
 
 let jnum v = if Float.is_nan v then Json.Null else Json.Num v
 

@@ -20,7 +20,20 @@ type t = {
   queue_length_mean : float;
 }
 
-val derive : Registry.snapshot -> t
+val derive : ?lock:string -> Registry.snapshot -> t
+(** Without [lock], aggregate across every series — including all lock
+    instances of a keyed deployment. With [lock], restrict to series
+    labelled [lock=<key>] (histograms with matching labels are merged;
+    only count, sum and max survive the merge, which is all the report
+    uses). *)
+
+val locks : Registry.snapshot -> string list
+(** Distinct values of the [lock] label across the snapshot's series,
+    sorted. Empty for a single-instance (unlabelled) run. *)
+
+val by_lock : Registry.snapshot -> (string * t) list
+(** One {!derive} per {!locks} entry — the per-lock breakdown of a
+    keyed run. *)
 
 val to_json : t -> Json.t
 (** NaNs render as JSON [null]. *)

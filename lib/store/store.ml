@@ -67,6 +67,14 @@ let tag_next_seq = 4
 let tag_served = 5
 let tag_custody = 6
 
+(* Lock-key stamp: first record of every fresh WAL, naming the lock
+   instance the log belongs to. A key-namespaced deployment points
+   each instance at its own subdirectory; the stamp (and its twin
+   embedded in the snapshot) turns a mis-wired directory into a loud
+   {!Corrupt} instead of silently feeding one lock's epochs to
+   another. *)
+let tag_key = 7
+
 let frame tag payload =
   let len = String.length payload in
   if len > 0xFFFF then invalid_arg "Store: record payload too large";
@@ -121,9 +129,10 @@ let dec_custody d =
   | 1 -> Holding { epoch = Wire.Dec.int_ d }
   | c -> raise (Wire.Malformed (Printf.sprintf "invalid custody tag %d" c))
 
-let snapshot_payload ~n v =
+let snapshot_payload ~n ~key v =
   enc_payload (fun e ->
       Wire.Enc.int_ e n;
+      Wire.Enc.string e key;
       Wire.Enc.int_ e v.epoch;
       Wire.Enc.int_ e v.election;
       Wire.Enc.int_ e v.enq_round;
@@ -131,10 +140,11 @@ let snapshot_payload ~n v =
       Wire.Enc.array e Wire.Enc.int_ v.granted;
       enc_custody e v.custody)
 
-let decode_snapshot ~n payload =
+let decode_snapshot ~n ~key payload =
   match
     let d = Wire.Dec.of_string payload in
     let stored_n = Wire.Dec.int_ d in
+    let stored_key = Wire.Dec.string d in
     let epoch = Wire.Dec.int_ d in
     let election = Wire.Dec.int_ d in
     let enq_round = Wire.Dec.int_ d in
@@ -142,12 +152,17 @@ let decode_snapshot ~n payload =
     let granted = Wire.Dec.array d Wire.Dec.int_ in
     let custody = dec_custody d in
     Wire.Dec.check_eof d;
-    (stored_n, { epoch; election; enq_round; next_seq; granted; custody })
+    ( stored_n,
+      stored_key,
+      { epoch; election; enq_round; next_seq; granted; custody } )
   with
-  | stored_n, v ->
+  | stored_n, stored_key, v ->
       if stored_n <> n then
         corrupt "snapshot written for a %d-node cluster, this one has %d"
           stored_n n;
+      if stored_key <> key then
+        corrupt "snapshot written for lock key %S, this store opened for %S"
+          stored_key key;
       if Array.length v.granted <> n then
         corrupt "snapshot granted vector has %d entries, expected %d"
           (Array.length v.granted) n;
@@ -198,6 +213,7 @@ type obs_handles = {
 type t = {
   dir : string;
   n : int;
+  key : string;
   wal_limit : int;
   obs : obs_handles option;
   mu : Mutex.t;
@@ -233,7 +249,7 @@ let fsync_dir dir =
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | exception Unix.Unix_error _ -> ()
 
-let open_ ?(wal_limit = 4096) ?obs ~dir ~n () =
+let open_ ?(wal_limit = 4096) ?(key = "") ?obs ~dir ~n () =
   if n <= 0 then invalid_arg "Store.open_: n must be positive";
   if wal_limit <= 0 then invalid_arg "Store.open_: wal_limit must be positive";
   (try Unix.mkdir dir 0o755 with
@@ -244,6 +260,7 @@ let open_ ?(wal_limit = 4096) ?obs ~dir ~n () =
     {
       dir;
       n;
+      key;
       wal_limit;
       obs =
         Option.map
@@ -281,17 +298,35 @@ let open_ ?(wal_limit = 4096) ?obs ~dir ~n () =
             if next <> String.length raw then
               corrupt "snapshot file has %d trailing bytes"
                 (String.length raw - next);
-            Some (decode_snapshot ~n payload))
+            Some (decode_snapshot ~n ~key payload))
   in
   let wal_raw = Option.value ~default:"" (read_file (wal_path t)) in
+  let check_key_record payload =
+    match
+      let d = Wire.Dec.of_string payload in
+      let k = Wire.Dec.string d in
+      Wire.Dec.check_eof d;
+      k
+    with
+    | k ->
+        if k <> key then
+          corrupt "WAL written for lock key %S, this store opened for %S" k
+            key
+    | exception Wire.Malformed m -> corrupt "WAL key record payload: %s" m
+  in
   let rec replay view off =
     match parse_frame ~what:"WAL" wal_raw off with
     | None -> (view, off)
     | Some (tag, payload, next) ->
         if tag = tag_snapshot then corrupt "snapshot record inside the WAL";
         t.replayed <- t.replayed + 1;
-        let base = match view with Some v -> v | None -> empty_view ~n in
-        replay (Some (apply_record ~n base (tag, payload))) next
+        if tag = tag_key then begin
+          check_key_record payload;
+          replay view next
+        end
+        else
+          let base = match view with Some v -> v | None -> empty_view ~n in
+          replay (Some (apply_record ~n base (tag, payload))) next
   in
   let view, valid_len = replay base 0 in
   if valid_len < String.length wal_raw then begin
@@ -370,7 +405,7 @@ let flush_locked t =
       let fd =
         Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
       in
-      write_all fd (frame tag_snapshot (snapshot_payload ~n:t.n v));
+      write_all fd (frame tag_snapshot (snapshot_payload ~n:t.n ~key:t.key v));
       Unix.fsync fd;
       Unix.close fd;
       Unix.rename tmp (snapshot_path t);
@@ -392,6 +427,15 @@ let record t v =
       | Some fd ->
           let frames = delta_frames ~n:t.n t.cur v in
           if frames <> [] then begin
+            (* A fresh WAL opens with the lock-key stamp so replay can
+               verify the log belongs to this instance. *)
+            let frames =
+              if t.wal_bytes = 0 then
+                frame tag_key
+                  (enc_payload (fun e -> Wire.Enc.string e t.key))
+                :: frames
+              else frames
+            in
             let batch = String.concat "" frames in
             write_all fd batch;
             let t0 = Unix.gettimeofday () in

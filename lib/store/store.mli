@@ -67,13 +67,17 @@ val empty_view : n:int -> view
     node that has never run. *)
 
 val open_ :
-  ?wal_limit:int -> ?obs:Dmutex_obs.Registry.t -> dir:string -> n:int ->
-  unit -> t
+  ?wal_limit:int -> ?key:string -> ?obs:Dmutex_obs.Registry.t ->
+  dir:string -> n:int -> unit -> t
 (** Open (creating if needed) the state directory and recover:
     load the snapshot if present, replay the WAL over it, and truncate
     any torn tail. [n] is the cluster size; a directory written for a
     different [n] raises {!Corrupt}, as does any format-version
-    mismatch. [wal_limit] (default 4096) bounds the WAL record count
+    mismatch. [key] (default [""]) names the lock instance this store
+    belongs to: it is embedded in the snapshot and stamped as the first
+    record of every fresh WAL, so a directory written for a different
+    lock key raises {!Corrupt} instead of silently cross-feeding
+    instances. [wal_limit] (default 4096) bounds the WAL record count
     before an automatic snapshot folds it away. [obs] mirrors store
     activity into that registry: WAL appends and snapshot counts as
     counters, per-{!record} fsync latency as a histogram (the

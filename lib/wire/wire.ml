@@ -7,7 +7,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
    record leads with this byte, so a mixed-version cluster (or a state
    directory written by an older binary) fails loudly at decode time
    instead of misparsing. *)
-let format_version = 1
+let format_version = 2
 
 module Enc = struct
   type t = Buffer.t
@@ -138,19 +138,26 @@ end
 
 module Frame = struct
   type kind = Data | Heartbeat
+  type header = { src : int; kind : kind; lock : string; payload_start : int }
 
-  let header_len = 6
+  let fixed_len = 8
+  let max_lock_len = 0xFFFF
 
-  let encode_header ~src kind =
-    let b = Bytes.create header_len in
+  let encode_header ~src ~lock kind =
+    let ll = String.length lock in
+    if ll > max_lock_len then
+      invalid_arg "Frame.encode_header: lock key longer than 65535 bytes";
+    let b = Bytes.create (fixed_len + ll) in
     Bytes.set_uint8 b 0 format_version;
     Bytes.set_int32_be b 1 (Int32.of_int src);
     Bytes.set_uint8 b 5 (match kind with Data -> 0 | Heartbeat -> 1);
+    Bytes.set_uint16_be b 6 ll;
+    Bytes.blit_string lock 0 b fixed_len ll;
     Bytes.unsafe_to_string b
 
   let decode_header s =
-    if String.length s < header_len then
-      fail "frame shorter than its %d-byte header (%d bytes)" header_len
+    if String.length s < fixed_len then
+      fail "frame shorter than its %d-byte header (%d bytes)" fixed_len
         (String.length s);
     let v = String.get_uint8 s 0 in
     if v <> format_version then
@@ -163,7 +170,12 @@ module Frame = struct
       | 1 -> Heartbeat
       | k -> fail "unknown frame kind %d" k
     in
-    (src, kind)
+    let ll = String.get_uint16_be s 6 in
+    if String.length s < fixed_len + ll then
+      fail "frame truncated inside its %d-byte lock key (%d bytes total)" ll
+        (String.length s);
+    let lock = String.sub s fixed_len ll in
+    { src; kind; lock; payload_start = fixed_len + ll }
 end
 
 module type CODEC = sig

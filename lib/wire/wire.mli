@@ -74,27 +74,44 @@ module Dec : sig
 end
 
 (** The TCP transport's intra-frame header: every framed payload
-    starts with the format version, the sender's id and a frame kind,
-    so a receiver can demultiplex peers on one listening socket and
-    tell protocol data apart from transport-level heartbeats. Shared
-    between [Netkit.Transport] and the transport robustness tests so
-    both agree on the byte layout. *)
+    starts with the format version, the sender's id, a frame kind and
+    the lock key the payload belongs to, so a receiver can demultiplex
+    peers on one listening socket, tell protocol data apart from
+    transport-level heartbeats, and route each payload to the right
+    protocol instance. Shared between [Netkit.Transport] and the
+    transport robustness tests so both agree on the byte layout. *)
 module Frame : sig
   type kind =
     | Data  (** An application payload for the receive callback. *)
     | Heartbeat  (** Transport-level liveness beacon; no payload. *)
 
-  val header_len : int
-  (** Bytes of header at the front of every frame body (currently 6:
-      the {!format_version} byte, a 32-bit big-endian sender id, and
-      one kind byte). *)
+  type header = {
+    src : int;  (** Sender's node id. *)
+    kind : kind;
+    lock : string;
+        (** Lock key the payload is addressed to; [""] on heartbeats,
+            which are per-connection rather than per-instance. *)
+    payload_start : int;
+        (** Offset of the first payload byte in the frame body; the
+            header is variable-length because it embeds the key. *)
+  }
 
-  val encode_header : src:int -> kind -> string
+  val fixed_len : int
+  (** Bytes of fixed header prefix at the front of every frame body
+      (currently 8: the {!format_version} byte, a 32-bit big-endian
+      sender id, one kind byte, and a 16-bit big-endian lock-key
+      length). The key bytes follow immediately. *)
 
-  val decode_header : string -> int * kind
+  val max_lock_len : int
+  (** Longest lock key the header can carry (65535 bytes). *)
+
+  val encode_header : src:int -> lock:string -> kind -> string
+  (** Raises [Invalid_argument] when [lock] exceeds {!max_lock_len}. *)
+
+  val decode_header : string -> header
   (** Parse the header at the front of a frame body; raises
-      {!Malformed} on a short body, a {!format_version} mismatch, or
-      an unknown kind byte. *)
+      {!Malformed} on a short body, a {!format_version} mismatch, an
+      unknown kind byte, or a body truncated inside the lock key. *)
 end
 
 (** Encode / decode one protocol message. [decode] must consume the

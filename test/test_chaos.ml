@@ -101,6 +101,11 @@ let write_soak_logs ?(name = "chaos-soak") ?trace cluster ~witness_violations
       Printf.fprintf oc "report: %s\n"
         (Format.asprintf "%a" Dmutex_obs.Report.pp
            (RCluster.obs_report cluster));
+      List.iter
+        (fun (lock, r) ->
+          Printf.fprintf oc "report[%s]: %s\n" lock
+            (Format.asprintf "%a" Dmutex_obs.Report.pp r))
+        (RCluster.obs_report_by_lock cluster);
       for i = 0 to RCluster.n cluster - 1 do
         Printf.fprintf oc "node %d: %s | notes %s\n" i
           (Format.asprintf "%a" Netkit.Transport.pp_metrics
@@ -111,48 +116,55 @@ let write_soak_logs ?(name = "chaos-soak") ?trace cluster ~witness_violations
                 (RCluster.Node.notes (RCluster.node cluster i))))
       done;
       for i = 0 to RCluster.n cluster - 1 do
-        let st = RCluster.Node.state (RCluster.node cluster i) in
-        Printf.fprintf oc "state %s watching=%b elec=%d epoch=%d susp=%b\n"
-          (Format.asprintf "%a" Protocol.pp_state st)
-          st.Protocol.watching st.Protocol.election st.Protocol.token_epoch
-          st.Protocol.suspended
+        List.iter
+          (fun lock ->
+            let st = RCluster.Node.state ~lock (RCluster.node cluster i) in
+            Printf.fprintf oc
+              "state[%s] %s watching=%b elec=%d epoch=%d susp=%b\n" lock
+              (Format.asprintf "%a" Protocol.pp_state st)
+              st.Protocol.watching st.Protocol.election st.Protocol.token_epoch
+              st.Protocol.suspended)
+          (RCluster.locks cluster)
       done;
       close_out oc
 
 (* Role selectors shared by the crash and restart drills: each takes
    the cluster size and then matches the [Crash_where]/[Restart_where]
-   selector signature. *)
+   selector signature. Single-role selectors judge the first hosted
+   lock; [select_multi_token_holder] spans the whole namespace. *)
 
-let select_token_holder n ~states ~live =
+let select_token_holder n ~states ~locks ~live =
+  let lock = List.hd locks in
   List.find_opt
     (fun i ->
       live i
       &&
-      let st : Protocol.state = states i in
+      let st : Protocol.state = states i ~lock in
       st.Protocol.token <> None
       && match st.Protocol.role with Protocol.Normal -> true | _ -> false)
     (List.init n Fun.id)
 
-let select_watched_arbiter n ~states ~live =
+let select_watched_arbiter n ~states ~locks ~live =
+  let lock = List.hd locks in
   let ids = List.init n Fun.id in
   match
     List.find_opt
       (fun w ->
         live w
         &&
-        let st : Protocol.state = states w in
+        let st : Protocol.state = states w ~lock in
         st.Protocol.watching && live st.Protocol.arbiter
         && st.Protocol.arbiter <> w)
       ids
   with
-  | Some w -> Some (states w).Protocol.arbiter
+  | Some w -> Some (states w ~lock).Protocol.arbiter
   | None ->
       (* Fallback: the node currently acting as arbiter. *)
       List.find_opt
         (fun i ->
           live i
           &&
-          match (states i).Protocol.role with
+          match (states i ~lock).Protocol.role with
           | Protocol.Normal -> false
           | _ -> true)
         ids
@@ -160,14 +172,28 @@ let select_watched_arbiter n ~states ~live =
 (* An arbiter caught mid-collection: an ENQUIRY round is in flight on
    it right now. Falls back to whoever is arbitering when the window
    is missed. *)
-let select_collecting_arbiter n ~states ~live =
+let select_collecting_arbiter n ~states ~locks ~live =
   match
     List.find_opt
-      (fun i -> live i && (states i).Protocol.recovery <> None)
+      (fun i -> live i && (states i ~lock:(List.hd locks)).Protocol.recovery <> None)
       (List.init n Fun.id)
   with
   | Some i -> Some i
-  | None -> select_watched_arbiter n ~states ~live
+  | None -> select_watched_arbiter n ~states ~locks ~live
+
+(* A node holding the tokens of at least two locks at once — the
+   victim the sharded restart drill is after: its crash entangles
+   several instances' recovery machinery in one outage. *)
+let select_multi_token_holder n ~states ~locks ~live =
+  List.find_opt
+    (fun i ->
+      live i
+      && List.length
+           (List.filter
+              (fun lock -> (states i ~lock).Protocol.token <> None)
+              locks)
+         >= 2)
+    (List.init n Fun.id)
 
 let rec rm_rf path =
   match Unix.lstat path with
@@ -192,29 +218,36 @@ let has_sub s sub =
   let rec scan i = i + k <= n && (String.sub s i k = sub || scan (i + 1)) in
   scan 0
 
-(* The headline drill: 5 nodes over real sockets; the schedule applies
-   7% loss, crash-stops the token holder, then the arbiter watched by
-   its previous arbiter, partitions the cluster and heals it. The
-   survivors must keep taking the lock with zero witness violations,
-   and the Section 6 notes must show a two-phase invalidation and a
-   PROBE takeover actually fired. *)
+(* The headline drill: 5 nodes over real sockets, each hosting TWO
+   independent locks over the shared transport; the schedule applies
+   7% loss, crash-stops the token holder of the first lock, then the
+   arbiter watched by its previous arbiter, partitions the cluster and
+   heals it. The survivors must keep taking both locks with zero
+   witness violations on either, and the Section 6 notes must show a
+   two-phase invalidation and a PROBE takeover actually fired. *)
 let test_chaos_soak () =
   let n = 5 in
+  let locks = [ "alpha"; "beta" ] in
   let trace = make_trace () in
   let cluster =
-    RCluster.launch ~base_port:8501 ~seed:chaos_seed ~heartbeat_period:0.2
-      ~suspect_timeout:0.8 ?trace (soak_cfg n)
+    RCluster.launch ~base_port:8501 ~seed:chaos_seed ~locks
+      ~heartbeat_period:0.2 ~suspect_timeout:0.8 ?trace (soak_cfg n)
   in
   let fault = RCluster.fault cluster in
-  let witness = Witness.create "chaos-soak" in
+  (* One O_EXCL witness per lock: exclusion must hold within each lock,
+     while the two locks are routinely held concurrently. *)
+  let witnesses =
+    List.map (fun l -> (l, Witness.create ("chaos-soak-" ^ l))) locks
+  in
   let served = Array.make n 0 in
   let served_mu = Mutex.create () in
   let stop = ref false in
-  let worker i () =
-    let rng = Random.State.make [| chaos_seed; i; 0x50a1 |] in
+  let worker i lock () =
+    let witness = List.assoc lock witnesses in
+    let rng = Random.State.make [| chaos_seed; i; 0x50a1; Hashtbl.hash lock |] in
     while (not !stop) && not (Netkit.Fault.is_crashed fault i) do
       (match
-         RCluster.Node.with_lock ~timeout:3.0 (RCluster.node cluster i)
+         RCluster.Node.with_lock ~timeout:3.0 ~lock (RCluster.node cluster i)
            (fun () ->
              let owned = Witness.enter witness in
              Thread.delay 0.002;
@@ -228,7 +261,11 @@ let test_chaos_soak () =
       Thread.delay (0.005 +. Random.State.float rng 0.03)
     done
   in
-  let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+  let threads =
+    List.concat_map
+      (fun lock -> List.init n (fun i -> Thread.create (worker i lock) ()))
+      locks
+  in
   RCluster.chaos cluster
     [
       (0.0, RCluster.Fault (Netkit.Fault.Set_loss 0.07));
@@ -272,16 +309,26 @@ let test_chaos_soak () =
   let all_served = settle () in
   stop := true;
   List.iter Thread.join threads;
-  let violations = Witness.violations witness in
+  let per_lock_violations =
+    List.map (fun (l, w) -> (l, Witness.violations w)) witnesses
+  in
+  let violations =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 per_lock_violations
+  in
   write_soak_logs ?trace cluster ~witness_violations:violations ~served;
   let chaos_entries = List.length (RCluster.chaos_log cluster) in
   let recovery = RCluster.note_count cluster "recovery-started" in
   let takeover = RCluster.note_count cluster "arbiter-takeover" in
   let regenerated = RCluster.note_count cluster "token-regenerated" in
   RCluster.shutdown cluster;
-  Witness.dispose witness;
+  List.iter (fun (_, w) -> Witness.dispose w) witnesses;
   Alcotest.(check bool) "schedule ran" true (chaos_entries >= 6);
-  Alcotest.(check int) "zero mutual-exclusion violations" 0 violations;
+  List.iter
+    (fun (l, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "zero mutual-exclusion violations on %s" l)
+        0 v)
+    per_lock_violations;
   Alcotest.(check bool)
     (Printf.sprintf "at least two survivors (%d)" (List.length survivors))
     true
@@ -493,6 +540,7 @@ let suite =
    cluster must keep being served afterwards. *)
 let test_restart_soak () =
   let n = 4 in
+  let locks = [ "alpha"; "beta" ] in
   let cfg = soak_cfg n in
   let state_root = soak_state_root "restart-soak" in
   (* Stale directories from a previous run would restore the wrong
@@ -500,22 +548,25 @@ let test_restart_soak () =
   rm_rf state_root;
   let trace = make_trace () in
   let cluster =
-    RCluster.launch ~base_port:8601 ~seed:chaos_seed ~heartbeat_period:0.2
-      ~suspect_timeout:0.8 ~state_root ?trace ~persist:PV.capture
-      ~restore:(PV.restore cfg) cfg
+    RCluster.launch ~base_port:8601 ~seed:chaos_seed ~locks
+      ~heartbeat_period:0.2 ~suspect_timeout:0.8 ~state_root ?trace
+      ~persist:PV.capture ~restore:(PV.restore cfg) cfg
   in
   let fault = RCluster.fault cluster in
-  let witness = Witness.create "restart-soak" in
+  let witnesses =
+    List.map (fun l -> (l, Witness.create ("restart-soak-" ^ l))) locks
+  in
   let served = Array.make n 0 in
   let served_mu = Mutex.create () in
   let stop = ref false in
-  let worker i () =
-    let rng = Random.State.make [| chaos_seed; i; 0x7e57 |] in
+  let worker i lock () =
+    let witness = List.assoc lock witnesses in
+    let rng = Random.State.make [| chaos_seed; i; 0x7e57; Hashtbl.hash lock |] in
     while not !stop do
       if Netkit.Fault.is_crashed fault i then Thread.delay 0.05
       else begin
         (match
-           RCluster.Node.with_lock ~timeout:3.0 (RCluster.node cluster i)
+           RCluster.Node.with_lock ~timeout:3.0 ~lock (RCluster.node cluster i)
              (fun () ->
                let owned = Witness.enter witness in
                Thread.delay 0.002;
@@ -530,7 +581,11 @@ let test_restart_soak () =
       end
     done
   in
-  let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+  let threads =
+    List.concat_map
+      (fun lock -> List.init n (fun i -> Thread.create (worker i lock) ()))
+      locks
+  in
   RCluster.chaos cluster
     [
       ( 1.0,
@@ -580,7 +635,12 @@ let test_restart_soak () =
   let all_served = settle () in
   stop := true;
   List.iter Thread.join threads;
-  let violations = Witness.violations witness in
+  let per_lock_violations =
+    List.map (fun (l, w) -> (l, Witness.violations w)) witnesses
+  in
+  let violations =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 per_lock_violations
+  in
   write_soak_logs ~name:"restart-soak" ?trace cluster
     ~witness_violations:violations
     ~served;
@@ -589,15 +649,25 @@ let test_restart_soak () =
       (List.filter (fun (_, m) -> has_sub m "back up")
          (RCluster.chaos_log cluster))
   in
+  (* Both locks' instances persist through their own live stores. *)
   let store_live =
-    RCluster.Node.store_stats (RCluster.node cluster 0) <> None
+    List.for_all
+      (fun lock ->
+        RCluster.Node.store_stats ~lock (RCluster.node cluster 0) <> None)
+      locks
   in
   let recovery = RCluster.note_count cluster "recovery-started" in
   let regenerated = RCluster.note_count cluster "token-regenerated" in
   RCluster.shutdown cluster;
-  Witness.dispose witness;
-  Alcotest.(check bool) "nodes persist through a live store" true store_live;
-  Alcotest.(check int) "zero mutual-exclusion violations" 0 violations;
+  List.iter (fun (_, w) -> Witness.dispose w) witnesses;
+  Alcotest.(check bool) "nodes persist through per-lock live stores" true
+    store_live;
+  List.iter
+    (fun (l, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "zero mutual-exclusion violations on %s" l)
+        0 v)
+    per_lock_violations;
   Alcotest.(check bool)
     (Printf.sprintf "restart drills completed (%d)" restarts_completed)
     true
@@ -685,4 +755,159 @@ let restart_suite =
       Alcotest.test_case "kill-and-restart soak (holder mid-CS, arbiter \
                           mid-collection)"
         `Slow test_restart_soak;
+    ] )
+
+(* ------------------------------------------------------------------ *)
+(* Sharded soak: the lock-namespace tentpole end to end. 8 independent
+   locks on a 5-node cluster, every node contending on every lock over
+   one shared transport, durable per-lock stores — then a node caught
+   holding the tokens of at least two locks is killed and restarted
+   from disk, entangling several instances' Section 6 recovery in one
+   outage. Per lock: zero O_EXCL witness violations and a
+   messages-per-CS in the paper's Eq. 4 band. *)
+let test_sharded_soak () =
+  let n = 5 in
+  let locks = List.init 8 (fun k -> Printf.sprintf "shard-%d" k) in
+  let cfg = soak_cfg n in
+  let state_root = soak_state_root "sharded-soak" in
+  rm_rf state_root;
+  let trace = make_trace () in
+  let cluster =
+    RCluster.launch ~base_port:8661 ~seed:chaos_seed ~locks
+      ~heartbeat_period:0.2 ~suspect_timeout:0.8 ~state_root ?trace
+      ~persist:PV.capture ~restore:(PV.restore cfg) cfg
+  in
+  let fault = RCluster.fault cluster in
+  let witnesses =
+    List.map (fun l -> (l, Witness.create ("sharded-" ^ l))) locks
+  in
+  let served = Array.make n 0 in
+  let served_mu = Mutex.create () in
+  let stop = ref false in
+  let worker i lock () =
+    let witness = List.assoc lock witnesses in
+    let rng =
+      Random.State.make [| chaos_seed; i; 0x5a4d; Hashtbl.hash lock |]
+    in
+    while not !stop do
+      if Netkit.Fault.is_crashed fault i then Thread.delay 0.05
+      else begin
+        (match
+           RCluster.Node.with_lock ~timeout:3.0 ~lock (RCluster.node cluster i)
+             (fun () ->
+               let owned = Witness.enter witness in
+               Thread.delay 0.002;
+               if owned then Witness.leave witness)
+         with
+        | Some () ->
+            Mutex.lock served_mu;
+            served.(i) <- served.(i) + 1;
+            Mutex.unlock served_mu
+        | None -> ());
+        Thread.delay (0.01 +. Random.State.float rng 0.05)
+      end
+    done
+  in
+  let threads =
+    List.concat_map
+      (fun lock -> List.init n (fun i -> Thread.create (worker i lock) ()))
+      locks
+  in
+  (* Let every shard make contended progress, then kill-and-restart a
+     node currently holding tokens for two or more locks. *)
+  RCluster.chaos cluster
+    [
+      ( 2.5,
+        RCluster.Restart_where
+          {
+            label = "multi-token-holder";
+            select = select_multi_token_holder n;
+            after = 0.6;
+          } );
+    ];
+  RCluster.wait_chaos cluster;
+  (* Post-restart convergence: every node keeps being served. *)
+  let snapshot =
+    Mutex.lock served_mu;
+    let s = Array.copy served in
+    Mutex.unlock served_mu;
+    s
+  in
+  let deadline = Unix.gettimeofday () +. 25.0 in
+  let rec settle () =
+    let progressed =
+      Mutex.lock served_mu;
+      let p =
+        List.for_all
+          (fun i -> served.(i) >= snapshot.(i) + 2)
+          (List.init n Fun.id)
+      in
+      Mutex.unlock served_mu;
+      p
+    in
+    if progressed then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.1;
+      settle ()
+    end
+  in
+  let all_served = settle () in
+  stop := true;
+  List.iter Thread.join threads;
+  let per_lock_violations =
+    List.map (fun (l, w) -> (l, Witness.violations w)) witnesses
+  in
+  let violations =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 per_lock_violations
+  in
+  write_soak_logs ~name:"sharded-soak" ?trace cluster
+    ~witness_violations:violations ~served;
+  let restarts_completed =
+    List.length
+      (List.filter (fun (_, m) -> has_sub m "back up")
+         (RCluster.chaos_log cluster))
+  in
+  let reports =
+    List.map (fun lock -> (lock, RCluster.obs_report ~lock cluster)) locks
+  in
+  RCluster.shutdown cluster;
+  List.iter (fun (_, w) -> Witness.dispose w) witnesses;
+  List.iter
+    (fun (l, v) ->
+      Alcotest.(check int)
+        (Printf.sprintf "zero mutual-exclusion violations on %s" l)
+        0 v)
+    per_lock_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "multi-token-holder restart completed (%d)"
+       restarts_completed)
+    true
+    (restarts_completed >= 1);
+  Alcotest.(check bool) "every node served after the restart" true all_served;
+  (* Per-lock message complexity: each shard behaves like its own
+     single-lock cluster, landing in the paper's Eq. 4 band — the
+     multiplexing is free in protocol messages. *)
+  List.iter
+    (fun (l, (r : Dmutex_obs.Report.t)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: served at least once (%d)" l r.cs_entries)
+        true (r.cs_entries > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: messages per CS in Eq. 4 band (%.2f)" l
+           r.messages_per_cs)
+        true
+        (r.messages_per_cs >= 2.5 && r.messages_per_cs <= 4.5))
+    reports;
+  Logs.app (fun m ->
+      m "sharded soak: served=%s restarts=%d"
+        (String.concat "," (Array.to_list (Array.map string_of_int served)))
+        restarts_completed)
+
+let sharded_suite =
+  ( "sharded-soak",
+    [
+      Alcotest.test_case
+        "sharded soak (8 locks x 5 nodes, multi-token restart)" `Slow
+        test_sharded_soak;
     ] )

@@ -76,7 +76,7 @@ let test_transport_unreachable_peer () =
     |]
   in
   let tr =
-    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   (* Peer 1 never started: the frame is accepted (the writer thread
      retries and eventually sheds it in the background) instead of
@@ -102,14 +102,14 @@ let test_transport_roundtrip () =
   in
   let t0 =
     Netkit.Transport.create ~me:0 ~peers
-      ~on_frame:(fun ~src payload ->
+      ~on_frame:(fun ~src ~lock:_ payload ->
         Mutex.lock mutex;
         received := (src, payload) :: !received;
         Mutex.unlock mutex)
       ()
   in
   let t1 =
-    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   Alcotest.(check bool) "send ok" true (Netkit.Transport.send t1 ~dst:0 "ping");
   Alcotest.(check bool) "empty frame ok" true (Netkit.Transport.send t1 ~dst:0 "");

@@ -144,6 +144,57 @@ let test_merge_and_expose () =
     (Str_present.contains_substring text "d_bucket{le=\"+Inf\"} 3"
     && Str_present.contains_substring text "d_count 3")
 
+let test_label_value_escaping () =
+  (* Lock keys are arbitrary strings and flow into label values, so
+     the exposition must escape backslash, quote and newline per the
+     Prometheus text format — and not corrupt the line structure. *)
+  let reg = Registry.create () in
+  Registry.Counter.incr
+    (Registry.Counter.get reg
+       ~labels:[ ("lock", "a\\b\"c\nd") ]
+       "evil_total");
+  let text = Registry.expose (Registry.snapshot reg) in
+  Alcotest.(check bool) "escaped label value rendered" true
+    (Str_present.contains_substring text
+       {|evil_total{lock="a\\b\"c\nd"} 1|});
+  (* The raw newline must never reach the output mid-line. *)
+  Alcotest.(check bool) "no raw newline inside the label" false
+    (Str_present.contains_substring text "c\nd")
+
+let test_protocol_metrics_lock_labels () =
+  (* Two instances sharing one registry but labelled with different
+     lock keys must write disjoint series, and Report can split them
+     back apart. *)
+  let reg = Registry.create () in
+  let a = Protocol_metrics.create ~labels:(Names.lock_label "a") reg in
+  let b = Protocol_metrics.create ~labels:(Names.lock_label "b") reg in
+  Protocol_metrics.sent a ~kind:"REQUEST";
+  Protocol_metrics.sent a ~kind:"REQUEST";
+  Protocol_metrics.sent b ~kind:"REQUEST";
+  Protocol_metrics.cs_entered a ~now:1.0;
+  Protocol_metrics.cs_exited a ~now:1.1;
+  Protocol_metrics.cs_entered b ~now:2.0;
+  Protocol_metrics.cs_exited b ~now:2.1;
+  Protocol_metrics.cs_entered b ~now:3.0;
+  Protocol_metrics.cs_exited b ~now:3.1;
+  let snap = Registry.snapshot reg in
+  Alcotest.(check (list string)) "locks discovered" [ "a"; "b" ]
+    (Report.locks snap);
+  let ra = Report.derive ~lock:"a" snap in
+  let rb = Report.derive ~lock:"b" snap in
+  let rall = Report.derive snap in
+  Alcotest.(check int) "a sends" 2 ra.Report.messages_sent;
+  Alcotest.(check int) "b sends" 1 rb.Report.messages_sent;
+  Alcotest.(check int) "a entries" 1 ra.Report.cs_entries;
+  Alcotest.(check int) "b entries" 2 rb.Report.cs_entries;
+  Alcotest.(check int) "unscoped aggregates both" 3 rall.Report.cs_entries;
+  let by = Report.by_lock snap in
+  Alcotest.(check int) "by_lock covers both" 2 (List.length by);
+  Alcotest.(check (option int)) "by_lock b entries" (Some 2)
+    (Option.map
+       (fun (r : Report.t) -> r.Report.cs_entries)
+       (List.assoc_opt "b" by))
+
 (* ------------------------------------------------------------------ *)
 (* Trace events *)
 
@@ -210,6 +261,29 @@ let test_json_roundtrip () =
   in
   match Json.of_string (Json.to_string v) with
   | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+
+let test_json_byte_roundtrip () =
+  (* Strings are byte sequences (Latin-1 semantics): control bytes and
+     non-ASCII bytes are escaped as \u00XX on output and decoded back
+     to the same bytes on input — a trace field holding raw bytes
+     survives the trip and stays ASCII on the wire. *)
+  let raw = "\x01tab\there\xff\x7f \xc3\xa9" in
+  let text = Json.to_string (Json.Str raw) in
+  String.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output stays printable ASCII (0x%02x)" (Char.code c))
+        true
+        (Char.code c >= 0x20 && Char.code c < 0x7f))
+    text;
+  Alcotest.(check bool) "control byte escaped" true
+    (Str_present.contains_substring text {|\u0001|});
+  Alcotest.(check bool) "high byte escaped" true
+    (Str_present.contains_substring text {|\u00ff|});
+  match Json.of_string text with
+  | Ok (Json.Str s) -> Alcotest.(check string) "bytes roundtrip" raw s
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
   | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
 
 let test_json_errors () =
@@ -411,11 +485,17 @@ let suite =
         test_snapshot_while_writing;
       Alcotest.test_case "merge and Prometheus exposition" `Quick
         test_merge_and_expose;
+      Alcotest.test_case "label value escaping" `Quick
+        test_label_value_escaping;
+      Alcotest.test_case "per-lock series split and report" `Quick
+        test_protocol_metrics_lock_labels;
       Alcotest.test_case "trace ring wraparound" `Quick
         test_trace_ring_wraparound;
       Alcotest.test_case "trace flush is parseable JSONL" `Quick
         test_trace_flush_jsonl;
       Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json byte escaping roundtrip" `Quick
+        test_json_byte_roundtrip;
       Alcotest.test_case "json parse errors" `Quick test_json_errors;
       Alcotest.test_case "gate pass/regression/band" `Quick
         test_gate_pass_and_fail;

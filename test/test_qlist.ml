@@ -158,6 +158,50 @@ let prop_sort_permutation =
       let sorted = Qlist.sort_by_priority priorities q in
       List.sort compare sorted = List.sort compare q)
 
+let prop_sort_stable_within_level =
+  (* The FCFS guarantee under prioritisation: among entries sharing a
+     priority level, the original queue order is preserved exactly —
+     no same-priority overtaking, whatever the level layout. *)
+  QCheck.Test.make ~name:"priority sort never reorders within a level"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (0 -- 20) entry_gen))
+    (fun entries ->
+      let priorities = Array.init 6 (fun i -> (i * 5) mod 4) in
+      let q = List.fold_left (fun acc x -> Qlist.enqueue x acc) [] entries in
+      let sorted = Qlist.sort_by_priority priorities q in
+      List.for_all
+        (fun level ->
+          let at_level l =
+            List.filter (fun x -> priorities.(x.Qlist.node) = l)
+          in
+          at_level level sorted = at_level level q)
+        [ 0; 1; 2; 3 ])
+
+let test_granted_idempotent () =
+  (* Grant bookkeeping is retransmission-proof: re-marking the same
+     grant, or a grant the vector already covers, changes nothing —
+     the L vector is a max, not a log. *)
+  let g0 = Qlist.Granted.create 4 in
+  let g1 = Qlist.Granted.mark g0 (e 2 3) in
+  let g2 = Qlist.Granted.mark g1 (e 2 3) in
+  Alcotest.(check bool) "re-mark is identity" true (g1 = g2);
+  let g3 = Qlist.Granted.mark g1 (e 2 1) in
+  Alcotest.(check bool) "older mark absorbed" true (g1 = g3);
+  (* Merge shares the algebra: idempotent, commutative, and absorbing
+     against the empty vector. *)
+  let h = Qlist.Granted.mark (Qlist.Granted.create 4) (e 1 5) in
+  Alcotest.(check bool) "merge idempotent" true
+    (Qlist.Granted.merge g1 g1 = g1);
+  Alcotest.(check bool) "merge commutative" true
+    (Qlist.Granted.merge g1 h = Qlist.Granted.merge h g1);
+  Alcotest.(check bool) "empty vector is neutral" true
+    (Qlist.Granted.merge g1 g0 = g1);
+  (* And prune after a duplicated grant removes exactly the same
+     entries as after the single grant. *)
+  let q = [ e 0 0; e 2 2; e 2 4 ] in
+  Alcotest.(check bool) "prune unaffected by re-mark" true
+    (Qlist.prune g1 q = Qlist.prune g2 q)
+
 let suite =
   ( "qlist",
     [
@@ -168,6 +212,7 @@ let suite =
       Alcotest.test_case "stable priority sort" `Quick
         test_priority_sort_stable;
       Alcotest.test_case "granted vector" `Quick test_granted;
+      Alcotest.test_case "granted idempotence" `Quick test_granted_idempotent;
       Alcotest.test_case "prune" `Quick test_prune;
       Alcotest.test_case "rejoin: duplicate insertion" `Quick
         test_rejoin_duplicate_insertion;
@@ -178,4 +223,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_enqueue_unique;
       QCheck_alcotest.to_alcotest prop_enqueue_max_seq;
       QCheck_alcotest.to_alcotest prop_sort_permutation;
+      QCheck_alcotest.to_alcotest prop_sort_stable_within_level;
     ] )

@@ -17,9 +17,9 @@ let listener ~port ~peer_port =
   in
   let tr =
     Netkit.Transport.create ~me:0 ~peers
-      ~on_frame:(fun ~src payload ->
+      ~on_frame:(fun ~src ~lock payload ->
         Mutex.lock mu;
-        received := (src, payload) :: !received;
+        received := (src, lock, payload) :: !received;
         Mutex.unlock mu)
       ()
   in
@@ -45,8 +45,8 @@ let write_all fd s =
   push 0
 
 (* A well-formed wire frame: length prefix + Frame header + payload. *)
-let good_frame ?(src = 1) payload =
-  let body = Wire.Frame.encode_header ~src Wire.Frame.Data ^ payload in
+let good_frame ?(src = 1) ?(lock = "") payload =
+  let body = Wire.Frame.encode_header ~src ~lock Wire.Frame.Data ^ payload in
   let b = Bytes.create 4 in
   Bytes.set_int32_be b 0 (Int32.of_int (String.length body));
   Bytes.to_string b ^ body
@@ -82,12 +82,12 @@ let survives_garbage ~port ~peer_port garbage =
   write_all ok (good_frame "after-garbage");
   let delivered =
     wait_for (fun () ->
-        List.exists (fun (_, p) -> p = "after-garbage") (snapshot ()))
+        List.exists (fun (_, _, p) -> p = "after-garbage") (snapshot ()))
   in
   Unix.close ok;
   Netkit.Transport.close tr;
   Alcotest.(check bool) "garbage never delivered" false
-    (List.exists (fun (_, p) -> p <> "after-garbage") (snapshot ()));
+    (List.exists (fun (_, _, p) -> p <> "after-garbage") (snapshot ()));
   Alcotest.(check bool) "clean frame delivered after garbage" true delivered
 
 let test_oversized_length () =
@@ -98,27 +98,33 @@ let test_negative_length () =
   survives_garbage ~port:8703 ~peer_port:8704 (length_prefix (-1))
 
 let test_short_frame () =
-  (* Body shorter than the 6-byte frame header. *)
+  (* Body shorter than the 8-byte fixed frame header. *)
   survives_garbage ~port:8705 ~peer_port:8706 (length_prefix 2 ^ "ab")
 
 let test_bad_frame_kind () =
-  (* Valid version byte and sender id, kind byte 255. *)
-  let body = "\001\000\000\000\001\255payload" in
+  (* Valid version byte, sender id and (empty) lock key, kind byte 255. *)
+  let body = "\002\000\000\000\001\255\000\000payload" in
   survives_garbage ~port:8707 ~peer_port:8708
     (length_prefix (String.length body) ^ body)
 
+let test_truncated_lock_key () =
+  (* Lock-length field promises 200 key bytes; the frame ends first. *)
+  let body = "\002\000\000\000\001\000\000\200key" in
+  survives_garbage ~port:8724 ~peer_port:8725
+    (length_prefix (String.length body) ^ body)
+
 let test_version_mismatch () =
-  (* A well-formed v2 frame from a peer speaking a future format: the
+  (* A well-formed frame from a peer speaking a future format: the
      version byte must reject it before the kind byte is even read. *)
-  let body = "\002\000\000\000\001\000payload" in
+  let body = "\003\000\000\000\001\000\000\000payload" in
   Alcotest.(check bool) "crafted frame differs only in version" true
     (String.get_uint8 body 0 <> Wire.format_version);
-  survives_garbage ~port:8721 ~peer_port:8722
+  survives_garbage ~port:8726 ~peer_port:8727
     (length_prefix (String.length body) ^ body)
 
 let test_bad_sender_id () =
   (* src 99 is out of the 2-node peer range. *)
-  let body = Wire.Frame.encode_header ~src:99 Wire.Frame.Data ^ "evil" in
+  let body = Wire.Frame.encode_header ~src:99 ~lock:"" Wire.Frame.Data ^ "evil" in
   survives_garbage ~port:8709 ~peer_port:8710
     (length_prefix (String.length body) ^ body)
 
@@ -138,7 +144,7 @@ let test_unreachable_peer_sheds () =
     |]
   in
   let tr =
-    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   (* Peer 1 never started: the frame is accepted (the writer thread
      owns retrying), then shed once the per-frame budget runs out. *)
@@ -162,6 +168,28 @@ let test_unreachable_peer_sheds () =
   Alcotest.(check bool) "send after close refused" false
     (Netkit.Transport.send tr ~dst:1 "late")
 
+let test_lock_key_demux () =
+  (* Frames for different lock keys share one connection and come out
+     with their key intact — the demultiplexing contract every
+     multi-instance node depends on. *)
+  let tr, snapshot = listener ~port:8728 ~peer_port:8729 in
+  let raw = connect_raw 8728 in
+  write_all raw (good_frame ~lock:"orders" "o-payload");
+  write_all raw (good_frame ~lock:"billing" "b-payload");
+  write_all raw (good_frame "plain");
+  let all_in =
+    wait_for (fun () -> List.length (snapshot ()) >= 3)
+  in
+  Unix.close raw;
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "all three frames delivered" true all_in;
+  let got = snapshot () in
+  Alcotest.(check bool) "orders key routed" true
+    (List.mem (1, "orders", "o-payload") got);
+  Alcotest.(check bool) "billing key routed" true
+    (List.mem (1, "billing", "b-payload") got);
+  Alcotest.(check bool) "empty key routed" true (List.mem (1, "", "plain") got)
+
 let test_chaos_loss_counted () =
   (* A frame eaten by set_loss reports success to the caller but is
      counted as dropped and never as sent — Simkit.Network semantics
@@ -174,7 +202,7 @@ let test_chaos_loss_counted () =
     |]
   in
   let sender =
-    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   Netkit.Transport.set_loss sender 1.0;
   for _ = 1 to 10 do
@@ -198,11 +226,11 @@ let test_reconnect_after_close () =
     |]
   in
   let sender =
-    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   ignore (Netkit.Transport.send sender ~dst:0 "first");
   Alcotest.(check bool) "first frame delivered" true
-    (wait_for (fun () -> List.mem (1, "first") (snapshot0 ())));
+    (wait_for (fun () -> List.mem (1, "", "first") (snapshot0 ())));
   Netkit.Transport.close tr0;
   Thread.delay 0.1;
   (* Restart the endpoint, then keep sending until a frame lands: the
@@ -213,7 +241,7 @@ let test_reconnect_after_close () =
     wait_for ~timeout:15.0 (fun () ->
         ignore (Netkit.Transport.send sender ~dst:0 "reborn");
         Thread.delay 0.05;
-        List.exists (fun (_, p) -> p = "reborn") (snapshot0' ()))
+        List.exists (fun (_, _, p) -> p = "reborn") (snapshot0' ()))
   in
   Alcotest.(check bool) "frame delivered to reborn endpoint" true landed;
   Alcotest.(check bool) "reconnect counted" true
@@ -235,14 +263,14 @@ let test_one_dead_peer_does_not_stall_others () =
   let mu = Mutex.create () in
   let tr2 =
     Netkit.Transport.create ~me:2 ~peers
-      ~on_frame:(fun ~src:_ _ ->
+      ~on_frame:(fun ~src:_ ~lock:_ _ ->
         Mutex.lock mu;
         incr received;
         Mutex.unlock mu)
       ()
   in
   let tr0 =
-    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ _ -> ()) ()
+    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
   in
   (* Flood the dead peer 1 first, then time deliveries to live peer 2. *)
   for k = 1 to 50 do
@@ -275,8 +303,10 @@ let suite =
       Alcotest.test_case "negative length header" `Quick test_negative_length;
       Alcotest.test_case "short (<header) frame" `Quick test_short_frame;
       Alcotest.test_case "unknown frame kind" `Quick test_bad_frame_kind;
+      Alcotest.test_case "truncated lock key" `Quick test_truncated_lock_key;
       Alcotest.test_case "frame format version mismatch" `Quick
         test_version_mismatch;
+      Alcotest.test_case "lock key demultiplexing" `Quick test_lock_key_demux;
       Alcotest.test_case "out-of-range sender id" `Quick test_bad_sender_id;
       Alcotest.test_case "partial header then disconnect" `Quick
         test_partial_header_disconnect;

@@ -187,13 +187,18 @@ let prop_random_bytes_never_crash =
 
 let test_frame_header_version () =
   (* The version byte leads every frame header and gates decoding. *)
-  let h = Wire.Frame.encode_header ~src:3 Wire.Frame.Data in
-  Alcotest.(check int) "header length" Wire.Frame.header_len (String.length h);
+  let h = Wire.Frame.encode_header ~src:3 ~lock:"orders" Wire.Frame.Data in
+  Alcotest.(check int) "header length"
+    (Wire.Frame.fixed_len + String.length "orders")
+    (String.length h);
   Alcotest.(check int) "leading version byte" Wire.format_version
     (String.get_uint8 h 0);
-  let src, kind = Wire.Frame.decode_header h in
-  Alcotest.(check int) "src roundtrips" 3 src;
-  Alcotest.(check bool) "kind roundtrips" true (kind = Wire.Frame.Data);
+  let hd = Wire.Frame.decode_header h in
+  Alcotest.(check int) "src roundtrips" 3 hd.Wire.Frame.src;
+  Alcotest.(check bool) "kind roundtrips" true (hd.Wire.Frame.kind = Wire.Frame.Data);
+  Alcotest.(check string) "lock key roundtrips" "orders" hd.Wire.Frame.lock;
+  Alcotest.(check int) "payload starts right after the key" (String.length h)
+    hd.Wire.Frame.payload_start;
   let bumped =
     String.init (String.length h) (fun i ->
         if i = 0 then Char.chr (Wire.format_version + 1) else h.[i])
@@ -211,6 +216,21 @@ let test_frame_header_version () =
         (Printf.sprintf "error names the version (%s)" msg)
         true mentions_version
 
+let test_frame_header_lock_truncated () =
+  (* A lock-length field promising more key bytes than the frame
+     carries must be rejected, not read out of bounds. *)
+  let h = Wire.Frame.encode_header ~src:1 ~lock:"orders" Wire.Frame.Data in
+  let truncated = String.sub h 0 (String.length h - 2) in
+  (match Wire.Frame.decode_header truncated with
+  | _ -> Alcotest.fail "truncated lock key must not decode"
+  | exception Wire.Malformed _ -> ());
+  (* And the empty key is a first-class value, not a parse accident. *)
+  let h0 = Wire.Frame.encode_header ~src:1 ~lock:"" Wire.Frame.Heartbeat in
+  let hd = Wire.Frame.decode_header h0 in
+  Alcotest.(check string) "empty lock key roundtrips" "" hd.Wire.Frame.lock;
+  Alcotest.(check bool) "heartbeat kind roundtrips" true
+    (hd.Wire.Frame.kind = Wire.Frame.Heartbeat)
+
 let suite =
   ( "wire",
     [
@@ -218,6 +238,8 @@ let suite =
         test_roundtrip_all;
       Alcotest.test_case "frame header version byte" `Quick
         test_frame_header_version;
+      Alcotest.test_case "frame header lock key bounds" `Quick
+        test_frame_header_lock_truncated;
       Alcotest.test_case "encodings distinct" `Quick test_distinct_encodings;
       Alcotest.test_case "every truncation rejected" `Quick
         test_truncated_rejected;
