@@ -12,6 +12,7 @@
 
 let tolerance = ref 0.25
 let wall_tolerance = ref 0.25
+let sharded_floor = ref nan
 let files = ref []
 
 let spec =
@@ -23,6 +24,10 @@ let spec =
       Arg.Set_float wall_tolerance,
       "T  relative wall-clock tolerance (default 0.25; CI passes a loose \
        one — shared runners are noisy)" );
+    ( "--sharded-floor",
+      Arg.Set_float sharded_floor,
+      "R  absolute floor on sharded cs_per_sec (default none); applies \
+       regardless of the baseline" );
   ]
 
 let usage = "gate [options] BASELINE.json CURRENT.json"
@@ -51,7 +56,11 @@ let () =
       let baseline = read baseline_path and current = read current_path in
       let outcome =
         Dmutex_obs.Gate.run ~tolerance:!tolerance
-          ~wall_tolerance:!wall_tolerance ~baseline ~current ()
+          ~wall_tolerance:!wall_tolerance
+          ?sharded_floor:
+            (if Float.is_nan !sharded_floor then None
+             else Some !sharded_floor)
+          ~baseline ~current ()
       in
       List.iter print_endline outcome.Dmutex_obs.Gate.lines;
       if outcome.Dmutex_obs.Gate.failures = [] then

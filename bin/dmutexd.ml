@@ -93,6 +93,17 @@ let heartbeat_arg =
            longer than four periods are reported suspect. 0 disables \
            the liveness monitor." ~docv:"SEC")
 
+let flush_us_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "flush-us" ]
+        ~doc:
+          "Hold outbound frames back up to $(docv) microseconds so \
+           more of them share one coalesced write (trades a little \
+           latency for fewer syscalls under load). 0 flushes on the \
+           next reactor pass, which already batches everything a \
+           protocol step produced. Overrides DMUTEX_FLUSH_US." ~docv:"US")
+
 let metrics_addr_arg =
   Arg.(
     value
@@ -219,8 +230,8 @@ let serve_metrics (ep : Netkit.Transport.endpoint) reg =
          done)
        ())
 
-let run id peers locks demo verbose metrics_every loss heartbeat metrics_addr
-    trace_file state_dir =
+let run id peers locks demo verbose metrics_every loss heartbeat flush_us
+    metrics_addr trace_file state_dir =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -304,7 +315,8 @@ let run id peers locks demo verbose metrics_every loss heartbeat metrics_addr
         Logs.warn (fun m -> m "node %d: peer %d suspected down" id peer))
       ~on_alive:(fun peer ->
         Logs.info (fun m -> m "node %d: peer %d alive again" id peer))
-      ~locks ?initial ?store ?persist ~obs ?trace cfg ~me:id ~peers ()
+      ~locks ?initial ?store ?persist ~obs ?trace ~flush_us cfg ~me:id
+      ~peers ()
   in
   List.iter
     (fun (lock, (_, _, inputs)) ->
@@ -392,7 +404,7 @@ let main =
           exclusion protocol over TCP.")
     Term.(
       const run $ id_arg $ peers_arg $ locks_arg $ demo_arg $ verbose_arg
-      $ metrics_every_arg $ loss_arg $ heartbeat_arg $ metrics_addr_arg
-      $ trace_file_arg $ state_dir_arg)
+      $ metrics_every_arg $ loss_arg $ heartbeat_arg $ flush_us_arg
+      $ metrics_addr_arg $ trace_file_arg $ state_dir_arg)
 
 let () = exit (Cmd.eval main)

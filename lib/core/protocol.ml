@@ -1126,7 +1126,7 @@ let finish_recovery cfg ~now st =
       (st, invalidates @ (Note Token_regenerated :: effs)
            @ [ Cancel_timer T_enquiry ])
 
-let receive_enquiry st ~src ~round =
+let receive_enquiry cfg st ~src ~round =
   let status =
     if st.token <> None then Have_token
     else if st.executed_this_round then Executed
@@ -1137,7 +1137,25 @@ let receive_enquiry st ~src ~round =
       { st with suspended = true; enq_round = max st.enq_round round }
     else { st with enq_round = max st.enq_round round }
   in
-  (st, [ Send (src, Enquiry_reply { round; status }) ])
+  (* An ENQUIRY proves [src] is running an invalidation of its own. If
+     we are too, exactly one of the two may finish: both completing
+     regenerates two tokens (the id-salted epochs keep them unequal,
+     but both are live until they meet — a transient mutual-exclusion
+     hole, easily hit when a healed partition lets two pending rounds
+     reach quorum together). Lowest id wins: the higher-id node folds
+     its round and becomes a quorum member of the survivor's — its
+     WAITING reply carries its requesters into the regenerated token's
+     queue. The lost-token watchdog is re-armed so a winner that dies
+     mid-round just delays recovery instead of stranding it. *)
+  let st, tie_break =
+    if st.recovery <> None && status <> Have_token && src < st.me then
+      ( { st with recovery = None },
+        [ Cancel_timer T_enquiry;
+          Set_timer (T_token, cfg.Config.token_timeout);
+          Note (Custom "recovery-yielded") ] )
+    else (st, [])
+  in
+  (st, Send (src, Enquiry_reply { round; status }) :: tie_break)
 
 let receive_enquiry_reply cfg ~now st ~src ~round ~status =
   match st.recovery with
@@ -1346,7 +1364,7 @@ let handle cfg ~now st (input : (message, timer) input) :
            proves the token died with us) are always honoured. *)
         (st, [ Note (Custom "warning-ignored-token-live") ])
       else start_recovery cfg st
-  | Receive (src, Enquiry { round }) -> receive_enquiry st ~src ~round
+  | Receive (src, Enquiry { round }) -> receive_enquiry cfg st ~src ~round
   | Receive (src, Enquiry_reply { round; status }) ->
       receive_enquiry_reply cfg ~now st ~src ~round ~status
   | Receive (_, Resume { round }) -> receive_resume cfg ~now st ~round

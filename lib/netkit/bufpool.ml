@@ -1,0 +1,59 @@
+(* Shared pool of byte buffers for the transport's encode and decode
+   paths. Frames are serialized into (and parsed out of) long-lived
+   pooled buffers, so the steady state allocates nothing per frame;
+   the pool is only touched when a connection opens, closes, or
+   outgrows its current buffer — never per frame.
+
+   Buffers are handed out in power-of-two sizes so a returned buffer
+   is maximally reusable. The pool is process-global and mutex-
+   guarded: reactors on different domains share it, and the lock is
+   uncontended in the steady state because take/give happen at
+   connection granularity. *)
+
+let min_size = 4 * 1024
+let max_pooled = 1 * 1024 * 1024 (* bigger buffers are freed, not pooled *)
+let max_kept = 32 (* per-process cap on idle pooled buffers *)
+
+let mu = Mutex.create ()
+let pool : Bytes.t list ref = ref []
+let kept = ref 0
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let take n =
+  let n = pow2 (max n min_size) min_size in
+  Mutex.lock mu;
+  let rec pick acc = function
+    | [] ->
+        pool := acc;
+        None
+    | b :: rest when Bytes.length b >= n ->
+        pool := List.rev_append acc rest;
+        decr kept;
+        Some b
+    | b :: rest -> pick (b :: acc) rest
+  in
+  let found = pick [] !pool in
+  Mutex.unlock mu;
+  match found with Some b -> b | None -> Bytes.create n
+
+let give b =
+  if Bytes.length b <= max_pooled then begin
+    Mutex.lock mu;
+    if !kept < max_kept then begin
+      pool := b :: !pool;
+      incr kept
+    end;
+    Mutex.unlock mu
+  end
+
+(* Grow [b] to hold at least [n] bytes, preserving [len] bytes of
+   content, returning the (possibly new) buffer. *)
+let grow b ~len n =
+  if Bytes.length b >= n then b
+  else begin
+    let b' = take n in
+    Bytes.blit b 0 b' 0 len;
+    give b;
+    b'
+  end

@@ -363,6 +363,7 @@ struct
           dropped = acc.Transport.dropped + m.Transport.dropped;
           retries = acc.Transport.retries + m.Transport.retries;
           reconnects = acc.Transport.reconnects + m.Transport.reconnects;
+          flushes = acc.Transport.flushes + m.Transport.flushes;
           queue_depth = acc.Transport.queue_depth + m.Transport.queue_depth;
         })
       {
@@ -371,6 +372,7 @@ struct
         dropped = 0;
         retries = 0;
         reconnects = 0;
+        flushes = 0;
         queue_depth = 0;
       }
       t.nodes

@@ -51,6 +51,12 @@ struct
        the reverse. *)
     wheel : (string * A.timer, float) Hashtbl.t;
     wheel_mu : Mutex.t;
+    (* [with_lock] timeout deadlines, also guarded by [wheel_mu] and
+       drained by the timer thread: waiters sleep on their instance's
+       grant condition (no polling) and the wheel broadcasts it when a
+       deadline passes so they can observe the timeout. *)
+    waiter_wheel : (int, float * string) Hashtbl.t;
+    mutable waiter_seq : int;
     (* self-pipe waking the timer thread out of its deadline sleep
        whenever the timer set changes *)
     wake_rd : Unix.file_descr;
@@ -188,7 +194,16 @@ struct
     | Some store, Some persist ->
         Dmutex_store.Store.record store (persist state')
     | _ -> ());
-    List.iter (apply t inst) effects
+    (* Cork the transport around the whole effect list so every frame
+       this step emits — REQUEST broadcasts, token forwards, grants —
+       coalesces into one flush per destination peer. *)
+    match t.transport with
+    | Some tr when effects <> [] ->
+        Transport.cork tr;
+        Fun.protect
+          ~finally:(fun () -> Transport.uncork tr)
+          (fun () -> List.iter (apply t inst) effects)
+    | Some _ | None -> List.iter (apply t inst) effects
 
   let step t inst input =
     Mutex.lock inst.lock;
@@ -236,6 +251,27 @@ struct
               if still_due then step_locked t inst (Timer_fired k);
               Mutex.unlock inst.lock)
         due;
+      (* Expired [with_lock] deadlines: wake the sleeping waiters so
+         they can observe the timeout. The waiter removes its own
+         entry; dropping it here too just saves a redundant wake. *)
+      Mutex.lock t.wheel_mu;
+      let lapsed =
+        Hashtbl.fold
+          (fun id (deadline, lk) acc ->
+            if deadline <= now_abs then (id, lk) :: acc else acc)
+          t.waiter_wheel []
+      in
+      List.iter (fun (id, _) -> Hashtbl.remove t.waiter_wheel id) lapsed;
+      Mutex.unlock t.wheel_mu;
+      List.iter
+        (fun (_, lk) ->
+          match Hashtbl.find_opt t.insts lk with
+          | None -> ()
+          | Some inst ->
+              Mutex.lock inst.lock;
+              Condition.broadcast inst.granted;
+              Mutex.unlock inst.lock)
+        lapsed;
       Mutex.lock t.wheel_mu;
       let next =
         Hashtbl.fold
@@ -244,6 +280,14 @@ struct
             | None -> Some deadline
             | Some d -> Some (Float.min d deadline))
           t.wheel None
+      in
+      let next =
+        Hashtbl.fold
+          (fun _ (deadline, _) acc ->
+            match acc with
+            | None -> Some deadline
+            | Some d -> Some (Float.min d deadline))
+          t.waiter_wheel next
       in
       Mutex.unlock t.wheel_mu;
       let timeout =
@@ -325,7 +369,7 @@ struct
   let create ?(on_grant = fun ~lock:_ -> ()) ?fault ?heartbeat_period
       ?(suspect_timeout = 1.0) ?(on_suspect = fun _ -> ())
       ?(on_alive = fun _ -> ()) ?seed ?(locks = [ default_lock ]) ?initial
-      ?store ?persist ?obs ?trace cfg ~me ~peers () =
+      ?store ?persist ?obs ?trace ?flush_us ?io_domains cfg ~me ~peers () =
     if locks = [] then
       invalid_arg "Node_runner.create: at least one lock key required";
     let wake_rd, wake_wr = Unix.pipe () in
@@ -382,6 +426,8 @@ struct
             obs;
         wheel = Hashtbl.create 16;
         wheel_mu = Mutex.create ();
+        waiter_wheel = Hashtbl.create 16;
+        waiter_seq = 0;
         wake_rd;
         wake_wr = Some wake_wr;
         stopping = false;
@@ -430,8 +476,8 @@ struct
     let on_heartbeat ~src = heard t src in
     t.transport <-
       Some
-        (Transport.create ?fault ?heartbeat_period ?seed ?obs ~on_heartbeat
-           ~me ~peers ~on_frame ());
+        (Transport.create ?fault ?heartbeat_period ?seed ?obs ?flush_us
+           ?io_domains ~on_heartbeat ~me ~peers ~on_frame ());
     ignore (Thread.create timer_loop t);
     (match heartbeat_period with
     | Some p when p > 0.0 -> ignore (Thread.create liveness_loop t)
@@ -460,26 +506,42 @@ struct
   let with_lock ?(timeout = 30.0) ?(lock = default_lock) t f =
     let inst = find_inst t lock in
     let deadline = Unix.gettimeofday () +. timeout in
+    (* OCaml's Condition has no timed wait: register the deadline with
+       the node's timer thread, which broadcasts [inst.granted] when it
+       lapses, and sleep on the condition in between — the grant path
+       wakes us in microseconds instead of a poll interval. *)
+    let wid =
+      Mutex.lock t.wheel_mu;
+      let wid = t.waiter_seq in
+      t.waiter_seq <- wid + 1;
+      Hashtbl.replace t.waiter_wheel wid (deadline, lock);
+      wake_timer_thread t;
+      Mutex.unlock t.wheel_mu;
+      wid
+    in
     Mutex.lock inst.lock;
     inst.waiters <- inst.waiters + 1;
     (try step_locked t inst Request_cs
      with e ->
        inst.waiters <- inst.waiters - 1;
        Mutex.unlock inst.lock;
+       Mutex.lock t.wheel_mu;
+       Hashtbl.remove t.waiter_wheel wid;
+       Mutex.unlock t.wheel_mu;
        raise e);
     let rec wait () =
       if A.in_cs inst.state then true
       else if Unix.gettimeofday () >= deadline then false
+      else if t.stopping then false
       else begin
-        (* OCaml's Condition has no timed wait; poll with a short
-           unlock window instead. *)
-        Mutex.unlock inst.lock;
-        Thread.delay 0.001;
-        Mutex.lock inst.lock;
+        Condition.wait inst.granted inst.lock;
         wait ()
       end
     in
     let ok = wait () in
+    Mutex.lock t.wheel_mu;
+    Hashtbl.remove t.waiter_wheel wid;
+    Mutex.unlock t.wheel_mu;
     inst.waiters <- inst.waiters - 1;
     (* On timeout the REQUEST is already queued cluster-wide; mark it
        abandoned so the grant, when it lands, is drained instead of
@@ -511,6 +573,7 @@ struct
           dropped = 0;
           retries = 0;
           reconnects = 0;
+          flushes = 0;
           queue_depth = 0;
         }
 
@@ -570,6 +633,15 @@ struct
       Mutex.lock t.wheel_mu;
       wake_timer_thread t;
       Mutex.unlock t.wheel_mu;
+      (* Waiters sleep on their grant condition now; wake them all so
+         none outlives the node blocked on a grant that can no longer
+         arrive. *)
+      Hashtbl.iter
+        (fun _ inst ->
+          Mutex.lock inst.lock;
+          Condition.broadcast inst.granted;
+          Mutex.unlock inst.lock)
+        t.insts;
       match t.transport with
       | Some tr ->
           t.transport <- None;

@@ -35,6 +35,8 @@ module Make
     ?persist:(A.state -> Dmutex_store.Store.view) ->
     ?obs:Dmutex_obs.Registry.t ->
     ?trace:Dmutex_obs.Events.sink ->
+    ?flush_us:int ->
+    ?io_domains:int ->
     Dmutex.Types.Config.t ->
     me:int ->
     peers:Transport.endpoint array ->
@@ -81,7 +83,12 @@ module Make
       them. [trace] plugs in a (normally cluster-shared) structured
       event sink: CS enter/exit, recovery milestones and liveness
       suspicions are recorded with the node id (and lock key, where
-      one applies) attached. *)
+      one applies) attached.
+
+      [flush_us] and [io_domains] tune the transport's coalesced-flush
+      timer and reactor pool size (see {!Transport.create}); the
+      defaults — flush on the next reactor pass, one I/O domain — are
+      right for most deployments. *)
 
   val locks : t -> string list
   (** The lock keys this node hosts, in [create] order. *)

@@ -1,3 +1,35 @@
+(* Reactor transport: framed TCP over an event-loop core.
+
+   The previous transport spent a thread per inbound connection plus a
+   writer thread per peer channel, one [Unix.write] per frame and a
+   fresh [Bytes.create] per frame on both paths. This version runs a
+   small fixed pool of I/O event loops ({!Reactor}, one domain each
+   via [Simkit.Domainx]) over non-blocking sockets:
+
+   - outbound frames land in a per-peer ring buffer; the owning
+     reactor serializes every due frame — across all lock instances
+     multiplexed on the connection — into one pooled flush buffer and
+     pushes it with one [write] (a coalesced flush);
+   - inbound bytes are read into a per-connection pooled buffer and
+     parsed in place, many frames per syscall, with no per-frame
+     allocation beyond the payload string handed to [on_frame];
+   - heartbeats piggyback on traffic: a beacon is only emitted for a
+     peer the transport has not written to for a full period, because
+     any frame proves liveness to the receiver's monitor;
+   - an optional flush timer ([?flush_us] / [DMUTEX_FLUSH_US], default
+     0 = flush on the next reactor pass) delays frames briefly so more
+     of them share one syscall, bounding added latency by the knob.
+
+   Supervision semantics are unchanged from the writer-thread design:
+   bounded per-peer queues shed new frames when full, reconnects use
+   capped exponential backoff with jitter, a frame gets a bounded
+   number of connect attempts before it is shed (DME tolerates loss by
+   design), chaos [Fault] verdicts are honoured both at send time and
+   again at flush time, and the full metrics contract
+   (sent/delivered/dropped/retries/reconnects, mirrored into [?obs])
+   survives, extended with flush observability
+   (flushes/frames-per-flush). *)
+
 type endpoint = { host : string; port : int }
 
 let pp_endpoint ppf e = Format.fprintf ppf "%s:%d" e.host e.port
@@ -12,44 +44,181 @@ type metrics = {
   dropped : int;
   retries : int;
   reconnects : int;
+  flushes : int;
   queue_depth : int;
 }
 
 let pp_metrics ppf m =
   Format.fprintf ppf
-    "sent=%d delivered=%d dropped=%d retries=%d reconnects=%d queued=%d"
-    m.sent m.delivered m.dropped m.retries m.reconnects m.queue_depth
+    "sent=%d delivered=%d dropped=%d retries=%d reconnects=%d flushes=%d \
+     queued=%d"
+    m.sent m.delivered m.dropped m.retries m.reconnects m.flushes
+    m.queue_depth
 
-(* A frame waiting in a peer channel: full body (header + payload),
-   whether it participates in the data-frame counters (heartbeats do
-   not), and the earliest wall-clock instant it may hit the socket
-   (chaos [Delay] verdicts). *)
-type item = { body : string; counted : bool; not_before : float }
+let backoff_floor = 0.05
+let backoff_cap = 1.0
+let connect_attempts_per_frame = 6
+let connect_timeout = 1.0
+let max_frame_len = 64 * 1024 * 1024
 
-(* One outbound channel per peer: its own mutex, so a dead or slow
-   peer can only ever stall its own queue, never sends to the rest of
-   the cluster. *)
-type chan = {
-  dst : int;
-  mu : Mutex.t;
-  cond : Condition.t;
-  q : item Queue.t;
-  mutable fd : Unix.file_descr option;
-  mutable writer_started : bool;
-  mutable connected_once : bool;
+(* Stop topping up a flush batch past this many serialized bytes; the
+   remainder goes in the next flush. *)
+let flush_bytes_cap = 256 * 1024
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v >= 0 -> v
+  | Some _ | None -> default
+
+(* ------------------------------------------------------------------ *)
+(* Coalesced flush buffer: frames serialize into one pooled [Bytes.t]
+   — length prefix, wire-v2 header and payload written in place, no
+   per-frame allocation. Also the unit benched by
+   [kernel:transport-flush]. *)
+
+module Flush = struct
+  type t = { mutable b : Bytes.t; mutable len : int }
+
+  let create () = { b = Bufpool.take Bufpool.min_size; len = 0 }
+  let length t = t.len
+  let reset t = t.len <- 0
+
+  let release t =
+    Bufpool.give t.b;
+    t.b <- Bytes.create 0
+
+  let add_frame t ~src ~lock kind payload =
+    let hl = Wire.Frame.header_len ~lock in
+    let pl = String.length payload in
+    let total = 4 + hl + pl in
+    if t.len + total > Bytes.length t.b then
+      t.b <- Bufpool.grow t.b ~len:t.len (t.len + total);
+    Bytes.set_int32_be t.b t.len (Int32.of_int (hl + pl));
+    let p = Wire.Frame.blit_header t.b ~pos:(t.len + 4) ~src ~lock kind in
+    Bytes.blit_string payload 0 t.b p pl;
+    t.len <- t.len + total
+
+  (* One write syscall from [pos]; returns bytes written. *)
+  let write t fd ~pos = Unix.write fd t.b pos (t.len - pos)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-peer outbound ring buffer.                                      *)
+
+type item = {
+  i_kind : Wire.Frame.kind;
+  i_lock : string;
+  i_payload : string;
+  i_counted : bool;
+  i_not_before : float;
+  mutable i_attempts : int;
 }
 
-(* Handles into an externally owned metrics registry, resolved once at
-   [create]: the transport's ad-hoc ints stay authoritative for the
-   [metrics] record, and these mirror every bump into the canonical
-   [Dmutex_obs.Names] series when the node carries a registry. *)
+module Ring = struct
+  type t = {
+    mutable buf : item array;
+    mutable head : int;
+    mutable len : int;
+    cap : int; (* enqueue bound; requeue may transiently exceed it *)
+  }
+
+  let dummy =
+    {
+      i_kind = Wire.Frame.Heartbeat;
+      i_lock = "";
+      i_payload = "";
+      i_counted = false;
+      i_not_before = 0.0;
+      i_attempts = 0;
+    }
+
+  let create cap = { buf = Array.make (max 8 (min cap 64)) dummy; head = 0; len = 0; cap }
+  let length t = t.len
+  let is_full t = t.len >= t.cap
+
+  let grow t need =
+    if need > Array.length t.buf then begin
+      let cap' = max need (2 * Array.length t.buf) in
+      let buf' = Array.make cap' dummy in
+      for k = 0 to t.len - 1 do
+        buf'.(k) <- t.buf.((t.head + k) mod Array.length t.buf)
+      done;
+      t.buf <- buf';
+      t.head <- 0
+    end
+
+  let push t it =
+    grow t (t.len + 1);
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- it;
+    t.len <- t.len + 1
+
+  let push_front t it =
+    grow t (t.len + 1);
+    t.head <- (t.head + Array.length t.buf - 1) mod Array.length t.buf;
+    t.buf.(t.head) <- it;
+    t.len <- t.len + 1
+
+  let peek t = if t.len = 0 then None else Some t.buf.(t.head)
+
+  let pop t =
+    let it = t.buf.(t.head) in
+    t.buf.(t.head) <- dummy;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    it
+
+  (* Remove items failing [keep], in order; returns the removed. *)
+  let reject t keep =
+    let kept = ref [] and gone = ref [] in
+    for _ = 1 to t.len do
+      let it = pop t in
+      if keep it then kept := it :: !kept else gone := it :: !gone
+    done;
+    List.iter (push t) (List.rev !kept);
+    List.rev !gone
+end
+
+(* ------------------------------------------------------------------ *)
+
 type obs_handles = {
   o_sent : Dmutex_obs.Registry.Counter.handle;
   o_delivered : Dmutex_obs.Registry.Counter.handle;
   o_dropped : Dmutex_obs.Registry.Counter.handle;
   o_retries : Dmutex_obs.Registry.Counter.handle;
   o_reconnects : Dmutex_obs.Registry.Counter.handle;
+  o_flushes : Dmutex_obs.Registry.Counter.handle;
+  o_frames_per_flush : Dmutex_obs.Registry.Histogram.handle;
   o_queue_depth : Dmutex_obs.Registry.Gauge.handle;
+}
+
+(* Outbound connection state, owned by the peer's reactor. *)
+type conn =
+  | Off
+  | Connecting of Unix.file_descr * float (* fd, give-up deadline *)
+  | On of Unix.file_descr
+
+type peer = {
+  dst : int;
+  reactor : int; (* index of the owning reactor *)
+  mu : Mutex.t; (* guards [ring] *)
+  ring : Ring.t;
+  (* Everything below is touched only by the owning reactor. *)
+  mutable conn : conn;
+  mutable next_attempt : float;
+  mutable backoff : float;
+  mutable connected_once : bool;
+  fb : Flush.t;
+  mutable fb_pos : int; (* first unwritten byte of [fb] *)
+  mutable inflight : (item * int) list; (* serialized items, end offsets *)
+  mutable last_tx : float; (* last successful write, for hb piggyback *)
+}
+
+(* Inbound connection: a pooled parse buffer refilled in place. *)
+type iconn = {
+  ic_fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int; (* valid bytes *)
+  mutable rpos : int; (* parse cursor *)
 }
 
 type t = {
@@ -59,9 +228,13 @@ type t = {
   on_heartbeat : src:int -> unit;
   fault : Fault.t option;
   listener : Unix.file_descr;
-  chans : chan array;
+  ps : peer array;
+  reactors : Reactor.t array;
+  iconns : (Unix.file_descr, iconn) Hashtbl.t array; (* per reactor *)
   max_queue : int;
   heartbeat_period : float option;
+  hb_next : float ref; (* reactor-0 owned *)
+  flush_s : float; (* flush timer in seconds; 0 = next pass *)
   obs : obs_handles option;
   stats : Mutex.t;
   mutable sent : int;
@@ -69,28 +242,17 @@ type t = {
   mutable dropped : int;
   mutable retries : int;
   mutable reconnects : int;
-  mutable closed : bool;
+  mutable flushes : int;
+  closed : bool Atomic.t;
   mutable loss : float;
   loss_rng : Random.State.t;
   backoff_rng : Random.State.t;
-  inbound : Unix.file_descr list ref;  (* guarded by [inbound_mu] *)
-  inbound_mu : Mutex.t;
+  cork_depth : int Atomic.t;
+  pending_wake : bool Atomic.t array; (* per reactor *)
+  accept_rr : int ref; (* reactor-0 owned: inbound round-robin *)
 }
 
-let register_inbound t fd =
-  Mutex.lock t.inbound_mu;
-  t.inbound := fd :: !(t.inbound);
-  Mutex.unlock t.inbound_mu
-
-let detach_inbound t fd =
-  Mutex.lock t.inbound_mu;
-  t.inbound := List.filter (fun f -> f <> fd) !(t.inbound);
-  Mutex.unlock t.inbound_mu;
-  try Unix.close fd with _ -> ()
-
-let backoff_floor = 0.05
-let backoff_cap = 1.0
-let connect_attempts_per_frame = 6
+let closed t = Atomic.get t.closed
 
 let bump t f =
   Mutex.lock t.stats;
@@ -108,101 +270,9 @@ let count_dropped t counted =
     obs_incr t (fun h -> h.o_dropped)
   end
 
-let rec really_read fd buf off len =
-  if len > 0 then begin
-    let n = Unix.read fd buf off len in
-    if n = 0 then raise End_of_file;
-    really_read fd buf (off + n) (len - n)
-  end
-
-let read_frame fd =
-  let hdr = Bytes.create 4 in
-  really_read fd hdr 0 4;
-  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-  if len < 0 || len > 64 * 1024 * 1024 then
-    failwith (Printf.sprintf "Transport: bad frame length %d" len);
-  let payload = Bytes.create len in
-  really_read fd payload 0 len;
-  Bytes.unsafe_to_string payload
-
-let write_frame fd body =
-  let len = String.length body in
-  let buf = Bytes.create (4 + len) in
-  Bytes.set_int32_be buf 0 (Int32.of_int len);
-  Bytes.blit_string body 0 buf 4 len;
-  let rec push off remaining =
-    if remaining > 0 then begin
-      let n = Unix.write fd buf off remaining in
-      push (off + n) (remaining - n)
-    end
-  in
-  push 0 (4 + len)
-
-(* Every frame body starts with the sender id, a frame kind and the
-   lock key it is addressed to ({!Wire.Frame}) so the receiver can
-   demultiplex peers without per-peer inbound sockets, tell heartbeats
-   from protocol data, and route each payload to the right protocol
-   instance over the one shared connection. *)
-let reader_loop t fd =
-  try
-    while not t.closed do
-      let frame = read_frame fd in
-      let h = Wire.Frame.decode_header frame in
-      let src = h.Wire.Frame.src in
-      if src < 0 || src >= Array.length t.peers || src = t.me then
-        raise (Wire.Malformed (Printf.sprintf "bad sender id %d" src));
-      let admit =
-        match t.fault with
-        | None -> true
-        | Some f -> Fault.reachable f ~src ~dst:t.me
-      in
-      if admit then
-        match h.Wire.Frame.kind with
-        | Wire.Frame.Heartbeat -> t.on_heartbeat ~src
-        | Wire.Frame.Data ->
-            let payload =
-              String.sub frame h.Wire.Frame.payload_start
-                (String.length frame - h.Wire.Frame.payload_start)
-            in
-            bump t (fun t -> t.delivered <- t.delivered + 1);
-            obs_incr t (fun h -> h.o_delivered);
-            t.on_frame ~src ~lock:h.Wire.Frame.lock payload
-      else count_dropped t (h.Wire.Frame.kind = Wire.Frame.Data)
-    done;
-    detach_inbound t fd
-  with
-  | End_of_file | Unix.Unix_error _ -> detach_inbound t fd
-  | Failure msg | Wire.Malformed msg ->
-      Log.warn (fun m -> m "reader stopped: %s" msg);
-      detach_inbound t fd
-
-let accept_loop t =
-  try
-    while not t.closed do
-      let fd, _addr = Unix.accept t.listener in
-      Unix.setsockopt fd Unix.TCP_NODELAY true;
-      register_inbound t fd;
-      ignore (Thread.create (reader_loop t) fd)
-    done
-  with Unix.Unix_error _ -> ()
-
-let connect t dst =
-  let ep = t.peers.(dst) in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  try
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
-    Unix.setsockopt fd Unix.TCP_NODELAY true;
-    Some fd
-  with Unix.Unix_error _ ->
-    (try Unix.close fd with _ -> ());
-    None
-
-(* Interruptible sleep: close must not wait out a full backoff. *)
-let rec chill t duration =
-  if duration > 0.0 && not t.closed then begin
-    Thread.delay (Float.min duration 0.05);
-    chill t (duration -. 0.05)
-  end
+let count_retry t =
+  bump t (fun t -> t.retries <- t.retries + 1);
+  obs_incr t (fun h -> h.o_retries)
 
 let jittered t backoff =
   let j =
@@ -213,119 +283,64 @@ let jittered t backoff =
   in
   backoff *. (0.5 +. j)
 
-(* Drains one peer's queue forever. Connection management lives here:
-   reconnection with capped exponential backoff + jitter, bounded
-   retries per frame, and a write-time connectivity re-check so frames
-   queued just before a chaos crash/partition still honour it. *)
-let writer_loop t ch =
-  let backoff = ref backoff_floor in
-  let take () =
-    Mutex.lock ch.mu;
-    while Queue.is_empty ch.q && not t.closed do
-      Condition.wait ch.cond ch.mu
-    done;
-    let item = if t.closed then None else Some (Queue.pop ch.q) in
-    Mutex.unlock ch.mu;
-    item
-  in
-  let ensure_fd () =
-    match ch.fd with
-    | Some fd -> Some fd
-    | None -> (
-        match connect t ch.dst with
-        | Some fd ->
-            ch.fd <- Some fd;
-            if ch.connected_once then begin
-              bump t (fun t -> t.reconnects <- t.reconnects + 1);
-              obs_incr t (fun h -> h.o_reconnects)
-            end;
-            ch.connected_once <- true;
-            backoff := backoff_floor;
-            Some fd
-        | None -> None)
-  in
-  let rec dispatch item attempts =
-    if t.closed then count_dropped t item.counted
-    else if attempts >= connect_attempts_per_frame then begin
-      (* The peer looks gone: shed this frame and move on so the
-         queue keeps draining — DME tolerates loss by design. *)
-      count_dropped t item.counted;
-      Log.debug (fun m -> m "node %d: shedding frame for dead peer %d" t.me ch.dst)
-    end
-    else begin
-      let now = Unix.gettimeofday () in
-      if item.not_before > now then chill t (item.not_before -. now);
-      let reachable =
-        match t.fault with
-        | None -> true
-        | Some f -> Fault.reachable f ~src:t.me ~dst:ch.dst
-      in
-      if not reachable then count_dropped t item.counted
-      else
-        match ensure_fd () with
-        | None ->
-            bump t (fun t -> t.retries <- t.retries + 1);
-            obs_incr t (fun h -> h.o_retries);
-            chill t (jittered t !backoff);
-            backoff := Float.min backoff_cap (!backoff *. 2.0);
-            dispatch item (attempts + 1)
-        | Some fd -> (
-            try
-              write_frame fd item.body;
-              if item.counted then begin
-                bump t (fun t -> t.sent <- t.sent + 1);
-                obs_incr t (fun h -> h.o_sent)
-              end
-            with Unix.Unix_error _ | Sys_error _ ->
-              (try Unix.close fd with _ -> ());
-              ch.fd <- None;
-              bump t (fun t -> t.retries <- t.retries + 1);
-              obs_incr t (fun h -> h.o_retries);
-              chill t (jittered t !backoff);
-              backoff := Float.min backoff_cap (!backoff *. 2.0);
-              dispatch item (attempts + 1))
-    end
-  in
-  let rec loop () =
-    match take () with
-    | None -> ()
-    | Some item ->
-        dispatch item 0;
-        loop ()
-  in
-  loop ();
-  Mutex.lock ch.mu;
-  (match ch.fd with
-  | Some fd ->
-      (try Unix.close fd with _ -> ());
-      ch.fd <- None
-  | None -> ());
-  Mutex.unlock ch.mu
+(* ------------------------------------------------------------------ *)
+(* Waking and corking.
 
-let enqueue t ~dst ~counted ~not_before body =
-  let ch = t.chans.(dst) in
-  Mutex.lock ch.mu;
+   Senders never touch the reactor state; they push into the ring and
+   wake the owning reactor through a deduplicated flag, so a burst of
+   sends costs at most one pipe write. [cork]/[uncork] suspend even
+   that: while corked, wakes are latched and delivered on the last
+   uncork — the protocol layer corks around a state-machine step so
+   every frame the step emits rides one reactor pass (and usually one
+   coalesced flush per peer). *)
+
+let wake_reactor t k =
+  Atomic.set t.pending_wake.(k) true;
+  if Atomic.get t.cork_depth = 0 then
+    if Atomic.exchange t.pending_wake.(k) false then
+      Reactor.wake t.reactors.(k)
+
+let cork t = ignore (Atomic.fetch_and_add t.cork_depth 1)
+
+let uncork t =
+  if Atomic.fetch_and_add t.cork_depth (-1) = 1 then
+    Array.iteri
+      (fun k pending ->
+        if Atomic.exchange pending false then Reactor.wake t.reactors.(k))
+      t.pending_wake
+
+(* ------------------------------------------------------------------ *)
+(* Send path (any thread).                                             *)
+
+let enqueue t ~dst ~counted ~not_before ~kind ~lock payload =
+  let pe = t.ps.(dst) in
+  Mutex.lock pe.mu;
   let ok =
-    if t.closed then false
-    else if Queue.length ch.q >= t.max_queue then begin
+    if closed t then false
+    else if Ring.is_full pe.ring then begin
       count_dropped t counted;
       false
     end
     else begin
-      Queue.push { body; counted; not_before } ch.q;
-      if not ch.writer_started then begin
-        ch.writer_started <- true;
-        ignore (Thread.create (writer_loop t) ch)
-      end;
-      Condition.signal ch.cond;
+      Ring.push pe.ring
+        {
+          i_kind = kind;
+          i_lock = lock;
+          i_payload = payload;
+          i_counted = counted;
+          i_not_before = not_before;
+          i_attempts = 0;
+        };
       true
     end
   in
-  Mutex.unlock ch.mu;
+  Mutex.unlock pe.mu;
+  if ok then wake_reactor t pe.reactor;
   ok
 
 let send_kind t ~dst ~lock ~counted kind payload =
-  if t.closed || dst = t.me || dst < 0 || dst >= Array.length t.peers then false
+  if closed t || dst = t.me || dst < 0 || dst >= Array.length t.peers then
+    false
   else begin
     let lost =
       Mutex.lock t.stats;
@@ -341,19 +356,23 @@ let send_kind t ~dst ~lock ~counted kind payload =
       true
     end
     else
-      let body = Wire.Frame.encode_header ~src:t.me ~lock kind ^ payload in
+      let flush_after =
+        if t.flush_s > 0.0 then Unix.gettimeofday () +. t.flush_s else 0.0
+      in
       match t.fault with
-      | None -> enqueue t ~dst ~counted ~not_before:0.0 body
+      | None -> enqueue t ~dst ~counted ~not_before:flush_after ~kind ~lock payload
       | Some f -> (
-          match Fault.verdict f ~src:t.me ~dst body with
+          match Fault.verdict f ~src:t.me ~dst payload with
           | Fault.Drop ->
               count_dropped t counted;
               true
-          | Fault.Deliver -> enqueue t ~dst ~counted ~not_before:0.0 body
+          | Fault.Deliver ->
+              enqueue t ~dst ~counted ~not_before:flush_after ~kind ~lock
+                payload
           | Fault.Delay d ->
               enqueue t ~dst ~counted
-                ~not_before:(Unix.gettimeofday () +. d)
-                body)
+                ~not_before:(Float.max flush_after (Unix.gettimeofday () +. d))
+                ~kind ~lock payload)
   end
 
 let send t ~dst ?(lock = "") payload =
@@ -361,48 +380,439 @@ let send t ~dst ?(lock = "") payload =
 
 let broadcast t ?(lock = "") payload =
   let ok = ref 0 in
+  cork t;
   for dst = 0 to Array.length t.peers - 1 do
     if dst <> t.me && send t ~dst ~lock payload then incr ok
   done;
+  uncork t;
   !ok
 
-(* Heartbeats are per-connection liveness, not per-instance: one
-   beacon per peer per period regardless of how many locks the node
-   hosts, addressed to the empty key. *)
-let heartbeat_loop t period =
-  while not t.closed do
-    chill t period;
-    if not t.closed then
-      for dst = 0 to Array.length t.peers - 1 do
-        if dst <> t.me then
-          ignore
-            (send_kind t ~dst ~lock:"" ~counted:false Wire.Frame.Heartbeat "")
-      done
+(* ------------------------------------------------------------------ *)
+(* Outbound reactor side: connect, coalesce, flush.                    *)
+
+let reactor_of t pe = t.reactors.(pe.reactor)
+
+let set_write_interest t pe fd w =
+  Reactor.modify (reactor_of t pe) fd ~read:false ~write:w
+
+let close_conn_fd t pe fd =
+  Reactor.remove (reactor_of t pe) fd;
+  (try Unix.close fd with _ -> ());
+  pe.conn <- Off
+
+(* A connect attempt failed: every queued frame ages by one attempt
+   and frames over budget are shed — the peer looks gone, and the
+   queue must keep draining (DME tolerates loss by design). *)
+let connect_failed t pe now =
+  count_retry t;
+  Mutex.lock pe.mu;
+  let shed =
+    Ring.reject pe.ring (fun it ->
+        it.i_attempts <- it.i_attempts + 1;
+        it.i_attempts < connect_attempts_per_frame)
+  in
+  Mutex.unlock pe.mu;
+  List.iter (fun it -> count_dropped t it.i_counted) shed;
+  if shed <> [] then
+    Log.debug (fun m ->
+        m "node %d: shedding %d frame(s) for dead peer %d" t.me
+          (List.length shed) pe.dst);
+  pe.next_attempt <- now +. jittered t pe.backoff;
+  pe.backoff <- Float.min backoff_cap (pe.backoff *. 2.0)
+
+let conn_broken t pe fd =
+  count_retry t;
+  close_conn_fd t pe fd;
+  (* Requeue the frames of the interrupted flush that were not fully
+     handed to the kernel, preserving order: nothing queued is lost
+     across a reconnect. (A frame cut mid-write is re-sent whole —
+     the receiver's stream ended inside it, so it never decoded.) *)
+  let unsent =
+    List.filter (fun (_, e) -> e > pe.fb_pos) pe.inflight |> List.map fst
+  in
+  Mutex.lock pe.mu;
+  List.iter (fun it -> Ring.push_front pe.ring it) (List.rev unsent);
+  Mutex.unlock pe.mu;
+  Flush.reset pe.fb;
+  pe.fb_pos <- 0;
+  pe.inflight <- [];
+  let now = Unix.gettimeofday () in
+  pe.next_attempt <- now +. jittered t pe.backoff;
+  pe.backoff <- Float.min backoff_cap (pe.backoff *. 2.0)
+
+(* Serialize every due frame (bounded by [flush_bytes_cap]) into the
+   peer's pooled flush buffer. Returns the deadline of the nearest
+   not-yet-due frame, if any. Chaos connectivity is re-checked per
+   frame so a frame queued just before a crash/partition still
+   honours it. *)
+let refill t pe now =
+  Flush.reset pe.fb;
+  pe.fb_pos <- 0;
+  pe.inflight <- [];
+  let next = ref None in
+  let frames = ref 0 in
+  Mutex.lock pe.mu;
+  let rec take () =
+    if Flush.length pe.fb < flush_bytes_cap then
+      match Ring.peek pe.ring with
+      | Some it when it.i_not_before <= now ->
+          let it = Ring.pop pe.ring in
+          let reachable =
+            match t.fault with
+            | None -> true
+            | Some f -> Fault.reachable f ~src:t.me ~dst:pe.dst
+          in
+          if reachable then begin
+            Flush.add_frame pe.fb ~src:t.me ~lock:it.i_lock it.i_kind
+              it.i_payload;
+            incr frames;
+            pe.inflight <- (it, Flush.length pe.fb) :: pe.inflight
+          end
+          else count_dropped t it.i_counted;
+          take ()
+      | Some it -> next := Some it.i_not_before
+      | None -> ()
+  in
+  take ();
+  Mutex.unlock pe.mu;
+  pe.inflight <- List.rev pe.inflight;
+  if !frames > 0 then begin
+    match t.obs with
+    | Some h ->
+        Dmutex_obs.Registry.Histogram.observe h.o_frames_per_flush
+          (float_of_int !frames)
+    | None -> ()
+  end;
+  !next
+
+let ring_has_due pe now =
+  Mutex.lock pe.mu;
+  let due =
+    match Ring.peek pe.ring with
+    | Some it -> it.i_not_before <= now
+    | None -> false
+  in
+  Mutex.unlock pe.mu;
+  due
+
+(* Push the flush buffer out; top it up and keep writing while the
+   socket accepts whole buffers. *)
+let rec flush_peer t pe fd now upd =
+  if pe.fb_pos >= Flush.length pe.fb then begin
+    match refill t pe now with
+    | Some d -> upd d
+    | None -> ()
+  end;
+  let remaining = Flush.length pe.fb - pe.fb_pos in
+  if remaining = 0 then set_write_interest t pe fd false
+  else
+    match Flush.write pe.fb fd ~pos:pe.fb_pos with
+    | n ->
+        pe.fb_pos <- pe.fb_pos + n;
+        pe.last_tx <- now;
+        bump t (fun t -> t.flushes <- t.flushes + 1);
+        obs_incr t (fun h -> h.o_flushes);
+        let rec settle () =
+          match pe.inflight with
+          | (it, e) :: rest when e <= pe.fb_pos ->
+              if it.i_counted then begin
+                bump t (fun t -> t.sent <- t.sent + 1);
+                obs_incr t (fun h -> h.o_sent)
+              end;
+              pe.inflight <- rest;
+              settle ()
+          | _ -> ()
+        in
+        settle ();
+        if pe.fb_pos < Flush.length pe.fb then set_write_interest t pe fd true
+        else if ring_has_due pe now then flush_peer t pe fd now upd
+        else set_write_interest t pe fd false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        set_write_interest t pe fd true
+    | exception (Unix.Unix_error _ | Sys_error _) -> conn_broken t pe fd
+
+let on_connected t pe fd now upd =
+  pe.conn <- On fd;
+  if pe.connected_once then begin
+    bump t (fun t -> t.reconnects <- t.reconnects + 1);
+    obs_incr t (fun h -> h.o_reconnects)
+  end;
+  pe.connected_once <- true;
+  pe.backoff <- backoff_floor;
+  flush_peer t pe fd now upd
+
+let rec start_connect t pe now upd =
+  let ep = t.peers.(pe.dst) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port))
+  with
+  | () ->
+      Reactor.add (reactor_of t pe) fd ~read:false ~write:false
+        (fun ~readable:_ ~writable:_ ->
+          conn_event t pe fd);
+      on_connected t pe fd now upd
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+      let deadline = now +. connect_timeout in
+      pe.conn <- Connecting (fd, deadline);
+      Reactor.add (reactor_of t pe) fd ~read:false ~write:true
+        (fun ~readable:_ ~writable ->
+          if writable then conn_event t pe fd);
+      upd deadline
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with _ -> ());
+      connect_failed t pe now;
+      upd pe.next_attempt
+
+(* Writability on an outbound socket: either a pending connect
+   resolved, or a partial flush can continue. *)
+and conn_event t pe fd =
+  if not (closed t) then
+    let now = Unix.gettimeofday () in
+    match pe.conn with
+    | Connecting (cfd, _) when cfd = fd -> (
+        match Unix.getsockopt_error fd with
+        | None ->
+            Reactor.modify (reactor_of t pe) fd ~read:false ~write:false;
+            on_connected t pe fd now (fun _ -> ())
+        | Some _ ->
+            close_conn_fd t pe fd;
+            connect_failed t pe now)
+    | On cfd when cfd = fd -> flush_peer t pe fd now (fun _ -> ())
+    | _ -> ()
+
+(* Per-iteration service of one peer: shed/connect/flush as its state
+   demands, folding the peer's nearest deadline into [upd]. *)
+let service_peer t pe now upd =
+  match pe.conn with
+  | On fd -> if ring_has_due pe now || pe.fb_pos < Flush.length pe.fb then flush_peer t pe fd now upd else begin
+      (* Idle connection: still surface the wake-up for delayed frames. *)
+      Mutex.lock pe.mu;
+      (match Ring.peek pe.ring with
+      | Some it -> upd it.i_not_before
+      | None -> ());
+      Mutex.unlock pe.mu
+    end
+  | Connecting (fd, deadline) ->
+      if now >= deadline then begin
+        close_conn_fd t pe fd;
+        connect_failed t pe now;
+        upd pe.next_attempt
+      end
+      else upd deadline
+  | Off ->
+      let pending =
+        Mutex.lock pe.mu;
+        let n = Ring.length pe.ring in
+        Mutex.unlock pe.mu;
+        n > 0
+      in
+      if pending then
+        if now >= pe.next_attempt then start_connect t pe now upd
+        else upd pe.next_attempt
+
+(* ------------------------------------------------------------------ *)
+(* Inbound reactor side: accept, buffered parse, dispatch.             *)
+
+let close_iconn t k ic =
+  Reactor.remove t.reactors.(k) ic.ic_fd;
+  Hashtbl.remove t.iconns.(k) ic.ic_fd;
+  (try Unix.close ic.ic_fd with _ -> ());
+  Bufpool.give ic.rbuf;
+  ic.rbuf <- Bytes.create 0
+
+exception Bad_stream of string
+
+(* Parse every complete frame sitting in [ic.rbuf]. *)
+let parse_frames t ic =
+  let continue = ref true in
+  while !continue && ic.rlen - ic.rpos >= 4 do
+    let len = Int32.to_int (Bytes.get_int32_be ic.rbuf ic.rpos) in
+    if len < 0 || len > max_frame_len then
+      raise (Bad_stream (Printf.sprintf "bad frame length %d" len));
+    if ic.rlen - ic.rpos - 4 < len then begin
+      (* Incomplete: make sure the buffer can hold the whole frame,
+         compacting parsed bytes away first. *)
+      if ic.rpos > 0 then begin
+        Bytes.blit ic.rbuf ic.rpos ic.rbuf 0 (ic.rlen - ic.rpos);
+        ic.rlen <- ic.rlen - ic.rpos;
+        ic.rpos <- 0
+      end;
+      if 4 + len > Bytes.length ic.rbuf then
+        ic.rbuf <- Bufpool.grow ic.rbuf ~len:ic.rlen (4 + len);
+      continue := false
+    end
+    else begin
+      let off = ic.rpos + 4 in
+      let h = Wire.Frame.decode_header_bytes ic.rbuf ~off ~len in
+      let src = h.Wire.Frame.src in
+      if src < 0 || src >= Array.length t.peers || src = t.me then
+        raise (Wire.Malformed (Printf.sprintf "bad sender id %d" src));
+      let admit =
+        match t.fault with
+        | None -> true
+        | Some f -> Fault.reachable f ~src ~dst:t.me
+      in
+      (if admit then
+         match h.Wire.Frame.kind with
+         | Wire.Frame.Heartbeat -> t.on_heartbeat ~src
+         | Wire.Frame.Data ->
+             let payload =
+               Bytes.sub_string ic.rbuf
+                 (off + h.Wire.Frame.payload_start)
+                 (len - h.Wire.Frame.payload_start)
+             in
+             bump t (fun t -> t.delivered <- t.delivered + 1);
+             obs_incr t (fun h -> h.o_delivered);
+             t.on_frame ~src ~lock:h.Wire.Frame.lock payload
+       else count_dropped t (h.Wire.Frame.kind = Wire.Frame.Data));
+      ic.rpos <- ic.rpos + 4 + len
+    end
+  done;
+  if ic.rpos = ic.rlen then begin
+    ic.rpos <- 0;
+    ic.rlen <- 0
+  end
+
+let iconn_readable t k ic =
+  try
+    let progress = ref true in
+    let budget = ref 8 in
+    while !progress && !budget > 0 do
+      decr budget;
+      progress := false;
+      (* Keep headroom to read into. *)
+      if ic.rlen = Bytes.length ic.rbuf then
+        if ic.rpos > 0 then begin
+          Bytes.blit ic.rbuf ic.rpos ic.rbuf 0 (ic.rlen - ic.rpos);
+          ic.rlen <- ic.rlen - ic.rpos;
+          ic.rpos <- 0
+        end
+        else ic.rbuf <- Bufpool.grow ic.rbuf ~len:ic.rlen (2 * ic.rlen);
+      match
+        Unix.read ic.ic_fd ic.rbuf ic.rlen (Bytes.length ic.rbuf - ic.rlen)
+      with
+      | 0 -> raise End_of_file
+      | n ->
+          ic.rlen <- ic.rlen + n;
+          parse_frames t ic;
+          progress := true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+    done
+  with
+  | End_of_file | Unix.Unix_error _ -> close_iconn t k ic
+  | Bad_stream msg | Failure msg | Wire.Malformed msg ->
+      Log.warn (fun m -> m "reader stopped: %s" msg);
+      close_iconn t k ic
+
+let register_inbound t fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  let k = !(t.accept_rr) mod Array.length t.reactors in
+  t.accept_rr := !(t.accept_rr) + 1;
+  let ic = { ic_fd = fd; rbuf = Bufpool.take Bufpool.min_size; rlen = 0; rpos = 0 } in
+  let install () =
+    if closed t then (try Unix.close fd with _ -> ())
+    else begin
+      Hashtbl.replace t.iconns.(k) fd ic;
+      Reactor.add t.reactors.(k) fd ~read:true ~write:false
+        (fun ~readable ~writable:_ -> if readable then iconn_readable t k ic)
+    end
+  in
+  if k = 0 then install () else Reactor.post t.reactors.(k) install
+
+let listener_readable t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listener with
+    | fd, _ -> register_inbound t fd
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error _ -> continue := false
   done
 
+(* ------------------------------------------------------------------ *)
+(* The per-reactor tick: heartbeats (reactor 0), then every owned
+   peer. Returns the earliest deadline this reactor must wake for. *)
+
+let tick t k now =
+  if closed t then None
+  else begin
+    let next = ref None in
+    let upd d =
+      match !next with
+      | None -> next := Some d
+      | Some d' -> if d < d' then next := Some d
+    in
+    (match t.heartbeat_period with
+    | Some p when k = 0 ->
+        if now >= !(t.hb_next) then begin
+          for dst = 0 to Array.length t.peers - 1 do
+            (* Piggybacking: any frame written within the last period
+               already proved liveness to [dst]'s monitor — only emit
+               a beacon for peers the transport has been silent to. *)
+            if dst <> t.me && now -. t.ps.(dst).last_tx >= p then
+              ignore
+                (send_kind t ~dst ~lock:"" ~counted:false Wire.Frame.Heartbeat
+                   "")
+          done;
+          t.hb_next := now +. p
+        end;
+        upd !(t.hb_next)
+    | Some _ | None -> ());
+    Array.iter
+      (fun pe ->
+        if pe.dst <> t.me && pe.reactor = k then service_peer t pe now upd)
+      t.ps;
+    !next
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
-    ?(on_heartbeat = fun ~src:_ -> ()) ?obs ~me ~peers ~on_frame () =
+    ?(on_heartbeat = fun ~src:_ -> ()) ?obs ?flush_us ?io_domains ~me ~peers
+    ~on_frame () =
   (* A write to a peer that closed mid-stream must surface as [EPIPE]
-     for the writer thread to retry, not kill the process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+     for the flush path to handle, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let flush_us =
+    match flush_us with Some v -> v | None -> env_int "DMUTEX_FLUSH_US" 0
+  in
+  let n_io =
+    max 1 (match io_domains with
+          | Some v -> v
+          | None -> env_int "DMUTEX_IO_DOMAINS" 1)
+  in
   let ep = peers.(me) in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener
     (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port));
   Unix.listen listener 64;
-  let chans =
+  Unix.set_nonblock listener;
+  let reactors = Array.init n_io (fun _ -> Reactor.create ()) in
+  let ps =
     Array.init (Array.length peers) (fun dst ->
         {
           dst;
+          reactor = dst mod n_io;
           mu = Mutex.create ();
-          cond = Condition.create ();
-          q = Queue.create ();
-          fd = None;
-          writer_started = false;
+          ring = Ring.create max_queue;
+          conn = Off;
+          next_attempt = 0.0;
+          backoff = backoff_floor;
           connected_once = false;
+          fb = Flush.create ();
+          fb_pos = 0;
+          inflight = [];
+          last_tx = 0.0;
         })
   in
+  let now = Unix.gettimeofday () in
   let t =
     {
       me;
@@ -411,9 +821,13 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
       on_heartbeat;
       fault;
       listener;
-      chans;
+      ps;
+      reactors;
+      iconns = Array.init n_io (fun _ -> Hashtbl.create 8);
       max_queue;
       heartbeat_period;
+      hb_next = ref (now +. Option.value ~default:0.0 heartbeat_period);
+      flush_s = float_of_int flush_us /. 1_000_000.0;
       obs =
         Option.map
           (fun reg ->
@@ -428,6 +842,10 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
                 Registry.Counter.get reg Names.transport_retries_total;
               o_reconnects =
                 Registry.Counter.get reg Names.transport_reconnects_total;
+              o_flushes =
+                Registry.Counter.get reg Names.transport_flushes_total;
+              o_frames_per_flush =
+                Registry.Histogram.get reg Names.transport_frames_per_flush;
               o_queue_depth =
                 Registry.Gauge.get reg Names.transport_queue_depth;
             })
@@ -438,18 +856,20 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
       dropped = 0;
       retries = 0;
       reconnects = 0;
-      closed = false;
+      flushes = 0;
+      closed = Atomic.make false;
       loss = 0.0;
       loss_rng = Random.State.make [| seed; me |];
       backoff_rng = Random.State.make [| seed; me; 0xb0ff |];
-      inbound = ref [];
-      inbound_mu = Mutex.create ();
+      cork_depth = Atomic.make 0;
+      pending_wake = Array.init n_io (fun _ -> Atomic.make false);
+      accept_rr = ref 0;
     }
   in
-  ignore (Thread.create accept_loop t);
-  (match heartbeat_period with
-  | Some p when p > 0.0 -> ignore (Thread.create (heartbeat_loop t) p)
-  | _ -> ());
+  Reactor.add reactors.(0) listener ~read:true ~write:false
+    (fun ~readable ~writable:_ -> if readable then listener_readable t);
+  Array.iteri (fun k r -> Reactor.set_tick r (fun now -> tick t k now)) reactors;
+  Array.iter Reactor.start reactors;
   t
 
 let set_loss t p = bump t (fun t -> t.loss <- p)
@@ -458,11 +878,14 @@ let sent t = t.sent
 let queue_depth t =
   let total = ref 0 in
   Array.iter
-    (fun ch ->
-      Mutex.lock ch.mu;
-      total := !total + Queue.length ch.q;
-      Mutex.unlock ch.mu)
-    t.chans;
+    (fun pe ->
+      if pe.dst <> t.me then begin
+        Mutex.lock pe.mu;
+        total := !total + Ring.length pe.ring;
+        Mutex.unlock pe.mu;
+        total := !total + List.length pe.inflight
+      end)
+    t.ps;
   !total
 
 let metrics t =
@@ -474,6 +897,7 @@ let metrics t =
       dropped = t.dropped;
       retries = t.retries;
       reconnects = t.reconnects;
+      flushes = t.flushes;
       queue_depth = 0;
     }
   in
@@ -487,44 +911,25 @@ let metrics t =
   | None -> ());
   { m with queue_depth = qd }
 
+(* Must not be called from a transport callback (it joins the I/O
+   domains). Safe to call more than once. *)
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    (* A thread parked in [accept] pins the listening socket (the port
-       would stay bound); poke it with a throwaway self-connection so
-       the accept loop observes [closed] and exits. *)
-    (try
-       let ep = t.peers.(t.me) in
-       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-       (try
-          Unix.connect fd
-            (Unix.ADDR_INET (Unix.inet_addr_of_string ep.host, ep.port))
-        with _ -> ());
-       try Unix.close fd with _ -> ()
-     with _ -> ());
-    (try Unix.close t.listener with _ -> ());
-    (* Readers are parked in [read]: a plain close would not wake them
-       (and would leave the connection established, so peers would
-       keep "delivering" into a dead endpoint). [shutdown] forces EOF
-       on our side and a FIN to the sender; each reader then closes
-       and unregisters its own fd. *)
-    Mutex.lock t.inbound_mu;
-    List.iter
-      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
-      !(t.inbound);
-    Mutex.unlock t.inbound_mu;
-    Array.iter
-      (fun ch ->
-        Mutex.lock ch.mu;
-        Condition.broadcast ch.cond;
-        (* Writer threads close their own fd on exit; cover channels
-           whose writer never started. *)
-        if not ch.writer_started then begin
-          (match ch.fd with
-          | Some fd -> ( try Unix.close fd with _ -> ())
-          | None -> ());
-          ch.fd <- None
-        end;
-        Mutex.unlock ch.mu)
-      t.chans
+  if not (Atomic.exchange t.closed true) then begin
+    Array.iteri
+      (fun k r ->
+        Reactor.post r (fun () ->
+            if k = 0 then (try Unix.close t.listener with _ -> ());
+            Hashtbl.iter (fun _ ic -> close_iconn t k ic)
+              (Hashtbl.copy t.iconns.(k));
+            Array.iter
+              (fun pe ->
+                if pe.reactor = k && pe.dst <> t.me then begin
+                  (match pe.conn with
+                  | On fd | Connecting (fd, _) -> close_conn_fd t pe fd
+                  | Off -> ());
+                  Flush.release pe.fb
+                end)
+              t.ps))
+      t.reactors;
+    Array.iter Reactor.stop t.reactors
   end

@@ -4,22 +4,29 @@
     that starts with a {!Wire.Frame} header (sender id + kind + lock
     key), so many protocol instances multiplex over the same
     supervised connections and the receiver demultiplexes payloads by
-    lock key. A {!t} owns one listening socket plus one {e supervised
-    outbound channel} per peer: a bounded send queue with its own mutex,
-    drained by a dedicated writer thread that (re)connects lazily with
-    capped exponential backoff and jitter. A dead or slow peer can
-    therefore only stall its own channel — never sends to the rest of
-    the cluster — and transient socket errors are retried instead of
-    silently losing the frame. Incoming frames from any peer are
-    handed to the receive callback on a dedicated reader thread per
-    connection. *)
+    lock key.
+
+    A {!t} owns one listening socket plus one {e supervised outbound
+    channel} per peer, all driven by a small fixed pool of I/O event
+    loops ({!Reactor}, one domain each). Outbound frames land in a
+    bounded per-peer ring buffer; the owning reactor (re)connects
+    lazily with capped exponential backoff and jitter, serializes
+    every due frame for a peer into one pooled buffer and flushes it
+    with one [write] syscall (a {e coalesced flush}). A dead or slow
+    peer can therefore only stall its own ring — never sends to the
+    rest of the cluster — and transient socket errors requeue the
+    unsent tail of the interrupted flush instead of losing it.
+    Incoming frames are parsed in place out of pooled per-connection
+    buffers, many per syscall, and handed to the receive callback on
+    the reactor that owns the connection. *)
 
 type endpoint = { host : string; port : int }
 
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
 (** Counters mirroring [Simkit.Network]'s accounting on live sockets.
-    Only data frames count; transport heartbeats are invisible here. *)
+    Only data frames count; transport heartbeats are invisible here
+    (except in [flushes], which counts syscalls, not frames). *)
 type metrics = {
   sent : int;  (** Data frames successfully handed to the kernel. *)
   delivered : int;  (** Inbound data frames handed to [on_frame]. *)
@@ -29,7 +36,11 @@ type metrics = {
           an unreachable peer. Never also counted in [sent]. *)
   retries : int;  (** Failed connect/write attempts that were retried. *)
   reconnects : int;  (** Connections re-established after the first. *)
-  queue_depth : int;  (** Frames currently waiting across all channels. *)
+  flushes : int;
+      (** Outbound [write] syscalls. [sent / flushes] is the realized
+          coalescing factor; the [?obs] histogram
+          [dmutex_transport_frames_per_flush] gives its distribution. *)
+  queue_depth : int;  (** Frames currently waiting across all rings. *)
 }
 
 val pp_metrics : Format.formatter -> metrics -> unit
@@ -43,45 +54,68 @@ val create :
   ?seed:int ->
   ?on_heartbeat:(src:int -> unit) ->
   ?obs:Dmutex_obs.Registry.t ->
+  ?flush_us:int ->
+  ?io_domains:int ->
   me:int ->
   peers:endpoint array ->
   on_frame:(src:int -> lock:string -> string -> unit) ->
   unit ->
   t
 (** [create ~me ~peers ~on_frame ()] binds and listens on
-    [peers.(me)].port and starts the accept loop. [on_frame] runs on
-    reader threads; it must be thread-safe, and receives the lock key
-    the frame was addressed to so the caller can route it to the right
-    protocol instance. Each frame carries the sender's id, so [src] is
-    trustworthy only on a trusted network — this is a research
-    runtime, not an authenticated one.
+    [peers.(me)].port and starts the reactor pool. [on_frame] runs on
+    reactor domains; it must be thread-safe, must not call {!close},
+    and receives the lock key the frame was addressed to so the caller
+    can route it to the right protocol instance. Each frame carries
+    the sender's id, so [src] is trustworthy only on a trusted network
+    — this is a research runtime, not an authenticated one.
 
     [fault] installs a chaos interceptor consulted for every outgoing
-    frame (and re-checked for connectivity at write and receive time);
+    frame (and re-checked for connectivity at flush and receive time);
     normally one injector shared by a whole in-process cluster.
-    [heartbeat_period] > 0 starts a thread that sends a transport
-    heartbeat to every peer each period; arrivals are reported via
-    [on_heartbeat] and feed peer-liveness monitoring upstream.
-    [max_queue] bounds each per-peer send queue (default 1024 frames);
-    [seed] makes the loss and backoff-jitter draws reproducible.
-    [obs] mirrors every counter bump into that registry's
-    [dmutex_transport_*] series ({!Dmutex_obs.Names}); [metrics] reads
-    additionally sample the queue depth into its gauge. *)
+    [heartbeat_period] > 0 emits a transport heartbeat to every peer
+    each period — except peers some frame was already written to
+    within the period, whose traffic {e piggybacks} the liveness
+    signal; arrivals are reported via [on_heartbeat] and feed
+    peer-liveness monitoring upstream. [max_queue] bounds each
+    per-peer ring (default 1024 frames); [seed] makes the loss and
+    backoff-jitter draws reproducible. [obs] mirrors every counter
+    bump into that registry's [dmutex_transport_*] series
+    ({!Dmutex_obs.Names}); [metrics] reads additionally sample the
+    queue depth into its gauge.
+
+    [flush_us] (default [DMUTEX_FLUSH_US] or 0) holds each frame back
+    up to that many microseconds so more frames share one coalesced
+    flush; 0 flushes on the next reactor pass, which already batches
+    whatever a protocol step produced. [io_domains] (default
+    [DMUTEX_IO_DOMAINS] or 1) sizes the reactor pool; peers are
+    assigned round-robin. *)
 
 val send : t -> dst:int -> ?lock:string -> string -> bool
 (** Frame a payload for lock instance [lock] (default [""]) and hand
-    it to [dst]'s outbound channel. Returns
-    [false] only if the transport is closed, [dst] is this node or out
-    of range, or the channel's queue is full — [true] means {e
-    accepted}, not yet written: the writer thread delivers (or retries
-    and eventually sheds) it asynchronously. A frame eaten by chaos
-    ({!set_loss} or a [fault] verdict) also returns [true]: to the
-    caller the network ate it, which is exactly what the Section 6
-    machinery must tolerate; the counters record it as [dropped] and
-    never as [sent]. *)
+    it to [dst]'s outbound ring. Returns [false] only if the transport
+    is closed, [dst] is this node or out of range, or the ring is full
+    — [true] means {e accepted}, not yet written: the owning reactor
+    delivers (or retries and eventually sheds) it asynchronously. A
+    frame eaten by chaos ({!set_loss} or a [fault] verdict) also
+    returns [true]: to the caller the network ate it, which is exactly
+    what the Section 6 machinery must tolerate; the counters record it
+    as [dropped] and never as [sent]. *)
 
 val broadcast : t -> ?lock:string -> string -> int
-(** Send to every other peer; returns how many frames were accepted. *)
+(** Send to every other peer; returns how many frames were accepted.
+    Internally corked, so all copies ride one reactor pass. *)
+
+val cork : t -> unit
+(** Suspend reactor wake-ups: frames sent while corked are queued but
+    the owning reactors are only woken by the matching {!uncork}, so
+    everything sent inside a cork window coalesces into the same
+    flush(es). Nestable; cheap (two atomic ops). The protocol layer
+    corks around a state-machine step so every frame the step emits —
+    REQUESTs, token forwards, grants, across all lock instances —
+    rides one syscall per peer. *)
+
+val uncork : t -> unit
+(** Leave the cork window, waking every reactor with latched sends. *)
 
 val set_loss : t -> float -> unit
 (** Drop each outgoing frame with this probability {e before} it
@@ -95,5 +129,25 @@ val sent : t -> int
 val metrics : t -> metrics
 
 val close : t -> unit
-(** Stop the accept, writer and heartbeat threads and close every
-    socket. Queued frames are discarded. Idempotent. *)
+(** Stop the reactor pool (joining its domains) and close every
+    socket. Queued frames are discarded. Idempotent. Must not be
+    called from a transport callback. *)
+
+(** The coalesced-flush serializer: frames append into one pooled
+    buffer ready for a single [write]. Exposed for the
+    [kernel:transport-flush] microbenchmark; not part of the messaging
+    API. *)
+module Flush : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val reset : t -> unit
+  val release : t -> unit
+
+  val add_frame : t -> src:int -> lock:string -> Wire.Frame.kind -> string -> unit
+  (** Append one length-prefixed frame, growing via the buffer pool. *)
+
+  val write : t -> Unix.file_descr -> pos:int -> int
+  (** One [write] syscall of everything from [pos]; returns the count. *)
+end

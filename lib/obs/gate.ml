@@ -16,7 +16,7 @@ type check = {
 let get path json = Option.bind (Json.path path json) Json.num
 
 let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
-    ~baseline ~current () =
+    ?sharded_floor ~baseline ~current () =
   let checks =
     [
       {
@@ -52,9 +52,11 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
         label = "sharded aggregate throughput";
         path = [ "derived"; "sharded"; "cs_per_sec" ];
         (* Live wall-clock rate on a shared runner: same looseness as
-           the wall-clock check. *)
+           the wall-clock check. The optional absolute floor pins the
+           reactor transport's throughput win so a drifting baseline
+           cannot ratchet it away. *)
         tolerance = wall_tolerance;
-        band = None;
+        band = Option.map (fun lo -> (lo, infinity)) sharded_floor;
         direction = Lower_bad;
         optional = true;
       };

@@ -39,6 +39,11 @@ val run :
   (* wall-clock relative tolerance, default 0.25 *)
   ?band:float * float ->
   (* absolute high-load messages-per-CS band, default (2.5, 4.5) *)
+  ?sharded_floor:float ->
+  (* absolute floor on the sharded experiment's aggregate cs_per_sec;
+     default none. Like [band], it applies regardless of the baseline,
+     pinning the transport's throughput so later changes cannot walk
+     it back one tolerated regression at a time. *)
   baseline:Json.t ->
   current:Json.t ->
   unit ->

@@ -30,6 +30,10 @@ let transport_dropped_total = "dmutex_transport_dropped_total"
 let transport_retries_total = "dmutex_transport_retries_total"
 let transport_reconnects_total = "dmutex_transport_reconnects_total"
 let transport_queue_depth = "dmutex_transport_queue_depth" (* gauge *)
+let transport_flushes_total = "dmutex_transport_flushes_total"
+
+let transport_frames_per_flush = "dmutex_transport_frames_per_flush"
+(* histogram: frames coalesced into one flush syscall *)
 
 (* Liveness / node runtime *)
 let suspicions_total = "dmutex_suspicions_total"

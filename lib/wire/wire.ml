@@ -143,39 +143,60 @@ module Frame = struct
   let fixed_len = 8
   let max_lock_len = 0xFFFF
 
-  let encode_header ~src ~lock kind =
+  let header_len ~lock =
     let ll = String.length lock in
     if ll > max_lock_len then
-      invalid_arg "Frame.encode_header: lock key longer than 65535 bytes";
-    let b = Bytes.create (fixed_len + ll) in
-    Bytes.set_uint8 b 0 format_version;
-    Bytes.set_int32_be b 1 (Int32.of_int src);
-    Bytes.set_uint8 b 5 (match kind with Data -> 0 | Heartbeat -> 1);
-    Bytes.set_uint16_be b 6 ll;
-    Bytes.blit_string lock 0 b fixed_len ll;
+      invalid_arg "Frame.header_len: lock key longer than 65535 bytes";
+    fixed_len + ll
+
+  (* Write the header into [b] at [pos] without allocating; returns
+     the offset just past the header. The transport serializes whole
+     coalesced flushes through this into one pooled buffer. *)
+  let blit_header b ~pos ~src ~lock kind =
+    let ll = String.length lock in
+    if ll > max_lock_len then
+      invalid_arg "Frame.blit_header: lock key longer than 65535 bytes";
+    Bytes.set_uint8 b pos format_version;
+    Bytes.set_int32_be b (pos + 1) (Int32.of_int src);
+    Bytes.set_uint8 b (pos + 5) (match kind with Data -> 0 | Heartbeat -> 1);
+    Bytes.set_uint16_be b (pos + 6) ll;
+    Bytes.blit_string lock 0 b (pos + fixed_len) ll;
+    pos + fixed_len + ll
+
+  let encode_header ~src ~lock kind =
+    let b = Bytes.create (header_len ~lock) in
+    ignore (blit_header b ~pos:0 ~src ~lock kind);
     Bytes.unsafe_to_string b
 
-  let decode_header s =
-    if String.length s < fixed_len then
-      fail "frame shorter than its %d-byte header (%d bytes)" fixed_len
-        (String.length s);
-    let v = String.get_uint8 s 0 in
+  (* Decode a frame header in place from [len] bytes of [b] starting
+     at [off] — the pooled-read-buffer twin of {!decode_header}.
+     [payload_start] is relative to [off]. Only the lock key is
+     materialized (the receiver needs it as a lookup key anyway). *)
+  let decode_header_bytes b ~off ~len =
+    if len < fixed_len then
+      fail "frame shorter than its %d-byte header (%d bytes)" fixed_len len;
+    let v = Bytes.get_uint8 b off in
     if v <> format_version then
       fail "frame format version mismatch: peer speaks v%d, this node v%d" v
         format_version;
-    let src = Int32.to_int (String.get_int32_be s 1) in
+    let src = Int32.to_int (Bytes.get_int32_be b (off + 1)) in
     let kind =
-      match String.get_uint8 s 5 with
+      match Bytes.get_uint8 b (off + 5) with
       | 0 -> Data
       | 1 -> Heartbeat
       | k -> fail "unknown frame kind %d" k
     in
-    let ll = String.get_uint16_be s 6 in
-    if String.length s < fixed_len + ll then
+    let ll = Bytes.get_uint16_be b (off + 6) in
+    if len < fixed_len + ll then
       fail "frame truncated inside its %d-byte lock key (%d bytes total)" ll
-        (String.length s);
-    let lock = String.sub s fixed_len ll in
+        len;
+    let lock = Bytes.sub_string b (off + fixed_len) ll in
     { src; kind; lock; payload_start = fixed_len + ll }
+
+  let decode_header s =
+    decode_header_bytes
+      (Bytes.unsafe_of_string s)
+      ~off:0 ~len:(String.length s)
 end
 
 module type CODEC = sig

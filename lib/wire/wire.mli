@@ -105,8 +105,24 @@ module Frame : sig
   val max_lock_len : int
   (** Longest lock key the header can carry (65535 bytes). *)
 
+  val header_len : lock:string -> int
+  (** Bytes the header for [lock] occupies ({!fixed_len} plus the key);
+      raises [Invalid_argument] when [lock] exceeds {!max_lock_len}. *)
+
+  val blit_header : Bytes.t -> pos:int -> src:int -> lock:string -> kind -> int
+  (** Write the header into [b] at [pos] without allocating; returns
+      the offset just past it. The transport serializes coalesced
+      flushes through this straight into a pooled buffer. The caller
+      guarantees [header_len ~lock] bytes of room. *)
+
   val encode_header : src:int -> lock:string -> kind -> string
   (** Raises [Invalid_argument] when [lock] exceeds {!max_lock_len}. *)
+
+  val decode_header_bytes : Bytes.t -> off:int -> len:int -> header
+  (** Parse a header in place from [len] bytes of [b] at [off] — the
+      pooled-read-buffer twin of {!decode_header}. [payload_start] is
+      relative to [off]; only the lock key is materialized. Same
+      failure cases as {!decode_header}. *)
 
   val decode_header : string -> header
   (** Parse the header at the front of a frame body; raises

@@ -514,11 +514,128 @@ let test_timer_deadline_precision () =
   Alcotest.(check bool) "cancelled timer never fired" true
     (List.assoc_opt 2 st.Tick.fires = None)
 
+(* Satellite regression for heartbeat piggybacking: the transport
+   suppresses a peer's beacon whenever some frame was already written
+   to it within the period, so heavy REQUEST traffic must never
+   starve the liveness signal — no false suspicions of live nodes
+   while data flows, a crashed node still suspected within the
+   monitor deadline, and alive again on return. *)
+let test_heartbeat_piggyback_liveness () =
+  let n = 3 in
+  let cfg = soak_cfg n in
+  let locks = [ "hb-a"; "hb-b"; "hb-c"; "hb-d" ] in
+  let peers =
+    Array.init n (fun i ->
+        { Netkit.Transport.host = "127.0.0.1"; port = 8751 + i })
+  in
+  let events = ref [] in
+  let mu = Mutex.create () in
+  let record me what peer =
+    Mutex.lock mu;
+    events := (Unix.gettimeofday (), me, what, peer) :: !events;
+    Mutex.unlock mu
+  in
+  let snapshot () =
+    Mutex.lock mu;
+    let l = List.rev !events in
+    Mutex.unlock mu;
+    l
+  in
+  let make me =
+    RCluster.Node.create ~heartbeat_period:0.1 ~suspect_timeout:0.4
+      ~on_suspect:(record me `Suspect)
+      ~on_alive:(record me `Alive) ~locks cfg ~me ~peers ()
+  in
+  let nodes = Array.init n make in
+  (* Phase 1 — heavy multi-lock REQUEST traffic for a stretch many
+     suspect-timeouts long: beacons are suppressed behind the data,
+     which must itself keep every monitor fed. *)
+  let stop = Atomic.make false in
+  let served = Atomic.make 0 in
+  let workers =
+    List.concat_map
+      (fun lock ->
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                while not (Atomic.get stop) do
+                  match
+                    RCluster.Node.with_lock ~timeout:5.0 ~lock nodes.(i)
+                      (fun () -> ())
+                  with
+                  | Some () -> Atomic.incr served
+                  | None -> ()
+                done)
+              ()))
+      locks
+  in
+  Thread.delay 1.2;
+  Atomic.set stop true;
+  List.iter Thread.join workers;
+  Alcotest.(check bool)
+    (Printf.sprintf "traffic actually flowed (%d grants)" (Atomic.get served))
+    true
+    (Atomic.get served >= 30);
+  Alcotest.(check int) "no false suspicion under batched-REQUEST load" 0
+    (List.length (snapshot ()));
+  (* Phase 2 — crash node 2: with the chatter gone the survivors must
+     still notice within the monitor deadline (plus scheduling slack;
+     the beacon suppression must not have pushed last-heard stale). *)
+  let t_crash = Unix.gettimeofday () in
+  RCluster.Node.crash nodes.(2);
+  let suspected_by i =
+    List.exists
+      (fun (_, me, what, peer) -> me = i && what = `Suspect && peer = 2)
+      (snapshot ())
+  in
+  let both_suspect =
+    let deadline = t_crash +. 2.0 in
+    let rec go () =
+      if suspected_by 0 && suspected_by 1 then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+    in
+    go ()
+  in
+  Alcotest.(check bool) "crashed node suspected within deadline + slack" true
+    both_suspect;
+  Alcotest.(check bool) "node 2 listed suspect" true
+    (List.mem 2 (RCluster.Node.suspected nodes.(0)));
+  (* Phase 3 — the node returns (fresh process, same endpoint): the
+     first frames heard from it must flip the monitors back. *)
+  let reborn = make 2 in
+  let alive_on i =
+    List.exists
+      (fun (ts, me, what, peer) ->
+        ts > t_crash && me = i && what = `Alive && peer = 2)
+      (snapshot ())
+  in
+  let both_alive =
+    let deadline = Unix.gettimeofday () +. 3.0 in
+    let rec go () =
+      if alive_on 0 && alive_on 1 then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+    in
+    go ()
+  in
+  Alcotest.(check bool) "alive fires when the node returns" true both_alive;
+  RCluster.Node.shutdown reborn;
+  Array.iter RCluster.Node.shutdown nodes
+
 let suite =
   ( "chaos",
     [
       Alcotest.test_case "timer deadline precision" `Quick
         test_timer_deadline_precision;
+      Alcotest.test_case "heartbeat piggybacking keeps liveness" `Slow
+        test_heartbeat_piggyback_liveness;
       Alcotest.test_case "with_lock timeout drains stale grant" `Quick
         test_with_lock_timeout_drains;
       Alcotest.test_case "empty schedule is invisible" `Slow

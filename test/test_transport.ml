@@ -296,6 +296,270 @@ let test_one_dead_peer_does_not_stall_others () =
        elapsed)
     true (elapsed < 2.0)
 
+(* A stateful frame reader over a raw socket: coalesced flushes put
+   many frames into one read, so the carry buffer must persist across
+   frames. [next ()] returns None at EOF. *)
+let frame_reader fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec need n =
+    Buffer.length buf >= n
+    ||
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> false
+    | got ->
+        Buffer.add_subbytes buf chunk 0 got;
+        need n
+  in
+  let take n =
+    let s = Buffer.contents buf in
+    let h = String.sub s 0 n in
+    Buffer.clear buf;
+    Buffer.add_substring buf s n (String.length s - n);
+    h
+  in
+  fun () ->
+    if not (need 4) then None
+    else
+      let len = Int32.to_int (String.get_int32_be (take 4) 0) in
+      if not (need len) then None
+      else
+        let body = take len in
+        let h = Wire.Frame.decode_header body in
+        Some
+          ( h.Wire.Frame.kind,
+            String.sub body h.Wire.Frame.payload_start
+              (String.length body - h.Wire.Frame.payload_start) )
+
+(* Regression for the old writer-thread start race: two sends racing
+   the channel's first use could each decide to start a writer and
+   open two connections. The reactor design leaves exactly one owner
+   per peer; pin it by racing 8 threads' first sends at a raw
+   accept-counting listener and counting connections and frames. *)
+let test_no_double_connection () =
+  let port = 8731 in
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (addr port);
+  Unix.listen srv 16;
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8732 };
+    |]
+  in
+  let tr =
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
+  in
+  let barrier = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < 8 do
+              Thread.yield ()
+            done;
+            ignore (Netkit.Transport.send tr ~dst:0 (Printf.sprintf "race-%d" i)))
+          ())
+  in
+  List.iter Thread.join threads;
+  (* Count accepted connections and frames for a settling window. *)
+  let conns = ref [] and payloads = ref [] in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec accept_loop () =
+    let now = Unix.gettimeofday () in
+    if now < deadline then begin
+      match Unix.select [ srv ] [] [] (deadline -. now) with
+      | [], _, _ -> accept_loop ()
+      | _ ->
+          let fd, _ = Unix.accept srv in
+          conns := fd :: !conns;
+          ignore
+            (Thread.create
+               (fun () ->
+                 let next = frame_reader fd in
+                 let rec drain () =
+                   match next () with
+                   | Some (Wire.Frame.Data, p) ->
+                       payloads := p :: !payloads;
+                       drain ()
+                   | Some (Wire.Frame.Heartbeat, _) -> drain ()
+                   | None -> ()
+                   | exception _ -> ()
+                 in
+                 drain ())
+               ());
+          accept_loop ()
+    end
+  in
+  accept_loop ();
+  let all_in =
+    wait_for (fun () -> List.length !payloads >= 8)
+  in
+  Netkit.Transport.close tr;
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) !conns;
+  Unix.close srv;
+  Alcotest.(check int) "exactly one connection for 8 racing first sends" 1
+    (List.length !conns);
+  Alcotest.(check bool) "all 8 racing frames arrived" true all_in;
+  Alcotest.(check int) "no frame duplicated" 8
+    (List.length (List.sort_uniq compare !payloads))
+
+let test_partial_write_large_frames () =
+  (* Frames far bigger than a socket buffer force the flush into
+     partial writes; every byte must still arrive, in order. *)
+  let tr, snapshot = listener ~port:8733 ~peer_port:8734 in
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port = 8733 };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8734 };
+    |]
+  in
+  let sender =
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
+  in
+  let big i = String.make 524_288 (Char.chr (Char.code 'a' + i)) in
+  Netkit.Transport.cork sender;
+  for i = 0 to 5 do
+    Alcotest.(check bool) "big frame accepted" true
+      (Netkit.Transport.send sender ~dst:0 (big i))
+  done;
+  Netkit.Transport.uncork sender;
+  let all_in = wait_for ~timeout:15.0 (fun () -> List.length (snapshot ()) >= 6) in
+  let got = snapshot () in
+  let m = Netkit.Transport.metrics sender in
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "all six 512KB frames delivered" true all_in;
+  List.iteri
+    (fun i (_, _, p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "frame %d intact and in order" i)
+        true
+        (String.length p = 524_288 && p.[0] = Char.chr (Char.code 'a' + i)))
+    got;
+  Alcotest.(check int) "none dropped" 0 m.Netkit.Transport.dropped;
+  Alcotest.(check int) "all counted sent" 6 m.Netkit.Transport.sent
+
+let test_cork_coalesces_multi_lock () =
+  (* Frames for many lock instances sent inside one cork window ride
+     fewer write syscalls than frames — and still arrive in enqueue
+     order with their keys intact. *)
+  let tr, snapshot = listener ~port:8735 ~peer_port:8736 in
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port = 8735 };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8736 };
+    |]
+  in
+  let sender =
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
+  in
+  (* Establish the connection so the corked batch hits a live socket. *)
+  ignore (Netkit.Transport.send sender ~dst:0 "warmup");
+  Alcotest.(check bool) "warmup delivered" true
+    (wait_for (fun () -> List.length (snapshot ()) >= 1));
+  Netkit.Transport.cork sender;
+  for i = 0 to 15 do
+    ignore
+      (Netkit.Transport.send sender ~dst:0
+         ~lock:(Printf.sprintf "shard-%d" (i mod 4))
+         (Printf.sprintf "m-%02d" i))
+  done;
+  Netkit.Transport.uncork sender;
+  let all_in = wait_for (fun () -> List.length (snapshot ()) >= 17) in
+  let got = snapshot () in
+  let m = Netkit.Transport.metrics sender in
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "warmup + 16 corked frames delivered" true all_in;
+  Alcotest.(check int) "all counted sent" 17 m.Netkit.Transport.sent;
+  Alcotest.(check bool)
+    (Printf.sprintf "coalesced: %d flushes for %d frames"
+       m.Netkit.Transport.flushes m.Netkit.Transport.sent)
+    true
+    (m.Netkit.Transport.flushes < m.Netkit.Transport.sent);
+  let batch = List.filteri (fun i _ -> i >= 1) got in
+  List.iteri
+    (fun i (_, lock, p) ->
+      Alcotest.(check string)
+        (Printf.sprintf "frame %d in enqueue order" i)
+        (Printf.sprintf "m-%02d" i) p;
+      Alcotest.(check string)
+        (Printf.sprintf "frame %d key intact" i)
+        (Printf.sprintf "shard-%d" (i mod 4))
+        lock)
+    batch
+
+let test_flush_timer_liveness () =
+  (* A flush timer must delay frames, not lose them — and an empty
+     ring between sends must not wedge the reactor's timer path. *)
+  let tr, snapshot = listener ~port:8737 ~peer_port:8738 in
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port = 8737 };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8738 };
+    |]
+  in
+  let sender =
+    Netkit.Transport.create ~me:1 ~peers ~flush_us:3000
+      ~on_frame:(fun ~src:_ ~lock:_ _ -> ())
+      ()
+  in
+  ignore (Netkit.Transport.send sender ~dst:0 "timed-1");
+  Alcotest.(check bool) "frame delivered despite flush delay" true
+    (wait_for (fun () -> List.mem (1, "", "timed-1") (snapshot ())));
+  (* Let the ring drain completely, then prove the loop still runs. *)
+  Thread.delay 0.2;
+  ignore (Netkit.Transport.send sender ~dst:0 "timed-2");
+  Alcotest.(check bool) "second frame delivered after idle ring" true
+    (wait_for (fun () -> List.mem (1, "", "timed-2") (snapshot ())));
+  let m = Netkit.Transport.metrics sender in
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr;
+  Alcotest.(check int) "nothing dropped" 0 m.Netkit.Transport.dropped;
+  Alcotest.(check int) "both counted sent" 2 m.Netkit.Transport.sent
+
+let test_reconnect_preserves_pending_ring () =
+  (* Frames queued against a not-yet-listening endpoint must survive
+     the failed connect attempts and all land, in order, once the
+     endpoint appears — no loss, no duplication, nothing shed. *)
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port = 8739 };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8740 };
+    |]
+  in
+  let sender =
+    Netkit.Transport.create ~me:1 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ()) ()
+  in
+  for i = 1 to 20 do
+    Alcotest.(check bool) "frame to dead endpoint accepted" true
+      (Netkit.Transport.send sender ~dst:0 (Printf.sprintf "pending-%02d" i))
+  done;
+  Thread.delay 0.2;
+  let tr, snapshot = listener ~port:8739 ~peer_port:8740 in
+  let all_in =
+    wait_for ~timeout:15.0 (fun () -> List.length (snapshot ()) >= 20)
+  in
+  let got = snapshot () in
+  let m = Netkit.Transport.metrics sender in
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "all 20 queued frames delivered" true all_in;
+  List.iteri
+    (fun i (_, _, p) ->
+      Alcotest.(check string)
+        (Printf.sprintf "frame %d in order" i)
+        (Printf.sprintf "pending-%02d" (i + 1))
+        p)
+    got;
+  Alcotest.(check int) "nothing dropped" 0 m.Netkit.Transport.dropped;
+  Alcotest.(check int) "exactly 20 sent" 20 m.Netkit.Transport.sent;
+  Alcotest.(check bool) "failed connects counted as retries" true
+    (m.Netkit.Transport.retries >= 1)
+
 let suite =
   ( "transport",
     [
@@ -320,4 +584,14 @@ let suite =
         test_reconnect_after_close;
       Alcotest.test_case "dead peer cannot stall live peers" `Quick
         test_one_dead_peer_does_not_stall_others;
+      Alcotest.test_case "racing first sends open one connection" `Quick
+        test_no_double_connection;
+      Alcotest.test_case "partial writes on oversized frames" `Quick
+        test_partial_write_large_frames;
+      Alcotest.test_case "cork coalesces multi-lock frames" `Quick
+        test_cork_coalesces_multi_lock;
+      Alcotest.test_case "flush timer: delay without loss" `Quick
+        test_flush_timer_liveness;
+      Alcotest.test_case "reconnect preserves pending ring" `Slow
+        test_reconnect_preserves_pending_ring;
     ] )
