@@ -229,6 +229,7 @@ let micro_tests =
            granted = Array.make 10 3;
            epoch = 1;
            election = 99;
+           vepoch = 0;
          }
      in
      let enc = Wire.Protocol_codec.encode tok in

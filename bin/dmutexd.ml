@@ -125,6 +125,20 @@ let trace_file_arg =
            flush them to $(docv) as JSONL on exit — including signal- \
            driven shutdown." ~docv:"PATH")
 
+let join_arg =
+  Arg.(
+    value
+    & opt (some endpoint_conv) None
+    & info [ "join" ]
+        ~doc:
+          "Join a running cluster as a brand-new member: knock at this \
+           seed member's HOST:PORT (which must be another entry of \
+           --peers) with JOIN-REQUEST until a view commit admits the \
+           node. --peers lists the current members' addresses plus \
+           this node's own listen address at index --id. Durable state \
+           in --state-dir takes precedence: a restart rejoins the view \
+           it last committed instead of knocking anew." ~docv:"HOST:PORT")
+
 let state_dir_arg =
   Arg.(
     value
@@ -231,7 +245,7 @@ let serve_metrics (ep : Netkit.Transport.endpoint) reg =
        ())
 
 let run id peers locks demo verbose metrics_every loss heartbeat flush_us
-    metrics_addr trace_file state_dir =
+    metrics_addr trace_file join state_dir =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -239,6 +253,19 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
   if id < 0 || id >= n then (
     prerr_endline "--id out of range of --peers";
     exit 1);
+  let join_seed =
+    match join with
+    | None -> None
+    | Some ep ->
+        let idx = ref (-1) in
+        Array.iteri
+          (fun i p -> if !idx < 0 && i <> id && p = ep then idx := i)
+          peers;
+        if !idx < 0 then (
+          prerr_endline "--join address must be another entry of --peers";
+          exit 1);
+        Some !idx
+  in
   let cfg =
     { (Dmutex.Resilient.config ~n ()) with
       Dmutex.Types.Config.t_collect = 0.05;
@@ -296,17 +323,42 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
                 (lock, (store, Some state, inputs)))
           locks
   in
-  let store, initial, persist =
+  let store, persist =
     match per_lock with
-    | [] -> (None, None, None)
+    | [] -> (None, None)
     | _ ->
         ( Some
             (fun ~lock ->
               Option.map (fun (s, _, _) -> s) (List.assoc_opt lock per_lock)),
-          Some
-            (fun ~lock ->
-              Option.bind (List.assoc_opt lock per_lock) (fun (_, st, _) -> st)),
           Some Dmutex_store.Protocol_view.capture )
+  in
+  (* A joining node starts every instance outside the view, knocking
+     at the seed; a durable restart wins over the knock — the node
+     rejoins the view it last committed (Protocol_view.restore). *)
+  let joiner_init =
+    Option.map
+      (fun seed ->
+        let addr =
+          Printf.sprintf "%s:%d" peers.(id).Netkit.Transport.host
+            peers.(id).Netkit.Transport.port
+        in
+        fun () ->
+          ( Dmutex.Resilient.joiner cfg ~me:id ~seed ~addr,
+            [ Dmutex.Types.Timer_fired Dmutex.Resilient.T_view ] ))
+      join_seed
+  in
+  let restored ~lock =
+    Option.bind (List.assoc_opt lock per_lock) (fun (_, st, _) -> st)
+  in
+  let initial =
+    match (per_lock, joiner_init) with
+    | [], None -> None
+    | _ ->
+        Some
+          (fun ~lock ->
+            match restored ~lock with
+            | Some st -> Some st
+            | None -> Option.map (fun mk -> fst (mk ())) joiner_init)
   in
   let node =
     Node.create ?heartbeat_period
@@ -319,9 +371,16 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
       ~peers ()
   in
   List.iter
-    (fun (lock, (_, _, inputs)) ->
+    (fun lock ->
+      let inputs =
+        match (restored ~lock, List.assoc_opt lock per_lock, joiner_init) with
+        | Some _, Some (_, _, inputs), _ -> inputs
+        | _, _, Some mk -> snd (mk ())
+        | _, Some (_, _, inputs), None -> inputs
+        | _ -> []
+      in
       List.iter (Node.inject ~lock node) inputs)
-    per_lock;
+    locks;
   if loss > 0.0 then Node.set_loss node loss;
   if metrics_every > 0.0 then
     ignore
@@ -405,6 +464,6 @@ let main =
     Term.(
       const run $ id_arg $ peers_arg $ locks_arg $ demo_arg $ verbose_arg
       $ metrics_every_arg $ loss_arg $ heartbeat_arg $ flush_us_arg
-      $ metrics_addr_arg $ trace_file_arg $ state_dir_arg)
+      $ metrics_addr_arg $ trace_file_arg $ join_arg $ state_dir_arg)
 
 let () = exit (Cmd.eval main)

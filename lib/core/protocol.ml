@@ -8,11 +8,23 @@
 
 open Types
 
+type member = { mid : node_id; maddr : string }
+(* [maddr] is opaque metadata the pure protocol never interprets; the
+   TCP runtime packs "host:port" into it so a View_change doubles as
+   address distribution, while the simulator and model checker leave
+   it empty. *)
+
+type view = { vnum : int; vmembers : member list }
+(* The epoch-numbered membership view. [vnum] 0 is the birth view
+   (members 0..n-1); every committed join/leave increments it. Member
+   lists are kept sorted by id. *)
+
 type token = {
   tq : Qlist.t;
   granted : Qlist.Granted.g;
   epoch : int;
   election : int;
+  vepoch : int;
 }
 (* [epoch] is incremented each time a lost token is regenerated
    (Section 6); it lets nodes discard a stale token that resurfaces
@@ -20,7 +32,10 @@ type token = {
    [election] counts arbiter hand-offs: every dispatch increments it,
    and it rides in both the token and the NEW-ARBITER broadcast so
    that a reordered stale announcement can never re-elect a node that
-   has already passed the role on. *)
+   has already passed the role on. [vepoch] is the membership view
+   the token was last dispatched under: view changes are only
+   committed by a token-holding arbiter, so a token bearing an older
+   view epoch than the receiver's is provably stale and rejected. *)
 
 type enq_status = Have_token | Executed | Waiting_token
 
@@ -32,6 +47,20 @@ type new_arbiter = {
   na_monitor : node_id;  (* current monitor; -1 when the variant is off *)
   na_epoch : int;
   na_election : int;
+  na_view : view;
+}
+(* [na_view] makes every announcement an anti-entropy carrier for the
+   membership view: a member that missed a VIEW-CHANGE commit catches
+   up at the next broadcast instead of dropping the new member's
+   frames forever. *)
+
+type view_change = {
+  vc_view : view;  (* the proposed / committed new view *)
+  vc_commit : bool;  (* false = proposal (quorum phase), true = commit *)
+  vc_granted : Qlist.Granted.g;
+  vc_epoch : int;  (* coordinator's token epoch — joiner sync payload *)
+  vc_election : int;
+  vc_arbiter : node_id;
 }
 
 type message =
@@ -50,6 +79,14 @@ type message =
   | Invalidate of { round : int }
   | Probe
   | Probe_ack
+  | Join_request of member
+      (* a node outside the view asks to be admitted; relayed toward
+         the token-holding arbiter like a stashed request *)
+  | Leave_request of node_id
+      (* excise this node from the view (voluntary departure or an
+         operator/liveness decision); relayed like Join_request *)
+  | View_change of view_change
+  | View_ack of { va_vnum : int }
 
 type timer =
   | T_dispatch  (* end of the current request-collection window *)
@@ -60,6 +97,9 @@ type timer =
   | T_enquiry  (* arbiter's patience for ENQUIRY replies *)
   | T_watch  (* previous arbiter watching the new arbiter *)
   | T_probe  (* patience for a PROBE answer *)
+  | T_view
+      (* joiner: re-send JOIN-REQUEST until admitted; coordinator:
+         re-send VIEW-CHANGE to silent members until quorum/acks *)
 
 type role =
   | Normal
@@ -75,6 +115,18 @@ type recovery = {
   expected : node_id list;  (* peers we sent ENQUIRY to *)
   replied : node_id list;
   waiting : Qlist.t;  (* entries of peers that answered "waiting" *)
+}
+
+type pending_vc = {
+  pv_view : view;  (* the new view being installed *)
+  pv_quorum : int;  (* acks needed, counting ourselves *)
+  pv_acks : node_id list;
+  pv_committed : bool;
+      (* false: proposal phase — a majority of the OLD view must ack
+         before commit, so a partitioned minority can never change the
+         view. true: committed locally and broadcast; we keep
+         re-sending to silent new-view members until a majority of the
+         NEW view has acked (announcements carry the view onward). *)
 }
 
 type state = {
@@ -123,6 +175,16 @@ type state = {
      (or token) is absorbed, so any higher epoch heard resynchronizes
      us before our own REQUEST goes out. T_retry is the escape valve
      when the system is idle and no announcement ever comes. *)
+  view : view;  (* current membership view *)
+  joining : bool;
+  (* we are outside the view, periodically (T_view) sending
+     JOIN-REQUEST to our seed contact until a VIEW-CHANGE commit
+     containing us arrives *)
+  pending_vc : pending_vc option;
+  (* coordinator only: the view change we are installing. Dispatch is
+     deferred while a proposal is un-committed, so the token never
+     leaves the coordinator mid-view-change — which is exactly what
+     makes the token the serialization point for views. *)
   last_token_seen : float;
   (* recovery only: the last instant the live token was in our hands
      (received, held through a CS, dispatched or regenerated). A
@@ -136,6 +198,40 @@ type state = {
 let name = "banerjee-chrysanthis"
 
 let no_monitor = -1
+
+(* ------------------------------------------------------------------ *)
+(* Membership views                                                    *)
+
+let birth_view cfg =
+  { vnum = 0;
+    vmembers = List.init cfg.Config.n (fun i -> { mid = i; maddr = "" }) }
+
+let member_ids v = List.map (fun m -> m.mid) v.vmembers
+let is_member v j = List.exists (fun m -> m.mid = j) v.vmembers
+let view_size v = List.length v.vmembers
+let majority v = (view_size v / 2) + 1
+
+let sort_members ms =
+  List.sort_uniq (fun a b -> compare a.mid b.mid) ms
+
+(* Emit the legacy Broadcast effect while the view is still the birth
+   universe — runtimes deliver it to 0..n-1, and simulator/model-
+   checker/bench accounting stays bit-identical to the fixed-N
+   protocol. Any churned view uses explicit per-member sends. *)
+let is_birth cfg v = v.vnum = 0 && view_size v = cfg.Config.n
+
+let bcast cfg st msg =
+  if is_birth cfg st.view then [ Broadcast msg ]
+  else
+    List.filter_map
+      (fun m -> if m.mid = st.me then None else Some (Send (m.mid, msg)))
+      st.view.vmembers
+
+let note_view v =
+  Note
+    (Membership
+       { vepoch = v.vnum;
+         members = List.map (fun m -> (m.mid, m.maddr)) v.vmembers })
 
 let init cfg me =
   let cfg = Config.validate cfg in
@@ -157,7 +253,7 @@ let init cfg me =
       (if is_first then
          Some
            { tq = []; granted = Qlist.Granted.create cfg.Config.n; epoch = 0;
-             election = 0 }
+             election = 0; vepoch = 0 }
        else None);
     suspended = false;
     misses = 0;
@@ -176,6 +272,9 @@ let init cfg me =
     enq_round = 0;
     recovery = None;
     watching = false;
+    view = birth_view cfg;
+    joining = false;
+    pending_vc = None;
     amnesiac = false;
     sync_wait = false;
     (* Never: a node that has never touched the token must not treat
@@ -205,6 +304,26 @@ let rejoin cfg me =
     { base with amnesiac = true; sync_wait = true }
   else base
 
+(* A brand-new node outside every view: it knows only its own identity
+   and one seed member to contact. The runtime injects a first
+   [Timer_fired T_view]; every firing sends JOIN-REQUEST toward the
+   seed (relayed to the token-holding arbiter) and re-arms, until a
+   VIEW-CHANGE commit admits us. Application requests park behind
+   [sync_wait] until the commit's sync payload re-anchors us. *)
+let joiner cfg ~me ~seed ~addr =
+  let cfg = Config.validate cfg in
+  if seed = me then invalid_arg "Protocol.joiner: seed must differ from me";
+  let ia = if me = 0 then min 1 (cfg.Config.n - 1) else 0 in
+  let base = init { cfg with Config.initial_arbiter = ia } me in
+  {
+    base with
+    arbiter = seed;
+    prev_arbiter = seed;
+    view = { vnum = -1; vmembers = [ { mid = me; maddr = addr } ] };
+    joining = true;
+    sync_wait = true;
+  }
+
 type restored = {
   r_epoch : int;
   r_election : int;
@@ -212,6 +331,9 @@ type restored = {
   r_next_seq : int;
   r_granted : Qlist.Granted.g;
   r_had_token : bool;
+  r_view : (int * (node_id * string) list) option;
+      (* last durable membership view: a mid-churn restart must rejoin
+         the current view, not the birth view *)
 }
 
 (* A restart backed by a durable store: the monotone counters and the
@@ -223,6 +345,14 @@ type restored = {
    injects a WARNING to start the Section 6 invalidation. *)
 let rejoin_restored cfg me r =
   let base = rejoin cfg me in
+  let view =
+    match r.r_view with
+    | Some (vnum, ms) when vnum > 0 ->
+        { vnum;
+          vmembers =
+            sort_members (List.map (fun (mid, maddr) -> { mid; maddr }) ms) }
+    | _ -> base.view
+  in
   {
     base with
     amnesiac = false;
@@ -232,6 +362,12 @@ let rejoin_restored cfg me r =
     token_epoch = max base.token_epoch r.r_epoch;
     election = max base.election r.r_election;
     enq_round = max base.enq_round r.r_enq_round;
+    view;
+    arbiter = (if is_member view base.arbiter then base.arbiter
+               else (match member_ids view with
+                     | m :: _ when m <> me -> m
+                     | _ :: m :: _ -> m
+                     | _ -> base.arbiter));
   }
 
 let in_cs st = st.in_cs
@@ -367,6 +503,207 @@ let end_resync cfg ~now st =
     else (st, [])
 
 (* ------------------------------------------------------------------ *)
+(* Membership: adopting a committed view                               *)
+
+(* Adopt a newer committed view: every structure that can hold entries
+   (or identities) of excised nodes is drained — the Q-list inside a
+   held token, the collection queues, the stash, the monitor buffer,
+   the last announced Q-list, and an in-flight enquiry round's target
+   and reply sets — without losing the token. The sync payload's
+   monotone knowledge (L vector, token epoch, election) is absorbed,
+   and the change is surfaced to the runtime as a [Membership] note so
+   transports and liveness monitors re-point on the fly. *)
+(* Requests a node holds outside any token queue: the collection
+   queue, the pre-queue of an arbiter awaiting the token, the resync
+   stash, the monitor's parking buffer, and requests frozen by an
+   in-flight enquiry round. An excised arbiter must fold these into
+   the token it hands off — dropping them silently starves the
+   requesters, whose blind retries are finite. *)
+let parked_requests st =
+  (match st.role with
+  | Collecting { cq; _ } -> cq
+  | Await_token q -> q
+  | Normal | Forwarding _ -> [])
+  @ st.stash @ st.monitor_buffer
+  @ (match st.recovery with Some r -> r.waiting | None -> [])
+
+(* The queue an excised token-holder hands off: surviving token-queue
+   entries first, then surviving parked requests not already served.
+   Shared with [commit_view] so the arbiter named in the commit and
+   the heir the token actually goes to always agree. *)
+let drained_queue st (v : view) ~granted tk =
+  let keep e = is_member v e.Qlist.node in
+  let merged = Qlist.Granted.merge tk.granted granted in
+  List.fold_left
+    (fun acc e -> Qlist.enqueue e acc)
+    (List.filter keep tk.tq)
+    (Qlist.prune merged (List.filter keep (parked_requests st)))
+
+let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
+  let keep e = is_member v e.Qlist.node in
+  let filter_q = List.filter keep in
+  (* Survivors' requests parked at this node, not yet in any token. *)
+  let absorb tk =
+    { tk with
+      tq = drained_queue st v ~granted tk;
+      granted = Qlist.Granted.merge tk.granted granted }
+  in
+  if st.joining && not (is_member v st.me) then
+    (* Still outside the view: keep knocking. Adopting a universe that
+       excludes us would stop the join retries (and lose our own
+       address metadata). *)
+    (st, [])
+  else if not (is_member v st.me) then
+    if st.in_cs && st.token <> None then
+      (* Excised while inside the critical section: adopting the view
+         must not hand the token away under our feet — mutual
+         exclusion outranks membership. Adopt the view, shed every
+         other responsibility, but keep the token and the CS; the
+         hand-off happens at [Cs_done] (see [cs_done]). *)
+      ( { st with
+          view = v;
+          joining = false;
+          pending_vc = None;
+          role = Normal;
+          (* Parked survivor requests ride inside the kept token so
+             the [Cs_done] hand-off carries them to the heir. *)
+          token = Option.map absorb st.token;
+          outstanding = None;
+          pending = 0;
+          watching = false;
+          recovery = None;
+          stash = [];
+          monitor_buffer = [];
+          granted_known = Qlist.Granted.merge st.granted_known granted;
+          token_epoch = max st.token_epoch tepoch;
+          election = max st.election elec },
+        [ note_view v; Note (Custom "excised-in-cs");
+          Cancel_timer T_token; Cancel_timer T_retry;
+          Cancel_timer T_enquiry; Cancel_timer T_watch;
+          Cancel_timer T_probe; Cancel_timer T_view ] )
+    else
+    (* We were excised. If the token is in our hands (a voluntary
+       leave committed by ourselves as coordinator), hand it — stamped
+       with the new view — to an heir before going dark: the queue
+       head if any requests survive, else the lowest surviving id. *)
+    let handoff =
+      match st.token with
+      | None -> []
+      | Some tk ->
+          let tk = { (absorb tk) with vepoch = v.vnum } in
+          let heir =
+            match tk.tq with
+            | e :: _ -> e.Qlist.node
+            | [] -> (
+                match member_ids v with h :: _ -> h | [] -> st.me)
+          in
+          if heir = st.me then [] else [ Send (heir, Privilege tk) ]
+    in
+    ( { st with
+        view = v;
+        joining = false;
+        pending_vc = None;
+        role = Normal;
+        token = None;
+        outstanding = None;
+        pending = 0;
+        in_cs = false;
+        watching = false;
+        recovery = None;
+        stash = [];
+        monitor_buffer = [];
+        granted_known = Qlist.Granted.merge st.granted_known granted;
+        token_epoch = max st.token_epoch tepoch;
+        election = max st.election elec },
+      handoff
+      @ [ note_view v; Note (Custom "excised");
+          Cancel_timer T_token; Cancel_timer T_retry;
+          Cancel_timer T_enquiry; Cancel_timer T_watch;
+          Cancel_timer T_probe; Cancel_timer T_view ] )
+  else begin
+    let joined_now = st.joining in
+    (* The commit's arbiter field is a hint naming the heir at commit
+       time; the token may well have moved on since. Only let it
+       override a pointer that is demonstrably broken (names an
+       excised node) or loses a strictly newer election — a node that
+       has watched the token travel knows better than the commit. And
+       never adopt a hint naming ourselves unless we are actually
+       positioned to receive the token: a tokenless node believing
+       itself arbiter is a request sink (it suppresses its own retries
+       and swallows relayed requests, expecting a token that will
+       never come). *)
+    let expects_token =
+      st.token <> None
+      ||
+      match st.role with
+      | Await_token _ | Collecting _ -> true
+      | Normal | Forwarding _ -> false
+    in
+    let broken = elec > st.election || not (is_member v st.arbiter) in
+    let new_arbiter =
+      if not broken then st.arbiter
+      else if is_member v arbiter && (arbiter <> st.me || expects_token)
+      then arbiter
+      else
+        (* Hint unusable: re-point at some surviving peer — the
+           stash-relay chain walks the request to the real holder. *)
+        match List.filter (fun j -> j <> st.me) (member_ids v) with
+        | h :: _ -> h
+        | [] -> st.me
+    in
+    let st =
+      { st with
+        view = v;
+        joining = false;
+        token =
+          Option.map
+            (fun tk -> { tk with tq = filter_q tk.tq; vepoch = v.vnum })
+            st.token;
+        role =
+          (match st.role with
+          | Normal -> Normal
+          | Forwarding _ as r -> r
+          | Await_token q -> Await_token (filter_q q)
+          | Collecting c -> Collecting { c with cq = filter_q c.cq });
+        recovery =
+          Option.map
+            (fun r ->
+              { r with
+                expected = List.filter (is_member v) r.expected;
+                replied = List.filter (is_member v) r.replied;
+                waiting = filter_q r.waiting })
+            st.recovery;
+        stash = filter_q st.stash;
+        monitor_buffer = filter_q st.monitor_buffer;
+        last_q = filter_q st.last_q;
+        granted_known = Qlist.Granted.merge st.granted_known granted;
+        token_epoch = max st.token_epoch tepoch;
+        election = max st.election elec;
+        arbiter = new_arbiter }
+    in
+    let joined_effs = if joined_now then [ Cancel_timer T_view ] else [] in
+    (* Our outstanding request may have been parked at — or in flight
+       to — a node this view excised; those copies are gone, and blind
+       retries are finite. Re-issue it to the arbiter we now believe
+       in, with a fresh retry budget: duplicates are harmless (the
+       Q-list deduplicates, the granted ledger rejects the served). *)
+    let st, resend_effs =
+      match st.outstanding with
+      | Some seq
+        when st.arbiter <> st.me && (not st.in_cs)
+             && not
+                  (Qlist.Granted.already_served st.granted_known
+                     (Qlist.entry ~node:st.me ~seq ())) ->
+          ( { st with misses = 0; retries_left = cfg.Config.max_retries },
+            [ Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()));
+              Set_timer (T_retry, retry_delay cfg st) ] )
+      | _ -> (st, [])
+    in
+    let st, resync_effs = end_resync cfg ~now st in
+    (st, (note_view v :: joined_effs) @ resend_effs @ resync_effs)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Arbiter side: accepting, forwarding and dispatching requests        *)
 
 let accept_request cfg ~now st e =
@@ -404,6 +741,7 @@ let receive_request cfg ~now st e =
                 na_monitor = st.monitor;
                 na_epoch = st.token_epoch;
                 na_election = st.election;
+                na_view = st.view;
               } ) ] )
   else
     match st.role with
@@ -471,6 +809,7 @@ let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
         na_monitor = next_monitor;
         na_epoch = st.token_epoch;
         na_election = st.election;
+        na_view = st.view;
       }
   in
   match q with
@@ -490,8 +829,8 @@ let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
         (fun dst ->
           if dst = st.me || dst = e.Qlist.node then None
           else Some (Send (dst, msg)))
-        (List.init cfg.Config.n (fun i -> i))
-  | _ -> [ Broadcast msg ]
+        (member_ids st.view)
+  | _ -> bcast cfg st msg
 
 (* Give the token (with Q-list [q]) its first hop, or enter the CS
    directly when we head the list ourselves. *)
@@ -515,6 +854,16 @@ let launch_token cfg ~now st token =
    dispatch step. *)
 let dispatch cfg ~now st =
   match (st.role, st.token) with
+  | Collecting _, Some _
+    when (match st.pending_vc with
+         | Some pv -> not pv.pv_committed
+         | None -> false) ->
+      (* A view-change proposal is awaiting its quorum: hold the token
+         (the serialization point for views) and try again shortly. *)
+      ( st,
+        [ Set_timer
+            ( T_dispatch,
+              Float.max cfg.Config.t_collect cfg.Config.enquiry_timeout ) ] )
   | Collecting { cq; anchor; _ }, Some token ->
       let q = Qlist.prune token.granted cq in
       if q = [] then
@@ -570,7 +919,7 @@ let dispatch cfg ~now st =
           (* Section 4.1: hand the token to the monitor without
              broadcasting; the monitor augments Q, broadcasts with the
              counter reset, and forwards the token. *)
-          let token = { token with tq = q; election = base.election } in
+          let token = { token with tq = q; election = base.election; vepoch = base.view.vnum } in
           let st' =
             { base with
               token = None;
@@ -619,7 +968,7 @@ let dispatch cfg ~now st =
             announce cfg base ~prev_announced ~q ~counter
               ~next_monitor:st.monitor
           in
-          let token = { token with tq = q; election = base.election } in
+          let token = { token with tq = q; election = base.election; vepoch = base.view.vnum } in
           let st', launch_effs =
             if tail = st.me then begin
               (* We stay arbiter: after our own CS completes the token
@@ -730,6 +1079,25 @@ let cs_done cfg ~now st =
         { st with in_cs = false; granted_known =
             Qlist.Granted.merge st.granted_known granted }
       in
+      if not (is_member st.view st.me) then
+        (* Excised mid-CS ([apply_view] deferred the hand-off to keep
+           mutual exclusion): now that the CS is over, hand the token
+           — stamped with the committed view, drained of our own and
+           other excised entries — to the heir and go dark. *)
+        let tq =
+          List.filter (fun e -> is_member st.view e.Qlist.node) token.tq
+        in
+        let token = { token with tq; vepoch = st.view.vnum } in
+        let heir =
+          match tq with
+          | e :: _ -> e.Qlist.node
+          | [] -> ( match member_ids st.view with h :: _ -> h | [] -> st.me)
+        in
+        ( { st with token = None; role = Normal; suspended = false },
+          (if heir = st.me then []
+           else [ Send (heir, Privilege token) ])
+          @ [ Note (Custom "excised-handoff") ] )
+      else
       let st, effs =
         if st.suspended then
           (* An ENQUIRY froze us: hold the token until RESUME. *)
@@ -803,6 +1171,26 @@ let observe_qlist cfg st q =
       end
 
 let receive_new_arbiter cfg ~now st ~src na =
+  if na.na_view.vnum < st.view.vnum then
+    (* An announcement from a superseded membership universe: only its
+       monotone knowledge is absorbed; obeying its election could
+       resurrect an excised arbiter. *)
+    ( { st with
+        granted_known = Qlist.Granted.merge st.granted_known na.na_granted;
+        token_epoch = max st.token_epoch na.na_epoch },
+      [ Note (Custom "stale-view-announcement") ] )
+  else
+  let st, view_effs =
+    if na.na_view.vnum > st.view.vnum then
+      (* The announcement carries a newer view than ours (we missed a
+         VIEW-CHANGE commit): anti-entropy catch-up. *)
+      apply_view cfg ~now st na.na_view ~granted:na.na_granted
+        ~tepoch:na.na_epoch ~elec:na.na_election ~arbiter:na.na_arbiter
+    else (st, [])
+  in
+  if not (is_member st.view st.me) then (st, view_effs)
+  else
+  let st, main_effs =
   (* Split-brain repair: a healed partition can leave two arbiters,
      each with a token, both racing their election counters so neither
      ever adopts the other's announcement. Token epochs are the
@@ -973,12 +1361,16 @@ let receive_new_arbiter cfg ~now st ~src na =
   let st, effs' = observe_qlist cfg st na.na_q in
   (st, pre_effs @ effs @ resync_effs @ effs')
   end
+  in
+  (st, view_effs @ main_effs)
 
 (* ------------------------------------------------------------------ *)
 (* Monitor pass (Section 4.1)                                          *)
 
 let receive_monitor_privilege cfg ~now st token =
   if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
+  else if token.vepoch < st.view.vnum then
+    (st, [ Note (Custom "stale-view-token") ])
   else begin
     (* Same as the PRIVILEGE receipt: the token in hand supersedes any
        enquiry round we were running (see [Receive Privilege]). *)
@@ -1058,8 +1450,7 @@ let start_recovery cfg st =
            legitimate recovery completes — and a partitioned minority
            can never mint a second token. *)
         let targets =
-          List.init cfg.Config.n Fun.id
-          |> List.filter (fun j -> j <> st.me)
+          member_ids st.view |> List.filter (fun j -> j <> st.me)
         in
         let sends = List.map (fun j -> Send (j, Enquiry { round })) targets in
         ( { st with
@@ -1085,7 +1476,7 @@ let finish_recovery cfg ~now st =
         [ Cancel_timer T_enquiry; Note (Custom "recovery-refused-amnesiac") ] )
   | Some r
     when 1 + List.length (List.sort_uniq compare r.replied)
-         < (cfg.Config.n / 2) + 1 ->
+         < majority st.view ->
       (* Not enough of the cluster heard from: regenerating now could
          mint a token while the real one lives across a partition.
          Keep asking the silent nodes; the quorum arrives when the
@@ -1110,7 +1501,7 @@ let finish_recovery cfg ~now st =
       let epoch = st.token_epoch + 1 + st.me in
       let token =
         { tq = []; granted = st.granted_known; epoch;
-          election = st.election }
+          election = st.election; vepoch = st.view.vnum }
       in
       let st = { st with token_epoch = epoch } in
       let pre_q, st =
@@ -1188,7 +1579,15 @@ let receive_enquiry_reply cfg ~now st ~src ~round ~status =
             List.for_all (fun j -> List.mem j r.replied) r.expected
           in
           if all_in then finish_recovery cfg ~now st else (st, []))
-  | _ -> (st, []) (* stale round *)
+  | _ ->
+      (* Stale round — but a HAVE-TOKEN straggler still deserves its
+         RESUME: the replier froze itself on our ENQUIRY (possibly a
+         duplicate that landed after we closed the round), and with
+         the round gone no verdict is coming — it would sit on the
+         token forever. Resuming is safe either way: a stale-epoch
+         token dies at the receivers' epoch guard. *)
+      if status = Have_token then (st, [ Send (src, Resume { round }) ])
+      else (st, [])
 
 let receive_resume cfg ~now st ~round =
   if round < st.enq_round then (st, [])
@@ -1247,26 +1646,209 @@ let probe_timeout cfg ~now st =
         | Normal | Forwarding _ -> Await_token []) }
   in
   let effs =
-    [ Broadcast
-        (New_arbiter
-           {
-             na_arbiter = st.me;
-             na_q = [];
-             na_granted = st.granted_known;
-             na_counter = st.na_counter;
-             na_monitor = st.monitor;
-             na_epoch = st.token_epoch;
-             na_election = st.election;
-           });
-      Note Arbiter_takeover ]
+    bcast cfg st
+      (New_arbiter
+         {
+           na_arbiter = st.me;
+           na_q = [];
+           na_granted = st.granted_known;
+           na_counter = st.na_counter;
+           na_monitor = st.monitor;
+           na_epoch = st.token_epoch;
+           na_election = st.election;
+           na_view = st.view;
+         })
+    @ [ Note Arbiter_takeover ]
   in
   let st, effs' = start_recovery cfg st in
   (st, effs @ effs')
 
 (* ------------------------------------------------------------------ *)
+(* Membership: join / leave choreography                               *)
+
+let vc_msg st ~view ~commit =
+  View_change
+    {
+      vc_view = view;
+      vc_commit = commit;
+      vc_granted = st.granted_known;
+      vc_epoch = st.token_epoch;
+      vc_election = st.election;
+      vc_arbiter = st.arbiter;
+    }
+
+(* Commit a quorum-approved view: apply locally first (the coordinator
+   holds the token, so this stamps it with the new view epoch and
+   drains excised requesters), then broadcast the commit — to the
+   union of old and new members, so both a joiner and a voluntary
+   leaver hear the outcome. *)
+let commit_view cfg ~now st pv =
+  let v = pv.pv_view in
+  let old_members = member_ids st.view in
+  (* Name the post-commit arbiter: ourselves, unless we are excising
+     ourselves — then the TAIL of the drained queue the token carries
+     out (the token ends its run there and collection restarts; the
+     head is merely the next grantee), or the lowest survivor when the
+     queue leaves with nothing in it. *)
+  let arb =
+    if is_member v st.me then st.me
+    else
+      let fallback =
+        match member_ids v with h :: _ -> h | [] -> st.me
+      in
+      match st.token with
+      | Some tk -> (
+          match
+            Qlist.tail_node (drained_queue st v ~granted:st.granted_known tk)
+          with
+          | Some t -> t
+          | None -> fallback)
+      | None -> fallback
+  in
+  let st, apply_effs =
+    apply_view cfg ~now st v ~granted:st.granted_known
+      ~tepoch:st.token_epoch ~elec:st.election ~arbiter:arb
+  in
+  let st = { st with arbiter = (if is_member v st.me then st.arbiter else arb) } in
+  let msg = vc_msg { st with arbiter = arb } ~view:v ~commit:true in
+  let recipients =
+    List.sort_uniq compare (old_members @ member_ids v)
+    |> List.filter (fun j -> j <> st.me)
+  in
+  ( { st with pending_vc = Some { pv with pv_committed = true; pv_acks = [] } },
+    List.map (fun j -> Send (j, msg)) recipients
+    @ apply_effs
+    @ [ Set_timer (T_view, cfg.Config.enquiry_timeout);
+        Note (Custom "view-committed") ] )
+
+(* Propose a new view to every old-view member. The commit is gated on
+   acks from a majority of the OLD view (counting ourselves), so a
+   coordinator cut off in a minority partition can never change the
+   view — the same quorum discipline that guards token regeneration. *)
+let propose_view cfg ~now st v =
+  let pv =
+    { pv_view = v; pv_quorum = majority st.view; pv_acks = [];
+      pv_committed = false }
+  in
+  if 1 >= pv.pv_quorum then commit_view cfg ~now st pv
+  else
+    let targets = member_ids st.view |> List.filter (fun j -> j <> st.me) in
+    let msg = vc_msg st ~view:v ~commit:false in
+    ( { st with pending_vc = Some pv },
+      List.map (fun j -> Send (j, msg)) targets
+      @ [ Set_timer (T_view, cfg.Config.enquiry_timeout);
+          Note (Custom "view-proposed") ] )
+
+let holding_as_arbiter st =
+  st.token <> None
+  && match st.role with Collecting _ -> true | _ -> false
+
+let receive_join_request cfg ~now st (m : member) =
+  if m.mid = st.me then (st, [])
+  else if is_member st.view m.mid then
+    (* Already admitted — the commit may have been lost. Re-send it if
+       we are in a position to speak for the view. *)
+    if holding_as_arbiter st then
+      (st, [ Send (m.mid, vc_msg st ~view:st.view ~commit:true) ])
+    else (st, [])
+  else if holding_as_arbiter st then
+    match st.pending_vc with
+    | Some _ -> (st, [ Note (Custom "join-deferred") ])
+    | None ->
+        let v =
+          { vnum = st.view.vnum + 1;
+            vmembers = sort_members (m :: st.view.vmembers) }
+        in
+        propose_view cfg ~now st v
+  else if st.arbiter <> st.me then
+    (* Relay toward the token-holding arbiter, like a stashed
+       request: believed-arbiter pointers only move forward, so the
+       chain terminates. The joiner re-sends on T_view regardless. *)
+    (st, [ Send (st.arbiter, Join_request m) ])
+  else (st, [ Note (Custom "join-deferred") ])
+
+let receive_leave_request cfg ~now st lid =
+  if not (is_member st.view lid) then (st, [])
+  else if holding_as_arbiter st then
+    match st.pending_vc with
+    | Some _ -> (st, [ Note (Custom "leave-deferred") ])
+    | None ->
+        let v =
+          { vnum = st.view.vnum + 1;
+            vmembers =
+              List.filter (fun m -> m.mid <> lid) st.view.vmembers }
+        in
+        if v.vmembers = [] then (st, [ Note (Custom "leave-refused-last") ])
+        else propose_view cfg ~now st v
+  else if st.arbiter <> st.me && is_member st.view st.arbiter then
+    (st, [ Send (st.arbiter, Leave_request lid) ])
+  else (st, [ Note (Custom "leave-deferred") ])
+
+let receive_view_change cfg ~now st ~src vc =
+  let ack = Send (src, View_ack { va_vnum = vc.vc_view.vnum }) in
+  if not vc.vc_commit then
+    (* Proposal phase: the ack only certifies reachability — nothing
+       is applied until the commit. *)
+    (st, [ ack ])
+  else if vc.vc_view.vnum <= st.view.vnum then (st, [ ack ])
+  else
+    let st, effs =
+      apply_view cfg ~now st vc.vc_view ~granted:vc.vc_granted
+        ~tepoch:vc.vc_epoch ~elec:vc.vc_election ~arbiter:vc.vc_arbiter
+    in
+    (st, ack :: effs)
+
+let receive_view_ack cfg ~now st ~src ~va_vnum =
+  match st.pending_vc with
+  | Some pv when pv.pv_view.vnum = va_vnum ->
+      let pv =
+        { pv with pv_acks = List.sort_uniq compare (src :: pv.pv_acks) }
+      in
+      if not pv.pv_committed then
+        if 1 + List.length pv.pv_acks >= pv.pv_quorum then
+          commit_view cfg ~now st pv
+        else ({ st with pending_vc = Some pv }, [])
+      else if 1 + List.length pv.pv_acks >= majority pv.pv_view then
+        ({ st with pending_vc = None }, [ Cancel_timer T_view ])
+      else ({ st with pending_vc = Some pv }, [])
+  | _ -> (st, [])
+
+let view_timer cfg st =
+  if st.joining then
+    (* Keep knocking until a commit admits us. *)
+    let self_m =
+      match List.find_opt (fun m -> m.mid = st.me) st.view.vmembers with
+      | Some m -> m
+      | None -> { mid = st.me; maddr = "" }
+    in
+    ( st,
+      [ Send (st.arbiter, Join_request self_m);
+        Set_timer (T_view, cfg.Config.retry_timeout) ] )
+  else
+    match st.pending_vc with
+    | Some pv ->
+        let commit = pv.pv_committed in
+        let universe =
+          if commit then member_ids pv.pv_view else member_ids st.view
+        in
+        let silent =
+          List.filter
+            (fun j -> j <> st.me && not (List.mem j pv.pv_acks))
+            universe
+        in
+        let msg = vc_msg st ~view:pv.pv_view ~commit in
+        ( st,
+          List.map (fun j -> Send (j, msg)) silent
+          @ [ Set_timer (T_view, cfg.Config.enquiry_timeout) ] )
+    | None ->
+        (* Idle refresh: re-surface the current view to the runtime
+           (used after a restart to re-point gauges and transports). *)
+        (st, [ note_view st.view ])
+
+(* ------------------------------------------------------------------ *)
 (* Main entry point                                                    *)
 
-let handle cfg ~now st (input : (message, timer) input) :
+let handle_inner cfg ~now st (input : (message, timer) input) :
     state * (message, timer) effect_ list =
   match input with
   | Request_cs -> request_cs cfg ~now st
@@ -1321,10 +1903,23 @@ let handle cfg ~now st (input : (message, timer) input) :
       if cfg.Config.recovery then watch_timeout cfg st else (st, [])
   | Timer_fired T_probe ->
       if cfg.Config.recovery then probe_timeout cfg ~now st else (st, [])
+  | Timer_fired T_view -> view_timer cfg st
+  | Receive (_, Join_request m) -> receive_join_request cfg ~now st m
+  | Receive (_, Leave_request lid) -> receive_leave_request cfg ~now st lid
+  | Receive (src, View_change vc) -> receive_view_change cfg ~now st ~src vc
+  | Receive (src, View_ack { va_vnum }) ->
+      receive_view_ack cfg ~now st ~src ~va_vnum
   | Receive (_, Request e) -> receive_request cfg ~now st e
   | Receive (_, Monitor_request e) -> receive_monitor_request cfg ~now st e
   | Receive (_, Privilege token) ->
       if token.epoch < st.token_epoch then (st, [ Note (Custom "stale-token") ])
+      else if token.vepoch < st.view.vnum then
+        (* View changes are committed only while the token is in the
+           coordinator's hands, so a token stamped with an older view
+           epoch is a relic of a superseded universe. Reject loudly;
+           the live token (or a regeneration) carries the current
+           view. *)
+        (st, [ Note (Custom "stale-view-token") ])
       else begin
         (* Holding the live token is the freshest knowledge there is:
            any restart resynchronization ends here — and so does any
@@ -1378,6 +1973,24 @@ let handle cfg ~now st (input : (message, timer) input) :
         else if cfg.Config.recovery then [ Cancel_timer T_probe ]
         else [] )
 
+(* Defense in depth against stale senders: once membership can shrink,
+   frames from outside the current view must not reach the protocol
+   proper. Membership traffic itself (a joiner's knock and acks, a
+   leaver's commit), and a PRIVILEGE hand-off from a leaving
+   coordinator, are the only messages a non-member may deliver. *)
+let handle cfg ~now st (input : (message, timer) input) :
+    state * (message, timer) effect_ list =
+  match input with
+  | Receive (src, msg)
+    when src <> st.me && (not st.joining)
+         && not (is_member st.view src) -> (
+      match msg with
+      | Join_request _ | Leave_request _ | View_change _ | View_ack _
+      | Privilege _ ->
+          handle_inner cfg ~now st input
+      | _ -> (st, [ Note (Custom "nonmember-dropped") ]))
+  | _ -> handle_inner cfg ~now st input
+
 (* ------------------------------------------------------------------ *)
 (* Introspection and printing                                          *)
 
@@ -1394,6 +2007,10 @@ let message_kind = function
   | Invalidate _ -> "INVALIDATE"
   | Probe -> "PROBE"
   | Probe_ack -> "PROBE-ACK"
+  | Join_request _ -> "JOIN-REQUEST"
+  | Leave_request _ -> "LEAVE-REQUEST"
+  | View_change _ -> "VIEW-CHANGE"
+  | View_ack _ -> "VIEW-ACK"
 
 let pp_status ppf = function
   | Have_token -> Format.pp_print_string ppf "have-token"
@@ -1418,6 +2035,14 @@ let pp_message ppf = function
   | Invalidate { round } -> Format.fprintf ppf "INVALIDATE(r=%d)" round
   | Probe -> Format.pp_print_string ppf "PROBE"
   | Probe_ack -> Format.pp_print_string ppf "PROBE-ACK"
+  | Join_request m -> Format.fprintf ppf "JOIN-REQUEST(%d@%s)" m.mid m.maddr
+  | Leave_request lid -> Format.fprintf ppf "LEAVE-REQUEST(%d)" lid
+  | View_change vc ->
+      Format.fprintf ppf "VIEW-CHANGE(v=%d,%s,[%s])" vc.vc_view.vnum
+        (if vc.vc_commit then "commit" else "propose")
+        (String.concat ","
+           (List.map (fun m -> string_of_int m.mid) vc.vc_view.vmembers))
+  | View_ack { va_vnum } -> Format.fprintf ppf "VIEW-ACK(v=%d)" va_vnum
 
 let pp_role ppf = function
   | Normal -> Format.pp_print_string ppf "normal"
@@ -1430,8 +2055,8 @@ let pp_role ppf = function
 
 let pp_state ppf st =
   Format.fprintf ppf
-    "@[<h>node %d: arbiter=%d role=%a%s%s%s out=%s pend=%d misses=%d@]" st.me
-    st.arbiter pp_role st.role
+    "@[<h>node %d: view=%d arbiter=%d role=%a%s%s%s out=%s pend=%d misses=%d@]"
+    st.me st.view.vnum st.arbiter pp_role st.role
     (if st.in_cs then " IN-CS" else "")
     (if st.token <> None then " TOKEN" else "")
     (if st.amnesiac then " AMNESIAC" else if st.sync_wait then " SYNC-WAIT"

@@ -15,6 +15,18 @@
 
 open Types
 
+(** One entry of a membership view. [maddr] is opaque metadata the
+    pure protocol never interprets: the TCP runtime packs "host:port"
+    into it so view changes double as address distribution, while the
+    simulator and model checker leave it empty. *)
+type member = { mid : node_id; maddr : string }
+
+(** The epoch-numbered membership view. Epoch 0 is the birth view
+    (members [0 .. n-1]); every committed join or leave increments
+    it. Views are only changed by the token-holding arbiter, after a
+    majority of the outgoing view acknowledged the proposal. *)
+type view = { vnum : int; vmembers : member list }
+
 (** The PRIVILEGE message's payload (the {e token}). Exactly one
     non-stale token exists at any time. *)
 type token = {
@@ -27,6 +39,11 @@ type token = {
           before a regeneration is discarded by its stale epoch. *)
   election : int;
       (** Arbiter hand-off counter; see {!new_arbiter.na_election}. *)
+  vepoch : int;
+      (** Membership view epoch the token was last dispatched under.
+          Views only change while the token sits with the coordinator,
+          so a token bearing an older view epoch than the receiver's is
+          provably stale and rejected loudly. *)
 }
 
 (** A node's answer to the two-phase token invalidation ENQUIRY
@@ -51,6 +68,25 @@ type new_arbiter = {
           older than the latest they have seen, so a reordered stale
           broadcast can never re-elect a node that already handed the
           role on. *)
+  na_view : view;
+      (** The sender's membership view: every announcement is an
+          anti-entropy carrier, so a member that missed a VIEW-CHANGE
+          commit catches up at the next broadcast. *)
+}
+
+(** Payload of the VIEW-CHANGE message (proposal and commit phases of
+    a membership change). *)
+type view_change = {
+  vc_view : view;  (** The proposed / committed new view. *)
+  vc_commit : bool;
+      (** [false]: proposal — receivers only acknowledge reachability;
+          a majority of the outgoing view must ack before commit.
+          [true]: commit — receivers adopt the view and drain excised
+          nodes from every queue. *)
+  vc_granted : Qlist.Granted.g;  (** Joiner sync payload: [L] vector. *)
+  vc_epoch : int;  (** Joiner sync payload: coordinator's token epoch. *)
+  vc_election : int;  (** Joiner sync payload: election number. *)
+  vc_arbiter : node_id;  (** The post-commit arbiter. *)
 }
 
 (** Protocol messages. The first five are the paper's; WARNING through
@@ -73,6 +109,15 @@ type message =
           front of the regenerating arbiter's queue. *)
   | Probe  (** Previous-arbiter liveness check of the current one. *)
   | Probe_ack
+  | Join_request of member
+      (** A node outside the view asks to be admitted; relayed toward
+          the token-holding arbiter like a stashed request. *)
+  | Leave_request of node_id
+      (** Excise this node from the view (voluntary departure or an
+          operator / liveness decision); relayed like JOIN-REQUEST. *)
+  | View_change of view_change
+  | View_ack of { va_vnum : int }
+      (** Acknowledgement of a VIEW-CHANGE (either phase). *)
 
 (** Timer keys (managed by the hosting runtime via [Set_timer] /
     [Cancel_timer]; at most one instance of each key is armed). *)
@@ -87,6 +132,11 @@ type timer =
   | T_enquiry  (** Arbiter's patience for ENQUIRY replies. *)
   | T_watch  (** The watcher's patience for arbiter liveness evidence. *)
   | T_probe  (** Patience for a PROBE answer. *)
+  | T_view
+      (** Joiner: re-send JOIN-REQUEST until admitted. Coordinator:
+          re-send VIEW-CHANGE to silent members until quorum / acks.
+          Otherwise: an idle firing re-surfaces the current view as a
+          [Membership] note (used after restarts). *)
 
 (** The arbiter life-cycle of Figure 1, event-driven. *)
 type role =
@@ -110,6 +160,19 @@ type recovery = {
   waiting : Qlist.t;
       (** Entries of peers that answered [Waiting_token]; they go to
           the front of the regenerated token's queue. *)
+}
+
+(** A view change in progress at its coordinator (the token-holding
+    arbiter). *)
+type pending_vc = {
+  pv_view : view;  (** The new view being installed. *)
+  pv_quorum : int;  (** Acks needed before commit, counting ourselves. *)
+  pv_acks : node_id list;
+  pv_committed : bool;
+      (** [false]: proposal phase — dispatch is deferred so the token
+          stays with the coordinator (the serialization point for
+          views). [true]: committed and broadcast; re-sent on [T_view]
+          to silent members until a majority of the new view acked. *)
 }
 
 (** Complete per-node protocol state. Pure: {!handle} returns a fresh
@@ -159,6 +222,12 @@ type state = {
           announcement (or token) is absorbed, so a higher epoch out
           there reaches us before our own REQUEST goes out. [T_retry]
           is the escape valve when the system stays silent. *)
+  view : view;  (** Current membership view. *)
+  joining : bool;
+      (** We are outside every view, periodically ([T_view]) knocking
+          with JOIN-REQUEST until a commit admits us. *)
+  pending_vc : pending_vc option;
+      (** Coordinator only: the view change being installed. *)
   last_token_seen : float;
       (** Recovery only: the last instant the live token was in this
           node's hands (received, held through a CS, dispatched or
@@ -197,6 +266,10 @@ type restored = {
           object; the caller reacts by injecting
           [Receive (me, Warning)] so the Section 6 invalidation runs
           against knowledge that cannot over-claim. *)
+  r_view : (int * (node_id * string) list) option;
+      (** Last durable membership view (epoch, members with address
+          metadata): a mid-churn restart rejoins the {e current} view,
+          not the birth view. *)
 }
 
 val rejoin_restored : Config.t -> node_id -> restored -> state
@@ -204,6 +277,22 @@ val rejoin_restored : Config.t -> node_id -> restored -> state
     counters and the [L] vector come back, so the node is {e not}
     amnesiac — though it still resynchronizes ({!state.sync_wait})
     before issuing its first request. *)
+
+val joiner :
+  Config.t -> me:node_id -> seed:node_id -> addr:string -> state
+(** State for a brand-new node outside every view: it knows only its
+    own identity, its address metadata, and one [seed] member to
+    contact. The runtime injects a first [Timer_fired T_view]; every
+    firing sends JOIN-REQUEST toward the seed (relayed to the
+    token-holding arbiter) and re-arms, until a VIEW-CHANGE commit
+    admits the node. Application requests park ({!state.sync_wait})
+    until the commit's sync payload re-anchors the counters. *)
+
+val birth_view : Config.t -> view
+(** Epoch 0, members [0 .. n-1], empty address metadata. *)
+
+val member_ids : view -> node_id list
+val is_member : view -> node_id -> bool
 
 val handle :
   Config.t ->

@@ -34,23 +34,33 @@ let sort_by_priority priorities q =
     (fun a b -> compare priorities.(b.node) priorities.(a.node))
     q
 
-let sort_least_served granted q =
-  List.stable_sort
-    (fun a b -> compare granted.(a.node) granted.(b.node))
-    q
-
 module Granted = struct
   type g = int array
 
   let create n = Array.make n (-1)
-  let already_served g e = g.(e.node) >= e.seq
+
+  (* Dynamic membership means node ids beyond the birth cluster size
+     appear in entries; every accessor treats a missing slot as -1
+     (never granted) and every writer grows the vector as needed.
+     Vectors only grow — ids are never renumbered. *)
+  let get g i = if i < Array.length g then g.(i) else -1
+
+  let ensure g n =
+    let len = Array.length g in
+    if n <= len then g else Array.append g (Array.make (n - len) (-1))
+
+  let already_served g e = get g e.node >= e.seq
 
   let mark g e =
-    let g' = Array.copy g in
+    let g' =
+      if e.node < Array.length g then Array.copy g else ensure g (e.node + 1)
+    in
     g'.(e.node) <- max g'.(e.node) e.seq;
     g'
 
-  let merge a b = Array.mapi (fun i x -> max x b.(i)) a
+  let merge a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i -> max (get a i) (get b i))
 
   let pp ppf g =
     Format.fprintf ppf "[%a]"
@@ -59,5 +69,10 @@ module Granted = struct
          Format.pp_print_int)
       (Array.to_list g)
 end
+
+let sort_least_served granted q =
+  List.stable_sort
+    (fun a b -> compare (Granted.get granted a.node) (Granted.get granted b.node))
+    q
 
 let prune g q = List.filter (fun e -> not (Granted.already_served g e)) q

@@ -52,13 +52,23 @@ module Granted : sig
   val create : int -> g
   (** All entries [-1]: nothing granted yet. *)
 
+  val get : g -> Types.node_id -> int
+  (** Last granted sequence for the node; [-1] when the vector has no
+      slot for it yet (a joiner beyond the birth cluster size). *)
+
+  val ensure : g -> int -> g
+  (** Grow (never shrink) to at least the given length, padding with
+      [-1]. Returns the argument unchanged when already long enough. *)
+
   val already_served : g -> entry -> bool
   val mark : g -> entry -> g
-  (** Functional update recording that [entry] was served. *)
+  (** Functional update recording that [entry] was served; grows the
+      vector when the entry's node id is beyond its current length. *)
 
   val merge : g -> g -> g
-  (** Pointwise max — used when a regenerated token meets a stale
-      one's knowledge. *)
+  (** Pointwise max over the union of lengths — used when a
+      regenerated token meets a stale one's knowledge, and when views
+      of different sizes exchange vectors. *)
 
   val pp : Format.formatter -> g -> unit
 end

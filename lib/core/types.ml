@@ -153,6 +153,11 @@ type note =
   | Recovery_started  (** Two-phase token invalidation began (§6). *)
   | Token_regenerated  (** A lost token was replaced (§6). *)
   | Arbiter_takeover  (** Previous arbiter proclaimed itself (§6). *)
+  | Membership of { vepoch : int; members : (node_id * string) list }
+      (** The membership view changed (or was re-announced): epoch
+          number and the member set with each member's opaque address
+          metadata. Runtimes re-point transports, liveness monitors
+          and gauges off this note. *)
   | Custom of string
 
 let string_of_note = function
@@ -169,6 +174,7 @@ let string_of_note = function
   | Recovery_started -> "recovery-started"
   | Token_regenerated -> "token-regenerated"
   | Arbiter_takeover -> "arbiter-takeover"
+  | Membership _ -> "membership"
   | Custom s -> s
 
 (** Actions requested of the hosting runtime by a state-machine step. *)

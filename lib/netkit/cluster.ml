@@ -23,11 +23,16 @@ struct
   type chaos_schedule = (float * chaos_event) list
 
   type t = {
-    nodes : Node.t array;
+    (* [nodes], [live], [peers] and [obs] grow in lock-step as members
+       join ({!add_node}); slots are never removed — an excised node's
+       slot stays (dead) so ids remain stable. Guarded by
+       [restart_mu] for growth; readers take benign-stale snapshots. *)
+    mutable nodes : Node.t array;
     mutable live : bool array;
     fault : Fault.t;
     cfg : Dmutex.Types.Config.t;
-    peers : Transport.endpoint array;
+    mutable peers : Transport.endpoint array;
+    base_port : int;  (** the probed base actually bound. *)
     seed : int;
     locks : string list;
     heartbeat_period : float option;
@@ -36,7 +41,7 @@ struct
     (* One registry per node slot, owned by the cluster and handed to
        every incarnation of that node: counters survive kill-and-
        restart drills, so a run report covers the whole run. *)
-    obs : Dmutex_obs.Registry.t array;
+    mutable obs : Dmutex_obs.Registry.t array;
     trace : Dmutex_obs.Events.sink option;
     persist : (A.state -> Dmutex_store.Store.view) option;
     restore :
@@ -124,6 +129,7 @@ struct
           fault;
           cfg;
           peers;
+          base_port;
           seed;
           locks;
           heartbeat_period;
@@ -192,7 +198,10 @@ struct
       (fun () ->
         if t.live.(i) then crash t i;
         Fault.recover t.fault i;
-        let n = Array.length t.nodes in
+        (* Stores are always opened with the birth-cluster size: the
+           recorded [n] is a layout invariant, not the current member
+           count (growth past it is recorded by the view itself). *)
+        let n = t.cfg.Dmutex.Types.Config.n in
         let per_lock =
           List.map
             (fun key ->
@@ -236,6 +245,82 @@ struct
           (fun (key, (_, _, inputs)) ->
             List.iter (Node.inject ~lock:key node) inputs)
           per_lock)
+
+  (* Admit a brand-new node: allocate the next id and endpoint, start
+     its runner with per-lock states from [init] (normally
+     [Protocol.joiner], knowing only itself and a seed member), and
+     feed the startup inputs (a first [T_view] kick so the knock goes
+     out). Admission itself is the protocol's job — the node starts
+     outside every view and re-knocks until a commit lands. Returns
+     the new node's id. *)
+  let add_node t ~init =
+    Mutex.lock t.restart_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.restart_mu)
+      (fun () ->
+        let i = Array.length t.nodes in
+        let reg = Dmutex_obs.Registry.create () in
+        let rec attempt k =
+          if k >= 5 then failwith "Cluster.add_node: no free port"
+          else
+            let port = t.base_port + i + (k * 1000) in
+            let ep = { Transport.host = "127.0.0.1"; port } in
+            let peers = Array.append t.peers [| ep |] in
+            let addr = Printf.sprintf "127.0.0.1:%d" port in
+            let per_lock =
+              List.map (fun key -> (key, init ~me:i ~addr ~lock:key)) t.locks
+            in
+            let store =
+              Option.map
+                (fun root ->
+                  open_stores ~root ~n:t.cfg.Dmutex.Types.Config.n ~obs:reg i)
+                t.state_root
+            in
+            match
+              Node.create ~fault:t.fault ?heartbeat_period:t.heartbeat_period
+                ~suspect_timeout:t.suspect_timeout ~seed:(t.seed + i)
+                ~locks:t.locks
+                ~initial:(fun ~lock -> Some (fst (List.assoc lock per_lock)))
+                ?store ?persist:t.persist ~obs:reg ?trace:t.trace t.cfg ~me:i
+                ~peers ()
+            with
+            | node ->
+                t.nodes <- Array.append t.nodes [| node |];
+                t.live <- Array.append t.live [| true |];
+                t.peers <- peers;
+                t.obs <- Array.append t.obs [| reg |];
+                List.iter
+                  (fun (key, (_, inputs)) ->
+                    List.iter (Node.inject ~lock:key node) inputs)
+                  per_lock;
+                Log.info (fun m ->
+                    m "add_node: node %d joining at %s" i addr);
+                i
+            | exception Unix.Unix_error ((EADDRINUSE | EACCES), _, _) ->
+                attempt (k + 1)
+        in
+        attempt 0)
+
+  (* Ask the cluster to excise node [i]: [leave ~lock] builds the
+     protocol input announcing the departure (for {!Dmutex.Protocol},
+     [Receive (i, Leave_request i)]) and is injected into [i] itself,
+     which relays toward the token-holding arbiter. The node keeps
+     running until the commit excises it; call {!retire} afterwards to
+     stop its process. *)
+  let remove_node t i ~leave =
+    if i < 0 || i >= Array.length t.nodes then
+      invalid_arg "Cluster.remove_node: no such node";
+    List.iter
+      (fun key -> Node.inject ~lock:key t.nodes.(i) (leave ~lock:key))
+      t.locks
+
+  (* Stop an excised node's process for good (graceful store close);
+     its slot stays dead. *)
+  let retire t i =
+    if i >= 0 && i < Array.length t.nodes && t.live.(i) then begin
+      t.live.(i) <- false;
+      Node.shutdown t.nodes.(i)
+    end
 
   let log_chaos t at msg =
     Mutex.lock t.chaos_mu;

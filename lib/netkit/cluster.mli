@@ -146,6 +146,42 @@ module Make
   (** One {!obs_report} per lock key found in the merged snapshot,
       sorted by key. *)
 
+  val add_node :
+    t ->
+    init:
+      (me:int ->
+      addr:string ->
+      lock:string ->
+      A.state * (A.message, A.timer) Dmutex.Types.input list) ->
+    int
+  (** Grow the cluster by one brand-new node: allocates the next id
+      and a fresh loopback endpoint, starts a full {!Node} there (with
+      its own store directories when [state_root] was given, and its
+      own registry appended to {!registries}), and injects the inputs
+      [init] returns per lock. [init ~me ~addr ~lock] builds the
+      per-lock starting state — normally [Protocol.joiner] with a live
+      seed member, so the node knocks with JOIN-REQUEST until a view
+      commit admits it; [addr] is the ["host:port"] the new node is
+      reachable at (travels in the join request). Returns the new id.
+      Existing nodes learn the newcomer's address from the committed
+      view — nothing is reconfigured here. *)
+
+  val remove_node :
+    t ->
+    int ->
+    leave:(lock:string -> (A.message, A.timer) Dmutex.Types.input) ->
+    unit
+  (** Start excising node [i]: [leave ~lock] builds the protocol input
+      announcing the departure (for {!Dmutex.Protocol},
+      [Receive (i, Leave_request i)]) and is injected into [i] itself,
+      which relays it toward the token-holding arbiter. The node keeps
+      running until the commit excises it — use {!retire} once the
+      view has moved on to stop its process. *)
+
+  val retire : t -> int -> unit
+  (** Stop an excised node's process (graceful store close). Its slot
+      stays allocated and dead: ids are never reused. *)
+
   val crash : t -> int -> unit
   (** Fail-stop one node for real (sockets closed, threads stopped,
       store aborted {e without} flushing) — unlike [Fault.crash],

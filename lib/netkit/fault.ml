@@ -11,11 +11,11 @@ type event =
 type schedule = (float * event) list
 
 type t = {
-  n : int;
+  n : int; (* birth-cluster size; arrays grow past it as nodes join *)
   mutex : Mutex.t;
   rng : Random.State.t;
   mutable loss : float;
-  crashed : bool array;
+  mutable crashed : bool array;
   mutable group_of : int array option;
   mutable interceptor : (src:int -> dst:int -> string -> verdict) option;
   mutable drops : int;
@@ -43,22 +43,47 @@ let with_mutex t f =
 let set_loss t p = with_mutex t (fun () -> t.loss <- p)
 
 let check_id t i name =
-  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Fault.%s: node id out of range" name)
+  ignore t;
+  if i < 0 then
+    invalid_arg (Printf.sprintf "Fault.%s: node id out of range" name)
+
+(* Dynamic membership: node ids beyond the birth size appear once
+   nodes join. Must hold [t.mutex]. *)
+let ensure_locked t i =
+  let len = Array.length t.crashed in
+  if i >= len then begin
+    let crashed = Array.make (i + 1) false in
+    Array.blit t.crashed 0 crashed 0 len;
+    t.crashed <- crashed;
+    match t.group_of with
+    | Some g when Array.length g <= i ->
+        let g' = Array.make (i + 1) (-1) in
+        Array.blit g 0 g' 0 (Array.length g);
+        t.group_of <- Some g'
+    | _ -> ()
+  end
 
 let crash t i =
   check_id t i "crash";
-  with_mutex t (fun () -> t.crashed.(i) <- true)
+  with_mutex t (fun () ->
+      ensure_locked t i;
+      t.crashed.(i) <- true)
 
 let recover t i =
   check_id t i "recover";
-  with_mutex t (fun () -> t.crashed.(i) <- false)
+  with_mutex t (fun () ->
+      ensure_locked t i;
+      t.crashed.(i) <- false)
 
 let is_crashed t i =
   check_id t i "is_crashed";
-  with_mutex t (fun () -> t.crashed.(i))
+  with_mutex t (fun () -> i < Array.length t.crashed && t.crashed.(i))
 
 let partition t groups =
-  let group_of = Array.make t.n (-1) in
+  let top =
+    List.fold_left (List.fold_left (fun acc i -> max acc i)) (t.n - 1) groups
+  in
+  let group_of = Array.make (top + 1) (-1) in
   List.iteri
     (fun g members ->
       List.iter
@@ -75,11 +100,15 @@ let clear_interceptor t = with_mutex t (fun () -> t.interceptor <- None)
 let drops t = with_mutex t (fun () -> t.drops)
 
 let severed_locked t ~src ~dst =
-  t.crashed.(src) || t.crashed.(dst)
+  let crashed i = i < Array.length t.crashed && t.crashed.(i) in
+  crashed src || crashed dst
   ||
   match t.group_of with
   | None -> false
-  | Some g -> g.(src) <> g.(dst)
+  | Some g ->
+      (* Ids past the partition map form the implicit extra group. *)
+      let grp i = if i < Array.length g then g.(i) else -1 in
+      grp src <> grp dst
 
 let reachable t ~src ~dst =
   check_id t src "reachable";

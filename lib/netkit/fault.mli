@@ -48,7 +48,9 @@ type t
 
 val create : ?seed:int -> n:int -> unit -> t
 (** A fault injector for nodes [0 .. n-1], initially transparent
-    (no loss, no partition, nobody crashed). *)
+    (no loss, no partition, nobody crashed). Node ids beyond [n]
+    (dynamically joined members) are accepted by every operation;
+    the internal tables grow on demand. *)
 
 val n : t -> int
 

@@ -66,8 +66,15 @@ struct
     on_suspect : int -> unit;
     on_alive : int -> unit;
     suspect_timeout : float;
-    last_heard : float array;  (** guarded by [live_mu]. *)
-    suspect : bool array;  (** guarded by [live_mu]. *)
+    mutable last_heard : float array;  (** guarded by [live_mu]; grows. *)
+    mutable suspect : bool array;  (** guarded by [live_mu]; grows. *)
+    (* Per-lock committed member sets [(id, addr)]; addr is "" for
+       birth members (their endpoints came with the transport).
+       Guarded by [live_mu]. The liveness monitor only watches ids in
+       the union across locks, and the frame path drops senders
+       outside it (see the unknown-peer guard in [on_frame]). *)
+    memberships : (string, (int * string) list) Hashtbl.t;
+    unknown_peer : Dmutex_obs.Registry.Counter.handle option;
     live_mu : Mutex.t;
     start : float;
   }
@@ -94,6 +101,100 @@ struct
     | Some fd -> (
         try ignore (Unix.write fd (Bytes.make 1 '!') 0 1)
         with Unix.Unix_error _ -> ())
+
+  (* Must be called with [t.live_mu] held. *)
+  let ensure_live_slot t i =
+    let len = Array.length t.last_heard in
+    if i >= len then begin
+      let lh = Array.make (i + 1) (Unix.gettimeofday ()) in
+      Array.blit t.last_heard 0 lh 0 len;
+      t.last_heard <- lh;
+      let su = Array.make (i + 1) false in
+      Array.blit t.suspect 0 su 0 len;
+      t.suspect <- su
+    end
+
+  (* Must be called with [t.live_mu] held. *)
+  let member_union_locked t =
+    Hashtbl.fold
+      (fun _ members acc ->
+        List.fold_left
+          (fun acc (i, _) -> if List.mem i acc then acc else i :: acc)
+          acc members)
+      t.memberships []
+
+  (* A committed view landed for [inst] (or a restart/idle kick
+     re-announced the current one): re-point the transport peer set
+     and the liveness monitor, and publish the view through obs.
+     Called with [inst.lock] held; takes [live_mu] inside (lock order
+     instance -> live, same as [heard]). *)
+  let apply_membership t inst ~vepoch members =
+    Mutex.lock t.live_mu;
+    let before = member_union_locked t in
+    Hashtbl.replace t.memberships inst.key members;
+    let after = member_union_locked t in
+    let added = List.filter (fun i -> not (List.mem i before)) after in
+    let removed = List.filter (fun i -> not (List.mem i after)) before in
+    List.iter (fun i -> ensure_live_slot t i) after;
+    (* Cancel/re-arm suspect deadlines across the change: a
+       just-removed node must not trigger a spurious recovery round,
+       and a joiner gets a full [suspect_timeout] of grace before it
+       can be suspected. *)
+    let now_abs = Unix.gettimeofday () in
+    List.iter
+      (fun i ->
+        t.suspect.(i) <- false;
+        t.last_heard.(i) <- now_abs)
+      (added @ removed);
+    Mutex.unlock t.live_mu;
+    (match t.transport with
+    | Some tr ->
+        (* Retire a peer only once NO instance on this node still has
+           it as a member — the transport is shared across locks. *)
+        List.iter
+          (fun i -> if i <> t.me then Transport.retire_peer tr ~dst:i)
+          removed;
+        (* Views record an address only for members that joined after
+           birth; birth members keep the endpoints the transport was
+           created with. *)
+        List.iter
+          (fun (i, addr) ->
+            if i <> t.me && addr <> "" then
+              let bad () =
+                Log.warn (fun m ->
+                    m "node %d: bad member address %S for peer %d" t.me addr i)
+              in
+              match String.rindex_opt addr ':' with
+              | None -> bad ()
+              | Some k -> (
+                  let host = String.sub addr 0 k in
+                  match
+                    int_of_string_opt
+                      (String.sub addr (k + 1) (String.length addr - k - 1))
+                  with
+                  | Some port when port > 0 && port <= 0xFFFF ->
+                      Transport.add_peer tr ~dst:i ~host ~port
+                  | Some _ | None -> bad ()))
+          members
+    | None -> ());
+    (match t.obs_reg with
+    | Some reg ->
+        let labels = Dmutex_obs.Names.lock_label inst.key in
+        Dmutex_obs.Registry.Gauge.set
+          (Dmutex_obs.Registry.Gauge.get reg ~labels Dmutex_obs.Names.view_epoch)
+          (float_of_int vepoch);
+        Dmutex_obs.Registry.Gauge.set
+          (Dmutex_obs.Registry.Gauge.get reg ~labels
+             Dmutex_obs.Names.member_count)
+          (float_of_int (List.length members))
+    | None -> ());
+    trace_emit t ~inst "membership.view"
+      [
+        ("vepoch", string_of_int vepoch);
+        ( "members",
+          String.concat ","
+            (List.map (fun (i, _) -> string_of_int i) members) );
+      ]
 
   (* Apply effects under [inst.lock]. *)
   let rec apply t inst = function
@@ -169,6 +270,8 @@ struct
             trace_emit t ~inst ~severity:Dmutex_obs.Events.Warn
               ("recovery." ^ name) []
         | Became_arbiter -> trace_emit t ~inst "protocol.became-arbiter" []
+        | Membership { vepoch; members } ->
+            apply_membership t inst ~vepoch members
         | _ -> ());
         Log.debug (fun m -> m "node %d: [%s] %s" t.me inst.key name)
 
@@ -311,8 +414,9 @@ struct
     Mutex.unlock t.wheel_mu
 
   let heard t src =
-    if src >= 0 && src < Array.length t.last_heard then begin
+    if src >= 0 && src <= 0xFFFF then begin
       Mutex.lock t.live_mu;
+      ensure_live_slot t src;
       t.last_heard.(src) <- Unix.gettimeofday ();
       let recovered = t.suspect.(src) in
       t.suspect.(src) <- false;
@@ -334,10 +438,15 @@ struct
         let now_abs = Unix.gettimeofday () in
         let newly = ref [] in
         Mutex.lock t.live_mu;
+        (* Only current members can be suspected: a node excised by a
+           view change falls silent by design and must not re-enter
+           the recovery machinery through this path. *)
+        let union = member_union_locked t in
         Array.iteri
           (fun i last ->
             if
               i <> t.me
+              && List.mem i union
               && (not t.suspect.(i))
               && now_abs -. last > t.suspect_timeout
             then begin
@@ -437,6 +546,21 @@ struct
         suspect_timeout;
         last_heard = Array.make (Array.length peers) (Unix.gettimeofday ());
         suspect = Array.make (Array.length peers) false;
+        memberships =
+          (* Until a committed view says otherwise, everyone we were
+             given an endpoint for is a member (the birth cluster, or
+             — for a joiner — the current members it was pointed at).
+             The first [Membership] note replaces this. *)
+          (let tbl = Hashtbl.create (List.length locks) in
+           let all = List.init (Array.length peers) (fun i -> (i, "")) in
+           List.iter (fun key -> Hashtbl.replace tbl key all) locks;
+           tbl);
+        unknown_peer =
+          Option.map
+            (fun reg ->
+              Dmutex_obs.Registry.Counter.get reg
+                Dmutex_obs.Names.unknown_peer_total)
+            obs;
         live_mu = Mutex.create ();
         start = Unix.gettimeofday ();
       }
@@ -463,12 +587,43 @@ struct
       | Some inst -> (
           match C.decode payload with
           | m ->
-              (match inst.pm with
-              | Some pm ->
-                  Dmutex_obs.Protocol_metrics.received pm
-                    ~kind:(A.message_kind m)
-              | None -> ());
-              step t inst (Receive (src, m))
+              let kind = A.message_kind m in
+              (* Unknown-peer guard: a sender outside this lock's
+                 member set is either excised (its in-flight frames
+                 must not reach the protocol) or a joiner knocking —
+                 membership traffic and a PRIVILEGE hand-off to an
+                 heir are the only frames allowed through. *)
+              let is_member =
+                Mutex.lock t.live_mu;
+                let r =
+                  match Hashtbl.find_opt t.memberships inst.key with
+                  | None -> true
+                  | Some members -> List.mem_assoc src members
+                in
+                Mutex.unlock t.live_mu;
+                r
+              in
+              let membership_traffic =
+                match kind with
+                | "JOIN-REQUEST" | "LEAVE-REQUEST" | "VIEW-CHANGE"
+                | "VIEW-ACK" | "PRIVILEGE" ->
+                    true
+                | _ -> false
+              in
+              if (not is_member) && not membership_traffic then begin
+                (match t.unknown_peer with
+                | Some c -> Dmutex_obs.Registry.Counter.incr c
+                | None -> ());
+                Log.debug (fun f ->
+                    f "node %d: dropping %s from non-member %d for %S" me
+                      kind src lock)
+              end
+              else begin
+                (match inst.pm with
+                | Some pm -> Dmutex_obs.Protocol_metrics.received pm ~kind
+                | None -> ());
+                step t inst (Receive (src, m))
+              end
           | exception Wire.Malformed msg ->
               Log.warn (fun f ->
                   f "node %d: dropping bad frame from %d: %s" me src msg))
@@ -607,6 +762,12 @@ struct
     match lock with
     | Some l -> count (find_inst t l) 0
     | None -> Hashtbl.fold (fun _ inst acc -> count inst acc) t.insts 0
+
+  let membership ?(lock = default_lock) t =
+    Mutex.lock t.live_mu;
+    let m = Option.value ~default:[] (Hashtbl.find_opt t.memberships lock) in
+    Mutex.unlock t.live_mu;
+    m
 
   let suspected t =
     Mutex.lock t.live_mu;

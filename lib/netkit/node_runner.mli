@@ -138,6 +138,16 @@ module Make
   (** Peers currently suspected down by the liveness monitor (always
       empty when the monitor is off). *)
 
+  val membership : ?lock:string -> t -> (int * string) list
+  (** The member set [(id, addr)] this node currently believes for
+      [lock]: the birth set (addrs [""]) until the first committed
+      view's [Membership] note lands, then that view's members. The
+      runner keeps the transport peer set and the liveness monitor
+      pointed at the union of these sets across locks; frames from a
+      sender outside a lock's set are dropped before protocol
+      dispatch (counted as [dmutex_unknown_peer_total]), except
+      membership traffic and PRIVILEGE hand-offs. *)
+
   val set_loss : t -> float -> unit
   (** Drop outgoing frames with this probability (chaos testing; see
       {!Transport.set_loss}). *)

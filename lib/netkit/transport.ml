@@ -202,6 +202,11 @@ type peer = {
   reactor : int; (* index of the owning reactor *)
   mu : Mutex.t; (* guards [ring] *)
   ring : Ring.t;
+  retired : bool Atomic.t;
+      (* Excised from the membership view: sends are shed, the
+         connection is torn down by the owning reactor, and the slot
+         stays dead until [add_peer] revives it (a rejoin). *)
+  mutable endpoint : endpoint; (* may be re-pointed on rejoin *)
   (* Everything below is touched only by the owning reactor. *)
   mutable conn : conn;
   mutable next_attempt : float;
@@ -223,12 +228,13 @@ type iconn = {
 
 type t = {
   me : int;
-  peers : endpoint array;
+  mutable peers : endpoint array;
   on_frame : src:int -> lock:string -> string -> unit;
   on_heartbeat : src:int -> unit;
   fault : Fault.t option;
   listener : Unix.file_descr;
-  ps : peer array;
+  mutable ps : peer array;
+  peers_mu : Mutex.t; (* guards replacement of [peers]/[ps] *)
   reactors : Reactor.t array;
   iconns : (Unix.file_descr, iconn) Hashtbl.t array; (* per reactor *)
   max_queue : int;
@@ -339,8 +345,14 @@ let enqueue t ~dst ~counted ~not_before ~kind ~lock payload =
   ok
 
 let send_kind t ~dst ~lock ~counted kind payload =
-  if closed t || dst = t.me || dst < 0 || dst >= Array.length t.peers then
+  if closed t || dst = t.me || dst < 0 || dst >= Array.length t.ps then
     false
+  else if Atomic.get t.ps.(dst).retired then begin
+    (* The membership view excised this peer: the network ate it, as
+       far as the protocol is concerned. *)
+    count_dropped t counted;
+    true
+  end
   else begin
     let lost =
       Mutex.lock t.stats;
@@ -381,8 +393,11 @@ let send t ~dst ?(lock = "") payload =
 let broadcast t ?(lock = "") payload =
   let ok = ref 0 in
   cork t;
-  for dst = 0 to Array.length t.peers - 1 do
-    if dst <> t.me && send t ~dst ~lock payload then incr ok
+  let ps = t.ps in
+  for dst = 0 to Array.length ps - 1 do
+    if dst <> t.me && (not (Atomic.get ps.(dst).retired))
+       && send t ~dst ~lock payload
+    then incr ok
   done;
   uncork t;
   !ok
@@ -542,7 +557,7 @@ let on_connected t pe fd now upd =
   flush_peer t pe fd now upd
 
 let rec start_connect t pe now upd =
-  let ep = t.peers.(pe.dst) in
+  let ep = pe.endpoint in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
@@ -583,9 +598,25 @@ and conn_event t pe fd =
     | On cfd when cfd = fd -> flush_peer t pe fd now (fun _ -> ())
     | _ -> ()
 
+(* A peer the view excised: tear the connection down and drain its
+   ring — nothing queued for a dead member may linger or requeue. *)
+let drain_retired t pe =
+  (match pe.conn with
+  | On fd | Connecting (fd, _) -> close_conn_fd t pe fd
+  | Off -> ());
+  Flush.reset pe.fb;
+  pe.fb_pos <- 0;
+  pe.inflight <- [];
+  Mutex.lock pe.mu;
+  let gone = Ring.reject pe.ring (fun _ -> false) in
+  Mutex.unlock pe.mu;
+  List.iter (fun it -> count_dropped t it.i_counted) gone
+
 (* Per-iteration service of one peer: shed/connect/flush as its state
    demands, folding the peer's nearest deadline into [upd]. *)
 let service_peer t pe now upd =
+  if Atomic.get pe.retired then drain_retired t pe
+  else
   match pe.conn with
   | On fd -> if ring_has_due pe now || pe.fb_pos < Flush.length pe.fb then flush_peer t pe fd now upd else begin
       (* Idle connection: still surface the wake-up for delayed frames. *)
@@ -648,7 +679,10 @@ let parse_frames t ic =
       let off = ic.rpos + 4 in
       let h = Wire.Frame.decode_header_bytes ic.rbuf ~off ~len in
       let src = h.Wire.Frame.src in
-      if src < 0 || src >= Array.length t.peers || src = t.me then
+      (* The upper bound is soft: a joiner's frames arrive before the
+         local peer table has a slot for it (its JOIN-REQUEST is what
+         creates one). Ids that cannot be node ids are still garbage. *)
+      if src < 0 || src > 0xFFFF || src = t.me then
         raise (Wire.Malformed (Printf.sprintf "bad sender id %d" src));
       let admit =
         match t.fault with
@@ -750,11 +784,16 @@ let tick t k now =
     (match t.heartbeat_period with
     | Some p when k = 0 ->
         if now >= !(t.hb_next) then begin
-          for dst = 0 to Array.length t.peers - 1 do
+          let ps = t.ps in
+          for dst = 0 to Array.length ps - 1 do
             (* Piggybacking: any frame written within the last period
                already proved liveness to [dst]'s monitor — only emit
                a beacon for peers the transport has been silent to. *)
-            if dst <> t.me && now -. t.ps.(dst).last_tx >= p then
+            if
+              dst <> t.me
+              && (not (Atomic.get ps.(dst).retired))
+              && now -. ps.(dst).last_tx >= p
+            then
               ignore
                 (send_kind t ~dst ~lock:"" ~counted:false Wire.Frame.Heartbeat
                    "")
@@ -771,6 +810,24 @@ let tick t k now =
   end
 
 (* ------------------------------------------------------------------ *)
+
+let make_peer ~n_io ~max_queue ~retired dst endpoint =
+  {
+    dst;
+    reactor = dst mod n_io;
+    mu = Mutex.create ();
+    ring = Ring.create max_queue;
+    retired = Atomic.make retired;
+    endpoint;
+    conn = Off;
+    next_attempt = 0.0;
+    backoff = backoff_floor;
+    connected_once = false;
+    fb = Flush.create ();
+    fb_pos = 0;
+    inflight = [];
+    last_tx = 0.0;
+  }
 
 let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
     ?(on_heartbeat = fun ~src:_ -> ()) ?obs ?flush_us ?io_domains ~me ~peers
@@ -797,31 +854,19 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
   let reactors = Array.init n_io (fun _ -> Reactor.create ()) in
   let ps =
     Array.init (Array.length peers) (fun dst ->
-        {
-          dst;
-          reactor = dst mod n_io;
-          mu = Mutex.create ();
-          ring = Ring.create max_queue;
-          conn = Off;
-          next_attempt = 0.0;
-          backoff = backoff_floor;
-          connected_once = false;
-          fb = Flush.create ();
-          fb_pos = 0;
-          inflight = [];
-          last_tx = 0.0;
-        })
+        make_peer ~n_io ~max_queue ~retired:false dst peers.(dst))
   in
   let now = Unix.gettimeofday () in
   let t =
     {
       me;
-      peers;
+      peers = Array.copy peers;
       on_frame;
       on_heartbeat;
       fault;
       listener;
       ps;
+      peers_mu = Mutex.create ();
       reactors;
       iconns = Array.init n_io (fun _ -> Hashtbl.create 8);
       max_queue;
@@ -874,6 +919,64 @@ let create ?fault ?heartbeat_period ?(max_queue = 1024) ?(seed = 0x10ad)
 
 let set_loss t p = bump t (fun t -> t.loss <- p)
 let sent t = t.sent
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic membership: the peer table follows the committed view.
+   Slots are append-only — a removed peer's slot is retired, never
+   reused for a different endpoint under the same id, so queued frames
+   can never leak to a new incarnation at another address. *)
+
+let add_peer t ~dst ~host ~port =
+  if dst < 0 || dst > 0xFFFF then invalid_arg "Transport.add_peer: bad id";
+  if dst <> t.me && not (closed t) then begin
+    let ep = { host; port } in
+    Mutex.lock t.peers_mu;
+    let len = Array.length t.ps in
+    if dst < len then begin
+      (* Revive (or re-point) an existing slot — a rejoining peer may
+         come back at a new address. *)
+      let pe = t.ps.(dst) in
+      pe.endpoint <- ep;
+      t.peers.(dst) <- ep;
+      Atomic.set pe.retired false
+    end
+    else begin
+      let n_io = Array.length t.reactors in
+      (* Gap slots (ids between the old length and [dst]) are born
+         retired: they exist only so the array is dense. *)
+      let ps' =
+        Array.init (dst + 1) (fun i ->
+            if i < len then t.ps.(i)
+            else if i = dst then
+              make_peer ~n_io ~max_queue:t.max_queue ~retired:false i ep
+            else
+              make_peer ~n_io ~max_queue:t.max_queue ~retired:true i
+                { host = "127.0.0.1"; port = 0 })
+      in
+      let peers' =
+        Array.init (dst + 1) (fun i ->
+            if i < Array.length t.peers then t.peers.(i)
+            else if i = dst then ep
+            else { host = "127.0.0.1"; port = 0 })
+      in
+      t.ps <- ps';
+      t.peers <- peers'
+    end;
+    Mutex.unlock t.peers_mu;
+    wake_reactor t t.ps.(dst).reactor
+  end
+
+let retire_peer t ~dst =
+  if dst >= 0 && dst < Array.length t.ps && dst <> t.me then begin
+    let pe = t.ps.(dst) in
+    if not (Atomic.exchange pe.retired true) then
+      (* The owning reactor tears the connection down and drains the
+         ring on its next pass. *)
+      wake_reactor t pe.reactor
+  end
+
+let peer_retired t ~dst =
+  dst >= 0 && dst < Array.length t.ps && Atomic.get t.ps.(dst).retired
 
 let queue_depth t =
   let total = ref 0 in

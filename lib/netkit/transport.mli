@@ -126,6 +126,23 @@ val set_loss : t -> float -> unit
 val sent : t -> int
 (** Data frames successfully handed to the kernel so far. *)
 
+val add_peer : t -> dst:int -> host:string -> port:int -> unit
+(** Grow (or revive) the peer table to follow a committed membership
+    view. If [dst] already has a slot it is re-pointed at
+    [host:port] and un-retired (a rejoining peer may come back at a
+    new address); otherwise the table grows to [dst + 1] slots, any
+    gap ids born retired. Safe to call from protocol callbacks. *)
+
+val retire_peer : t -> dst:int -> unit
+(** Mark [dst] excised from the membership view: subsequent sends to
+    it are shed (counted as dropped), and the owning reactor tears
+    down its connection and drains its queue on the next pass. The
+    slot stays allocated — {!add_peer} revives it on rejoin.
+    Idempotent; unknown ids are ignored. *)
+
+val peer_retired : t -> dst:int -> bool
+(** Whether [dst] is currently retired (false for unknown ids). *)
+
 val metrics : t -> metrics
 
 val close : t -> unit

@@ -38,6 +38,16 @@ let transport_frames_per_flush = "dmutex_transport_frames_per_flush"
 (* Liveness / node runtime *)
 let suspicions_total = "dmutex_suspicions_total"
 
+(* Dynamic membership. [view_epoch] and [member_count] carry
+   [lock=<key>] — each lock instance runs its own view machinery, and a
+   churn soak asserts the epoch is monotone per lock. *)
+let view_epoch = "dmutex_view_epoch" (* gauge, label: lock *)
+let member_count = "dmutex_member_count" (* gauge, label: lock *)
+
+let unknown_peer_total = "dmutex_unknown_peer_total"
+(* frames from a sender outside every current member set, dropped
+   before protocol dispatch *)
+
 (* Durable store *)
 let store_wal_appends_total = "dmutex_store_wal_appends_total"
 let store_fsync_seconds = "dmutex_store_fsync_seconds" (* histogram *)

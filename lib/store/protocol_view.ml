@@ -16,6 +16,17 @@ let capture (st : Protocol.state) : Store.view =
       (match st.Protocol.token with
       | Some tk -> Store.Holding { epoch = tk.Protocol.epoch }
       | None -> Store.No_token);
+    (* Only committed (post-churn) views are worth persisting: the
+       birth view is implied by the configuration, and a joiner's
+       provisional singleton view must not shadow it. *)
+    mview =
+      (if st.Protocol.view.Protocol.vnum > 0 then
+         Some
+           ( st.Protocol.view.Protocol.vnum,
+             List.map
+               (fun (m : Protocol.member) -> (m.Protocol.mid, m.Protocol.maddr))
+               st.Protocol.view.Protocol.vmembers )
+       else None);
   }
 
 let to_restored (v : Store.view) : Protocol.restored =
@@ -28,7 +39,14 @@ let to_restored (v : Store.view) : Protocol.restored =
     r_had_token = (match v.Store.custody with
                    | Store.Holding _ -> true
                    | Store.No_token -> false);
+    r_view = v.Store.mview;
   }
+
+(* The trailing T_view firing makes the node re-announce its recovered
+   membership to its own runtime (a [Membership] note) so the runner
+   can point the transport and liveness monitor at the *current* view
+   before any protocol traffic flows. *)
+let view_kick = Types.Timer_fired Protocol.T_view
 
 let restore cfg ~me (v : Store.view option) :
     Protocol.state * (Protocol.message, Protocol.timer) Types.input list =
@@ -36,7 +54,7 @@ let restore cfg ~me (v : Store.view option) :
   | None ->
       (* Empty state directory on a restart: amnesia. The node comes
          back gated against token regeneration until resynchronized. *)
-      (Protocol.rejoin cfg me, [])
+      (Protocol.rejoin cfg me, [ view_kick ])
   | Some v ->
       let r = to_restored v in
       let st = Protocol.rejoin_restored cfg me r in
@@ -50,4 +68,4 @@ let restore cfg ~me (v : Store.view option) :
           [ Types.Receive (me, Protocol.Warning) ]
         else []
       in
-      (st, inputs)
+      (st, inputs @ [ view_kick ])

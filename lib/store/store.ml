@@ -11,6 +11,7 @@ type view = {
   next_seq : int;
   granted : int array;
   custody : custody;
+  mview : (int * (int * string) list) option;
 }
 
 type stats = {
@@ -29,6 +30,7 @@ let empty_view ~n =
     next_seq = 0;
     granted = Array.make n (-1);
     custody = No_token;
+    mview = None;
   }
 
 let copy_view v = { v with granted = Array.copy v.granted }
@@ -74,6 +76,11 @@ let tag_custody = 6
    {!Corrupt} instead of silently feeding one lock's epochs to
    another. *)
 let tag_key = 7
+
+(* Committed membership view: a restart must rejoin the *current*
+   view, not the birth view, or it would knock on excised peers and
+   miss joined ones. *)
+let tag_mview = 8
 
 let frame tag payload =
   let len = String.length payload in
@@ -129,6 +136,28 @@ let dec_custody d =
   | 1 -> Holding { epoch = Wire.Dec.int_ d }
   | c -> raise (Wire.Malformed (Printf.sprintf "invalid custody tag %d" c))
 
+let enc_mview e mv =
+  Wire.Enc.option e
+    (fun e (vnum, members) ->
+      Wire.Enc.int_ e vnum;
+      Wire.Enc.list e
+        (fun e (mid, addr) ->
+          Wire.Enc.int_ e mid;
+          Wire.Enc.string e addr)
+        members)
+    mv
+
+let dec_mview d =
+  Wire.Dec.option d (fun d ->
+      let vnum = Wire.Dec.int_ d in
+      let members =
+        Wire.Dec.list d (fun d ->
+            let mid = Wire.Dec.int_ d in
+            let addr = Wire.Dec.string d in
+            (mid, addr))
+      in
+      (vnum, members))
+
 let snapshot_payload ~n ~key v =
   enc_payload (fun e ->
       Wire.Enc.int_ e n;
@@ -138,7 +167,8 @@ let snapshot_payload ~n ~key v =
       Wire.Enc.int_ e v.enq_round;
       Wire.Enc.int_ e v.next_seq;
       Wire.Enc.array e Wire.Enc.int_ v.granted;
-      enc_custody e v.custody)
+      enc_custody e v.custody;
+      enc_mview e v.mview)
 
 let decode_snapshot ~n ~key payload =
   match
@@ -151,21 +181,28 @@ let decode_snapshot ~n ~key payload =
     let next_seq = Wire.Dec.int_ d in
     let granted = Wire.Dec.array d Wire.Dec.int_ in
     let custody = dec_custody d in
+    let mview = dec_mview d in
     Wire.Dec.check_eof d;
     ( stored_n,
       stored_key,
-      { epoch; election; enq_round; next_seq; granted; custody } )
+      { epoch; election; enq_round; next_seq; granted; custody; mview } )
   with
   | stored_n, stored_key, v ->
-      if stored_n <> n then
-        corrupt "snapshot written for a %d-node cluster, this one has %d"
-          stored_n n;
       if stored_key <> key then
         corrupt "snapshot written for lock key %S, this store opened for %S"
           stored_key key;
-      if Array.length v.granted <> n then
-        corrupt "snapshot granted vector has %d entries, expected %d"
-          (Array.length v.granted) n;
+      (* A store that never witnessed a committed view change still
+         belongs to the birth cluster, where the size is an invariant.
+         Once an mview is recorded the cluster has churned and the
+         granted vector may legitimately exceed the birth size. *)
+      if v.mview = None then begin
+        if stored_n <> n then
+          corrupt "snapshot written for a %d-node cluster, this one has %d"
+            stored_n n;
+        if Array.length v.granted <> n then
+          corrupt "snapshot granted vector has %d entries, expected %d"
+            (Array.length v.granted) n
+      end;
       v
   | exception Wire.Malformed m -> corrupt "snapshot payload: %s" m
 
@@ -183,13 +220,21 @@ let apply_record ~n base (tag, payload) =
       else if tag = tag_served then begin
         let node = Wire.Dec.int_ d in
         let seq = Wire.Dec.int_ d in
-        if node < 0 || node >= n then
+        (* Joined nodes carry ids beyond the birth size, so the upper
+           bound is soft: grow the vector rather than reject. An id
+           that is negative or absurdly large is still corruption. *)
+        if node < 0 || node >= n + 4096 then
           corrupt "WAL served record for node %d of %d" node n;
-        let granted = Array.copy base.granted in
+        let len = Array.length base.granted in
+        let granted =
+          if node < len then Array.copy base.granted
+          else Array.append base.granted (Array.make (node + 1 - len) (-1))
+        in
         granted.(node) <- seq;
         { base with granted }
       end
       else if tag = tag_custody then { base with custody = dec_custody d }
+      else if tag = tag_mview then { base with mview = dec_mview d }
       else corrupt "unknown WAL record tag %d" tag
     in
     Wire.Dec.check_eof d;
@@ -363,7 +408,7 @@ let stats t =
 (* Delta frames turning [old] into [v]; [old = None] diffs against the
    never-ran view so a first record persists every live field. *)
 let delta_frames ~n old v =
-  if Array.length v.granted <> n then
+  if Array.length v.granted < n && v.mview = None then
     invalid_arg "Store.record: granted vector length mismatch";
   let old = match old with Some o -> o | None -> empty_view ~n in
   let fs = ref [] in
@@ -376,9 +421,12 @@ let delta_frames ~n old v =
     add tag_enq_round (enc_payload (fun e -> Wire.Enc.int_ e v.enq_round));
   if v.next_seq <> old.next_seq then
     add tag_next_seq (enc_payload (fun e -> Wire.Enc.int_ e v.next_seq));
+  let old_served j =
+    if j < Array.length old.granted then old.granted.(j) else -1
+  in
   Array.iteri
     (fun j seq ->
-      if seq <> old.granted.(j) then
+      if seq <> old_served j then
         add tag_served
           (enc_payload (fun e ->
                Wire.Enc.int_ e j;
@@ -386,6 +434,8 @@ let delta_frames ~n old v =
     v.granted;
   if v.custody <> old.custody then
     add tag_custody (enc_payload (fun e -> enc_custody e v.custody));
+  if v.mview <> old.mview then
+    add tag_mview (enc_payload (fun e -> enc_mview e v.mview));
   List.rev !fs
 
 let write_all fd s =

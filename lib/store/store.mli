@@ -47,8 +47,14 @@ type view = {
   enq_round : int;  (** Highest ENQUIRY round seen or started. *)
   next_seq : int;  (** The node's own request counter. *)
   granted : int array;
-      (** Last-served request sequence per peer (the [L] vector). *)
+      (** Last-served request sequence per peer (the [L] vector); may
+          be longer than the birth cluster size once nodes join. *)
   custody : custody;
+  mview : (int * (int * string) list) option;
+      (** Last {e committed} membership view: [(vnum, members)] with
+          each member as [(id, addr)]. [None] until a view change
+          commits — the node still belongs to the birth view. A
+          restart rejoins the recorded view, not the birth view. *)
 }
 (** The protocol-critical slice of one node's state. *)
 
@@ -71,9 +77,10 @@ val open_ :
   dir:string -> n:int -> unit -> t
 (** Open (creating if needed) the state directory and recover:
     load the snapshot if present, replay the WAL over it, and truncate
-    any torn tail. [n] is the cluster size; a directory written for a
-    different [n] raises {!Corrupt}, as does any format-version
-    mismatch. [key] (default [""]) names the lock instance this store
+    any torn tail. [n] is the birth cluster size; a directory written
+    for a different [n] raises {!Corrupt} {e unless} the snapshot
+    records a committed membership view (churned clusters outgrow
+    their birth size), as does any format-version mismatch. [key] (default [""]) names the lock instance this store
     belongs to: it is embedded in the snapshot and stamped as the first
     record of every fresh WAL, so a directory written for a different
     lock key raises {!Corrupt} instead of silently cross-feeding

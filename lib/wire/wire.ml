@@ -6,8 +6,11 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
    incompatibly. Every transport frame and every persistent store
    record leads with this byte, so a mixed-version cluster (or a state
    directory written by an older binary) fails loudly at decode time
-   instead of misparsing. *)
-let format_version = 2
+   instead of misparsing. v3: dynamic membership — tokens carry a view
+   epoch, NEW-ARBITER carries the membership view, and the
+   JOIN-REQUEST / LEAVE-REQUEST / VIEW-CHANGE / VIEW-ACK messages and
+   the store's membership-view record exist. *)
+let format_version = 3
 
 module Enc = struct
   type t = Buffer.t
@@ -226,14 +229,34 @@ module Protocol_codec = struct
     Enc.list e enc_entry t.Protocol.tq;
     Enc.array e Enc.int_ t.Protocol.granted;
     Enc.int_ e t.Protocol.epoch;
-    Enc.int_ e t.Protocol.election
+    Enc.int_ e t.Protocol.election;
+    Enc.int_ e t.Protocol.vepoch
 
   let dec_token d =
     let tq = Dec.list d dec_entry in
     let granted = Dec.array d Dec.int_ in
     let epoch = Dec.int_ d in
     let election = Dec.int_ d in
-    { Protocol.tq; granted; epoch; election }
+    let vepoch = Dec.int_ d in
+    { Protocol.tq; granted; epoch; election; vepoch }
+
+  let enc_member e (m : Protocol.member) =
+    Enc.int_ e m.Protocol.mid;
+    Enc.string e m.Protocol.maddr
+
+  let dec_member d =
+    let mid = Dec.int_ d in
+    let maddr = Dec.string d in
+    { Protocol.mid; maddr }
+
+  let enc_view e (v : Protocol.view) =
+    Enc.int_ e v.Protocol.vnum;
+    Enc.list e enc_member v.Protocol.vmembers
+
+  let dec_view d =
+    let vnum = Dec.int_ d in
+    let vmembers = Dec.list d dec_member in
+    { Protocol.vnum; vmembers }
 
   let enc_status e = function
     | Protocol.Have_token -> Enc.u8 e 0
@@ -270,7 +293,8 @@ module Protocol_codec = struct
         Enc.int_ e na.Protocol.na_counter;
         Enc.int_ e na.Protocol.na_monitor;
         Enc.int_ e na.Protocol.na_epoch;
-        Enc.int_ e na.Protocol.na_election
+        Enc.int_ e na.Protocol.na_election;
+        enc_view e na.Protocol.na_view
     | Protocol.Warning -> Enc.u8 e 5
     | Protocol.Enquiry { round } ->
         Enc.u8 e 6;
@@ -286,7 +310,24 @@ module Protocol_codec = struct
         Enc.u8 e 9;
         Enc.int_ e round
     | Protocol.Probe -> Enc.u8 e 10
-    | Protocol.Probe_ack -> Enc.u8 e 11);
+    | Protocol.Probe_ack -> Enc.u8 e 11
+    | Protocol.Join_request m ->
+        Enc.u8 e 12;
+        enc_member e m
+    | Protocol.Leave_request lid ->
+        Enc.u8 e 13;
+        Enc.int_ e lid
+    | Protocol.View_change vc ->
+        Enc.u8 e 14;
+        enc_view e vc.Protocol.vc_view;
+        Enc.bool e vc.Protocol.vc_commit;
+        Enc.array e Enc.int_ vc.Protocol.vc_granted;
+        Enc.int_ e vc.Protocol.vc_epoch;
+        Enc.int_ e vc.Protocol.vc_election;
+        Enc.int_ e vc.Protocol.vc_arbiter
+    | Protocol.View_ack { va_vnum } ->
+        Enc.u8 e 15;
+        Enc.int_ e va_vnum);
     Enc.contents e
 
   let decode s =
@@ -305,9 +346,10 @@ module Protocol_codec = struct
           let na_monitor = Dec.int_ d in
           let na_epoch = Dec.int_ d in
           let na_election = Dec.int_ d in
+          let na_view = dec_view d in
           Protocol.New_arbiter
             { na_arbiter; na_q; na_granted; na_counter; na_monitor; na_epoch;
-              na_election }
+              na_election; na_view }
       | 5 -> Protocol.Warning
       | 6 -> Protocol.Enquiry { round = Dec.int_ d }
       | 7 ->
@@ -318,6 +360,19 @@ module Protocol_codec = struct
       | 9 -> Protocol.Invalidate { round = Dec.int_ d }
       | 10 -> Protocol.Probe
       | 11 -> Protocol.Probe_ack
+      | 12 -> Protocol.Join_request (dec_member d)
+      | 13 -> Protocol.Leave_request (Dec.int_ d)
+      | 14 ->
+          let vc_view = dec_view d in
+          let vc_commit = Dec.bool d in
+          let vc_granted = Dec.array d Dec.int_ in
+          let vc_epoch = Dec.int_ d in
+          let vc_election = Dec.int_ d in
+          let vc_arbiter = Dec.int_ d in
+          Protocol.View_change
+            { vc_view; vc_commit; vc_granted; vc_epoch; vc_election;
+              vc_arbiter }
+      | 15 -> Protocol.View_ack { va_vnum = Dec.int_ d }
       | t -> fail "unknown message tag %d" t
     in
     Dec.check_eof d;

@@ -164,6 +164,217 @@ module Broken_never_grant = struct
   let pp_state ppf st = Format.fprintf ppf "%d" st.me
 end
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic membership under the checker. The checker's inputs are CS
+   requests, deliveries and timer firings — it cannot inject
+   JOIN-REQUEST or LEAVE-REQUEST on its own. These adapters repurpose
+   a designated churner node's [Request_cs] budget as membership
+   intent, so every interleaving of a view change with requests and
+   token hand-offs is explored under the same safety and deadlock
+   properties.
+
+   A modelling caveat decides what runs with recovery enabled: the
+   checker fires armed timers at any moment (a sound over-
+   approximation of real time), but Section 6's safety rests on the
+   opposite assumption — an enquiry timeout outlasts any in-flight
+   message, so a round that concludes "lost" is never racing a merely
+   slow PRIVILEGE. Under the checker's asynchrony a premature
+   T_enquiry can mint a second token while the first is still in a
+   channel; [test_recovery_needs_timing] pins that artifact on the
+   static protocol. The churn scenarios therefore run with recovery
+   off (join/leave against live token passing), and
+   [Regen_churn] isolates the one regime where regeneration is sound
+   under asynchrony: a token that provably never existed, minted at
+   most once, racing an excision. *)
+
+(* Node n-1 starts outside the view (a joiner knocking at node 0);
+   its injected request fires the knock timer. The members' birth
+   view is shrunk accordingly, so admission is a real VIEW-CHANGE. *)
+module Join_churn = struct
+  include Resilient
+
+  let name = "bc-join-churn"
+
+  let init cfg me =
+    let n = cfg.Types.Config.n in
+    if me = n - 1 then Protocol.joiner cfg ~me ~seed:0 ~addr:""
+    else
+      let base = Protocol.init cfg me in
+      { base with
+        Protocol.view =
+          { Protocol.vnum = 0;
+            vmembers =
+              List.init (n - 1) (fun i -> { Protocol.mid = i; maddr = "" }) } }
+
+  let rejoin = init
+
+  let handle cfg ~now st input =
+    match input with
+    | Types.Request_cs
+      when st.Protocol.joining
+           || not (Protocol.is_member st.Protocol.view st.Protocol.me) ->
+        Resilient.handle cfg ~now st (Types.Timer_fired Protocol.T_view)
+    | _ -> Resilient.handle cfg ~now st input
+
+  let wants_cs st = (not st.Protocol.joining) && Resilient.wants_cs st
+end
+
+(* Node n-1 is a leaver: its first injected request is a genuine CS
+   request, every later one announces its own departure — so the
+   excision races a request it still has in flight, and (in some
+   interleavings) a critical section it is still inside, pinning the
+   mid-CS deferral of the token hand-off. *)
+module Leave_churn = struct
+  include Resilient
+
+  let name = "bc-leave-churn"
+
+  let handle cfg ~now st input =
+    match input with
+    | Types.Request_cs
+      when st.Protocol.me = cfg.Types.Config.n - 1
+           && (Resilient.wants_cs st || st.Protocol.in_cs
+              || st.Protocol.next_seq > 0) ->
+        Resilient.handle cfg ~now st
+          (Types.Receive
+             (st.Protocol.me, Protocol.Leave_request st.Protocol.me))
+    | _ -> Resilient.handle cfg ~now st input
+
+  (* An excised node's unserved want is not a liveness failure. *)
+  let wants_cs st =
+    Protocol.is_member st.Protocol.view st.Protocol.me
+    && Resilient.wants_cs st
+end
+
+(* A regeneration that is sound even under the checker's asynchrony:
+   node 0 is the arbiter of a token that never existed (as if its
+   custodian died before the model starts), so the single invalidation
+   round it runs can only mint the FIRST token — there is no in-flight
+   original to race. Node 0's request budget injects the self-WARNING
+   that starts the round (honoured regardless of clocks); once a token
+   epoch exists, every further recovery trigger is out of model. The
+   churner (node n-1) meanwhile requests and then leaves, so the
+   excision commit interleaves with the enquiry round, the
+   regeneration, and the first dispatches of the minted token. *)
+module Regen_churn = struct
+  include Resilient
+
+  let name = "bc-regen-churn"
+
+  let init cfg me =
+    let base = Protocol.init cfg me in
+    if me = 0 then
+      { base with Protocol.token = None; role = Protocol.Await_token [] }
+    else base
+
+  let rejoin = init
+
+  let handle cfg ~now st input =
+    match input with
+    | Types.Request_cs when st.Protocol.me = 0 && st.Protocol.token_epoch = 0
+      ->
+        Resilient.handle cfg ~now st (Types.Receive (0, Protocol.Warning))
+    | Types.Request_cs
+      when st.Protocol.me = cfg.Types.Config.n - 1
+           && (Resilient.wants_cs st || st.Protocol.in_cs
+              || st.Protocol.next_seq > 0) ->
+        Resilient.handle cfg ~now st
+          (Types.Receive
+             (st.Protocol.me, Protocol.Leave_request st.Protocol.me))
+    | Types.Timer_fired (Protocol.T_token | Protocol.T_watch | Protocol.T_probe)
+      ->
+        (st, [])
+    | Types.Timer_fired Protocol.T_enquiry
+      when st.Protocol.me <> 0 || st.Protocol.token_epoch > 0 ->
+        (st, [])
+    | _ -> Resilient.handle cfg ~now st input
+
+  let wants_cs st =
+    Protocol.is_member st.Protocol.view st.Protocol.me
+    && Resilient.wants_cs st
+end
+
+(* View changes against live token passing: the recovery machinery is
+   configured off, so the explored interleavings are exactly the
+   membership ones (knock/propose/ack/commit racing requests,
+   dispatches and the token in flight). *)
+let churn_cfg n =
+  { (Resilient.config ~n ()) with
+    Types.Config.max_retries = 2;
+    recovery = false }
+
+let regen_cfg n =
+  { (Resilient.config ~n ()) with Types.Config.max_retries = 2 }
+
+let test_join_churn_bounded () =
+  let module M = Mcheck.Make (Join_churn) in
+  let r = M.run ~max_states:120_000 ~requests_per_node:1 (churn_cfg 3) in
+  (match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace));
+  Alcotest.(check bool) "non-trivial space" true (r.states > 10_000)
+
+let test_leave_churn_bounded () =
+  let module M = Mcheck.Make (Leave_churn) in
+  let r = M.run ~max_states:120_000 ~requests_per_node:2 (churn_cfg 3) in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_regen_churn_bounded () =
+  let module M = Mcheck.Make (Regen_churn) in
+  let r = M.run ~max_states:120_000 ~requests_per_node:2 (regen_cfg 3) in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_join_churn_random () =
+  let module M = Mcheck.Make (Join_churn) in
+  let r =
+    M.run_random ~walks:300 ~depth:300 ~requests_per_node:1 (churn_cfg 3)
+  in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_leave_churn_random () =
+  let module M = Mcheck.Make (Leave_churn) in
+  let r =
+    M.run_random ~walks:300 ~depth:300 ~requests_per_node:2 (churn_cfg 3)
+  in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_regen_churn_random () =
+  let module M = Mcheck.Make (Regen_churn) in
+  let r =
+    M.run_random ~walks:300 ~depth:300 ~requests_per_node:2 (regen_cfg 3)
+  in
+  match r.violation with
+  | None -> ()
+  | Some v -> Alcotest.failf "violation: %s" (String.concat newline v.trace)
+
+let test_recovery_needs_timing () =
+  (* Pin the modelling caveat: under unrestricted asynchrony the
+     walker finds the interleaving where an enquiry round concludes
+     "lost" by timeout while the PRIVILEGE is merely slow, minting a
+     second token — two CS entries. Real deployments exclude this by
+     the Section 6 timing assumption (timeouts exceed message delay),
+     which the checker deliberately does not encode. Static
+     membership: the hole predates churn and is not widened by it. *)
+  let module M = Mcheck.Make (Resilient) in
+  let r =
+    M.run_random ~walks:2000 ~depth:300 ~requests_per_node:2 (regen_cfg 3)
+  in
+  match r.violation with
+  | Some { kind = `Safety; _ } -> ()
+  | Some { kind = `Deadlock; trace } ->
+      Alcotest.failf "unexpected deadlock: %s" (String.concat newline trace)
+  | None ->
+      Alcotest.fail
+        "expected the asynchronous-regeneration artifact to be reachable"
+
 let test_random_walks_basic () =
   (* Monte-Carlo exploration of a configuration too big to exhaust. *)
   let module M = Mcheck.Make (Basic) in
@@ -261,6 +472,20 @@ let suite =
         test_lamport_needs_fifo;
       Alcotest.test_case "basic n=2 under FIFO" `Quick
         test_basic_fifo_also_ok;
+      Alcotest.test_case "join churn n=3 (bounded)" `Slow
+        test_join_churn_bounded;
+      Alcotest.test_case "leave churn n=3 (bounded)" `Slow
+        test_leave_churn_bounded;
+      Alcotest.test_case "regeneration vs excision n=3 (bounded)" `Slow
+        test_regen_churn_bounded;
+      Alcotest.test_case "random walks: join churn" `Slow
+        test_join_churn_random;
+      Alcotest.test_case "random walks: leave churn" `Slow
+        test_leave_churn_random;
+      Alcotest.test_case "random walks: regeneration vs excision" `Slow
+        test_regen_churn_random;
+      Alcotest.test_case "recovery needs the timing assumption (pinned)"
+        `Slow test_recovery_needs_timing;
       Alcotest.test_case "random walks: basic n=4" `Slow
         test_random_walks_basic;
       Alcotest.test_case "random walks: monitored n=3" `Slow

@@ -139,7 +139,7 @@ let test_cs_done_passes_token () =
     { Protocol.tq = [ Qlist.entry ~node:1 ~seq:0 (); Qlist.entry ~node:3 ~seq:0 () ];
       granted = Qlist.Granted.create 4;
       epoch = 0;
-      election = 1 }
+      election = 1; vepoch = 0 }
   in
   let st = Protocol.init cfg 1 in
   let st, _ = step cfg st Request_cs in
@@ -161,7 +161,7 @@ let test_tail_becomes_arbiter () =
     { Protocol.tq = [ Qlist.entry ~node:1 ~seq:0 () ];
       granted = Qlist.Granted.create 4;
       epoch = 0;
-      election = 1 }
+      election = 1; vepoch = 0 }
   in
   let st = Protocol.init cfg 1 in
   let st, _ = step cfg st Request_cs in
@@ -178,7 +178,8 @@ let test_new_arbiter_election () =
     Protocol.New_arbiter
       { na_arbiter = 2; na_q = [ Qlist.entry ~node:2 ~seq:0 () ];
         na_granted = Qlist.Granted.create 4; na_counter = 1;
-        na_monitor = -1; na_epoch = 0; na_election = 1 }
+        na_monitor = -1; na_epoch = 0; na_election = 1;
+        na_view = Protocol.birth_view cfg }
   in
   let st, _ = step cfg st (Receive (0, na)) in
   Alcotest.(check bool) "elected: awaiting token" true
@@ -190,7 +191,8 @@ let test_stale_election_ignored () =
   let na ~arbiter ~election =
     Protocol.New_arbiter
       { na_arbiter = arbiter; na_q = []; na_granted = Qlist.Granted.create 4;
-        na_counter = 1; na_monitor = -1; na_epoch = 0; na_election = election }
+        na_counter = 1; na_monitor = -1; na_epoch = 0; na_election = election;
+        na_view = Protocol.birth_view cfg }
   in
   let st, _ = step cfg st (Receive (0, na ~arbiter:3 ~election:5)) in
   Alcotest.(check int) "fresh election applied" 3 st.Protocol.arbiter;
@@ -206,7 +208,8 @@ let test_miss_retransmission () =
     Protocol.New_arbiter
       { na_arbiter = 3; na_q = [ Qlist.entry ~node:1 ~seq:0 () ];
         na_granted = Qlist.Granted.create 4; na_counter = 1;
-        na_monitor = -1; na_epoch = 0; na_election = election }
+        na_monitor = -1; na_epoch = 0; na_election = election;
+        na_view = Protocol.birth_view cfg }
   in
   (* First miss: tolerated (request may be in flight). *)
   let st, effs = step cfg st (Receive (0, na ~election:1)) in
@@ -225,7 +228,8 @@ let test_ack_resets_misses () =
   let na ~q ~election =
     Protocol.New_arbiter
       { na_arbiter = 3; na_q = q; na_granted = Qlist.Granted.create 4;
-        na_counter = 1; na_monitor = -1; na_epoch = 0; na_election = election }
+        na_counter = 1; na_monitor = -1; na_epoch = 0; na_election = election;
+        na_view = Protocol.birth_view cfg }
   in
   let st, _ = step cfg st (Receive (0, na ~q:[] ~election:1)) in
   let st, effs =
@@ -280,7 +284,7 @@ let test_stale_token_discarded () =
   let st = { st with Protocol.token_epoch = 5 } in
   let tok =
     { Protocol.tq = [ Qlist.entry ~node:1 ~seq:0 () ];
-      granted = Qlist.Granted.create 4; epoch = 3; election = 1 }
+      granted = Qlist.Granted.create 4; epoch = 3; election = 1; vepoch = 0 }
   in
   let st', effs = step cfg st (Receive (0, Protocol.Privilege tok)) in
   Alcotest.(check bool) "not entered" false (has_enter effs);

@@ -28,7 +28,7 @@ let timers effs =
 let entry ?(hops = 0) node seq = Qlist.entry ~hops ~node ~seq ()
 
 let token ?(epoch = 0) ?(election = 1) q =
-  { Protocol.tq = q; granted = Qlist.Granted.create 4; epoch; election }
+  { Protocol.tq = q; granted = Qlist.Granted.create 4; epoch; election; vepoch = 0 }
 
 (* ------------------------- monitor (§4.1) ------------------------ *)
 
@@ -115,6 +115,7 @@ let test_miss_escape_to_monitor () =
         na_monitor = 0;
         na_epoch = 0;
         na_election = election;
+        na_view = Protocol.birth_view mon_cfg;
       }
   in
   let st, _ = step mon_cfg st (Receive (1, na ~election:1)) in
@@ -146,6 +147,7 @@ let elected_arbiter () =
         na_monitor = -1;
         na_epoch = 0;
         na_election = 3;
+        na_view = Protocol.birth_view res_cfg;
       }
   in
   let st, effs = step res_cfg st (Receive (0, na)) in
@@ -261,6 +263,7 @@ let test_announcement_cancels_recovery () =
         na_monitor = -1;
         na_epoch = 0;
         na_election = 9;
+        na_view = Protocol.birth_view res_cfg;
       }
   in
   let st, effs = step res_cfg st (Receive (3, na)) in
@@ -345,6 +348,7 @@ let test_watch_survives_self_announcement () =
             na_monitor = -1;
             na_epoch = 0;
             na_election = election;
+            na_view = Protocol.birth_view res_cfg;
           } )
   in
   let st, effs = step res_cfg st (na ~src:2 ~election:1) in

@@ -230,6 +230,10 @@ let na ~arbiter ~epoch ~election ~n =
       na_monitor = -1;
       na_epoch = epoch;
       na_election = election;
+      na_view =
+        { Protocol.vnum = 0;
+          vmembers =
+            List.init n (fun i -> { Protocol.mid = i; maddr = "" }) };
     }
 
 let test_amnesiac_never_regenerates () =
@@ -275,7 +279,7 @@ let test_restored_custodian_recovers () =
   let cfg = cfg ~n () in
   let r =
     { Protocol.r_epoch = 4; r_election = 2; r_enq_round = 1; r_next_seq = 3;
-      r_granted = Qlist.Granted.create n; r_had_token = true }
+      r_granted = Qlist.Granted.create n; r_had_token = true; r_view = None }
   in
   let st = Protocol.rejoin_restored cfg 0 r in
   Alcotest.(check bool) "not amnesiac with memory" false st.Protocol.amnesiac;
@@ -298,7 +302,7 @@ let test_restored_never_claims_token () =
   let cfg = cfg ~n () in
   let r =
     { Protocol.r_epoch = 4; r_election = 2; r_enq_round = 0; r_next_seq = 3;
-      r_granted = Qlist.Granted.create n; r_had_token = true }
+      r_granted = Qlist.Granted.create n; r_had_token = true; r_view = None }
   in
   let st = Protocol.rejoin_restored cfg 0 r in
   let _, effs =

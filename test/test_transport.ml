@@ -103,30 +103,47 @@ let test_short_frame () =
 
 let test_bad_frame_kind () =
   (* Valid version byte, sender id and (empty) lock key, kind byte 255. *)
-  let body = "\002\000\000\000\001\255\000\000payload" in
+  let body = "\003\000\000\000\001\255\000\000payload" in
   survives_garbage ~port:8707 ~peer_port:8708
     (length_prefix (String.length body) ^ body)
 
 let test_truncated_lock_key () =
   (* Lock-length field promises 200 key bytes; the frame ends first. *)
-  let body = "\002\000\000\000\001\000\000\200key" in
+  let body = "\003\000\000\000\001\000\000\200key" in
   survives_garbage ~port:8724 ~peer_port:8725
     (length_prefix (String.length body) ^ body)
 
 let test_version_mismatch () =
   (* A well-formed frame from a peer speaking a future format: the
      version byte must reject it before the kind byte is even read. *)
-  let body = "\003\000\000\000\001\000\000\000payload" in
+  let body = "\004\000\000\000\001\000\000\000payload" in
   Alcotest.(check bool) "crafted frame differs only in version" true
     (String.get_uint8 body 0 <> Wire.format_version);
   survives_garbage ~port:8726 ~peer_port:8727
     (length_prefix (String.length body) ^ body)
 
 let test_bad_sender_id () =
-  (* src 99 is out of the 2-node peer range. *)
-  let body = Wire.Frame.encode_header ~src:99 ~lock:"" Wire.Frame.Data ^ "evil" in
+  (* Sender ids are only loosely bounded (a joiner's first frames
+     arrive before the receiver's peer table has a slot for it);
+     src = me is the one id that can never be legitimate. *)
+  let body = Wire.Frame.encode_header ~src:0 ~lock:"" Wire.Frame.Data ^ "evil" in
   survives_garbage ~port:8709 ~peer_port:8710
     (length_prefix (String.length body) ^ body)
+
+let test_joiner_sender_id () =
+  (* The flip side: an id beyond the peer table is delivered, carrying
+     its real src — that's how a JOIN-REQUEST reaches the protocol
+     before any view admits the sender. *)
+  let tr, snapshot = listener ~port:8730 ~peer_port:8731 in
+  let raw = connect_raw 8730 in
+  write_all raw (good_frame ~src:99 "knock");
+  let delivered =
+    wait_for (fun () ->
+        List.exists (fun (s, _, p) -> s = 99 && p = "knock") (snapshot ()))
+  in
+  (try Unix.close raw with _ -> ());
+  Netkit.Transport.close tr;
+  Alcotest.(check bool) "high sender id delivered" true delivered
 
 let test_partial_header_disconnect () =
   (* Peer dies after two bytes of the length prefix. *)
@@ -428,6 +445,10 @@ let test_partial_write_large_frames () =
   Netkit.Transport.uncork sender;
   let all_in = wait_for ~timeout:15.0 (fun () -> List.length (snapshot ()) >= 6) in
   let got = snapshot () in
+  (* The sent counter settles on the reactor thread after the write
+     syscall; the receiver can see every frame first. *)
+  ignore
+    (wait_for (fun () -> (Netkit.Transport.metrics sender).Netkit.Transport.sent >= 6));
   let m = Netkit.Transport.metrics sender in
   Netkit.Transport.close sender;
   Netkit.Transport.close tr;
@@ -470,6 +491,11 @@ let test_cork_coalesces_multi_lock () =
   Netkit.Transport.uncork sender;
   let all_in = wait_for (fun () -> List.length (snapshot ()) >= 17) in
   let got = snapshot () in
+  (* The sent counter settles on the reactor thread after the write
+     syscall; the receiver can see every frame first. *)
+  ignore
+    (wait_for (fun () ->
+         (Netkit.Transport.metrics sender).Netkit.Transport.sent >= 17));
   let m = Netkit.Transport.metrics sender in
   Netkit.Transport.close sender;
   Netkit.Transport.close tr;
@@ -515,6 +541,8 @@ let test_flush_timer_liveness () =
   ignore (Netkit.Transport.send sender ~dst:0 "timed-2");
   Alcotest.(check bool) "second frame delivered after idle ring" true
     (wait_for (fun () -> List.mem (1, "", "timed-2") (snapshot ())));
+  ignore
+    (wait_for (fun () -> (Netkit.Transport.metrics sender).Netkit.Transport.sent >= 2));
   let m = Netkit.Transport.metrics sender in
   Netkit.Transport.close sender;
   Netkit.Transport.close tr;
@@ -544,6 +572,9 @@ let test_reconnect_preserves_pending_ring () =
     wait_for ~timeout:15.0 (fun () -> List.length (snapshot ()) >= 20)
   in
   let got = snapshot () in
+  ignore
+    (wait_for (fun () ->
+         (Netkit.Transport.metrics sender).Netkit.Transport.sent >= 20));
   let m = Netkit.Transport.metrics sender in
   Netkit.Transport.close sender;
   Netkit.Transport.close tr;
@@ -560,6 +591,128 @@ let test_reconnect_preserves_pending_ring () =
   Alcotest.(check bool) "failed connects counted as retries" true
     (m.Netkit.Transport.retries >= 1)
 
+let test_retire_mid_cork () =
+  (* A peer excised by a view change while the sender is inside a cork
+     window: everything latched for it must be shed at uncork — never
+     requeued toward the dead ring, never delivered — and reviving the
+     slot (a rejoin) must flow cleanly again. *)
+  let peers =
+    [|
+      { Netkit.Transport.host = "127.0.0.1"; port = 8741 };
+      { Netkit.Transport.host = "127.0.0.1"; port = 8742 };
+    |]
+  in
+  let sender =
+    Netkit.Transport.create ~me:0 ~peers ~on_frame:(fun ~src:_ ~lock:_ _ -> ())
+      ()
+  in
+  let tr, snapshot =
+    let received = ref [] in
+    let mu = Mutex.create () in
+    let tr =
+      Netkit.Transport.create ~me:1 ~peers
+        ~on_frame:(fun ~src ~lock:_ payload ->
+          Mutex.lock mu;
+          received := (src, payload) :: !received;
+          Mutex.unlock mu)
+        ()
+    in
+    ( tr,
+      fun () ->
+        Mutex.lock mu;
+        let l = List.rev !received in
+        Mutex.unlock mu;
+        l )
+  in
+  (* Warm the connection up so the corked frames would otherwise fly. *)
+  Alcotest.(check bool) "warm-up send accepted" true
+    (Netkit.Transport.send sender ~dst:1 "warm-up");
+  Alcotest.(check bool) "warm-up delivered" true
+    (wait_for (fun () -> List.exists (fun (_, p) -> p = "warm-up") (snapshot ())));
+  Netkit.Transport.cork sender;
+  Alcotest.(check bool) "corked send accepted" true
+    (Netkit.Transport.send sender ~dst:1 "corked-then-retired");
+  Netkit.Transport.retire_peer sender ~dst:1;
+  Netkit.Transport.uncork sender;
+  Alcotest.(check bool) "retired flag set" true
+    (Netkit.Transport.peer_retired sender ~dst:1);
+  let shed =
+    wait_for (fun () ->
+        (Netkit.Transport.metrics sender).Netkit.Transport.dropped >= 1)
+  in
+  Alcotest.(check bool) "corked frame shed on retire" true shed;
+  (* Sends to a retired slot are shed silently (like chaos loss). *)
+  Alcotest.(check bool) "send to retired slot accepted-and-shed" true
+    (Netkit.Transport.send sender ~dst:1 "into-the-void");
+  (* Revive the slot — the rejoin path — and prove traffic flows. *)
+  Netkit.Transport.add_peer sender ~dst:1 ~host:"127.0.0.1" ~port:8742;
+  Alcotest.(check bool) "send after revive accepted" true
+    (Netkit.Transport.send sender ~dst:1 "after-revive");
+  let revived =
+    wait_for (fun () ->
+        List.exists (fun (_, p) -> p = "after-revive") (snapshot ()))
+  in
+  Alcotest.(check bool) "frame delivered after revive" true revived;
+  Alcotest.(check bool) "retired frames never delivered" false
+    (List.exists
+       (fun (_, p) -> p = "corked-then-retired" || p = "into-the-void")
+       (snapshot ()));
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr
+
+let test_add_peer_mid_cork () =
+  (* The opposite race: a peer added (view commit) inside a cork
+     window. Frames sent to the brand-new slot while still corked must
+     be flushed by the uncork like any other latched send. *)
+  let sender =
+    Netkit.Transport.create ~me:0
+      ~peers:[| { Netkit.Transport.host = "127.0.0.1"; port = 8743 } |]
+      ~on_frame:(fun ~src:_ ~lock:_ _ -> ())
+      ()
+  in
+  let tr, snapshot =
+    let received = ref [] in
+    let mu = Mutex.create () in
+    let peers =
+      [|
+        { Netkit.Transport.host = "127.0.0.1"; port = 8743 };
+        { Netkit.Transport.host = "127.0.0.1"; port = 8744 };
+      |]
+    in
+    let tr =
+      Netkit.Transport.create ~me:1 ~peers
+        ~on_frame:(fun ~src ~lock payload ->
+          Mutex.lock mu;
+          received := (src, lock, payload) :: !received;
+          Mutex.unlock mu)
+        ()
+    in
+    ( tr,
+      fun () ->
+        Mutex.lock mu;
+        let l = List.rev !received in
+        Mutex.unlock mu;
+        l )
+  in
+  Netkit.Transport.cork sender;
+  (* The slot does not exist yet: out-of-table sends are refused... *)
+  Alcotest.(check bool) "send before add_peer refused" false
+    (Netkit.Transport.send sender ~dst:1 "too-early");
+  (* ...until the view commit installs it, mid-cork. *)
+  Netkit.Transport.add_peer sender ~dst:1 ~host:"127.0.0.1" ~port:8744;
+  Alcotest.(check bool) "send to fresh slot accepted" true
+    (Netkit.Transport.send sender ~dst:1 "corked-to-newcomer");
+  Netkit.Transport.uncork sender;
+  let delivered =
+    wait_for (fun () ->
+        List.exists
+          (fun (_, _, p) -> p = "corked-to-newcomer")
+          (snapshot ()))
+  in
+  Alcotest.(check bool) "corked frame flushed to added peer" true delivered;
+  Netkit.Transport.close sender;
+  Netkit.Transport.close tr
+
 let suite =
   ( "transport",
     [
@@ -572,6 +725,10 @@ let suite =
         test_version_mismatch;
       Alcotest.test_case "lock key demultiplexing" `Quick test_lock_key_demux;
       Alcotest.test_case "out-of-range sender id" `Quick test_bad_sender_id;
+      Alcotest.test_case "beyond-table sender id delivered" `Quick
+        test_joiner_sender_id;
+      Alcotest.test_case "peer retired mid-cork" `Quick test_retire_mid_cork;
+      Alcotest.test_case "peer added mid-cork" `Quick test_add_peer_mid_cork;
       Alcotest.test_case "partial header then disconnect" `Quick
         test_partial_header_disconnect;
       Alcotest.test_case "mid-frame disconnect" `Quick

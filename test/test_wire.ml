@@ -10,6 +10,7 @@ let sample_token =
     granted = [| 3; -1; 0; 7 |];
     epoch = 2;
     election = 41;
+    vepoch = 5;
   }
 
 let messages : Protocol.message list =
@@ -27,6 +28,12 @@ let messages : Protocol.message list =
         na_monitor = 1;
         na_epoch = 0;
         na_election = 17;
+        na_view =
+          { Protocol.vnum = 3;
+            vmembers =
+              [ { Protocol.mid = 0; maddr = "127.0.0.1:7000" };
+                { Protocol.mid = 3; maddr = "" };
+                { Protocol.mid = 5; maddr = "10.0.0.5:7100" } ] };
       };
     Protocol.Warning;
     Protocol.Enquiry { round = 3 };
@@ -123,7 +130,12 @@ let gen_token =
   QCheck.Gen.(
     map3
       (fun tq granted (epoch, election) ->
-        { Protocol.tq; granted = Array.of_list granted; epoch; election })
+        { Protocol.tq;
+          granted = Array.of_list granted;
+          epoch;
+          election;
+          vepoch = epoch * 7 mod 11;
+        })
       (list_size (0 -- 10) gen_entry)
       (list_size (1 -- 10) (int_range (-1) 1000))
       (pair (int_range 0 50) (int_range 0 5000)))
@@ -147,6 +159,15 @@ let gen_message =
                 na_monitor = arb - 1;
                 na_epoch = counter mod 3;
                 na_election = election;
+                na_view =
+                  {
+                    Protocol.vnum = counter mod 5;
+                    vmembers =
+                      List.mapi
+                        (fun i g ->
+                          { Protocol.mid = i; maddr = string_of_int g })
+                        granted;
+                  };
               })
           (list_size (0 -- 8) gen_entry)
           (list_size (1 -- 8) (int_range (-1) 100))
