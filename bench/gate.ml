@@ -8,11 +8,14 @@
    the absolute acceptance band of the paper's Eq. 4, and total
    wall-clock must not regress beyond the (separately tuned, looser)
    wall tolerance. Prints one line per check; exits 1 on any failure,
-   2 on unreadable input. *)
+   2 on unreadable input. Every failure mode is a one-line diagnosis
+   naming the file — a missing or corrupt baseline must read as "fix
+   the baseline", never as a gate crash. *)
 
 let tolerance = ref 0.25
 let wall_tolerance = ref 0.25
 let sharded_floor = ref nan
+let client_floor = ref nan
 let files = ref []
 
 let spec =
@@ -28,11 +31,15 @@ let spec =
       Arg.Set_float sharded_floor,
       "R  absolute floor on sharded cs_per_sec (default none); applies \
        regardless of the baseline" );
+    ( "--client-floor",
+      Arg.Set_float client_floor,
+      "R  absolute floor on client-swarm acq_per_sec (default none); \
+       applies regardless of the baseline" );
   ]
 
 let usage = "gate [options] BASELINE.json CURRENT.json"
 
-let read path =
+let read role path =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -40,36 +47,50 @@ let read path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error e ->
-      Printf.eprintf "gate: %s\n" e;
+      Printf.eprintf "gate: cannot read %s file: %s\n" role e;
+      exit 2
+  | exception e ->
+      Printf.eprintf "gate: cannot read %s file %s: %s\n" role path
+        (Printexc.to_string e);
       exit 2
   | s -> (
       match Dmutex_obs.Json.of_string s with
       | Ok j -> j
       | Error e ->
-          Printf.eprintf "gate: %s: %s\n" path e;
+          Printf.eprintf "gate: %s file %s is not valid JSON: %s\n" role path e;
           exit 2)
 
 let () =
   Arg.parse spec (fun f -> files := f :: !files) usage;
   match List.rev !files with
-  | [ baseline_path; current_path ] ->
-      let baseline = read baseline_path and current = read current_path in
-      let outcome =
+  | [ baseline_path; current_path ] -> (
+      let baseline = read "baseline" baseline_path
+      and current = read "current" current_path in
+      match
         Dmutex_obs.Gate.run ~tolerance:!tolerance
           ~wall_tolerance:!wall_tolerance
           ?sharded_floor:
-            (if Float.is_nan !sharded_floor then None
-             else Some !sharded_floor)
+            (if Float.is_nan !sharded_floor then None else Some !sharded_floor)
+          ?client_floor:
+            (if Float.is_nan !client_floor then None else Some !client_floor)
           ~baseline ~current ()
-      in
-      List.iter print_endline outcome.Dmutex_obs.Gate.lines;
-      if outcome.Dmutex_obs.Gate.failures = [] then
-        print_endline "gate: all checks passed"
-      else begin
-        Printf.printf "gate: %d check(s) FAILED\n"
-          (List.length outcome.Dmutex_obs.Gate.failures);
-        exit 1
-      end
+      with
+      | exception e ->
+          (* Schema surprises (e.g. a number where an object belongs)
+             must still yield a diagnosis, not a backtrace. *)
+          Printf.eprintf
+            "gate: cannot compare %s against %s: %s\n" current_path
+            baseline_path (Printexc.to_string e);
+          exit 2
+      | outcome ->
+          List.iter print_endline outcome.Dmutex_obs.Gate.lines;
+          if outcome.Dmutex_obs.Gate.failures = [] then
+            print_endline "gate: all checks passed"
+          else begin
+            Printf.printf "gate: %d check(s) FAILED\n"
+              (List.length outcome.Dmutex_obs.Gate.failures);
+            exit 1
+          end)
   | _ ->
       prerr_endline usage;
       exit 2

@@ -410,6 +410,98 @@ let sharded () =
   in
   derived_reports := ("sharded", json) :: !derived_reports
 
+(* ------------------------------------------------------------------ *)
+(* Client swarm: the session layer measured live. M ≫ N thin clients
+   (each a Session_client over loopback TCP) hammer K locks through
+   the session services of an N-node cluster. Reports the aggregate
+   grant rate and — the acceptance criterion — the protocol
+   messages-per-CS, which must stay in the same Eq. 4 band as a
+   clientless cluster: sessions multiplex onto the node's token
+   passing, they add zero protocol messages. *)
+
+module SSession = Netkit.Session.Make (Dmutex.Resilient) (Wire.Protocol_codec)
+
+let client_swarm () =
+  let open Dmutex_obs in
+  let n = 5 in
+  let k = 4 in
+  let clients = if quick then 48 else 200 in
+  let rounds = if quick then 2 else 3 in
+  let locks = List.init k (fun i -> Printf.sprintf "swarm-%d" i) in
+  let cfg =
+    {
+      (Dmutex.Resilient.config ~n ()) with
+      Dmutex.Types.Config.t_collect = 0.002;
+      t_forward = 0.002;
+    }
+  in
+  let grants = Atomic.make 0 and failures = Atomic.make 0 in
+  let cluster, elapsed =
+    timed "client:swarm" (fun () ->
+        let cluster = SCluster.launch ~base_port:8951 ~locks cfg in
+        let servers =
+          Array.init n (fun i ->
+              SSession.create
+                ~fencing:Dmutex_store.Protocol_view.fencing_of_state
+                ~node:(SCluster.node cluster i)
+                ~addr:{ Netkit.Transport.host = "127.0.0.1"; port = 0 }
+                ())
+        in
+        let addrs =
+          Array.to_list
+            (Array.map
+               (fun s ->
+                 { Netkit.Transport.host = "127.0.0.1"; port = SSession.port s })
+               servers)
+        in
+        let t0 = Unix.gettimeofday () in
+        let worker c () =
+          let cl =
+            Netkit.Session_client.connect ~seed:(0x5eed + c) ~addrs ()
+          in
+          let lock = Printf.sprintf "swarm-%d" (c mod k) in
+          for _ = 1 to rounds do
+            match
+              Netkit.Session_client.with_lock ~timeout:60.0 ~lock cl
+                (fun ~fencing:_ -> ())
+            with
+            | Ok () -> Atomic.incr grants
+            | Error _ -> Atomic.incr failures
+          done;
+          Netkit.Session_client.close cl
+        in
+        let threads = List.init clients (fun c -> Thread.create (worker c) ()) in
+        List.iter Thread.join threads;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Array.iter SSession.shutdown servers;
+        (cluster, elapsed))
+  in
+  let report = SCluster.obs_report cluster in
+  SCluster.shutdown cluster;
+  let granted = Atomic.get grants and failed = Atomic.get failures in
+  let acq_per_sec =
+    if elapsed > 0.0 then float_of_int granted /. elapsed else 0.0
+  in
+  Format.fprintf fmt
+    "client:swarm — %d clients x %d rounds over %d locks, %d nodes: %d \
+     grants in %.2f s (%.1f acq/s), %.3f protocol msgs/CS, %d failures@."
+    clients rounds k n granted elapsed acq_per_sec
+    report.Report.messages_per_cs failed;
+  line ();
+  let json =
+    Json.Obj
+      [
+        ("clients", Json.Num (float_of_int clients));
+        ("nodes", Json.Num (float_of_int n));
+        ("locks", Json.Num (float_of_int k));
+        ("grants", Json.Num (float_of_int granted));
+        ("failures", Json.Num (float_of_int failed));
+        ("acq_per_sec", Json.Num acq_per_sec);
+        ("messages_per_cs", Json.Num report.Report.messages_per_cs);
+      ]
+  in
+  derived_reports := ("client", json) :: !derived_reports
+
 let kernel_estimates : (string * float) list ref = ref []
 
 let run_micro () =
@@ -516,6 +608,7 @@ let () =
   tables ();
   derived ();
   sharded ();
+  client_swarm ();
   run_micro ();
   let total = Unix.gettimeofday () -. t0 in
   Format.fprintf fmt "total wall-clock: %.2f s (jobs=%d)@." total

@@ -19,6 +19,7 @@
 
 open Cmdliner
 module Node = Netkit.Node_runner.Make (Dmutex.Resilient) (Wire.Protocol_codec)
+module Session = Netkit.Session.Make (Dmutex.Resilient) (Wire.Protocol_codec)
 
 let parse_endpoint s =
   match String.split_on_char ':' s with
@@ -153,6 +154,31 @@ let state_dir_arg =
            rejoins but refuses to regenerate tokens until \
            resynchronized." ~docv:"DIR")
 
+let client_addr_arg =
+  Arg.(
+    value
+    & opt (some endpoint_conv) None
+    & info [ "client-addr" ]
+        ~doc:
+          "Serve thin clients on this HOST:PORT (port 0 picks an \
+           ephemeral port, logged at startup). Clients speak the \
+           session wire protocol — hello / open-session / acquire / \
+           release / renew — and this node holds the protocol token \
+           on their behalf; every grant carries a fencing token. \
+           Without this flag the node serves no clients." ~docv:"HOST:PORT")
+
+let lease_ms_arg =
+  Arg.(
+    value
+    & opt int 5_000
+    & info [ "lease-ms" ]
+        ~doc:
+          "Client session lease in milliseconds. A session whose \
+           client stops renewing for this long is expired: its grants \
+           are released, queued requests cancelled, and a reconnecting \
+           client is told the session is lost. Only meaningful with \
+           --client-addr." ~docv:"MS")
+
 let print_metrics node id =
   let m = Node.metrics node in
   let notes = Node.notes node in
@@ -189,19 +215,6 @@ let print_store_stats node id =
                Printf.sprintf "%.1fs ago"
                  (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush)))
     (Node.locks node)
-
-(* Same directory-name encoding the test cluster uses: anything
-   outside [A-Za-z0-9_-] becomes %XX, so arbitrary keys map to safe,
-   collision-free path segments. *)
-let sanitize_key key =
-  let buf = Buffer.create (String.length key) in
-  String.iter
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> Buffer.add_char buf c
-      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
-    key;
-  Buffer.contents buf
 
 (* Minimal single-threaded HTTP responder: every request, whatever the
    path, gets the current Prometheus exposition. Enough for a scrape
@@ -245,7 +258,7 @@ let serve_metrics (ep : Netkit.Transport.endpoint) reg =
        ())
 
 let run id peers locks demo verbose metrics_every loss heartbeat flush_us
-    metrics_addr trace_file join state_dir =
+    metrics_addr trace_file join state_dir client_addr lease_ms =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let peers = Array.of_list peers in
@@ -305,7 +318,13 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
         mkdir_p root;
         List.map
           (fun lock ->
-            let dir = Filename.concat root ("lock-" ^ sanitize_key lock) in
+            (* Directory-name encoding shared with the test cluster
+               via the store, so both tools lay out (and can reopen)
+               the same per-lock state directories. *)
+            let dir =
+              Filename.concat root
+                ("lock-" ^ Dmutex_store.Store.dir_name_of_key lock)
+            in
             let store = Dmutex_store.Store.open_ ~dir ~key:lock ~n ~obs () in
             match Dmutex_store.Store.view store with
             | None -> (lock, (store, None, []))
@@ -382,6 +401,23 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
       List.iter (Node.inject ~lock node) inputs)
     locks;
   if loss > 0.0 then Node.set_loss node loss;
+  (* Client session service: thin clients connect here and this node
+     fronts the protocol for them. Started after the node so grants
+     can flow immediately; shut down before the node so in-flight
+     grants drain through a live protocol engine. *)
+  let session_server =
+    Option.map
+      (fun (addr : Netkit.Transport.endpoint) ->
+        let srv =
+          Session.create ~lease_ms ~obs ?trace
+            ~fencing:Dmutex_store.Protocol_view.fencing_of_state ~node ~addr ()
+        in
+        Logs.info (fun m ->
+            m "node %d: serving clients on %s:%d (lease %dms)" id addr.host
+              (Session.port srv) lease_ms);
+        srv)
+      client_addr
+  in
   if metrics_every > 0.0 then
     ignore
       (Thread.create
@@ -407,6 +443,17 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
     (* Metrics before shutdown (a closed transport reads all-zero),
        store stats after (so the final flush is included). *)
     print_metrics node id;
+    Option.iter
+      (fun srv ->
+        let s = Session.stats srv in
+        Printf.printf
+          "node %d: sessions opened=%d resumed=%d expired=%d granted=%d \
+           rejected=%d stale-grants=%d\n\
+           %!"
+          id s.Session.opened s.Session.resumed s.Session.expired
+          s.Session.granted s.Session.rejected s.Session.stale_grants;
+        Session.shutdown srv)
+      session_server;
     Node.shutdown node;
     print_store_stats node id;
     (match (trace, trace_file) with
@@ -464,6 +511,7 @@ let main =
     Term.(
       const run $ id_arg $ peers_arg $ locks_arg $ demo_arg $ verbose_arg
       $ metrics_every_arg $ loss_arg $ heartbeat_arg $ flush_us_arg
-      $ metrics_addr_arg $ trace_file_arg $ join_arg $ state_dir_arg)
+      $ metrics_addr_arg $ trace_file_arg $ join_arg $ state_dir_arg
+      $ client_addr_arg $ lease_ms_arg)
 
 let () = exit (Cmd.eval main)

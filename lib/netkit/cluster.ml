@@ -61,22 +61,13 @@ struct
 
   let state_dir root i = Filename.concat root (Printf.sprintf "node-%d" i)
 
-  (* Lock keys are arbitrary strings; percent-encode anything outside
-     the filesystem-safe set so every key maps to a distinct, portable
-     subdirectory name. *)
-  let sanitize_key key =
-    let buf = Buffer.create (String.length key) in
-    String.iter
-      (fun c ->
-        match c with
-        | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' ->
-            Buffer.add_char buf c
-        | c -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
-      key;
-    Buffer.contents buf
-
+  (* Lock keys are arbitrary strings; the store's round-trip-guarded
+     percent-encoding maps every key to a distinct, portable
+     subdirectory name (shared with [bin/dmutexd] so both tools agree
+     on the layout). *)
   let lock_dir root i key =
-    Filename.concat (state_dir root i) ("lock-" ^ sanitize_key key)
+    Filename.concat (state_dir root i)
+      ("lock-" ^ Dmutex_store.Store.dir_name_of_key key)
 
   (* Per-lock store opener for node [i]: each instance recovers from
      (and appends to) its own key-stamped subdirectory. *)

@@ -639,6 +639,7 @@ struct
     | _ -> ());
     t
 
+  let id t = t.me
   let locks t = t.lock_order
 
   let acquire ?(lock = default_lock) t =

@@ -90,6 +90,9 @@ module Make
       defaults — flush on the next reactor pass, one I/O domain — are
       right for most deployments. *)
 
+  val id : t -> int
+  (** This node's id (the [me] passed at [create]). *)
+
   val locks : t -> string list
   (** The lock keys this node hosts, in [create] order. *)
 

@@ -1,0 +1,42 @@
+exception Closed
+
+let max_frame = 1 lsl 20
+
+let rec really_read fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.read fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    in
+    if n = 0 then raise Closed;
+    if n < 0 then really_read fd buf pos len
+    else really_read fd buf (pos + n) (len - n)
+  end
+
+let recv fd =
+  let hdr = Bytes.create 4 in
+  really_read fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_frame then
+    raise (Wire.Malformed (Printf.sprintf "client frame length %d" len));
+  let body = Bytes.create len in
+  really_read fd body 0 len;
+  Bytes.unsafe_to_string body
+
+let send fd msg =
+  let len = String.length msg in
+  if len > max_frame then
+    invalid_arg "Session_frame.send: message exceeds the frame cap";
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string msg 0 b 4 len;
+  let rec write pos remaining =
+    if remaining > 0 then begin
+      let n =
+        try Unix.write fd b pos remaining
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      write (pos + n) (remaining - n)
+    end
+  in
+  write 0 (4 + len)

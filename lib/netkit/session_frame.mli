@@ -1,0 +1,21 @@
+(** Length-prefixed message framing for the client session protocol:
+    each {!Wire.Client} request or response travels as a 32-bit
+    big-endian length followed by the encoded body, over a blocking
+    socket. Shared by the session service ({!Session}) and the client
+    library ({!Session_client}) so both agree on the byte stream. *)
+
+exception Closed
+(** The peer closed the connection (EOF mid-frame or before one). *)
+
+val max_frame : int
+(** Upper bound on one message body (1 MiB); a larger announced
+    length raises {!Wire.Malformed} — garbage, not a message. *)
+
+val recv : Unix.file_descr -> string
+(** Read one framed message body. Raises {!Closed} on EOF,
+    {!Wire.Malformed} on an absurd length, [Unix.Unix_error] on socket
+    failure. *)
+
+val send : Unix.file_descr -> string -> unit
+(** Write one framed message. Raises [Unix.Unix_error] on socket
+    failure (including a send timeout if the socket has one set). *)

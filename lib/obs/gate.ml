@@ -16,7 +16,7 @@ type check = {
 let get path json = Option.bind (Json.path path json) Json.num
 
 let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
-    ?sharded_floor ~baseline ~current () =
+    ?sharded_floor ?client_floor ~baseline ~current () =
   let checks =
     [
       {
@@ -57,6 +57,29 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
            cannot ratchet it away. *)
         tolerance = wall_tolerance;
         band = Option.map (fun lo -> (lo, infinity)) sharded_floor;
+        direction = Lower_bad;
+        optional = true;
+      };
+      (* The client-swarm experiment: M ≫ N thin clients behind the
+         session layer. Per-CS protocol cost must stay in the Eq. 4
+         band — sessions multiplex onto the same token passing, they
+         do not add protocol messages — and the aggregate grant rate
+         must not collapse (optional absolute floor, like sharded).
+         Optional so baselines recorded before the session layer
+         existed still gate. *)
+      {
+        label = "client-swarm messages/CS";
+        path = [ "derived"; "client"; "messages_per_cs" ];
+        tolerance;
+        band = Some band;
+        direction = Higher_bad;
+        optional = true;
+      };
+      {
+        label = "client-swarm acquisitions/sec";
+        path = [ "derived"; "client"; "acq_per_sec" ];
+        tolerance = wall_tolerance;
+        band = Option.map (fun lo -> (lo, infinity)) client_floor;
         direction = Lower_bad;
         optional = true;
       };

@@ -23,9 +23,10 @@
 
     Improvements never fail. Metrics missing from the {e baseline} are
     skipped with a note (forward compatibility); metrics missing from
-    the {e current} run fail — except the optional sharded metrics,
-    which are skipped when absent from both runs (baselines and runs
-    that predate the lock namespace). *)
+    the {e current} run fail — except the optional sharded and
+    client-swarm metrics, which are skipped when absent from both runs
+    (baselines and runs that predate the lock namespace or the client
+    session layer). *)
 
 type outcome = {
   lines : string list;  (** human-readable report, one line per check *)
@@ -44,6 +45,11 @@ val run :
      default none. Like [band], it applies regardless of the baseline,
      pinning the transport's throughput so later changes cannot walk
      it back one tolerated regression at a time. *)
+  ?client_floor:float ->
+  (* absolute floor on the client-swarm experiment's acq_per_sec
+     (grants issued to thin clients per second); default none. The
+     client-swarm checks are optional like the sharded ones —
+     baselines that predate the session layer skip them. *)
   baseline:Json.t ->
   current:Json.t ->
   unit ->

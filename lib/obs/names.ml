@@ -48,6 +48,22 @@ let unknown_peer_total = "dmutex_unknown_peer_total"
 (* frames from a sender outside every current member set, dropped
    before protocol dispatch *)
 
+(* Client session layer. [client_fencing] and the per-lock counters
+   carry [lock=<key>]; rejections carry [reason=<reject reason>]. *)
+let client_sessions = "dmutex_client_sessions" (* gauge: live sessions *)
+let client_sessions_opened_total = "dmutex_client_sessions_opened_total"
+let client_resumes_total = "dmutex_client_resumes_total"
+let client_grants_total = "dmutex_client_grants_total" (* label: lock *)
+let client_rejections_total = "dmutex_client_rejections_total" (* label: reason *)
+let client_lease_expiries_total = "dmutex_client_lease_expiries_total"
+let client_stale_grants_total = "dmutex_client_stale_grants_total"
+(* grants dropped because no genuine fencing token could be derived
+   (e.g. a recovery re-granted an already-served request) *)
+
+let client_waiters = "dmutex_client_waiters" (* gauge, label: lock *)
+let client_fencing = "dmutex_client_fencing" (* gauge, label: lock *)
+let reason_label reason = [ ("reason", reason) ]
+
 (* Durable store *)
 let store_wal_appends_total = "dmutex_store_wal_appends_total"
 let store_fsync_seconds = "dmutex_store_fsync_seconds" (* histogram *)

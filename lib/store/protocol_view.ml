@@ -29,6 +29,34 @@ let capture (st : Protocol.state) : Store.view =
        else None);
   }
 
+(* Fencing token for the grant a node is currently serving, derived
+   at CS-entry time from state the store already persists: the token's
+   regeneration epoch (major component) and the [L] vector's grant sum
+   *with the entry being served marked in* (minor component). The
+   protocol marks the entry for real at [Cs_done], so two successive
+   genuine grants see strictly increasing sums within an epoch, and a
+   regeneration bumps the epoch, which dominates. [None] when the
+   state is not a genuine first-time grant — no token, not in CS, or
+   the head entry was already served (a recovery re-schedule can
+   re-grant an executed request; issuing a fencing token for it could
+   repeat a value, so the session layer must drop such grants and
+   retry instead). *)
+let fencing_of_state (st : Protocol.state) : int option =
+  if not st.Protocol.in_cs then None
+  else
+    match st.Protocol.token with
+    | None -> None
+    | Some tk -> (
+        match Qlist.head tk.Protocol.tq with
+        | Some e
+          when e.Qlist.node = st.Protocol.me
+               && not (Qlist.Granted.already_served tk.Protocol.granted e) ->
+            let marked = Qlist.Granted.mark tk.Protocol.granted e in
+            Some
+              (Store.fencing ~epoch:tk.Protocol.epoch
+                 ~minor:(Store.grant_sum marked))
+        | _ -> None)
+
 let to_restored (v : Store.view) : Protocol.restored =
   {
     Protocol.r_epoch = v.Store.epoch;

@@ -16,6 +16,19 @@ val capture : Protocol.state -> Store.view
     effects therefore persists [Holding] before the CS is entered and
     [No_token] before a dispatched PRIVILEGE can reach the socket. *)
 
+val fencing_of_state : Protocol.state -> int option
+(** The fencing token for the grant [st] is currently serving:
+    {!Store.fencing} of the token's regeneration epoch and the [L]
+    vector's {!Store.grant_sum} with the served entry marked in. The
+    mark happens for real at [Cs_done], so successive genuine grants
+    strictly increase within an epoch, and a regeneration bumps the
+    epoch, which dominates — globally strict monotonicity per lock.
+    [None] when the state is not serving a genuine first-time grant
+    (no token, not in CS, or the head entry was already served — a
+    recovery re-schedule can re-grant an executed request, and issuing
+    a token for it could repeat a value; callers must treat such
+    grants as stale and retry). *)
+
 val to_restored : Store.view -> Protocol.restored
 
 val restore :

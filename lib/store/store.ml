@@ -36,6 +36,80 @@ let empty_view ~n =
 let copy_view v = { v with granted = Array.copy v.granted }
 
 (* ------------------------------------------------------------------ *)
+(* Lock-key <-> directory-name encoding                                *)
+
+let is_dir_safe = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' -> true
+  | _ -> false
+
+let hex_val = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> corrupt "lock-key directory name: invalid hex digit %C" c
+
+let key_of_dir_name name =
+  let n = String.length name in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match name.[!i] with
+    | '%' ->
+        if !i + 2 >= n then
+          corrupt "lock-key directory name %S: truncated %%-escape" name;
+        let hi = hex_val name.[!i + 1] and lo = hex_val name.[!i + 2] in
+        Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+        i := !i + 2
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let dir_name_of_key key =
+  let buf = Buffer.create (String.length key + 8) in
+  String.iter
+    (fun c ->
+      if is_dir_safe c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+    key;
+  let name = Buffer.contents buf in
+  (* Round-trip guard: a key whose encoding does not decode back to
+     the exact original would let two distinct keys share a state
+     directory (silent cross-feeding) — fail loudly instead. *)
+  let back = try key_of_dir_name name with Corrupt e -> e in
+  if not (String.equal back key) then
+    corrupt "lock-key encoding round-trip mismatch: %S encoded as %S decodes \
+             to %S"
+      key name back;
+  name
+
+(* ------------------------------------------------------------------ *)
+(* Fencing tokens                                                      *)
+
+(* A fencing token packs the token-regeneration epoch above a
+   per-epoch grant counter in one non-negative OCaml int:
+   [epoch * 2^40 + minor]. Both components are already persisted
+   (epoch directly, the grant counter as the [L] vector whose marked
+   sum only grows within an epoch), so a restarted node can never
+   reissue a smaller token than one it durably recorded. 2^40 grants
+   per epoch and 2^22 epochs fit a 63-bit int with room to spare. *)
+let fencing_minor_bits = 40
+let fencing_minor_mask = (1 lsl fencing_minor_bits) - 1
+
+let fencing ~epoch ~minor =
+  if epoch < 0 then invalid_arg "Store.fencing: negative epoch";
+  if minor < 0 then invalid_arg "Store.fencing: negative minor";
+  (epoch lsl fencing_minor_bits) lor (minor land fencing_minor_mask)
+
+let fencing_epoch f = f lsr fencing_minor_bits
+let fencing_minor f = f land fencing_minor_mask
+
+let grant_sum granted =
+  Array.fold_left (fun acc s -> if s >= 0 then acc + s + 1 else acc) 0 granted
+
+let fencing_floor v = fencing ~epoch:v.epoch ~minor:(grant_sum v.granted)
+
+(* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320)                     *)
 
 let crc_table =

@@ -72,6 +72,46 @@ val empty_view : n:int -> view
 (** All counters zero, nothing granted, no custody — the view of a
     node that has never run. *)
 
+val dir_name_of_key : string -> string
+(** Filesystem-safe directory name for a lock key: characters outside
+    [[A-Za-z0-9_-]] are percent-encoded (lowercase hex). Guarded by an
+    encode→decode round trip — if the encoding would not decode back
+    to the exact key (so two distinct keys could share a state
+    directory), raises {!Corrupt} instead of returning. Shared by
+    every tool that lays out per-lock state directories so they all
+    agree on the mapping. *)
+
+val key_of_dir_name : string -> string
+(** Inverse of {!dir_name_of_key}; accepts both hex cases in
+    [%XX]-escapes (directories written by older builds used either).
+    Raises {!Corrupt} on a truncated or non-hex escape. *)
+
+val fencing_minor_bits : int
+(** Bit width of the fencing token's per-epoch grant counter (40). *)
+
+val fencing : epoch:int -> minor:int -> int
+(** Pack a fencing token: the token-regeneration [epoch] above a
+    per-epoch grant counter [minor] ([epoch * 2^40 + minor], both
+    components non-negative or [Invalid_argument]). Tokens compare
+    with plain integer [>]: a regeneration bumps [epoch] and dominates
+    any grant count from the stale universe. *)
+
+val fencing_epoch : int -> int
+val fencing_minor : int -> int
+(** Unpack the components of a {!fencing} token. *)
+
+val grant_sum : int array -> int
+(** Sum of [(granted.(j) + 1)] over served slots of an [L] vector —
+    the number of grants it records. Within one regeneration epoch
+    this is non-decreasing as grants are marked, which is what makes
+    it usable as the fencing minor component. *)
+
+val fencing_floor : view -> int
+(** The largest fencing token that could have been issued under the
+    durable state in [view] — what a restarted node must never go
+    below. Derived, not separately stored: the epoch and the [L]
+    vector are already persisted per {!record}. *)
+
 val open_ :
   ?wal_limit:int -> ?key:string -> ?obs:Dmutex_obs.Registry.t ->
   dir:string -> n:int -> unit -> t

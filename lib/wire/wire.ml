@@ -209,6 +209,232 @@ module type CODEC = sig
   val decode : string -> message
 end
 
+module Client = struct
+  (* The thin-client frame family is versioned independently of the
+     node-to-node {!format_version}: clients are deployed separately
+     from the cluster, so their protocol can evolve without
+     invalidating state directories or the inter-node frame layout.
+     Every request and response leads with this byte. *)
+  let version = 1
+
+  type reject_reason =
+    | Lock_timeout  (** The acquire deadline passed while queued. *)
+    | Queue_full  (** Per-lock wait queue or per-session cap hit. *)
+    | Session_limit  (** Admission control: node is at max sessions. *)
+    | Already_held  (** The session already holds this lock. *)
+    | Not_held  (** Release/renew of something the session lacks. *)
+    | Unknown_lock  (** The node does not host this lock instance. *)
+    | Bad_request  (** Protocol misuse (e.g. acquire before open). *)
+
+  type req =
+    | Hello of { rid : int }
+    | Open_session of { rid : int; lease_ms : int; resume : string option }
+    | Acquire of { rid : int; lock : string; timeout_ms : int; try_only : bool }
+    | Release of { rid : int; lock : string }
+    | Renew of { rid : int }
+    | Close of { rid : int }
+
+  type resp =
+    | Hello_ok of { rid : int; node : int; proto : int }
+    | Session_opened of {
+        rid : int;
+        sid : string;
+        lease_ms : int;
+        grace_ms : int;
+        resumed : bool;
+        held : (string * int) list;
+      }
+    | Granted of { rid : int; lock : string; fencing : int }
+    | Rejected of { rid : int; reason : reject_reason; retry_after_ms : int }
+    | Released of { rid : int; lock : string }
+    | Renewed of { rid : int; lease_ms : int }
+    | Closed of { rid : int }
+    | Session_lost of { rid : int; reason : string }
+
+  let string_of_reason = function
+    | Lock_timeout -> "timeout"
+    | Queue_full -> "queue-full"
+    | Session_limit -> "session-limit"
+    | Already_held -> "already-held"
+    | Not_held -> "not-held"
+    | Unknown_lock -> "unknown-lock"
+    | Bad_request -> "bad-request"
+
+  let enc_reason e = function
+    | Lock_timeout -> Enc.u8 e 0
+    | Queue_full -> Enc.u8 e 1
+    | Session_limit -> Enc.u8 e 2
+    | Already_held -> Enc.u8 e 3
+    | Not_held -> Enc.u8 e 4
+    | Unknown_lock -> Enc.u8 e 5
+    | Bad_request -> Enc.u8 e 6
+
+  let dec_reason d =
+    match Dec.u8 d with
+    | 0 -> Lock_timeout
+    | 1 -> Queue_full
+    | 2 -> Session_limit
+    | 3 -> Already_held
+    | 4 -> Not_held
+    | 5 -> Unknown_lock
+    | 6 -> Bad_request
+    | v -> fail "invalid reject reason %d" v
+
+  let check_version d =
+    let v = Dec.u8 d in
+    if v <> version then
+      fail "client frame version mismatch: peer speaks v%d, this end v%d" v
+        version
+
+  let encode_request (r : req) =
+    let e = Enc.create ~size:64 () in
+    Enc.u8 e version;
+    (match r with
+    | Hello { rid } ->
+        Enc.u8 e 0;
+        Enc.int_ e rid
+    | Open_session { rid; lease_ms; resume } ->
+        Enc.u8 e 1;
+        Enc.int_ e rid;
+        Enc.int_ e lease_ms;
+        Enc.option e Enc.string resume
+    | Acquire { rid; lock; timeout_ms; try_only } ->
+        Enc.u8 e 2;
+        Enc.int_ e rid;
+        Enc.string e lock;
+        Enc.int_ e timeout_ms;
+        Enc.bool e try_only
+    | Release { rid; lock } ->
+        Enc.u8 e 3;
+        Enc.int_ e rid;
+        Enc.string e lock
+    | Renew { rid } ->
+        Enc.u8 e 4;
+        Enc.int_ e rid
+    | Close { rid } ->
+        Enc.u8 e 5;
+        Enc.int_ e rid);
+    Enc.contents e
+
+  let decode_request s =
+    let d = Dec.of_string s in
+    check_version d;
+    let r =
+      match Dec.u8 d with
+      | 0 -> Hello { rid = Dec.int_ d }
+      | 1 ->
+          let rid = Dec.int_ d in
+          let lease_ms = Dec.int_ d in
+          let resume = Dec.option d Dec.string in
+          Open_session { rid; lease_ms; resume }
+      | 2 ->
+          let rid = Dec.int_ d in
+          let lock = Dec.string d in
+          let timeout_ms = Dec.int_ d in
+          let try_only = Dec.bool d in
+          Acquire { rid; lock; timeout_ms; try_only }
+      | 3 ->
+          let rid = Dec.int_ d in
+          let lock = Dec.string d in
+          Release { rid; lock }
+      | 4 -> Renew { rid = Dec.int_ d }
+      | 5 -> Close { rid = Dec.int_ d }
+      | t -> fail "unknown client request tag %d" t
+    in
+    Dec.check_eof d;
+    r
+
+  let encode_response (r : resp) =
+    let e = Enc.create ~size:64 () in
+    Enc.u8 e version;
+    (match r with
+    | Hello_ok { rid; node; proto } ->
+        Enc.u8 e 0;
+        Enc.int_ e rid;
+        Enc.int_ e node;
+        Enc.int_ e proto
+    | Session_opened { rid; sid; lease_ms; grace_ms; resumed; held } ->
+        Enc.u8 e 1;
+        Enc.int_ e rid;
+        Enc.string e sid;
+        Enc.int_ e lease_ms;
+        Enc.int_ e grace_ms;
+        Enc.bool e resumed;
+        Enc.list e (fun e kv -> Enc.pair e Enc.string Enc.int_ kv) held
+    | Granted { rid; lock; fencing } ->
+        Enc.u8 e 2;
+        Enc.int_ e rid;
+        Enc.string e lock;
+        Enc.int_ e fencing
+    | Rejected { rid; reason; retry_after_ms } ->
+        Enc.u8 e 3;
+        Enc.int_ e rid;
+        enc_reason e reason;
+        Enc.int_ e retry_after_ms
+    | Released { rid; lock } ->
+        Enc.u8 e 4;
+        Enc.int_ e rid;
+        Enc.string e lock
+    | Renewed { rid; lease_ms } ->
+        Enc.u8 e 5;
+        Enc.int_ e rid;
+        Enc.int_ e lease_ms
+    | Closed { rid } ->
+        Enc.u8 e 6;
+        Enc.int_ e rid
+    | Session_lost { rid; reason } ->
+        Enc.u8 e 7;
+        Enc.int_ e rid;
+        Enc.string e reason);
+    Enc.contents e
+
+  let decode_response s =
+    let d = Dec.of_string s in
+    check_version d;
+    let r =
+      match Dec.u8 d with
+      | 0 ->
+          let rid = Dec.int_ d in
+          let node = Dec.int_ d in
+          let proto = Dec.int_ d in
+          Hello_ok { rid; node; proto }
+      | 1 ->
+          let rid = Dec.int_ d in
+          let sid = Dec.string d in
+          let lease_ms = Dec.int_ d in
+          let grace_ms = Dec.int_ d in
+          let resumed = Dec.bool d in
+          let held = Dec.list d (fun d -> Dec.pair d Dec.string Dec.int_) in
+          Session_opened { rid; sid; lease_ms; grace_ms; resumed; held }
+      | 2 ->
+          let rid = Dec.int_ d in
+          let lock = Dec.string d in
+          let fencing = Dec.int_ d in
+          Granted { rid; lock; fencing }
+      | 3 ->
+          let rid = Dec.int_ d in
+          let reason = dec_reason d in
+          let retry_after_ms = Dec.int_ d in
+          Rejected { rid; reason; retry_after_ms }
+      | 4 ->
+          let rid = Dec.int_ d in
+          let lock = Dec.string d in
+          Released { rid; lock }
+      | 5 ->
+          let rid = Dec.int_ d in
+          let lease_ms = Dec.int_ d in
+          Renewed { rid; lease_ms }
+      | 6 -> Closed { rid = Dec.int_ d }
+      | 7 ->
+          let rid = Dec.int_ d in
+          let reason = Dec.string d in
+          Session_lost { rid; reason }
+      | t -> fail "unknown client response tag %d" t
+    in
+    Dec.check_eof d;
+    r
+end
+
 module Protocol_codec = struct
   open Dmutex
 

@@ -130,6 +130,80 @@ module Frame : sig
       unknown kind byte, or a body truncated inside the lock key. *)
 end
 
+(** The thin-client request/response frame family: what a client
+    library speaks to any node's session service ([Netkit.Session]).
+    Versioned independently of {!format_version} — clients are
+    deployed separately from the cluster — with its own leading
+    version byte, rejected loudly on mismatch. Framing on the socket
+    (a 32-bit big-endian length prefix per message) is the session
+    layer's job; this module only maps messages to bytes. *)
+module Client : sig
+  val version : int
+  (** Client-protocol version byte at the front of every request and
+      response. *)
+
+  (** Why a request was refused. Every rejection is explicit — the
+      session service never leaves a request unanswered. *)
+  type reject_reason =
+    | Lock_timeout  (** The acquire deadline passed while queued. *)
+    | Queue_full  (** Per-lock wait queue or per-session cap hit. *)
+    | Session_limit  (** Admission control: node is at max sessions. *)
+    | Already_held  (** The session already holds this lock. *)
+    | Not_held  (** Release/renew of something the session lacks. *)
+    | Unknown_lock  (** The node does not host this lock instance. *)
+    | Bad_request  (** Protocol misuse (e.g. acquire before open). *)
+
+  (** Client → node. Every request carries a client-chosen request id
+      echoed in the response, so one connection can multiplex
+      concurrent calls. *)
+  type req =
+    | Hello of { rid : int }
+    | Open_session of { rid : int; lease_ms : int; resume : string option }
+        (** [resume = Some sid] re-attaches to an existing session
+            within its grace window (failover); [None] opens fresh. *)
+    | Acquire of { rid : int; lock : string; timeout_ms : int; try_only : bool }
+    | Release of { rid : int; lock : string }
+    | Renew of { rid : int }
+    | Close of { rid : int }
+
+  (** Node → client. [Session_lost] with [rid = 0] is unsolicited:
+      the lease expired, the session was shed, or the node is going
+      down. *)
+  type resp =
+    | Hello_ok of { rid : int; node : int; proto : int }
+    | Session_opened of {
+        rid : int;
+        sid : string;
+        lease_ms : int;
+        grace_ms : int;
+        resumed : bool;
+        held : (string * int) list;
+            (** Locks the session currently holds with their fencing
+                tokens — non-empty only on resume, where it restores
+                the client's grant state after a failover (a grant can
+                land while the reply connection is already dead). *)
+      }
+    | Granted of { rid : int; lock : string; fencing : int }
+        (** [fencing] is the monotonic fencing token for this grant. *)
+    | Rejected of { rid : int; reason : reject_reason; retry_after_ms : int }
+    | Released of { rid : int; lock : string }
+    | Renewed of { rid : int; lease_ms : int }
+    | Closed of { rid : int }
+    | Session_lost of { rid : int; reason : string }
+
+  val string_of_reason : reject_reason -> string
+  val encode_request : req -> string
+
+  val decode_request : string -> req
+  (** Raises {!Malformed} on truncation, trailing garbage, unknown
+      tags, or a {!version} mismatch. *)
+
+  val encode_response : resp -> string
+
+  val decode_response : string -> resp
+  (** Same failure cases as {!decode_request}. *)
+end
+
 (** Encode / decode one protocol message. [decode] must consume the
     whole payload. *)
 module type CODEC = sig

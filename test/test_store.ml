@@ -243,6 +243,68 @@ let test_empty_dir_is_amnesia () =
     (Store.view s2 = None);
   Store.abort s2
 
+let test_dir_name_roundtrip () =
+  let keys =
+    [
+      "plain";
+      "with space";
+      "with/slash";
+      "pct%lit";
+      "%2f-preencoded";
+      "unicode-\xc3\xa9\xe4\xb8\xad";
+      "";
+      "trailing%";
+      String.init 256 Char.chr;
+    ]
+  in
+  List.iter
+    (fun key ->
+      let dir = Store.dir_name_of_key key in
+      String.iter
+        (fun c ->
+          let safe =
+            (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '-' || c = '_' || c = '%'
+          in
+          if not safe then
+            Alcotest.failf "unsafe byte %C in dir name %S for key %S" c dir key)
+        dir;
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip %S" key)
+        key
+        (Store.key_of_dir_name dir))
+    keys
+
+let test_dir_name_legacy_uppercase () =
+  (* Early tools percent-encoded with uppercase hex; the decoder must
+     keep reading those directories. *)
+  Alcotest.(check string) "uppercase hex" "a b" (Store.key_of_dir_name "a%20b");
+  Alcotest.(check string) "uppercase hex 2" "a/b" (Store.key_of_dir_name "a%2Fb")
+
+let test_dir_name_corrupt () =
+  let bad = [ "a%"; "a%2"; "a%zz"; "a%g0" ] in
+  List.iter
+    (fun d ->
+      match Store.key_of_dir_name d with
+      | _ -> Alcotest.failf "decoding %S must raise Corrupt" d
+      | exception Store.Corrupt _ -> ())
+    bad
+
+let test_fencing_packing () =
+  let f00 = Store.fencing ~epoch:0 ~minor:0 in
+  let f01 = Store.fencing ~epoch:0 ~minor:1 in
+  let f10 = Store.fencing ~epoch:1 ~minor:0 in
+  Alcotest.(check bool) "minor advances" true (f01 > f00);
+  Alcotest.(check bool) "epoch dominates any minor" true
+    (f10 > Store.fencing ~epoch:0 ~minor:((1 lsl Store.fencing_minor_bits) - 1));
+  Alcotest.(check int) "epoch extract" 7 (Store.fencing_epoch (Store.fencing ~epoch:7 ~minor:42));
+  Alcotest.(check int) "minor extract" 42 (Store.fencing_minor (Store.fencing ~epoch:7 ~minor:42));
+  (match Store.fencing ~epoch:(-1) ~minor:0 with
+  | _ -> Alcotest.fail "negative epoch must be rejected"
+  | exception Invalid_argument _ -> ())
+
 let suite =
   ( "store",
     [
@@ -263,6 +325,13 @@ let suite =
         test_no_change_no_write;
       Alcotest.test_case "custody survives crash-style close" `Quick
         test_custody_roundtrip;
+      Alcotest.test_case "lock-key dir names round-trip" `Quick
+        test_dir_name_roundtrip;
+      Alcotest.test_case "legacy uppercase hex decodes" `Quick
+        test_dir_name_legacy_uppercase;
+      Alcotest.test_case "corrupt dir names fail loudly" `Quick
+        test_dir_name_corrupt;
+      Alcotest.test_case "fencing token packing" `Quick test_fencing_packing;
       Alcotest.test_case "empty directory means amnesia" `Quick
         test_empty_dir_is_amnesia;
     ] )
