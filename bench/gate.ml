@@ -2,12 +2,14 @@
 
      gate [--tolerance T] [--wall-tolerance T] BASELINE.json CURRENT.json
 
-   Reads two BENCH_RESULTS.json files (schema 2, with the "derived"
+   Reads two BENCH_RESULTS.json files (schema 3, with the "derived"
    section) and applies Dmutex_obs.Gate: messages-per-CS must not
    regress relative to the baseline beyond the tolerance, must sit in
    the absolute acceptance band of the paper's Eq. 4, and total
    wall-clock must not regress beyond the (separately tuned, looser)
-   wall tolerance. Prints one line per check; exits 1 on any failure,
+   wall tolerance, and the scale table's dmutex row must hold the
+   band at every swept N. Prints one line per check plus a fixed-width
+   per-metric summary table; exits 1 on any failure,
    2 on unreadable input. Every failure mode is a one-line diagnosis
    naming the file — a missing or corrupt baseline must read as "fix
    the baseline", never as a gate crash. *)
@@ -16,6 +18,7 @@ let tolerance = ref 0.25
 let wall_tolerance = ref 0.25
 let sharded_floor = ref nan
 let client_floor = ref nan
+let allow_missing = ref false
 let files = ref []
 
 let spec =
@@ -35,6 +38,11 @@ let spec =
       Arg.Set_float client_floor,
       "R  absolute floor on client-swarm acq_per_sec (default none); \
        applies regardless of the baseline" );
+    ( "--allow-missing",
+      Arg.Set allow_missing,
+      "   skip (instead of fail) metrics absent from the current run — \
+       for sectioned benches (DMUTEX_BENCH_ONLY) whose JSON \
+       legitimately lacks whole sections" );
   ]
 
 let usage = "gate [options] BASELINE.json CURRENT.json"
@@ -73,7 +81,7 @@ let () =
             (if Float.is_nan !sharded_floor then None else Some !sharded_floor)
           ?client_floor:
             (if Float.is_nan !client_floor then None else Some !client_floor)
-          ~baseline ~current ()
+          ~allow_missing:!allow_missing ~baseline ~current ()
       with
       | exception e ->
           (* Schema surprises (e.g. a number where an object belongs)
@@ -84,6 +92,9 @@ let () =
           exit 2
       | outcome ->
           List.iter print_endline outcome.Dmutex_obs.Gate.lines;
+          print_newline ();
+          List.iter print_endline outcome.Dmutex_obs.Gate.summary;
+          print_newline ();
           if outcome.Dmutex_obs.Gate.failures = [] then
             print_endline "gate: all checks passed"
           else begin

@@ -33,6 +33,21 @@ let fmt = Format.std_formatter
 
 let quick = Sys.getenv_opt "DMUTEX_BENCH_QUICK" = Some "1"
 
+(* DMUTEX_BENCH_ONLY=lab (comma-separated: figures, tables, lab,
+   derived, sharded, client, micro) restricts the run to named
+   sections — the nightly lab workflow regenerates only the big-N
+   tables without paying for the live-socket experiments. The JSON
+   summary then lacks the skipped sections' derived metrics, so its
+   gate run needs [--allow-missing]. *)
+let only_sections =
+  match Sys.getenv_opt "DMUTEX_BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s ->
+      Some (List.map String.trim (String.split_on_char ',' s))
+
+let section name =
+  match only_sections with None -> true | Some l -> List.mem name l
+
 let requests =
   match Sys.getenv_opt "DMUTEX_BENCH_REQUESTS" with
   | Some s -> ( try int_of_string s with _ -> 50_000)
@@ -181,6 +196,115 @@ let tables () =
   Experiments.print_message_mix fmt mix;
   line ()
 
+(* Everything the JSON summary embeds beyond timings: derived
+   per-experiment reports, keyed under "derived". Populated by the lab
+   tables and the live experiments below. *)
+let derived_reports : (string * Dmutex_obs.Json.t) list ref = ref []
+
+(* ------------------------------------------------------------------ *)
+(* Big-N comparison lab: table:scale, table:wan, table:faults. The
+   derived rows are embedded in the JSON summary (schema 3) so the
+   gate can hold the dmutex Eq. 4 band at every N and watch the
+   scaling exponent against the committed baseline. *)
+
+let scale_json ~replicates (rows : Experiments.scale_row list) =
+  let open Dmutex_obs.Json in
+  let cell (c : Experiments.scale_cell) =
+    Obj
+      [
+        ("n", Num (float_of_int c.Experiments.n_nodes));
+        ("messages_per_cs", Num c.Experiments.msgs.Experiments.mean);
+        ("messages_ci95", Num c.Experiments.msgs.Experiments.ci95);
+        ("mean_delay", Num c.Experiments.dly.Experiments.mean);
+        ("alloc_mb", Num c.Experiments.alloc_mb);
+      ]
+  in
+  Obj
+    [
+      ("replicates", Num (float_of_int replicates));
+      ( "rows",
+        List
+          (List.map
+             (fun (r : Experiments.scale_row) ->
+               Obj
+                 [
+                   ("algorithm", Str r.Experiments.algorithm);
+                   ("exponent", Num r.Experiments.exponent);
+                   ("cells", List (List.map cell r.Experiments.cells));
+                 ])
+             rows) );
+    ]
+
+let wan_json (rows : Experiments.wan_row list) =
+  let open Dmutex_obs.Json in
+  let region (s : Experiments.wan_region_stats) =
+    Obj
+      [
+        ("region", Num (float_of_int s.Experiments.region));
+        ("grants", Num (float_of_int s.Experiments.grants));
+        ("p50", Num s.Experiments.p50);
+        ("p95", Num s.Experiments.p95);
+        ("p99", Num s.Experiments.p99);
+      ]
+  in
+  List
+    (List.map
+       (fun (r : Experiments.wan_row) ->
+         Obj
+           [
+             ("algorithm", Str r.Experiments.wan_algorithm);
+             ("scenario", Str r.Experiments.scenario);
+             ("messages_per_cs", Num r.Experiments.wan_msgs);
+             ("mean_delay", Num r.Experiments.wan_mean_delay);
+             ("regions", List (List.map region r.Experiments.regions));
+           ])
+       rows)
+
+let faults_json (rows : Experiments.fault_row list) =
+  let open Dmutex_obs.Json in
+  List
+    (List.map
+       (fun (r : Experiments.fault_row) ->
+         Obj
+           [
+             ("algorithm", Str r.Experiments.fault_algorithm);
+             ("supported", Bool r.Experiments.supported);
+             ("completed", Num (float_of_int r.Experiments.fault_completed));
+             ("messages_per_cs", Num r.Experiments.fault_msgs);
+             ("mean_delay", Num r.Experiments.fault_mean_delay);
+             ("max_delay", Num r.Experiments.fault_max_delay);
+             ("unserved", Num (float_of_int r.Experiments.fault_unserved));
+           ])
+       rows)
+
+let lab () =
+  let replicates = if quick then 1 else 3 in
+  let scale =
+    timed "table:scale" (fun () -> Experiments.table_scale ~replicates ())
+  in
+  Experiments.print_scale fmt scale;
+  line ();
+  let wan_n = if quick then 12 else 24 in
+  let wan_requests = if quick then 1_500 else 6_000 in
+  let wan =
+    timed "table:wan" (fun () ->
+        Experiments.table_wan ~n:wan_n ~requests:wan_requests ())
+  in
+  Experiments.print_wan fmt wan;
+  line ();
+  let fault_n = if quick then 10 else 20 in
+  let fault_requests = if quick then 1_000 else 4_000 in
+  let faults =
+    timed "table:faults" (fun () ->
+        Experiments.table_faults ~n:fault_n ~requests:fault_requests ())
+  in
+  Experiments.print_faults fmt faults;
+  line ();
+  derived_reports :=
+    ("faults", faults_json faults) :: ("wan", wan_json wan)
+    :: ("scale", scale_json ~replicates scale)
+    :: !derived_reports
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the kernels behind each experiment.      *)
 
@@ -268,8 +392,6 @@ let micro_tests =
    the CI regression gate (bench/gate.ml). The sim's own outcome
    counter rides along as a cross-check: the registry-derived value
    and the simulator's native count must agree. *)
-
-let derived_reports : (string * Dmutex_obs.Json.t) list ref = ref []
 
 let derived () =
   let open Dmutex_obs in
@@ -551,7 +673,7 @@ let write_json path ~total =
   let buf = Buffer.create 2048 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add (Printf.sprintf "  \"schema\": 2,\n");
+  add (Printf.sprintf "  \"schema\": 3,\n");
   add (Printf.sprintf "  \"quick\": %b,\n" quick);
   add (Printf.sprintf "  \"requests_per_point\": %d,\n" requests);
   add (Printf.sprintf "  \"runs\": %d,\n" runs);
@@ -604,12 +726,13 @@ let () =
     runs (List.length rates) (Simkit.Pool.jobs ())
     (if quick then " (QUICK mode)" else "");
   let t0 = Unix.gettimeofday () in
-  figures ();
-  tables ();
-  derived ();
-  sharded ();
-  client_swarm ();
-  run_micro ();
+  if section "figures" then figures ();
+  if section "tables" then tables ();
+  if section "lab" then lab ();
+  if section "derived" then derived ();
+  if section "sharded" then sharded ();
+  if section "client" then client_swarm ();
+  if section "micro" then run_micro ();
   let total = Unix.gettimeofday () -. t0 in
   Format.fprintf fmt "total wall-clock: %.2f s (jobs=%d)@." total
     (Simkit.Pool.jobs ());

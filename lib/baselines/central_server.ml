@@ -23,6 +23,11 @@ type state = {
 
 let name = "central-server"
 
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
+
 let init cfg me =
   {
     me;

@@ -9,7 +9,14 @@
 
     Correctness relies on FIFO channels between each pair of nodes —
     true of both our simulated network (deterministic per-pair latency)
-    and TCP. *)
+    and TCP.
+
+    The state is kept in persistent sets/maps rather than sorted lists
+    and copied arrays: a saturated start floods ~2N² messages, and at
+    N=1000 an O(N)-per-message representation turns one sweep point
+    into minutes of list churn. Everything below is O(log N) per
+    message; the only O(N) work is the per-candidacy scan when a
+    request is issued. *)
 
 open Dmutex.Types
 
@@ -20,28 +27,49 @@ type message =
 
 type timer = |
 
+(* The request queue as a set of (timestamp, node): min element = head
+   of Lamport's queue. *)
+module Rq = Set.Make (struct
+  type t = int * node_id
+
+  let compare = compare
+end)
+
+module Im = Map.Make (Int)
+
 type state = {
   me : node_id;
   n : int;
   clock : int;
-  queue : (int * node_id) list;  (* pending requests, sorted *)
-  last_heard : int array;  (* highest timestamp heard per node *)
+  queue : Rq.t;  (* pending requests, (ts, j) ordered *)
+  ts_of : int Im.t;  (* j -> its queued request's timestamp *)
+  last_heard : int Im.t;  (* highest timestamp heard per node *)
   requesting : bool;
+  heard_count : int;
+      (* nodes k <> me with last_heard(k) > our request's timestamp —
+         maintained incrementally so the CS entry check is O(1)
+         instead of an O(N) scan per incoming message *)
   in_cs : bool;
   pending : int;
 }
 
 let name = "lamport"
 
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
+
 let init cfg me =
-  let n = cfg.Config.n in
   {
     me;
-    n;
+    n = cfg.Config.n;
     clock = 0;
-    queue = [];
-    last_heard = Array.make n 0;
+    queue = Rq.empty;
+    ts_of = Im.empty;
+    last_heard = Im.empty;
     requesting = false;
+    heard_count = 0;
     in_cs = false;
     pending = 0;
   }
@@ -49,29 +77,40 @@ let init cfg me =
 let rejoin = init
 let in_cs st = st.in_cs
 let wants_cs st = st.requesting || st.pending > 0
+let heard st k = match Im.find_opt k st.last_heard with Some t -> t | None -> 0
+let my_ts st = match Im.find_opt st.me st.ts_of with Some t -> t | None -> -1
 
-let beats (ts, j) (ts', j') = ts < ts' || (ts = ts' && j < j')
-let insert entry queue = List.sort compare (entry :: queue)
-let remove j queue = List.filter (fun (_, j') -> j' <> j) queue
+(* Record a (monotone) timestamp heard from [src], bumping
+   [heard_count] when it first crosses our candidacy's timestamp. *)
+let note_heard st src ts =
+  let old = heard st src in
+  if ts <= old then st
+  else
+    let heard_count =
+      if st.requesting && src <> st.me && old <= my_ts st && ts > my_ts st
+      then st.heard_count + 1
+      else st.heard_count
+    in
+    { st with last_heard = Im.add src ts st.last_heard; heard_count }
 
-let set arr i v =
-  let a = Array.copy arr in
-  a.(i) <- v;
-  a
+let enqueue (ts, j) st =
+  { st with queue = Rq.add (ts, j) st.queue; ts_of = Im.add j ts st.ts_of }
+
+(* Remove [j]'s queued request, if any (FIFO channels guarantee at
+   most one is queued per node). *)
+let dequeue j st =
+  match Im.find_opt j st.ts_of with
+  | None -> st
+  | Some ts ->
+      { st with queue = Rq.remove (ts, j) st.queue; ts_of = Im.remove j st.ts_of }
 
 (* CS entry condition: our request heads the queue and every other
    node has spoken since our request's timestamp. *)
 let try_enter st =
   if
     st.requesting && (not st.in_cs)
-    &&
-    match st.queue with
-    | (ts, j) :: _ ->
-        j = st.me
-        && List.for_all
-             (fun k -> k = st.me || st.last_heard.(k) > ts)
-             (List.init st.n Fun.id)
-    | [] -> false
+    && st.heard_count = st.n - 1
+    && Rq.min_elt_opt st.queue = Some (my_ts st, st.me)
   then ({ st with in_cs = true }, [ Enter_cs ])
   else (st, [])
 
@@ -82,39 +121,35 @@ let rec handle cfg ~now st input =
         ({ st with pending = st.pending + 1 }, [])
       else begin
         let ts = st.clock + 1 in
-        let st =
-          { st with clock = ts; requesting = true;
-            queue = insert (ts, st.me) st.queue }
+        let st = enqueue (ts, st.me) { st with clock = ts; requesting = true } in
+        (* One O(N) scan per candidacy seeds the incremental count. *)
+        let heard_count =
+          Im.fold
+            (fun k h acc -> if k <> st.me && h > ts then acc + 1 else acc)
+            st.last_heard 0
         in
+        let st = { st with heard_count } in
         if st.n = 1 then ({ st with in_cs = true }, [ Enter_cs ])
         else (st, [ Broadcast (Request { ts; j = st.me }) ])
       end
   | Receive (src, Request { ts; j }) ->
       let clock = max st.clock ts + 1 in
-      let st =
-        { st with clock; queue = insert (ts, j) st.queue;
-          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
-      in
+      let st = note_heard (enqueue (ts, j) { st with clock }) src ts in
       (* The ACK's timestamp must exceed the request's. *)
       let st, effs = try_enter st in
       (st, Send (src, Ack { ts = clock }) :: effs)
   | Receive (src, Ack { ts }) ->
-      let st =
-        { st with clock = max st.clock ts;
-          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
-      in
+      let st = note_heard { st with clock = max st.clock ts } src ts in
       try_enter st
   | Receive (src, Release { ts; j }) ->
-      let st =
-        { st with clock = max st.clock ts; queue = remove j st.queue;
-          last_heard = set st.last_heard src (max st.last_heard.(src) ts) }
-      in
+      let st = note_heard (dequeue j { st with clock = max st.clock ts }) src ts in
       try_enter st
   | Cs_done ->
       let ts = st.clock + 1 in
       let st =
-        { st with clock = ts; in_cs = false; requesting = false;
-          queue = remove st.me st.queue }
+        dequeue st.me
+          { st with clock = ts; in_cs = false; requesting = false;
+            heard_count = 0 }
       in
       let effs =
         if st.n = 1 then [] else [ Broadcast (Release { ts; j = st.me }) ]
@@ -140,6 +175,8 @@ let pp_message ppf = function
 let pp_state ppf st =
   Format.fprintf ppf "node %d: clock=%d queue=[%s]%s%s" st.me st.clock
     (String.concat ";"
-       (List.map (fun (ts, j) -> Printf.sprintf "(%d,%d)" ts j) st.queue))
+       (List.map
+          (fun (ts, j) -> Printf.sprintf "(%d,%d)" ts j)
+          (Rq.elements st.queue)))
     (if st.requesting then " requesting" else "")
     (if st.in_cs then " IN-CS" else "")

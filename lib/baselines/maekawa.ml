@@ -43,11 +43,16 @@ type state = {
 
 let name = "maekawa"
 
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
+
 (* Grid quorums: row ∪ column in a ⌈√N⌉ × ⌈√N⌉ layout. With a ragged
    last row some pairs can fail to intersect; in that case node 0 is
    added to every quorum, which restores the intersection property at
    a small cost in load balance. *)
-let quorums n =
+let build_quorums n =
   let k = int_of_float (Float.ceil (sqrt (float_of_int n))) in
   let quorum i =
     let r = i / k and c = i mod k in
@@ -64,6 +69,23 @@ let quorums n =
     qs;
   if !all_ok then qs
   else Array.map (fun q -> List.sort_uniq compare (0 :: q)) qs
+
+(* [build_quorums] constructs all N quorums and runs an O(N²·q²)
+   all-pairs intersection check, yet [init] needs it once per node —
+   without a cache, building an N-node simulation costs O(N³·q²) and
+   dominates big-N sweeps. One entry suffices: sweeps create all nodes
+   of one size before moving on. An [Atomic] keeps concurrent creates
+   from parallel sweep workers racy-but-correct (worst case both
+   recompute the same immutable array). *)
+let quorum_cache : (int * node_id list array) option Atomic.t = Atomic.make None
+
+let quorums n =
+  match Atomic.get quorum_cache with
+  | Some (n', qs) when n' = n -> qs
+  | _ ->
+      let qs = build_quorums n in
+      Atomic.set quorum_cache (Some (n, qs));
+      qs
 
 let init cfg me =
   {

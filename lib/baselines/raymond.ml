@@ -22,6 +22,11 @@ type state = {
 
 let name = "raymond"
 
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
+
 (* The tree is the binary heap layout: parent of i is (i-1)/2. The
    initial holder pointers all aim at node 0, the initial token
    holder. *)

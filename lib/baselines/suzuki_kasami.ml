@@ -24,6 +24,11 @@ type state = {
 
 let name = "suzuki-kasami"
 
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
+
 let init cfg me =
   let n = cfg.Config.n in
   {

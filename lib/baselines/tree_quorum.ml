@@ -68,15 +68,35 @@ let extend_to_leaf ~n i =
   in
   down i []
 
-let tree_quorums n =
+let build_tree_quorums n =
   Array.init n (fun i ->
       List.sort_uniq compare (path_to_root i @ extend_to_leaf ~n i))
+
+(* Same one-entry memo as {!Maekawa.quorums}: [init] needs the full
+   quorum table once per node, so an uncached rebuild turns N-node
+   creation quadratic. *)
+let tree_quorum_cache :
+    (int * Dmutex.Types.node_id list array) option Atomic.t =
+  Atomic.make None
+
+let tree_quorums n =
+  match Atomic.get tree_quorum_cache with
+  | Some (n', qs) when n' = n -> qs
+  | _ ->
+      let qs = build_tree_quorums n in
+      Atomic.set tree_quorum_cache (Some (n, qs));
+      qs
 
 include Maekawa
 (* [include] brings Maekawa's grid [quorums] into scope too; [init]
    below deliberately uses [tree_quorums] instead. *)
 
 let name = "tree-quorum"
+
+(* No failure model: the original algorithm assumes reliable nodes and
+   channels, so injected crashes or losses must fail loudly rather
+   than silently measure behaviour the algorithm never claimed. *)
+let fault_support = { crash_stop = false; message_loss = false }
 
 let init cfg me =
   let base = Maekawa.init cfg me in

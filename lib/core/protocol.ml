@@ -197,6 +197,12 @@ type state = {
 
 let name = "banerjee-chrysanthis"
 
+(* The paper's protocol is explicitly fault-tolerant: NEW-ARBITER
+   election survives arbiter crashes and token regeneration survives
+   token-holder crashes, so injected crash-stop faults and lost
+   messages are within the modelled behaviour. *)
+let fault_support = { Types.crash_stop = true; message_loss = true }
+
 let no_monitor = -1
 
 (* ------------------------------------------------------------------ *)

@@ -240,6 +240,12 @@ type state = {
 
 val name : string
 
+val fault_support : Types.fault_support
+(** Both [crash_stop] and [message_loss]: the paper's recovery
+    machinery (NEW-ARBITER election, quorum-gated token regeneration)
+    makes injected crashes and losses part of the modelled
+    behaviour. *)
+
 val init : Config.t -> node_id -> state
 (** Initial state: [Config.initial_arbiter] starts as the collecting
     arbiter holding the token; everyone else is [Normal]. *)

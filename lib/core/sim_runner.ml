@@ -2,6 +2,15 @@ open Simkit
 
 type node_stats = { grants : int; dispatches : int; sent : int }
 
+(* A fault schedule, algorithm-independent so one plan can be replayed
+   verbatim against dmutex and every baseline. Hosts refuse plans that
+   exceed the algorithm's declared [Types.fault_support]. *)
+type fault_event =
+  | Crash_at of { node : int; at : float; restart_after : float option }
+  | Loss_between of { from_ : float; until_ : float; p : float }
+
+type fault_plan = fault_event list
+
 type outcome = {
   algorithm : string;
   n : int;
@@ -72,6 +81,7 @@ module Make (A : Types.ALGO) = struct
     mutable safety_violations : int;
     mutable target : int option;
     mutable closed_loop : bool;
+    mutable on_grant : (node:int -> delay:float -> unit) option;
   }
 
   let engine t = t.engine
@@ -80,7 +90,12 @@ module Make (A : Types.ALGO) = struct
 
   let rec create ?(seed = 42) ?(trace = Trace.create ()) ?latency ?obs cfg =
     let cfg = Types.Config.validate cfg in
-    let engine = Engine.create () in
+    (* Pre-size the agenda for big-N sweeps: a saturated run keeps on
+       the order of a few events per node in flight, so 4n avoids the
+       doubling-growth churn at N=1000 without bloating small runs. *)
+    let engine =
+      Engine.create ~capacity:(max 256 (4 * cfg.Types.Config.n)) ()
+    in
     let rng = Rng.create seed in
     let latency =
       match latency with
@@ -123,6 +138,7 @@ module Make (A : Types.ALGO) = struct
         safety_violations = 0;
         target = None;
         closed_loop = false;
+        on_grant = None;
       }
     in
     Array.iteri (fun i node -> node.on_cs_exit <- (fun _ -> cs_exit t i)) nodes;
@@ -236,7 +252,11 @@ module Make (A : Types.ALGO) = struct
       let now = Engine.now t.engine in
       (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
       (match node.current with
-      | Some arrival -> Stats.Tally.add t.delays (now -. arrival)
+      | Some arrival ->
+          Stats.Tally.add t.delays (now -. arrival);
+          (match t.on_grant with
+          | Some f -> f ~node:i ~delay:(now -. arrival)
+          | None -> ())
       | None -> ());
       (match node.pm with
       | Some pm -> Dmutex_obs.Protocol_metrics.cs_exited pm ~now
@@ -265,7 +285,21 @@ module Make (A : Types.ALGO) = struct
       dispatch t i Types.Request_cs
     end
 
+  let on_grant t f = t.on_grant <- Some f
+
+  let require_crash_support () =
+    if not A.fault_support.Types.crash_stop then
+      raise
+        (Types.Unsupported_fault
+           (A.name ^ " does not model crash-stop failures"))
+
+  let require_loss_support () =
+    if not A.fault_support.Types.message_loss then
+      raise
+        (Types.Unsupported_fault (A.name ^ " does not model message loss"))
+
   let crash t i =
+    require_crash_support ();
     let node = t.nodes.(i) in
     node.crashed <- true;
     Network.crash t.net i;
@@ -281,7 +315,89 @@ module Make (A : Types.ALGO) = struct
     node.crashed <- false;
     Network.recover t.net i;
     node.state <- A.rejoin t.cfg i;
-    Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"recover" ""
+    Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"recover" "";
+    (* A closed-loop node lost its request cycle with the crash;
+       restart it so recovery cost shows up as delay, not as a
+       permanently idle node. *)
+    if t.closed_loop then request t i
+
+  let set_loss t p =
+    if p > 0.0 then require_loss_support ();
+    Network.set_loss t.net p
+
+  let apply_faults t plan =
+    (* Validate the whole plan before scheduling anything, so an
+       unsupported algorithm fails loudly at injection time rather than
+       mid-run. *)
+    List.iter
+      (function
+        | Crash_at { node; at; restart_after } ->
+            require_crash_support ();
+            if node < 0 || node >= t.cfg.Types.Config.n then
+              invalid_arg "Sim_runner.apply_faults: node out of range";
+            if at < 0.0 then
+              invalid_arg "Sim_runner.apply_faults: negative crash time";
+            (match restart_after with
+            | Some d when d <= 0.0 ->
+                invalid_arg "Sim_runner.apply_faults: restart_after <= 0"
+            | _ -> ())
+        | Loss_between { from_; until_; p } ->
+            if p > 0.0 then require_loss_support ();
+            if from_ < 0.0 || until_ <= from_ then
+              invalid_arg "Sim_runner.apply_faults: bad loss window";
+            if p < 0.0 || p > 1.0 then
+              invalid_arg "Sim_runner.apply_faults: loss probability")
+      plan;
+    List.iter
+      (function
+        | Crash_at { node; at; restart_after } ->
+            ignore
+              (Engine.schedule_at t.engine ~time:at (fun _ ->
+                   crash t node;
+                   match restart_after with
+                   | Some d ->
+                       ignore
+                         (Engine.schedule t.engine ~delay:d (fun _ ->
+                              recover t node))
+                   | None -> ()))
+        | Loss_between { from_; until_; p } ->
+            ignore
+              (Engine.schedule_at t.engine ~time:from_ (fun _ ->
+                   Network.set_loss t.net p));
+            ignore
+              (Engine.schedule_at t.engine ~time:until_ (fun _ ->
+                   Network.set_loss t.net 0.0)))
+      plan
+
+  let reset ?(seed = 42) t =
+    Engine.reset t.engine;
+    Network.reset t.net;
+    (* Mirror [create]: the network draws from a split of the seed
+       stream, so a reset run replays exactly the delays a fresh
+       create with this seed would. *)
+    let rng = Rng.create seed in
+    Rng.assign ~dst:(Network.rng t.net) ~src:(Rng.split rng);
+    Array.iteri
+      (fun i node ->
+        node.state <- A.init t.cfg i;
+        Hashtbl.reset node.timers;
+        Queue.clear node.arrivals;
+        node.current <- None;
+        node.crashed <- false;
+        node.grants <- 0;
+        node.dispatches <- 0;
+        node.sent <- 0)
+      t.nodes;
+    Trace.clear t.trace;
+    Stats.Counter.reset t.notes;
+    Stats.Counter.reset t.kinds;
+    Stats.Tally.reset t.delays;
+    t.completed <- 0;
+    t.arrived <- 0;
+    t.cs_holder <- None;
+    t.safety_violations <- 0;
+    t.target <- None;
+    t.closed_loop <- false
 
   let step_until t time = Engine.run ~until:time t.engine
 
@@ -348,6 +464,16 @@ module Make (A : Types.ALGO) = struct
     Array.iter Workload.stop sources;
     { (outcome t) with rate }
 
+  let saturate ?(requests = 10_000) ?(faults = []) ?until t =
+    t.target <- Some requests;
+    t.closed_loop <- true;
+    apply_faults t faults;
+    for i = 0 to t.cfg.Types.Config.n - 1 do
+      request t i
+    done;
+    Engine.run ?until t.engine;
+    outcome t
+
   let run_saturated ?(seed = 42) ?(requests = 10_000) ?trace ?latency ?obs cfg
       =
     let t =
@@ -355,13 +481,7 @@ module Make (A : Types.ALGO) = struct
       | Some tr -> create ~seed ~trace:tr ?latency ?obs cfg
       | None -> create ~seed ?latency ?obs cfg
     in
-    t.target <- Some requests;
-    t.closed_loop <- true;
-    for i = 0 to cfg.Types.Config.n - 1 do
-      request t i
-    done;
-    Engine.run t.engine;
-    outcome t
+    saturate ~requests t
 end
 
 let replicate ~runs f =

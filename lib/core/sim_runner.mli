@@ -39,6 +39,22 @@ type outcome = {
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+(** One entry of an algorithm-independent fault schedule. Times are
+    absolute simulated seconds. *)
+type fault_event =
+  | Crash_at of { node : int; at : float; restart_after : float option }
+      (** Fail-stop [node] at [at]; restart it [restart_after] seconds
+          later (never, if [None]). *)
+  | Loss_between of { from_ : float; until_ : float; p : float }
+      (** Drop every message with probability [p] during
+          [\[from_, until_)]. *)
+
+type fault_plan = fault_event list
+(** A schedule replayable verbatim against any algorithm, so recovery
+    cost is a compared metric. Hosts raise {!Types.Unsupported_fault}
+    when the algorithm's {!Types.ALGO.fault_support} does not cover an
+    entry, rather than silently measuring unmodelled behaviour. *)
+
 module Make (A : Types.ALGO) : sig
   type t
 
@@ -68,11 +84,40 @@ module Make (A : Types.ALGO) : sig
 
   val crash : t -> int -> unit
   (** Fail-stop a node: its messages are dropped, its timers cancelled,
-      its inputs ignored. If it held the token, the token dies with it. *)
+      its inputs ignored. If it held the token, the token dies with it.
+      @raise Types.Unsupported_fault if [A.fault_support.crash_stop] is
+      false — algorithms without a failure model must not silently
+      absorb an injected crash. *)
 
   val recover : t -> int -> unit
   (** Restart a crashed node with a fresh [rejoin] state (it never
-      resurrects a token or role it held before the crash). *)
+      resurrects a token or role it held before the crash). In a
+      closed-loop run the node's request cycle is restarted too. *)
+
+  val set_loss : t -> float -> unit
+  (** Uniform message-loss probability, gated on
+      [A.fault_support.message_loss] like {!crash} (setting [0.] is
+      always allowed). *)
+
+  val apply_faults : t -> fault_plan -> unit
+  (** Validate a fault plan against [A.fault_support] and schedule it
+      on the engine. The whole plan is validated before anything is
+      scheduled, so an unsupported algorithm fails at injection time.
+      @raise Types.Unsupported_fault on an uncovered fault kind.
+      @raise Invalid_argument on out-of-range nodes, negative times or
+      probabilities outside [\[0, 1\]]. *)
+
+  val on_grant : t -> (node:int -> delay:float -> unit) -> unit
+  (** Install a per-grant observer called at each CS completion with
+      the node and its request→exit delay — e.g. to feed per-region
+      latency histograms in WAN experiments. *)
+
+  val reset : ?seed:int -> t -> unit
+  (** Return the simulation to its just-created state while reusing
+      every arena: engine agenda, network arrays, per-node tables and
+      cached timer closures, stat counters. [reset ~seed t] replays
+      exactly the run a fresh [create ~seed cfg] would, so sweep
+      replicates at large [n] can share one allocation. *)
 
   val step_until : t -> float -> unit
   (** Run the engine up to an absolute simulated time. *)
@@ -102,6 +147,14 @@ module Make (A : Types.ALGO) : sig
   (** Closed-loop heavy-load experiment: every node re-requests the CS
       immediately after leaving it, so the Q-list stays full — the
       regime of Eqs. 4-6. *)
+
+  val saturate :
+    ?requests:int -> ?faults:fault_plan -> ?until:float -> t -> outcome
+  (** The closed-loop experiment on an existing (fresh or {!reset})
+      simulation — the arena-reusing core of {!run_saturated}, with an
+      optional fault schedule applied before the first request and an
+      optional simulated-time horizon [until] (a bound on fault runs
+      whose recovery machinery could otherwise retry forever). *)
 
   val outcome : t -> outcome
   (** Snapshot metrics of a manually driven simulation. *)

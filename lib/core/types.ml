@@ -190,6 +190,19 @@ type ('msg, 'timer) effect_ =
   | Cancel_timer of 'timer
   | Note of note
 
+(** Which injected faults an algorithm models honestly. A host must
+    consult this before injecting: crashing a node running an
+    algorithm whose state machine has no recovery path would silently
+    measure garbage (the run wedges or violates safety in ways the
+    original algorithm never claimed to survive). *)
+type fault_support = { crash_stop : bool; message_loss : bool }
+
+exception Unsupported_fault of string
+(** Raised by a host when a fault is injected into an algorithm whose
+    {!fault_support} does not cover it. The payload names the
+    algorithm and the fault, e.g. ["raymond does not model crash-stop
+    failures"]. *)
+
 (** The interface every algorithm implements. Implementations must be
     pure: [handle] returns a fresh state and never mutates. *)
 module type ALGO = sig
@@ -198,6 +211,10 @@ module type ALGO = sig
   type timer
 
   val name : string
+
+  val fault_support : fault_support
+  (** Which injected faults this algorithm models. Hosts raise
+      {!Unsupported_fault} rather than inject an unmodelled fault. *)
 
   val init : Config.t -> node_id -> state
   (** Initial state of one node. *)

@@ -687,6 +687,315 @@ let table_forwarding_tuning ?(n = 10) ?(requests = 30_000) ?(runs = 3)
       })
 
 (* ------------------------------------------------------------------ *)
+(* Big-N comparison lab: table:scale, table:wan, table:faults          *)
+
+(* The full comparison set as first-class modules, with each
+   algorithm's canonical config for a given N. Every sweep below
+   instantiates its own [Sim_runner.Make] at the point, so points stay
+   independent and Pool-dispatchable. *)
+let comparison_set : (string * (module Types.ALGO) * (int -> Types.Config.t)) list
+    =
+  [
+    ( "this-paper (basic)",
+      (module Basic : Types.ALGO),
+      fun n -> Basic.config ~n () );
+    ( "suzuki-kasami",
+      (module Baselines.Suzuki_kasami : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "raymond-tree",
+      (module Baselines.Raymond : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "ricart-agrawala",
+      (module Baselines.Ricart_agrawala : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "lamport",
+      (module Baselines.Lamport : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "singhal-dynamic",
+      (module Baselines.Singhal : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "maekawa",
+      (module Baselines.Maekawa : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "tree-quorum",
+      (module Baselines.Tree_quorum : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+    ( "central-server",
+      (module Baselines.Central_server : Types.ALGO),
+      fun n -> Types.Config.default ~n );
+  ]
+
+type scale_cell = {
+  n_nodes : int;
+  msgs : point;
+  dly : point;
+  alloc_mb : float;
+}
+
+type scale_row = {
+  algorithm : string;
+  cells : scale_cell list;
+  exponent : float;
+}
+
+let default_scale_ns = [ 10; 50; 100; 250; 500; 1000 ]
+
+(* One sweep point: [replicates] saturated runs at a fixed (algorithm,
+   N), all sharing a single simulation arena via [Sim_runner.reset] —
+   the per-point state is allocated once, so even N=1000 points cost
+   one engine/network/node-array build. [alloc_mb] is the total bytes
+   allocated by the point (GC-reported, so minor-heap churn counts),
+   the memory-cost metric the scaling table compares. *)
+let scale_point (module A : Types.ALGO) cfg ~requests ~replicates =
+  let module R = Sim_runner.Make (A) in
+  let before = Gc.allocated_bytes () in
+  let m_tally = Simkit.Stats.Tally.create () in
+  let d_tally = Simkit.Stats.Tally.create () in
+  let t = R.create ~seed:1000 cfg in
+  for k = 0 to replicates - 1 do
+    if k > 0 then R.reset ~seed:(1000 + (7919 * k)) t;
+    let o = R.saturate ~requests t in
+    Simkit.Stats.Tally.add m_tally o.Sim_runner.messages_per_cs;
+    Simkit.Stats.Tally.add d_tally o.Sim_runner.mean_delay
+  done;
+  let alloc_mb = (Gc.allocated_bytes () -. before) /. (1024.0 *. 1024.0) in
+  ( {
+      mean = Simkit.Stats.Tally.mean m_tally;
+      ci95 = Simkit.Stats.Tally.ci95_halfwidth m_tally;
+    },
+    {
+      mean = Simkit.Stats.Tally.mean d_tally;
+      ci95 = Simkit.Stats.Tally.ci95_halfwidth d_tally;
+    },
+    alloc_mb )
+
+(* Least-squares slope of ln(messages/CS) against ln(N): the empirical
+   scaling exponent. ~0 for token-asking algorithms whose per-CS cost
+   is O(1) amortized, ~1 for broadcast-per-CS algorithms. *)
+let scale_exponent cells =
+  let pts =
+    List.filter_map
+      (fun c ->
+        if c.msgs.mean > 0.0 then
+          Some (log (float_of_int c.n_nodes), log c.msgs.mean)
+        else None)
+      cells
+  in
+  match pts with
+  | [] | [ _ ] -> 0.0
+  | pts ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+      ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+(* Per-point request budget. Two epochs (2N requests) for every
+   algorithm: the dmutex Eq. 4 band needs at least N requests to
+   complete a saturated epoch (below that, messages/CS reads under
+   2.5), and for broadcast algorithms the O(N²) start-up flood then
+   amortizes over enough CS executions to approximate steady state.
+   The [~algorithm] parameter lets callers reshape the budget per
+   algorithm (e.g. trimming broadcast baselines in a constrained CI
+   lane) without forking the sweep. *)
+let default_scale_requests ~algorithm:_ ~n = 2 * n
+
+let table_scale ?(ns = default_scale_ns) ?requests_at ?(replicates = 2) () =
+  let requests_at =
+    match requests_at with Some f -> f | None -> default_scale_requests
+  in
+  (* One Pool task per (algorithm, N) point: the N=1000 broadcast
+     algorithms dominate wall-clock, so finer granularity than
+     one-task-per-algorithm keeps the domains busy. *)
+  let points =
+    List.concat_map
+      (fun (name, m, cfg_of) -> List.map (fun n -> (name, m, cfg_of, n)) ns)
+      comparison_set
+  in
+  let cells =
+    Simkit.Pool.map points ~f:(fun (name, m, cfg_of, n) ->
+        let msgs, dly, alloc_mb =
+          scale_point m (cfg_of n)
+            ~requests:(requests_at ~algorithm:name ~n)
+            ~replicates
+        in
+        (name, { n_nodes = n; msgs; dly; alloc_mb }))
+  in
+  List.map
+    (fun (name, _, _) ->
+      let mine =
+        List.filter_map
+          (fun (nm, c) -> if String.equal nm name then Some c else None)
+          cells
+      in
+      let mine =
+        List.sort (fun a b -> compare a.n_nodes b.n_nodes) mine
+      in
+      { algorithm = name; cells = mine; exponent = scale_exponent mine })
+    comparison_set
+
+type wan_region_stats = {
+  region : int;
+  grants : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type wan_row = {
+  wan_algorithm : string;
+  scenario : string;
+  wan_msgs : float;
+  wan_mean_delay : float;
+  regions : wan_region_stats list;
+}
+
+(* Three regions in blocks (nodes 0..n/3-1 in region 0, ...), with a
+   one-way latency matrix shaped like a US/EU/APAC triangle (seconds
+   scaled to the paper's T_msg=0.1 LAN unit: intra-region fast,
+   transpacific slowest). *)
+let wan_region_of ~n ~nregions i = i * nregions / n
+
+let wan_scenarios ~n =
+  let nregions = 3 in
+  let region_of = Array.init n (wan_region_of ~n ~nregions) in
+  let base =
+    [|
+      [| 0.02; 0.12; 0.18 |];
+      [| 0.12; 0.02; 0.25 |];
+      [| 0.18; 0.25; 0.02 |];
+    |]
+  in
+  ( nregions,
+    region_of,
+    [
+      ("lan-uniform", Simkit.Network.Uniform (0.05, 0.15));
+      ( "wan-regions",
+        Simkit.Network.regions ~region_of ~base ~jitter_sigma:0.3 () );
+      ( "wan-pareto",
+        Simkit.Network.Pareto { scale = 0.02; shape = 1.5; cap = 5.0 } );
+    ] )
+
+let wan_algorithms =
+  List.filter
+    (fun (name, _, _) ->
+      List.mem name
+        [ "this-paper (basic)"; "suzuki-kasami"; "ricart-agrawala" ])
+    comparison_set
+
+let table_wan ?(n = 12) ?(requests = 3_000) () =
+  let nregions, region_of, scenarios = wan_scenarios ~n in
+  let points =
+    List.concat_map
+      (fun (name, m, cfg_of) ->
+        List.map (fun (scen, lat) -> (name, m, cfg_of, scen, lat)) scenarios)
+      wan_algorithms
+  in
+  Simkit.Pool.map points ~f:(fun (name, m, cfg_of, scenario, latency) ->
+      let module A = (val m : Types.ALGO) in
+      let module R = Sim_runner.Make (A) in
+      let t = R.create ~seed:4242 ~latency (cfg_of n) in
+      (* Per-region request→exit delay distributions. Saturated delays
+         are full-rotation waits (N · (T_exec + latency)), so the
+         histogram spans well past the heaviest Pareto rotation. *)
+      let hists =
+        Array.init nregions (fun _ ->
+            Simkit.Stats.Histogram.create ~lo:0.0 ~hi:60.0 ~buckets:1200)
+      in
+      R.on_grant t (fun ~node ~delay ->
+          Simkit.Stats.Histogram.add hists.(region_of.(node)) delay);
+      let o = R.saturate ~requests t in
+      let regions =
+        List.init nregions (fun r ->
+            let h = hists.(r) in
+            let q x =
+              if Simkit.Stats.Histogram.count h = 0 then 0.0
+              else Simkit.Stats.Histogram.quantile h x
+            in
+            {
+              region = r;
+              grants = Simkit.Stats.Histogram.count h;
+              p50 = q 0.5;
+              p95 = q 0.95;
+              p99 = q 0.99;
+            })
+      in
+      {
+        wan_algorithm = name;
+        scenario;
+        wan_msgs = o.Sim_runner.messages_per_cs;
+        wan_mean_delay = o.Sim_runner.mean_delay;
+        regions;
+      })
+
+type fault_row = {
+  fault_algorithm : string;
+  supported : bool;
+  fault_completed : int;
+  fault_msgs : float;
+  fault_mean_delay : float;
+  fault_max_delay : float;
+  fault_unserved : int;
+}
+
+(* One schedule replayed verbatim against every algorithm: two
+   crash-and-restart events (one early, one mid-run) and a 5% loss
+   window. Algorithms without a failure model refuse the plan loudly
+   ([Types.Unsupported_fault]) and are reported as unsupported rather
+   than silently measured. *)
+let default_fault_plan ~n : Sim_runner.fault_plan =
+  [
+    Sim_runner.Crash_at { node = 1 mod n; at = 15.0; restart_after = Some 8.0 };
+    Sim_runner.Crash_at { node = n / 2; at = 40.0; restart_after = Some 10.0 };
+    Sim_runner.Loss_between { from_ = 60.0; until_ = 75.0; p = 0.05 };
+  ]
+
+let fault_set ~n:_ =
+  ( "this-paper (resilient)",
+    (module Resilient : Types.ALGO),
+    fun n ->
+      Resilient.config ~token_timeout:2.0 ~enquiry_timeout:1.0
+        ~arbiter_timeout:3.0 ~n () )
+  :: List.filter
+       (fun (name, _, _) -> not (String.equal name "this-paper (basic)"))
+       comparison_set
+
+let table_faults ?(n = 10) ?(requests = 2_000) () =
+  let plan = default_fault_plan ~n in
+  Simkit.Pool.map (fault_set ~n) ~f:(fun (name, m, cfg_of) ->
+      let module A = (val m : Types.ALGO) in
+      let module R = Sim_runner.Make (A) in
+      match
+        let t = R.create ~seed:77 (cfg_of n) in
+        (* Horizon bound: a wedged recovery must end the run, not hang
+           the sweep. Generous vs the ~0.2 s/CS saturated cycle. *)
+        R.saturate ~requests ~faults:plan
+          ~until:(1000.0 +. (0.5 *. float_of_int requests))
+          t
+      with
+      | o ->
+          {
+            fault_algorithm = name;
+            supported = true;
+            fault_completed = o.Sim_runner.completed;
+            fault_msgs = o.Sim_runner.messages_per_cs;
+            fault_mean_delay = o.Sim_runner.mean_delay;
+            fault_max_delay = o.Sim_runner.max_delay;
+            fault_unserved = o.Sim_runner.unserved;
+          }
+      | exception Types.Unsupported_fault _ ->
+          {
+            fault_algorithm = name;
+            supported = false;
+            fault_completed = 0;
+            fault_msgs = 0.0;
+            fault_mean_delay = 0.0;
+            fault_max_delay = 0.0;
+            fault_unserved = 0;
+          })
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 
 let print_sweep ?(xlabel = "rate") ~title ppf rows =
@@ -714,7 +1023,7 @@ let print_bounds ~title ppf rows =
   Format.fprintf ppf "@[<v>== %s ==@,%6s | %12s | %12s | %8s@," title "N"
     "analytic" "measured" "ratio";
   List.iter
-    (fun r ->
+    (fun (r : bound_row) ->
       Format.fprintf ppf "%6d | %12.4f | %12.4f | %8.3f@," r.n_nodes r.analytic
         r.measured.mean
         (r.measured.mean /. r.analytic))
@@ -727,7 +1036,7 @@ let print_recovery ppf rows =
   Format.fprintf ppf "%-34s | %9s | %10s | %11s | %9s | %s@," "scenario"
     "completed" "recoveries" "regenerated" "takeovers" "progress";
   List.iter
-    (fun r ->
+    (fun (r : recovery_row) ->
       Format.fprintf ppf "%-34s | %9d | %10d | %11d | %9d | %s@," r.scenario
         r.completed r.recoveries r.regenerated r.takeovers
         (if r.served_after_fault then "RESUMED" else "STALLED"))
@@ -778,6 +1087,72 @@ let print_algorithms ppf rows =
     (fun (name, low, sat) ->
       Format.fprintf ppf "%-22s | %12.3f +/-%6.3f | %12.3f +/-%6.3f@," name
         low.mean low.ci95 sat.mean sat.ci95)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_scale ppf rows =
+  Format.fprintf ppf "@[<v>== big-N scaling: messages/CS (top), delay, alloc MB ==@,";
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-22s" "algorithm";
+      List.iter
+        (fun c -> Format.fprintf ppf " | N=%-9d" c.n_nodes)
+        first.cells;
+      Format.fprintf ppf " | %8s@," "exponent";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "%-22s" r.algorithm;
+          List.iter
+            (fun c -> Format.fprintf ppf " | %11.3f" c.msgs.mean)
+            r.cells;
+          Format.fprintf ppf " | %8.3f@," r.exponent;
+          Format.fprintf ppf "%-22s" "  delay";
+          List.iter
+            (fun c -> Format.fprintf ppf " | %11.3f" c.dly.mean)
+            r.cells;
+          Format.fprintf ppf " |@,";
+          Format.fprintf ppf "%-22s" "  alloc-MB";
+          List.iter
+            (fun c -> Format.fprintf ppf " | %11.2f" c.alloc_mb)
+            r.cells;
+          Format.fprintf ppf " |@,")
+        rows);
+  Format.fprintf ppf "@]"
+
+let print_wan ppf rows =
+  Format.fprintf ppf
+    "@[<v>== WAN delay models: per-region CS latency percentiles ==@,";
+  Format.fprintf ppf "%-22s | %-12s | %11s | %6s | %8s %8s %8s@," "algorithm"
+    "scenario" "messages/CS" "region" "p50" "p95" "p99";
+  List.iter
+    (fun r ->
+      List.iteri
+        (fun i reg ->
+          Format.fprintf ppf "%-22s | %-12s | %11s | %6d | %8.3f %8.3f %8.3f@,"
+            (if i = 0 then r.wan_algorithm else "")
+            (if i = 0 then r.scenario else "")
+            (if i = 0 then Printf.sprintf "%.3f" r.wan_msgs else "")
+            reg.region reg.p50 reg.p95 reg.p99)
+        r.regions)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_faults ppf rows =
+  Format.fprintf ppf
+    "@[<v>== uniform fault schedule: recovery cost per algorithm ==@,";
+  Format.fprintf ppf "%-24s | %-11s | %9s | %11s | %10s | %9s | %8s@,"
+    "algorithm" "faults" "completed" "messages/CS" "mean-delay" "max-delay"
+    "unserved";
+  List.iter
+    (fun r ->
+      if r.supported then
+        Format.fprintf ppf "%-24s | %-11s | %9d | %11.3f | %10.3f | %9.3f | %8d@,"
+          r.fault_algorithm "injected" r.fault_completed r.fault_msgs
+          r.fault_mean_delay r.fault_max_delay r.fault_unserved
+      else
+        Format.fprintf ppf "%-24s | %-11s | %9s | %11s | %10s | %9s | %8s@,"
+          r.fault_algorithm "UNSUPPORTED" "-" "-" "-" "-" "-")
     rows;
   Format.fprintf ppf "@]"
 
@@ -900,6 +1275,81 @@ module Csv = struct
             Printf.sprintf "%g" hops;
             Printf.sprintf "%g" msgs;
             Printf.sprintf "%g" delay;
+          ])
+      rows;
+    Buffer.contents buf
+
+  let of_scale (rows : scale_row list) =
+    let buf = Buffer.create 1024 in
+    buf_add_row buf
+      [
+        "algorithm"; "n"; "messages_per_cs"; "msgs_ci95"; "mean_delay";
+        "delay_ci95"; "alloc_mb"; "exponent";
+      ];
+    List.iter
+      (fun (r : scale_row) ->
+        List.iter
+          (fun (c : scale_cell) ->
+            buf_add_row buf
+              [
+                field r.algorithm;
+                string_of_int c.n_nodes;
+                Printf.sprintf "%g" c.msgs.mean;
+                Printf.sprintf "%g" c.msgs.ci95;
+                Printf.sprintf "%g" c.dly.mean;
+                Printf.sprintf "%g" c.dly.ci95;
+                Printf.sprintf "%g" c.alloc_mb;
+                Printf.sprintf "%g" r.exponent;
+              ])
+          r.cells)
+      rows;
+    Buffer.contents buf
+
+  let of_wan (rows : wan_row list) =
+    let buf = Buffer.create 1024 in
+    buf_add_row buf
+      [
+        "algorithm"; "scenario"; "messages_per_cs"; "mean_delay"; "region";
+        "grants"; "p50"; "p95"; "p99";
+      ];
+    List.iter
+      (fun (r : wan_row) ->
+        List.iter
+          (fun (reg : wan_region_stats) ->
+            buf_add_row buf
+              [
+                field r.wan_algorithm;
+                field r.scenario;
+                Printf.sprintf "%g" r.wan_msgs;
+                Printf.sprintf "%g" r.wan_mean_delay;
+                string_of_int reg.region;
+                string_of_int reg.grants;
+                Printf.sprintf "%g" reg.p50;
+                Printf.sprintf "%g" reg.p95;
+                Printf.sprintf "%g" reg.p99;
+              ])
+          r.regions)
+      rows;
+    Buffer.contents buf
+
+  let of_faults (rows : fault_row list) =
+    let buf = Buffer.create 512 in
+    buf_add_row buf
+      [
+        "algorithm"; "supported"; "completed"; "messages_per_cs";
+        "mean_delay"; "max_delay"; "unserved";
+      ];
+    List.iter
+      (fun (r : fault_row) ->
+        buf_add_row buf
+          [
+            field r.fault_algorithm;
+            string_of_bool r.supported;
+            string_of_int r.fault_completed;
+            Printf.sprintf "%g" r.fault_msgs;
+            Printf.sprintf "%g" r.fault_mean_delay;
+            Printf.sprintf "%g" r.fault_max_delay;
+            string_of_int r.fault_unserved;
           ])
       rows;
     Buffer.contents buf

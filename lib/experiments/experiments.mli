@@ -160,6 +160,97 @@ val table_topology :
     messages/CS at saturation, delay/CS at saturation). Message counts
     must be invariant; delay must scale with mean distance. *)
 
+(** {1 Big-N comparison lab} *)
+
+type scale_cell = {
+  n_nodes : int;
+  msgs : point;  (** Messages per CS at saturation. *)
+  dly : point;  (** Mean request→exit delay. *)
+  alloc_mb : float;
+      (** Total GC-reported bytes allocated by the sweep point, in MB:
+          the memory cost of simulating this (algorithm, N) — the
+          per-point arena keeps it flat in the number of replicates.
+          Approximate when several Pool domains share the OCaml 4.14
+          threads fallback. *)
+}
+
+type scale_row = {
+  algorithm : string;
+  cells : scale_cell list;  (** Sorted by [n_nodes]. *)
+  exponent : float;
+      (** Least-squares slope of ln(messages/CS) vs ln(N): ≈0 for the
+          paper's algorithm (Eq. 4 tends to the constant 3), ≈1 for
+          broadcast-per-CS baselines. *)
+}
+
+val default_scale_ns : int list
+(** [10; 50; 100; 250; 500; 1000] — the De Turck-style sweep two
+    orders of magnitude past the paper's N=10. *)
+
+val default_scale_requests : algorithm:string -> n:int -> int
+(** The default per-point CS target: two saturated epochs ([2*N]) —
+    the dmutex Eq. 4 band needs at least one full epoch, and the
+    broadcast baselines' O(N²) start-up flood then amortizes over
+    enough grants to approximate steady state. The [algorithm] label
+    is accepted so callers can reshape the budget per algorithm. *)
+
+val table_scale :
+  ?ns:int list ->
+  ?requests_at:(algorithm:string -> n:int -> int) ->
+  ?replicates:int ->
+  unit ->
+  scale_row list
+(** Saturated messages/CS, delay, and simulation memory for every
+    implemented algorithm across [ns] (default {!default_scale_ns}).
+    [requests_at] maps an (algorithm, N) point to its CS target
+    (default {!default_scale_requests}); [replicates] (default 2) runs
+    per point share one arena via [Sim_runner.reset]. Points are
+    dispatched through [Simkit.Pool]; parallel output is bit-for-bit
+    equal to sequential except the non-semantic [alloc_mb] field. *)
+
+type wan_region_stats = {
+  region : int;
+  grants : int;  (** CS grants observed in this region. *)
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** Request→exit latency percentiles, seconds. *)
+}
+
+type wan_row = {
+  wan_algorithm : string;
+  scenario : string;  (** [lan-uniform], [wan-regions] or [wan-pareto]. *)
+  wan_msgs : float;
+  wan_mean_delay : float;
+  regions : wan_region_stats list;
+}
+
+val table_wan : ?n:int -> ?requests:int -> unit -> wan_row list
+(** Multi-region and heavy-tailed delay models: [n] (default 12) nodes
+    in three regions under a US/EU/APAC-shaped latency matrix with
+    lognormal jitter, plus a uniform-LAN control and a truncated-Pareto
+    tail, for the paper's algorithm and two baselines. Reports
+    messages/CS and per-region CS latency percentiles. *)
+
+type fault_row = {
+  fault_algorithm : string;
+  supported : bool;
+      (** False when the algorithm's [fault_support] rejected the
+          plan — no numbers are fabricated for it. *)
+  fault_completed : int;
+  fault_msgs : float;
+  fault_mean_delay : float;
+  fault_max_delay : float;
+  fault_unserved : int;
+}
+
+val table_faults : ?n:int -> ?requests:int -> unit -> fault_row list
+(** One fault schedule (two crash-and-restarts plus a 5% loss window)
+    replayed verbatim against the resilient variant and every
+    baseline, so recovery cost is a compared metric. Baselines without
+    a failure model appear as [supported = false] rows — the loud
+    {!Dmutex.Types.Unsupported_fault} path — rather than as silently
+    wrong measurements. *)
+
 (** {1 Ablations} *)
 
 val table_collection_tuning :
@@ -205,6 +296,10 @@ val print_topology :
 val print_algorithms :
   Format.formatter -> (string * point * point) list -> unit
 
+val print_scale : Format.formatter -> scale_row list -> unit
+val print_wan : Format.formatter -> wan_row list -> unit
+val print_faults : Format.formatter -> fault_row list -> unit
+
 (** Machine-readable CSV output for every artefact above. *)
 module Csv : sig
   (** Machine-readable output for every experiment artefact: plain CSV
@@ -227,6 +322,10 @@ module Csv : sig
   (** The Jain index is appended as a trailing comment line. *)
 
   val of_topology : (string * float * float * float) list -> string
+
+  val of_scale : scale_row list -> string
+  val of_wan : wan_row list -> string
+  val of_faults : fault_row list -> string
 
   val write : dir:string -> name:string -> string -> string
   (** [write ~dir ~name csv] stores [csv] as [dir/name.csv] (creating

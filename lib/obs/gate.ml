@@ -1,4 +1,8 @@
-type outcome = { lines : string list; failures : string list }
+type outcome = {
+  lines : string list;
+  failures : string list;
+  summary : string list;
+}
 
 (* Which way is "worse": costs (messages/CS, wall-clock) regress
    upward, rates (throughput) regress downward. *)
@@ -6,8 +10,13 @@ type direction = Higher_bad | Lower_bad
 
 type check = {
   label : string;
-  path : string list;
+  dotted : string;  (* where the metric lives, for diagnostics *)
+  probe : Json.t -> float option;
   tolerance : float;  (* relative: fail when cur is worse than base by more *)
+  absolute_tolerance : float option;
+      (* when set, replaces the relative rule: |cur - base| must not
+         exceed it (for metrics near zero, e.g. scaling exponents,
+         where a relative tolerance is meaningless) *)
   band : (float * float) option;  (* absolute bounds on the current value *)
   direction : direction;
   optional : bool;  (* absent from both runs: skip instead of failing *)
@@ -15,117 +24,216 @@ type check = {
 
 let get path json = Option.bind (Json.path path json) Json.num
 
+let of_path ~label ?(tolerance = 0.25) ?band ?(direction = Higher_bad)
+    ?(optional = false) path =
+  {
+    label;
+    dotted = String.concat "." path;
+    probe = (fun json -> get path json);
+    tolerance;
+    absolute_tolerance = None;
+    band;
+    direction;
+    optional;
+  }
+
+(* --- derived.scale probes ------------------------------------------- *)
+
+(* The scale table's dmutex row carries the Eq. 4 claim out to N=1000;
+   its checks are generated from whatever Ns the current run actually
+   swept, so adding or removing sweep points never silently drops the
+   band. *)
+
+let dmutex_scale_algorithm = "this-paper (basic)"
+
+let scale_row ~algorithm json =
+  match Json.path [ "derived"; "scale"; "rows" ] json with
+  | Some (Json.List rows) ->
+      List.find_opt
+        (fun r ->
+          match Option.bind (Json.member "algorithm" r) Json.str with
+          | Some a -> String.equal a algorithm
+          | None -> false)
+        rows
+  | _ -> None
+
+let scale_cells row =
+  match Json.member "cells" row with
+  | Some (Json.List cells) -> cells
+  | _ -> []
+
+let cell_n c =
+  Option.bind (Json.member "n" c) Json.num |> Option.map int_of_float
+
+let scale_cell_probe ~algorithm ~n json =
+  Option.bind (scale_row ~algorithm json) (fun row ->
+      List.find_opt (fun c -> cell_n c = Some n) (scale_cells row))
+  |> Fun.flip Option.bind (fun c ->
+         Option.bind (Json.member "messages_per_cs" c) Json.num)
+
+let scale_exponent_probe ~algorithm json =
+  Option.bind (scale_row ~algorithm json) (fun row ->
+      Option.bind (Json.member "exponent" row) Json.num)
+
+(* --- the gate -------------------------------------------------------- *)
+
 let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
-    ?sharded_floor ?client_floor ~baseline ~current () =
-  let checks =
+    ?(exponent_tolerance = 0.15) ?sharded_floor ?client_floor
+    ?(allow_missing = false) ~baseline ~current () =
+  let static_checks =
     [
-      {
-        label = "high-load messages/CS";
-        path = [ "derived"; "high_load"; "messages_per_cs" ];
-        tolerance;
-        band = Some band;
-        direction = Higher_bad;
-        optional = false;
-      };
-      {
-        label = "light-load messages/CS";
-        path = [ "derived"; "light_load"; "messages_per_cs" ];
-        tolerance;
-        band = None;
-        direction = Higher_bad;
-        optional = false;
-      };
+      of_path ~label:"high-load messages/CS" ~tolerance ~band
+        [ "derived"; "high_load"; "messages_per_cs" ];
+      of_path ~label:"light-load messages/CS" ~tolerance
+        [ "derived"; "light_load"; "messages_per_cs" ];
       (* The sharded (multi-lock) live experiment: per-CS cost must
          stay in the same Eq. 4 band as the single lock — the keyed
          multiplexing is free in protocol messages — and aggregate
          throughput must not collapse. Both are optional so baselines
          recorded before the lock namespace existed still gate. *)
-      {
-        label = "sharded messages/CS";
-        path = [ "derived"; "sharded"; "messages_per_cs" ];
-        tolerance;
-        band = Some band;
-        direction = Higher_bad;
-        optional = true;
-      };
-      {
-        label = "sharded aggregate throughput";
-        path = [ "derived"; "sharded"; "cs_per_sec" ];
-        (* Live wall-clock rate on a shared runner: same looseness as
-           the wall-clock check. The optional absolute floor pins the
-           reactor transport's throughput win so a drifting baseline
-           cannot ratchet it away. *)
-        tolerance = wall_tolerance;
-        band = Option.map (fun lo -> (lo, infinity)) sharded_floor;
-        direction = Lower_bad;
-        optional = true;
-      };
+      of_path ~label:"sharded messages/CS" ~tolerance ~band ~optional:true
+        [ "derived"; "sharded"; "messages_per_cs" ];
+      (* Live wall-clock rate on a shared runner: same looseness as
+         the wall-clock check. The optional absolute floor pins the
+         reactor transport's throughput win so a drifting baseline
+         cannot ratchet it away. *)
+      of_path ~label:"sharded aggregate throughput" ~tolerance:wall_tolerance
+        ?band:(Option.map (fun lo -> (lo, infinity)) sharded_floor)
+        ~direction:Lower_bad ~optional:true
+        [ "derived"; "sharded"; "cs_per_sec" ];
       (* The client-swarm experiment: M ≫ N thin clients behind the
          session layer. Per-CS protocol cost must stay in the Eq. 4
          band — sessions multiplex onto the same token passing, they
          do not add protocol messages — and the aggregate grant rate
-         must not collapse (optional absolute floor, like sharded).
-         Optional so baselines recorded before the session layer
-         existed still gate. *)
-      {
-        label = "client-swarm messages/CS";
-        path = [ "derived"; "client"; "messages_per_cs" ];
-        tolerance;
-        band = Some band;
-        direction = Higher_bad;
-        optional = true;
-      };
-      {
-        label = "client-swarm acquisitions/sec";
-        path = [ "derived"; "client"; "acq_per_sec" ];
-        tolerance = wall_tolerance;
-        band = Option.map (fun lo -> (lo, infinity)) client_floor;
-        direction = Lower_bad;
-        optional = true;
-      };
-      {
-        label = "total wall-clock";
-        path = [ "total_seconds" ];
-        tolerance = wall_tolerance;
-        band = None;
-        direction = Higher_bad;
-        optional = false;
-      };
+         must not collapse (optional absolute floor, like sharded). *)
+      of_path ~label:"client-swarm messages/CS" ~tolerance ~band ~optional:true
+        [ "derived"; "client"; "messages_per_cs" ];
+      of_path ~label:"client-swarm acquisitions/sec" ~tolerance:wall_tolerance
+        ?band:(Option.map (fun lo -> (lo, infinity)) client_floor)
+        ~direction:Lower_bad ~optional:true
+        [ "derived"; "client"; "acq_per_sec" ];
+      of_path ~label:"total wall-clock" ~tolerance:wall_tolerance
+        [ "total_seconds" ];
     ]
   in
-  let lines = ref [] and failures = ref [] in
+  (* Per-N band checks generated from the current run's dmutex scale
+     row: Eq. 4 (M = 3 - 2/N, accepted in [band]) must hold at every
+     swept N — including N far past the paper's largest experiment.
+     The relative comparison against the baseline's matching cell
+     rides along; a baseline predating the sweep (or swept over
+     different Ns) skips it while the absolute band still applies. *)
+  let scale_checks =
+    match scale_row ~algorithm:dmutex_scale_algorithm current with
+    | None -> []
+    | Some row ->
+        let per_n =
+          List.filter_map cell_n (scale_cells row)
+          |> List.map (fun n ->
+                 {
+                   label =
+                     Printf.sprintf "scale dmutex messages/CS @ N=%d" n;
+                   dotted = Printf.sprintf "derived.scale[dmutex][n=%d]" n;
+                   probe =
+                     scale_cell_probe ~algorithm:dmutex_scale_algorithm ~n;
+                   tolerance;
+                   absolute_tolerance = None;
+                   band = Some band;
+                   direction = Higher_bad;
+                   optional = false;
+                 })
+        in
+        per_n
+        @ [
+            {
+              label = "scale dmutex exponent";
+              dotted = "derived.scale[dmutex].exponent";
+              probe = scale_exponent_probe ~algorithm:dmutex_scale_algorithm;
+              tolerance;
+              absolute_tolerance = Some exponent_tolerance;
+              band = None;
+              direction = Higher_bad;
+              optional = true;
+            };
+          ]
+  in
+  let checks = static_checks @ scale_checks in
+  let lines = ref [] and failures = ref [] and summary = ref [] in
   let say l = lines := l :: !lines in
   let fail l =
     failures := l :: !failures;
     say l
   in
+  let num_or_dash = function
+    | Some v -> Printf.sprintf "%12.4f" v
+    | None -> Printf.sprintf "%12s" "-"
+  in
+  let summarize c base cur status =
+    let delta =
+      match (base, cur) with
+      | Some b, Some v when b <> 0.0 ->
+          Printf.sprintf "%+7.1f%%" (100. *. (v -. b) /. b)
+      | _ -> Printf.sprintf "%8s" "-"
+    in
+    summary :=
+      Printf.sprintf "%-34s %s %s %s  %s" c.label (num_or_dash base)
+        (num_or_dash cur) delta status
+      :: !summary
+  in
+  (* The scale table is a gated artefact: if the current run dropped it
+     entirely the per-N band checks silently vanish, so its absence is
+     itself a failure (unless the run was deliberately sectioned with
+     [allow_missing]). *)
+  (match scale_row ~algorithm:dmutex_scale_algorithm current with
+  | Some _ -> ()
+  | None ->
+      if allow_missing then
+        say "skip scale table: no derived.scale in current run"
+      else
+        fail
+          "FAIL scale table: current run has no derived.scale dmutex row \
+           (bench ran without the lab section?)");
   List.iter
     (fun c ->
-      let dotted = String.concat "." c.path in
-      match (get c.path baseline, get c.path current) with
+      match (c.probe baseline, c.probe current) with
       | None, None when c.optional ->
           say (Printf.sprintf "skip %s: not measured in either run" c.label)
-      | _, None ->
-          fail (Printf.sprintf "FAIL %s: missing %s in current run" c.label dotted)
+      | base, None ->
+          if c.optional || allow_missing then begin
+            say
+              (Printf.sprintf "skip %s: missing %s in current run" c.label
+                 c.dotted);
+            summarize c base None "skip"
+          end
+          else begin
+            fail
+              (Printf.sprintf "FAIL %s: missing %s in current run" c.label
+                 c.dotted);
+            summarize c base None "FAIL"
+          end
       | None, Some cur -> (
           say
             (Printf.sprintf "skip %s: baseline has no %s (current %.4f)"
-               c.label dotted cur);
+               c.label c.dotted cur);
           (* The acceptance band is absolute — it applies even when the
              baseline predates the metric. *)
           match c.band with
           | Some (lo, hi) when cur < lo || cur > hi ->
               fail
                 (Printf.sprintf
-                   "FAIL %s — current %.4f outside acceptance band [%.2f, %.2f]"
-                   c.label cur lo hi)
-          | Some _ | None -> ())
+                   "FAIL %s — current %.4f outside acceptance band [%.2f, \
+                    %.2f]"
+                   c.label cur lo hi);
+              summarize c None (Some cur) "FAIL"
+          | Some _ | None -> summarize c None (Some cur) "ok")
       | Some base, Some cur ->
           let delta = if base = 0. then 0. else (cur -. base) /. base in
           let rel_ok =
-            match c.direction with
-            | Higher_bad -> cur <= base *. (1. +. c.tolerance)
-            | Lower_bad -> cur >= base *. (1. -. c.tolerance)
+            match c.absolute_tolerance with
+            | Some at -> Float.abs (cur -. base) <= at
+            | None -> (
+                match c.direction with
+                | Higher_bad -> cur <= base *. (1. +. c.tolerance)
+                | Lower_bad -> cur >= base *. (1. -. c.tolerance))
           in
           let band_bad =
             match c.band with
@@ -133,17 +241,36 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
             | Some _ | None -> None
           in
           let detail =
-            Printf.sprintf "%s: baseline %.4f current %.4f (%+.1f%%, tol %.0f%%)"
-              c.label base cur (100. *. delta) (100. *. c.tolerance)
+            match c.absolute_tolerance with
+            | Some at ->
+                Printf.sprintf "%s: baseline %.4f current %.4f (tol ±%.2f)"
+                  c.label base cur at
+            | None ->
+                Printf.sprintf
+                  "%s: baseline %.4f current %.4f (%+.1f%%, tol %.0f%%)"
+                  c.label base cur (100. *. delta) (100. *. c.tolerance)
           in
           (match (rel_ok, band_bad) with
-          | true, None -> say ("ok   " ^ detail)
+          | true, None ->
+              say ("ok   " ^ detail);
+              summarize c (Some base) (Some cur) "ok"
           | false, _ ->
-              fail ("FAIL " ^ detail ^ " — regression over tolerance")
+              fail ("FAIL " ^ detail ^ " — regression over tolerance");
+              summarize c (Some base) (Some cur) "FAIL"
           | true, Some (lo, hi) ->
               fail
                 (Printf.sprintf
-                   "FAIL %s — current %.4f outside acceptance band [%.2f, %.2f]"
-                   c.label cur lo hi)))
+                   "FAIL %s — current %.4f outside acceptance band [%.2f, \
+                    %.2f]"
+                   c.label cur lo hi);
+              summarize c (Some base) (Some cur) "FAIL"))
     checks;
-  { lines = List.rev !lines; failures = List.rev !failures }
+  let header =
+    Printf.sprintf "%-34s %12s %12s %8s  %s" "metric" "baseline" "current"
+      "delta" "status"
+  in
+  {
+    lines = List.rev !lines;
+    failures = List.rev !failures;
+    summary = header :: List.rev !summary;
+  }

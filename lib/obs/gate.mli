@@ -14,6 +14,16 @@
       independent of what the baseline says — a drifting baseline
       cannot ratchet the protocol away from the analysis.
 
+    The big-N scale table ([derived.scale], schema 3) adds dynamic
+    checks generated from the current run: the dmutex row's
+    messages-per-CS must sit inside the Eq. 4 band {e at every swept
+    N}, each cell is compared against the baseline's matching cell
+    when one exists, and the empirical scaling exponent must stay
+    within an absolute tolerance of the baseline's. A current run with
+    no scale table at all fails — the band must not vanish silently —
+    unless [allow_missing] marks the run as deliberately sectioned
+    (e.g. [DMUTEX_BENCH_ONLY] in the nightly lab).
+
     Checks are direction-aware: costs (messages/CS, wall-clock)
     regress {e upward}, while the sharded experiment's aggregate
     throughput regresses {e downward} — a lower [cs_per_sec] than the
@@ -31,6 +41,10 @@
 type outcome = {
   lines : string list;  (** human-readable report, one line per check *)
   failures : string list;  (** subset describing failed checks; empty = pass *)
+  summary : string list;
+      (** fixed-width per-metric table (header first): label, baseline,
+          current, delta, status — the one-glance digest printed under
+          the per-check report *)
 }
 
 val run :
@@ -39,7 +53,12 @@ val run :
   ?wall_tolerance:float ->
   (* wall-clock relative tolerance, default 0.25 *)
   ?band:float * float ->
-  (* absolute high-load messages-per-CS band, default (2.5, 4.5) *)
+  (* absolute high-load messages-per-CS band, default (2.5, 4.5);
+     also applied to every N of the scale table's dmutex row *)
+  ?exponent_tolerance:float ->
+  (* absolute tolerance on the dmutex scaling exponent vs the
+     baseline's, default 0.15 — relative tolerances are meaningless
+     for a metric that sits near zero by design *)
   ?sharded_floor:float ->
   (* absolute floor on the sharded experiment's aggregate cs_per_sec;
      default none. Like [band], it applies regardless of the baseline,
@@ -50,6 +69,11 @@ val run :
      (grants issued to thin clients per second); default none. The
      client-swarm checks are optional like the sharded ones —
      baselines that predate the session layer skip them. *)
+  ?allow_missing:bool ->
+  (* default false. True turns "metric missing from the current run"
+     into a skip instead of a failure, for deliberately sectioned
+     benches (DMUTEX_BENCH_ONLY) whose JSON legitimately lacks whole
+     sections. Band checks on metrics that are present still apply. *)
   baseline:Json.t ->
   current:Json.t ->
   unit ->

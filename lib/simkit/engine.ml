@@ -12,6 +12,12 @@ type handle = event
 let create ?(capacity = 256) () =
   { agenda = Heap.create ~capacity (); clock = 0.0; live = 0; stopping = false }
 
+let reset t =
+  Heap.clear t.agenda;
+  t.clock <- 0.0;
+  t.live <- 0;
+  t.stopping <- false
+
 let now t = t.clock
 
 let schedule_at t ~time action =

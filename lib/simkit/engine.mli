@@ -14,6 +14,13 @@ val create : ?capacity:int -> unit -> t
 (** A fresh engine with clock at [0.0] and an empty agenda.
     [capacity] pre-sizes the agenda heap (default 256). *)
 
+val reset : t -> unit
+(** Return the engine to its just-created state — clock at [0.0],
+    agenda empty — while keeping the heap's backing array, so a sweep
+    can reuse one engine across replicates without re-growing the
+    agenda each time. Outstanding handles become dangling and must not
+    be cancelled after a reset. *)
+
 val now : t -> float
 (** Current simulated time. *)
 

@@ -3,6 +3,40 @@ type latency =
   | Uniform of float * float
   | Exponential of float
   | Per_pair of (int -> int -> float)
+  | Lognormal of { median : float; sigma : float }
+  | Pareto of { scale : float; shape : float; cap : float }
+  | Regions of {
+      region_of : int array;
+      base : float array array;
+      jitter_sigma : float;
+    }
+
+let sample rng latency ~src ~dst =
+  match latency with
+  | Constant d -> d
+  | Uniform (lo, hi) -> Rng.range rng lo hi
+  | Exponential mean -> Rng.exponential rng ~rate:(1.0 /. mean)
+  | Per_pair f -> f src dst
+  | Lognormal { median; sigma } -> Rng.lognormal rng ~median ~sigma
+  | Pareto { scale; shape; cap } -> Float.min cap (Rng.pareto rng ~scale ~shape)
+  | Regions { region_of; base; jitter_sigma } ->
+      let b = base.(region_of.(src)).(region_of.(dst)) in
+      if jitter_sigma = 0.0 then b
+      else b *. Rng.lognormal rng ~median:1.0 ~sigma:jitter_sigma
+
+let regions ~region_of ~base ?(jitter_sigma = 0.0) () =
+  let nr = Array.length base in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= nr then
+        invalid_arg "Network.regions: region id out of range")
+    region_of;
+  Array.iter
+    (fun row ->
+      if Array.length row <> nr then
+        invalid_arg "Network.regions: base matrix must be square")
+    base;
+  Regions { region_of; base; jitter_sigma }
 
 type verdict = Deliver | Drop | Delay of float
 
@@ -29,6 +63,7 @@ let create engine ~n ~rng ~latency =
 
 let n t = t.n
 let engine t = t.engine
+let rng t = t.rng
 let set_handler t f = t.handler <- Some f
 let set_loss t p = t.loss <- p
 let set_interceptor t f = t.interceptor <- Some f
@@ -46,12 +81,7 @@ let partition t groups =
 
 let heal t = t.group_of <- None
 
-let base_delay t ~src ~dst =
-  match t.latency with
-  | Constant d -> d
-  | Uniform (lo, hi) -> Rng.range t.rng lo hi
-  | Exponential mean -> Rng.exponential t.rng ~rate:(1.0 /. mean)
-  | Per_pair f -> f src dst
+let base_delay t ~src ~dst = sample t.rng t.latency ~src ~dst
 
 let severed t ~src ~dst =
   t.crashed.(src) || t.crashed.(dst)
@@ -106,3 +136,10 @@ let reset_counters t =
   t.sent <- 0;
   t.delivered <- 0;
   t.dropped <- 0
+
+let reset t =
+  t.loss <- 0.0;
+  t.interceptor <- None;
+  Array.fill t.crashed 0 t.n false;
+  t.group_of <- None;
+  reset_counters t

@@ -18,6 +18,39 @@ type latency =
       (** Exponential with the given mean — heavy-ish tail, reorders
           concurrent messages aggressively. *)
   | Per_pair of (int -> int -> float)  (** Function of (src, dst). *)
+  | Lognormal of { median : float; sigma : float }
+      (** Lognormal service delay: [median] is the typical delay,
+          [sigma] the log-space spread (WAN measurements commonly fit
+          sigma 0.3–1.0). *)
+  | Pareto of { scale : float; shape : float; cap : float }
+      (** Heavy-tailed delay: Pareto with minimum [scale] and tail
+          index [shape], truncated at [cap] so a single astronomical
+          draw cannot stall a finite-horizon simulation. [shape <= 1]
+          has infinite mean below the cap — report percentiles. *)
+  | Regions of {
+      region_of : int array;
+      base : float array array;
+      jitter_sigma : float;
+    }
+      (** Multi-region topology: node [i] lives in region
+          [region_of.(i)]; one-way delay between regions [a] and [b]
+          is [base.(a).(b)], multiplied by lognormal jitter with
+          median 1 and spread [jitter_sigma] (0 = deterministic
+          matrix). Build with {!regions} for validation. *)
+
+val regions :
+  region_of:int array ->
+  base:float array array ->
+  ?jitter_sigma:float ->
+  unit ->
+  latency
+(** Validated constructor for {!Regions}: checks the matrix is square
+    and every region id indexes it. [jitter_sigma] defaults to 0. *)
+
+val sample : Rng.t -> latency -> src:int -> dst:int -> float
+(** Draw one delay for a [src -> dst] message from a latency model.
+    Exposed so tests can pin seeded quantiles of each distribution
+    without standing up a full network. *)
 
 (** Decision of the fault-injection interceptor for one message. *)
 type verdict =
@@ -31,6 +64,10 @@ val create : Engine.t -> n:int -> rng:Rng.t -> latency:latency -> 'm t
 
 val n : 'm t -> int
 val engine : 'm t -> Engine.t
+
+val rng : 'm t -> Rng.t
+(** The network's private delay/loss stream — exposed so an arena
+    host can [Rng.reseed] it between reused replicates. *)
 
 val set_handler : 'm t -> (src:int -> dst:int -> 'm -> unit) -> unit
 (** Install the delivery callback, invoked at the message's arrival
@@ -78,3 +115,10 @@ val dropped : 'm t -> int
     partitions. *)
 
 val reset_counters : 'm t -> unit
+
+val reset : 'm t -> unit
+(** Return the network to its just-created state in place — no loss,
+    no interceptor, no crashes, no partition, counters at zero — so a
+    sweep point can reuse one network across replicates without
+    reallocating the per-node arrays. The latency model and handler
+    are kept. *)

@@ -42,6 +42,27 @@ let uniform t =
 let float t x = uniform t *. x
 let range t lo hi = lo +. (uniform t *. (hi -. lo))
 
+let gaussian t =
+  (* Box-Muller. One of the pair is discarded so that consecutive
+     draws stay independent of call parity. *)
+  let u1 = 1.0 -. uniform t (* in (0,1] so log is finite *) in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~median ~sigma =
+  if median <= 0.0 then invalid_arg "Rng.lognormal: median must be positive";
+  if sigma < 0.0 then invalid_arg "Rng.lognormal: sigma must be non-negative";
+  median *. exp (sigma *. gaussian t)
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 then invalid_arg "Rng.pareto: scale must be positive";
+  if shape <= 0.0 then invalid_arg "Rng.pareto: shape must be positive";
+  let u = 1.0 -. uniform t (* in (0,1] *) in
+  scale /. (u ** (1.0 /. shape))
+
+let reseed t seed = t.state <- mix (Int64.of_int seed)
+let assign ~dst ~src = dst.state <- src.state
+
 let exponential t ~rate =
   if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
   let u = 1.0 -. uniform t (* in (0,1] so log is finite *) in

@@ -39,6 +39,33 @@ val float : t -> float -> float
 val range : t -> float -> float -> float
 (** [range t lo hi] is uniform on [\[lo, hi)]. *)
 
+val gaussian : t -> float
+(** Draw from the standard normal N(0, 1) (Box-Muller). *)
+
+val lognormal : t -> median:float -> sigma:float -> float
+(** Draw from a lognormal distribution parameterised by its median
+    ([exp mu]) and the log-space standard deviation [sigma]. The
+    median form keeps the "typical" delay readable while [sigma]
+    controls tail weight. Both strictly positive ([sigma] may be 0,
+    degenerating to the constant [median]). *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Draw from a Pareto distribution with minimum value [scale] (x_m)
+    and tail index [shape] (alpha). Median is
+    [scale *. 2.0 ** (1.0 /. shape)]; means are infinite for
+    [shape <= 1.0], so heavy-tail experiments should report
+    percentiles, not averages. *)
+
+val reseed : t -> int -> unit
+(** [reseed t seed] resets [t] in place to the stream [create seed]
+    would produce — arena-friendly: sweep replicates can reuse one
+    generator without allocating. *)
+
+val assign : dst:t -> src:t -> unit
+(** Copy [src]'s state into [dst] in place — the allocation-free
+    counterpart of [copy], for re-deriving split streams in a reused
+    arena. *)
+
 val exponential : t -> rate:float -> float
 (** Draw from Exp(rate): mean [1.0 /. rate]. Used for Poisson-process
     inter-arrival times. [rate] must be positive. *)

@@ -30,6 +30,14 @@ module Tally = struct
     { count = 0; mean = 0.0; m2 = 0.0; sum = 0.0;
       min = infinity; max = neg_infinity }
 
+  let reset t =
+    t.count <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.sum <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity
+
   let add t x =
     t.count <- t.count + 1;
     t.sum <- t.sum +. x;
@@ -132,6 +140,10 @@ module Histogram = struct
     t.counts.(s) <- t.counts.(s) + 1;
     t.total <- t.total + 1
 
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.total <- 0
+
   let count t = t.total
 
   let bucket_bounds t s =
@@ -184,6 +196,10 @@ module Counter = struct
 
   let get t name =
     match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  (* Zero in place rather than [Hashtbl.reset]: keeps the interned key
+     strings and ref cells, so a reused sweep arena allocates nothing. *)
+  let reset t = Hashtbl.iter (fun _ r -> r := 0) t
 
   let to_list t =
     Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []

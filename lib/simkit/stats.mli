@@ -10,6 +10,11 @@ module Tally : sig
   type t
 
   val create : unit -> t
+
+  val reset : t -> unit
+  (** Forget every sample in place (arena reuse across sweep
+      replicates). *)
+
   val add : t -> float -> unit
   val count : t -> int
   val sum : t -> float
@@ -64,6 +69,9 @@ module Histogram : sig
   val add : t -> float -> unit
   val count : t -> int
 
+  val reset : t -> unit
+  (** Zero every bucket in place, keeping the bucket layout. *)
+
   val quantile : t -> float -> float
   (** [quantile t q] approximates the [q]-quantile ([0 <= q <= 1]) from
       bucket midpoints. Requires at least one sample. *)
@@ -82,6 +90,10 @@ module Counter : sig
   val create : unit -> t
   val incr : ?by:int -> t -> string -> unit
   val get : t -> string -> int
+
+  val reset : t -> unit
+  (** Zero every counter in place, keeping the interned names. *)
+
   val to_list : t -> (string * int) list
   (** Sorted by name. *)
 

@@ -336,6 +336,71 @@ let test_lamport_ack_timestamp () =
       Alcotest.(check bool) "ack ts above request ts" true (ts > 7)
   | _ -> Alcotest.fail "expected one ACK"
 
+(* ----------------------- fault capability ------------------------ *)
+
+(* None of the eight baselines models failures, and each must say so:
+   injecting a crash into a simulation of one raises
+   [Unsupported_fault] instead of silently measuring behaviour the
+   algorithm never claimed. One pin per baseline, so adding a ninth
+   without deciding its fault story breaks a test, not a comparison
+   table. *)
+let test_baselines_refuse_faults () =
+  let check_refuses name (module A : ALGO) =
+    Alcotest.(check bool)
+      (name ^ " declares no crash model")
+      false A.fault_support.crash_stop;
+    Alcotest.(check bool)
+      (name ^ " declares no loss model")
+      false A.fault_support.message_loss;
+    let module R = Dmutex.Sim_runner.Make (A) in
+    let t = R.create ~seed:1 (Config.default ~n:4) in
+    (match R.crash t 1 with
+    | () -> Alcotest.failf "%s absorbed a crash silently" name
+    | exception Unsupported_fault _ -> ());
+    match R.set_loss t 0.1 with
+    | () -> Alcotest.failf "%s absorbed message loss silently" name
+    | exception Unsupported_fault _ -> ()
+  in
+  check_refuses "central-server" (module Baselines.Central_server);
+  check_refuses "suzuki-kasami" (module Baselines.Suzuki_kasami);
+  check_refuses "raymond" (module Baselines.Raymond);
+  check_refuses "ricart-agrawala" (module Baselines.Ricart_agrawala);
+  check_refuses "lamport" (module Baselines.Lamport);
+  check_refuses "singhal" (module Baselines.Singhal);
+  check_refuses "maekawa" (module Baselines.Maekawa);
+  check_refuses "tree-quorum" (module Baselines.Tree_quorum)
+
+let test_fault_plan_validation () =
+  (* A whole plan is validated before anything is scheduled: the
+     capability error arrives at injection time... *)
+  let module R = Dmutex.Sim_runner.Make (Baselines.Suzuki_kasami) in
+  let t = R.create ~seed:1 (Config.default ~n:4) in
+  let plan =
+    [
+      Dmutex.Sim_runner.Crash_at { node = 1; at = 5.0; restart_after = None };
+    ]
+  in
+  (match R.apply_faults t plan with
+  | () -> Alcotest.fail "unsupported plan accepted"
+  | exception Unsupported_fault msg ->
+      Alcotest.(check bool) "error names the algorithm" true
+        (Str_present.contains_substring msg "suzuki"));
+  (* ...while the protocol's own family accepts the same plan. *)
+  let module RP = Dmutex.Sim_runner.Make (Dmutex.Basic) in
+  let tp = RP.create ~seed:1 (Dmutex.Basic.config ~n:4 ()) in
+  RP.apply_faults tp plan;
+  (* Out-of-range entries are Invalid_argument, not capability errors. *)
+  Alcotest.(check bool) "bad node rejected" true
+    (match
+       RP.apply_faults tp
+         [
+           Dmutex.Sim_runner.Crash_at
+             { node = 9; at = 1.0; restart_after = None };
+         ]
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let suite =
   ( "baseline-units",
     [
@@ -379,4 +444,8 @@ let suite =
         test_lamport_queue_order;
       Alcotest.test_case "lamport: ack timestamps" `Quick
         test_lamport_ack_timestamp;
+      Alcotest.test_case "all baselines refuse injected faults" `Quick
+        test_baselines_refuse_faults;
+      Alcotest.test_case "fault plans validated before scheduling" `Quick
+        test_fault_plan_validation;
     ] )

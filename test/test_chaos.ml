@@ -462,6 +462,7 @@ module Tick = struct
   type timer = int
 
   let name = "tick"
+  let fault_support = { Types.crash_stop = false; message_loss = false }
   let init _cfg _me = { t0 = 0.0; fires = [] }
   let rejoin = init
 

@@ -125,6 +125,7 @@ module Broken_grant_all = struct
   type timer = unit
 
   let name = "broken-grant-all"
+  let fault_support = Dmutex.Types.{ crash_stop = true; message_loss = true }
   let init _ me = { me; in_cs = false; wanting = false }
   let rejoin = init
 
@@ -149,6 +150,7 @@ module Broken_never_grant = struct
   type timer = unit
 
   let name = "broken-never-grant"
+  let fault_support = Dmutex.Types.{ crash_stop = true; message_loss = true }
   let init _ me = { me; wanting = false }
   let rejoin = init
 
@@ -194,6 +196,7 @@ module Join_churn = struct
   include Resilient
 
   let name = "bc-join-churn"
+  let fault_support = Dmutex.Types.{ crash_stop = true; message_loss = true }
 
   let init cfg me =
     let n = cfg.Types.Config.n in
@@ -228,6 +231,7 @@ module Leave_churn = struct
   include Resilient
 
   let name = "bc-leave-churn"
+  let fault_support = Dmutex.Types.{ crash_stop = true; message_loss = true }
 
   let handle cfg ~now st input =
     match input with
@@ -260,6 +264,7 @@ module Regen_churn = struct
   include Resilient
 
   let name = "bc-regen-churn"
+  let fault_support = Dmutex.Types.{ crash_stop = true; message_loss = true }
 
   let init cfg me =
     let base = Protocol.init cfg me in

@@ -117,6 +117,84 @@ let test_per_pair_latency () =
   | [ (t, _, _, _) ] -> Alcotest.(check (float 1e-9)) "pair latency" 3.0 t
   | _ -> Alcotest.fail "one delivery expected"
 
+(* --- heavy-tailed and multi-region delay models ------------------- *)
+
+(* Empirical quantile over a sorted copy of [xs]. *)
+let quantile xs p =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(int_of_float (p *. float_of_int (Array.length a - 1)))
+
+let draw ~seed latency k =
+  let rng = Simkit.Rng.create seed in
+  List.init k (fun _ -> Network.sample rng latency ~src:0 ~dst:1)
+
+let test_lognormal_quantiles () =
+  (* Lognormal(median m, sigma s): q(p) = m * exp(s * z_p). Seeded
+     draws must reproduce the analytic quantiles — and reproduce
+     themselves exactly under the same seed. *)
+  let lat = Network.Lognormal { median = 0.1; sigma = 0.5 } in
+  let xs = draw ~seed:7 lat 20_000 in
+  let close p expected =
+    let got = quantile xs p in
+    if Float.abs (got -. expected) /. expected > 0.05 then
+      Alcotest.failf "lognormal q%.2f: got %.4f, expected %.4f" p got expected
+  in
+  close 0.5 0.1;
+  close 0.95 (0.1 *. exp (0.5 *. 1.6449));
+  close 0.05 (0.1 *. exp (-0.5 *. 1.6449));
+  Alcotest.(check bool) "all positive" true (List.for_all (fun x -> x > 0.0) xs);
+  Alcotest.(check (list (float 0.0))) "seeded replay is exact" xs
+    (draw ~seed:7 lat 20_000)
+
+let test_pareto_quantiles () =
+  (* Pareto(scale x_m, shape a): q(p) = x_m / (1-p)^(1/a), truncated
+     at [cap]. *)
+  let lat = Network.Pareto { scale = 0.02; shape = 1.5; cap = 5.0 } in
+  let xs = draw ~seed:11 lat 20_000 in
+  let analytic p = 0.02 /. ((1.0 -. p) ** (1.0 /. 1.5)) in
+  List.iter
+    (fun (p, tol) ->
+      (* The far tail of a heavy-tailed law converges slowly: give the
+         q99 estimate more room than the body. *)
+      let got = quantile xs p and expected = analytic p in
+      if Float.abs (got -. expected) /. expected > tol then
+        Alcotest.failf "pareto q%.2f: got %.4f, expected %.4f" p got expected)
+    [ (0.5, 0.07); (0.9, 0.07); (0.99, 0.15) ];
+  List.iter
+    (fun x ->
+      if x < 0.02 -. 1e-12 || x > 5.0 +. 1e-12 then
+        Alcotest.failf "pareto sample %.4f outside [scale, cap]" x)
+    xs;
+  Alcotest.(check (list (float 0.0))) "seeded replay is exact" xs
+    (draw ~seed:11 lat 20_000)
+
+let test_region_matrix_sampling () =
+  let base = [| [| 0.01; 0.12 |]; [| 0.12; 0.01 |] |] in
+  let region_of = [| 0; 0; 1; 1 |] in
+  (* jitter_sigma 0: the matrix is deterministic per pair. *)
+  let flat = Network.regions ~region_of ~base () in
+  let rng = Simkit.Rng.create 3 in
+  Alcotest.(check (float 1e-9)) "intra-region" 0.01
+    (Network.sample rng flat ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "cross-region" 0.12
+    (Network.sample rng flat ~src:1 ~dst:2);
+  (* With jitter the cross-region median stays on the matrix entry
+     (lognormal jitter has median 1) and every draw is positive. *)
+  let jitter = Network.regions ~region_of ~base ~jitter_sigma:0.3 () in
+  let rng = Simkit.Rng.create 5 in
+  let xs =
+    List.init 20_000 (fun _ -> Network.sample rng jitter ~src:0 ~dst:3)
+  in
+  let med = quantile xs 0.5 in
+  if Float.abs (med -. 0.12) /. 0.12 > 0.05 then
+    Alcotest.failf "region median with jitter: got %.4f, expected 0.12" med;
+  Alcotest.(check bool) "all positive" true (List.for_all (fun x -> x > 0.0) xs);
+  (* Invalid shapes are rejected up front. *)
+  Alcotest.check_raises "ragged matrix rejected"
+    (Invalid_argument "Network.regions: base matrix must be square") (fun () ->
+      ignore (Network.regions ~region_of ~base:[| [| 0.1 |]; [| 0.1; 0.2 |] |] ()))
+
 let suite =
   ( "network",
     [
@@ -130,4 +208,10 @@ let suite =
       Alcotest.test_case "partition and heal" `Quick test_partition_heal;
       Alcotest.test_case "uniform latency bounds" `Quick test_uniform_latency;
       Alcotest.test_case "per-pair latency" `Quick test_per_pair_latency;
+      Alcotest.test_case "lognormal seeded quantiles" `Quick
+        test_lognormal_quantiles;
+      Alcotest.test_case "pareto seeded quantiles" `Quick
+        test_pareto_quantiles;
+      Alcotest.test_case "region matrix sampling" `Quick
+        test_region_matrix_sampling;
     ] )

@@ -298,7 +298,13 @@ let test_json_errors () =
 (* ------------------------------------------------------------------ *)
 (* Gate *)
 
-let results ~mpc ~wall =
+(* A minimal schema-3 results file: the classic derived metrics plus a
+   two-point scale table for the dmutex row (the gate generates a band
+   check per swept N and an exponent check from it). *)
+let results ?(scale_mpc1000 = 3.5) ?(exponent = 0.02) ~mpc ~wall () =
+  let cell n v =
+    Json.Obj [ ("n", Json.Num n); ("messages_per_cs", Json.Num v) ]
+  in
   Json.Obj
     [
       ( "derived",
@@ -308,26 +314,42 @@ let results ~mpc ~wall =
               Json.Obj [ ("messages_per_cs", Json.Num mpc) ] );
             ( "light_load",
               Json.Obj [ ("messages_per_cs", Json.Num 9.9) ] );
+            ( "scale",
+              Json.Obj
+                [
+                  ( "rows",
+                    Json.List
+                      [
+                        Json.Obj
+                          [
+                            ("algorithm", Json.Str "this-paper (basic)");
+                            ("exponent", Json.Num exponent);
+                            ( "cells",
+                              Json.List
+                                [ cell 10. 3.25; cell 1000. scale_mpc1000 ] );
+                          ];
+                      ] );
+                ] );
           ] );
       ("total_seconds", Json.Num wall);
     ]
 
 let test_gate_pass_and_fail () =
-  let baseline = results ~mpc:2.8 ~wall:10.0 in
+  let baseline = results ~mpc:2.8 ~wall:10.0 () in
   (* Identical run passes. *)
   let ok = Gate.run ~baseline ~current:baseline () in
   Alcotest.(check (list string)) "no failures" [] ok.Gate.failures;
   (* A small improvement passes. *)
-  let better = Gate.run ~baseline ~current:(results ~mpc:2.6 ~wall:8.0) () in
+  let better = Gate.run ~baseline ~current:(results ~mpc:2.6 ~wall:8.0 ()) () in
   Alcotest.(check int) "improvement ok" 0 (List.length better.Gate.failures);
   (* A >25% messages-per-CS regression fails, even inside the band. *)
-  let worse = Gate.run ~baseline ~current:(results ~mpc:3.6 ~wall:10.0) () in
+  let worse = Gate.run ~baseline ~current:(results ~mpc:3.6 ~wall:10.0 ()) () in
   Alcotest.(check bool) "regression fails" true (worse.Gate.failures <> []);
   (* Out of the absolute band fails even with a complicit baseline. *)
   let drifted =
     Gate.run
-      ~baseline:(results ~mpc:4.6 ~wall:10.0)
-      ~current:(results ~mpc:4.7 ~wall:10.0)
+      ~baseline:(results ~mpc:4.6 ~wall:10.0 ())
+      ~current:(results ~mpc:4.7 ~wall:10.0 ())
       ()
   in
   Alcotest.(check bool) "band fails independently" true
@@ -337,13 +359,13 @@ let test_gate_pass_and_fail () =
   (* Wall-clock uses its own tolerance. *)
   let slow =
     Gate.run ~wall_tolerance:4.0 ~baseline
-      ~current:(results ~mpc:2.8 ~wall:45.0)
+      ~current:(results ~mpc:2.8 ~wall:45.0 ())
       ()
   in
   Alcotest.(check (list string)) "loose wall tolerance" [] slow.Gate.failures
 
 let test_gate_missing_metrics () =
-  let baseline = results ~mpc:2.8 ~wall:10.0 in
+  let baseline = results ~mpc:2.8 ~wall:10.0 () in
   (* Missing in current: fail. *)
   let broken =
     Gate.run ~baseline ~current:(Json.Obj [ ("total_seconds", Json.Num 1.0) ]) ()
@@ -353,14 +375,56 @@ let test_gate_missing_metrics () =
   (* Missing in baseline: skip the relative check, keep the band. *)
   let old_baseline = Json.Obj [ ("total_seconds", Json.Num 10.0) ] in
   let vs_old =
-    Gate.run ~baseline:old_baseline ~current:(results ~mpc:2.8 ~wall:10.0) ()
+    Gate.run ~baseline:old_baseline ~current:(results ~mpc:2.8 ~wall:10.0 ()) ()
   in
   Alcotest.(check (list string)) "skips pass" [] vs_old.Gate.failures;
   let vs_old_bad =
-    Gate.run ~baseline:old_baseline ~current:(results ~mpc:9.0 ~wall:10.0) ()
+    Gate.run ~baseline:old_baseline ~current:(results ~mpc:9.0 ~wall:10.0 ()) ()
   in
   Alcotest.(check bool) "band still applies without baseline" true
     (vs_old_bad.Gate.failures <> [])
+
+let test_gate_scale_checks () =
+  let baseline = results ~mpc:2.8 ~wall:10.0 () in
+  (* The Eq. 4 band applies to every swept N of the dmutex row. *)
+  let bad_n =
+    Gate.run ~baseline
+      ~current:(results ~scale_mpc1000:5.2 ~mpc:2.8 ~wall:10.0 ())
+      ()
+  in
+  Alcotest.(check bool) "band violation at one N fails" true
+    (List.exists
+       (fun l -> Str_present.contains_substring l "N=1000")
+       bad_n.Gate.failures);
+  (* Exponent drifts are judged by absolute tolerance vs the baseline. *)
+  let drift =
+    Gate.run ~baseline
+      ~current:(results ~exponent:0.4 ~mpc:2.8 ~wall:10.0 ())
+      ()
+  in
+  Alcotest.(check bool) "exponent drift fails" true
+    (List.exists
+       (fun l -> Str_present.contains_substring l "exponent")
+       drift.Gate.failures);
+  let ok = Gate.run ~baseline ~current:baseline () in
+  Alcotest.(check (list string)) "identical scale passes" [] ok.Gate.failures;
+  (* The summary table has a header plus one row per evaluated metric. *)
+  Alcotest.(check bool) "summary present" true
+    (List.length ok.Gate.summary > 5)
+
+let test_gate_allow_missing () =
+  let baseline = results ~mpc:2.8 ~wall:10.0 () in
+  let sectioned = Json.Obj [ ("total_seconds", Json.Num 10.0) ] in
+  (* A run without the lab section fails by default — the per-N band
+     checks must not vanish silently... *)
+  let strict = Gate.run ~baseline ~current:sectioned () in
+  Alcotest.(check bool) "missing scale fails" true
+    (List.exists
+       (fun l -> Str_present.contains_substring l "scale")
+       strict.Gate.failures);
+  (* ...but a deliberately sectioned bench gates what it has. *)
+  let lax = Gate.run ~allow_missing:true ~baseline ~current:sectioned () in
+  Alcotest.(check (list string)) "allow_missing skips" [] lax.Gate.failures
 
 (* ------------------------------------------------------------------ *)
 (* Per-CS accounting: simulator vs the paper's analysis *)
@@ -501,6 +565,10 @@ let suite =
         test_gate_pass_and_fail;
       Alcotest.test_case "gate missing metrics" `Quick
         test_gate_missing_metrics;
+      Alcotest.test_case "gate per-N scale band and exponent" `Quick
+        test_gate_scale_checks;
+      Alcotest.test_case "gate allow-missing for sectioned runs" `Quick
+        test_gate_allow_missing;
       Alcotest.test_case "sim high load matches Eq. 4" `Quick
         test_sim_high_load_messages_per_cs;
       Alcotest.test_case "sim light load matches Eq. 1" `Quick

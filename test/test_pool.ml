@@ -86,6 +86,36 @@ let test_parallel_equals_sequential () =
       let parallel = sweep () in
       Alcotest.(check bool) "bit-for-bit equal" true (sequential = parallel))
 
+(* Same guarantee for the big-N scale sweep (one Pool task per
+   (algorithm, N) point, arenas reset between replicates). [alloc_mb]
+   is GC accounting, not simulation output — the one field allowed to
+   differ between schedules — so it is zeroed before comparing. *)
+let test_scale_parallel_equals_sequential () =
+  let saved = Sys.getenv_opt "DMUTEX_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DMUTEX_JOBS" (Option.value ~default:"" saved))
+    (fun () ->
+      let sweep () =
+        Experiments.table_scale ~ns:[ 5; 10 ]
+          ~requests_at:(fun ~algorithm:_ ~n -> 2 * n)
+          ~replicates:2 ()
+        |> List.map (fun (r : Experiments.scale_row) ->
+               {
+                 r with
+                 Experiments.cells =
+                   List.map
+                     (fun (c : Experiments.scale_cell) ->
+                       { c with Experiments.alloc_mb = 0.0 })
+                     r.Experiments.cells;
+               })
+      in
+      Unix.putenv "DMUTEX_JOBS" "1";
+      let sequential = sweep () in
+      Unix.putenv "DMUTEX_JOBS" "3";
+      let parallel = sweep () in
+      Alcotest.(check bool) "bit-for-bit equal" true (sequential = parallel))
+
 let suite =
   ( "pool",
     [
@@ -101,4 +131,6 @@ let suite =
       Alcotest.test_case "DMUTEX_JOBS resolution" `Quick test_jobs_env;
       Alcotest.test_case "parallel sweep equals sequential" `Slow
         test_parallel_equals_sequential;
+      Alcotest.test_case "scale sweep parallel equals sequential" `Slow
+        test_scale_parallel_equals_sequential;
     ] )
