@@ -34,7 +34,7 @@ let fmt = Format.std_formatter
 let quick = Sys.getenv_opt "DMUTEX_BENCH_QUICK" = Some "1"
 
 (* DMUTEX_BENCH_ONLY=lab (comma-separated: figures, tables, lab,
-   derived, sharded, client, micro) restricts the run to named
+   derived, rw, sharded, client, micro) restricts the run to named
    sections — the nightly lab workflow regenerates only the big-N
    tables without paying for the live-socket experiments. The JSON
    summary then lacks the skipped sections' derived metrics, so its
@@ -624,6 +624,53 @@ let client_swarm () =
   in
   derived_reports := ("client", json) :: !derived_reports
 
+(* ------------------------------------------------------------------ *)
+(* Read-write throughput: the shared-grant batching quantified. A
+   saturated cluster under the read-write policy with a 90/10
+   read-heavy mix serves maximal reader runs concurrently under one
+   grant batch, so CS throughput must come out well above — the CI
+   floor says at least twice — the same workload served exclusively.
+   Same seed for both runs: the only variable is the mode mix. *)
+
+module RW = Dmutex.Sim_runner.Make (Dmutex.Prioritized)
+
+let rw_throughput () =
+  let open Dmutex_obs in
+  let n = 8 in
+  let reqs = min requests 20_000 in
+  let cfg = Dmutex.Prioritized.rw_config ~n () in
+  let rw, excl =
+    timed "rw:throughput" (fun () ->
+        ( RW.run_saturated ~seed:21 ~requests:reqs ~read_fraction:0.9 cfg,
+          RW.run_saturated ~seed:21 ~requests:reqs cfg ))
+  in
+  let rate (o : Dmutex.Sim_runner.outcome) =
+    if o.sim_time > 0.0 then float_of_int o.completed /. o.sim_time else 0.0
+  in
+  let speedup = if rate excl > 0.0 then rate rw /. rate excl else 0.0 in
+  let batches =
+    match List.assoc_opt "read-batch" rw.notes with Some k -> k | None -> 0
+  in
+  Format.fprintf fmt
+    "rw:throughput — %d nodes saturated, 90%% shared: %.1f CS/s vs %.1f \
+     CS/s exclusive-only (speedup %.2fx), %d reader batches, %d violations@."
+    n (rate rw) (rate excl) speedup batches rw.safety_violations;
+  line ();
+  let json =
+    Json.Obj
+      [
+        ("nodes", Json.Num (float_of_int n));
+        ("read_fraction", Json.Num 0.9);
+        ("cs_per_sec", Json.Num (rate rw));
+        ("exclusive_cs_per_sec", Json.Num (rate excl));
+        ("speedup", Json.Num speedup);
+        ("read_batches", Json.Num (float_of_int batches));
+        ("messages_per_cs", Json.Num rw.messages_per_cs);
+        ("safety_violations", Json.Num (float_of_int rw.safety_violations));
+      ]
+  in
+  derived_reports := ("rw", json) :: !derived_reports
+
 let kernel_estimates : (string * float) list ref = ref []
 
 let run_micro () =
@@ -730,6 +777,7 @@ let () =
   if section "tables" then tables ();
   if section "lab" then lab ();
   if section "derived" then derived ();
+  if section "rw" then rw_throughput ();
   if section "sharded" then sharded ();
   if section "client" then client_swarm ();
   if section "micro" then run_micro ();

@@ -216,10 +216,11 @@ let print_store_stats node id =
                  (Unix.gettimeofday () -. s.Dmutex_store.Store.last_flush)))
     (Node.locks node)
 
-(* Minimal single-threaded HTTP responder: every request, whatever the
-   path, gets the current Prometheus exposition. Enough for a scrape
-   target; not a web server. *)
-let serve_metrics (ep : Netkit.Transport.endpoint) reg =
+(* Minimal single-threaded HTTP responder. [/wfg] answers with the
+   current cross-lock wait-for graph as JSON; every other path gets
+   the Prometheus exposition. Enough for a scrape target and a
+   deadlock spot-check; not a web server. *)
+let serve_metrics (ep : Netkit.Transport.endpoint) reg ~wfg =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock
@@ -233,22 +234,32 @@ let serve_metrics (ep : Netkit.Transport.endpoint) reg =
            | exception Unix.Unix_error _ -> Thread.delay 0.1
            | fd, _ ->
                (try
-                  (* Drain whatever request line arrived; the reply is
-                     the same regardless. *)
-                  ignore (Unix.read fd (Bytes.create 4096) 0 4096);
-                  let body =
-                    Dmutex_obs.Registry.expose
-                      (Dmutex_obs.Registry.snapshot reg)
+                  let buf = Bytes.create 4096 in
+                  let n = try Unix.read fd buf 0 4096 with _ -> 0 in
+                  let path =
+                    match
+                      String.split_on_char ' '
+                        (Bytes.sub_string buf 0 (max 0 n))
+                    with
+                    | _meth :: p :: _ -> p
+                    | _ -> "/"
+                  in
+                  let body, ctype =
+                    if path = "/wfg" then (wfg (), "application/json")
+                    else
+                      ( Dmutex_obs.Registry.expose
+                          (Dmutex_obs.Registry.snapshot reg),
+                        "text/plain; version=0.0.4" )
                   in
                   let resp =
                     Printf.sprintf
                       "HTTP/1.1 200 OK\r\n\
-                       Content-Type: text/plain; version=0.0.4\r\n\
+                       Content-Type: %s\r\n\
                        Content-Length: %d\r\n\
                        Connection: close\r\n\
                        \r\n\
                        %s"
-                      (String.length body) body
+                      ctype (String.length body) body
                   in
                   ignore
                     (Unix.write_substring fd resp 0 (String.length resp))
@@ -266,6 +277,23 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
   if id < 0 || id >= n then (
     prerr_endline "--id out of range of --peers";
     exit 1);
+  (* Reject a malformed lock list here, with the flag named, rather
+     than letting the node constructor's Invalid_argument escape as a
+     backtrace: each key is one protocol instance, and a duplicate
+     would silently alias two instances onto one. *)
+  if locks = [] then (
+    prerr_endline "--locks: at least one lock key is required";
+    exit 1);
+  (let rec first_dup = function
+     | [] -> None
+     | k :: rest -> if List.mem k rest then Some k else first_dup rest
+   in
+   match first_dup locks with
+   | Some k ->
+       Printf.eprintf
+         "--locks: duplicate lock key %S (each key must appear once)\n" k;
+       exit 1
+   | None -> ());
   let join_seed =
     match join with
     | None -> None
@@ -294,13 +322,6 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
         sink)
       trace_file
   in
-  (match metrics_addr with
-  | None -> ()
-  | Some ep ->
-      serve_metrics ep obs;
-      Logs.info (fun m ->
-          m "node %d: metrics on http://%s:%d/metrics" id
-            ep.Netkit.Transport.host ep.port));
   (* Durable stores: a non-empty per-lock directory means this start
      is a restart of that instance — rebuild its protocol state from
      the recovered view and let a durable token custody trigger
@@ -401,6 +422,50 @@ let run id peers locks demo verbose metrics_every loss heartbeat flush_us
       List.iter (Node.inject ~lock node) inputs)
     locks;
   if loss > 0.0 then Node.set_loss node loss;
+  (match metrics_addr with
+  | None -> ()
+  | Some ep ->
+      (* The /wfg handler scans every hosted lock's protocol state for
+         holder/waiter edges and unions them into one wait-for graph;
+         a cycle also bumps the wfg_cycles_total counter and emits a
+         trace event via [Wfg.record]. *)
+      let wfg_obs = Dmutex_obs.Wfg.obs obs in
+      let wfg () =
+        let scan =
+          List.map
+            (fun lock ->
+              (lock, Dmutex.Protocol.wait_edges (Node.state ~lock node)))
+            (Node.locks node)
+        in
+        let g = Dmutex_obs.Wfg.of_scan scan in
+        let cycle = Dmutex_obs.Wfg.record ?trace wfg_obs g in
+        let open Dmutex_obs.Json in
+        to_string
+          (Obj
+             [
+               ("node", Num (float_of_int id));
+               ( "edges",
+                 List
+                   (List.map
+                      (fun e ->
+                        Obj
+                          [
+                            ("waiter", Num (float_of_int e.Dmutex_obs.Wfg.waiter));
+                            ("holder", Num (float_of_int e.Dmutex_obs.Wfg.holder));
+                            ("lock", Str e.Dmutex_obs.Wfg.lock);
+                          ])
+                      (Dmutex_obs.Wfg.edges g)) );
+               ( "cycle",
+                 match cycle with
+                 | None -> Null
+                 | Some c -> List (List.map (fun i -> Num (float_of_int i)) c)
+               );
+             ])
+      in
+      serve_metrics ep obs ~wfg;
+      Logs.info (fun m ->
+          m "node %d: metrics on http://%s:%d/metrics, wait-for graph on /wfg"
+            id ep.Netkit.Transport.host ep.port));
   (* Client session service: thin clients connect here and this node
      fronts the protocol for them. Started after the node so grants
      can flow immediately; shut down before the node so in-flight

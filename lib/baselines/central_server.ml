@@ -45,6 +45,9 @@ let init cfg me =
 let rejoin = init
 
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = st.waiting || st.pending > 0
 
 (* Server-side admission of requester [j]. *)
@@ -63,7 +66,7 @@ let release st =
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.waiting || st.in_cs then ({ st with pending = st.pending + 1 }, [])
       else
         let st = { st with waiting = true } in

@@ -76,6 +76,9 @@ let init cfg me =
 
 let rejoin = init
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = st.requesting || st.pending > 0
 let heard st k = match Im.find_opt k st.last_heard with Some t -> t | None -> 0
 let my_ts st = match Im.find_opt st.me st.ts_of with Some t -> t | None -> -1
@@ -116,7 +119,7 @@ let try_enter st =
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.requesting || st.in_cs then
         ({ st with pending = st.pending + 1 }, [])
       else begin

@@ -106,6 +106,9 @@ let init cfg me =
 let rejoin = init
 
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = st.my_ts <> None || st.pending > 0
 
 let beats (ts, j) (ts', j') = ts < ts' || (ts = ts' && j < j')
@@ -133,7 +136,7 @@ let grant_next st =
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.my_ts <> None || st.in_cs then
         ({ st with pending = st.pending + 1 }, [])
       else begin

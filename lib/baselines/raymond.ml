@@ -52,6 +52,9 @@ let rejoin cfg me =
   if me = 0 && cfg.Config.n > 1 then { st with holder = 1 } else st
 
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = List.mem st.me st.rq || st.pending > 0 || st.in_cs
 
 (* Raymond's two standard auxiliary procedures, run after every
@@ -80,7 +83,7 @@ let after_event st =
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.in_cs || List.mem st.me st.rq then
         ({ st with pending = st.pending + 1 }, [])
       else after_event { st with rq = st.rq @ [ st.me ] }

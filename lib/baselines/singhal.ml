@@ -49,6 +49,9 @@ let init cfg me =
 let rejoin = init
 
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = st.my_ts <> None || st.pending > 0
 
 let set arr i v =
@@ -60,7 +63,7 @@ let beats (ts, j) (ts', j') = ts < ts' || (ts = ts' && j < j')
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.my_ts <> None || st.in_cs then
         ({ st with pending = st.pending + 1 }, [])
       else begin

@@ -52,6 +52,9 @@ let rejoin cfg me =
   else init cfg me
 
 let in_cs st = st.in_cs
+
+(* No shared-mode path: every grant is exclusive. *)
+let cs_mode _ = Exclusive
 let wants_cs st = st.requesting || st.pending > 0
 
 let set arr i v =
@@ -61,7 +64,7 @@ let set arr i v =
 
 let rec handle cfg ~now st input =
   match input with
-  | Request_cs ->
+  | Request_cs | Request_shared_cs ->
       if st.requesting || st.in_cs then
         ({ st with pending = st.pending + 1 }, [])
       else begin

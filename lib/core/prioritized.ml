@@ -11,3 +11,10 @@ let config ~priorities ~n () =
   if Array.length priorities <> n then
     invalid_arg "Prioritized.config: priorities must have length n";
   { (Types.Config.default ~n) with Types.Config.priorities = Some priorities }
+
+(* The read-write policy is the same incremental machine with the mode
+   as the priority key: writers ([Exclusive]) outrank readers, FCFS is
+   the tie-break, and ordering is applied per arbiter hand-off. Sorting
+   readers adjacent is also what lets maximal shared batches form. *)
+let rw_config ~n () =
+  { (Types.Config.default ~n) with Types.Config.writer_priority = true }

@@ -87,6 +87,17 @@ type message =
          operator/liveness decision); relayed like Join_request *)
   | View_change of view_change
   | View_ack of { va_vnum : int }
+  | Read_grant of read_grant
+      (* shared-batch grant: the batch coordinator (the token-holding
+         head reader) admits a fellow reader into the CS. [rg_minor] is
+         the batch's fencing minor — the granted-vector total with the
+         whole batch marked — so every reader in the batch surfaces the
+         same fencing token. *)
+  | Read_done of { rd_seq : int }
+      (* a batched reader left the CS; the coordinator may pass the
+         token on once every reader (and itself) is done *)
+
+and read_grant = { rg_epoch : int; rg_minor : int; rg_entry : Qlist.entry }
 
 type timer =
   | T_dispatch  (* end of the current request-collection window *)
@@ -100,6 +111,10 @@ type timer =
   | T_view
       (* joiner: re-send JOIN-REQUEST until admitted; coordinator:
          re-send VIEW-CHANGE to silent members until quorum/acks *)
+  | T_rbatch
+      (* batch coordinator's patience for READ-DONE replies: re-grant
+         silent readers, and (with recovery on) eventually force the
+         batch complete so a crashed reader cannot wedge the token *)
 
 type role =
   | Normal
@@ -116,6 +131,27 @@ type recovery = {
   replied : node_id list;
   waiting : Qlist.t;  (* entries of peers that answered "waiting" *)
 }
+
+type rbatch = {
+  rb_entries : Qlist.t;  (* the whole batch, coordinator's entry first *)
+  rb_await : node_id list;  (* readers whose READ-DONE is still out *)
+  rb_minor : int;  (* the batch fencing minor, shared by every reader *)
+  rb_tries : int;  (* T_rbatch re-grant rounds already spent *)
+}
+(* The token-holding head reader of a maximal shared run coordinates
+   the batch: it enters the CS itself, READ-GRANTs the other readers,
+   and holds the token until its own CS and every READ-DONE are in.
+   Only then is the whole batch marked served (one served-vector
+   update, one fencing advance) and the token passed on. *)
+
+type rgrant = {
+  rg_from : node_id;  (* the coordinator to answer with READ-DONE *)
+  rg_seq : int;  (* our request being served *)
+  rg_fepoch : int;  (* fencing epoch the grant rode in on *)
+  rg_fminor : int;  (* shared batch fencing minor *)
+}
+(* A reader admitted into the CS by a READ-GRANT: it holds no token;
+   the pair (rg_fepoch, rg_fminor) is what its fencing derives from. *)
 
 type pending_vc = {
   pv_view : view;  (* the new view being installed *)
@@ -137,8 +173,15 @@ type state = {
   role : role;
   next_seq : int;
   outstanding : int option;  (* seq of our in-flight request *)
+  out_mode : Types.mode;  (* mode of the outstanding request *)
   pending : int;  (* application requests queued behind [outstanding] *)
+  pending_modes : Types.mode list;
+  (* FIFO modes of the [pending] queued requests, oldest first; kept
+     exactly [pending] long so surfacing a pending request knows its
+     mode *)
   in_cs : bool;
+  rbatch : rbatch option;  (* we coordinate an in-flight shared batch *)
+  rgrant : rgrant option;  (* we are in the CS under a READ-GRANT *)
   token : token option;
   suspended : bool;  (* token passing frozen by an ENQUIRY (Section 6) *)
   misses : int;  (* consecutive NEW-ARBITER broadcasts omitting us *)
@@ -253,8 +296,12 @@ let init cfg me =
        else Normal);
     next_seq = 0;
     outstanding = None;
+    out_mode = Types.Exclusive;
     pending = 0;
+    pending_modes = [];
     in_cs = false;
+    rbatch = None;
+    rgrant = None;
     token =
       (if is_first then
          Some
@@ -379,6 +426,42 @@ let rejoin_restored cfg me r =
 let in_cs st = st.in_cs
 let wants_cs st = st.outstanding <> None || st.pending > 0
 
+(* Shared occupancy exists only inside a live batch: a coordinator (or
+   a READ-GRANTed reader) reports [Shared]; a solo shared request rides
+   the unchanged exclusive path and conservatively reports [Exclusive]. *)
+let cs_mode st =
+  if st.rgrant <> None || st.rbatch <> None then Types.Shared
+  else Types.Exclusive
+
+(* Wait-for edges visible from this node, as [(waiter, holder)] pairs.
+   Only the token holder sees the authoritative Q-list, so exactly one
+   node per lock contributes edges at any instant; the union across
+   locks is the cluster's wait-for graph ({!Dmutex_obs.Wfg}). Holders
+   are this node (exclusive) or the live reader batch; waiters are the
+   queued entries behind them. *)
+let wait_edges st =
+  match st.token with
+  | None -> []
+  | Some tk ->
+      let holders =
+        match st.rbatch with
+        | Some b ->
+            List.map (fun (e : Qlist.entry) -> e.Qlist.node) b.rb_entries
+        | None -> if st.in_cs then [ st.me ] else []
+      in
+      if holders = [] then []
+      else
+        let waiters =
+          List.filter_map
+            (fun (e : Qlist.entry) ->
+              if List.mem e.Qlist.node holders then None
+              else Some e.Qlist.node)
+            tk.tq
+        in
+        List.concat_map
+          (fun w -> List.map (fun h -> (w, h)) holders)
+          waiters
+
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
 
@@ -439,16 +522,24 @@ let keep_counter st v = if monitored st then v else 0
 (* ------------------------------------------------------------------ *)
 (* Requester side                                                      *)
 
+(* Pop the oldest pending request's mode; callers pair this with the
+   [pending - 1] bookkeeping. Exclusive when the mode queue is somehow
+   short — the conservative default. *)
+let pop_pending_mode st =
+  match st.pending_modes with
+  | m :: rest -> (m, { st with pending_modes = rest })
+  | [] -> (Types.Exclusive, st)
+
 (* Issue the next application request: either register directly in our
    own collection (when we are the arbiter) or send REQUEST(me, seq) to
    the believed arbiter. *)
-let issue_request cfg ~now st =
+let issue_request cfg ~now ?(mode = Types.Exclusive) st =
   ignore now;
   let seq = st.next_seq in
-  let e = Qlist.entry ~node:st.me ~seq () in
+  let e = Qlist.entry ~mode ~node:st.me ~seq () in
   let st =
-    { st with next_seq = seq + 1; outstanding = Some seq; misses = 0;
-      monitor_misses = 0; retries_left = cfg.Config.max_retries }
+    { st with next_seq = seq + 1; outstanding = Some seq; out_mode = mode;
+      misses = 0; monitor_misses = 0; retries_left = cfg.Config.max_retries }
   in
   match st.role with
   | Await_token q -> ({ st with role = Await_token (Qlist.enqueue e q) }, [])
@@ -481,17 +572,20 @@ let issue_request cfg ~now st =
       in
       (st, (Send (st.arbiter, Request e) :: arm) @ watchdog)
 
-let request_cs cfg ~now st =
+let request_cs cfg ~now ?(mode = Types.Exclusive) st =
   if st.outstanding <> None || st.in_cs then
-    ({ st with pending = st.pending + 1 }, [])
+    ( { st with pending = st.pending + 1;
+        pending_modes = st.pending_modes @ [ mode ] },
+      [] )
   else if st.sync_wait then
     (* Restarted and not yet resynchronized: park the request until
        the first announcement (or token) is absorbed, so any higher
        epoch out there reaches us before our own REQUEST goes out.
        T_retry is the escape valve if the system stays silent. *)
-    ( { st with pending = st.pending + 1 },
+    ( { st with pending = st.pending + 1;
+        pending_modes = st.pending_modes @ [ mode ] },
       [ Set_timer (T_retry, retry_delay cfg st) ] )
-  else issue_request cfg ~now st
+  else issue_request cfg ~now ~mode st
 
 (* Fresh current-election knowledge arrived (a live NEW-ARBITER or the
    token itself): the restart resynchronization is over. Clears both
@@ -504,8 +598,9 @@ let end_resync cfg ~now st =
     let st = { st with amnesiac = false; sync_wait = false } in
     if was_waiting && st.pending > 0 && st.outstanding = None && not st.in_cs
     then
+      let mode, st = pop_pending_mode st in
       let st = { st with pending = st.pending - 1 } in
-      issue_request cfg ~now st
+      issue_request cfg ~now ~mode st
     else (st, [])
 
 (* ------------------------------------------------------------------ *)
@@ -560,7 +655,7 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
        address metadata). *)
     (st, [])
   else if not (is_member v st.me) then
-    if st.in_cs && st.token <> None then
+    if (st.in_cs || st.rbatch <> None) && st.token <> None then
       (* Excised while inside the critical section: adopting the view
          must not hand the token away under our feet — mutual
          exclusion outranks membership. Adopt the view, shed every
@@ -576,6 +671,15 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
           token = Option.map absorb st.token;
           outstanding = None;
           pending = 0;
+          pending_modes = [];
+          (* An in-flight batch keeps coordinating: the hand-off waits
+             in [finish_batch], which re-checks membership. Excised
+             awaited readers can no longer answer — drop them. *)
+          rbatch =
+            Option.map
+              (fun b ->
+                { b with rb_await = List.filter (is_member v) b.rb_await })
+              st.rbatch;
           watching = false;
           recovery = None;
           stash = [];
@@ -605,6 +709,14 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
           in
           if heir = st.me then [] else [ Send (heir, Privilege tk) ]
     in
+    let reader_done =
+      (* Excised while reading under a READ-GRANT: best-effort answer
+         so the coordinator's batch completes without waiting for its
+         T_rbatch force. *)
+      match st.rgrant with
+      | Some r -> [ Send (r.rg_from, Read_done { rd_seq = r.rg_seq }) ]
+      | None -> []
+    in
     ( { st with
         view = v;
         joining = false;
@@ -613,7 +725,10 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
         token = None;
         outstanding = None;
         pending = 0;
+        pending_modes = [];
         in_cs = false;
+        rbatch = None;
+        rgrant = None;
         watching = false;
         recovery = None;
         stash = [];
@@ -621,7 +736,7 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
         granted_known = Qlist.Granted.merge st.granted_known granted;
         token_epoch = max st.token_epoch tepoch;
         election = max st.election elec },
-      handoff
+      reader_done @ handoff
       @ [ note_view v; Note (Custom "excised");
           Cancel_timer T_token; Cancel_timer T_retry;
           Cancel_timer T_enquiry; Cancel_timer T_watch;
@@ -679,6 +794,11 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
                 replied = List.filter (is_member v) r.replied;
                 waiting = filter_q r.waiting })
             st.recovery;
+        rbatch =
+          Option.map
+            (fun b ->
+              { b with rb_await = List.filter (is_member v) b.rb_await })
+            st.rbatch;
         stash = filter_q st.stash;
         monitor_buffer = filter_q st.monitor_buffer;
         last_q = filter_q st.last_q;
@@ -701,7 +821,10 @@ let apply_view cfg ~now st (v : view) ~granted ~tepoch ~elec ~arbiter =
                   (Qlist.Granted.already_served st.granted_known
                      (Qlist.entry ~node:st.me ~seq ())) ->
           ( { st with misses = 0; retries_left = cfg.Config.max_retries },
-            [ Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()));
+            [ Send
+                ( st.arbiter,
+                  Request
+                    (Qlist.entry ~mode:st.out_mode ~node:st.me ~seq ()) );
               Set_timer (T_retry, retry_delay cfg st) ] )
       | _ -> (st, [])
     in
@@ -804,7 +927,7 @@ let receive_monitor_request cfg ~now st e =
    nobody's knowledge goes stale and Eq. 1 counts zero messages for
    the requester-is-arbiter case. *)
 let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
-  let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+  let tail = match Qlist.final_holder q with Some t -> t | None -> st.me in
   let msg =
     New_arbiter
       {
@@ -838,21 +961,61 @@ let announce cfg st ~prev_announced ~q ~counter ~next_monitor =
         (member_ids st.view)
   | _ -> bcast cfg st msg
 
+(* Coordinator's patience for READ-DONE replies: at least one blind
+   retry period, and at least a grant round-trip plus the CS itself. *)
+let rbatch_delay cfg =
+  Float.max cfg.Config.retry_timeout
+    ((2.0 *. cfg.Config.t_msg) +. cfg.Config.t_exec)
+
+let read_grants token ~minor others =
+  List.map
+    (fun e ->
+      Send
+        ( e.Qlist.node,
+          Read_grant
+            { rg_epoch = token.epoch; rg_minor = minor; rg_entry = e } ))
+    others
+
 (* Give the token (with Q-list [q]) its first hop, or enter the CS
-   directly when we head the list ourselves. *)
+   directly when we head the list ourselves. When the head of the list
+   opens a maximal run of two or more compatible readers, the head
+   becomes the batch coordinator: it enters the CS and READ-GRANTs the
+   rest of the run in one grant batch. A batch of one — every
+   exclusive grant, and a solo reader — takes the unchanged path. *)
 let launch_token cfg ~now st token =
   let st = { st with last_token_seen = now } in
   match token.tq with
   | [] -> assert false
-  | head :: _ when head.Qlist.node = st.me ->
+  | head :: _ when head.Qlist.node = st.me -> (
       let outstanding =
         match st.outstanding with
         | Some s when s <= head.Qlist.seq -> None
         | o -> o
       in
-      ( { st with in_cs = true; token = Some token; outstanding;
-          executed_this_round = cfg.Config.recovery },
-        [ Enter_cs; Cancel_timer T_token; Cancel_timer T_retry ] )
+      match Qlist.head_batch token.tq with
+      | [] | [ _ ] ->
+          ( { st with in_cs = true; token = Some token; outstanding;
+              executed_this_round = cfg.Config.recovery },
+            [ Enter_cs; Cancel_timer T_token; Cancel_timer T_retry ] )
+      | batch ->
+          let minor =
+            Qlist.Granted.total (Qlist.Granted.mark_all token.granted batch)
+          in
+          let others =
+            List.filter (fun e -> e.Qlist.node <> st.me) batch
+          in
+          ( { st with in_cs = true; token = Some token; outstanding;
+              executed_this_round = cfg.Config.recovery;
+              rbatch =
+                Some
+                  { rb_entries = batch;
+                    rb_await = List.map (fun e -> e.Qlist.node) others;
+                    rb_minor = minor;
+                    rb_tries = 0 } },
+            (Enter_cs :: read_grants token ~minor others)
+            @ [ Note (Read_batch (List.length batch));
+                Set_timer (T_rbatch, rbatch_delay cfg);
+                Cancel_timer T_token; Cancel_timer T_retry ] ))
   | head :: _ ->
       ({ st with token = None }, [ Send (head.Qlist.node, Privilege token) ])
 
@@ -886,8 +1049,16 @@ let dispatch cfg ~now st =
                 Qlist.sort_least_served token.granted q
               else q
         in
+        (* Writer priority (read-write policy): mode dominates, any
+           other sort is the tie-break within each mode class. Sorting
+           readers adjacent is also what lets maximal batches form. *)
+        let q =
+          if cfg.Config.writer_priority && cfg.Config.priorities = None then
+            Qlist.sort_writers_first q
+          else q
+        in
         let prev_announced = st.arbiter in
-        let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+        let tail = match Qlist.final_holder q with Some t -> t | None -> st.me in
         let counter = st.na_counter + 1 in
         let monitor_route =
           monitored st && st.me <> st.monitor
@@ -965,7 +1136,7 @@ let dispatch cfg ~now st =
               (merged, { base with monitor_buffer = []; last_q = merged })
             else (q, base)
           in
-          let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+          let tail = match Qlist.final_holder q with Some t -> t | None -> st.me in
           let base = { base with arbiter = tail } in
           (* Monitor rotation happens only when the monitor itself
              broadcasts (Section 5.1); a regular dispatch re-announces
@@ -1020,7 +1191,7 @@ let become_collecting cfg ~now st pre_q token =
            && not
                 (Qlist.Granted.already_served token.granted
                    (Qlist.entry ~node:st.me ~seq ())) ->
-        Qlist.enqueue (Qlist.entry ~node:st.me ~seq ()) pre_q
+        Qlist.enqueue (Qlist.entry ~mode:st.out_mode ~node:st.me ~seq ()) pre_q
     | _ -> pre_q
   in
   let armed = Qlist.prune token.granted pre_q <> [] in
@@ -1066,10 +1237,83 @@ let pass_token_on cfg ~now st token =
       ( { st with token = None; last_token_seen = now },
         [ Send (head.Qlist.node, Privilege token) ] )
 
+(* Surface the next queued application request, if any. *)
+let surface_pending cfg ~now (st, effs) =
+  if st.pending > 0 then begin
+    let mode, st = pop_pending_mode st in
+    let st = { st with pending = st.pending - 1 } in
+    let st, effs' = issue_request cfg ~now ~mode st in
+    (st, effs @ effs')
+  end
+  else (st, effs)
+
+(* The whole shared batch is over (our own CS and every READ-DONE):
+   mark every batch entry in the served vector at once — one grant,
+   one fencing advance — drop the batch from the Q-list and move the
+   token on. Mirrors the tail of [cs_done] for the exclusive case. *)
+let finish_batch cfg ~now st token b =
+  let granted = Qlist.Granted.mark_all token.granted b.rb_entries in
+  let in_batch e =
+    List.exists
+      (fun be -> be.Qlist.node = e.Qlist.node && be.Qlist.seq = e.Qlist.seq)
+      b.rb_entries
+  in
+  let tq = List.filter (fun e -> not (in_batch e)) token.tq in
+  let token = { token with tq; granted } in
+  let st =
+    { st with rbatch = None;
+      granted_known = Qlist.Granted.merge st.granted_known granted }
+  in
+  if not (is_member st.view st.me) then
+    (* Excised while the batch was in flight ([apply_view] deferred the
+       hand-off exactly as for an exclusive holder mid-CS): drain the
+       queue of excised entries, stamp the committed view and hand the
+       token to the heir before going dark. *)
+    let tq =
+      List.filter (fun e -> is_member st.view e.Qlist.node) token.tq
+    in
+    let token = { token with tq; vepoch = st.view.vnum } in
+    let heir =
+      match tq with
+      | e :: _ -> e.Qlist.node
+      | [] -> ( match member_ids st.view with h :: _ -> h | [] -> st.me)
+    in
+    ( { st with token = None; role = Normal; suspended = false },
+      Cancel_timer T_rbatch
+      :: (if heir = st.me then [] else [ Send (heir, Privilege token) ])
+      @ [ Note (Custom "excised-handoff") ] )
+  else if st.suspended then
+    (* An ENQUIRY froze us: hold the token until RESUME. *)
+    ( { st with token = Some token; last_token_seen = now },
+      [ Cancel_timer T_rbatch ] )
+  else
+    let st, effs = pass_token_on cfg ~now st token in
+    (st, Cancel_timer T_rbatch :: effs)
+
 let cs_done cfg ~now st =
-  match st.token with
-  | None -> (st, []) (* spurious *)
-  | Some token ->
+  match st.rgrant with
+  | Some r ->
+      (* A batched reader leaving the CS: tell the coordinator. Our own
+         slot of the served vector can be recorded right away — the
+         coordinator marks the whole batch when it completes. *)
+      let e = Qlist.entry ~mode:Types.Shared ~node:st.me ~seq:r.rg_seq () in
+      let st =
+        { st with in_cs = false; rgrant = None;
+          granted_known = Qlist.Granted.mark st.granted_known e }
+      in
+      surface_pending cfg ~now
+        (st, [ Send (r.rg_from, Read_done { rd_seq = r.rg_seq }) ])
+  | None -> (
+  match (st.token, st.rbatch) with
+  | None, _ -> (st, []) (* spurious *)
+  | Some token, Some b ->
+      (* Batch coordinator done with its own read: the token may only
+         move once every batched reader's READ-DONE is in. *)
+      let st = { st with in_cs = false } in
+      if b.rb_await = [] then
+        surface_pending cfg ~now (finish_batch cfg ~now st token b)
+      else surface_pending cfg ~now (st, [])
+  | Some token, None ->
       let served, rest =
         match token.tq with
         | e :: rest when e.Qlist.node = st.me -> (Some e, rest)
@@ -1110,13 +1354,7 @@ let cs_done cfg ~now st =
           ({ st with token = Some token; last_token_seen = now }, [])
         else pass_token_on cfg ~now st token
       in
-      (* Surface the next queued application request, if any. *)
-      if st.pending > 0 then begin
-        let st = { st with pending = st.pending - 1 } in
-        let st, effs' = issue_request cfg ~now st in
-        (st, effs @ effs')
-      end
-      else (st, effs)
+      surface_pending cfg ~now (st, effs))
 
 (* ------------------------------------------------------------------ *)
 (* NEW-ARBITER bookkeeping (requester side + election)                 *)
@@ -1163,7 +1401,9 @@ let observe_qlist cfg st q =
         then
           ( { st with misses; monitor_misses = 0 },
             [ Send
-                (st.monitor, Monitor_request (Qlist.entry ~node:st.me ~seq ()));
+                ( st.monitor,
+                  Monitor_request
+                    (Qlist.entry ~mode:st.out_mode ~node:st.me ~seq ()) );
               Note Resubmitted_to_monitor ] )
         else if misses >= cfg.Config.retransmit_misses then
           let arm =
@@ -1171,7 +1411,9 @@ let observe_qlist cfg st q =
             else [ Set_timer (T_retry, retry_delay cfg st) ]
           in
           ( { st with misses = 0; monitor_misses },
-            Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()))
+            Send
+              ( st.arbiter,
+                Request (Qlist.entry ~mode:st.out_mode ~node:st.me ~seq ()) )
             :: Note Retransmitted :: arm )
         else ({ st with misses; monitor_misses }, [])
       end
@@ -1205,7 +1447,7 @@ let receive_new_arbiter cfg ~now st ~src na =
      must be discarded by whoever holds it (not mid-CS: the current
      excursion finishes; the token dies right after). *)
   let stale_token =
-    cfg.Config.recovery && (not st.in_cs)
+    cfg.Config.recovery && (not st.in_cs) && st.rbatch = None
     && match st.token with
        | Some tk -> tk.epoch < na.na_epoch
        | None -> false
@@ -1402,7 +1644,7 @@ let receive_monitor_privilege cfg ~now st token =
         (st', abort_effs @ (Note Became_arbiter :: effs))
     | _ ->
         let prev_announced = st.arbiter in
-        let tail = match Qlist.tail_node q with Some t -> t | None -> st.me in
+        let tail = match Qlist.final_holder q with Some t -> t | None -> st.me in
         let next_monitor =
           if cfg.Config.rotate_monitor then (st.me + 1) mod cfg.Config.n
           else st.me
@@ -1432,6 +1674,81 @@ let receive_monitor_privilege cfg ~now st token =
         let st, effs' = observe_qlist cfg st q in
         (st, abort_effs @ announce_effs @ effs @ effs')
   end
+
+(* ------------------------------------------------------------------ *)
+(* Shared grant batches                                                *)
+
+(* A READ-GRANT admits us into the CS as one reader of a shared batch.
+   The coordinator holds the token; we hold only the grant. Stale or
+   duplicate grants are answered with READ-DONE immediately so the
+   coordinator is never stuck on a reader that has moved on. *)
+let receive_read_grant cfg st ~src rg =
+  if rg.rg_epoch < st.token_epoch then
+    (st, [ Note (Custom "stale-read-grant") ])
+  else
+    let e = rg.rg_entry in
+    if st.in_cs then
+      (* A duplicate of the grant we are already executing: the
+         READ-DONE goes out at [Cs_done]. *)
+      (st, [])
+    else
+      match st.outstanding with
+      | Some seq when seq = e.Qlist.seq && e.Qlist.node = st.me ->
+          ( { st with in_cs = true; outstanding = None;
+              rgrant =
+                Some
+                  { rg_from = src; rg_seq = seq;
+                    rg_fepoch = rg.rg_epoch; rg_fminor = rg.rg_minor };
+              token_epoch = max st.token_epoch rg.rg_epoch;
+              executed_this_round = cfg.Config.recovery },
+            [ Enter_cs; Cancel_timer T_retry; Cancel_timer T_token ] )
+      | _ -> (st, [ Send (src, Read_done { rd_seq = e.Qlist.seq }) ])
+
+let receive_read_done cfg ~now st ~src ~rd_seq =
+  match st.rbatch with
+  | Some b
+    when List.exists
+           (fun e -> e.Qlist.node = src && e.Qlist.seq = rd_seq)
+           b.rb_entries ->
+      let rb_await = List.filter (fun j -> j <> src) b.rb_await in
+      let b = { b with rb_await } in
+      let st = { st with rbatch = Some b } in
+      if rb_await = [] && not st.in_cs then
+        match st.token with
+        | Some token -> finish_batch cfg ~now st token b
+        | None -> (st, []) (* unreachable: a coordinator holds the token *)
+      else (st, [])
+  | _ -> (st, []) (* stale READ-DONE from an already-completed batch *)
+
+let rbatch_timeout cfg ~now st =
+  match (st.rbatch, st.token) with
+  | Some b, Some token ->
+      if b.rb_await = [] then
+        (* A view change may have drained the await list with nothing
+           left to trigger completion: do it here. *)
+        if st.in_cs then (st, []) else finish_batch cfg ~now st token b
+      else if cfg.Config.recovery && b.rb_tries >= 2 then begin
+        (* Readers still silent after two re-grant rounds are dead
+           (crash-stop is modelled when recovery is on): force the
+           batch complete so a crashed reader cannot wedge the token.
+           Their requests are spent either way — the batch entries are
+           marked served. *)
+        let st = { st with rbatch = Some { b with rb_await = [] } } in
+        if st.in_cs then (st, [ Note (Custom "rbatch-forced") ])
+        else
+          let st, effs = finish_batch cfg ~now st token b in
+          (st, Note (Custom "rbatch-forced") :: effs)
+      end
+      else
+        let others =
+          List.filter
+            (fun e -> List.mem e.Qlist.node b.rb_await)
+            b.rb_entries
+        in
+        ( { st with rbatch = Some { b with rb_tries = b.rb_tries + 1 } },
+          read_grants token ~minor:b.rb_minor others
+          @ [ Set_timer (T_rbatch, rbatch_delay cfg) ] )
+  | _ -> (st, []) (* stale timer *)
 
 (* ------------------------------------------------------------------ *)
 (* Section 6: recovery                                                 *)
@@ -1600,8 +1917,10 @@ let receive_resume cfg ~now st ~round =
   else begin
     let st = { st with suspended = false } in
     match (st.in_cs, st.token) with
-    | false, Some token ->
-        (* We were frozen after finishing our CS: pass the token now. *)
+    | false, Some token when st.rbatch = None ->
+        (* We were frozen after finishing our CS: pass the token now.
+           A batch coordinator instead keeps holding until its last
+           READ-DONE arrives — [finish_batch] sees [suspended] off. *)
         pass_token_on cfg ~now st token
     | _ -> (st, [])
   end
@@ -1705,7 +2024,7 @@ let commit_view cfg ~now st pv =
       match st.token with
       | Some tk -> (
           match
-            Qlist.tail_node (drained_queue st v ~granted:st.granted_known tk)
+            Qlist.final_holder (drained_queue st v ~granted:st.granted_known tk)
           with
           | Some t -> t
           | None -> fallback)
@@ -1857,9 +2176,11 @@ let view_timer cfg st =
 let handle_inner cfg ~now st (input : (message, timer) input) :
     state * (message, timer) effect_ list =
   match input with
-  | Request_cs -> request_cs cfg ~now st
+  | Request_cs -> request_cs cfg ~now ~mode:Types.Exclusive st
+  | Request_shared_cs -> request_cs cfg ~now ~mode:Types.Shared st
   | Cs_done -> cs_done cfg ~now st
   | Timer_fired T_dispatch -> dispatch cfg ~now st
+  | Timer_fired T_rbatch -> rbatch_timeout cfg ~now st
   | Timer_fired T_forward_end -> (
       match st.role with
       | Forwarding _ ->
@@ -1887,8 +2208,9 @@ let handle_inner cfg ~now st (input : (message, timer) input) :
          announcement and issue the parked request with the knowledge
          we have. Amnesia (if any) stays: this is a timeout, not fresh
          knowledge. *)
+      let mode, st = pop_pending_mode st in
       let st = { st with sync_wait = false; pending = st.pending - 1 } in
-      issue_request cfg ~now st
+      issue_request cfg ~now ~mode st
   | Timer_fired T_retry -> (
       match st.outstanding with
       | Some seq
@@ -1898,7 +2220,10 @@ let handle_inner cfg ~now st (input : (message, timer) input) :
             else st.retries_left
           in
           ( { st with retries_left },
-            [ Send (st.arbiter, Request (Qlist.entry ~node:st.me ~seq ()));
+            [ Send
+                ( st.arbiter,
+                  Request
+                    (Qlist.entry ~mode:st.out_mode ~node:st.me ~seq ()) );
               Set_timer (T_retry, retry_delay cfg st);
               Note Retransmitted ] )
       | _ -> (st, []))
@@ -1948,6 +2273,9 @@ let handle_inner cfg ~now st (input : (message, timer) input) :
       end
   | Receive (_, Monitor_privilege token) ->
       receive_monitor_privilege cfg ~now st token
+  | Receive (src, Read_grant rg) -> receive_read_grant cfg st ~src rg
+  | Receive (src, Read_done { rd_seq }) ->
+      receive_read_done cfg ~now st ~src ~rd_seq
   | Receive (src, New_arbiter na) -> receive_new_arbiter cfg ~now st ~src na
   | Receive (src, Warning) ->
       if not cfg.Config.recovery then (st, [])
@@ -2017,6 +2345,8 @@ let message_kind = function
   | Leave_request _ -> "LEAVE-REQUEST"
   | View_change _ -> "VIEW-CHANGE"
   | View_ack _ -> "VIEW-ACK"
+  | Read_grant _ -> "READ-GRANT"
+  | Read_done _ -> "READ-DONE"
 
 let pp_status ppf = function
   | Have_token -> Format.pp_print_string ppf "have-token"
@@ -2049,6 +2379,10 @@ let pp_message ppf = function
         (String.concat ","
            (List.map (fun m -> string_of_int m.mid) vc.vc_view.vmembers))
   | View_ack { va_vnum } -> Format.fprintf ppf "VIEW-ACK(v=%d)" va_vnum
+  | Read_grant { rg_epoch; rg_minor; rg_entry } ->
+      Format.fprintf ppf "READ-GRANT(%a, e=%d, m=%d)" Qlist.pp_entry rg_entry
+        rg_epoch rg_minor
+  | Read_done { rd_seq } -> Format.fprintf ppf "READ-DONE(#%d)" rd_seq
 
 let pp_role ppf = function
   | Normal -> Format.pp_print_string ppf "normal"
@@ -2063,7 +2397,11 @@ let pp_state ppf st =
   Format.fprintf ppf
     "@[<h>node %d: view=%d arbiter=%d role=%a%s%s%s out=%s pend=%d misses=%d@]"
     st.me st.view.vnum st.arbiter pp_role st.role
-    (if st.in_cs then " IN-CS" else "")
+    (if st.in_cs then
+       if st.rgrant <> None then " IN-CS(r)"
+       else if st.rbatch <> None then " IN-CS(R)"
+       else " IN-CS"
+     else "")
     (if st.token <> None then " TOKEN" else "")
     (if st.amnesiac then " AMNESIAC" else if st.sync_wait then " SYNC-WAIT"
      else "")

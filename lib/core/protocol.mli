@@ -118,6 +118,18 @@ type message =
   | View_change of view_change
   | View_ack of { va_vnum : int }
       (** Acknowledgement of a VIEW-CHANGE (either phase). *)
+  | Read_grant of read_grant
+      (** Shared-batch grant: the batch coordinator (the token-holding
+          head reader of a maximal shared run) admits a fellow reader
+          into the CS. [rg_minor] is the batch's fencing minor — the
+          granted-vector total with the whole batch marked — so every
+          reader of one batch derives the {e same} fencing token. *)
+  | Read_done of { rd_seq : int }
+      (** A batched reader left the CS; once every READ-DONE (and the
+          coordinator's own CS) is in, the whole batch is marked served
+          at once and the token moves on. *)
+
+and read_grant = { rg_epoch : int; rg_minor : int; rg_entry : Qlist.entry }
 
 (** Timer keys (managed by the hosting runtime via [Set_timer] /
     [Cancel_timer]; at most one instance of each key is armed). *)
@@ -137,6 +149,10 @@ type timer =
           re-send VIEW-CHANGE to silent members until quorum / acks.
           Otherwise: an idle firing re-surfaces the current view as a
           [Membership] note (used after restarts). *)
+  | T_rbatch
+      (** Batch coordinator's patience for READ-DONE replies: re-grant
+          silent readers, and (with recovery on) eventually force the
+          batch complete so a crashed reader cannot wedge the token. *)
 
 (** The arbiter life-cycle of Figure 1, event-driven. *)
 type role =
@@ -162,6 +178,30 @@ type recovery = {
           the front of the regenerated token's queue. *)
 }
 
+(** An in-flight shared grant batch at its coordinator — the
+    token-holding head reader of a maximal run of compatible [Shared]
+    entries. The coordinator enters the CS itself, READ-GRANTs the
+    rest of the run, and holds the token until its own CS and every
+    READ-DONE are in; only then is the batch marked served (one
+    served-vector update, one fencing advance) and the token passed
+    on. A batch of one — every exclusive grant — never allocates
+    this. *)
+type rbatch = {
+  rb_entries : Qlist.t;  (** The whole batch, coordinator's entry first. *)
+  rb_await : node_id list;  (** Readers whose READ-DONE is still out. *)
+  rb_minor : int;  (** The batch fencing minor, shared by every reader. *)
+  rb_tries : int;  (** [T_rbatch] re-grant rounds already spent. *)
+}
+
+(** A reader admitted into the CS by a READ-GRANT: it holds no token;
+    ([rg_fepoch], [rg_fminor]) is what its fencing derives from. *)
+type rgrant = {
+  rg_from : node_id;  (** The coordinator to answer with READ-DONE. *)
+  rg_seq : int;  (** Our request being served. *)
+  rg_fepoch : int;  (** Fencing epoch the grant rode in on. *)
+  rg_fminor : int;  (** Shared batch fencing minor. *)
+}
+
 (** A view change in progress at its coordinator (the token-holding
     arbiter). *)
 type pending_vc = {
@@ -185,8 +225,14 @@ type state = {
   role : role;
   next_seq : int;  (** Our request counter (Section 2.4 sequence numbers). *)
   outstanding : int option;  (** Sequence number of our in-flight request. *)
+  out_mode : Types.mode;  (** Mode of the outstanding request. *)
   pending : int;  (** Application requests queued behind [outstanding]. *)
+  pending_modes : Types.mode list;
+      (** FIFO modes of the [pending] queued requests, oldest first. *)
   in_cs : bool;
+  rbatch : rbatch option;
+      (** We coordinate an in-flight shared batch (and hold the token). *)
+  rgrant : rgrant option;  (** We are in the CS under a READ-GRANT. *)
   token : token option;
   suspended : bool;  (** Token passing frozen by an ENQUIRY (Section 6). *)
   misses : int;  (** Consecutive NEW-ARBITER broadcasts omitting us. *)
@@ -310,6 +356,21 @@ val handle :
 
 val in_cs : state -> bool
 val wants_cs : state -> bool
+
+val cs_mode : state -> Types.mode
+(** [Shared] only while this node participates in a live shared batch
+    (coordinator or READ-GRANTed reader); [Exclusive] otherwise — in
+    particular for a solo shared grant, which rides the unchanged
+    exclusive path. See {!Types.ALGO.cs_mode}. *)
+
+val wait_edges : state -> (Types.node_id * Types.node_id) list
+(** Wait-for edges visible from this node, as [(waiter, holder)]
+    pairs: the entries queued in the token's Q-list behind the grant
+    currently being served. Empty unless this node holds the token
+    with a holder in the CS, so exactly one node per lock contributes
+    at any instant; the per-lock union across nodes feeds the
+    cross-lock wait-for-graph deadlock detector
+    ({!Dmutex_obs.Wfg}). *)
 
 val message_kind : message -> string
 (** ["REQUEST"], ["PRIVILEGE"], ["NEW-ARBITER"], ... — the labels used

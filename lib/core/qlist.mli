@@ -12,9 +12,14 @@ type entry = {
   node : Types.node_id;
   seq : int;  (** The requester's request counter when it sent this. *)
   hops : int;  (** Times this request has been forwarded (τ budget). *)
+  mode : Types.mode;
+      (** Requested access mode. [Exclusive] (the default) reproduces
+          the paper's protocol exactly; [Shared] entries at the head of
+          the list are batched into one grant. *)
 }
 
-val entry : ?hops:int -> node:Types.node_id -> seq:int -> unit -> entry
+val entry :
+  ?hops:int -> ?mode:Types.mode -> node:Types.node_id -> seq:int -> unit -> entry
 
 type t = entry list
 (** Service order, head first. The empty list is a valid (empty)
@@ -38,6 +43,27 @@ val enqueue : entry -> t -> t
 val sort_by_priority : int array -> t -> t
 (** Stable sort, higher priority first (Section 5.2); FCFS order is
     preserved within a priority level. *)
+
+val sort_writers_first : t -> t
+(** Stable sort, [Exclusive] entries first: the writer-priority policy
+    of the read-write extension, expressed as a Section 5.2 priority
+    sort with the mode as the key. FCFS within each mode class. *)
+
+val compatible : entry -> entry -> bool
+(** Can these two requests hold the CS simultaneously? True exactly
+    when both are [Shared]. *)
+
+val head_batch : t -> t
+(** The maximal batch servable as one grant: the head entry alone when
+    it is [Exclusive], else the maximal prefix run of [Shared]
+    entries. [head_batch [] = []]. *)
+
+val final_holder : t -> Types.node_id option
+(** The node holding the token once the queue is fully served — the
+    next arbiter a NEW-ARBITER broadcast must name. The tail, unless
+    the queue ends in a run of two or more [Shared] entries: that run
+    is granted as one batch whose coordinator (the run's first entry)
+    keeps the token while the rest execute on READ-GRANTs. *)
 
 val sort_least_served : int array -> t -> t
 (** Stable sort by past grants ascending: [granted.(node)] is the last
@@ -65,10 +91,20 @@ module Granted : sig
   (** Functional update recording that [entry] was served; grows the
       vector when the entry's node id is beyond its current length. *)
 
+  val mark_all : g -> entry list -> g
+  (** Mark every entry of a grant batch at once — the served-vector
+      update of a shared batch is one step, not one per reader. *)
+
   val merge : g -> g -> g
   (** Pointwise max over the union of lengths — used when a
       regenerated token meets a stale one's knowledge, and when views
       of different sizes exchange vectors. *)
+
+  val total : g -> int
+  (** Total grants recorded (each served slot counts [seq + 1]).
+      Strictly increases on every [mark] / non-trivial [mark_all] —
+      the minor half of a fencing token, advancing once per grant
+      batch. *)
 
   val pp : Format.formatter -> g -> unit
 end

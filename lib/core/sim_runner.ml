@@ -77,11 +77,18 @@ module Make (A : Types.ALGO) = struct
     delays : Stats.Tally.t;
     mutable completed : int;
     mutable arrived : int;
-    mutable cs_holder : int option;
+    mutable cs_holders : (int * Types.mode) list;
+        (** Nodes currently inside the CS with the mode each entered
+            under. Several [Shared] holders may coexist; an [Exclusive]
+            holder must be alone. *)
     mutable safety_violations : int;
     mutable target : int option;
     mutable closed_loop : bool;
     mutable on_grant : (node:int -> delay:float -> unit) option;
+    mutable read_mix : (float * Rng.t) option;
+        (** When set, a request injected without an explicit mode is
+            [Shared] with this probability (own RNG stream, so the mix
+            does not perturb network or workload draws). *)
   }
 
   let engine t = t.engine
@@ -134,11 +141,12 @@ module Make (A : Types.ALGO) = struct
         delays = Stats.Tally.create ();
         completed = 0;
         arrived = 0;
-        cs_holder = None;
+        cs_holders = [];
         safety_violations = 0;
         target = None;
         closed_loop = false;
         on_grant = None;
+        read_mix = None;
       }
     in
     Array.iteri (fun i node -> node.on_cs_exit <- (fun _ -> cs_exit t i)) nodes;
@@ -190,13 +198,21 @@ module Make (A : Types.ALGO) = struct
             A.pp_message m;
         Network.broadcast t.net ~src:i m
     | Types.Enter_cs ->
-        (match t.cs_holder with
-        | Some j when j <> i ->
+        let mode = A.cs_mode node.state in
+        let others = List.filter (fun (j, _) -> j <> i) t.cs_holders in
+        (match others with
+        | [] -> ()
+        | _ when
+               mode = Types.Shared
+               && List.for_all (fun (_, m) -> m = Types.Shared) others ->
+            (* Concurrent readers: legal overlap, not a violation. *)
+            ()
+        | (j, _) :: _ ->
             t.safety_violations <- t.safety_violations + 1;
             Trace.addf t.trace ~time:now ~node:i ~tag:"VIOLATION"
-              "entered CS while node %d inside" j
-        | _ -> ());
-        t.cs_holder <- Some i;
+              "entered CS (%s) while node %d inside"
+              (Types.string_of_mode mode) j);
+        t.cs_holders <- (i, mode) :: others;
         node.current <- Queue.take_opt node.arrivals;
         (match node.pm with
         | Some pm -> Dmutex_obs.Protocol_metrics.cs_entered pm ~now
@@ -236,6 +252,8 @@ module Make (A : Types.ALGO) = struct
             match n with
             | Types.Queue_length k ->
                 Dmutex_obs.Protocol_metrics.queue_length pm k
+            | Types.Read_batch k ->
+                Dmutex_obs.Protocol_metrics.read_batch pm k
             | Types.Phase (p, d) ->
                 Dmutex_obs.Protocol_metrics.phase pm ~name:p d
             | _ -> ())
@@ -250,7 +268,7 @@ module Make (A : Types.ALGO) = struct
     let node = t.nodes.(i) in
     if not node.crashed then begin
       let now = Engine.now t.engine in
-      (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
+      t.cs_holders <- List.filter (fun (j, _) -> j <> i) t.cs_holders;
       (match node.current with
       | Some arrival ->
           Stats.Tally.add t.delays (now -. arrival);
@@ -272,9 +290,17 @@ module Make (A : Types.ALGO) = struct
       | _ -> ()
     end
 
-  and request t i =
+  and request ?mode t i =
     let node = t.nodes.(i) in
     if not node.crashed then begin
+      let mode =
+        match mode with
+        | Some m -> m
+        | None -> (
+            match t.read_mix with
+            | Some (f, rng) when Rng.uniform rng < f -> Types.Shared
+            | _ -> Types.Exclusive)
+      in
       t.arrived <- t.arrived + 1;
       Queue.add (Engine.now t.engine) node.arrivals;
       (match node.pm with
@@ -282,10 +308,19 @@ module Make (A : Types.ALGO) = struct
           Dmutex_obs.Protocol_metrics.mark_request pm ~now:(Engine.now t.engine)
       | None -> ());
       Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"request" "";
-      dispatch t i Types.Request_cs
+      dispatch t i
+        (match mode with
+        | Types.Exclusive -> Types.Request_cs
+        | Types.Shared -> Types.Request_shared_cs)
     end
 
   let on_grant t f = t.on_grant <- Some f
+
+  let set_read_mix ?(seed = 0x5ead) t fraction =
+    if fraction < 0.0 || fraction > 1.0 then
+      invalid_arg "Sim_runner.set_read_mix: fraction outside [0, 1]";
+    t.read_mix <-
+      (if fraction = 0.0 then None else Some (fraction, Rng.create seed))
 
   let require_crash_support () =
     if not A.fault_support.Types.crash_stop then
@@ -305,7 +340,7 @@ module Make (A : Types.ALGO) = struct
     Network.crash t.net i;
     Hashtbl.iter (fun _ h -> Engine.cancel t.engine h) node.timers;
     Hashtbl.reset node.timers;
-    (match t.cs_holder with Some j when j = i -> t.cs_holder <- None | _ -> ());
+    t.cs_holders <- List.filter (fun (j, _) -> j <> i) t.cs_holders;
     node.current <- None;
     Queue.clear node.arrivals;
     Trace.add t.trace ~time:(Engine.now t.engine) ~node:i ~tag:"crash" ""
@@ -394,10 +429,11 @@ module Make (A : Types.ALGO) = struct
     Stats.Tally.reset t.delays;
     t.completed <- 0;
     t.arrived <- 0;
-    t.cs_holder <- None;
+    t.cs_holders <- [];
     t.safety_violations <- 0;
     t.target <- None;
-    t.closed_loop <- false
+    t.closed_loop <- false;
+    t.read_mix <- None
 
   let step_until t time = Engine.run ~until:time t.engine
 
@@ -474,13 +510,16 @@ module Make (A : Types.ALGO) = struct
     Engine.run ?until t.engine;
     outcome t
 
-  let run_saturated ?(seed = 42) ?(requests = 10_000) ?trace ?latency ?obs cfg
-      =
+  let run_saturated ?(seed = 42) ?(requests = 10_000) ?read_fraction ?trace
+      ?latency ?obs cfg =
     let t =
       match trace with
       | Some tr -> create ~seed ~trace:tr ?latency ?obs cfg
       | None -> create ~seed ?latency ?obs cfg
     in
+    (match read_fraction with
+    | Some f -> set_read_mix ~seed:(seed lxor 0x5ead) t f
+    | None -> ());
     saturate ~requests t
 end
 

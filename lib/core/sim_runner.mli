@@ -32,7 +32,9 @@ type outcome = {
   dropped_requests : int;
   monitor_passes : int;
   notes : (string * int) list;  (** Every note counter, sorted. *)
-  safety_violations : int;  (** Simultaneous-CS detections; must be 0. *)
+  safety_violations : int;
+      (** Illegal CS overlaps (any overlap involving an [Exclusive]
+          holder — concurrent [Shared] holders are legal); must be 0. *)
   unserved : int;  (** Requests arrived but never served (liveness). *)
   per_node : node_stats array;
 }
@@ -78,9 +80,18 @@ module Make (A : Types.ALGO) : sig
   val state : t -> int -> A.state
   (** Current protocol state of a node (for tests). *)
 
-  val request : t -> int -> unit
+  val request : ?mode:Types.mode -> t -> int -> unit
   (** Inject an application CS request at a node, at the current
-      simulated time. *)
+      simulated time. [mode] defaults to [Exclusive] unless a read mix
+      is installed ({!set_read_mix}), in which case an unlabelled
+      request draws its mode from the mix. *)
+
+  val set_read_mix : ?seed:int -> t -> float -> unit
+  (** [set_read_mix t f] makes every subsequently injected request
+      whose mode is not given explicitly a [Shared] request with
+      probability [f] (its own RNG stream, so enabling the mix does
+      not perturb the network or workload draws). [0.] removes the
+      mix. Cleared by {!reset}. *)
 
   val crash : t -> int -> unit
   (** Fail-stop a node: its messages are dropped, its timers cancelled,
@@ -139,6 +150,7 @@ module Make (A : Types.ALGO) : sig
   val run_saturated :
     ?seed:int ->
     ?requests:int ->
+    ?read_fraction:float ->
     ?trace:Simkit.Trace.t ->
     ?latency:Simkit.Network.latency ->
     ?obs:Dmutex_obs.Registry.t ->
@@ -146,7 +158,9 @@ module Make (A : Types.ALGO) : sig
     outcome
   (** Closed-loop heavy-load experiment: every node re-requests the CS
       immediately after leaving it, so the Q-list stays full — the
-      regime of Eqs. 4-6. *)
+      regime of Eqs. 4-6. [read_fraction] (default [0.]) makes that
+      fraction of requests [Shared] — the read-write workload of the
+      [rw:throughput] benchmark. *)
 
   val saturate :
     ?requests:int -> ?faults:fault_plan -> ?until:float -> t -> outcome

@@ -12,6 +12,17 @@ type node_id = int
 (** Nodes are numbered [0 .. n-1]. The paper's "node 1" is our node
     [0]. *)
 
+(** Access mode of a critical-section request. The paper grants one
+    exclusive CS at a time; [Shared] generalizes the grant pipeline to
+    the partial-mutual-exclusion regime — a maximal run of compatible
+    readers at the head of the Q-list is served as {e one} grant batch.
+    Two [Shared] requests are compatible; anything involving
+    [Exclusive] is not. [Exclusive] is the default everywhere, which
+    pins single-mode behavior bit-identical to the original protocol. *)
+type mode = Shared | Exclusive
+
+let string_of_mode = function Shared -> "shared" | Exclusive -> "exclusive"
+
 (** Protocol configuration. Field names follow the paper's notation
     where one exists. *)
 module Config = struct
@@ -59,6 +70,15 @@ module Config = struct
     priorities : int array option;
         (** Section 5.2 static priorities (larger = more urgent). The
             arbiter stably sorts the Q-list by priority at dispatch. *)
+    writer_priority : bool;
+        (** Read-write mode policy: stably sort each dispatched Q-list
+            writers ([Exclusive]) first, reusing the Section 5.2
+            machinery with mode as the priority key. Keeps writers from
+            starving behind a steady reader stream, and groups readers
+            adjacently so maximal batches form. Grouping is per
+            dispatch window, so a reader arriving after a writer waits
+            at most one window — bounded, not starvation. Ignored when
+            [priorities] is set (explicit priorities win). *)
     least_served_first : bool;
         (** Section 5.1's stricter fairness ("a scheme similar to
             Suzuki-Kasami's"): the arbiter stably sorts each dispatched
@@ -100,6 +120,7 @@ module Config = struct
       retry_timeout = 4.0;
       max_retries = -1;
       priorities = None;
+      writer_priority = false;
       least_served_first = false;
       recovery = false;
       token_timeout = 5.0;
@@ -128,6 +149,10 @@ end
     it. *)
 type ('msg, 'timer) input =
   | Request_cs  (** The local application wants the critical section. *)
+  | Request_shared_cs
+      (** The local application wants the critical section in [Shared]
+          (read) mode. Algorithms without a shared-mode path treat this
+          exactly like {!Request_cs}. *)
   | Cs_done  (** The local application left the critical section. *)
   | Receive of node_id * 'msg  (** A message arrived from a peer. *)
   | Timer_fired of 'timer  (** A timer armed via [Set_timer] expired. *)
@@ -147,6 +172,10 @@ type note =
   | Became_arbiter
   | Monitor_pass  (** The token was routed through the monitor. *)
   | Queue_length of int  (** Q-list length at dispatch. *)
+  | Read_batch of int
+      (** A shared grant batch of this many readers was launched as one
+          grant (emitted only for batches of two or more; a batch of
+          one rides the unchanged exclusive path). *)
   | Phase of string * float
       (** A protocol phase (e.g. ["collection"], ["forwarding"]) ran
           for the given duration in the emitting node's clock. *)
@@ -170,6 +199,7 @@ let string_of_note = function
   | Became_arbiter -> "became-arbiter"
   | Monitor_pass -> "monitor-pass"
   | Queue_length _ -> "queue-length"
+  | Read_batch _ -> "read-batch"
   | Phase (p, _) -> "phase-" ^ p
   | Recovery_started -> "recovery-started"
   | Token_regenerated -> "token-regenerated"
@@ -238,6 +268,13 @@ module type ALGO = sig
   val in_cs : state -> bool
   (** Whether this node believes it is inside the critical section
       (used by safety checks). *)
+
+  val cs_mode : state -> mode
+  (** The mode of the node's current (or imminent) CS occupancy:
+      [Shared] only while the node participates in a shared grant
+      batch. Safety checks allow two nodes in the CS simultaneously
+      only when both report [Shared]. Algorithms without a shared-mode
+      path return [Exclusive] unconditionally. *)
 
   val wants_cs : state -> bool
   (** Whether this node has an unserved request (used by liveness

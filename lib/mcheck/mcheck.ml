@@ -19,17 +19,20 @@ module Make (A : Dmutex.Types.ALGO) = struct
     inflight : ((int * int) * A.message list) list;
         (* sorted by channel key; message list in FIFO order *)
     timers : (int * A.timer) list;  (* armed timers *)
-    budget : int array;  (* CS requests not yet injected, per node *)
+    budget : int array;  (* exclusive CS requests not yet injected *)
+    sbudget : int array;  (* shared CS requests not yet injected *)
   }
 
   type transition =
     | Inject of int
+    | Inject_shared of int
     | Deliver of int * int * A.message
     | Fire of int * A.timer
     | Finish of int  (* node leaves its CS *)
 
   let label = function
     | Inject i -> Printf.sprintf "node %d requests CS" i
+    | Inject_shared i -> Printf.sprintf "node %d requests shared CS" i
     | Deliver (src, dst, m) ->
         Format.asprintf "deliver %d->%d: %a" src dst A.pp_message m
     | Fire (i, _) -> Printf.sprintf "timer fires at node %d" i
@@ -69,6 +72,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
     let inflight = ref g.inflight in
     let timers = ref g.timers in
     let budget = Array.copy g.budget in
+    let sbudget = Array.copy g.sbudget in
     let step i input =
       let st, effs = A.handle cfg ~now:0.0 nodes.(i) input in
       nodes.(i) <- st;
@@ -92,6 +96,9 @@ module Make (A : Dmutex.Types.ALGO) = struct
     | Inject i ->
         budget.(i) <- budget.(i) - 1;
         step i Request_cs
+    | Inject_shared i ->
+        sbudget.(i) <- sbudget.(i) - 1;
+        step i Request_shared_cs
     | Deliver (src, dst, m) ->
         inflight := channel_remove (src, dst) m !inflight;
         step dst (Receive (src, m))
@@ -104,6 +111,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
       inflight = canon_msgs ~fifo !inflight;
       timers = canon_timers !timers;
       budget;
+      sbudget;
     }
 
   let enabled ~fifo ~fire_timers g =
@@ -112,6 +120,10 @@ module Make (A : Dmutex.Types.ALGO) = struct
       List.filter_map
         (fun i -> if g.budget.(i) > 0 then Some (Inject i) else None)
         (List.init n (fun i -> i))
+      @ List.filter_map
+          (fun i ->
+            if g.sbudget.(i) > 0 then Some (Inject_shared i) else None)
+          (List.init n (fun i -> i))
     in
     let delivers =
       List.concat_map
@@ -134,13 +146,22 @@ module Make (A : Dmutex.Types.ALGO) = struct
     in
     injects @ delivers @ fires @ finishes
 
-  let cs_count g =
-    Array.fold_left (fun acc st -> if A.in_cs st then acc + 1 else acc) 0 g.nodes
+  (* Mutual exclusion, read-write flavour: concurrent holders are
+     legal exactly when every one of them holds in [Shared] mode — an
+     [Exclusive] holder must be alone. With no shared requests in the
+     mix this degenerates to the classic "never two in CS". *)
+  let unsafe g =
+    let holders = List.filter A.in_cs (Array.to_list g.nodes) in
+    match holders with
+    | [] | [ _ ] -> false
+    | holders ->
+        List.exists (fun st -> A.cs_mode st = Exclusive) holders
 
   let wants g = Array.exists (fun st -> A.wants_cs st) g.nodes
 
   let run ?(max_states = 2_000_000) ?(requests_per_node = 1)
-      ?(fire_timers = true) ?(fifo = false) ?(progress = false) cfg =
+      ?(shared_per_node = 0) ?(fire_timers = true) ?(fifo = false)
+      ?(progress = false) cfg =
     let n = cfg.Config.n in
     let initial =
       {
@@ -148,6 +169,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
         inflight = [];
         timers = [];
         budget = Array.make n requests_per_node;
+        sbudget = Array.make n shared_per_node;
       }
     in
     (* States are keyed by the MD5 of their marshalled image: the
@@ -194,7 +216,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
                    (Hashtbl.length visited)
                    (List.length g'.inflight);
                Hashtbl.replace parent dg' (dg, label tr);
-               if cs_count g' > 1 then begin
+               if unsafe g' then begin
                  violation :=
                    Some { kind = `Safety; trace = trace_to dg' };
                  raise Exit
@@ -216,7 +238,8 @@ module Make (A : Dmutex.Types.ALGO) = struct
     }
 
   let run_random ?(walks = 1000) ?(depth = 400) ?(seed = 1)
-      ?(requests_per_node = 1) ?(fire_timers = true) ?(fifo = false) cfg =
+      ?(requests_per_node = 1) ?(shared_per_node = 0) ?(fire_timers = true)
+      ?(fifo = false) cfg =
     let n = cfg.Config.n in
     let initial =
       {
@@ -224,6 +247,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
         inflight = [];
         timers = [];
         budget = Array.make n requests_per_node;
+        sbudget = Array.make n shared_per_node;
       }
     in
     let rng = Random.State.make [| seed |] in
@@ -251,7 +275,7 @@ module Make (A : Dmutex.Types.ALGO) = struct
                   path := label tr :: !path;
                   g := apply ~fifo cfg !g tr;
                   Hashtbl.replace visited (digest !g) ();
-                  if cs_count !g > 1 then begin
+                  if unsafe !g then begin
                     violation :=
                       Some { kind = `Safety; trace = List.rev !path };
                     raise Exit

@@ -6,7 +6,10 @@
     event can occur (a sound over-approximation of real-time
     behaviour), and critical sections completing at any point. Checks
 
-    - {b mutual exclusion}: never two nodes inside the CS, and
+    - {b mutual exclusion}, read-write flavour: concurrent CS holders
+      are legal exactly when every one reports {!Dmutex.Types.Shared}
+      via [cs_mode]; an exclusive holder must be alone. Without shared
+      requests this is the classic "never two in CS", and
     - {b deadlock freedom}: no reachable state where some node wants
       the CS but no transition is enabled.
 
@@ -32,14 +35,17 @@ module Make (A : Dmutex.Types.ALGO) : sig
   val run :
     ?max_states:int ->
     ?requests_per_node:int ->
+    ?shared_per_node:int ->
     ?fire_timers:bool ->
     ?fifo:bool ->
     ?progress:bool ->
     Dmutex.Types.Config.t ->
     result
   (** [run cfg] explores from the all-initial state with
-      [requests_per_node] (default 1) CS requests injectable at each
-      node, visiting at most [max_states] (default 2_000_000) states.
+      [requests_per_node] (default 1) exclusive CS requests and
+      [shared_per_node] (default 0) shared CS requests injectable at
+      each node, visiting at most [max_states] (default 2_000_000)
+      states.
       [fire_timers] (default [true]) lets armed timers fire
       nondeterministically; switch it off to model a perfectly timed
       system. [fifo] (default [false]) restricts each (src, dst)
@@ -51,6 +57,7 @@ module Make (A : Dmutex.Types.ALGO) : sig
     ?depth:int ->
     ?seed:int ->
     ?requests_per_node:int ->
+    ?shared_per_node:int ->
     ?fire_timers:bool ->
     ?fifo:bool ->
     Dmutex.Types.Config.t ->

@@ -143,6 +143,22 @@ struct
   let launch ?(base_port = 7801) ?(seed = 0xc1a05)
       ?(locks = [ Node.default_lock ]) ?heartbeat_period
       ?(suspect_timeout = 1.0) ?state_root ?trace ?persist ?restore cfg =
+    (* Validate the lock list before any node binds a port: a
+       duplicate key would otherwise surface as a mid-launch
+       [Node.create] failure after some nodes already started. *)
+    if locks = [] then invalid_arg "Cluster.launch: empty lock list";
+    (let seen = Hashtbl.create (List.length locks) in
+     List.iter
+       (fun l ->
+         if Hashtbl.mem seen l then
+           invalid_arg
+             (Printf.sprintf
+                "Cluster.launch: duplicate lock name %S (each lock key names \
+                 one protocol instance; listing it twice would silently \
+                 shadow the first)"
+                l);
+         Hashtbl.add seen l ())
+       locks);
     let obs =
       Array.init cfg.Dmutex.Types.Config.n (fun _ ->
           Dmutex_obs.Registry.create ())
@@ -166,6 +182,9 @@ struct
   let node t i = t.nodes.(i)
   let n t = Array.length t.nodes
   let locks t = t.locks
+
+  let with_locks ?timeout ?retries ~locks t i f =
+    Node.with_locks ?timeout ?retries ~locks t.nodes.(i) f
   let fault t = t.fault
 
   let crash t i =

@@ -71,9 +71,11 @@ module Make
       fault injector and per-node transport randomness, making chaos
       runs reproducible. Every node hosts one protocol instance per
       [locks] entry (default [[Node.default_lock]]), all multiplexed
-      over its one transport. [heartbeat_period] enables each node's
-      peer liveness monitor (off by default), shared by all of its
-      instances.
+      over its one transport; a duplicate lock name (which would
+      silently shadow the first instance) or an empty list is rejected
+      with [Invalid_argument] before any node starts.
+      [heartbeat_period] enables each node's peer liveness monitor
+      (off by default), shared by all of its instances.
 
       [state_root] enables durability: node [i] persists lock [k]
       through a [Dmutex_store.Store] in
@@ -98,6 +100,19 @@ module Make
 
   val locks : t -> string list
   (** The lock keys every node hosts, in [launch] order. *)
+
+  val with_locks :
+    ?timeout:float ->
+    ?retries:int ->
+    locks:(string * Dmutex.Types.mode) list ->
+    t ->
+    int ->
+    (unit -> 'a) ->
+    'a option
+  (** [with_locks ~locks t i f]: run [f] on node [i] holding the whole
+      multi-lock set atomically — {!Node_runner.Make.with_locks} on
+      that node (canonical acquisition order, all-or-nothing with
+      bounded retry). *)
 
   val fault : t -> Fault.t
   (** The cluster-wide fault injector (shared by every node's

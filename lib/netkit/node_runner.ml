@@ -262,6 +262,7 @@ struct
             Dmutex_obs.Protocol_metrics.note pm name;
             match n with
             | Queue_length k -> Dmutex_obs.Protocol_metrics.queue_length pm k
+            | Read_batch k -> Dmutex_obs.Protocol_metrics.read_batch pm k
             | Phase (p, d) -> Dmutex_obs.Protocol_metrics.phase pm ~name:p d
             | _ -> ())
         | None -> ());
@@ -277,7 +278,7 @@ struct
 
   and step_locked t inst input =
     (match input with
-    | Request_cs -> (
+    | Request_cs | Request_shared_cs -> (
         match inst.pm with
         | Some pm -> Dmutex_obs.Protocol_metrics.mark_request pm ~now:(now t)
         | None -> ())
@@ -642,13 +643,18 @@ struct
   let id t = t.me
   let locks t = t.lock_order
 
-  let acquire ?(lock = default_lock) t =
+  let request_input mode =
+    match mode with
+    | Dmutex.Types.Exclusive -> Request_cs
+    | Dmutex.Types.Shared -> Request_shared_cs
+
+  let acquire ?(lock = default_lock) ?(mode = Dmutex.Types.Exclusive) t =
     let inst = find_inst t lock in
     Mutex.lock inst.lock;
     inst.async_pending <- inst.async_pending + 1;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock inst.lock)
-      (fun () -> step_locked t inst Request_cs)
+      (fun () -> step_locked t inst (request_input mode))
 
   let release ?(lock = default_lock) t = step t (find_inst t lock) Cs_done
 
@@ -659,9 +665,12 @@ struct
     Mutex.unlock inst.lock;
     h
 
-  let with_lock ?(timeout = 30.0) ?(lock = default_lock) t f =
+  (* Blocking request-and-wait shared by [with_lock] and
+     [acquire_all]: returns [true] holding the CS of [lock] (the
+     caller must [release]) or [false] once [deadline] lapses or the
+     node is stopping. *)
+  let request_and_wait ?(mode = Dmutex.Types.Exclusive) t ~lock ~deadline =
     let inst = find_inst t lock in
-    let deadline = Unix.gettimeofday () +. timeout in
     (* OCaml's Condition has no timed wait: register the deadline with
        the node's timer thread, which broadcasts [inst.granted] when it
        lapses, and sleep on the condition in between — the grant path
@@ -677,7 +686,7 @@ struct
     in
     Mutex.lock inst.lock;
     inst.waiters <- inst.waiters + 1;
-    (try step_locked t inst Request_cs
+    (try step_locked t inst (request_input mode)
      with e ->
        inst.waiters <- inst.waiters - 1;
        Mutex.unlock inst.lock;
@@ -705,8 +714,80 @@ struct
        in [apply]). *)
     if not ok then inst.abandoned <- inst.abandoned + 1;
     Mutex.unlock inst.lock;
-    if ok then
+    ok
+
+  let with_lock ?(timeout = 30.0) ?(lock = default_lock)
+      ?(mode = Dmutex.Types.Exclusive) t f =
+    let deadline = Unix.gettimeofday () +. timeout in
+    if request_and_wait ~mode t ~lock ~deadline then
       Fun.protect ~finally:(fun () -> release ~lock t) (fun () -> Some (f ()))
+    else None
+
+  (* Canonical transaction order: locks sorted by key. Every
+     transaction acquiring in one global order makes hold-and-wait
+     acyclic, so transactions cannot deadlock each other; the bounded
+     per-attempt slice plus release-on-conflict retry below keeps a
+     slow grant from convoying the whole set. *)
+  let sort_lock_set locks =
+    if locks = [] then invalid_arg "Node_runner.acquire_all: empty lock set";
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> String.compare a b) locks
+    in
+    let rec check = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          if String.equal a b then
+            invalid_arg
+              (Printf.sprintf "Node_runner.acquire_all: duplicate lock %S" a);
+          check rest
+      | _ -> ()
+    in
+    check sorted;
+    sorted
+
+  let release_all_sorted t sorted =
+    List.iter (fun (l, _) -> release ~lock:l t) (List.rev sorted)
+
+  let acquire_all_sorted t ~deadline ~retries sorted =
+    let slice =
+      Float.max 0.01
+        ((deadline -. Unix.gettimeofday ()) /. float_of_int (retries + 1))
+    in
+    let rec attempt k =
+      let sub = Float.min deadline (Unix.gettimeofday () +. slice) in
+      let rec grab held = function
+        | [] -> Ok ()
+        | (l, m) :: rest ->
+            if request_and_wait ~mode:m t ~lock:l ~deadline:sub then
+              grab ((l, m) :: held) rest
+            else Error held
+      in
+      match grab [] sorted with
+      | Ok () -> true
+      | Error held ->
+          (* All-or-nothing: give back everything grabbed this attempt
+             (newest first) before retrying, so a transaction never
+             camps on a partial set while waiting for the rest. *)
+          List.iter (fun (l, _) -> release ~lock:l t) held;
+          if k >= retries || Unix.gettimeofday () >= deadline then false
+          else attempt (k + 1)
+    in
+    attempt 0
+
+  let acquire_all ?(timeout = 30.0) ?(retries = 4) ~locks t =
+    let sorted = sort_lock_set locks in
+    (* Fail fast on a key this node does not host. *)
+    List.iter (fun (l, _) -> ignore (find_inst t l)) sorted;
+    let deadline = Unix.gettimeofday () +. timeout in
+    acquire_all_sorted t ~deadline ~retries sorted
+
+  let with_locks ?(timeout = 30.0) ?(retries = 4) ~locks t f =
+    let sorted = sort_lock_set locks in
+    List.iter (fun (l, _) -> ignore (find_inst t l)) sorted;
+    let deadline = Unix.gettimeofday () +. timeout in
+    if acquire_all_sorted t ~deadline ~retries sorted then
+      Fun.protect
+        ~finally:(fun () -> release_all_sorted t sorted)
+        (fun () -> Some (f ()))
     else None
 
   let state ?(lock = default_lock) t =

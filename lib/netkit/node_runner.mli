@@ -96,8 +96,10 @@ module Make
   val locks : t -> string list
   (** The lock keys this node hosts, in [create] order. *)
 
-  val acquire : ?lock:string -> t -> unit
-  (** Ask for the critical section of [lock] (non-blocking). *)
+  val acquire : ?lock:string -> ?mode:Dmutex.Types.mode -> t -> unit
+  (** Ask for the critical section of [lock] (non-blocking). [mode]
+      (default [Exclusive]) labels the request; [Shared] requests at
+      the head of the queue are served together as one reader batch. *)
 
   val release : ?lock:string -> t -> unit
   (** Leave the critical section of [lock]. Must only be called while
@@ -107,16 +109,54 @@ module Make
   (** Whether this node is currently inside [lock]'s critical
       section. *)
 
-  val with_lock : ?timeout:float -> ?lock:string -> t -> (unit -> 'a) -> 'a option
+  val with_lock :
+    ?timeout:float ->
+    ?lock:string ->
+    ?mode:Dmutex.Types.mode ->
+    t ->
+    (unit -> 'a) ->
+    'a option
   (** [with_lock t f] acquires the distributed lock [lock] (default
-      {!default_lock}), runs [f], and releases. Returns [None] if
-      [timeout] (default 30 s) expires before the lock is granted. The
-      abandoned request remains queued cluster-wide, so the node
-      remembers it and {e drains} the stale grant the moment it lands
-      (immediate release, no [on_grant]) — a later [with_lock] can
-      never be granted on the back of an abandoned request.
-      Independent locks never block each other: each instance has its
-      own mutex and grant condition. *)
+      {!default_lock}) in [mode] (default [Exclusive]), runs [f], and
+      releases. Returns [None] if [timeout] (default 30 s) expires
+      before the lock is granted. The abandoned request remains queued
+      cluster-wide, so the node remembers it and {e drains} the stale
+      grant the moment it lands (immediate release, no [on_grant]) — a
+      later [with_lock] can never be granted on the back of an
+      abandoned request. Independent locks never block each other:
+      each instance has its own mutex and grant condition. *)
+
+  val acquire_all :
+    ?timeout:float ->
+    ?retries:int ->
+    locks:(string * Dmutex.Types.mode) list ->
+    t ->
+    bool
+  (** Atomic multi-lock acquisition: block until {e every} lock of the
+      set is held (in its given mode), or give everything back and
+      return [false]. Locks are always grabbed in canonical order
+      (sorted by key) — with every transaction acquiring in the one
+      global order, hold-and-wait is acyclic, so transactions cannot
+      deadlock each other. Within [timeout] (default 30 s) the attempt
+      is retried up to [retries] (default 4) times: an attempt that
+      cannot get some lock within its time slice releases all the
+      locks it grabbed (all-or-nothing) before trying again, so a
+      transaction never camps on a partial set. Duplicate keys and the
+      empty set are rejected with [Invalid_argument]. On [true] the
+      caller holds every lock and must {!release} each (or use
+      {!with_locks}). *)
+
+  val with_locks :
+    ?timeout:float ->
+    ?retries:int ->
+    locks:(string * Dmutex.Types.mode) list ->
+    t ->
+    (unit -> 'a) ->
+    'a option
+  (** [with_locks ~locks t f]: {!acquire_all}, run [f] holding the
+      whole set, release everything (reverse canonical order) even if
+      [f] raises. [None] when the set could not be acquired within
+      [timeout]. *)
 
   val state : ?lock:string -> t -> A.state
   (** Snapshot of one instance's protocol state (for inspection and

@@ -32,6 +32,9 @@ struct
   type waiter = {
     w_rid : int;
     w_sess : session;
+    w_mode : Dmutex.Types.mode;
+        (** Shared waiters at the head of the queue are granted
+            together under one node hold; exclusive ones alone. *)
     w_deadline : float;
     mutable w_pending : bool;
   }
@@ -212,11 +215,17 @@ struct
      the CS serves the oldest still-pending waiter until that client
      releases, closes, or its lease expires. *)
 
-  let pop_eligible t lq =
-    let rec go = function
-      | [] -> (None, [])
+  (* Pop the run of waiters one node hold can serve in [mode]:
+     exclusive — just the oldest eligible waiter; shared — the maximal
+     leading run of shared waiters, stopping at the first eligible
+     exclusive waiter so writers keep their queue position (the
+     session-layer mirror of the protocol's reader batch). Expired
+     waiters met on the way are rejected with [Lock_timeout]. *)
+  let pop_batch t lq ~mode =
+    let rec go acc = function
+      | [] -> (List.rev acc, [])
       | w :: rest ->
-          if not w.w_pending then go rest
+          if not w.w_pending then go acc rest
           else if now () > w.w_deadline then begin
             w.w_pending <- false;
             Mutex.lock w.w_sess.smu;
@@ -227,21 +236,31 @@ struct
             | Some conn ->
                 reject t conn ~rid:w.w_rid WC.Lock_timeout ~retry_after_ms:0
             | None -> ());
-            go rest
+            go acc rest
           end
-          else (Some w, rest)
+          else begin
+            match (mode : Dmutex.Types.mode) with
+            | Exclusive -> (List.rev (w :: acc), rest)
+            | Shared ->
+                if w.w_mode = Dmutex.Types.Shared then go (w :: acc) rest
+                else (List.rev acc, w :: rest)
+          end
     in
     Mutex.lock lq.lq_mu;
-    let found, rest = go lq.lq_waiters in
+    let batch, rest = go [] lq.lq_waiters in
     lq.lq_waiters <- rest;
     set_gauge lq.lq_depth (float_of_int (List.length rest));
     Mutex.unlock lq.lq_mu;
-    found
+    batch
 
-  (* Runs inside [Node.with_lock]: the node is in the CS for
-     [lq.lq_lock] on some client's behalf. Returns [true] if a client
-     was actually served (so the caller knows progress was made). *)
-  let serve t lq () =
+  (* Runs inside [Node.with_lock ~mode]: the node is in the CS for
+     [lq.lq_lock] on some clients' behalf. In [Shared] mode the whole
+     leading run of shared waiters is granted together under one
+     fencing token — shared holders are peers, not an order, exactly
+     as in the protocol's reader batch; in [Exclusive] mode exactly
+     one client is served. Returns [true] if any client was actually
+     served (so the caller knows progress was made). *)
+  let serve t lq mode () =
     let st = Node.state ~lock:lq.lq_lock t.node in
     match t.fencing st with
     | None ->
@@ -271,50 +290,71 @@ struct
           false
         end
         else begin
-          match pop_eligible t lq with
-          | None -> false (* nobody still wants it; release right away *)
-          | Some w ->
+          match pop_batch t lq ~mode with
+          | [] -> false (* nobody still wants it; release right away *)
+          | batch ->
               lq.lq_last_fencing <- fencing;
-              let s = w.w_sess in
-              Mutex.lock s.smu;
-              w.w_pending <- false;
-              s.s_inflight <- max 0 (s.s_inflight - 1);
-              if not s.s_alive then begin
-                (* Raced its own expiry: drop the grant. *)
-                Mutex.unlock s.smu;
-                false
-              end
+              let mode_label =
+                match (mode : Dmutex.Types.mode) with
+                | Dmutex.Types.Shared -> "shared"
+                | Dmutex.Types.Exclusive -> "exclusive"
+              in
+              let granted =
+                List.filter_map
+                  (fun w ->
+                    let s = w.w_sess in
+                    Mutex.lock s.smu;
+                    w.w_pending <- false;
+                    s.s_inflight <- max 0 (s.s_inflight - 1);
+                    if not s.s_alive then begin
+                      (* Raced its own expiry: drop this grant. *)
+                      Mutex.unlock s.smu;
+                      None
+                    end
+                    else begin
+                      s.s_held <- (lq.lq_lock, fencing) :: s.s_held;
+                      let conn = s.sconn in
+                      Mutex.unlock s.smu;
+                      Mutex.lock t.mu;
+                      t.n_granted <- t.n_granted + 1;
+                      Mutex.unlock t.mu;
+                      incr_counter lq.lq_grants;
+                      set_gauge lq.lq_fencing (float_of_int fencing);
+                      trace t "session.grant"
+                        [
+                          ("sid", s.sid);
+                          ("lock", lq.lq_lock);
+                          ("fencing", string_of_int fencing);
+                          ("mode", mode_label);
+                        ];
+                      (match conn with
+                      | Some conn ->
+                          send_resp conn
+                            (WC.Granted
+                               { rid = w.w_rid; lock = lq.lq_lock; fencing })
+                      | None -> ());
+                      Some s
+                    end)
+                  batch
+              in
+              if granted = [] then false
               else begin
-                s.s_held <- (lq.lq_lock, fencing) :: s.s_held;
-                let conn = s.sconn in
-                Mutex.unlock s.smu;
-                Mutex.lock t.mu;
-                t.n_granted <- t.n_granted + 1;
-                Mutex.unlock t.mu;
-                incr_counter lq.lq_grants;
-                set_gauge lq.lq_fencing (float_of_int fencing);
-                trace t "session.grant"
-                  [
-                    ("sid", s.sid);
-                    ("lock", lq.lq_lock);
-                    ("fencing", string_of_int fencing);
-                  ];
-                (match conn with
-                | Some conn ->
-                    send_resp conn
-                      (WC.Granted
-                         { rid = w.w_rid; lock = lq.lq_lock; fencing })
-                | None -> ());
-                (* Hold the CS until the client releases, closes, or
-                   the lease sweeper kills the session. *)
-                Mutex.lock s.smu;
-                while s.s_alive && List.mem_assoc lq.lq_lock s.s_held do
-                  Condition.wait s.scond s.smu
-                done;
-                if List.mem_assoc lq.lq_lock s.s_held then
-                  (* Expiry path: strip the hold ourselves. *)
-                  s.s_held <- List.remove_assoc lq.lq_lock s.s_held;
-                Mutex.unlock s.smu;
+                (* Hold the CS until every granted client releases,
+                   closes, or the lease sweeper kills its session.
+                   Waiting the sessions out one by one is fine: the
+                   hold ends when the slowest is done regardless of
+                   the order we observe the others in. *)
+                List.iter
+                  (fun s ->
+                    Mutex.lock s.smu;
+                    while s.s_alive && List.mem_assoc lq.lq_lock s.s_held do
+                      Condition.wait s.scond s.smu
+                    done;
+                    if List.mem_assoc lq.lq_lock s.s_held then
+                      (* Expiry path: strip the hold ourselves. *)
+                      s.s_held <- List.remove_assoc lq.lq_lock s.s_held;
+                    Mutex.unlock s.smu)
+                  granted;
                 true
               end
         end
@@ -333,10 +373,21 @@ struct
           (fun acc w -> if w.w_pending then Float.max acc w.w_deadline else acc)
           0. lq.lq_waiters
       in
+      (* Acquire in the head waiter's mode: a shared head pulls its
+         whole run of fellow readers in with it, an exclusive head is
+         served alone. *)
+      let mode =
+        match List.find_opt (fun w -> w.w_pending) lq.lq_waiters with
+        | Some w -> w.w_mode
+        | None -> Dmutex.Types.Exclusive
+      in
       Mutex.unlock lq.lq_mu;
       if not t.stopping then begin
         let timeout = Float.max 0.05 (horizon -. now ()) in
-        match Node.with_lock ~timeout ~lock:lq.lq_lock t.node (serve t lq) with
+        match
+          Node.with_lock ~timeout ~lock:lq.lq_lock ~mode t.node
+            (serve t lq mode)
+        with
         | Some _ -> ()
         | None ->
             (* Grant never arrived inside the horizon; the sweeper (or
@@ -442,7 +493,7 @@ struct
             reject t conn ~rid WC.Session_limit
               ~retry_after_ms:(t.lease_ms / 2))
 
-  let handle_acquire t conn s ~rid ~lock ~timeout_ms ~try_only =
+  let handle_acquire t conn s ~rid ~lock ~timeout_ms ~try_only ~shared =
     Mutex.lock s.smu;
     renew_lease s;
     let already = List.mem_assoc lock s.s_held in
@@ -462,6 +513,8 @@ struct
           {
             w_rid = rid;
             w_sess = s;
+            w_mode =
+              (if shared then Dmutex.Types.Shared else Dmutex.Types.Exclusive);
             w_deadline = now () +. (float_of_int timeout_ms /. 1000.);
             w_pending = true;
           }
@@ -531,9 +584,9 @@ struct
           (WC.Hello_ok { rid; node = Node.id t.node; proto = WC.version })
     | WC.Open_session { rid; lease_ms; resume } ->
         handle_open t conn attached ~rid ~lease_ms ~resume
-    | WC.Acquire { rid; lock; timeout_ms; try_only } ->
+    | WC.Acquire { rid; lock; timeout_ms; try_only; shared } ->
         with_session t conn attached ~rid (fun s ->
-            handle_acquire t conn s ~rid ~lock ~timeout_ms ~try_only)
+            handle_acquire t conn s ~rid ~lock ~timeout_ms ~try_only ~shared)
     | WC.Release { rid; lock } ->
         with_session t conn attached ~rid (fun s ->
             handle_release t conn s ~rid ~lock)

@@ -7,8 +7,11 @@
     over the {!Wire.Client} request/response protocol and the node
     enters the critical section on their behalf — one {e pump} thread
     per lock drives {!Node_runner}'s [with_lock] (reusing its timeout
-    and abandoned-grant draining) and holds the CS while exactly one
-    client is granted.
+    and abandoned-grant draining) and holds the CS while the granted
+    clients run: exactly one for an exclusive acquire, or the whole
+    leading run of shared waiters at once for read acquires — the
+    session-layer face of the protocol's reader batches, all members
+    carrying the same fencing token.
 
     Robustness invariants:
 

@@ -391,7 +391,7 @@ let held_fencing_fresh t lock =
   (match held_fencing t lock with Some _ -> drain_notices t | None -> ());
   held_fencing t lock
 
-let acquire ?(timeout = 30.0) ~lock t =
+let acquire ?(timeout = 30.0) ?(shared = false) ~lock t =
   let deadline = now () +. timeout in
   let rec go () =
     match held_fencing_fresh t lock with
@@ -405,7 +405,7 @@ let acquire ?(timeout = 30.0) ~lock t =
              slack so the server's explicit rejection wins the race. *)
           let r =
             rpc t ~deadline:(deadline +. 2.0) (fun rid ->
-                WC.Acquire { rid; lock; timeout_ms; try_only = false })
+                WC.Acquire { rid; lock; timeout_ms; try_only = false; shared })
           in
           handle r
   and handle = function
@@ -414,7 +414,6 @@ let acquire ?(timeout = 30.0) ~lock t =
         t.held <- (lock, fencing) :: List.remove_assoc lock t.held;
         Mutex.unlock t.mu;
         Ok fencing
-    | Ok (WC.Rejected { reason = WC.Lock_timeout; _ }) -> Error Timeout
     | Ok (WC.Rejected { reason = WC.Already_held; _ }) -> (
         match held_fencing t lock with
         | Some f -> Ok f
@@ -428,14 +427,15 @@ let acquire ?(timeout = 30.0) ~lock t =
   in
   go ()
 
-let try_acquire ~lock t =
+let try_acquire ?(shared = false) ~lock t =
   match held_fencing_fresh t lock with
   | Some f -> Ok f
   | None -> (
       let r =
         rpc t
           ~deadline:(now () +. 5.0)
-          (fun rid -> WC.Acquire { rid; lock; timeout_ms = 0; try_only = true })
+          (fun rid ->
+            WC.Acquire { rid; lock; timeout_ms = 0; try_only = true; shared })
       in
       match r with
       | Ok (WC.Granted { fencing; _ }) ->
@@ -497,8 +497,8 @@ let renew t =
   | Ok _ -> Error (Disconnected "unexpected response")
   | Error e -> Error e
 
-let with_lock ?timeout ~lock t f =
-  match acquire ?timeout ~lock t with
+let with_lock ?timeout ?shared ~lock t f =
+  match acquire ?timeout ?shared ~lock t with
   | Error e -> Error e
   | Ok fencing -> (
       match f ~fencing with
@@ -508,6 +508,71 @@ let with_lock ?timeout ~lock t f =
       | exception e ->
           ignore (release ~lock t);
           raise e)
+
+(* Transactions: hold a whole multi-lock set at once. Safety against
+   deadlock does not come from luck — every participant acquires in
+   the one canonical (lexicographic) key order, so the hold-and-wait
+   graph over lock keys is acyclic by construction. Within one
+   attempt each acquire gets a slice of the total budget; a refusal
+   mid-set releases everything already held (all-or-nothing) and
+   retries, so two transactions colliding half-way both back off
+   instead of wedging. *)
+let with_locks ?(timeout = 30.0) ?(retries = 4) ~locks t f =
+  if locks = [] then invalid_arg "Session_client.with_locks: empty lock list";
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> String.compare a b) locks
+  in
+  let rec check_dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg
+            (Printf.sprintf "Session_client.with_locks: duplicate lock %S" a)
+        else check_dup rest
+    | _ -> ()
+  in
+  check_dup sorted;
+  let deadline = now () +. timeout in
+  let slice = Float.max 0.05 (timeout /. float_of_int (retries + 1)) in
+  (* [held] lists are newest-first, so iterating releases in reverse
+     acquisition order. *)
+  let release_all held =
+    List.iter (fun (lock, _) -> ignore (release ~lock t)) held
+  in
+  let rec attempt tries =
+    let sub = Float.min deadline (now () +. slice) in
+    let rec grab held = function
+      | [] -> Ok held
+      | (lock, mode) :: rest -> (
+          let tmo = Float.max 0.05 (sub -. now ()) in
+          match
+            acquire ~timeout:tmo
+              ~shared:(mode = Dmutex.Types.Shared)
+              ~lock t
+          with
+          | Ok fencing -> grab ((lock, fencing) :: held) rest
+          | Error e ->
+              release_all held;
+              Error e)
+    in
+    match grab [] sorted with
+    | Ok held -> (
+        (* The transaction's fencing token: the max over the set
+           dominates every per-lock token, so a downstream resource
+           guarded by any of the locks rejects staler holders. *)
+        let fencing = List.fold_left (fun acc (_, f) -> max acc f) 0 held in
+        match f ~fencing with
+        | v ->
+            release_all held;
+            Ok v
+        | exception e ->
+            release_all held;
+            raise e)
+    | Error (Session_lost _ as e) | Error (Disconnected _ as e) -> Error e
+    | Error e ->
+        if tries < retries && now () < deadline then attempt (tries + 1)
+        else Error e
+  in
+  attempt 0
 
 let session_id t =
   Mutex.lock t.mu;

@@ -24,7 +24,12 @@
       an explicit rejection, a timeout, or a loss. *)
 
 type error =
-  | Timeout  (** The acquire deadline passed (or [try_acquire] lost). *)
+  | Timeout
+      (** The {e local} deadline passed without a server verdict (or
+          [try_acquire] lost). A queue-side expiry the server decided
+          is a [Rejected (Lock_timeout, _)] instead — the two are
+          deliberately distinct: after [Timeout] the request may still
+          be queued server-side; after [Rejected] it certainly is not. *)
   | Rejected of Wire.Client.reject_reason * float
       (** Explicit server refusal; the float is the suggested
           retry-after in seconds. *)
@@ -52,14 +57,19 @@ val connect :
     RNG for reproducible tests. Raises [Invalid_argument] on an empty
     endpoint list. *)
 
-val acquire : ?timeout:float -> lock:string -> t -> (int, error) result
+val acquire :
+  ?timeout:float -> ?shared:bool -> lock:string -> t -> (int, error) result
 (** Block until the cluster grants [lock] to this session, returning
-    the grant's fencing token. Retries transparently across
+    the grant's fencing token. [shared] (default [false]) requests a
+    read grant: compatible shared holders may be admitted together,
+    all carrying the same fencing token. Retries transparently across
     disconnections and failovers until [timeout] (default 30 s)
     expires. If a resume reveals the lock already held (the grant
-    landed mid-failover), returns its token immediately. *)
+    landed mid-failover), returns its token immediately. A server-side
+    queue expiry surfaces as [Rejected (Lock_timeout, retry_after)];
+    [Error Timeout] is strictly the local deadline. *)
 
-val try_acquire : lock:string -> t -> (int, error) result
+val try_acquire : ?shared:bool -> lock:string -> t -> (int, error) result
 (** Non-blocking probe: grant only if the node can enter the CS for
     [lock] without queueing. [Error Timeout] means "busy right now". *)
 
@@ -74,9 +84,36 @@ val renew : t -> (unit, error) result
     that disable it by closing promptly). *)
 
 val with_lock :
-  ?timeout:float -> lock:string -> t -> (fencing:int -> 'a) -> ('a, error) result
+  ?timeout:float ->
+  ?shared:bool ->
+  lock:string ->
+  t ->
+  (fencing:int -> 'a) ->
+  ('a, error) result
 (** [with_lock ~lock t f] acquires, runs [f ~fencing], releases (even
-    on exception), and returns [f]'s value. *)
+    on exception), and returns [f]'s value. A server refusal —
+    including a queue-side [Lock_timeout] — comes back as
+    [Rejected (reason, retry_after)], distinct from the local
+    [Timeout]. *)
+
+val with_locks :
+  ?timeout:float ->
+  ?retries:int ->
+  locks:(string * Dmutex.Types.mode) list ->
+  t ->
+  (fencing:int -> 'a) ->
+  ('a, error) result
+(** [with_locks ~locks t f]: hold the whole multi-lock set atomically,
+    then run [f ~fencing] where [fencing] is the maximum fencing token
+    over the set (it dominates every per-lock token, so any resource
+    guarded by one of the locks rejects staler holders). Locks are
+    acquired in canonical (lexicographic) key order regardless of the
+    order given — every client agreeing on one global order makes the
+    hold-and-wait graph acyclic, so transactions cannot deadlock. A
+    refusal mid-set releases everything already acquired
+    (all-or-nothing) and retries with a fresh slice of the [timeout]
+    budget, up to [retries] (default 4) extra attempts. Raises
+    [Invalid_argument] on an empty set or a duplicate lock name. *)
 
 val session_id : t -> string option
 (** The current session id, once a session is open. *)

@@ -112,6 +112,13 @@ let run ?(tolerance = 0.25) ?(wall_tolerance = 0.25) ?(band = (2.5, 4.5))
         ?band:(Option.map (fun lo -> (lo, infinity)) client_floor)
         ~direction:Lower_bad ~optional:true
         [ "derived"; "client"; "acq_per_sec" ];
+      (* Read-write batching: the 90/10 read-heavy saturated run must
+         clear at least twice the exclusive-only throughput on the
+         same seed — the payoff the shared-grant machinery exists for.
+         Optional so baselines predating lock modes still gate. *)
+      of_path ~label:"rw read-heavy speedup" ~tolerance
+        ~band:(2.0, infinity) ~direction:Lower_bad ~optional:true
+        [ "derived"; "rw"; "speedup" ];
       of_path ~label:"total wall-clock" ~tolerance:wall_tolerance
         [ "total_seconds" ];
     ]

@@ -64,6 +64,18 @@ let client_waiters = "dmutex_client_waiters" (* gauge, label: lock *)
 let client_fencing = "dmutex_client_fencing" (* gauge, label: lock *)
 let reason_label reason = [ ("reason", reason) ]
 
+(* Read-write grants. Batched reader grants are counted per lock; the
+   batch-size histogram shows how much sharing the workload admits. *)
+let read_batches_total = "dmutex_read_batches_total" (* label: lock *)
+let read_batch_size = "dmutex_read_batch_size" (* histogram, label: lock *)
+
+(* Wait-for-graph deadlock detector ({!Wfg}): edges observed in the
+   last scan and cycles ever found. Canonically ordered transactions
+   must keep [wfg_cycles_total] at zero — the transaction soak asserts
+   exactly that. *)
+let wfg_edges = "dmutex_wfg_edges" (* gauge: edges in last scan *)
+let wfg_cycles_total = "dmutex_wfg_cycles_total" (* counter *)
+
 (* Durable store *)
 let store_wal_appends_total = "dmutex_store_wal_appends_total"
 let store_fsync_seconds = "dmutex_store_fsync_seconds" (* histogram *)

@@ -5,6 +5,8 @@ type t = {
   cs_time : Registry.Histogram.handle;
   sync_delay : Registry.Histogram.handle;
   qlen : Registry.Histogram.handle;
+  rbatches : Registry.Counter.handle;
+  rbatch_size : Registry.Histogram.handle;
   (* Label cardinality is tiny (message kinds, phases, note tags), but
      these run on hot paths, so handles are memoized per instance to
      keep the registry mutex out of the steady state. *)
@@ -24,6 +26,8 @@ let create ?(labels = []) reg =
     cs_time = Registry.Histogram.get reg ~labels Names.cs_time_seconds;
     sync_delay = Registry.Histogram.get reg ~labels Names.sync_delay_seconds;
     qlen = Registry.Histogram.get reg ~labels Names.queue_length;
+    rbatches = Registry.Counter.get reg ~labels Names.read_batches_total;
+    rbatch_size = Registry.Histogram.get reg ~labels Names.read_batch_size;
     sent_by_kind = Hashtbl.create 8;
     recv_by_kind = Hashtbl.create 8;
     notes_by_tag = Hashtbl.create 8;
@@ -78,6 +82,10 @@ let cs_exited t ~now =
   | None -> ()
 
 let queue_length t k = Registry.Histogram.observe t.qlen (float_of_int k)
+
+let read_batch t k =
+  Registry.Counter.incr t.rbatches;
+  Registry.Histogram.observe t.rbatch_size (float_of_int k)
 
 let phase t ~name dur =
   Registry.Histogram.observe

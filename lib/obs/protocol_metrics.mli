@@ -45,5 +45,10 @@ val cs_exited : t -> now:float -> unit
 (** Closes the occupancy span opened by [cs_entered], if open. *)
 
 val queue_length : t -> int -> unit
+
+val read_batch : t -> int -> unit
+(** One shared reader batch granted, of this size — counts
+    {!Names.read_batches_total} and observes {!Names.read_batch_size}. *)
+
 val phase : t -> name:string -> float -> unit
 val note : t -> string -> unit

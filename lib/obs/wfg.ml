@@ -1,0 +1,108 @@
+(* See wfg.mli. The graph is tiny (nodes of a cluster), so plain
+   association lists and a recursive DFS are the right weight — no
+   per-scan allocation beyond the result. *)
+
+type edge = { waiter : int; holder : int; lock : string }
+
+type t = { edges : edge list }
+
+let empty = { edges = [] }
+
+let add_edges t ~lock pairs =
+  {
+    edges =
+      List.fold_left
+        (fun acc (waiter, holder) ->
+          if waiter = holder then acc
+          else { waiter; holder; lock } :: acc)
+        t.edges pairs;
+  }
+
+let of_scan scan =
+  List.fold_left (fun t (lock, pairs) -> add_edges t ~lock pairs) empty scan
+
+let edges t = List.rev t.edges
+
+let edge_count t = List.length t.edges
+
+let successors t v =
+  List.filter_map
+    (fun e -> if e.waiter = v then Some e.holder else None)
+    t.edges
+
+let vertices t =
+  List.sort_uniq compare
+    (List.concat_map (fun e -> [ e.waiter; e.holder ]) t.edges)
+
+(* DFS with the classic three colours: [`Gray] marks the current stack,
+   so hitting a gray vertex closes a cycle; the gray path suffix from
+   that vertex is the cycle itself. *)
+let find_cycle t =
+  let colour = Hashtbl.create 16 in
+  let state v = Option.value ~default:`White (Hashtbl.find_opt colour v) in
+  let rec dfs path v =
+    match state v with
+    | `Gray ->
+        (* [path] is newest-first; the cycle is the prefix up to and
+           including [v], reversed into wait order. *)
+        let rec take acc = function
+          | [] -> acc
+          | u :: rest -> if u = v then v :: acc else take (u :: acc) rest
+        in
+        Some (take [] path)
+    | `Black -> None
+    | `White -> (
+        Hashtbl.replace colour v `Gray;
+        let r =
+          List.fold_left
+            (fun found s ->
+              match found with Some _ -> found | None -> dfs (v :: path) s)
+            None (successors t v)
+        in
+        match r with
+        | Some _ -> r
+        | None ->
+            Hashtbl.replace colour v `Black;
+            None)
+  in
+  List.fold_left
+    (fun found v -> match found with Some _ -> found | None -> dfs [] v)
+    None (vertices t)
+
+let cycle_free t = find_cycle t = None
+
+let pp_cycle ppf cycle =
+  Format.fprintf ppf "%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+       Format.pp_print_int)
+    cycle
+
+type obs = {
+  o_edges : Registry.Gauge.handle;
+  o_cycles : Registry.Counter.handle;
+}
+
+let obs reg =
+  {
+    o_edges = Registry.Gauge.get reg Names.wfg_edges;
+    o_cycles = Registry.Counter.get reg Names.wfg_cycles_total;
+  }
+
+let record ?trace o t =
+  Registry.Gauge.set o.o_edges (float_of_int (edge_count t));
+  match find_cycle t with
+  | None -> None
+  | Some cycle ->
+      Registry.Counter.incr o.o_cycles;
+      (match trace with
+      | Some sink ->
+          Events.emit sink ~severity:Events.Warn
+            ~fields:
+              [
+                ("cycle", Format.asprintf "%a" pp_cycle cycle);
+                ("edges", string_of_int (edge_count t));
+              ]
+            "wfg.cycle"
+      | None -> ());
+      Some cycle

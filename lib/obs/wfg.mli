@@ -1,0 +1,54 @@
+(** Cross-lock wait-for-graph deadlock detector.
+
+    Vertices are node ids (standing for the client transactions they
+    run); an edge [waiter -> holder] says the waiter queues for a lock
+    the holder is inside. Per-lock edges come from the token holder's
+    Q-list snapshot ([Dmutex.Protocol.wait_edges]); this module unions
+    them across locks and looks for a cycle — the signature of a
+    multi-lock deadlock. Transactions that acquire in canonical key
+    order can never produce one, which the transaction soak asserts by
+    scanning continuously and failing on the first cycle.
+
+    The detector is an {e observer}: it never blocks or aborts
+    anything. A cycle is surfaced as a metric ({!Names.wfg_cycles_total}),
+    a [wfg.cycle] trace event, and the [dmutexd] [/wfg] endpoint. *)
+
+type edge = { waiter : int; holder : int; lock : string }
+
+type t
+(** An immutable edge set (one scan of the cluster). *)
+
+val empty : t
+
+val add_edges : t -> lock:string -> (int * int) list -> t
+(** Add one lock's [(waiter, holder)] pairs. Self-edges are dropped:
+    a node queued behind its own shared batch is not waiting on
+    anyone. *)
+
+val of_scan : (string * (int * int) list) list -> t
+(** Build a graph from per-lock edge lists in one go. *)
+
+val edges : t -> edge list
+val edge_count : t -> int
+
+val find_cycle : t -> int list option
+(** A cycle as the list of node ids in wait order (first waits on
+    second, ..., last waits on first), or [None] when the graph is
+    acyclic. Deterministic for a given scan. *)
+
+val cycle_free : t -> bool
+
+val pp_cycle : Format.formatter -> int list -> unit
+(** ["3 -> 1 -> 3"]-style rendering of {!find_cycle}'s result. *)
+
+(** Metric integration: resolve the gauge/counter handles once, then
+    {!record} each scan. *)
+type obs
+
+val obs : Registry.t -> obs
+
+val record : ?trace:Events.sink -> obs -> t -> int list option
+(** Record one scan: sets {!Names.wfg_edges} to the edge count and, if
+    a cycle exists, bumps {!Names.wfg_cycles_total}, emits a
+    [wfg.cycle] trace event (severity [Warn]) when [trace] is given,
+    and returns the cycle. *)

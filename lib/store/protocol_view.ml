@@ -14,7 +14,9 @@ let capture (st : Protocol.state) : Store.view =
     granted;
     custody =
       (match st.Protocol.token with
-      | Some tk -> Store.Holding { epoch = tk.Protocol.epoch }
+      | Some tk ->
+          Store.Holding
+            { epoch = tk.Protocol.epoch; shared = st.Protocol.rbatch <> None }
       | None -> Store.No_token);
     (* Only committed (post-churn) views are worth persisting: the
        birth view is implied by the configuration, and a joiner's
@@ -44,18 +46,41 @@ let capture (st : Protocol.state) : Store.view =
 let fencing_of_state (st : Protocol.state) : int option =
   if not st.Protocol.in_cs then None
   else
-    match st.Protocol.token with
-    | None -> None
-    | Some tk -> (
-        match Qlist.head tk.Protocol.tq with
-        | Some e
-          when e.Qlist.node = st.Protocol.me
-               && not (Qlist.Granted.already_served tk.Protocol.granted e) ->
-            let marked = Qlist.Granted.mark tk.Protocol.granted e in
-            Some
-              (Store.fencing ~epoch:tk.Protocol.epoch
-                 ~minor:(Store.grant_sum marked))
-        | _ -> None)
+    match st.Protocol.rgrant with
+    | Some rg ->
+        (* A reader admitted by READ-GRANT: the coordinator already
+           derived the batch's shared fencing value (the grant sum with
+           the whole batch marked) and shipped it in the grant. Every
+           member of one batch reports the same token — shared holders
+           are peers, not an order. *)
+        Some
+          (Store.fencing ~epoch:rg.Protocol.rg_fepoch
+             ~minor:rg.Protocol.rg_fminor)
+    | None -> (
+        match st.Protocol.token with
+        | None -> None
+        | Some tk -> (
+            match st.Protocol.rbatch with
+            | Some b ->
+                (* Batch coordinator: the minor was computed at launch
+                   as the grant sum with {e every} batch entry marked,
+                   so fencing advances once per batch, and matches what
+                   the readers were sent. *)
+                Some
+                  (Store.fencing ~epoch:tk.Protocol.epoch
+                     ~minor:b.Protocol.rb_minor)
+            | None -> (
+                match Qlist.head tk.Protocol.tq with
+                | Some e
+                  when e.Qlist.node = st.Protocol.me
+                       && not
+                            (Qlist.Granted.already_served tk.Protocol.granted
+                               e) ->
+                    let marked = Qlist.Granted.mark tk.Protocol.granted e in
+                    Some
+                      (Store.fencing ~epoch:tk.Protocol.epoch
+                         ~minor:(Store.grant_sum marked))
+                | _ -> None)))
 
 let to_restored (v : Store.view) : Protocol.restored =
   {

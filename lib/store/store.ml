@@ -2,7 +2,7 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-type custody = No_token | Holding of { epoch : int }
+type custody = No_token | Holding of { epoch : int; shared : bool }
 
 type view = {
   epoch : int;
@@ -200,14 +200,18 @@ let enc_payload f =
 
 let enc_custody e = function
   | No_token -> Wire.Enc.u8 e 0
-  | Holding { epoch } ->
+  | Holding { epoch; shared } ->
       Wire.Enc.u8 e 1;
-      Wire.Enc.int_ e epoch
+      Wire.Enc.int_ e epoch;
+      Wire.Enc.u8 e (if shared then 1 else 0)
 
 let dec_custody d =
   match Wire.Dec.u8 d with
   | 0 -> No_token
-  | 1 -> Holding { epoch = Wire.Dec.int_ d }
+  | 1 ->
+      let epoch = Wire.Dec.int_ d in
+      let shared = Wire.Dec.u8 d <> 0 in
+      Holding { epoch; shared }
   | c -> raise (Wire.Malformed (Printf.sprintf "invalid custody tag %d" c))
 
 let enc_mview e mv =

@@ -38,8 +38,11 @@ exception Corrupt of string
 (** Who held the token, according to the last fsynced record. *)
 type custody =
   | No_token
-  | Holding of { epoch : int }
-      (** The node held the token of this regeneration epoch. *)
+  | Holding of { epoch : int; shared : bool }
+      (** The node held the token of this regeneration epoch. [shared]
+          records that the hold was as the coordinator of a shared
+          read batch — informational for post-crash forensics; custody
+          semantics (who must start invalidation) are identical. *)
 
 type view = {
   epoch : int;  (** Highest token-regeneration epoch witnessed. *)

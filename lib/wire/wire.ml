@@ -9,8 +9,11 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
    instead of misparsing. v3: dynamic membership — tokens carry a view
    epoch, NEW-ARBITER carries the membership view, and the
    JOIN-REQUEST / LEAVE-REQUEST / VIEW-CHANGE / VIEW-ACK messages and
-   the store's membership-view record exist. *)
-let format_version = 3
+   the store's membership-view record exist. v4: read-write modes —
+   Q-list entries carry a mode byte (so REQUEST and PRIVILEGE frames
+   carry it), the READ-GRANT / READ-DONE shared-batch messages exist,
+   and the store's custody record carries a shared-batch flag. *)
+let format_version = 4
 
 module Enc = struct
   type t = Buffer.t
@@ -214,8 +217,9 @@ module Client = struct
      node-to-node {!format_version}: clients are deployed separately
      from the cluster, so their protocol can evolve without
      invalidating state directories or the inter-node frame layout.
-     Every request and response leads with this byte. *)
-  let version = 1
+     Every request and response leads with this byte. v2: [Acquire]
+     carries a [shared] mode flag. *)
+  let version = 2
 
   type reject_reason =
     | Lock_timeout  (** The acquire deadline passed while queued. *)
@@ -229,7 +233,13 @@ module Client = struct
   type req =
     | Hello of { rid : int }
     | Open_session of { rid : int; lease_ms : int; resume : string option }
-    | Acquire of { rid : int; lock : string; timeout_ms : int; try_only : bool }
+    | Acquire of {
+        rid : int;
+        lock : string;
+        timeout_ms : int;
+        try_only : bool;
+        shared : bool;
+      }
     | Release of { rid : int; lock : string }
     | Renew of { rid : int }
     | Close of { rid : int }
@@ -298,12 +308,13 @@ module Client = struct
         Enc.int_ e rid;
         Enc.int_ e lease_ms;
         Enc.option e Enc.string resume
-    | Acquire { rid; lock; timeout_ms; try_only } ->
+    | Acquire { rid; lock; timeout_ms; try_only; shared } ->
         Enc.u8 e 2;
         Enc.int_ e rid;
         Enc.string e lock;
         Enc.int_ e timeout_ms;
-        Enc.bool e try_only
+        Enc.bool e try_only;
+        Enc.bool e shared
     | Release { rid; lock } ->
         Enc.u8 e 3;
         Enc.int_ e rid;
@@ -332,7 +343,8 @@ module Client = struct
           let lock = Dec.string d in
           let timeout_ms = Dec.int_ d in
           let try_only = Dec.bool d in
-          Acquire { rid; lock; timeout_ms; try_only }
+          let shared = Dec.bool d in
+          Acquire { rid; lock; timeout_ms; try_only; shared }
       | 3 ->
           let rid = Dec.int_ d in
           let lock = Dec.string d in
@@ -440,16 +452,28 @@ module Protocol_codec = struct
 
   type message = Protocol.message
 
+  let enc_mode e = function
+    | Types.Exclusive -> Enc.u8 e 0
+    | Types.Shared -> Enc.u8 e 1
+
+  let dec_mode d =
+    match Dec.u8 d with
+    | 0 -> Types.Exclusive
+    | 1 -> Types.Shared
+    | v -> fail "invalid mode byte %d" v
+
   let enc_entry e (x : Qlist.entry) =
     Enc.int_ e x.Qlist.node;
     Enc.int_ e x.Qlist.seq;
-    Enc.int_ e x.Qlist.hops
+    Enc.int_ e x.Qlist.hops;
+    enc_mode e x.Qlist.mode
 
   let dec_entry d =
     let node = Dec.int_ d in
     let seq = Dec.int_ d in
     let hops = Dec.int_ d in
-    { Qlist.node; seq; hops }
+    let mode = dec_mode d in
+    { Qlist.node; seq; hops; mode }
 
   let enc_token e (t : Protocol.token) =
     Enc.list e enc_entry t.Protocol.tq;
@@ -553,7 +577,15 @@ module Protocol_codec = struct
         Enc.int_ e vc.Protocol.vc_arbiter
     | Protocol.View_ack { va_vnum } ->
         Enc.u8 e 15;
-        Enc.int_ e va_vnum);
+        Enc.int_ e va_vnum
+    | Protocol.Read_grant { rg_epoch; rg_minor; rg_entry } ->
+        Enc.u8 e 16;
+        Enc.int_ e rg_epoch;
+        Enc.int_ e rg_minor;
+        enc_entry e rg_entry
+    | Protocol.Read_done { rd_seq } ->
+        Enc.u8 e 17;
+        Enc.int_ e rd_seq);
     Enc.contents e
 
   let decode s =
@@ -599,6 +631,12 @@ module Protocol_codec = struct
             { vc_view; vc_commit; vc_granted; vc_epoch; vc_election;
               vc_arbiter }
       | 15 -> Protocol.View_ack { va_vnum = Dec.int_ d }
+      | 16 ->
+          let rg_epoch = Dec.int_ d in
+          let rg_minor = Dec.int_ d in
+          let rg_entry = dec_entry d in
+          Protocol.Read_grant { rg_epoch; rg_minor; rg_entry }
+      | 17 -> Protocol.Read_done { rd_seq = Dec.int_ d }
       | t -> fail "unknown message tag %d" t
     in
     Dec.check_eof d;

@@ -161,7 +161,16 @@ module Client : sig
     | Open_session of { rid : int; lease_ms : int; resume : string option }
         (** [resume = Some sid] re-attaches to an existing session
             within its grace window (failover); [None] opens fresh. *)
-    | Acquire of { rid : int; lock : string; timeout_ms : int; try_only : bool }
+    | Acquire of {
+        rid : int;
+        lock : string;
+        timeout_ms : int;
+        try_only : bool;
+        shared : bool;
+            (** Request a shared (read) grant — compatible shared
+                holders may be admitted together. [false] is the
+                classic exclusive acquire. *)
+      }
     | Release of { rid : int; lock : string }
     | Renew of { rid : int }
     | Close of { rid : int }

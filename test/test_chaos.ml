@@ -468,13 +468,15 @@ module Tick = struct
 
   let handle _cfg ~now st input =
     match (input : (message, timer) Types.input) with
-    | Types.Request_cs -> ({ st with t0 = now }, [ Types.Set_timer (2, 0.4) ])
+    | Types.Request_cs | Types.Request_shared_cs ->
+        ({ st with t0 = now }, [ Types.Set_timer (2, 0.4) ])
     | Types.Cs_done -> (st, [ Types.Cancel_timer 2 ])
     | Types.Receive (_, ()) -> (st, [ Types.Set_timer (1, 0.06) ])
     | Types.Timer_fired k ->
         ({ st with fires = (k, now -. st.t0) :: st.fires }, [])
 
   let in_cs _ = false
+  let cs_mode _ = Types.Exclusive
   let wants_cs _ = false
   let message_kind () = "TICK"
   let pp_message ppf () = Format.fprintf ppf "tick"
@@ -1487,7 +1489,14 @@ let test_client_soak () =
   | _ -> Alcotest.fail "stalled client open");
   Netkit.Session_frame.send stall_fd
     (WC.encode_request
-       (WC.Acquire { rid = 3; lock = "cl-1"; timeout_ms = 45_000; try_only = false }));
+       (WC.Acquire
+          {
+            rid = 3;
+            lock = "cl-1";
+            timeout_ms = 45_000;
+            try_only = false;
+            shared = false;
+          }));
   let stall_fencing =
     match WC.decode_response (Netkit.Session_frame.recv stall_fd) with
     | WC.Granted { fencing; _ } ->

@@ -131,13 +131,14 @@ module Broken_grant_all = struct
 
   let handle _ ~now:_ st input =
     match input with
-    | Types.Request_cs ->
+    | Types.Request_cs | Types.Request_shared_cs ->
         (* Everybody may simply enter: blatantly unsafe. *)
         ({ st with in_cs = true; wanting = false }, [ Types.Enter_cs ])
     | Types.Cs_done -> ({ st with in_cs = false }, [])
     | Types.Receive _ | Types.Timer_fired _ -> (st, [])
 
   let in_cs st = st.in_cs
+  let cs_mode _ = Types.Exclusive
   let wants_cs st = st.wanting
   let message_kind Go = "GO"
   let pp_message ppf Go = Format.pp_print_string ppf "GO"
@@ -156,10 +157,12 @@ module Broken_never_grant = struct
 
   let handle _ ~now:_ st input =
     match input with
-    | Types.Request_cs -> ({ st with wanting = true }, [])
+    | Types.Request_cs | Types.Request_shared_cs ->
+        ({ st with wanting = true }, [])
     | Types.Cs_done | Types.Receive _ | Types.Timer_fired _ -> (st, [])
 
   let in_cs _ = false
+  let cs_mode _ = Types.Exclusive
   let wants_cs st = st.wanting
   let message_kind Go = "GO"
   let pp_message ppf Go = Format.pp_print_string ppf "GO"
@@ -445,6 +448,42 @@ let test_random_walks_find_planted_bug () =
   | _ -> Alcotest.fail "random walker missed the planted violation");
   ()
 
+let test_rw_shared_exhaustive () =
+  (* Read-write safety, mechanized: one shared and one exclusive
+     request per node at n=2. The checker's overlap predicate allows
+     concurrent holders only when every one reports [Shared], so the
+     reader-batch machinery is explored against exactly the paper-level
+     invariant it must preserve. *)
+  let module M = Mcheck.Make (Prioritized) in
+  let cfg =
+    { (Prioritized.rw_config ~n:2 ()) with Types.Config.max_retries = 0 }
+  in
+  let r =
+    M.run ~max_states:400_000 ~requests_per_node:1 ~shared_per_node:1 cfg
+  in
+  (match r.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "rw violation (%s):\n%s"
+        (match v.kind with `Safety -> "safety" | `Deadlock -> "deadlock")
+        (String.concat newline v.trace));
+  Alcotest.(check bool) "non-trivial space" true (r.states > 1_000)
+
+let test_rw_all_shared_exhaustive () =
+  (* Pure readers: every request shared, so every grant should batch;
+     still no deadlock and no illegal overlap flagged. *)
+  let module M = Mcheck.Make (Prioritized) in
+  let cfg =
+    { (Prioritized.rw_config ~n:3 ()) with Types.Config.max_retries = 0 }
+  in
+  let r =
+    M.run ~max_states:400_000 ~requests_per_node:0 ~shared_per_node:1 cfg
+  in
+  match r.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "all-shared violation:\n%s" (String.concat newline v.trace)
+
 let test_detects_deadlock () =
   let module M = Mcheck.Make (Broken_never_grant) in
   let r = M.run ~requests_per_node:1 (Types.Config.default ~n:2) in
@@ -503,4 +542,8 @@ let suite =
         test_detects_safety_violation;
       Alcotest.test_case "checker finds planted deadlock" `Quick
         test_detects_deadlock;
+      Alcotest.test_case "rw: shared+exclusive n=2 (bounded)" `Slow
+        test_rw_shared_exhaustive;
+      Alcotest.test_case "rw: all-shared n=3 (bounded)" `Slow
+        test_rw_all_shared_exhaustive;
     ] )

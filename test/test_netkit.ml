@@ -205,6 +205,208 @@ let test_lossy_tcp () =
     (Printf.sprintf "most acquisitions succeed under loss (%d/12)" !ok)
     true (!ok >= 10)
 
+(* ------------------------------------------------------------------ *)
+(* Lock namespace validation and multi-lock transactions *)
+
+let test_launch_rejects_bad_lock_lists () =
+  (* A duplicate key would silently alias two protocol instances; an
+     empty list leaves the node with nothing to serve. Both must be
+     rejected before any socket is bound. *)
+  (match Cluster.launch ~base_port:7971 ~locks:[ "a"; "b"; "a" ] (fast_cfg 2) with
+  | c ->
+      Cluster.shutdown c;
+      Alcotest.fail "duplicate lock list must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Cluster.launch ~base_port:7973 ~locks:[] (fast_cfg 2) with
+  | c ->
+      Cluster.shutdown c;
+      Alcotest.fail "empty lock list must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_acquire_all_validates () =
+  let cluster = Cluster.launch ~base_port:7975 ~locks:[ "a"; "b" ] (fast_cfg 2) in
+  let node = Cluster.node cluster 0 in
+  Fun.protect
+    ~finally:(fun () -> Cluster.shutdown cluster)
+    (fun () ->
+      (match Cluster.Node.acquire_all ~locks:[] node with
+      | _ -> Alcotest.fail "empty lock set must be rejected"
+      | exception Invalid_argument _ -> ());
+      (match
+         Cluster.Node.acquire_all
+           ~locks:
+             [ ("a", Dmutex.Types.Exclusive); ("a", Dmutex.Types.Shared) ]
+           node
+       with
+      | _ -> Alcotest.fail "duplicate key must be rejected"
+      | exception Invalid_argument _ -> ());
+      (* A valid set works end-to-end and releases cleanly. *)
+      match
+        Cluster.Node.with_locks ~timeout:20.0
+          ~locks:[ ("b", Dmutex.Types.Exclusive); ("a", Dmutex.Types.Exclusive) ]
+          node
+          (fun () ->
+            Cluster.Node.holding ~lock:"a" node
+            && Cluster.Node.holding ~lock:"b" node)
+      with
+      | Some true ->
+          Alcotest.(check bool) "released a" false
+            (Cluster.Node.holding ~lock:"a" node);
+          Alcotest.(check bool) "released b" false
+            (Cluster.Node.holding ~lock:"b" node)
+      | Some false -> Alcotest.fail "not holding both inside with_locks"
+      | None -> Alcotest.fail "with_locks timed out on an idle cluster")
+
+let test_with_locks_transactions () =
+  (* Concurrent two-lock transactions from every node, each passing
+     the lock set in a different order: canonical acquisition must
+     keep them deadlock-free, and atomicity must keep two counters
+     (one guarded by each lock, always updated together) in step. *)
+  let n = 3 and rounds = 6 in
+  let cluster =
+    Cluster.launch ~base_port:7977 ~locks:[ "acct-a"; "acct-b" ] (fast_cfg n)
+  in
+  let ca = ref 0 and cb = ref 0 in
+  let drift = ref 0 and timeouts = ref 0 in
+  let worker i () =
+    for r = 1 to rounds do
+      let locks =
+        (* Scrambled order per (node, round): with_locks must sort. *)
+        if (i + r) mod 2 = 0 then
+          [ ("acct-a", Dmutex.Types.Exclusive); ("acct-b", Dmutex.Types.Exclusive) ]
+        else
+          [ ("acct-b", Dmutex.Types.Exclusive); ("acct-a", Dmutex.Types.Exclusive) ]
+      in
+      match
+        Cluster.with_locks ~timeout:60.0 ~locks cluster i (fun () ->
+            let a = !ca and b = !cb in
+            if a <> b then incr drift;
+            Thread.delay 0.002;
+            ca := a + 1;
+            cb := b + 1)
+      with
+      | Some () -> ()
+      | None -> incr timeouts
+    done
+  in
+  let threads = List.init n (fun i -> Thread.create (worker i) ()) in
+  List.iter Thread.join threads;
+  Cluster.shutdown cluster;
+  Alcotest.(check int) "no transaction timeouts" 0 !timeouts;
+  Alcotest.(check int) "counters never observed apart" 0 !drift;
+  Alcotest.(check int) "every transaction committed" (n * rounds) !ca;
+  Alcotest.(check int) "both counters advanced in step" !ca !cb
+
+module PCluster = Netkit.Cluster.Make (Dmutex.Prioritized) (Wire.Protocol_codec)
+
+let test_prioritized_rw_keyed () =
+  (* The read-write policy under the keyed namespace: one Prioritized
+     cluster hosting two locks. Per lock, two reader nodes hammer
+     shared acquisitions while node 0 interleaves exclusive rounds —
+     writer priority must serve every writer round despite the reader
+     flood (the starvation pin, live), shared grants on at least one
+     lock must actually overlap (batching), and a writer must never
+     overlap anyone. *)
+  let n = 3 and writer_rounds = 4 and reader_rounds = 10 in
+  let cfg =
+    {
+      (Dmutex.Prioritized.rw_config ~n ()) with
+      Dmutex.Types.Config.t_collect = 0.02;
+      t_forward = 0.02;
+    }
+  in
+  let locks = [ "ra"; "rb" ] in
+  let cluster = PCluster.launch ~base_port:7985 ~locks cfg in
+  let state =
+    List.map
+      (fun l ->
+        (l, (Mutex.create (), ref 0 (* readers in *), ref false (* writer in *),
+             ref 0 (* max concurrent readers *), ref 0 (* violations *))))
+      locks
+  in
+  let failures = Atomic.make 0 in
+  let reader_enter l =
+    let mu, readers, writer, maxr, viol = List.assoc l state in
+    Mutex.lock mu;
+    if !writer then incr viol;
+    incr readers;
+    if !readers > !maxr then maxr := !readers;
+    Mutex.unlock mu
+  in
+  let reader_leave l =
+    let mu, readers, _, _, _ = List.assoc l state in
+    Mutex.lock mu;
+    decr readers;
+    Mutex.unlock mu
+  in
+  let writer_span l f =
+    let mu, readers, writer, _, viol = List.assoc l state in
+    Mutex.lock mu;
+    if !writer || !readers > 0 then incr viol;
+    writer := true;
+    Mutex.unlock mu;
+    f ();
+    Mutex.lock mu;
+    writer := false;
+    Mutex.unlock mu
+  in
+  let reader i l () =
+    for _ = 1 to reader_rounds do
+      match
+        PCluster.Node.with_lock ~timeout:60.0 ~lock:l ~mode:Dmutex.Types.Shared
+          (PCluster.node cluster i)
+          (fun () ->
+            reader_enter l;
+            Thread.delay 0.004;
+            reader_leave l)
+      with
+      | Some () -> ()
+      | None -> Atomic.incr failures
+    done
+  in
+  let writer_done = List.map (fun l -> (l, ref 0)) locks in
+  let writer () =
+    for _ = 1 to writer_rounds do
+      List.iter
+        (fun l ->
+          match
+            PCluster.Node.with_lock ~timeout:60.0 ~lock:l
+              (PCluster.node cluster 0)
+              (fun () -> writer_span l (fun () -> Thread.delay 0.002))
+          with
+          | Some () -> incr (List.assoc l writer_done)
+          | None -> Atomic.incr failures)
+        locks
+    done
+  in
+  let threads =
+    Thread.create writer ()
+    :: List.concat_map
+         (fun l -> [ Thread.create (reader 1 l) (); Thread.create (reader 2 l) () ])
+         locks
+  in
+  List.iter Thread.join threads;
+  PCluster.shutdown cluster;
+  Alcotest.(check int) "no acquisition timeouts" 0 (Atomic.get failures);
+  List.iter
+    (fun (l, (_, _, _, _, viol)) ->
+      Alcotest.(check int)
+        (Printf.sprintf "no rw-exclusion violation on %s" l)
+        0 !viol)
+    state;
+  List.iter
+    (fun (l, d) ->
+      Alcotest.(check int)
+        (Printf.sprintf "writer never starved on %s" l)
+        writer_rounds !d)
+    writer_done;
+  (* Batching is timing-dependent per lock, but across 2 locks x 10
+     rounds of paired readers at least one shared overlap must occur. *)
+  let batched =
+    List.exists (fun (_, (_, _, _, maxr, _)) -> !maxr >= 2) state
+  in
+  Alcotest.(check bool) "some shared grants overlapped" true batched
+
 let suite =
   ( "netkit",
     [
@@ -219,4 +421,12 @@ let suite =
       Alcotest.test_case "crash tolerance over TCP" `Slow
         test_crash_tolerance_tcp;
       Alcotest.test_case "5% frame loss over TCP" `Slow test_lossy_tcp;
+      Alcotest.test_case "launch rejects duplicate/empty lock lists" `Quick
+        test_launch_rejects_bad_lock_lists;
+      Alcotest.test_case "acquire_all validates its lock set" `Quick
+        test_acquire_all_validates;
+      Alcotest.test_case "multi-lock transactions stay atomic" `Slow
+        test_with_locks_transactions;
+      Alcotest.test_case "rw policy under the keyed namespace" `Slow
+        test_prioritized_rw_keyed;
     ] )

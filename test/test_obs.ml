@@ -427,6 +427,61 @@ let test_gate_allow_missing () =
   Alcotest.(check (list string)) "allow_missing skips" [] lax.Gate.failures
 
 (* ------------------------------------------------------------------ *)
+(* Wait-for graph *)
+
+let test_wfg_cycles () =
+  let g = Wfg.of_scan [ ("a", [ (1, 2) ]); ("b", [ (2, 3); (9, 9) ]) ] in
+  Alcotest.(check int) "self-edges dropped" 2 (Wfg.edge_count g);
+  Alcotest.(check bool) "chain is acyclic" true (Wfg.cycle_free g);
+  let g = Wfg.add_edges g ~lock:"c" [ (3, 1) ] in
+  (match Wfg.find_cycle g with
+  | None -> Alcotest.fail "closing the chain must produce a cycle"
+  | Some cycle ->
+      Alcotest.(check int) "cycle covers all three" 3 (List.length cycle);
+      (* Every consecutive pair (wrapping) must be a real edge. *)
+      let es =
+        List.map (fun e -> (e.Wfg.waiter, e.Wfg.holder)) (Wfg.edges g)
+      in
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | [ last ] -> [ (last, List.hd cycle) ]
+        | [] -> []
+      in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "cycle follows edges" true (List.mem p es))
+        (pairs cycle);
+      Alcotest.(check string) "pp renders wait order" "1 -> 2 -> 3"
+        (Format.asprintf "%a" Wfg.pp_cycle [ 1; 2; 3 ]));
+  Alcotest.(check bool) "not cycle-free anymore" false (Wfg.cycle_free g);
+  (* Two disjoint locks without a shared vertex cannot deadlock. *)
+  let disjoint = Wfg.of_scan [ ("a", [ (1, 2) ]); ("b", [ (3, 4) ]) ] in
+  Alcotest.(check bool) "disjoint locks acyclic" true (Wfg.cycle_free disjoint)
+
+let test_wfg_record_metrics () =
+  let reg = Registry.create () in
+  let ob = Wfg.obs reg in
+  let trace = Events.create () in
+  let acyclic = Wfg.of_scan [ ("a", [ (1, 2); (3, 2) ]) ] in
+  (match Wfg.record ~trace ob acyclic with
+  | None -> ()
+  | Some _ -> Alcotest.fail "acyclic scan must not report a cycle");
+  Alcotest.(check bool) "edge gauge set" true
+    (feq (Registry.Gauge.value (Registry.Gauge.get reg Names.wfg_edges)) 2.0);
+  Alcotest.(check int) "no cycle counted" 0
+    (Registry.Counter.value (Registry.Counter.get reg Names.wfg_cycles_total));
+  let deadlocked = Wfg.of_scan [ ("a", [ (1, 2) ]); ("b", [ (2, 1) ]) ] in
+  (match Wfg.record ~trace ob deadlocked with
+  | Some _ -> ()
+  | None -> Alcotest.fail "deadlock scan must report its cycle");
+  Alcotest.(check int) "cycle counted" 1
+    (Registry.Counter.value (Registry.Counter.get reg Names.wfg_cycles_total));
+  Alcotest.(check bool) "wfg.cycle trace event emitted" true
+    (List.exists
+       (fun e -> e.Events.name = "wfg.cycle")
+       (Events.events trace))
+
+(* ------------------------------------------------------------------ *)
 (* Per-CS accounting: simulator vs the paper's analysis *)
 
 let test_sim_high_load_messages_per_cs () =
@@ -561,6 +616,9 @@ let suite =
       Alcotest.test_case "json byte escaping roundtrip" `Quick
         test_json_byte_roundtrip;
       Alcotest.test_case "json parse errors" `Quick test_json_errors;
+      Alcotest.test_case "wfg cycle detection" `Quick test_wfg_cycles;
+      Alcotest.test_case "wfg metric recording" `Quick
+        test_wfg_record_metrics;
       Alcotest.test_case "gate pass/regression/band" `Quick
         test_gate_pass_and_fail;
       Alcotest.test_case "gate missing metrics" `Quick

@@ -296,6 +296,177 @@ let test_message_kinds () =
   Alcotest.(check string) "warning kind" "WARNING"
     (Protocol.message_kind Protocol.Warning)
 
+(* ------------------------------------------------------------------ *)
+(* Read-write extension: shared batches, writer priority, WFG edges *)
+
+let shared_entry node seq = Qlist.entry ~mode:Types.Shared ~node ~seq ()
+
+let find_privilege ~dst effs =
+  match
+    List.find_opt
+      (function d, Protocol.Privilege _ -> d = dst | _ -> false)
+      (sends effs)
+  with
+  | Some (_, Protocol.Privilege tok) -> tok
+  | _ -> Alcotest.failf "expected PRIVILEGE to node %d" dst
+
+let test_rw_batch_flow () =
+  (* Arbiter 0 collects shared requests from 1 and 2 plus an exclusive
+     one from 3; node 1 becomes batch coordinator, READ-GRANTs 2, and
+     the batch completes with one served-vector step for both. *)
+  let a = Protocol.init cfg 0 in
+  let a, _ = step cfg a (Receive (1, Protocol.Request (shared_entry 1 0))) in
+  let a, _ = step cfg a (Receive (2, Protocol.Request (shared_entry 2 0))) in
+  let a, _ =
+    step cfg a (Receive (3, Protocol.Request (Qlist.entry ~node:3 ~seq:0 ())))
+  in
+  let _a, effs = step cfg a (Timer_fired Protocol.T_dispatch) in
+  let token = find_privilege ~dst:1 effs in
+  (* Coordinator: own shared request outstanding, token arrives. *)
+  let b = Protocol.init cfg 1 in
+  let b, _ = step cfg b Request_shared_cs in
+  let b, effs = step cfg b (Receive (0, Protocol.Privilege token)) in
+  Alcotest.(check bool) "coordinator enters CS" true (has_enter effs);
+  Alcotest.(check bool) "coordinator reports Shared" true
+    (Protocol.cs_mode b = Types.Shared);
+  Alcotest.(check bool) "batch size noted" true
+    (List.exists
+       (function Note (Types.Read_batch 2) -> true | _ -> false)
+       effs);
+  (* The coordinator's Q-list snapshot yields the wait-for edges: the
+     queued writer 3 waits on both shared holders. *)
+  Alcotest.(check (list (pair int int)))
+    "wait edges: writer waits on both readers"
+    [ (3, 1); (3, 2) ]
+    (List.sort compare (Protocol.wait_edges b));
+  let rg =
+    match
+      List.find_opt
+        (function 2, Protocol.Read_grant _ -> true | _ -> false)
+        (sends effs)
+    with
+    | Some (_, Protocol.Read_grant rg) -> rg
+    | _ -> Alcotest.fail "expected READ-GRANT to node 2"
+  in
+  (* Reader 2: grant matches its outstanding shared request. *)
+  let c = Protocol.init cfg 2 in
+  let c, _ = step cfg c Request_shared_cs in
+  let c, effs = step cfg c (Receive (1, Protocol.Read_grant rg)) in
+  Alcotest.(check bool) "reader enters CS" true (has_enter effs);
+  Alcotest.(check bool) "reader reports Shared" true
+    (Protocol.cs_mode c = Types.Shared);
+  (* Reader leaves: READ-DONE flows back to the coordinator. *)
+  let _c, effs = step cfg c Cs_done in
+  let rd_seq =
+    match sends effs with
+    | [ (1, Protocol.Read_done { rd_seq }) ] -> rd_seq
+    | _ -> Alcotest.fail "expected READ-DONE to the coordinator"
+  in
+  (* Coordinator finishes its own read, then the READ-DONE completes
+     the batch: both entries served in one step, token moves to the
+     queued writer. *)
+  let b, _ = step cfg b Cs_done in
+  Alcotest.(check bool) "token pinned until batch completes" true
+    (b.Protocol.token <> None);
+  let b, effs =
+    step cfg b (Receive (2, Protocol.Read_done { rd_seq }))
+  in
+  Alcotest.(check bool) "batch cleared" true (b.Protocol.rbatch = None);
+  let tok3 = find_privilege ~dst:3 effs in
+  Alcotest.(check (list int)) "writer now heads the token queue" [ 3 ]
+    (List.map (fun e -> e.Qlist.node) tok3.Protocol.tq);
+  Alcotest.(check bool) "both readers marked served" true
+    (Qlist.Granted.already_served tok3.Protocol.granted (shared_entry 1 0)
+    && Qlist.Granted.already_served tok3.Protocol.granted (shared_entry 2 0))
+
+let test_rw_writer_priority_dispatch () =
+  (* Under the read-write policy writers outrank queued readers at
+     each arbiter hand-off, FCFS as the tie-break. *)
+  let rw = Dmutex.Prioritized.rw_config ~n:4 () in
+  let a = Protocol.init rw 0 in
+  let a, _ = step rw a (Receive (1, Protocol.Request (shared_entry 1 0))) in
+  let a, _ =
+    step rw a (Receive (3, Protocol.Request (Qlist.entry ~node:3 ~seq:0 ())))
+  in
+  let a, _ = step rw a (Receive (2, Protocol.Request (shared_entry 2 0))) in
+  let _a, effs = step rw a (Timer_fired Protocol.T_dispatch) in
+  let token = find_privilege ~dst:3 effs in
+  Alcotest.(check (list int)) "writer first, readers keep FCFS" [ 3; 1; 2 ]
+    (List.map (fun e -> e.Qlist.node) token.Protocol.tq)
+
+let test_rw_solo_reader_plain_path () =
+  (* A batch of one — here a solo reader — takes the unchanged
+     exclusive code path bit for bit: no READ-GRANT, no batch state,
+     no batch note. *)
+  let a = Protocol.init cfg 0 in
+  let a, _ = step cfg a (Receive (1, Protocol.Request (shared_entry 1 0))) in
+  let _a, effs = step cfg a (Timer_fired Protocol.T_dispatch) in
+  let token = find_privilege ~dst:1 effs in
+  let b = Protocol.init cfg 1 in
+  let b, _ = step cfg b Request_shared_cs in
+  let b, effs = step cfg b (Receive (0, Protocol.Privilege token)) in
+  Alcotest.(check bool) "enters CS" true (has_enter effs);
+  Alcotest.(check bool) "no batch state" true (b.Protocol.rbatch = None);
+  Alcotest.(check bool) "no READ-GRANT sent" true
+    (not
+       (List.exists
+          (function _, Protocol.Read_grant _ -> true | _ -> false)
+          (sends effs)))
+
+let test_rw_batch_regrant_on_timeout () =
+  (* A silent reader gets its READ-GRANT again when T_rbatch fires;
+     the batch is not forced complete on the first try. *)
+  let a = Protocol.init cfg 0 in
+  let a, _ = step cfg a (Receive (1, Protocol.Request (shared_entry 1 0))) in
+  let a, _ = step cfg a (Receive (2, Protocol.Request (shared_entry 2 0))) in
+  let _a, effs = step cfg a (Timer_fired Protocol.T_dispatch) in
+  let token = find_privilege ~dst:1 effs in
+  let b = Protocol.init cfg 1 in
+  let b, _ = step cfg b Request_shared_cs in
+  let b, _ = step cfg b (Receive (0, Protocol.Privilege token)) in
+  let b, effs = step cfg b (Timer_fired Protocol.T_rbatch) in
+  Alcotest.(check int) "grant re-sent to the silent reader" 1
+    (List.length
+       (List.filter
+          (function 2, Protocol.Read_grant _ -> true | _ -> false)
+          (sends effs)));
+  Alcotest.(check bool) "batch still open" true (b.Protocol.rbatch <> None)
+
+let test_rw_stale_grant_answered () =
+  (* A READ-GRANT for a request we never made (or finished long ago)
+     is answered with READ-DONE immediately, so a confused coordinator
+     can never wedge on us. *)
+  let c = Protocol.init cfg 2 in
+  let rg =
+    {
+      Protocol.rg_epoch = 0;
+      rg_minor = 1;
+      rg_entry = shared_entry 2 7;
+    }
+  in
+  let c, effs = step cfg c (Receive (1, Protocol.Read_grant rg)) in
+  Alcotest.(check bool) "not in CS" false (Protocol.in_cs c);
+  match sends effs with
+  | [ (1, Protocol.Read_done { rd_seq = 7 }) ] -> ()
+  | _ -> Alcotest.fail "expected an immediate READ-DONE"
+
+let test_rw_wait_edges_exclusive () =
+  (* Exclusive holder with a queue: every queued node waits on the
+     holder; a node without the token contributes no edges. *)
+  let a = Protocol.init cfg 0 in
+  let a, _ = step cfg a Request_cs in
+  let a, _ =
+    step cfg a (Receive (2, Protocol.Request (Qlist.entry ~node:2 ~seq:0 ())))
+  in
+  let a, _ = step cfg a (Timer_fired Protocol.T_dispatch) in
+  Alcotest.(check bool) "holder in CS" true (Protocol.in_cs a);
+  Alcotest.(check (list (pair int int))) "queued node waits on holder"
+    [ (2, 0) ]
+    (Protocol.wait_edges a);
+  let b = Protocol.init cfg 1 in
+  Alcotest.(check (list (pair int int))) "no token, no edges" []
+    (Protocol.wait_edges b)
+
 let suite =
   ( "protocol",
     [
@@ -331,4 +502,16 @@ let suite =
       Alcotest.test_case "stale token discarded" `Quick
         test_stale_token_discarded;
       Alcotest.test_case "message kinds" `Quick test_message_kinds;
+      Alcotest.test_case "rw: shared batch end-to-end" `Quick
+        test_rw_batch_flow;
+      Alcotest.test_case "rw: writer-priority dispatch" `Quick
+        test_rw_writer_priority_dispatch;
+      Alcotest.test_case "rw: solo reader takes the exclusive path" `Quick
+        test_rw_solo_reader_plain_path;
+      Alcotest.test_case "rw: batch re-grant on timeout" `Quick
+        test_rw_batch_regrant_on_timeout;
+      Alcotest.test_case "rw: stale READ-GRANT answered" `Quick
+        test_rw_stale_grant_answered;
+      Alcotest.test_case "rw: wait-for edges (exclusive)" `Quick
+        test_rw_wait_edges_exclusive;
     ] )

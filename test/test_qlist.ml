@@ -202,6 +202,119 @@ let test_granted_idempotent () =
   Alcotest.(check bool) "prune unaffected by re-mark" true
     (Qlist.prune g1 q = Qlist.prune g2 q)
 
+(* ------------------------------------------------------------------ *)
+(* Read-write modes: compatibility, batching, writer priority *)
+
+let se ?(hops = 0) node seq =
+  Qlist.entry ~hops ~mode:Types.Shared ~node ~seq ()
+
+let nodes_of q = List.map (fun x -> x.Qlist.node) q
+
+let test_compatible () =
+  Alcotest.(check bool) "shared+shared" true
+    (Qlist.compatible (se 1 0) (se 2 0));
+  Alcotest.(check bool) "shared+exclusive" false
+    (Qlist.compatible (se 1 0) (e 2 0));
+  Alcotest.(check bool) "exclusive+shared" false
+    (Qlist.compatible (e 1 0) (se 2 0));
+  Alcotest.(check bool) "exclusive+exclusive" false
+    (Qlist.compatible (e 1 0) (e 2 0))
+
+let test_head_batch () =
+  Alcotest.(check int) "empty" 0 (List.length (Qlist.head_batch []));
+  (* An exclusive head is served alone, whatever follows. *)
+  Alcotest.(check (list int)) "exclusive head alone" [ 0 ]
+    (nodes_of (Qlist.head_batch [ e 0 1; se 1 0; se 2 0 ]));
+  (* A shared head pulls in the maximal prefix run of readers… *)
+  Alcotest.(check (list int)) "maximal shared prefix" [ 0; 1; 2 ]
+    (nodes_of (Qlist.head_batch [ se 0 0; se 1 0; se 2 0; e 3 0; se 4 0 ]));
+  (* …but never a reader queued behind a writer: FCFS is preserved
+     across the mode boundary. *)
+  Alcotest.(check (list int)) "batch stops at the first writer" [ 0 ]
+    (nodes_of (Qlist.head_batch [ se 0 0; e 1 0; se 2 0 ]))
+
+let test_sort_writers_first () =
+  let q = [ se 0 0; e 1 0; se 2 0; e 3 0; se 4 0 ] in
+  let sorted = Qlist.sort_writers_first q in
+  Alcotest.(check (list int)) "writers first, FCFS within class"
+    [ 1; 3; 0; 2; 4 ] (nodes_of sorted);
+  (* Sorting readers adjacent is what lets the batch form. *)
+  let after_writers =
+    match sorted with _ :: _ :: readers -> readers | _ -> []
+  in
+  Alcotest.(check (list int)) "reader run batches as one grant" [ 0; 2; 4 ]
+    (nodes_of (Qlist.head_batch after_writers));
+  (* All-exclusive and all-shared lists are left untouched. *)
+  Alcotest.(check (list int)) "pure writer list unchanged" [ 0; 1; 2 ]
+    (nodes_of (Qlist.sort_writers_first [ e 0 0; e 1 0; e 2 0 ]));
+  Alcotest.(check (list int)) "pure reader list unchanged" [ 0; 1; 2 ]
+    (nodes_of (Qlist.sort_writers_first [ se 0 0; se 1 0; se 2 0 ]))
+
+let test_final_holder () =
+  (* Where does the token rest once the queue is fully served? The
+     tail — unless the queue *ends* in a run of ≥ 2 readers, in which
+     case the run's first entry coordinates the batch and keeps the
+     token. NEW-ARBITER must name this node (protocol.ml). *)
+  Alcotest.(check (option int)) "empty queue: nobody" None
+    (Qlist.final_holder []);
+  Alcotest.(check (option int)) "singleton: itself" (Some 7)
+    (Qlist.final_holder [ e 7 0 ]);
+  Alcotest.(check (option int)) "exclusive tail: the tail" (Some 3)
+    (Qlist.final_holder [ se 1 0; se 2 0; e 3 0 ]);
+  Alcotest.(check (option int)) "trailing reader run: its first entry"
+    (Some 1)
+    (Qlist.final_holder [ e 0 0; se 1 0; se 2 0; se 3 0 ]);
+  (* A solo trailing reader is a batch of one — the plain exclusive
+     path, so the tail itself. *)
+  Alcotest.(check (option int)) "solo trailing reader: the tail" (Some 3)
+    (Qlist.final_holder [ se 1 0; e 2 0; se 3 0 ]);
+  Alcotest.(check (option int)) "trailing run after a writer" (Some 3)
+    (Qlist.final_holder [ se 0 0; se 1 0; e 2 0; se 3 0; se 4 0 ]);
+  Alcotest.(check (option int)) "mid-queue readers don't matter" (Some 4)
+    (Qlist.final_holder [ e 0 0; se 1 0; se 2 0; e 3 0; e 4 0 ])
+
+let test_mark_all_batch () =
+  let g = Qlist.Granted.create 5 in
+  let batch = [ se 0 2; se 1 0; se 4 3 ] in
+  let t0 = Qlist.Granted.total g in
+  let g' = Qlist.Granted.mark_all g batch in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "every batch member served" true
+        (Qlist.Granted.already_served g' x))
+    batch;
+  Alcotest.(check bool) "total strictly advanced" true
+    (Qlist.Granted.total g' > t0);
+  (* Re-marking the same batch is the identity — grant bookkeeping
+     stays retransmission-proof with batches too. *)
+  Alcotest.(check bool) "mark_all idempotent" true
+    (Qlist.Granted.mark_all g' batch = g');
+  (* mark_all = fold of mark: one fencing step per batch is a property
+     of when the total is *read*, not a different algebra. *)
+  Alcotest.(check bool) "mark_all agrees with iterated mark" true
+    (List.fold_left Qlist.Granted.mark g batch = g')
+
+let prop_head_batch_compatible =
+  QCheck.Test.make ~name:"head_batch members are pairwise compatible or singleton"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 20)
+           (map2
+              (fun (node, seq) shared -> if shared then se node seq else e node seq)
+              (pair (int_range 0 5) (int_range 0 10))
+              bool)))
+    (fun entries ->
+      let q = List.fold_left (fun acc x -> Qlist.enqueue x acc) [] entries in
+      let b = Qlist.head_batch q in
+      match b with
+      | [] -> q = []
+      | [ _ ] -> true
+      | _ ->
+          List.for_all
+            (fun x -> List.for_all (fun y -> x == y || Qlist.compatible x y) b)
+            b)
+
 let suite =
   ( "qlist",
     [
@@ -220,6 +333,15 @@ let suite =
         test_rejoin_after_service;
       Alcotest.test_case "rejoin: head/tail invariants" `Quick
         test_rejoin_head_tail_invariants;
+      Alcotest.test_case "rw: mode compatibility" `Quick test_compatible;
+      Alcotest.test_case "rw: head batch" `Quick test_head_batch;
+      Alcotest.test_case "rw: writers-first sort" `Quick
+        test_sort_writers_first;
+      Alcotest.test_case "rw: batch grant bookkeeping" `Quick
+        test_mark_all_batch;
+      Alcotest.test_case "rw: final holder of a served queue" `Quick
+        test_final_holder;
+      QCheck_alcotest.to_alcotest prop_head_batch_compatible;
       QCheck_alcotest.to_alcotest prop_enqueue_unique;
       QCheck_alcotest.to_alcotest prop_enqueue_max_seq;
       QCheck_alcotest.to_alcotest prop_sort_permutation;

@@ -21,7 +21,12 @@ let test_codec_roundtrip () =
       WC.Hello { rid = 1 };
       WC.Open_session { rid = 2; lease_ms = 5000; resume = None };
       WC.Open_session { rid = 3; lease_ms = 0; resume = Some "ab%cd" };
-      WC.Acquire { rid = 4; lock = "a/b"; timeout_ms = 250; try_only = true };
+      WC.Acquire
+        { rid = 4; lock = "a/b"; timeout_ms = 250; try_only = true;
+          shared = false };
+      WC.Acquire
+        { rid = 8; lock = "rw"; timeout_ms = 100; try_only = false;
+          shared = true };
       WC.Release { rid = 5; lock = "" };
       WC.Renew { rid = 6 };
       WC.Close { rid = 7 };
@@ -223,7 +228,7 @@ let test_lease_expiry_in_cs () =
       let fd = raw_connect (List.nth addrs 0) in
       let _sid = raw_open ~lease_ms:400 fd in
       raw_send fd
-        (WC.Acquire { rid = 10; lock = "apex"; timeout_ms = 10_000; try_only = false });
+        (WC.Acquire { rid = 10; lock = "apex"; timeout_ms = 10_000; try_only = false; shared = false });
       let fa =
         match raw_recv fd with
         | WC.Granted { fencing; _ } -> fencing
@@ -282,7 +287,7 @@ let test_dead_client_queued_cancelled () =
       let fdb = raw_connect (List.nth addrs 0) in
       let _sidb = raw_open ~lease_ms:400 fdb in
       raw_send fdb
-        (WC.Acquire { rid = 20; lock = "apex"; timeout_ms = 20_000; try_only = false });
+        (WC.Acquire { rid = 20; lock = "apex"; timeout_ms = 20_000; try_only = false; shared = false });
       (* B now stalls without renewing; its lease lapses while queued. *)
       (match raw_recv fdb with
       | WC.Session_lost { rid = 0; _ } -> ()
@@ -408,20 +413,20 @@ let test_queue_cap () =
       let fdb = raw_connect (List.nth addrs 0) in
       let _ = raw_open ~lease_ms:5000 fdb in
       raw_send fdb
-        (WC.Acquire { rid = 30; lock = "apex"; timeout_ms = 5_000; try_only = false });
+        (WC.Acquire { rid = 30; lock = "apex"; timeout_ms = 5_000; try_only = false; shared = false });
       Thread.delay 0.2;
       (* ...the next one is shed with an explicit retry-after. *)
       let fdc = raw_connect (List.nth addrs 0) in
       let _ = raw_open ~lease_ms:5000 fdc in
       (match
          raw_rpc fdc
-           (WC.Acquire { rid = 31; lock = "apex"; timeout_ms = 5_000; try_only = false })
+           (WC.Acquire { rid = 31; lock = "apex"; timeout_ms = 5_000; try_only = false; shared = false })
        with
       | WC.Rejected { reason = WC.Queue_full; retry_after_ms; _ } ->
           Alcotest.(check bool) "retry-after hint" true (retry_after_ms > 0)
       | _ -> Alcotest.fail "over-cap waiter must be shed");
       (match
-         raw_rpc fdc (WC.Acquire { rid = 32; lock = "nope"; timeout_ms = 100; try_only = false })
+         raw_rpc fdc (WC.Acquire { rid = 32; lock = "nope"; timeout_ms = 100; try_only = false; shared = false })
        with
       | WC.Rejected { reason = WC.Unknown_lock; _ } -> ()
       | _ -> Alcotest.fail "unknown lock must be rejected");
@@ -429,6 +434,111 @@ let test_queue_cap () =
       SC.close a;
       (try Unix.close fdb with _ -> ());
       try Unix.close fdc with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lock modes through the session layer *)
+
+let test_shared_batch_grants () =
+  (* Two readers pinned to different nodes: when their shared requests
+     land in the same protocol window they are granted as one batch —
+     concurrently, with one shared fencing token. Overlap is timing
+     dependent (a shared waiter arriving after a batch dispatched
+     serializes behind it), so we retry a few rounds until both
+     readers are observed inside the CS at once. *)
+  with_cluster ~base_port:9201 (fun _cluster _servers addrs ->
+      let a = SC.connect ~seed:20 ~addrs:[ List.nth addrs 0 ] () in
+      let b = SC.connect ~seed:21 ~addrs:[ List.nth addrs 1 ] () in
+      let overlap_fencings = ref None in
+      let rec round i =
+        if i > 10 then ()
+        else begin
+          let inside = Atomic.make 0 in
+          let overlapped = Atomic.make false in
+          let fa = ref None and fb = ref None in
+          let reader cl slot () =
+            match
+              SC.with_lock ~timeout:20.0 ~shared:true ~lock:"apex" cl
+                (fun ~fencing ->
+                  slot := Some fencing;
+                  Atomic.incr inside;
+                  (* Linger so the other reader has a chance to be in
+                     the CS at the same time. *)
+                  let t0 = Unix.gettimeofday () in
+                  let rec spin () =
+                    if Atomic.get inside >= 2 then Atomic.set overlapped true
+                    else if Unix.gettimeofday () -. t0 < 0.5 then begin
+                      Thread.delay 0.005;
+                      spin ()
+                    end
+                  in
+                  spin ();
+                  ignore (Atomic.fetch_and_add inside (-1)))
+            with
+            | Ok () -> ()
+            | Error e ->
+                Alcotest.failf "shared acquire: %s" (SC.string_of_error e)
+          in
+          let t1 = Thread.create (reader a fa) () in
+          let t2 = Thread.create (reader b fb) () in
+          Thread.join t1;
+          Thread.join t2;
+          if Atomic.get overlapped then overlap_fencings := Some (!fa, !fb)
+          else round (i + 1)
+        end
+      in
+      round 1;
+      let f_read =
+        match !overlap_fencings with
+        | Some (Some f1, Some f2) ->
+            Alcotest.(check bool)
+              "batched readers share one fencing token" true (f1 = f2);
+            f1
+        | _ -> Alcotest.fail "no concurrent shared grant observed in 10 rounds"
+      in
+      (* A writer after the batch advances fencing past the shared
+         token and excludes readers while held. *)
+      (match SC.acquire ~timeout:20.0 ~lock:"apex" a with
+      | Ok fw ->
+          Alcotest.(check bool)
+            "writer fencing dominates the batch" true (fw > f_read)
+      | Error e -> Alcotest.failf "writer: %s" (SC.string_of_error e));
+      (match SC.try_acquire ~shared:true ~lock:"apex" b with
+      | Error SC.Timeout -> ()
+      | Ok _ -> Alcotest.fail "reader must not slip past a held writer"
+      | Error e -> Alcotest.failf "reader vs writer: %s" (SC.string_of_error e));
+      ignore (SC.release ~lock:"apex" a);
+      SC.close a;
+      SC.close b)
+
+let test_rejected_vs_timeout () =
+  (* A queue-side expiry is the *server's* verdict: the session
+     sweeper rejects the expired waiter with Lock_timeout well inside
+     the client's local deadline (server timeout + slack), so the
+     caller sees Rejected — never the local Timeout, which is
+     reserved for "no verdict arrived at all". *)
+  with_cluster ~base_port:9211 (fun _cluster _servers addrs ->
+      let a = SC.connect ~seed:22 ~addrs () in
+      (match SC.acquire ~timeout:20.0 ~lock:"apex" a with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "holder: %s" (SC.string_of_error e));
+      let b = SC.connect ~seed:23 ~addrs () in
+      (match SC.with_lock ~timeout:0.3 ~lock:"apex" b (fun ~fencing:_ -> ()) with
+      | Error (SC.Rejected (WC.Lock_timeout, retry_after)) ->
+          Alcotest.(check bool) "retry-after hint sane" true (retry_after >= 0.0)
+      | Error SC.Timeout ->
+          Alcotest.fail
+            "queue expiry must surface as the server's Rejected, not the \
+             local Timeout"
+      | Ok () -> Alcotest.fail "must not be granted while held"
+      | Error e -> Alcotest.failf "waiter: %s" (SC.string_of_error e));
+      (* try_acquire keeps its distinct contract: busy is Timeout. *)
+      (match SC.try_acquire ~lock:"apex" b with
+      | Error SC.Timeout -> ()
+      | Ok _ -> Alcotest.fail "try_acquire must not steal a held lock"
+      | Error e -> Alcotest.failf "try: %s" (SC.string_of_error e));
+      ignore (SC.release ~lock:"apex" a);
+      SC.close a;
+      SC.close b)
 
 let suite =
   ( "session",
@@ -455,4 +565,8 @@ let suite =
         test_admission_cap;
       Alcotest.test_case "queue cap sheds with retry-after" `Quick
         test_queue_cap;
+      Alcotest.test_case "shared readers batch under one fencing token" `Quick
+        test_shared_batch_grants;
+      Alcotest.test_case "queue expiry is Rejected, local deadline is Timeout"
+        `Quick test_rejected_vs_timeout;
     ] )

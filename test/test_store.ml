@@ -36,7 +36,7 @@ let sample_views ~n =
   let g2 = Array.copy v1.Store.granted in
   g2.(1) <- 7;
   let v2 =
-    { v1 with Store.granted = g2; custody = Store.Holding { epoch = 3 } }
+    { v1 with Store.granted = g2; custody = Store.Holding { epoch = 3; shared = false } }
   in
   let v3 =
     { v2 with Store.custody = Store.No_token; election = 5; enq_round = 2 }
@@ -222,11 +222,11 @@ let test_custody_roundtrip () =
   Store.record s
     { (Store.empty_view ~n:2) with
       Store.epoch = 4;
-      custody = Store.Holding { epoch = 4 } };
+      custody = Store.Holding { epoch = 4; shared = false } };
   Store.abort s;
   let s2 = Store.open_ ~dir ~n:2 () in
   (match Store.view s2 with
-  | Some { Store.custody = Store.Holding { epoch = 4 }; _ } -> ()
+  | Some { Store.custody = Store.Holding { epoch = 4; shared = false }; _ } -> ()
   | Some _ -> Alcotest.fail "custody lost or altered across restart"
   | None -> Alcotest.fail "no view recovered");
   Store.abort s2

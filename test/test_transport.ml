@@ -103,20 +103,20 @@ let test_short_frame () =
 
 let test_bad_frame_kind () =
   (* Valid version byte, sender id and (empty) lock key, kind byte 255. *)
-  let body = "\003\000\000\000\001\255\000\000payload" in
+  let body = "\004\000\000\000\001\255\000\000payload" in
   survives_garbage ~port:8707 ~peer_port:8708
     (length_prefix (String.length body) ^ body)
 
 let test_truncated_lock_key () =
   (* Lock-length field promises 200 key bytes; the frame ends first. *)
-  let body = "\003\000\000\000\001\000\000\200key" in
+  let body = "\004\000\000\000\001\000\000\200key" in
   survives_garbage ~port:8724 ~peer_port:8725
     (length_prefix (String.length body) ^ body)
 
 let test_version_mismatch () =
   (* A well-formed frame from a peer speaking a future format: the
      version byte must reject it before the kind byte is even read. *)
-  let body = "\004\000\000\000\001\000\000\000payload" in
+  let body = "\005\000\000\000\001\000\000\000payload" in
   Alcotest.(check bool) "crafted frame differs only in version" true
     (String.get_uint8 body 0 <> Wire.format_version);
   survives_garbage ~port:8726 ~peer_port:8727

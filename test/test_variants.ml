@@ -122,6 +122,66 @@ let test_priorities_no_starvation () =
   Alcotest.(check int) "everything served" 20 o.completed;
   Alcotest.(check int) "nothing left over" 0 o.unserved
 
+(* ------------------------------------------------------------------ *)
+(* Read-write policy (Prioritized.rw_config): batching and the
+   writer-priority starvation pin *)
+
+let test_rw_config_shape () =
+  (* rw_config is the same incremental priority machine with the mode
+     as the key: writer_priority on, no static priority table. *)
+  let cfg = Prioritized.rw_config ~n:6 () in
+  Alcotest.(check bool) "writer priority on" true
+    cfg.Types.Config.writer_priority;
+  Alcotest.(check bool) "no static priorities" true
+    (cfg.Types.Config.priorities = None);
+  (* The static-priority constructor still validates its table. *)
+  (match Prioritized.config ~priorities:[| 1; 2 |] ~n:3 () with
+  | _ -> Alcotest.fail "short priority table must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_rw_read_mix_batches () =
+  (* A 90/10 read-heavy saturated run under the read-write policy:
+     still zero violations, and shared batches actually form. *)
+  let cfg = Prioritized.rw_config ~n:8 () in
+  let o = RP.run_saturated ~seed:11 ~requests:6_000 ~read_fraction:0.9 cfg in
+  Alcotest.(check int) "no violations with shared grants" 0
+    o.safety_violations;
+  Alcotest.(check bool) "reader batches formed" true
+    (List.mem_assoc "read-batch" o.notes);
+  (* Batching must beat one-at-a-time service on throughput: the same
+     workload served exclusively needs strictly more time per CS. *)
+  let excl = RP.run_saturated ~seed:11 ~requests:6_000 cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "read-heavy throughput higher (%.1f vs %.1f cs/s)"
+       (float_of_int o.completed /. o.sim_time)
+       (float_of_int excl.completed /. excl.sim_time))
+    true
+    (float_of_int o.completed /. o.sim_time
+    > float_of_int excl.completed /. excl.sim_time)
+
+let test_rw_writer_not_starved () =
+  (* The starvation pin: one writer against seven loop-requesting
+     readers. Writer priority reorders each dispatched window, so the
+     writer's requests are all served despite the reader flood. *)
+  let n = 8 in
+  let cfg = Prioritized.rw_config ~n () in
+  let t = RP.create ~seed:12 cfg in
+  let writer_rounds = 6 in
+  for _ = 1 to writer_rounds do
+    RP.request t 0 (* defaults to Exclusive *)
+  done;
+  for _ = 1 to 12 do
+    for i = 1 to n - 1 do
+      RP.request ~mode:Types.Shared t i
+    done
+  done;
+  RP.step_until t 600.0;
+  let o = RP.outcome t in
+  Alcotest.(check int) "no violations" 0 o.safety_violations;
+  Alcotest.(check int) "nothing starved, writer included" 0 o.unserved;
+  Alcotest.(check int) "writer served every round" writer_rounds
+    o.per_node.(0).Sim_runner.grants
+
 let test_skip_broadcast_saves_messages () =
   let base = Basic.config ~n:10 () in
   let skip = { base with Types.Config.skip_new_arbiter_to_tail = true } in
@@ -164,6 +224,11 @@ let suite =
         test_priorities_reorder;
       Alcotest.test_case "low priority not starved" `Quick
         test_priorities_no_starvation;
+      Alcotest.test_case "rw: config shape" `Quick test_rw_config_shape;
+      Alcotest.test_case "rw: read-mix batches and throughput" `Quick
+        test_rw_read_mix_batches;
+      Alcotest.test_case "rw: writer not starved by readers" `Quick
+        test_rw_writer_not_starved;
       Alcotest.test_case "Section 3.1 suppression saves messages" `Quick
         test_skip_broadcast_saves_messages;
       Alcotest.test_case "zero-length collection window" `Quick
